@@ -1,0 +1,25 @@
+"""Figure 2 bench: SVD reconstruction CDF over the five data sets.
+
+Regenerates the paper's Figure 2 (as CDF threshold rows) and times the
+full experiment. Expected shape: GNP best, NLANR ~90% of pairs within
+~15%, P2PSim / PL-RTT worst with 90th-percentile error around 0.5.
+"""
+
+import numpy as np
+
+from repro.evaluation.experiments import fig2
+
+
+def test_figure2_reconstruction_cdf(benchmark, report, warm_datasets):
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    report(result)
+
+    medians = {name: float(np.median(errors)) for name, errors in result.data.items()}
+    p2psim_key = next(name for name in medians if name.startswith("p2psim"))
+
+    # Paper shape: GNP reconstructs best; the King-derived P2PSim and
+    # the PlanetLab matrix are the hardest.
+    assert medians["gnp"] < medians[p2psim_key]
+    assert medians["nlanr"] < medians[p2psim_key]
+    nlanr_p90 = float(np.percentile(result.data["nlanr"], 90))
+    assert nlanr_p90 < 0.25  # paper: ~0.15

@@ -1,0 +1,26 @@
+"""Figure 3 bench: reconstruction error vs dimension, three algorithms.
+
+Regenerates Figures 3(a) (NLANR) and 3(b) (P2PSim): median relative
+error of SVD, NMF and Lipschitz+PCA as the model dimension sweeps up
+to 80/100. Expected shape: SVD ~= NMF below d = 10, both several times
+better than Lipschitz at d = 10, SVD slightly ahead at large d.
+"""
+
+from repro.evaluation.experiments import fig3
+
+
+def test_figure3_dimension_sweep(benchmark, report, warm_datasets):
+    result = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    report(result)
+
+    for dataset in ("nlanr", "p2psim"):
+        series = result.data[dataset]
+        dimensions = series["dimensions"]
+        index_d10 = dimensions.index(10)
+
+        # Factorization beats the Lipschitz+PCA baseline at d = 10.
+        assert series["SVD"][index_d10] < series["Lipschitz+PCA"][index_d10]
+        # NMF tracks SVD closely at modest dimensions.
+        assert series["NMF"][index_d10] < series["SVD"][index_d10] * 2 + 0.02
+        # Errors improve monotonically-ish with dimension.
+        assert series["SVD"][-1] < series["SVD"][0]

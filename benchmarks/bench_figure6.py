@@ -1,0 +1,33 @@
+"""Figure 6 bench: prediction accuracy of IDES vs GNP vs ICS.
+
+Regenerates Figures 6(a)-(c): CDFs of prediction error for IDES/SVD,
+IDES/NMF, ICS and GNP at d = 8, with the same landmark sets per data
+set. Expected shape: GNP wins on its own 15-landmark data set; IDES
+(SVD ~= NMF) wins on NLANR and P2PSim; ICS trails.
+"""
+
+import numpy as np
+
+from repro.evaluation.experiments import fig6
+
+
+def test_figure6_prediction_accuracy(benchmark, report, warm_datasets):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    report(result)
+
+    medians = {
+        dataset: {name: float(np.median(errors)) for name, errors in systems.items()}
+        for dataset, systems in result.data.items()
+    }
+
+    # 6(a): GNP is the most accurate system on the GNP data set.
+    assert medians["gnp"]["GNP"] <= min(
+        medians["gnp"]["IDES/SVD"], medians["gnp"]["ICS"]
+    ) * 1.1
+
+    # 6(b)/6(c): IDES beats ICS; SVD and NMF are nearly identical.
+    for dataset in ("nlanr", "p2psim"):
+        assert medians[dataset]["IDES/SVD"] < medians[dataset]["ICS"]
+        assert medians[dataset]["IDES/NMF"] < medians[dataset]["ICS"]
+        gap = abs(medians[dataset]["IDES/SVD"] - medians[dataset]["IDES/NMF"])
+        assert gap < 0.1

@@ -1,0 +1,34 @@
+"""Figure 7 bench: robustness to unobserved landmarks.
+
+Regenerates Figures 7(a)/(b): median IDES/SVD prediction error versus
+the fraction of landmarks each host fails to observe, for 20 and 50
+landmarks. Expected shape: with 20 landmarks the error climbs steeply
+once the observed count approaches ~2d; with 50 landmarks, losing 40%
+of landmarks barely moves the median.
+"""
+
+from repro.evaluation.experiments import fig7
+
+
+def test_figure7_landmark_failures(benchmark, report, warm_datasets):
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    report(result)
+
+    fractions = result.data["fractions"]
+    index_40 = fractions.index(0.4)
+    index_50 = fractions.index(0.5)
+
+    nlanr = result.data["nlanr"]
+    few, many = nlanr["20 landmarks, d=8"], nlanr["50 landmarks, d=8"]
+    # 50 landmarks: "not observing 40% of the landmarks has little
+    # impact on the system accuracy" (paper Section 6.2).
+    assert many[index_40] < many[0] * 2 + 0.02
+    # 20 landmarks: clearly degraded by the midpoint of the sweep.
+    assert few[index_50] > few[0] * 2
+    # More landmarks are more robust where the comparison is stable.
+    assert many[index_50] < few[index_50]
+
+    p2psim = result.data["p2psim"]
+    few_p, many_p = p2psim["20 landmarks, d=10"], p2psim["50 landmarks, d=10"]
+    assert many_p[index_40] < many_p[0] * 2 + 0.05
+    assert many_p[index_50] < few_p[index_50]

@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the computational kernels.
+
+Where the figure benches time whole experiments once, these use
+pytest-benchmark's statistical timing on the individual kernels that
+dominate them: SVD factorization, NMF sweeps, batched host placement,
+simplex-downhill iterations, King estimation, and topology routing.
+They quantify *why* Table 1 comes out the way it does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NMFFactorizer, SVDFactorizer
+from repro.ides import place_hosts_batch
+from repro.linalg import nelder_mead
+from repro.measurement import KingConfig, KingEstimator
+from repro.routing import pairwise_site_delays
+from repro.topology import place_sites, transit_stub_topology
+
+
+@pytest.fixture(scope="module")
+def nlanr_matrix(warm_datasets):
+    return warm_datasets["nlanr"].matrix
+
+
+@pytest.fixture(scope="module")
+def p2psim_matrix(warm_datasets):
+    return warm_datasets["p2psim-1143"].matrix
+
+
+def test_svd_factorization_nlanr(benchmark, nlanr_matrix):
+    """One landmark-scale SVD factorization (110 x 110, d = 10)."""
+    model = benchmark(lambda: SVDFactorizer(dimension=10).fit(nlanr_matrix))
+    assert model.dimension == 10
+
+
+def test_svd_factorization_p2psim(benchmark, p2psim_matrix):
+    """Full-matrix SVD at P2PSim scale (1143 x 1143, d = 10)."""
+    model = benchmark(lambda: SVDFactorizer(dimension=10).fit(p2psim_matrix))
+    assert model.dimension == 10
+
+
+def test_nmf_factorization_nlanr(benchmark, nlanr_matrix):
+    """200 Lee-Seung sweeps on the NLANR matrix (d = 10)."""
+    factorizer = NMFFactorizer(dimension=10, max_iter=200, tol=0.0, seed=0)
+    model = benchmark(lambda: factorizer.fit(nlanr_matrix))
+    assert model.is_nonnegative()
+
+
+def test_host_placement_batch_1000(benchmark):
+    """Placing 1000 hosts against 20 landmarks (d = 10), batched."""
+    generator = np.random.default_rng(0)
+    landmark_out = generator.random((20, 10))
+    landmark_in = generator.random((20, 10))
+    out_distances = generator.random((1000, 20)) * 100
+    in_distances = generator.random((20, 1000)) * 100
+
+    result = benchmark(
+        lambda: place_hosts_batch(out_distances, in_distances, landmark_out, landmark_in)
+    )
+    assert result[0].shape == (1000, 10)
+
+
+def test_masked_host_placement_200(benchmark):
+    """Placing 200 hosts with per-host observation masks (slow path)."""
+    generator = np.random.default_rng(1)
+    landmark_out = generator.random((20, 10))
+    landmark_in = generator.random((20, 10))
+    out_distances = generator.random((200, 20)) * 100
+    mask = generator.random((200, 20)) > 0.3
+
+    result = benchmark(
+        lambda: place_hosts_batch(
+            out_distances, None, landmark_out, landmark_in,
+            observation_mask=mask, strict=False,
+        )
+    )
+    assert result[0].shape == (200, 10)
+
+
+def test_simplex_downhill_160dim_step_budget(benchmark):
+    """A 1000-iteration Nelder-Mead run in GNP's landmark dimension."""
+    generator = np.random.default_rng(2)
+    target = generator.random(160)
+
+    def objective(point):
+        difference = point - target
+        return float(difference @ difference)
+
+    result = benchmark(
+        lambda: nelder_mead(objective, np.zeros(160), max_iter=1000)
+    )
+    assert result.iterations <= 1000
+
+
+def test_king_estimation_1143(benchmark, p2psim_matrix):
+    """King error application over the 1143-host matrix."""
+    symmetric = 0.5 * (p2psim_matrix + p2psim_matrix.T)
+    estimate = benchmark(
+        lambda: KingEstimator(KingConfig(), seed=0).estimate_matrix(symmetric)
+    )
+    assert estimate.shape == symmetric.shape
+
+
+def test_topology_generation_and_routing(benchmark):
+    """Transit-stub build plus 20-site all-pairs Dijkstra."""
+
+    def build():
+        topology = transit_stub_topology(seed=0)
+        sites = place_sites(topology, 20, seed=0)
+        return pairwise_site_delays(topology, sites.site_indices)
+
+    delays = benchmark(build)
+    assert delays.shape == (20, 20)

@@ -1,0 +1,24 @@
+"""Table 1 bench: model-construction time of IDES, ICS and GNP.
+
+Regenerates the paper's Table 1 on the three workloads (GNP with 15
+landmarks and 873 ordinary hosts, NLANR with 20/90, P2PSim-1143 with
+20/1123). Absolute numbers differ from the 2004 testbed; the asserted
+reproduction is the ordering: ICS and IDES complete in fractions of a
+second while GNP's per-host simplex downhill costs orders of magnitude
+more.
+"""
+
+from repro.evaluation.experiments import table1
+
+
+def test_table1_efficiency(benchmark, report, warm_datasets):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    report(result)
+
+    for workload, row in result.data.items():
+        # GNP is the outlier on every data set (paper: minutes vs <1s).
+        assert row["GNP"] > 20 * row["IDES/SVD"], workload
+        assert row["GNP"] > 20 * row["ICS"], workload
+        # The closed-form systems stay fast even at P2PSim scale.
+        assert row["IDES/SVD"] < 5.0, workload
+        assert row["ICS"] < 5.0, workload

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+The produced artifact is written to ``benchmarks/results/<id>.txt`` and
+echoed to the real stdout (bypassing pytest capture) so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the paper-style rows alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Emit an ExperimentResult (tables + charts) to disk and terminal."""
+
+    def emit(result) -> None:
+        from repro.evaluation import render_charts
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        parts = [str(result)]
+        try:
+            parts.extend(render_charts(result))
+        except Exception:  # noqa: BLE001 - charts are best-effort extras
+            pass
+        artifact = "\n\n".join(parts) + "\n"
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(artifact, encoding="utf-8")
+        print("\n" + artifact, file=sys.__stdout__, flush=True)
+
+    return emit
+
+
+@pytest.fixture(scope="session")
+def warm_datasets():
+    """Generate the paper data sets once, outside any timed region."""
+    from repro.datasets import load_dataset
+    from repro.evaluation import p2psim_eval_subset
+
+    datasets = {name: load_dataset(name) for name in ("gnp", "agnp", "nlanr", "plrtt")}
+    datasets["p2psim-1143"] = p2psim_eval_subset()
+    return datasets

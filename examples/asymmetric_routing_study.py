@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Why factored models beat Euclidean embeddings: a routing study.
+
+Builds synthetic worlds that dial in the two routing pathologies the
+paper's Section 2.2 identifies — triangle-inequality violations from
+policy routing, and asymmetric distances — and measures how a factored
+model (SVD) and a Euclidean embedding (Lipschitz+PCA) cope with each.
+Also reproduces the paper's Figure 1 argument numerically: a four-host
+ring whose distance matrix no Euclidean embedding of any dimension can
+reproduce, but which factors exactly at d = 3.
+
+Run with::
+
+    python examples/asymmetric_routing_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LipschitzPCAEmbedding, SVDFactorizer, relative_errors
+from repro.datasets import WorldConfig, build_world
+from repro.routing import (
+    PolicyInflationConfig,
+    alternate_path_fraction,
+    apply_host_asymmetry,
+    asymmetry_index,
+)
+
+
+def median_error(matrix: np.ndarray, estimate: np.ndarray) -> float:
+    return float(np.median(relative_errors(matrix, estimate)))
+
+
+def compare(matrix: np.ndarray, dimension: int = 10) -> tuple[float, float]:
+    """(SVD, Lipschitz) median reconstruction errors for one matrix."""
+    svd = SVDFactorizer(dimension=dimension).fit(matrix)
+    lipschitz = LipschitzPCAEmbedding(dimension=dimension).fit(matrix)
+    return (
+        median_error(matrix, svd.predict_matrix()),
+        median_error(matrix, lipschitz.estimate_matrix()),
+    )
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Part 1: the paper's Figure 1 four-host ring, exactly.
+    # ------------------------------------------------------------------
+    ring = np.array(
+        [
+            [0.0, 1.0, 1.0, 2.0],
+            [1.0, 0.0, 2.0, 1.0],
+            [1.0, 2.0, 0.0, 1.0],
+            [2.0, 1.0, 1.0, 0.0],
+        ]
+    )
+    svd_model = SVDFactorizer(dimension=3).fit(ring)
+    lipschitz = LipschitzPCAEmbedding(dimension=3).fit(ring)
+    print("Figure 1 ring matrix (no Euclidean embedding can represent it):")
+    print(f"  SVD d=3 worst absolute error:       "
+          f"{np.abs(svd_model.predict_matrix() - ring).max():.2e}")
+    print(f"  Lipschitz d=3 worst absolute error: "
+          f"{np.abs(lipschitz.estimate_matrix() - ring).max():.2f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Part 2: policy detours create triangle violations at scale.
+    # ------------------------------------------------------------------
+    print("policy-routing sweep (120-host world, d=10):")
+    print("  detour prob | alt-path frac | SVD median | Lipschitz median")
+    for detour_probability in (0.0, 0.2, 0.4, 0.6):
+        config = WorldConfig(
+            n_hosts=120,
+            n_sites=40,
+            policy=PolicyInflationConfig(
+                detour_probability=detour_probability,
+                inflation_sigma=0.5,
+                pair_detour_probability=0.0,
+            ),
+        )
+        world = build_world(config, seed=23)
+        violations = alternate_path_fraction(world.true_rtt, sample_pairs=5000, seed=0)
+        svd_err, lipschitz_err = compare(world.true_rtt)
+        print(
+            f"  {detour_probability:11.1f} | {violations:13.2f} | "
+            f"{svd_err:10.4f} | {lipschitz_err:.4f}"
+        )
+    print()
+
+    # ------------------------------------------------------------------
+    # Part 3: structured asymmetry — free for the factored model.
+    # ------------------------------------------------------------------
+    base = build_world(WorldConfig(n_hosts=120, n_sites=40), seed=29).true_rtt
+    symmetric = 0.5 * (base + base.T)
+    print("per-host directional asymmetry sweep (d=10):")
+    print("  level | asym index | SVD median | Lipschitz median")
+    for level in (0.0, 0.2, 0.4, 0.6):
+        skewed = apply_host_asymmetry(symmetric, level, seed=31)
+        svd_err, lipschitz_err = compare(skewed)
+        print(
+            f"  {level:5.1f} | {asymmetry_index(skewed):10.3f} | "
+            f"{svd_err:10.4f} | {lipschitz_err:.4f}"
+        )
+    print()
+    print(
+        "the factored model's error stays flat under asymmetry (the skew is\n"
+        "rank-preserving), while the Euclidean baseline pays for every bit\n"
+        "of structure its symmetric metric cannot express"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: predict network latencies with IDES in five steps.
+
+Walks the full paper pipeline on the NLANR-like data set:
+
+1. load a distance data set,
+2. pick landmark nodes,
+3. factor the inter-landmark matrix on the information server,
+4. place ordinary hosts from their landmark measurements, and
+5. predict distances between hosts that never measured each other —
+   then score the predictions against the held-out truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    IDESSystem,
+    dataset_statistics,
+    load_dataset,
+    relative_errors,
+    split_landmarks,
+    summarize_errors,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A data set: the synthetic NLANR-like 110-host RTT matrix.
+    # ------------------------------------------------------------------
+    dataset = load_dataset("nlanr")
+    print(dataset.describe())
+    print(f"  {dataset_statistics(dataset)}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Landmarks: 20 random hosts; everyone else is an ordinary host.
+    # ------------------------------------------------------------------
+    split = split_landmarks(dataset, n_landmarks=20, seed=42)
+    print(
+        f"landmarks: {split.n_landmarks} hosts, "
+        f"ordinary: {split.n_ordinary} hosts"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. The information server factors the 20 x 20 landmark matrix
+    #    into outgoing/incoming vectors (SVD, d = 10).
+    # ------------------------------------------------------------------
+    ides = IDESSystem(dimension=10, method="svd")
+    ides.fit_landmarks(split.landmark_matrix)
+
+    # ------------------------------------------------------------------
+    # 4. Each ordinary host measures RTT to/from the landmarks and
+    #    solves two small least-squares problems for its own vectors.
+    # ------------------------------------------------------------------
+    ides.place_hosts(split.out_distances, split.in_distances)
+    measurements_per_host = split.n_landmarks * 2
+    total_pairs = split.n_ordinary * (split.n_ordinary - 1)
+    print(
+        f"each host issued {measurements_per_host} probes; the model now "
+        f"answers {total_pairs} host-pair queries without further probing"
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. Predict all ordinary-host pairs and score against the truth
+    #    with the paper's modified relative error (Eq. 10).
+    # ------------------------------------------------------------------
+    predicted = ides.predict_matrix()
+    errors = relative_errors(split.ordinary_matrix, predicted)
+    print("prediction accuracy:", summarize_errors(errors))
+
+    within_15 = float(np.mean(errors <= 0.15))
+    print(f"{within_15:.1%} of predictions are within 15% of the true RTT")
+
+    # Single-pair queries work too:
+    host_a, host_b = 0, 1
+    print(
+        f"host {host_a} -> host {host_b}: predicted "
+        f"{predicted[host_a, host_b]:.2f} ms, "
+        f"true {split.ordinary_matrix[host_a, host_b]:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Internal validation helpers shared across the package.
+
+These functions normalize user input into canonical numpy forms and
+raise :class:`repro.exceptions.ValidationError` with actionable messages
+when the input is unusable. They are private to the library; the public
+API never requires callers to import this module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "as_rng",
+    "as_matrix",
+    "as_distance_matrix",
+    "as_mask",
+    "as_vector",
+    "check_dimension",
+    "check_fraction",
+    "check_positive",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a fresh nondeterministic generator, an ``int`` seeds a
+    new generator, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValidationError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def as_matrix(value: object, name: str = "matrix") -> np.ndarray:
+    """Coerce ``value`` to a 2-D float array, copying only if needed."""
+    try:
+        matrix = np.asarray(value, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not convertible to a float array: {exc}") from exc
+    if matrix.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {matrix.shape}")
+    if matrix.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    return matrix
+
+
+def as_distance_matrix(
+    value: object,
+    name: str = "D",
+    allow_missing: bool = False,
+    require_square: bool = False,
+) -> np.ndarray:
+    """Validate a network distance matrix.
+
+    Distances must be finite (unless ``allow_missing`` permits NaN for
+    unmeasured pairs) and non-negative. The matrix may be rectangular:
+    the paper's footnote 3 explicitly covers distances from one host set
+    to another (for example the 869 x 19 AGNP data set).
+    """
+    matrix = as_matrix(value, name=name)
+    if require_square and matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(f"{name} must be square, got shape {matrix.shape}")
+    if np.isinf(matrix).any():
+        raise ValidationError(f"{name} contains infinite entries")
+    nan_mask = np.isnan(matrix)
+    if nan_mask.any() and not allow_missing:
+        raise ValidationError(
+            f"{name} contains {int(nan_mask.sum())} missing (NaN) entries; "
+            "use the masked NMF path or filter the matrix first"
+        )
+    observed = matrix[~nan_mask]
+    if observed.size and (observed < 0).any():
+        worst = float(observed.min())
+        raise ValidationError(f"{name} contains negative distances (min {worst:g})")
+    return matrix
+
+
+def as_mask(value: object, shape: tuple[int, int], name: str = "mask") -> np.ndarray:
+    """Coerce ``value`` to a boolean observation mask of the given shape.
+
+    ``True`` marks an observed entry, matching the paper's binary matrix
+    ``M`` in Eqs. (8)-(9).
+    """
+    mask = np.asarray(value)
+    if mask.shape != shape:
+        raise ValidationError(f"{name} must have shape {shape}, got {mask.shape}")
+    if mask.dtype != bool:
+        unique = np.unique(mask)
+        if not np.isin(unique, (0, 1)).all():
+            raise ValidationError(f"{name} must be boolean or 0/1-valued")
+        mask = mask.astype(bool)
+    return mask
+
+
+def as_vector(value: object, name: str = "vector") -> np.ndarray:
+    """Coerce ``value`` to a 1-D float array."""
+    vector = np.asarray(value, dtype=float)
+    if vector.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {vector.shape}")
+    if vector.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    return vector
+
+
+def check_dimension(dimension: int, limit: int | None = None, name: str = "dimension") -> int:
+    """Validate a model dimension ``d`` (and optionally ``d <= limit``)."""
+    if not isinstance(dimension, (int, np.integer)):
+        raise ValidationError(f"{name} must be an int, got {type(dimension).__name__}")
+    if dimension < 1:
+        raise ValidationError(f"{name} must be >= 1, got {dimension}")
+    if limit is not None and dimension > limit:
+        raise ValidationError(f"{name} must be <= {limit}, got {dimension}")
+    return int(dimension)
+
+
+def check_fraction(value: float, name: str = "fraction", inclusive: bool = True) -> float:
+    """Validate a value in ``[0, 1]`` (or ``[0, 1)`` if not inclusive)."""
+    value = float(value)
+    upper_ok = value <= 1.0 if inclusive else value < 1.0
+    if not (0.0 <= value and upper_ok):
+        bound = "[0, 1]" if inclusive else "[0, 1)"
+        raise ValidationError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate a strictly positive scalar."""
+    value = float(value)
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_indices(
+    indices: Sequence[int], size: int, name: str = "indices", unique: bool = True
+) -> np.ndarray:
+    """Validate integer indices into an axis of length ``size``."""
+    array = np.asarray(indices)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional")
+    if array.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.issubdtype(array.dtype, np.integer):
+        if np.issubdtype(array.dtype, np.floating) and np.all(array == array.astype(int)):
+            array = array.astype(int)
+        else:
+            raise ValidationError(f"{name} must be integers")
+    if array.min() < 0 or array.max() >= size:
+        raise ValidationError(f"{name} must lie in [0, {size - 1}]")
+    if unique and np.unique(array).size != array.size:
+        raise ValidationError(f"{name} must not contain duplicates")
+    return array.astype(int)

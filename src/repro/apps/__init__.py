@@ -1,0 +1,25 @@
+"""Distance-sensitive applications built on the model (paper Section 1).
+
+Mirror/server selection by asymmetric dot-product queries, proximity-
+aware overlay neighbor selection, and vector-space host clustering.
+"""
+
+from .clustering import ClusteringResult, cluster_hosts, kmeans
+from .mirror_selection import MirrorSelection, evaluate_selection, select_mirror
+from .overlay import NeighborSelectionResult, evaluate_overlay, select_neighbors
+from .replica_placement import ReplicaPlacement, evaluate_placement, place_replicas
+
+__all__ = [
+    "ClusteringResult",
+    "MirrorSelection",
+    "NeighborSelectionResult",
+    "ReplicaPlacement",
+    "cluster_hosts",
+    "evaluate_overlay",
+    "evaluate_placement",
+    "evaluate_selection",
+    "kmeans",
+    "place_replicas",
+    "select_mirror",
+    "select_neighbors",
+]

@@ -1,0 +1,153 @@
+"""Host clustering in vector space.
+
+The factored model places hosts with similar distance profiles close
+together in vector space (the linear-dependence argument of Section 3).
+Clustering the concatenated ``[X_i, Y_i]`` vectors therefore recovers
+network-topological groups — useful for replica placement or building
+hierarchical overlays — without any further measurement.
+
+K-means is implemented from scratch (Lloyd's algorithm with k-means++
+seeding) to keep the library dependency-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_matrix, as_rng
+from ..exceptions import ConvergenceError, ValidationError
+
+__all__ = ["ClusteringResult", "kmeans", "cluster_hosts"]
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """K-means outcome.
+
+    Attributes:
+        labels: cluster index per sample.
+        centers: ``(k, p)`` cluster centroids.
+        inertia: sum of squared sample-to-centroid distances.
+        iterations: Lloyd iterations performed.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters."""
+        return self.centers.shape[0]
+
+
+def _kmeans_plusplus(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids apart."""
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = data[first]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for index in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid.
+            centers[index:] = data[int(rng.integers(n))]
+            break
+        probabilities = closest_sq / total
+        choice = int(rng.choice(n, p=probabilities))
+        centers[index] = data[choice]
+        distance_sq = np.sum((data - centers[index]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, distance_sq)
+    return centers
+
+
+def kmeans(
+    data: object,
+    k: int,
+    seed: int | np.random.Generator | None = 0,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+) -> ClusteringResult:
+    """Lloyd's k-means with k-means++ initialization.
+
+    Args:
+        data: ``(n, p)`` samples.
+        k: number of clusters, ``1 <= k <= n``.
+        seed: randomness source.
+        max_iter: Lloyd iteration budget.
+        tol: relative inertia-improvement stopping threshold.
+
+    Returns:
+        a :class:`ClusteringResult`.
+    """
+    samples = as_matrix(data, name="data")
+    n = samples.shape[0]
+    if not 1 <= k <= n:
+        raise ValidationError(f"k must be in [1, {n}], got {k}")
+    rng = as_rng(seed)
+
+    centers = _kmeans_plusplus(samples, k, rng)
+    previous_inertia = np.inf
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(1, max_iter + 1):
+        distances_sq = (
+            np.sum(samples**2, axis=1)[:, None]
+            - 2.0 * samples @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        labels = np.argmin(distances_sq, axis=1)
+        inertia = float(np.take_along_axis(distances_sq, labels[:, None], axis=1).sum())
+
+        for cluster in range(k):
+            members = samples[labels == cluster]
+            if members.shape[0]:
+                centers[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                farthest = int(np.argmax(distances_sq.min(axis=1)))
+                centers[cluster] = samples[farthest]
+
+        if previous_inertia - inertia <= tol * max(previous_inertia, 1e-12):
+            return ClusteringResult(
+                labels=labels, centers=centers, inertia=inertia, iterations=iteration
+            )
+        previous_inertia = inertia
+
+    if not np.isfinite(previous_inertia):
+        raise ConvergenceError("k-means failed to compute a finite inertia")
+    return ClusteringResult(
+        labels=labels, centers=centers, inertia=previous_inertia, iterations=max_iter
+    )
+
+
+def cluster_hosts(
+    outgoing: object,
+    incoming: object,
+    k: int,
+    seed: int | np.random.Generator | None = 0,
+) -> ClusteringResult:
+    """Cluster hosts by their concatenated model vectors.
+
+    Args:
+        outgoing: ``(n, d)`` outgoing vectors ``X``.
+        incoming: ``(n, d)`` incoming vectors ``Y``.
+        k: number of clusters.
+        seed: randomness source.
+
+    Returns:
+        a :class:`ClusteringResult` over the ``(n, 2d)`` features.
+    """
+    out_matrix = as_matrix(outgoing, name="outgoing")
+    in_matrix = as_matrix(incoming, name="incoming")
+    if out_matrix.shape != in_matrix.shape:
+        raise ValidationError(
+            f"outgoing {out_matrix.shape} and incoming {in_matrix.shape} disagree"
+        )
+    features = np.hstack([out_matrix, in_matrix])
+    return kmeans(features, k, seed=seed)

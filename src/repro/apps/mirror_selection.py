@@ -1,0 +1,131 @@
+"""Mirror (closest-server) selection — the paper's running application.
+
+Section 3: "To locate the closest server among several mirror
+candidates, a client can retrieve the outgoing vectors of the mirrors
+from a directory server, calculate the dot product of these outgoing
+vectors with its own incoming vector, and choose the mirror that yields
+the smallest estimate of network distance."
+
+Note the direction: the client cares about download latency, mirror ->
+client, so the estimate pairs the *mirror's outgoing* vector with the
+*client's incoming* vector — an asymmetric query a Euclidean system
+cannot even express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_matrix, check_indices
+from ..exceptions import ValidationError
+
+__all__ = ["MirrorSelection", "select_mirror", "evaluate_selection"]
+
+
+@dataclass(frozen=True)
+class MirrorSelection:
+    """Result of one client's mirror choice.
+
+    Attributes:
+        chosen: index (into the mirror list) of the selected mirror.
+        predicted_ms: predicted mirror -> client distance.
+        actual_ms: true distance of the chosen mirror (NaN if unknown).
+        optimal_ms: true distance of the best mirror (NaN if unknown).
+        stretch: ``actual / optimal`` — 1.0 means the choice was
+            perfect; the paper's motivation is keeping this near 1
+            without measuring every mirror.
+    """
+
+    chosen: int
+    predicted_ms: float
+    actual_ms: float
+    optimal_ms: float
+
+    @property
+    def stretch(self) -> float:
+        """Chosen-mirror latency divided by the optimal mirror's."""
+        if not np.isfinite(self.actual_ms) or not np.isfinite(self.optimal_ms):
+            return float("nan")
+        if self.optimal_ms <= 0:
+            return 1.0 if self.actual_ms <= 0 else float("inf")
+        return self.actual_ms / self.optimal_ms
+
+
+def select_mirror(
+    client_incoming: object,
+    mirror_outgoing: object,
+    true_distances: object | None = None,
+) -> MirrorSelection:
+    """Choose the mirror with the smallest predicted download latency.
+
+    Args:
+        client_incoming: the client's incoming vector ``Y_client``.
+        mirror_outgoing: ``(n_mirrors, d)`` outgoing vectors of the
+            candidate mirrors.
+        true_distances: optional length-``n_mirrors`` true mirror ->
+            client distances for scoring the choice.
+
+    Returns:
+        a :class:`MirrorSelection`.
+    """
+    incoming = np.asarray(client_incoming, dtype=float).ravel()
+    outgoing = as_matrix(mirror_outgoing, name="mirror_outgoing")
+    if outgoing.shape[1] != incoming.shape[0]:
+        raise ValidationError(
+            f"mirror vectors have dimension {outgoing.shape[1]}, client has "
+            f"{incoming.shape[0]}"
+        )
+    predicted = outgoing @ incoming
+    chosen = int(np.argmin(predicted))
+
+    actual = optimal = float("nan")
+    if true_distances is not None:
+        truth = np.asarray(true_distances, dtype=float).ravel()
+        if truth.shape[0] != outgoing.shape[0]:
+            raise ValidationError(
+                f"true_distances covers {truth.shape[0]} mirrors, expected "
+                f"{outgoing.shape[0]}"
+            )
+        actual = float(truth[chosen])
+        optimal = float(np.nanmin(truth))
+    return MirrorSelection(
+        chosen=chosen,
+        predicted_ms=float(predicted[chosen]),
+        actual_ms=actual,
+        optimal_ms=optimal,
+    )
+
+
+def evaluate_selection(
+    client_incoming_matrix: object,
+    mirror_outgoing: object,
+    true_mirror_to_client: object,
+    client_indices: object | None = None,
+) -> np.ndarray:
+    """Stretch of model-driven mirror selection for many clients.
+
+    Args:
+        client_incoming_matrix: ``(n_clients, d)`` client incoming
+            vectors.
+        mirror_outgoing: ``(n_mirrors, d)`` mirror outgoing vectors.
+        true_mirror_to_client: ``(n_mirrors, n_clients)`` true
+            distances.
+        client_indices: evaluate only these clients (all by default).
+
+    Returns:
+        array of per-client stretch factors (chosen / optimal).
+    """
+    clients = as_matrix(client_incoming_matrix, name="client_incoming_matrix")
+    truth = as_matrix(true_mirror_to_client, name="true_mirror_to_client")
+    if client_indices is None:
+        indices = np.arange(clients.shape[0])
+    else:
+        indices = check_indices(client_indices, clients.shape[0], name="client_indices")
+
+    stretches = np.empty(indices.shape[0])
+    for position, client in enumerate(indices):
+        result = select_mirror(clients[client], mirror_outgoing, truth[:, client])
+        stretches[position] = result.stretch
+    return stretches

@@ -1,0 +1,111 @@
+"""Proximity-aware overlay neighbor selection.
+
+DHTs and overlay-routing systems (Chord, Pastry, Tapestry, RON — the
+paper's introduction) want each node's neighbor set to favor nearby
+peers in the IP underlay. With IDES vectors a node ranks candidate
+peers by predicted distance without probing them; this module measures
+how much underlay latency that saves versus random neighbor choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_matrix, as_rng
+from ..exceptions import ValidationError
+
+__all__ = ["NeighborSelectionResult", "select_neighbors", "evaluate_overlay"]
+
+
+@dataclass(frozen=True)
+class NeighborSelectionResult:
+    """Quality of one node's predicted nearest-neighbor set.
+
+    Attributes:
+        node: the selecting node.
+        chosen: indices of the ``k`` predicted-nearest peers.
+        mean_chosen_ms: mean true distance to the chosen peers.
+        mean_optimal_ms: mean true distance to the actually-nearest
+            ``k`` peers.
+        mean_random_ms: mean true distance to all candidate peers (the
+            expected cost of random selection).
+    """
+
+    node: int
+    chosen: np.ndarray
+    mean_chosen_ms: float
+    mean_optimal_ms: float
+    mean_random_ms: float
+
+    @property
+    def efficiency(self) -> float:
+        """0 = no better than random, 1 = as good as optimal."""
+        gap = self.mean_random_ms - self.mean_optimal_ms
+        if gap <= 0:
+            return 1.0
+        return float((self.mean_random_ms - self.mean_chosen_ms) / gap)
+
+
+def select_neighbors(
+    node: int,
+    predicted: np.ndarray,
+    true_distances: np.ndarray,
+    k: int,
+) -> NeighborSelectionResult:
+    """Pick the ``k`` predicted-nearest peers of ``node`` and score them."""
+    n = predicted.shape[0]
+    if not 1 <= k < n:
+        raise ValidationError(f"k must be in [1, {n - 1}], got {k}")
+    others = np.delete(np.arange(n), node)
+    ranked = others[np.argsort(predicted[node, others], kind="stable")]
+    chosen = ranked[:k]
+
+    truth_row = true_distances[node, others]
+    optimal = np.sort(truth_row, kind="stable")[:k]
+    return NeighborSelectionResult(
+        node=node,
+        chosen=chosen,
+        mean_chosen_ms=float(true_distances[node, chosen].mean()),
+        mean_optimal_ms=float(optimal.mean()),
+        mean_random_ms=float(truth_row.mean()),
+    )
+
+
+def evaluate_overlay(
+    predicted_matrix: object,
+    true_matrix: object,
+    k: int = 5,
+    sample_nodes: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> list[NeighborSelectionResult]:
+    """Score predicted nearest-neighbor selection for many nodes.
+
+    Args:
+        predicted_matrix: model-predicted distances among the nodes.
+        true_matrix: ground-truth distances, same shape.
+        k: neighbor-set size.
+        sample_nodes: evaluate a random node sample of this size (all
+            nodes by default).
+        seed: randomness source for sampling.
+
+    Returns:
+        one :class:`NeighborSelectionResult` per evaluated node.
+    """
+    predicted = as_matrix(predicted_matrix, name="predicted_matrix")
+    truth = as_matrix(true_matrix, name="true_matrix")
+    if predicted.shape != truth.shape:
+        raise ValidationError(
+            f"shape mismatch: predicted {predicted.shape} vs truth {truth.shape}"
+        )
+    if predicted.shape[0] != predicted.shape[1]:
+        raise ValidationError("overlay evaluation requires square matrices")
+
+    n = predicted.shape[0]
+    rng = as_rng(seed)
+    if sample_nodes is not None and sample_nodes < n:
+        nodes = rng.choice(n, size=sample_nodes, replace=False)
+    else:
+        nodes = np.arange(n)
+    return [select_neighbors(int(node), predicted, truth, k) for node in nodes]

@@ -1,0 +1,117 @@
+"""Command-line entry point: run any paper experiment and print it.
+
+Usage::
+
+    ides-experiment list
+    ides-experiment run fig2
+    ides-experiment run table1 --fast
+    ides-experiment run all --seed 7
+    ides-experiment datasets
+
+or ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .datasets import dataset_statistics, list_datasets, load_dataset
+from .evaluation import available_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ides-experiment",
+        description=(
+            "Reproduction harness for 'Modeling Distances in Large-Scale "
+            "Networks by Matrix Factorization' (Mao & Saul, IMC 2004)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id from 'list', or 'all'",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="generation seed (default: canonical)"
+    )
+    run_parser.add_argument(
+        "--fast", action="store_true", help="shrink workloads for a quick pass"
+    )
+    run_parser.add_argument(
+        "--plot", action="store_true", help="also render terminal charts"
+    )
+
+    subparsers.add_parser("datasets", help="summarize the synthetic data sets")
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id in available_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _command_run(
+    experiment: str, seed: int | None, fast: bool, plot: bool = False
+) -> int:
+    from .evaluation import render_charts
+
+    if experiment == "all":
+        targets = available_experiments()
+    else:
+        targets = [experiment]
+    for experiment_id in targets:
+        started = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, seed=seed, fast=fast)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+        print(result)
+        if plot:
+            for chart in render_charts(result):
+                print()
+                print(chart)
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+def _command_datasets() -> int:
+    for name in list_datasets():
+        dataset = load_dataset(name)
+        print(dataset.describe())
+        print(f"  {dataset_statistics(dataset)}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        return _command_run(
+            arguments.experiment, arguments.seed, arguments.fast, arguments.plot
+        )
+    if arguments.command == "datasets":
+        return _command_datasets()
+    parser.error(f"unknown command {arguments.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: distance-matrix factorization.
+
+``D ~= X @ Y.T`` with per-host outgoing/incoming vectors, fitted by SVD
+(global optimum, complete matrices) or NMF (non-negative, handles
+missing data), evaluated with the modified relative error of Eq. 10.
+"""
+
+from .diagnostics import (
+    SpectrumDiagnostics,
+    effective_rank,
+    energy_captured,
+    rank_for_energy,
+    spectrum_diagnostics,
+)
+from .errors import (
+    ErrorSummary,
+    off_diagonal_values,
+    relative_error_matrix,
+    relative_errors,
+    summarize_errors,
+)
+from .masks import (
+    apply_mask,
+    mask_from_missing,
+    random_mask,
+    symmetric_random_mask,
+    unobserved_landmark_mask,
+)
+from .model import FactoredDistanceModel
+from .nmf_model import NMFFactorizer
+from .svd_model import SVDFactorizer
+
+__all__ = [
+    "ErrorSummary",
+    "FactoredDistanceModel",
+    "NMFFactorizer",
+    "SVDFactorizer",
+    "SpectrumDiagnostics",
+    "apply_mask",
+    "effective_rank",
+    "energy_captured",
+    "mask_from_missing",
+    "off_diagonal_values",
+    "random_mask",
+    "rank_for_energy",
+    "relative_error_matrix",
+    "relative_errors",
+    "spectrum_diagnostics",
+    "summarize_errors",
+    "symmetric_random_mask",
+    "unobserved_landmark_mask",
+]

@@ -1,0 +1,110 @@
+"""Spectral diagnostics: why low-rank models fit distance matrices.
+
+The paper's central assumption (Section 3) is that "many rows in the
+distance matrix are linearly dependent, or nearly so", i.e. the matrix
+has low *effective* rank. These diagnostics quantify that assumption
+for any data set and back the ``ablate-rank`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_matrix, check_fraction
+from ..linalg import singular_spectrum
+
+__all__ = [
+    "SpectrumDiagnostics",
+    "spectrum_diagnostics",
+    "effective_rank",
+    "rank_for_energy",
+    "energy_captured",
+]
+
+
+def effective_rank(matrix: object) -> float:
+    """Spectral-entropy effective rank (Roy & Vetterli, 2007).
+
+    ``exp(H(p))`` where ``p`` is the singular-value distribution; equals
+    ``k`` for a matrix with ``k`` equal singular values and degrades
+    smoothly as the spectrum concentrates. A 110-host matrix with
+    effective rank ~4 is why ``d = 10`` reconstructs it almost exactly.
+    """
+    values = singular_spectrum(as_matrix(matrix, name="matrix"))
+    total = values.sum()
+    if total == 0.0:
+        return 0.0
+    probabilities = values / total
+    positive = probabilities[probabilities > 0]
+    entropy = -np.sum(positive * np.log(positive))
+    return float(np.exp(entropy))
+
+
+def energy_captured(matrix: object, rank: int) -> float:
+    """Fraction of squared Frobenius norm captured by the top ``rank``.
+
+    Equals ``1 - (residual of best rank-k approximation)^2 / ||D||_F^2``
+    by the Eckart-Young theorem.
+    """
+    values = singular_spectrum(as_matrix(matrix, name="matrix"))
+    squared = values**2
+    total = squared.sum()
+    if total == 0.0:
+        return 1.0
+    rank = max(0, min(int(rank), squared.size))
+    return float(squared[:rank].sum() / total)
+
+
+def rank_for_energy(matrix: object, energy: float = 0.99) -> int:
+    """Smallest rank capturing at least ``energy`` of the squared norm."""
+    target = check_fraction(energy, name="energy")
+    values = singular_spectrum(as_matrix(matrix, name="matrix"))
+    squared = values**2
+    total = squared.sum()
+    if total == 0.0:
+        return 0
+    cumulative = np.cumsum(squared) / total
+    return int(np.searchsorted(cumulative, target) + 1)
+
+
+@dataclass(frozen=True)
+class SpectrumDiagnostics:
+    """Bundle of spectral statistics for one distance matrix.
+
+    Attributes:
+        shape: matrix shape.
+        singular_values: full descending spectrum.
+        effective_rank: spectral-entropy effective rank.
+        rank_90 / rank_99: smallest rank capturing 90% / 99% energy.
+        top10_energy: energy fraction captured at rank 10 (the paper's
+            recommended dimension).
+    """
+
+    shape: tuple[int, int]
+    singular_values: np.ndarray
+    effective_rank: float
+    rank_90: int
+    rank_99: int
+    top10_energy: float
+
+    def __str__(self) -> str:
+        return (
+            f"shape={self.shape} eff_rank={self.effective_rank:.2f} "
+            f"rank90={self.rank_90} rank99={self.rank_99} "
+            f"energy@10={self.top10_energy:.4f}"
+        )
+
+
+def spectrum_diagnostics(matrix: object) -> SpectrumDiagnostics:
+    """Compute :class:`SpectrumDiagnostics` for one matrix."""
+    data = as_matrix(matrix, name="matrix")
+    return SpectrumDiagnostics(
+        shape=data.shape,
+        singular_values=singular_spectrum(data),
+        effective_rank=effective_rank(data),
+        rank_90=rank_for_energy(data, 0.90),
+        rank_99=rank_for_energy(data, 0.99),
+        top10_energy=energy_captured(data, 10),
+    )

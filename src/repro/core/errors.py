@@ -1,0 +1,155 @@
+"""Error metrics for distance reconstruction and prediction.
+
+The paper evaluates accuracy with a *modified relative error* (Eq. 10):
+
+.. math::
+
+    \\text{relative error} = \\frac{|D_{ij} - \\hat D_{ij}|}
+                                   {\\min(D_{ij}, \\hat D_{ij})}
+
+The ``min`` in the denominator penalizes under-estimation: predicting
+10 ms for a true 20 ms pair scores 1.0, not 0.5. The same metric is
+used by GNP and Vivaldi, which makes cross-system comparisons fair.
+
+SVD-based models can produce non-positive estimates, and measured
+matrices can contain zero self-distances; we therefore clamp the
+denominator at a small positive floor so the metric stays finite while
+still penalizing severe under-estimates heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_matrix
+from ..exceptions import ValidationError
+
+__all__ = [
+    "relative_error_matrix",
+    "relative_errors",
+    "off_diagonal_values",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+#: Relative floor applied to the Eq. 10 denominator, as a fraction of the
+#: mean true distance. Guards against division by ~zero when a model
+#: under-predicts to (or below) zero.
+DENOMINATOR_FLOOR_FRACTION = 1e-6
+
+
+def _denominator_floor(true_distances: np.ndarray) -> float:
+    """Positive floor for the Eq. 10 denominator, scaled to the data."""
+    finite = true_distances[np.isfinite(true_distances)]
+    positive = finite[finite > 0]
+    if positive.size == 0:
+        return DENOMINATOR_FLOOR_FRACTION
+    return float(positive.mean() * DENOMINATOR_FLOOR_FRACTION)
+
+
+def relative_error_matrix(
+    true_distances: object,
+    estimated_distances: object,
+) -> np.ndarray:
+    """Elementwise modified relative error (Eq. 10).
+
+    Args:
+        true_distances: matrix ``D`` of measured distances; NaN entries
+            (unmeasured pairs) yield NaN errors.
+        estimated_distances: matrix ``D_hat`` of model estimates, same
+            shape.
+
+    Returns:
+        matrix of ``|D - D_hat| / max(min(D, D_hat), floor)`` values.
+    """
+    true_matrix = as_matrix(true_distances, name="true_distances")
+    estimated = as_matrix(estimated_distances, name="estimated_distances")
+    if true_matrix.shape != estimated.shape:
+        raise ValidationError(
+            f"shape mismatch: true {true_matrix.shape} vs estimated {estimated.shape}"
+        )
+    floor = _denominator_floor(true_matrix)
+    denominator = np.maximum(np.minimum(true_matrix, estimated), floor)
+    return np.abs(true_matrix - estimated) / denominator
+
+
+def off_diagonal_values(matrix: object) -> np.ndarray:
+    """Flatten a square matrix, dropping the diagonal.
+
+    Self-distances are identically zero in every data set and would
+    otherwise dominate relative-error statistics.
+    """
+    square = as_matrix(matrix, name="matrix")
+    if square.shape[0] != square.shape[1]:
+        raise ValidationError(f"matrix must be square, got {square.shape}")
+    mask = ~np.eye(square.shape[0], dtype=bool)
+    return square[mask]
+
+
+def relative_errors(
+    true_distances: object,
+    estimated_distances: object,
+    exclude_diagonal: bool | None = None,
+) -> np.ndarray:
+    """Flat array of finite relative errors between two matrices.
+
+    Args:
+        true_distances: measured matrix ``D`` (NaN allowed = unmeasured).
+        estimated_distances: model estimates, same shape.
+        exclude_diagonal: drop ``i == j`` pairs; defaults to True for
+            square matrices and is ignored for rectangular ones.
+
+    Returns:
+        1-D array of errors for measured pairs, ready for CDF plotting.
+    """
+    error_matrix = relative_error_matrix(true_distances, estimated_distances)
+    square = error_matrix.shape[0] == error_matrix.shape[1]
+    if exclude_diagonal is None:
+        exclude_diagonal = square
+    if exclude_diagonal and square:
+        values = off_diagonal_values(error_matrix)
+    else:
+        values = error_matrix.ravel()
+    return values[np.isfinite(values)]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Percentile summary of a relative-error distribution.
+
+    Attributes:
+        count: number of finite error samples.
+        median: 50th percentile (the paper's headline statistic).
+        p90: 90th percentile (quoted throughout Section 4.3).
+        mean: arithmetic mean.
+        maximum: worst-case error.
+    """
+
+    count: int
+    median: float
+    p90: float
+    mean: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} median={self.median:.4f} p90={self.p90:.4f} "
+            f"mean={self.mean:.4f} max={self.maximum:.4f}"
+        )
+
+
+def summarize_errors(errors: object) -> ErrorSummary:
+    """Summarize a flat array of relative errors."""
+    values = np.asarray(errors, dtype=float).ravel()
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValidationError("no finite error values to summarize")
+    return ErrorSummary(
+        count=int(values.size),
+        median=float(np.median(values)),
+        p90=float(np.percentile(values, 90)),
+        mean=float(values.mean()),
+        maximum=float(values.max()),
+    )

@@ -1,0 +1,123 @@
+"""Observation masks for partially measured distance matrices.
+
+A mask is a boolean matrix ``M`` with ``M[i, j] = True`` when ``D[i, j]``
+was measured — the binary matrix of the paper's Eqs. (8)-(9). Masks
+model two distinct phenomena:
+
+* *missing data* in a measurement campaign (probe loss, host downtime),
+  handled by masked NMF during landmark-matrix fitting, and
+* *unobserved landmarks* during ordinary-host placement (Section 6.2 /
+  Figure 7), where each host independently fails to measure a random
+  subset of landmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_rng, check_fraction
+
+__all__ = [
+    "random_mask",
+    "symmetric_random_mask",
+    "unobserved_landmark_mask",
+    "apply_mask",
+    "mask_from_missing",
+]
+
+
+def random_mask(
+    shape: tuple[int, int],
+    missing_fraction: float,
+    seed: int | np.random.Generator | None = None,
+    keep_diagonal: bool = True,
+) -> np.ndarray:
+    """Independent Bernoulli observation mask.
+
+    Args:
+        shape: matrix shape.
+        missing_fraction: probability that an entry is unobserved.
+        seed: randomness source.
+        keep_diagonal: always observe ``i == i`` (self-distance is known
+            to be zero without measurement); only applies to square
+            shapes.
+
+    Returns:
+        boolean mask with True marking observed entries.
+    """
+    fraction = check_fraction(missing_fraction, name="missing_fraction")
+    rng = as_rng(seed)
+    mask = rng.random(shape) >= fraction
+    if keep_diagonal and shape[0] == shape[1]:
+        np.fill_diagonal(mask, True)
+    return mask
+
+
+def symmetric_random_mask(
+    size: int,
+    missing_fraction: float,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Random mask where ``(i, j)`` and ``(j, i)`` share one coin flip.
+
+    Models probe campaigns where a pair is measured by one round trip:
+    losing the measurement loses both directions.
+    """
+    fraction = check_fraction(missing_fraction, name="missing_fraction")
+    rng = as_rng(seed)
+    upper = rng.random((size, size)) >= fraction
+    mask = np.triu(upper, k=1)
+    mask = mask | mask.T
+    np.fill_diagonal(mask, True)
+    return mask
+
+
+def unobserved_landmark_mask(
+    n_hosts: int,
+    n_landmarks: int,
+    unobserved_fraction: float,
+    seed: int | np.random.Generator | None = None,
+    min_observed: int = 1,
+) -> np.ndarray:
+    """Per-host landmark observation mask for the Figure 7 experiment.
+
+    Each ordinary host independently fails to observe a random
+    ``unobserved_fraction`` of the landmarks (rounded to the nearest
+    count), matching Section 6.2: "The unobserved landmarks for each
+    ordinary host were independently generated at random."
+
+    Args:
+        n_hosts: number of ordinary hosts (mask rows).
+        n_landmarks: number of landmarks (mask columns).
+        unobserved_fraction: fraction of landmarks each host misses.
+        seed: randomness source.
+        min_observed: lower bound on observed landmarks per host, so a
+            host is never left with an empty reference set.
+
+    Returns:
+        ``(n_hosts, n_landmarks)`` boolean mask, True = observed.
+    """
+    fraction = check_fraction(unobserved_fraction, name="unobserved_fraction")
+    rng = as_rng(seed)
+    n_unobserved = int(round(fraction * n_landmarks))
+    n_unobserved = min(n_unobserved, max(n_landmarks - min_observed, 0))
+
+    mask = np.ones((n_hosts, n_landmarks), dtype=bool)
+    if n_unobserved == 0:
+        return mask
+    for row in range(n_hosts):
+        hidden = rng.choice(n_landmarks, size=n_unobserved, replace=False)
+        mask[row, hidden] = False
+    return mask
+
+
+def apply_mask(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Return a copy of ``matrix`` with unobserved entries set to NaN."""
+    masked = np.array(matrix, dtype=float, copy=True)
+    masked[~mask] = np.nan
+    return masked
+
+
+def mask_from_missing(matrix: object) -> np.ndarray:
+    """Derive the observation mask of a matrix with NaN missing entries."""
+    return ~np.isnan(np.asarray(matrix, dtype=float))

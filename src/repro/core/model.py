@@ -1,0 +1,137 @@
+"""The factored distance model ``D ~= X @ Y.T`` (paper Section 3).
+
+A :class:`FactoredDistanceModel` assigns every host an *outgoing* vector
+``X[i]`` and an *incoming* vector ``Y[i]``; the estimated distance from
+host ``i`` to host ``j`` is the dot product ``X[i] . Y[j]`` (Eq. 4).
+Because the two vectors are independent the model can express asymmetric
+distances (``X_i . Y_j != X_j . Y_i``) and distances that violate the
+triangle inequality — the two properties of Internet routing that defeat
+Euclidean embeddings (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import as_matrix
+from ..exceptions import ValidationError
+
+__all__ = ["FactoredDistanceModel"]
+
+
+@dataclass(frozen=True)
+class FactoredDistanceModel:
+    """A fitted matrix-factorization model of network distances.
+
+    Attributes:
+        outgoing: ``(N, d)`` matrix ``X``; row ``i`` is host ``i``'s
+            outgoing vector.
+        incoming: ``(N', d)`` matrix ``Y``; row ``j`` is host ``j``'s
+            incoming vector. ``N' == N`` for square distance matrices,
+            but rectangular models (one host set measuring another, as
+            in the AGNP data set) are fully supported.
+        method: name of the fitting algorithm (``"svd"``, ``"nmf"``...).
+        metadata: free-form details recorded by the fitter (iterations,
+            objective value, singular values, ...).
+    """
+
+    outgoing: np.ndarray
+    incoming: np.ndarray
+    method: str = "unknown"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        outgoing = as_matrix(self.outgoing, name="outgoing")
+        incoming = as_matrix(self.incoming, name="incoming")
+        if outgoing.shape[1] != incoming.shape[1]:
+            raise ValidationError(
+                "outgoing and incoming vectors must share a dimension, got "
+                f"{outgoing.shape[1]} and {incoming.shape[1]}"
+            )
+        object.__setattr__(self, "outgoing", outgoing)
+        object.__setattr__(self, "incoming", incoming)
+
+    @property
+    def dimension(self) -> int:
+        """The model dimension ``d``."""
+        return self.outgoing.shape[1]
+
+    @property
+    def n_sources(self) -> int:
+        """Number of hosts with outgoing vectors (matrix rows)."""
+        return self.outgoing.shape[0]
+
+    @property
+    def n_destinations(self) -> int:
+        """Number of hosts with incoming vectors (matrix columns)."""
+        return self.incoming.shape[0]
+
+    def predict(self, source: int, destination: int) -> float:
+        """Estimated distance from ``source`` to ``destination`` (Eq. 4)."""
+        return float(self.outgoing[source] @ self.incoming[destination])
+
+    def predict_matrix(self) -> np.ndarray:
+        """The full reconstructed distance matrix ``X @ Y.T``."""
+        return self.outgoing @ self.incoming.T
+
+    def predict_rows(self, sources: Sequence[int]) -> np.ndarray:
+        """Reconstructed rows for the given source hosts."""
+        return self.outgoing[np.asarray(sources, dtype=int)] @ self.incoming.T
+
+    def predict_between(
+        self, sources: Sequence[int], destinations: Sequence[int]
+    ) -> np.ndarray:
+        """Reconstructed submatrix for given source and destination sets."""
+        src = np.asarray(sources, dtype=int)
+        dst = np.asarray(destinations, dtype=int)
+        return self.outgoing[src] @ self.incoming[dst].T
+
+    def residual_matrix(self, true_distances: object) -> np.ndarray:
+        """Signed residuals ``D - X @ Y.T`` against a true matrix."""
+        distances = as_matrix(true_distances, name="true_distances")
+        expected = (self.n_sources, self.n_destinations)
+        if distances.shape != expected:
+            raise ValidationError(
+                f"true_distances must have shape {expected}, got {distances.shape}"
+            )
+        return distances - self.predict_matrix()
+
+    def frobenius_error(self, true_distances: object) -> float:
+        """Frobenius norm of the residual against a true matrix."""
+        return float(np.linalg.norm(self.residual_matrix(true_distances)))
+
+    def is_nonnegative(self, tolerance: float = 0.0) -> bool:
+        """Whether both factors are elementwise non-negative.
+
+        True for NMF models, guaranteeing non-negative predictions — the
+        advantage over SVD highlighted in Section 4.2.
+        """
+        floor = -abs(tolerance)
+        return bool((self.outgoing >= floor).all() and (self.incoming >= floor).all())
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the model to an ``.npz`` file."""
+        destination = Path(path)
+        np.savez_compressed(
+            destination,
+            outgoing=self.outgoing,
+            incoming=self.incoming,
+            method=np.array(self.method),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FactoredDistanceModel":
+        """Load a model previously written by :meth:`save`."""
+        source = Path(path)
+        if not source.exists():
+            raise ValidationError(f"model file not found: {source}")
+        with np.load(source, allow_pickle=False) as archive:
+            return cls(
+                outgoing=archive["outgoing"],
+                incoming=archive["incoming"],
+                method=str(archive["method"]),
+            )

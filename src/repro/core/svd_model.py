@@ -1,0 +1,62 @@
+"""SVD-based distance matrix factorizer (paper Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_distance_matrix, check_dimension
+from ..linalg import truncated_svd_factors
+from .model import FactoredDistanceModel
+
+__all__ = ["SVDFactorizer"]
+
+
+class SVDFactorizer:
+    """Fits :class:`FactoredDistanceModel` by truncated SVD.
+
+    Args:
+        dimension: model dimension ``d``. The paper finds ``d ~= 10`` a
+            good complexity/accuracy trade-off (Section 4.3.2).
+
+    SVD computes the *global* minimum of the squared reconstruction
+    error (Eq. 7) but requires a complete matrix — it "can proceed with
+    missing values if we eliminate the rows and columns that contain
+    them" (Section 4.2), i.e. filter first with
+    :mod:`repro.datasets.filtering`. Reconstructed distances may be
+    negative; use :class:`repro.core.NMFFactorizer` when non-negative
+    estimates are required.
+    """
+
+    method_name = "svd"
+
+    def __init__(self, dimension: int = 10):
+        self.dimension = check_dimension(dimension)
+
+    def fit(self, distances: object) -> FactoredDistanceModel:
+        """Factor a complete distance matrix into a rank-``d`` model.
+
+        Args:
+            distances: complete ``(N, N')`` non-negative matrix. NaN
+                entries raise ``ValidationError`` — SVD has no masked
+                variant.
+
+        Returns:
+            a fitted :class:`FactoredDistanceModel` whose metadata holds
+            the retained singular values and the Frobenius residual.
+        """
+        matrix = as_distance_matrix(distances, name="distances")
+        check_dimension(self.dimension, limit=min(matrix.shape))
+        factors = truncated_svd_factors(matrix, self.dimension)
+        return FactoredDistanceModel(
+            outgoing=factors.outgoing,
+            incoming=factors.incoming,
+            method=self.method_name,
+            metadata={
+                "singular_values": factors.singular_values,
+                "frobenius_residual": factors.residual,
+            },
+        )
+
+    def fit_predict(self, distances: object) -> np.ndarray:
+        """Fit and immediately return the reconstructed matrix."""
+        return self.fit(distances).predict_matrix()

@@ -1,0 +1,59 @@
+"""Data sets: synthetic counterparts of the paper's five RTT matrices.
+
+The container (:class:`DistanceDataset`), landmark splitting, summary
+statistics, completeness filtering, persistence, and the seeded
+generator registry (``nlanr``, ``gnp``, ``agnp``, ``p2psim``,
+``plrtt``).
+"""
+
+from .base import DistanceDataset, LandmarkSplit, split_landmarks
+from .filtering import complete_host_subset, drop_missing_rows, filter_complete
+from .io import export_text, import_text, load_dataset_file, save_dataset
+from .registry import clear_cache, list_datasets, load_dataset
+from .stats import DatasetStatistics, dataset_statistics, triangle_violation_fraction
+from .temporal import TemporalConfig, TemporalWorld
+from .synthetic import (
+    DEFAULT_SEED,
+    GNPFamily,
+    SyntheticWorld,
+    WorldConfig,
+    agnp_like,
+    build_world,
+    gnp_family,
+    gnp_like,
+    nlanr_like,
+    p2psim_like,
+    plrtt_like,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DatasetStatistics",
+    "DistanceDataset",
+    "GNPFamily",
+    "LandmarkSplit",
+    "SyntheticWorld",
+    "TemporalConfig",
+    "TemporalWorld",
+    "WorldConfig",
+    "agnp_like",
+    "build_world",
+    "clear_cache",
+    "complete_host_subset",
+    "dataset_statistics",
+    "drop_missing_rows",
+    "export_text",
+    "filter_complete",
+    "gnp_family",
+    "gnp_like",
+    "import_text",
+    "list_datasets",
+    "load_dataset",
+    "load_dataset_file",
+    "nlanr_like",
+    "p2psim_like",
+    "plrtt_like",
+    "save_dataset",
+    "split_landmarks",
+    "triangle_violation_fraction",
+]

@@ -1,0 +1,181 @@
+"""Distance data-set container and landmark splitting.
+
+A :class:`DistanceDataset` bundles a measured RTT matrix with its
+provenance. Experiments operate on datasets rather than raw arrays so
+that names, seeds, and generation parameters travel with the numbers
+into reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_distance_matrix, as_rng, check_indices
+from ..exceptions import ValidationError
+
+__all__ = ["DistanceDataset", "LandmarkSplit", "split_landmarks"]
+
+
+@dataclass(frozen=True)
+class DistanceDataset:
+    """A (possibly rectangular, possibly incomplete) RTT data set.
+
+    Attributes:
+        name: short identifier (``"nlanr"``, ``"p2psim"``, ...).
+        matrix: ``(N, N')`` RTT matrix in ms; NaN marks unmeasured
+            pairs. Square matrices describe one host population; the
+            rectangular AGNP-like set measures one population against
+            another (paper footnote 3).
+        metadata: generation parameters and provenance notes.
+    """
+
+    name: str
+    matrix: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        matrix = as_distance_matrix(self.matrix, name="matrix", allow_missing=True)
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape ``(rows, columns)``."""
+        return self.matrix.shape
+
+    @property
+    def n_hosts(self) -> int:
+        """Number of row hosts."""
+        return self.matrix.shape[0]
+
+    @property
+    def is_square(self) -> bool:
+        """Whether rows and columns index the same host population."""
+        return self.matrix.shape[0] == self.matrix.shape[1]
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every pair was measured (no NaN)."""
+        return not np.isnan(self.matrix).any()
+
+    @property
+    def missing_fraction(self) -> float:
+        """Fraction of unmeasured entries."""
+        return float(np.isnan(self.matrix).mean())
+
+    def submatrix(self, rows: object, cols: object | None = None) -> np.ndarray:
+        """Copy of the ``rows x cols`` block (cols default to rows)."""
+        row_idx = check_indices(rows, self.matrix.shape[0], name="rows")
+        if cols is None:
+            if not self.is_square:
+                raise ValidationError(
+                    "cols must be given explicitly for a rectangular data set"
+                )
+            col_idx = row_idx
+        else:
+            col_idx = check_indices(cols, self.matrix.shape[1], name="cols")
+        return self.matrix[np.ix_(row_idx, col_idx)].copy()
+
+    def with_matrix(self, matrix: object, suffix: str = "") -> "DistanceDataset":
+        """Derived data set with a replaced matrix and annotated name."""
+        new_name = f"{self.name}{suffix}" if suffix else self.name
+        return DistanceDataset(name=new_name, matrix=matrix, metadata=dict(self.metadata))
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        rows, cols = self.shape
+        kind = "square" if self.is_square else "rectangular"
+        completeness = 100.0 * (1.0 - self.missing_fraction)
+        return (
+            f"{self.name}: {rows}x{cols} {kind} RTT matrix, "
+            f"{completeness:.1f}% measured"
+        )
+
+
+@dataclass(frozen=True)
+class LandmarkSplit:
+    """A data set partitioned into landmarks and ordinary hosts.
+
+    Mirrors the evaluation protocol of Section 6.1: a few hosts act as
+    the IDES landmark set, every other host is an ordinary host, and
+    prediction accuracy is scored on ordinary-to-ordinary pairs that no
+    system ever measured.
+
+    Attributes:
+        landmark_indices: indices of the ``m`` landmark hosts.
+        ordinary_indices: indices of the remaining hosts.
+        landmark_matrix: ``(m, m)`` inter-landmark distances.
+        out_distances: ``(n_ord, m)`` distances host -> landmark.
+        in_distances: ``(m, n_ord)`` distances landmark -> host.
+        ordinary_matrix: ``(n_ord, n_ord)`` held-out evaluation truth.
+    """
+
+    landmark_indices: np.ndarray
+    ordinary_indices: np.ndarray
+    landmark_matrix: np.ndarray
+    out_distances: np.ndarray
+    in_distances: np.ndarray
+    ordinary_matrix: np.ndarray
+
+    @property
+    def n_landmarks(self) -> int:
+        """Number of landmark hosts ``m``."""
+        return len(self.landmark_indices)
+
+    @property
+    def n_ordinary(self) -> int:
+        """Number of ordinary hosts."""
+        return len(self.ordinary_indices)
+
+
+def split_landmarks(
+    dataset: DistanceDataset,
+    n_landmarks: int,
+    seed: int | np.random.Generator | None = None,
+    landmark_indices: object | None = None,
+) -> LandmarkSplit:
+    """Partition a square data set into landmarks and ordinary hosts.
+
+    Args:
+        dataset: a square :class:`DistanceDataset`.
+        n_landmarks: number of landmarks ``m``; ignored when explicit
+            ``landmark_indices`` are given.
+        seed: randomness source for the random selection. The paper
+            selects landmarks randomly, citing Tang & Crovella (PAM
+            2004) that random placement is effective beyond ~20
+            landmarks.
+        landmark_indices: explicit landmark indices, overriding random
+            selection (used to hold the landmark set fixed across the
+            four systems compared in Figure 6).
+
+    Returns:
+        a :class:`LandmarkSplit`.
+    """
+    if not dataset.is_square:
+        raise ValidationError(
+            f"landmark splitting requires a square data set, got {dataset.shape}"
+        )
+    n = dataset.n_hosts
+    if landmark_indices is not None:
+        landmarks = check_indices(landmark_indices, n, name="landmark_indices")
+    else:
+        if not 1 <= n_landmarks < n:
+            raise ValidationError(
+                f"n_landmarks must be in [1, {n - 1}], got {n_landmarks}"
+            )
+        rng = as_rng(seed)
+        landmarks = np.sort(rng.choice(n, size=n_landmarks, replace=False))
+    ordinary = np.setdiff1d(np.arange(n), landmarks)
+    if ordinary.size == 0:
+        raise ValidationError("no ordinary hosts remain after landmark selection")
+
+    matrix = dataset.matrix
+    return LandmarkSplit(
+        landmark_indices=landmarks,
+        ordinary_indices=ordinary,
+        landmark_matrix=matrix[np.ix_(landmarks, landmarks)].copy(),
+        out_distances=matrix[np.ix_(ordinary, landmarks)].copy(),
+        in_distances=matrix[np.ix_(landmarks, ordinary)].copy(),
+        ordinary_matrix=matrix[np.ix_(ordinary, ordinary)].copy(),
+    )

@@ -1,0 +1,98 @@
+"""Data-set persistence.
+
+Two formats:
+
+* ``.npz`` — lossless binary round-trip of a :class:`DistanceDataset`
+  including its array-valued metadata; the format experiments cache.
+* plain text — the interchange format of the measurement community
+  (one header line ``rows cols name``, then the matrix rows, NaN as
+  ``-1``), close to how the original P2PSim/King matrices were
+  published.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .base import DistanceDataset
+
+__all__ = ["save_dataset", "load_dataset_file", "export_text", "import_text"]
+
+_META_ARRAY_PREFIX = "meta_array_"
+
+
+def save_dataset(dataset: DistanceDataset, path: str | Path) -> Path:
+    """Write a data set to ``path`` (``.npz`` appended if missing)."""
+    destination = Path(path)
+    if destination.suffix != ".npz":
+        destination = destination.with_suffix(".npz")
+
+    arrays: dict[str, np.ndarray] = {}
+    plain_metadata: dict[str, object] = {}
+    for key, value in dataset.metadata.items():
+        if isinstance(value, np.ndarray):
+            arrays[f"{_META_ARRAY_PREFIX}{key}"] = value
+        else:
+            plain_metadata[key] = value
+
+    np.savez_compressed(
+        destination,
+        matrix=dataset.matrix,
+        name=np.array(dataset.name),
+        metadata_json=np.array(json.dumps(plain_metadata, default=str)),
+        **arrays,
+    )
+    return destination
+
+
+def load_dataset_file(path: str | Path) -> DistanceDataset:
+    """Load a data set previously written by :func:`save_dataset`."""
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"dataset file not found: {source}")
+    with np.load(source, allow_pickle=False) as archive:
+        metadata: dict[str, object] = json.loads(str(archive["metadata_json"]))
+        for key in archive.files:
+            if key.startswith(_META_ARRAY_PREFIX):
+                metadata[key[len(_META_ARRAY_PREFIX) :]] = archive[key]
+        return DistanceDataset(
+            name=str(archive["name"]),
+            matrix=archive["matrix"],
+            metadata=metadata,
+        )
+
+
+def export_text(dataset: DistanceDataset, path: str | Path, missing_token: float = -1.0) -> Path:
+    """Write a data set as a plain-text matrix file."""
+    destination = Path(path)
+    rows, cols = dataset.shape
+    matrix = np.where(np.isnan(dataset.matrix), missing_token, dataset.matrix)
+    with destination.open("w", encoding="utf-8") as handle:
+        handle.write(f"{rows} {cols} {dataset.name}\n")
+        for row in matrix:
+            handle.write(" ".join(f"{value:.6g}" for value in row))
+            handle.write("\n")
+    return destination
+
+
+def import_text(path: str | Path, missing_token: float = -1.0) -> DistanceDataset:
+    """Read a plain-text matrix file written by :func:`export_text`."""
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"dataset file not found: {source}")
+    with source.open("r", encoding="utf-8") as handle:
+        header = handle.readline().split()
+        if len(header) < 3:
+            raise DatasetError(f"malformed header in {source}: {header!r}")
+        rows, cols, name = int(header[0]), int(header[1]), " ".join(header[2:])
+        matrix = np.loadtxt(handle, ndmin=2)
+    if matrix.shape != (rows, cols):
+        raise DatasetError(
+            f"header promises {rows}x{cols} but file contains {matrix.shape}"
+        )
+    matrix = np.where(matrix == missing_token, np.nan, matrix)
+    return DistanceDataset(name=name, matrix=matrix, metadata={"source": str(source)})

@@ -1,0 +1,76 @@
+"""Named data-set registry with per-process caching.
+
+Experiments refer to data sets by the paper's names (``"nlanr"``,
+``"gnp"``, ``"agnp"``, ``"p2psim"``, ``"plrtt"``); the registry builds
+them on demand and caches by ``(name, seed)`` so that a benchmark suite
+touching the same data set from several figures pays generation cost
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import DatasetError
+from .base import DistanceDataset
+from .synthetic import agnp_like, gnp_like, nlanr_like, p2psim_like, plrtt_like
+
+__all__ = ["list_datasets", "load_dataset", "clear_cache"]
+
+_BUILDERS: dict[str, Callable[..., DistanceDataset]] = {
+    "nlanr": nlanr_like,
+    "gnp": gnp_like,
+    "agnp": agnp_like,
+    "p2psim": p2psim_like,
+    "plrtt": plrtt_like,
+}
+
+_CACHE: dict[tuple[str, object], DistanceDataset] = {}
+
+
+def list_datasets() -> list[str]:
+    """Names of the available data sets, in the paper's order."""
+    return ["nlanr", "gnp", "agnp", "p2psim", "plrtt"]
+
+
+def load_dataset(
+    name: str,
+    seed: int | None = None,
+    use_cache: bool = True,
+    **overrides: object,
+) -> DistanceDataset:
+    """Build (or fetch from cache) a named data set.
+
+    Args:
+        name: one of :func:`list_datasets`.
+        seed: generation seed; ``None`` selects the canonical default,
+            keeping every experiment reproducible.
+        use_cache: reuse a previously generated instance when the seed
+            matches and no overrides are given.
+        **overrides: generator-specific keyword overrides (for example
+            ``n_hosts`` for sized-down test runs); disables caching.
+
+    Returns:
+        the :class:`DistanceDataset`.
+
+    Raises:
+        DatasetError: for unknown names.
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        known = ", ".join(sorted(_BUILDERS))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}")
+
+    cache_key = (key, seed)
+    if use_cache and not overrides and cache_key in _CACHE:
+        return _CACHE[cache_key]
+
+    dataset = _BUILDERS[key](seed=seed, **overrides)
+    if use_cache and not overrides:
+        _CACHE[cache_key] = dataset
+    return dataset
+
+
+def clear_cache() -> None:
+    """Drop all cached data sets (tests use this for isolation)."""
+    _CACHE.clear()

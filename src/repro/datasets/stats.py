@@ -1,0 +1,150 @@
+"""Data-set statistics: the properties the paper's argument rests on.
+
+Section 2.2 motivates matrix factorization with three empirical facts
+about Internet distance matrices: routes are sub-optimal (a detour
+through an alternate node can beat the direct route), routes are
+asymmetric, and the matrices are nevertheless close to low-rank. These
+statistics let us verify that the synthetic data sets actually exhibit
+the pathologies — and the structure — of their real counterparts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_rng
+from ..core.diagnostics import effective_rank, rank_for_energy
+from ..routing.asymmetric import asymmetry_index
+from ..routing.policy import alternate_path_fraction
+from .base import DistanceDataset
+
+__all__ = ["DatasetStatistics", "dataset_statistics", "triangle_violation_fraction"]
+
+
+def triangle_violation_fraction(
+    matrix: np.ndarray,
+    sample_triples: int = 50_000,
+    seed: int | np.random.Generator | None = 0,
+    tolerance: float = 1e-9,
+) -> float:
+    """Fraction of sampled host triples violating the triangle inequality.
+
+    A triple ``(i, k, j)`` violates when ``D[i,k] + D[k,j] < D[i,j]``,
+    i.e. relaying through ``k`` beats the direct route — impossible for
+    any Euclidean embedding to represent.
+    """
+    square = np.asarray(matrix, dtype=float)
+    n = square.shape[0]
+    if n < 3:
+        return 0.0
+    rng = as_rng(seed)
+    i = rng.integers(0, n, size=sample_triples)
+    j = rng.integers(0, n, size=sample_triples)
+    k = rng.integers(0, n, size=sample_triples)
+    distinct = (i != j) & (j != k) & (i != k)
+    i, j, k = i[distinct], j[distinct], k[distinct]
+    direct = square[i, j]
+    relayed = square[i, k] + square[k, j]
+    valid = np.isfinite(direct) & np.isfinite(relayed)
+    if not valid.any():
+        return 0.0
+    return float(np.mean(relayed[valid] < direct[valid] - tolerance))
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Summary statistics of one data set.
+
+    Attributes:
+        name: data-set name.
+        shape: matrix shape.
+        missing_fraction: unmeasured-entry fraction.
+        median_rtt_ms / mean_rtt_ms / max_rtt_ms: RTT scale statistics
+            over measured off-diagonal entries.
+        asymmetry: median relative direction gap (square sets only;
+            0 for symmetric data).
+        alternate_path_fraction: fraction of pairs with a shorter
+            two-hop detour (square complete sets only; NaN otherwise).
+        triangle_violation_fraction: fraction of violating triples.
+        effective_rank: spectral-entropy effective rank (complete sets).
+        rank_for_99_energy: smallest rank capturing 99% of the squared
+            Frobenius norm.
+    """
+
+    name: str
+    shape: tuple[int, int]
+    missing_fraction: float
+    median_rtt_ms: float
+    mean_rtt_ms: float
+    max_rtt_ms: float
+    asymmetry: float
+    alternate_path_fraction: float
+    triangle_violation_fraction: float
+    effective_rank: float
+    rank_for_99_energy: int
+
+    def __str__(self) -> str:
+        rows, cols = self.shape
+        return (
+            f"{self.name}: {rows}x{cols}, median RTT {self.median_rtt_ms:.1f} ms, "
+            f"asym {self.asymmetry:.3f}, alt-path {self.alternate_path_fraction:.2f}, "
+            f"tri-viol {self.triangle_violation_fraction:.3f}, "
+            f"eff-rank {self.effective_rank:.1f}"
+        )
+
+
+def dataset_statistics(
+    dataset: DistanceDataset,
+    seed: int | np.random.Generator | None = 0,
+    sample_budget: int = 20_000,
+) -> DatasetStatistics:
+    """Compute :class:`DatasetStatistics` for one data set.
+
+    Sampling-based statistics (alternate paths, triangle violations)
+    use ``sample_budget`` probes so the computation stays cheap even on
+    the 1740-host P2PSim-like matrix.
+    """
+    matrix = dataset.matrix
+    rng = as_rng(seed)
+
+    if dataset.is_square:
+        off_diag = ~np.eye(matrix.shape[0], dtype=bool)
+        values = matrix[off_diag]
+    else:
+        values = matrix.ravel()
+    values = values[np.isfinite(values)]
+
+    square_complete = dataset.is_square and dataset.is_complete
+    asym = asymmetry_index(matrix) if dataset.is_square else 0.0
+    alt_fraction = (
+        alternate_path_fraction(matrix, sample_pairs=sample_budget, seed=rng)
+        if square_complete
+        else float("nan")
+    )
+    tri_fraction = (
+        triangle_violation_fraction(matrix, sample_triples=sample_budget, seed=rng)
+        if dataset.is_square
+        else float("nan")
+    )
+    if dataset.is_complete:
+        eff_rank = effective_rank(matrix)
+        rank99 = rank_for_energy(matrix, 0.99)
+    else:
+        eff_rank = float("nan")
+        rank99 = -1
+
+    return DatasetStatistics(
+        name=dataset.name,
+        shape=dataset.shape,
+        missing_fraction=dataset.missing_fraction,
+        median_rtt_ms=float(np.median(values)) if values.size else float("nan"),
+        mean_rtt_ms=float(values.mean()) if values.size else float("nan"),
+        max_rtt_ms=float(values.max()) if values.size else float("nan"),
+        asymmetry=asym,
+        alternate_path_fraction=alt_fraction,
+        triangle_violation_fraction=tri_fraction,
+        effective_rank=eff_rank,
+        rank_for_99_energy=rank99,
+    )

@@ -1,0 +1,185 @@
+"""Time-varying RTT matrices: diurnal load and route changes.
+
+The paper models a *snapshot* of network distances; a deployed IDES
+must cope with the fact that RTTs drift. Two real phenomena dominate:
+
+* **diurnal queueing** — RTTs swell during regional busy hours and
+  relax at night, smoothly and (mostly) reversibly; and
+* **route changes** — BGP reconvergence abruptly moves a domain pair
+  onto a different (usually longer or shorter) path and stays there.
+
+:class:`TemporalWorld` generates a sequence of matrices exhibiting
+both, anchored on any base matrix. It powers the ``ablate-staleness``
+experiment and the online-update machinery in
+:mod:`repro.ides.updates`: how fast does a fitted model rot, and how
+cheaply can it be kept fresh?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_distance_matrix, as_rng, check_fraction, check_positive
+from ..exceptions import ValidationError
+
+__all__ = ["TemporalConfig", "TemporalWorld"]
+
+
+@dataclass(frozen=True)
+class TemporalConfig:
+    """Parameters of RTT evolution.
+
+    Attributes:
+        diurnal_amplitude: peak-to-trough fractional RTT swell from
+            load (0.1 = +10% at the busiest hour).
+        period_steps: steps per diurnal cycle (24 for hourly steps).
+        phase_groups: number of distinct regional phases; hosts in
+            different groups peak at different times, so the drift is
+            *not* a global rank-1 scaling.
+        route_groups: number of routing regions (sites/ASes). A route
+            change re-routes one *pair of regions*: every host pair
+            across the two regions shifts together, the way a BGP
+            event moves whole prefixes. Structured changes keep the
+            matrix modelable — a fresh fit recovers — whereas i.i.d.
+            per-pair changes would be irreducible noise for every
+            model (see the unstructured arm of ``ablate-asym``).
+        route_change_rate: per-step probability of a route change per
+            ordered region pair.
+        route_change_sigma: log-normal magnitude of a route change.
+            A change *redraws* the region pair's deviation from the
+            base path (memoryless, like flipping between a bounded set
+            of alternative routes) rather than compounding forever —
+            compounding would grow the matrix rank without limit,
+            which no real routing system does.
+        jitter_sigma: small per-step multiplicative measurement noise.
+    """
+
+    diurnal_amplitude: float = 0.15
+    period_steps: int = 24
+    phase_groups: int = 4
+    route_groups: int = 12
+    route_change_rate: float = 0.01
+    route_change_sigma: float = 0.3
+    jitter_sigma: float = 0.01
+
+    def validate(self) -> None:
+        """Raise on out-of-range parameters."""
+        check_fraction(self.diurnal_amplitude, name="diurnal_amplitude")
+        check_positive(self.period_steps, name="period_steps")
+        if self.phase_groups < 1:
+            raise ValidationError("phase_groups must be >= 1")
+        if self.route_groups < 1:
+            raise ValidationError("route_groups must be >= 1")
+        check_fraction(self.route_change_rate, name="route_change_rate")
+        if self.route_change_sigma < 0 or self.jitter_sigma < 0:
+            raise ValidationError("sigmas must be >= 0")
+
+
+@dataclass
+class TemporalWorld:
+    """A drifting RTT matrix, stepped one epoch at a time.
+
+    Args:
+        base_matrix: the time-zero square RTT matrix.
+        config: drift parameters.
+        seed: randomness source.
+
+    Attributes:
+        step: number of epochs elapsed.
+    """
+
+    base_matrix: np.ndarray
+    config: TemporalConfig = field(default_factory=TemporalConfig)
+    seed: int | np.random.Generator | None = 0
+
+    def __post_init__(self) -> None:
+        matrix = as_distance_matrix(
+            self.base_matrix, name="base_matrix", require_square=True
+        )
+        self.config.validate()
+        self._rng = as_rng(self.seed)
+        self.base_matrix = matrix
+        n = matrix.shape[0]
+        # Persistent route-change factors accumulate at region-pair
+        # granularity and expand to host pairs on demand.
+        g = self.config.route_groups
+        self._group_factors = np.ones((g, g))
+        self._route_group = self._rng.integers(0, g, size=n)
+        # Each host belongs to a diurnal phase group (a "timezone").
+        self._phases = (
+            2.0
+            * np.pi
+            * self._rng.integers(0, self.config.phase_groups, size=n)
+            / self.config.phase_groups
+        )
+        self.step = 0
+
+    @property
+    def n_hosts(self) -> int:
+        """Number of hosts."""
+        return self.base_matrix.shape[0]
+
+    def _diurnal_factors(self) -> np.ndarray:
+        """Pairwise load swell for the current step.
+
+        A pair's queueing delay reflects the busy-hours of *both*
+        endpoint regions; we average the two endpoint load levels.
+        """
+        angle = 2.0 * np.pi * self.step / self.config.period_steps
+        host_load = 0.5 * (1.0 + np.sin(angle + self._phases))  # in [0, 1]
+        pair_load = 0.5 * (host_load[:, None] + host_load[None, :])
+        return 1.0 + self.config.diurnal_amplitude * pair_load
+
+    def advance(self, steps: int = 1) -> None:
+        """Advance time, accumulating route changes."""
+        if steps < 0:
+            raise ValidationError(f"steps must be >= 0, got {steps}")
+        g = self.config.route_groups
+        for _ in range(steps):
+            self.step += 1
+            if self.config.route_change_rate > 0:
+                changed = np.triu(
+                    self._rng.random((g, g)) < self.config.route_change_rate, k=1
+                )
+                if changed.any():
+                    factors = self._rng.lognormal(
+                        0.0, self.config.route_change_sigma, size=(g, g)
+                    )
+                    # Redraw the changed region pairs' factors
+                    # symmetrically (intra-region routes never change).
+                    changed = changed | changed.T
+                    symmetric = np.triu(factors) + np.triu(factors, k=1).T
+                    self._group_factors = np.where(
+                        changed, symmetric, self._group_factors
+                    )
+
+    def current_matrix(self, measured: bool = True) -> np.ndarray:
+        """The RTT matrix at the current step.
+
+        Args:
+            measured: add the per-observation jitter; False returns the
+                noiseless drifted matrix.
+        """
+        route_factors = self._group_factors[
+            np.ix_(self._route_group, self._route_group)
+        ]
+        matrix = self.base_matrix * route_factors * self._diurnal_factors()
+        if measured and self.config.jitter_sigma > 0:
+            noise = self._rng.lognormal(
+                0.0, self.config.jitter_sigma, size=matrix.shape
+            )
+            matrix = matrix * noise
+        result = matrix.copy()
+        np.fill_diagonal(result, 0.0)
+        return result
+
+    def drift_from_base(self) -> float:
+        """Median relative drift of the current noiseless matrix."""
+        current = self.current_matrix(measured=False)
+        off_diagonal = ~np.eye(self.n_hosts, dtype=bool)
+        base = self.base_matrix[off_diagonal]
+        now = current[off_diagonal]
+        valid = base > 0
+        return float(np.median(np.abs(now[valid] - base[valid]) / base[valid]))

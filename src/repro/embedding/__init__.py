@@ -1,0 +1,25 @@
+"""Euclidean-embedding baselines the paper compares against.
+
+Lipschitz+PCA reconstruction (Virtual Landmarks), the landmark-based
+ICS system, GNP with from-scratch simplex downhill, and the
+decentralized Vivaldi spring algorithm — all behind the shared
+:class:`NetworkEmbedding` / :class:`LatencyPredictionSystem`
+interfaces, so experiments swap systems freely.
+"""
+
+from .base import LatencyPredictionSystem, NetworkEmbedding, euclidean_pairwise
+from .gnp import GNPSystem
+from .ics import ICSSystem
+from .lipschitz import LipschitzPCAEmbedding, fit_distance_scale
+from .vivaldi import VivaldiSystem
+
+__all__ = [
+    "GNPSystem",
+    "ICSSystem",
+    "LatencyPredictionSystem",
+    "LipschitzPCAEmbedding",
+    "NetworkEmbedding",
+    "VivaldiSystem",
+    "euclidean_pairwise",
+    "fit_distance_scale",
+]

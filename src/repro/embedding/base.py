@@ -1,0 +1,116 @@
+"""Common interfaces for Euclidean network embeddings.
+
+The baselines the paper compares against (Section 2) all share one
+shape: hosts get coordinates in ``R^d`` and distances are estimated by
+the Euclidean metric — hence they are symmetric and satisfy the
+triangle inequality, the limitations of Section 2.2.
+
+Two usage modes mirror the paper's two evaluations:
+
+* *reconstruction* (:class:`NetworkEmbedding`): embed all hosts from a
+  complete matrix and score how well the matrix is reproduced
+  (Figure 3);
+* *prediction* (:class:`LatencyPredictionSystem`): fit landmark
+  coordinates from the small landmark matrix, place ordinary hosts
+  from their landmark measurements, and score predictions on pairs
+  never measured (Figure 6). This interface is also implemented by
+  IDES itself, so experiment code treats all four systems uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import NotFittedError
+
+__all__ = ["euclidean_pairwise", "NetworkEmbedding", "LatencyPredictionSystem"]
+
+
+def euclidean_pairwise(
+    coords_a: np.ndarray, coords_b: np.ndarray | None = None
+) -> np.ndarray:
+    """Pairwise Euclidean distances between coordinate rows.
+
+    Args:
+        coords_a: ``(n, d)`` coordinates.
+        coords_b: ``(m, d)`` coordinates; defaults to ``coords_a``.
+
+    Returns:
+        ``(n, m)`` non-negative distance matrix.
+    """
+    first = np.asarray(coords_a, dtype=float)
+    second = first if coords_b is None else np.asarray(coords_b, dtype=float)
+    differences = first[:, None, :] - second[None, :, :]
+    return np.linalg.norm(differences, axis=2)
+
+
+class NetworkEmbedding(ABC):
+    """Embed a full host population from a complete distance matrix."""
+
+    dimension: int
+
+    @abstractmethod
+    def fit(self, distances: object) -> "NetworkEmbedding":
+        """Compute coordinates for every host of ``distances``."""
+
+    @abstractmethod
+    def coordinates(self) -> np.ndarray:
+        """``(n, d)`` fitted host coordinates."""
+
+    def estimate_matrix(self) -> np.ndarray:
+        """Reconstructed distance matrix from the fitted coordinates."""
+        return euclidean_pairwise(self.coordinates())
+
+
+class LatencyPredictionSystem(ABC):
+    """Landmark-based latency prediction (the Figure 6 protocol).
+
+    Lifecycle: :meth:`fit_landmarks` once, :meth:`place_hosts` once (or
+    per batch), then :meth:`predict_matrix` / :meth:`predict_between`
+    for pairs that were never measured.
+    """
+
+    #: Short system name used in tables ("IDES/SVD", "GNP", "ICS", ...).
+    name: str = "unnamed"
+
+    @abstractmethod
+    def fit_landmarks(self, landmark_matrix: object, mask: object | None = None) -> None:
+        """Learn landmark positions/vectors from the ``m x m`` matrix."""
+
+    @abstractmethod
+    def place_hosts(
+        self,
+        out_distances: object,
+        in_distances: object | None = None,
+        observation_mask: object | None = None,
+    ) -> None:
+        """Place ordinary hosts from their landmark measurements.
+
+        Args:
+            out_distances: ``(n, m)`` distances host -> landmark.
+            in_distances: ``(m, n)`` distances landmark -> host; systems
+                with symmetric models may ignore it, and it defaults to
+                ``out_distances.T`` (RTT symmetry) when omitted.
+            observation_mask: optional ``(n, m)`` boolean matrix; False
+                marks landmarks a host failed to measure (Figure 7).
+        """
+
+    @abstractmethod
+    def predict_matrix(self) -> np.ndarray:
+        """``(n, n)`` predicted distances among the placed hosts."""
+
+    def predict_between(self, rows: object, cols: object) -> np.ndarray:
+        """Predicted distances for subsets of the placed hosts."""
+        matrix = self.predict_matrix()
+        row_idx = np.asarray(rows, dtype=int)
+        col_idx = np.asarray(cols, dtype=int)
+        return matrix[np.ix_(row_idx, col_idx)]
+
+    def _require_fitted(self, attribute: str) -> None:
+        """Raise :class:`NotFittedError` unless ``attribute`` is set."""
+        if getattr(self, attribute, None) is None:
+            raise NotFittedError(
+                f"{type(self).__name__}: call fit_landmarks/place_hosts first"
+            )

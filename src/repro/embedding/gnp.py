@@ -1,0 +1,232 @@
+"""GNP: Global Network Positioning (Ng & Zhang, INFOCOM 2002).
+
+GNP embeds a small landmark set in ``R^d`` by directly minimizing a
+relative-error objective with the Simplex Downhill (Nelder-Mead)
+method, then places each ordinary host by minimizing the same objective
+against the fixed landmark coordinates. It is the most accurate of the
+Euclidean baselines on its own data set (paper Figure 6a) and by far
+the slowest (Table 1), because the landmark optimization runs a
+high-dimensional simplex search with restarts.
+
+The paper's Eq. 3 states the objective as the sum of relative errors
+``|D - D_hat| / D``; the original GNP software minimized the *squared*
+relative error. Both are provided; ``objective="squared"`` is the
+default because the smooth variant behaves better under Nelder-Mead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    as_distance_matrix,
+    as_mask,
+    as_matrix,
+    as_rng,
+    check_dimension,
+)
+from ..exceptions import NotFittedError, ValidationError
+from ..linalg import minimize_with_restarts
+from .base import LatencyPredictionSystem, euclidean_pairwise
+
+__all__ = ["GNPSystem"]
+
+_OBJECTIVES = ("squared", "absolute")
+
+
+def _relative_residuals(
+    true_values: np.ndarray, estimates: np.ndarray, floor: float
+) -> np.ndarray:
+    """Per-entry relative residuals with a guarded denominator."""
+    return (true_values - estimates) / np.maximum(true_values, floor)
+
+
+class GNPSystem(LatencyPredictionSystem):
+    """Landmark-based Euclidean embedding fitted by simplex downhill.
+
+    Args:
+        dimension: embedding dimension ``d``.
+        objective: ``"squared"`` (original GNP) or ``"absolute"``
+            (paper Eq. 3).
+        landmark_restarts: simplex restarts for the landmark phase; the
+            dominant cost (Table 1's minutes).
+        host_restarts: simplex restarts per ordinary host.
+        max_iter_scale: multiplier on the default Nelder-Mead iteration
+            budget (``200 * n_variables``); lower it for quick tests.
+        seed: randomness source for initialization and restarts.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 8,
+        objective: str = "squared",
+        landmark_restarts: int = 3,
+        host_restarts: int = 1,
+        max_iter_scale: float = 1.0,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self.dimension = check_dimension(dimension)
+        if objective not in _OBJECTIVES:
+            raise ValidationError(
+                f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+            )
+        self.objective = objective
+        self.landmark_restarts = max(int(landmark_restarts), 1)
+        self.host_restarts = max(int(host_restarts), 1)
+        self.max_iter_scale = float(max_iter_scale)
+        self._rng = as_rng(seed)
+        self.name = "GNP"
+
+        self._landmark_coords: np.ndarray | None = None
+        self._host_coords: np.ndarray | None = None
+        self._scale: float = 1.0
+
+    # ----------------------------------------------------------------- #
+    # objective helpers
+    # ----------------------------------------------------------------- #
+
+    def _loss(self, residuals: np.ndarray) -> float:
+        """Aggregate relative residuals per the configured objective."""
+        if self.objective == "squared":
+            return float(np.sum(residuals * residuals))
+        return float(np.sum(np.abs(residuals)))
+
+    def _landmark_objective(
+        self, flat_coords: np.ndarray, matrix: np.ndarray, mask: np.ndarray, floor: float
+    ) -> float:
+        coords = flat_coords.reshape(-1, self.dimension)
+        estimates = euclidean_pairwise(coords)
+        residuals = _relative_residuals(matrix, estimates, floor)[mask]
+        return self._loss(residuals)
+
+    def _host_objective(
+        self,
+        point: np.ndarray,
+        landmark_coords: np.ndarray,
+        measured: np.ndarray,
+        floor: float,
+    ) -> float:
+        estimates = np.linalg.norm(landmark_coords - point[None, :], axis=1)
+        residuals = _relative_residuals(measured, estimates, floor)
+        return self._loss(residuals)
+
+    # ----------------------------------------------------------------- #
+    # LatencyPredictionSystem interface
+    # ----------------------------------------------------------------- #
+
+    def fit_landmarks(self, landmark_matrix: object, mask: object | None = None) -> None:
+        """Embed the landmarks by simplex search over all coordinates.
+
+        A random multi-start search over ``m * d`` variables — the cost
+        center the paper's Table 1 measures in minutes. ``mask`` may
+        exclude unmeasured landmark pairs from the objective.
+        """
+        matrix = as_distance_matrix(landmark_matrix, name="landmark_matrix", require_square=True)
+        m = matrix.shape[0]
+        pair_mask = ~np.eye(m, dtype=bool)
+        if mask is not None:
+            pair_mask &= as_mask(mask, matrix.shape)
+        observed = matrix[pair_mask]
+        if observed.size == 0:
+            raise ValidationError("landmark matrix has no observed off-diagonal pairs")
+        floor = max(float(observed[observed > 0].mean()) * 1e-6, 1e-12)
+        self._scale = float(np.median(observed))
+
+        # Random initial layout in a box matching the distance scale.
+        start = self._rng.random(m * self.dimension) * self._scale
+
+        result = minimize_with_restarts(
+            lambda flat: self._landmark_objective(flat, matrix, pair_mask, floor),
+            start,
+            restarts=self.landmark_restarts,
+            seed=self._rng,
+            max_iter=int(200 * m * self.dimension * self.max_iter_scale),
+        )
+        self._landmark_coords = result.point.reshape(m, self.dimension)
+        self._host_coords = None
+
+    def place_hosts(
+        self,
+        out_distances: object,
+        in_distances: object | None = None,
+        observation_mask: object | None = None,
+    ) -> None:
+        """Place each ordinary host with a per-host simplex search.
+
+        GNP's model is symmetric: when both directions are supplied the
+        average is used as the measured distance.
+        """
+        self._require_fitted("_landmark_coords")
+        landmark_coords = self._landmark_coords
+        assert landmark_coords is not None
+
+        measurements = as_matrix(out_distances, name="out_distances")
+        if in_distances is not None:
+            reverse = as_matrix(in_distances, name="in_distances").T
+            if reverse.shape != measurements.shape:
+                raise ValidationError(
+                    "in_distances must be the transpose-shape of out_distances"
+                )
+            measurements = 0.5 * (measurements + reverse)
+        n_hosts, m = measurements.shape
+        if m != landmark_coords.shape[0]:
+            raise ValidationError(
+                f"measurements cover {m} landmarks, model has {landmark_coords.shape[0]}"
+            )
+        if observation_mask is not None:
+            observed = as_mask(observation_mask, measurements.shape)
+        else:
+            observed = ~np.isnan(measurements)
+
+        positive = measurements[observed & (measurements > 0)]
+        floor = max(float(positive.mean()) * 1e-6, 1e-12) if positive.size else 1e-12
+
+        coords = np.empty((n_hosts, self.dimension))
+        centroid = landmark_coords.mean(axis=0)
+        for host in range(n_hosts):
+            row_mask = observed[host] & np.isfinite(measurements[host])
+            if row_mask.sum() == 0:
+                coords[host] = centroid
+                continue
+            anchors = landmark_coords[row_mask]
+            measured = measurements[host, row_mask]
+            result = minimize_with_restarts(
+                lambda point: self._host_objective(point, anchors, measured, floor),
+                centroid,
+                restarts=self.host_restarts,
+                seed=self._rng,
+                max_iter=int(200 * self.dimension * self.max_iter_scale),
+            )
+            coords[host] = result.point
+        self._host_coords = coords
+
+    def predict_matrix(self) -> np.ndarray:
+        """Euclidean distances among the placed ordinary hosts."""
+        self._require_fitted("_host_coords")
+        return euclidean_pairwise(self._host_coords)
+
+    # ----------------------------------------------------------------- #
+    # extras used by tests and examples
+    # ----------------------------------------------------------------- #
+
+    def landmark_coordinates(self) -> np.ndarray:
+        """``(m, d)`` fitted landmark coordinates."""
+        self._require_fitted("_landmark_coords")
+        assert self._landmark_coords is not None
+        return self._landmark_coords
+
+    def host_coordinates(self) -> np.ndarray:
+        """``(n, d)`` placed ordinary-host coordinates."""
+        self._require_fitted("_host_coords")
+        assert self._host_coords is not None
+        return self._host_coords
+
+    def landmark_fit_error(self, landmark_matrix: object) -> float:
+        """The landmark objective value at the fitted coordinates."""
+        matrix = as_distance_matrix(landmark_matrix, name="landmark_matrix", require_square=True)
+        coords = self.landmark_coordinates()
+        mask = ~np.eye(matrix.shape[0], dtype=bool)
+        observed = matrix[mask]
+        floor = max(float(observed[observed > 0].mean()) * 1e-6, 1e-12)
+        estimates = euclidean_pairwise(coords)
+        return self._loss(_relative_residuals(matrix, estimates, floor)[mask])

@@ -1,0 +1,141 @@
+"""ICS: Internet Coordinate System (Lim, Hou & Choi, IMC 2003).
+
+ICS is the landmark-based deployment of the Lipschitz+PCA idea: the
+``m x m`` landmark matrix defines a PCA projection from "distance
+profile" space to ``R^d``; an ordinary host measures its distances to
+the landmarks, projects the resulting vector with the same PCA basis,
+and the calibrated Euclidean metric predicts distances between any two
+placed hosts. It is the fastest system in the paper's Table 1 and the
+least accurate in Figures 6(b)/(c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_distance_matrix, as_mask, as_matrix, check_dimension
+from ..exceptions import ValidationError
+from ..linalg import PCA
+from .base import LatencyPredictionSystem, euclidean_pairwise
+from .lipschitz import fit_distance_scale
+
+__all__ = ["ICSSystem"]
+
+
+class ICSSystem(LatencyPredictionSystem):
+    """Landmark-based Lipschitz+PCA latency prediction.
+
+    Args:
+        dimension: embedding dimension ``d`` (must satisfy ``d <= m``).
+
+    Missing measurements (masked landmarks, Figure 7) are imputed with
+    the mean of the host's observed distances before projection — PCA
+    has no native missing-data story, which is one of the robustness
+    drawbacks IDES addresses.
+    """
+
+    def __init__(self, dimension: int = 8):
+        self.dimension = check_dimension(dimension)
+        self.name = "ICS"
+        self._pca: PCA | None = None
+        self._scale: float = 1.0
+        self._landmark_coords: np.ndarray | None = None
+        self._host_coords: np.ndarray | None = None
+
+    def fit_landmarks(self, landmark_matrix: object, mask: object | None = None) -> None:
+        """Fit the PCA basis and calibration from the landmark matrix.
+
+        ICS cannot exploit partially observed landmark matrices; if a
+        mask is supplied, missing entries are imputed with the column
+        mean (the closest standard workaround).
+        """
+        matrix = as_distance_matrix(
+            landmark_matrix, name="landmark_matrix", allow_missing=mask is not None,
+            require_square=True,
+        )
+        m = matrix.shape[0]
+        check_dimension(self.dimension, limit=m)
+
+        working = matrix.copy()
+        if mask is not None:
+            observed = as_mask(mask, matrix.shape)
+            working = _impute_column_mean(working, observed)
+
+        self._pca = PCA(self.dimension).fit(working)
+        raw_coords = self._pca.transform(working)
+        raw_estimates = euclidean_pairwise(raw_coords)
+        off_diagonal = ~np.eye(m, dtype=bool)
+        self._scale = fit_distance_scale(
+            raw_estimates[off_diagonal], working[off_diagonal]
+        )
+        self._landmark_coords = raw_coords * self._scale
+        self._host_coords = None
+
+    def place_hosts(
+        self,
+        out_distances: object,
+        in_distances: object | None = None,
+        observation_mask: object | None = None,
+    ) -> None:
+        """Project ordinary hosts' landmark-distance vectors.
+
+        ICS's model is symmetric: when both directions are supplied the
+        average is used. Unobserved landmarks are imputed with the
+        host's mean observed distance.
+        """
+        self._require_fitted("_pca")
+        assert self._pca is not None
+
+        vectors = as_matrix(out_distances, name="out_distances")
+        if in_distances is not None:
+            reverse = as_matrix(in_distances, name="in_distances").T
+            if reverse.shape != vectors.shape:
+                raise ValidationError(
+                    "in_distances must be the transpose-shape of out_distances"
+                )
+            vectors = 0.5 * (vectors + reverse)
+
+        if observation_mask is not None:
+            observed = as_mask(observation_mask, vectors.shape)
+        else:
+            observed = ~np.isnan(vectors)
+        working = _impute_row_mean(vectors, observed)
+
+        self._host_coords = self._pca.transform(working) * self._scale
+
+    def predict_matrix(self) -> np.ndarray:
+        """Euclidean distances among the placed ordinary hosts."""
+        self._require_fitted("_host_coords")
+        return euclidean_pairwise(self._host_coords)
+
+    def landmark_coordinates(self) -> np.ndarray:
+        """``(m, d)`` calibrated landmark coordinates."""
+        self._require_fitted("_landmark_coords")
+        assert self._landmark_coords is not None
+        return self._landmark_coords
+
+    def host_coordinates(self) -> np.ndarray:
+        """``(n, d)`` placed host coordinates."""
+        self._require_fitted("_host_coords")
+        assert self._host_coords is not None
+        return self._host_coords
+
+
+def _impute_column_mean(matrix: np.ndarray, observed: np.ndarray) -> np.ndarray:
+    """Replace unobserved entries with their column's observed mean."""
+    working = np.where(observed, matrix, np.nan)
+    column_means = np.nanmean(np.where(observed, matrix, np.nan), axis=0)
+    column_means = np.nan_to_num(column_means, nan=float(np.nanmean(working)))
+    missing = ~observed | np.isnan(working)
+    return np.where(missing, column_means[None, :], matrix)
+
+
+def _impute_row_mean(matrix: np.ndarray, observed: np.ndarray) -> np.ndarray:
+    """Replace unobserved entries with their row's observed mean."""
+    working = np.where(observed, matrix, np.nan)
+    with np.errstate(invalid="ignore"):
+        row_means = np.nanmean(working, axis=1)
+    overall = np.nanmean(working)
+    row_means = np.nan_to_num(row_means, nan=float(overall) if np.isfinite(overall) else 0.0)
+    missing = ~observed | np.isnan(matrix)
+    return np.where(missing, row_means[:, None], matrix)

@@ -1,0 +1,150 @@
+"""Vivaldi: decentralized spring-relaxation coordinates (Dabek et al.,
+SIGCOMM 2004).
+
+Vivaldi is the decentralized alternative in the paper's related work
+(Section 2.1): every node holds a coordinate, and each new RTT sample
+to a neighbor moves the node along the error gradient as if the pair
+were connected by a spring whose rest length is the measured RTT. No
+landmarks are required, and the adaptive timestep weights updates by
+the relative confidence of the two nodes.
+
+Implemented here as a round-based simulation over a distance matrix —
+each round, every node processes a sample to one random neighbor —
+including the optional *height* component that models the access-link
+delay shared by all of a host's paths. Vivaldi is used by the
+asymmetric-routing ablation and the overlay example as the
+decentralized Euclidean point of comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_distance_matrix, as_rng, check_dimension
+from ..exceptions import NotFittedError
+from .base import NetworkEmbedding, euclidean_pairwise
+
+__all__ = ["VivaldiSystem"]
+
+
+class VivaldiSystem(NetworkEmbedding):
+    """Round-based Vivaldi simulation over a full distance matrix.
+
+    Args:
+        dimension: coordinate dimension (excluding the height).
+        use_height: add the height component of the Vivaldi paper,
+            modeling last-mile delay as a non-Euclidean additive term.
+        rounds: sampling rounds; each round every node processes one
+            neighbor sample.
+        ce: confidence/timestep gain (the paper's recommended 0.25).
+        seed: randomness source for initial coordinates and neighbor
+            sampling.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 3,
+        use_height: bool = True,
+        rounds: int = 200,
+        ce: float = 0.25,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self.dimension = check_dimension(dimension)
+        self.use_height = bool(use_height)
+        self.rounds = int(rounds)
+        self.ce = float(ce)
+        self._rng = as_rng(seed)
+        self._coords: np.ndarray | None = None
+        self._heights: np.ndarray | None = None
+        self._errors: np.ndarray | None = None
+
+    def fit(self, distances: object) -> "VivaldiSystem":
+        """Run the spring simulation until the round budget is spent."""
+        matrix = as_distance_matrix(distances, name="distances", require_square=True)
+        n = matrix.shape[0]
+        rng = self._rng
+
+        scale = float(np.median(matrix[matrix > 0])) if (matrix > 0).any() else 1.0
+        coords = rng.normal(0.0, scale * 0.01, size=(n, self.dimension))
+        heights = np.full(n, scale * 0.05) if self.use_height else np.zeros(n)
+        confidence_errors = np.ones(n)
+
+        for _ in range(self.rounds):
+            partners = rng.integers(0, n, size=n)
+            for node in range(n):
+                other = int(partners[node])
+                if other == node:
+                    continue
+                rtt = matrix[node, other]
+                if not np.isfinite(rtt) or rtt <= 0:
+                    continue
+                self._update(
+                    node, other, rtt, coords, heights, confidence_errors, rng, scale
+                )
+
+        self._coords = coords
+        self._heights = heights
+        self._errors = confidence_errors
+        return self
+
+    def _update(
+        self,
+        node: int,
+        other: int,
+        rtt: float,
+        coords: np.ndarray,
+        heights: np.ndarray,
+        confidence_errors: np.ndarray,
+        rng: np.random.Generator,
+        scale: float,
+    ) -> None:
+        """One Vivaldi sample update (Dabek et al., Figure 3)."""
+        difference = coords[node] - coords[other]
+        norm = float(np.linalg.norm(difference))
+        predicted = norm + heights[node] + heights[other]
+
+        # Relative error of this sample and confidence-weighted timestep.
+        sample_error = abs(predicted - rtt) / rtt
+        node_error = confidence_errors[node]
+        other_error = confidence_errors[other]
+        weight = node_error / max(node_error + other_error, 1e-12)
+
+        # Exponentially blend the node's confidence toward the sample.
+        alpha = self.ce * weight
+        confidence_errors[node] = sample_error * alpha + node_error * (1 - alpha)
+
+        timestep = self.ce * weight
+        if norm > 1e-12:
+            direction = difference / norm
+        else:
+            # Coincident coordinates: pick a random push direction.
+            direction = rng.normal(size=self.dimension)
+            direction /= max(float(np.linalg.norm(direction)), 1e-12)
+
+        force = rtt - predicted  # positive = too close, push apart
+        coords[node] += timestep * force * direction
+        if self.use_height:
+            heights[node] = max(
+                heights[node] + timestep * force * 0.5, scale * 1e-3
+            )
+
+    def coordinates(self) -> np.ndarray:
+        """``(n, d)`` fitted coordinates (without heights)."""
+        if self._coords is None:
+            raise NotFittedError("VivaldiSystem: call fit first")
+        return self._coords
+
+    def heights(self) -> np.ndarray:
+        """Per-node height components (zeros when disabled)."""
+        if self._heights is None:
+            raise NotFittedError("VivaldiSystem: call fit first")
+        return self._heights
+
+    def estimate_matrix(self) -> np.ndarray:
+        """Predicted RTT matrix: Euclidean part plus both heights."""
+        coords = self.coordinates()
+        heights = self.heights()
+        estimates = euclidean_pairwise(coords)
+        estimates = estimates + heights[:, None] + heights[None, :]
+        np.fill_diagonal(estimates, 0.0)
+        return estimates

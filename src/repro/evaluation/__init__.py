@@ -1,0 +1,34 @@
+"""Evaluation harness: CDFs, timing, reports, per-figure experiments."""
+
+from .cdf import EmpiricalCDF, empirical_cdf
+from .experiments import (
+    EVAL_SEED,
+    REGISTRY,
+    ExperimentResult,
+    available_experiments,
+    p2psim_eval_subset,
+    run_experiment,
+)
+from .experiments.charts import render_charts
+from .plotting import ascii_cdf_chart, ascii_line_chart
+from .report import format_cdf_report, format_series_table, format_table
+from .timing import TimingResult, time_callable
+
+__all__ = [
+    "EVAL_SEED",
+    "EmpiricalCDF",
+    "ExperimentResult",
+    "REGISTRY",
+    "TimingResult",
+    "ascii_cdf_chart",
+    "ascii_line_chart",
+    "available_experiments",
+    "empirical_cdf",
+    "format_cdf_report",
+    "format_series_table",
+    "format_table",
+    "p2psim_eval_subset",
+    "render_charts",
+    "run_experiment",
+    "time_callable",
+]

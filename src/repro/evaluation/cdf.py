@@ -1,0 +1,72 @@
+"""Empirical CDFs — the paper's main presentation device.
+
+Figures 2 and 6 plot cumulative distributions of relative error;
+these helpers compute the exact empirical CDF and evaluate it at
+arbitrary thresholds so textual reports can quote "90% of pairs are
+within 15% error"-style numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["EmpiricalCDF", "empirical_cdf"]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """An empirical cumulative distribution.
+
+    Attributes:
+        values: sorted finite sample values.
+    """
+
+    values: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return self.values.shape[0]
+
+    def fraction_below(self, threshold: float) -> float:
+        """``P(X <= threshold)``."""
+        return float(np.searchsorted(self.values, threshold, side="right") / self.count)
+
+    def at(self, thresholds: object) -> np.ndarray:
+        """CDF evaluated at each threshold."""
+        points = np.asarray(thresholds, dtype=float)
+        positions = np.searchsorted(self.values, points, side="right")
+        return positions / self.count
+
+    def percentile(self, q: float) -> float:
+        """Inverse CDF at percentile ``q`` (0-100)."""
+        return float(np.percentile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        """50th percentile."""
+        return self.percentile(50.0)
+
+    def curve(self, n_points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """``(x, F(x))`` arrays for plotting, subsampled to n_points."""
+        if n_points < 2:
+            raise ValidationError(f"n_points must be >= 2, got {n_points}")
+        count = self.count
+        probabilities = np.arange(1, count + 1) / count
+        if count <= n_points:
+            return self.values.copy(), probabilities
+        picks = np.linspace(0, count - 1, n_points).astype(int)
+        return self.values[picks], probabilities[picks]
+
+
+def empirical_cdf(samples: object) -> EmpiricalCDF:
+    """Build an :class:`EmpiricalCDF` from raw samples (NaN dropped)."""
+    values = np.asarray(samples, dtype=float).ravel()
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValidationError("no finite samples for CDF")
+    return EmpiricalCDF(values=np.sort(values))

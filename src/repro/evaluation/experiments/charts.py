@@ -1,0 +1,130 @@
+"""Chart rendering for experiment results.
+
+Maps each experiment's ``data`` layout to terminal charts, so
+``ides-experiment run fig2 --plot`` (and the benchmark harness) can
+produce artifacts visually comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from ..plotting import ascii_cdf_chart, ascii_line_chart
+from .common import ExperimentResult
+
+__all__ = ["render_charts"]
+
+
+def _fig2_charts(result: ExperimentResult) -> list[str]:
+    return [
+        ascii_cdf_chart(
+            result.data,
+            title="Figure 2: CDF of SVD reconstruction error (d=10)",
+            x_max=1.0,
+        )
+    ]
+
+
+def _fig3_charts(result: ExperimentResult) -> list[str]:
+    charts = []
+    captions = {"nlanr": "Figure 3(a): NLANR", "p2psim": "Figure 3(b): P2PSim"}
+    for key, caption in captions.items():
+        series = dict(result.data[key])
+        dimensions = series.pop("dimensions")
+        charts.append(
+            ascii_line_chart(
+                dimensions,
+                series,
+                title=f"{caption} — median reconstruction error vs dimension",
+                x_label="dimension d",
+                y_label="median",
+            )
+        )
+    return charts
+
+
+def _fig6_charts(result: ExperimentResult) -> list[str]:
+    captions = {
+        "gnp": "Figure 6(a): GNP data set, 15 landmarks",
+        "nlanr": "Figure 6(b): NLANR, 20 landmarks",
+        "p2psim": "Figure 6(c): P2PSim, 20 landmarks",
+    }
+    return [
+        ascii_cdf_chart(
+            result.data[key],
+            title=f"{captions[key]} — prediction error CDF",
+            x_max=1.0,
+        )
+        for key in captions
+        if key in result.data
+    ]
+
+
+def _fig7_charts(result: ExperimentResult) -> list[str]:
+    fractions = result.data["fractions"]
+    charts = []
+    for key, caption in (("nlanr", "Figure 7(a): NLANR"), ("p2psim", "Figure 7(b): P2PSim")):
+        series = result.data[key]
+        # Clip the blow-up region so the informative range stays visible.
+        clipped = {
+            label: [min(v, 1.0) for v in values] for label, values in series.items()
+        }
+        charts.append(
+            ascii_line_chart(
+                fractions,
+                clipped,
+                title=f"{caption} — median error vs unobserved fraction (clipped at 1)",
+                x_label="unobserved landmark fraction",
+                y_label="median",
+            )
+        )
+    return charts
+
+
+def _series_chart(result: ExperimentResult, x_key: str, x_label: str) -> list[str]:
+    series = {
+        label: values
+        for label, values in result.data.items()
+        if isinstance(values, (list, tuple))
+        and label != x_key
+        and all(isinstance(v, (int, float)) for v in values)
+    }
+    if not series:
+        return []
+    return [
+        ascii_line_chart(
+            result.data[x_key],
+            series,
+            title=result.description,
+            x_label=x_label,
+            y_label="value",
+        )
+    ]
+
+
+def render_charts(result: ExperimentResult) -> list[str]:
+    """Best-effort chart rendering for a known experiment result.
+
+    Returns an empty list for experiments with no natural chart (for
+    example Table 1).
+    """
+    renderers = {
+        "fig2": _fig2_charts,
+        "fig3": _fig3_charts,
+        "fig6": _fig6_charts,
+        "fig7": _fig7_charts,
+    }
+    if result.experiment_id in renderers:
+        return renderers[result.experiment_id](result)
+
+    # Generic series-shaped ablations.
+    for x_key, x_label in (
+        ("levels", "asymmetry level"),
+        ("k", "reference count"),
+        ("dimensions", "dimension"),
+        ("liars", "lying landmarks"),
+    ):
+        if x_key in result.data:
+            try:
+                return _series_chart(result, x_key, x_label)
+            except Exception:  # noqa: BLE001 - charts are best-effort
+                return []
+    return []

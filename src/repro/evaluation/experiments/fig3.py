@@ -1,0 +1,88 @@
+"""Figure 3 — reconstruction error versus model dimension.
+
+Paper protocol: on NLANR (3a) and P2PSim (3b), sweep the model
+dimension and plot the *median* relative reconstruction error for
+SVD, NMF, and the Lipschitz+PCA baseline. Expected shape: SVD and NMF
+track each other closely below ``d ~ 10`` and beat Lipschitz by
+several times at ``d = 10``; SVD edges out NMF at large ``d`` where
+NMF's local minima start to show; all curves flatten past ``d ~ 10``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core import NMFFactorizer, SVDFactorizer, relative_errors
+from ...datasets import load_dataset
+from ...embedding import LipschitzPCAEmbedding
+from ..report import format_series_table
+from .common import ExperimentResult, p2psim_eval_subset
+
+__all__ = ["run", "NLANR_DIMENSIONS", "P2PSIM_DIMENSIONS"]
+
+NLANR_DIMENSIONS = (1, 2, 5, 10, 20, 40, 80)
+P2PSIM_DIMENSIONS = (1, 2, 5, 10, 20, 50, 100)
+FAST_DIMENSIONS = (1, 2, 5, 10, 20)
+
+
+def _median_errors(matrix: np.ndarray, dimensions: tuple[int, ...], seed: int | None):
+    """Median reconstruction error per dimension for the 3 algorithms."""
+    medians = {"SVD": [], "NMF": [], "Lipschitz+PCA": []}
+    nmf_seed = 0 if seed is None else seed
+    for dimension in dimensions:
+        svd_model = SVDFactorizer(dimension=dimension).fit(matrix)
+        svd_errors = relative_errors(matrix, svd_model.predict_matrix())
+        medians["SVD"].append(float(np.median(svd_errors)))
+
+        nmf_model = NMFFactorizer(dimension=dimension, seed=nmf_seed).fit(matrix)
+        nmf_errors = relative_errors(matrix, nmf_model.predict_matrix())
+        medians["NMF"].append(float(np.median(nmf_errors)))
+
+        lipschitz = LipschitzPCAEmbedding(dimension=dimension).fit(matrix)
+        lipschitz_errors = relative_errors(matrix, lipschitz.estimate_matrix())
+        medians["Lipschitz+PCA"].append(float(np.median(lipschitz_errors)))
+    return medians
+
+
+def run(seed: int | None = None, fast: bool = False) -> ExperimentResult:
+    """Reproduce Figures 3(a) and 3(b).
+
+    Returns:
+        ``data`` maps ``"nlanr"``/``"p2psim"`` to
+        ``{"dimensions": [...], "<algorithm>": [medians...]}``.
+    """
+    notes = []
+
+    nlanr = load_dataset("nlanr", seed=seed)
+    nlanr_dims = FAST_DIMENSIONS if fast else NLANR_DIMENSIONS
+    nlanr_medians = _median_errors(nlanr.matrix, nlanr_dims, seed)
+
+    p2psim = p2psim_eval_subset(seed=seed, fast=fast)
+    p2psim_dims = FAST_DIMENSIONS if fast else P2PSIM_DIMENSIONS
+    p2psim_dims = tuple(d for d in p2psim_dims if d < min(p2psim.shape))
+    p2psim_medians = _median_errors(p2psim.matrix, p2psim_dims, seed)
+    if fast:
+        notes.append("fast mode: reduced dimensions and P2PSim size")
+
+    table_a = format_series_table(
+        "d",
+        list(nlanr_dims),
+        nlanr_medians,
+        title="Figure 3(a): median relative reconstruction error vs dimension (NLANR)",
+    )
+    table_b = format_series_table(
+        "d",
+        list(p2psim_dims),
+        p2psim_medians,
+        title=f"Figure 3(b): median relative reconstruction error vs dimension ({p2psim.name})",
+    )
+    return ExperimentResult(
+        experiment_id="fig3",
+        description="SVD vs NMF vs Lipschitz+PCA reconstruction across dimensions",
+        data={
+            "nlanr": {"dimensions": list(nlanr_dims), **nlanr_medians},
+            "p2psim": {"dimensions": list(p2psim_dims), **p2psim_medians},
+        },
+        table=table_a + "\n\n" + table_b,
+        notes=notes,
+    )

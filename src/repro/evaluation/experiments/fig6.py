@@ -1,0 +1,177 @@
+"""Figure 6 — prediction accuracy of IDES vs GNP vs ICS.
+
+Paper protocol (Section 6.1), all at ``d = 8`` with the *same* landmark
+set for every system:
+
+* (a) GNP data set: 15 of the 19 GNP nodes are landmarks; the other 4
+  plus the 869 AGNP hosts are ordinary; accuracy is scored on the
+  869 x 4 held-out block.
+* (b) NLANR: 20 random landmarks, 90 ordinary hosts, scored on the
+  90 x 90 ordinary block.
+* (c) P2PSim (1143-node subset): 20 random landmarks, scored on
+  1123 x 1123.
+
+Expected shape: GNP wins (or ties) on its own small data set; IDES/SVD
+and IDES/NMF are nearly identical and win on NLANR and P2PSim; ICS
+trails on the larger sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import as_rng
+from ...datasets import gnp_family, load_dataset, split_landmarks
+from ...embedding import GNPSystem, ICSSystem, LatencyPredictionSystem
+from ...ides import IDESSystem
+from ..report import format_cdf_report
+from .common import EVAL_SEED, ExperimentResult, p2psim_eval_subset, prediction_errors_on_pairs
+
+__all__ = ["run", "run_prediction_protocol", "make_systems", "DIMENSION"]
+
+DIMENSION = 8
+
+
+def make_systems(
+    dimension: int = DIMENSION,
+    seed: int | None = None,
+    gnp_iter_scale: float = 1.0,
+    include_gnp: bool = True,
+) -> list[LatencyPredictionSystem]:
+    """The four systems of Figure 6, freshly configured.
+
+    GNP runs with ``objective="absolute"`` — the paper's Eq. 3 states
+    GNP minimizes the sum of |relative errors|, and the non-smooth
+    objective also reproduces the convergence behaviour of the 2004
+    simplex-downhill software better than the smooth squared variant.
+    """
+    base_seed = EVAL_SEED if seed is None else seed
+    systems: list[LatencyPredictionSystem] = [
+        IDESSystem(dimension=dimension, method="svd"),
+        IDESSystem(dimension=dimension, method="nmf", seed=base_seed),
+        ICSSystem(dimension=dimension),
+    ]
+    if include_gnp:
+        systems.append(
+            GNPSystem(
+                dimension=dimension,
+                objective="absolute",
+                max_iter_scale=gnp_iter_scale,
+                seed=base_seed,
+            )
+        )
+    return systems
+
+
+def run_prediction_protocol(
+    dataset,
+    n_landmarks: int,
+    systems: list[LatencyPredictionSystem],
+    seed: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Landmark-split protocol on a square data set (Fig. 6b/6c).
+
+    Returns:
+        mapping from system name to the flat array of relative errors
+        over ordinary-to-ordinary pairs.
+    """
+    split_seed = EVAL_SEED if seed is None else seed + EVAL_SEED
+    split = split_landmarks(dataset, n_landmarks, seed=split_seed)
+
+    errors: dict[str, np.ndarray] = {}
+    for system in systems:
+        system.fit_landmarks(split.landmark_matrix)
+        system.place_hosts(split.out_distances, split.in_distances)
+        predicted = system.predict_matrix()
+        errors[system.name] = prediction_errors_on_pairs(
+            split.ordinary_matrix, predicted
+        )
+    return errors
+
+
+def run_gnp_protocol(
+    systems: list[LatencyPredictionSystem],
+    seed: int | None = None,
+) -> dict[str, np.ndarray]:
+    """The Figure 6(a) protocol on the linked GNP/AGNP data sets."""
+    family = gnp_family(seed)
+    gnp_matrix = family.gnp.matrix
+    agnp_forward = family.agnp.matrix  # (869, 19) host -> GNP node
+    agnp_reverse = family.agnp.metadata["reverse"]  # (19, 869)
+    n_gnp = gnp_matrix.shape[0]
+
+    rng = as_rng(EVAL_SEED if seed is None else seed + EVAL_SEED)
+    landmarks = np.sort(rng.choice(n_gnp, size=15, replace=False))
+    ordinary_gnp = np.setdiff1d(np.arange(n_gnp), landmarks)
+
+    landmark_matrix = gnp_matrix[np.ix_(landmarks, landmarks)]
+
+    # Ordinary hosts: the 4 held-out GNP nodes first, then the 869
+    # AGNP hosts. Every ordinary host measures to/from the landmarks.
+    out_gnp = gnp_matrix[np.ix_(ordinary_gnp, landmarks)]
+    in_gnp = gnp_matrix[np.ix_(landmarks, ordinary_gnp)]
+    out_agnp = agnp_forward[:, landmarks]
+    in_agnp = agnp_reverse[landmarks, :]
+    out_distances = np.vstack([out_gnp, out_agnp])
+    in_distances = np.hstack([in_gnp, in_agnp])
+
+    n_ordinary_gnp = ordinary_gnp.size
+    n_agnp = agnp_forward.shape[0]
+    agnp_rows = np.arange(n_ordinary_gnp, n_ordinary_gnp + n_agnp)
+    gnp_cols = np.arange(n_ordinary_gnp)
+
+    # Held-out truth: the AGNP hosts' measured distances to the four
+    # ordinary GNP nodes — columns never shown to any system.
+    truth = agnp_forward[:, ordinary_gnp]
+
+    errors: dict[str, np.ndarray] = {}
+    for system in systems:
+        system.fit_landmarks(landmark_matrix)
+        system.place_hosts(out_distances, in_distances)
+        predicted = system.predict_between(agnp_rows, gnp_cols)
+        errors[system.name] = prediction_errors_on_pairs(
+            truth, predicted, exclude_diagonal=False
+        )
+    return errors
+
+
+def run(seed: int | None = None, fast: bool = False) -> ExperimentResult:
+    """Reproduce Figures 6(a), 6(b) and 6(c).
+
+    ``fast`` shrinks the P2PSim subset and caps the GNP optimizer's
+    iteration budget so the whole experiment stays test-suite friendly.
+    """
+    gnp_iter_scale = 0.15 if fast else 1.0
+    notes = []
+    if fast:
+        notes.append("fast mode: smaller P2PSim subset, reduced GNP budget")
+
+    results: dict[str, dict[str, np.ndarray]] = {}
+
+    systems = make_systems(seed=seed, gnp_iter_scale=gnp_iter_scale)
+    results["gnp"] = run_gnp_protocol(systems, seed=seed)
+
+    nlanr = load_dataset("nlanr", seed=seed)
+    systems = make_systems(seed=seed, gnp_iter_scale=gnp_iter_scale)
+    results["nlanr"] = run_prediction_protocol(nlanr, 20, systems, seed=seed)
+
+    p2psim = p2psim_eval_subset(seed=seed, fast=fast)
+    systems = make_systems(seed=seed, gnp_iter_scale=gnp_iter_scale)
+    results["p2psim"] = run_prediction_protocol(p2psim, 20, systems, seed=seed)
+
+    tables = []
+    captions = {
+        "gnp": "Figure 6(a): prediction error CDF, GNP data set, 15 landmarks",
+        "nlanr": "Figure 6(b): prediction error CDF, NLANR, 20 landmarks",
+        "p2psim": "Figure 6(c): prediction error CDF, P2PSim, 20 landmarks",
+    }
+    for key, errors in results.items():
+        tables.append(format_cdf_report(errors, title=captions[key]))
+
+    return ExperimentResult(
+        experiment_id="fig6",
+        description="prediction accuracy of IDES/SVD, IDES/NMF, ICS and GNP",
+        data=results,
+        table="\n\n".join(tables),
+        notes=notes,
+    )

@@ -1,0 +1,169 @@
+"""Terminal plotting: render the paper's figures as ASCII charts.
+
+The benchmark harness prints numeric tables; these helpers additionally
+render line charts (for the Figure 3/7-style series) and CDF plots (for
+Figures 2/6) directly in the terminal, so a reproduction run produces
+artifacts visually comparable to the paper without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["ascii_line_chart", "ascii_cdf_chart"]
+
+#: Glyphs assigned to successive series, in order.
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(
+    values: np.ndarray, lower: float, upper: float, size: int
+) -> np.ndarray:
+    """Map values in [lower, upper] to integer cells [0, size-1]."""
+    if upper <= lower:
+        return np.zeros(values.shape, dtype=int)
+    fraction = (values - lower) / (upper - lower)
+    return np.clip((fraction * (size - 1)).round().astype(int), 0, size - 1)
+
+
+def ascii_line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render several y-series over shared x-values as an ASCII chart.
+
+    Args:
+        x_values: shared x coordinates (need not be uniform).
+        series: label -> y values; NaN points are skipped.
+        width / height: plot area size in character cells.
+        title: optional heading line.
+        x_label / y_label: axis captions.
+
+    Returns:
+        the chart as a multi-line string, with a legend mapping each
+        series to its marker glyph.
+    """
+    if width < 8 or height < 4:
+        raise ValidationError("chart must be at least 8x4 cells")
+    if not series:
+        raise ValidationError("series must be non-empty")
+    xs = np.asarray(list(x_values), dtype=float)
+    if xs.size < 2:
+        raise ValidationError("need at least two x values")
+
+    all_y = np.concatenate(
+        [np.asarray(list(ys), dtype=float) for ys in series.values()]
+    )
+    finite = all_y[np.isfinite(all_y)]
+    if finite.size == 0:
+        raise ValidationError("no finite y values to plot")
+    y_low, y_high = float(finite.min()), float(finite.max())
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_cells = _scale(xs, float(xs.min()), float(xs.max()), width)
+
+    legend = []
+    for index, (label, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        y_array = np.asarray(list(ys), dtype=float)
+        usable = min(y_array.shape[0], xs.shape[0])
+        for point in range(usable):
+            if not np.isfinite(y_array[point]):
+                continue
+            row = height - 1 - _scale(
+                np.asarray([y_array[point]]), y_low, y_high, height
+            )[0]
+            column = x_cells[point]
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.4g}"
+    bottom_label = f"{y_low:.4g}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        elif row_index == height // 2:
+            prefix = y_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    x_axis = " " * gutter + "+" + "-" * width
+    lines.append(x_axis)
+    x_left = f"{xs.min():.4g}"
+    x_right = f"{xs.max():.4g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (gutter + 1) + x_left + " " * max(padding, 1) + x_right
+    )
+    lines.append(" " * (gutter + 1) + x_label)
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_cdf_chart(
+    label_to_samples: Mapping[str, object],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_max: float | None = None,
+) -> str:
+    """Render empirical CDFs of several sample sets (Figure 2/6 style).
+
+    Args:
+        label_to_samples: label -> 1-D samples (NaN dropped).
+        width / height: plot area size.
+        title: optional heading.
+        x_max: right edge of the x axis; defaults to the 95th
+            percentile of the pooled samples (the paper's CDF plots
+            clip at relative error 1.0 for the same reason).
+
+    Returns:
+        the chart string; y runs 0..1, x runs 0..x_max.
+    """
+    cleaned: dict[str, np.ndarray] = {}
+    for label, samples in label_to_samples.items():
+        values = np.asarray(samples, dtype=float).ravel()
+        values = values[np.isfinite(values)]
+        if values.size:
+            cleaned[label] = np.sort(values)
+    if not cleaned:
+        raise ValidationError("no finite samples to plot")
+
+    if x_max is None:
+        pooled = np.concatenate(list(cleaned.values()))
+        x_max = float(np.percentile(pooled, 95))
+    if x_max <= 0:
+        x_max = 1.0
+
+    xs = np.linspace(0.0, x_max, width)
+    series = {
+        label: np.searchsorted(values, xs, side="right") / values.size
+        for label, values in cleaned.items()
+    }
+    return ascii_line_chart(
+        xs,
+        series,
+        width=width,
+        height=height,
+        title=title,
+        x_label="relative error",
+        y_label="P(e<=x)",
+    )

@@ -1,0 +1,117 @@
+"""Plain-text report rendering for experiment results.
+
+The benchmark harness prints paper-style rows (Table 1) and series
+(the figures) straight to the terminal; these helpers keep the
+formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series_table", "format_cdf_report"]
+
+
+def _cell(value: object, precision: int) -> str:
+    """Render one table cell."""
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if not np.isfinite(value):
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row cell sequences (floats get fixed precision).
+        precision: decimal places for float cells.
+        title: optional line above the table.
+
+    Returns:
+        the table as a single string (no trailing newline).
+    """
+    rendered = [[_cell(value, precision) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render several y-series sharing one x-axis (a figure as text).
+
+    Args:
+        x_label: name of the x column.
+        x_values: shared x values.
+        series: label -> y values (each aligned with ``x_values``).
+        precision: decimal places.
+        title: optional heading.
+    """
+    headers = [x_label, *series.keys()]
+    columns = list(series.values())
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for column in columns:
+            row.append(column[index] if index < len(column) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def format_cdf_report(
+    label_to_errors: Mapping[str, np.ndarray],
+    thresholds: Sequence[float] = (0.05, 0.1, 0.15, 0.25, 0.5, 1.0),
+    title: str | None = None,
+) -> str:
+    """Summarize error distributions as CDF values at fixed thresholds.
+
+    Each row is one system/data set; columns report the fraction of
+    pairs with relative error below each threshold plus the median and
+    90th percentile — the numbers the paper quotes in prose.
+    """
+    headers = ["series", *[f"P(e<={t:g})" for t in thresholds], "median", "p90"]
+    rows = []
+    for label, errors in label_to_errors.items():
+        values = np.asarray(errors, dtype=float).ravel()
+        values = values[np.isfinite(values)]
+        ordered = np.sort(values)
+        fractions = [
+            float(np.searchsorted(ordered, t, side="right") / max(ordered.size, 1))
+            for t in thresholds
+        ]
+        rows.append(
+            [
+                label,
+                *fractions,
+                float(np.median(ordered)) if ordered.size else float("nan"),
+                float(np.percentile(ordered, 90)) if ordered.size else float("nan"),
+            ]
+        )
+    return format_table(headers, rows, precision=3, title=title)

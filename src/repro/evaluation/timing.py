@@ -1,0 +1,64 @@
+"""Wall-clock timing for the Table 1 efficiency comparison.
+
+The paper compares total model-construction time across systems on a
+2004 desktop; absolute numbers are machine-bound, but the *ordering*
+(GNP minutes, everything else sub-second) is what Table 1 demonstrates
+and what this harness reproduces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TimingResult", "time_callable"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock measurements of one callable.
+
+    Attributes:
+        seconds: per-run durations.
+        best: fastest run (the statistic least polluted by scheduling).
+        mean: arithmetic mean duration.
+    """
+
+    seconds: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        """Fastest observed run."""
+        return min(self.seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean duration over all runs."""
+        return sum(self.seconds) / len(self.seconds)
+
+    def format(self) -> str:
+        """Human-oriented duration string (paper style: '2min 30s')."""
+        value = self.best
+        if value >= 60.0:
+            minutes = int(value // 60)
+            return f"{minutes}min {value - 60 * minutes:.0f}s"
+        if value >= 1.0:
+            return f"{value:.2f}s"
+        return f"{value * 1000:.1f}ms"
+
+
+def time_callable(
+    action: Callable[[], object],
+    repeats: int = 1,
+) -> tuple[TimingResult, object]:
+    """Run ``action`` ``repeats`` times, returning timings + last result."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    durations = []
+    result: object = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = action()
+        durations.append(time.perf_counter() - started)
+    return TimingResult(seconds=tuple(durations)), result

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class. Where it makes sense, errors also
+derive from the closest built-in exception (for example
+:class:`ValidationError` is a :class:`ValueError`) so that idiomatic
+``except ValueError`` handlers keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ConvergenceError",
+    "SingularSystemError",
+    "DatasetError",
+    "MeasurementError",
+    "SimulationError",
+    "NotFittedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (matrix, dimension, fraction, ...) failed validation."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its budget."""
+
+
+class SingularSystemError(ReproError, RuntimeError):
+    """A linear system required by a solver is singular or ill-posed.
+
+    Raised, for example, when an ordinary host tries to solve for its
+    vectors against fewer reference nodes than the model dimension
+    (the paper's ``k >= d`` requirement in Section 5.2).
+    """
+
+
+class DatasetError(ReproError, KeyError):
+    """A data set could not be found, loaded, or generated."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """A simulated measurement could not be carried out."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method was called before the model was fitted."""

@@ -1,0 +1,38 @@
+"""IDES: the Internet Distance Estimation Service (paper Section 5).
+
+Landmark factorization on an information server, least-squares
+ordinary-host placement (basic and relaxed architectures), the
+directory service, and landmark failure models for robustness studies.
+"""
+
+from .failures import (
+    CorrelatedFailures,
+    IndependentFailures,
+    LandmarkFailureModel,
+    PartitionFailures,
+)
+from .host import place_hosts_batch, relative_error_weights, solve_host_vectors
+from .robust import RobustPlacement, solve_host_vectors_robust
+from .server import InformationServer
+from .system import IDESSystem
+from .updates import OnlineVectorTracker, refresh_host_vectors
+from .vectors import HostVectors, predict_distance, stack_vectors
+
+__all__ = [
+    "CorrelatedFailures",
+    "HostVectors",
+    "IDESSystem",
+    "IndependentFailures",
+    "InformationServer",
+    "LandmarkFailureModel",
+    "OnlineVectorTracker",
+    "PartitionFailures",
+    "RobustPlacement",
+    "place_hosts_batch",
+    "refresh_host_vectors",
+    "solve_host_vectors_robust",
+    "predict_distance",
+    "relative_error_weights",
+    "solve_host_vectors",
+    "stack_vectors",
+]

@@ -1,0 +1,151 @@
+"""Landmark failure models for robustness evaluation (Section 6.2).
+
+IDES tolerates ordinary hosts that cannot reach every landmark: the
+host solve simply runs over the observed subset (as long as ``k >= d``
+references remain). These models generate the observation masks that
+the Figure 7 experiment and the failure-injection tests feed into
+:meth:`IDESSystem.place_hosts`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_rng, check_fraction
+from ..core.masks import unobserved_landmark_mask
+
+__all__ = [
+    "LandmarkFailureModel",
+    "IndependentFailures",
+    "CorrelatedFailures",
+    "PartitionFailures",
+]
+
+
+class LandmarkFailureModel(ABC):
+    """Generates per-host landmark observation masks."""
+
+    @abstractmethod
+    def generate(
+        self,
+        n_hosts: int,
+        n_landmarks: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """``(n_hosts, n_landmarks)`` boolean mask, True = observed."""
+
+
+@dataclass(frozen=True)
+class IndependentFailures(LandmarkFailureModel):
+    """Each host independently misses a random landmark subset.
+
+    The exact model of Section 6.2: "The unobserved landmarks for each
+    ordinary host were independently generated at random."
+
+    Attributes:
+        unobserved_fraction: fraction of landmarks each host misses.
+        min_observed: floor on observed landmarks per host.
+    """
+
+    unobserved_fraction: float
+    min_observed: int = 1
+
+    def generate(
+        self,
+        n_hosts: int,
+        n_landmarks: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Independent per-host unobserved-landmark mask."""
+        return unobserved_landmark_mask(
+            n_hosts,
+            n_landmarks,
+            self.unobserved_fraction,
+            seed=seed,
+            min_observed=self.min_observed,
+        )
+
+
+@dataclass(frozen=True)
+class CorrelatedFailures(LandmarkFailureModel):
+    """Some landmarks are down for everyone; others fail per host.
+
+    Models real outages: a crashed landmark is invisible to all hosts
+    simultaneously, unlike independent probe failures.
+
+    Attributes:
+        down_fraction: fraction of landmarks globally down.
+        independent_fraction: additional per-host unobserved fraction
+            among the surviving landmarks.
+    """
+
+    down_fraction: float
+    independent_fraction: float = 0.0
+
+    def generate(
+        self,
+        n_hosts: int,
+        n_landmarks: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Mask with globally-down landmarks plus per-host failures."""
+        check_fraction(self.down_fraction, name="down_fraction")
+        rng = as_rng(seed)
+        n_down = int(round(self.down_fraction * n_landmarks))
+        n_down = min(n_down, n_landmarks - 1)
+        mask = np.ones((n_hosts, n_landmarks), dtype=bool)
+        if n_down:
+            down = rng.choice(n_landmarks, size=n_down, replace=False)
+            mask[:, down] = False
+        if self.independent_fraction > 0:
+            extra = unobserved_landmark_mask(
+                n_hosts, n_landmarks, self.independent_fraction, seed=rng
+            )
+            mask &= extra
+        # Guarantee at least one observed landmark per host.
+        for host in range(n_hosts):
+            if not mask[host].any():
+                mask[host, int(rng.integers(n_landmarks))] = True
+        return mask
+
+
+@dataclass(frozen=True)
+class PartitionFailures(LandmarkFailureModel):
+    """A network partition hides one landmark group from one host group.
+
+    Models the "temporary network partition" scenario of Section 6:
+    hosts inside the partition can only see landmarks on their side.
+
+    Attributes:
+        partitioned_hosts_fraction: fraction of hosts inside the
+            partition.
+        hidden_landmarks_fraction: fraction of landmarks on the far
+            side, invisible to partitioned hosts.
+    """
+
+    partitioned_hosts_fraction: float
+    hidden_landmarks_fraction: float
+
+    def generate(
+        self,
+        n_hosts: int,
+        n_landmarks: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Mask hiding one landmark group from one host group."""
+        check_fraction(self.partitioned_hosts_fraction, name="partitioned_hosts_fraction")
+        check_fraction(self.hidden_landmarks_fraction, name="hidden_landmarks_fraction")
+        rng = as_rng(seed)
+        mask = np.ones((n_hosts, n_landmarks), dtype=bool)
+        n_inside = int(round(self.partitioned_hosts_fraction * n_hosts))
+        n_hidden = int(round(self.hidden_landmarks_fraction * n_landmarks))
+        n_hidden = min(n_hidden, n_landmarks - 1)
+        if n_inside == 0 or n_hidden == 0:
+            return mask
+        inside = rng.choice(n_hosts, size=n_inside, replace=False)
+        hidden = rng.choice(n_landmarks, size=n_hidden, replace=False)
+        mask[np.ix_(inside, hidden)] = False
+        return mask

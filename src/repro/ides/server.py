@@ -1,0 +1,206 @@
+"""The IDES information server (Section 5.1).
+
+The information server is the coordination point of the architecture:
+it gathers the ``m x m`` inter-landmark distance matrix (measured by
+the landmarks themselves or indirectly, for example with King), factors
+it with SVD or NMF into landmark outgoing/incoming vectors, and serves
+vectors through a directory so that any host can predict its distance
+to any other registered host with one dot product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_dimension
+from ..core import FactoredDistanceModel, NMFFactorizer, SVDFactorizer
+from ..exceptions import NotFittedError, ValidationError
+from .vectors import HostVectors
+
+__all__ = ["InformationServer"]
+
+_METHODS = ("svd", "nmf")
+
+
+class InformationServer:
+    """Directory server holding landmark and ordinary-host vectors.
+
+    Args:
+        dimension: model dimension ``d``.
+        method: landmark factorization algorithm, ``"svd"`` or
+            ``"nmf"``. NMF also accepts incomplete landmark matrices
+            (Section 4.2) and guarantees non-negative predictions.
+        nmf_max_iter / nmf_restarts / seed: NMF fitting controls.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 10,
+        method: str = "svd",
+        nmf_max_iter: int = 200,
+        nmf_restarts: int = 1,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self.dimension = check_dimension(dimension)
+        if method not in _METHODS:
+            raise ValidationError(f"method must be one of {_METHODS}, got {method!r}")
+        self.method = method
+        self._nmf_max_iter = int(nmf_max_iter)
+        self._nmf_restarts = int(nmf_restarts)
+        self._seed = seed
+
+        self._landmark_model: FactoredDistanceModel | None = None
+        self._landmark_ids: list = []
+        self._directory: dict[object, HostVectors] = {}
+
+    # ------------------------------------------------------------------ #
+    # landmark phase
+    # ------------------------------------------------------------------ #
+
+    def fit_landmarks(
+        self,
+        landmark_matrix: object,
+        landmark_ids: list | None = None,
+        mask: object | None = None,
+    ) -> FactoredDistanceModel:
+        """Factor the inter-landmark matrix and publish landmark vectors.
+
+        Args:
+            landmark_matrix: ``(m, m)`` distances between landmarks;
+                NaN entries are allowed with ``method="nmf"``.
+            landmark_ids: identifiers for the landmarks; defaults to
+                ``0..m-1``.
+            mask: optional explicit observation mask for NMF.
+
+        Returns:
+            the fitted landmark :class:`FactoredDistanceModel`.
+        """
+        if self.method == "svd":
+            if mask is not None:
+                raise ValidationError(
+                    "SVD cannot use an observation mask; filter the matrix or "
+                    "use method='nmf' (paper Section 4.2)"
+                )
+            model = SVDFactorizer(self.dimension).fit(landmark_matrix)
+        else:
+            factorizer = NMFFactorizer(
+                self.dimension,
+                max_iter=self._nmf_max_iter,
+                n_restarts=self._nmf_restarts,
+                seed=self._seed,
+            )
+            model = factorizer.fit(landmark_matrix, mask=mask)
+
+        m = model.n_sources
+        if landmark_ids is None:
+            landmark_ids = list(range(m))
+        if len(landmark_ids) != m:
+            raise ValidationError(
+                f"got {len(landmark_ids)} landmark ids for {m} landmarks"
+            )
+
+        self._landmark_model = model
+        self._landmark_ids = list(landmark_ids)
+        self._directory = {
+            identifier: HostVectors(model.outgoing[i], model.incoming[i])
+            for i, identifier in enumerate(landmark_ids)
+        }
+        return model
+
+    @property
+    def landmark_ids(self) -> list:
+        """Identifiers of the fitted landmarks."""
+        self._require_landmarks()
+        return list(self._landmark_ids)
+
+    def landmark_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(X, Y)`` landmark vector matrices, row per landmark."""
+        self._require_landmarks()
+        assert self._landmark_model is not None
+        return self._landmark_model.outgoing, self._landmark_model.incoming
+
+    # ------------------------------------------------------------------ #
+    # directory
+    # ------------------------------------------------------------------ #
+
+    def register_host(self, host_id: object, vectors: HostVectors) -> None:
+        """Publish an ordinary host's vectors in the directory."""
+        self._require_landmarks()
+        if vectors.dimension != self.dimension:
+            raise ValidationError(
+                f"vectors have dimension {vectors.dimension}, server uses "
+                f"{self.dimension}"
+            )
+        self._directory[host_id] = vectors
+
+    def deregister_host(self, host_id: object) -> None:
+        """Remove a host from the directory (landmarks cannot leave)."""
+        if host_id in self._landmark_ids:
+            raise ValidationError(f"cannot deregister landmark {host_id!r}")
+        self._directory.pop(host_id, None)
+
+    def get_vectors(self, host_id: object) -> HostVectors:
+        """Fetch a registered host's vectors."""
+        try:
+            return self._directory[host_id]
+        except KeyError:
+            raise ValidationError(f"unknown host {host_id!r}") from None
+
+    def known_hosts(self) -> list:
+        """All registered identifiers (landmarks first)."""
+        return list(self._directory)
+
+    @property
+    def n_registered(self) -> int:
+        """Number of hosts (including landmarks) in the directory."""
+        return len(self._directory)
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+
+    def predict(self, source_id: object, destination_id: object) -> float:
+        """Predicted distance between two registered hosts (Eq. 4)."""
+        source = self.get_vectors(source_id)
+        destination = self.get_vectors(destination_id)
+        return source.distance_to(destination)
+
+    def reference_vectors(
+        self,
+        count: int,
+        seed: int | np.random.Generator | None = None,
+        include_ordinary: bool = True,
+    ) -> tuple[list, np.ndarray, np.ndarray]:
+        """Sample reference nodes for relaxed placement (Section 5.2).
+
+        Args:
+            count: number of references ``k`` (must be >= the model
+                dimension for a well-posed host solve).
+            seed: randomness source.
+            include_ordinary: allow already-placed ordinary hosts as
+                references, not just landmarks — the relaxation that
+                spreads measurement load.
+
+        Returns:
+            ``(ids, X_refs, Y_refs)`` for the sampled reference nodes.
+        """
+        self._require_landmarks()
+        if include_ordinary:
+            pool = list(self._directory)
+        else:
+            pool = list(self._landmark_ids)
+        if count > len(pool):
+            raise ValidationError(
+                f"requested {count} references but only {len(pool)} are known"
+            )
+        from .._validation import as_rng  # local import avoids cycle at module load
+
+        rng = as_rng(seed)
+        chosen = [pool[i] for i in rng.choice(len(pool), size=count, replace=False)]
+        outgoing = np.stack([self._directory[i].outgoing for i in chosen])
+        incoming = np.stack([self._directory[i].incoming for i in chosen])
+        return chosen, outgoing, incoming
+
+    def _require_landmarks(self) -> None:
+        if self._landmark_model is None:
+            raise NotFittedError("InformationServer: call fit_landmarks first")

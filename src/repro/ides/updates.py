@@ -1,0 +1,135 @@
+"""Online maintenance of host vectors under RTT drift.
+
+The paper fits vectors once from a measurement snapshot; a deployed
+service must keep them fresh as routes change and load swells. Two
+mechanisms, both cheap enough to run continuously:
+
+* **incremental updates** (:class:`OnlineVectorTracker`) — every new
+  RTT sample to a reference node nudges the host's vectors along the
+  gradient of the squared error for that one measurement, Vivaldi-style
+  but in the factored model's geometry:
+
+  .. math::
+
+      \\vec X \\mathrel{+}= \\eta\\,(d^{out} - \\vec X \\cdot \\vec Y_r)\\,\\vec Y_r
+
+* **periodic refresh** (:func:`refresh_host_vectors`) — re-measure all
+  references and redo the closed-form solve of Eqs. 13-14.
+
+The ``ablate-staleness`` experiment quantifies the trade-off on a
+drifting world: model rot without maintenance, versus either policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_matrix, check_fraction
+from ..exceptions import ValidationError
+from .host import place_hosts_batch
+from .vectors import HostVectors
+
+__all__ = ["OnlineVectorTracker", "refresh_host_vectors"]
+
+
+class OnlineVectorTracker:
+    """Per-host stochastic-gradient maintenance of model vectors.
+
+    Args:
+        initial: the host's starting vectors (from a full solve).
+        learning_rate: gradient step scale ``eta`` relative to the
+            squared reference-vector norm; values in ``(0, 1]`` are
+            stable (1.0 projects the residual out completely for that
+            sample, like a Kaczmarz step).
+
+    Each observed sample updates one direction: an outgoing RTT sample
+    to reference ``r`` adjusts ``X``; an incoming sample adjusts ``Y``.
+    """
+
+    def __init__(self, initial: HostVectors, learning_rate: float = 0.3):
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValidationError(
+                f"learning_rate must be in (0, 1], got {learning_rate}"
+            )
+        self.learning_rate = float(learning_rate)
+        self._outgoing = initial.outgoing.copy()
+        self._incoming = initial.incoming.copy()
+        self.samples_seen = 0
+
+    @property
+    def vectors(self) -> HostVectors:
+        """Current vector estimates."""
+        return HostVectors(
+            outgoing=self._outgoing.copy(), incoming=self._incoming.copy()
+        )
+
+    def observe_out(self, measured_rtt: float, reference_incoming: np.ndarray) -> float:
+        """Process one host -> reference sample; returns the residual.
+
+        Kaczmarz-style damped projection: the update moves ``X`` toward
+        the hyperplane ``X . Y_r = d`` by ``learning_rate`` of the gap.
+        """
+        reference = np.asarray(reference_incoming, dtype=float)
+        norm_sq = float(reference @ reference)
+        if norm_sq <= 0 or not np.isfinite(measured_rtt):
+            return float("nan")
+        residual = float(measured_rtt - self._outgoing @ reference)
+        self._outgoing += self.learning_rate * residual * reference / norm_sq
+        self.samples_seen += 1
+        return residual
+
+    def observe_in(self, measured_rtt: float, reference_outgoing: np.ndarray) -> float:
+        """Process one reference -> host sample; returns the residual."""
+        reference = np.asarray(reference_outgoing, dtype=float)
+        norm_sq = float(reference @ reference)
+        if norm_sq <= 0 or not np.isfinite(measured_rtt):
+            return float("nan")
+        residual = float(measured_rtt - reference @ self._incoming)
+        self._incoming += self.learning_rate * residual * reference / norm_sq
+        self.samples_seen += 1
+        return residual
+
+
+def refresh_host_vectors(
+    out_distances: object,
+    in_distances: object | None,
+    reference_outgoing: object,
+    reference_incoming: object,
+    previous_outgoing: object | None = None,
+    previous_incoming: object | None = None,
+    blend: float = 1.0,
+    **solve_options: object,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full re-solve of many hosts, optionally blended with the past.
+
+    Args:
+        out_distances / in_distances / reference_* : as in
+            :func:`repro.ides.place_hosts_batch`.
+        previous_outgoing / previous_incoming: the hosts' prior
+            vectors.
+        blend: weight of the *fresh* solution in ``[0, 1]``; values
+            below 1 exponential-smooth against measurement noise at the
+            cost of slower tracking.
+        **solve_options: forwarded to :func:`place_hosts_batch`.
+
+    Returns:
+        ``(outgoing, incoming)`` matrices after the refresh.
+    """
+    blend = check_fraction(blend, name="blend")
+    fresh_out, fresh_in = place_hosts_batch(
+        out_distances,
+        in_distances,
+        reference_outgoing,
+        reference_incoming,
+        **solve_options,
+    )
+    if blend >= 1.0 or previous_outgoing is None or previous_incoming is None:
+        return fresh_out, fresh_in
+    old_out = as_matrix(previous_outgoing, name="previous_outgoing")
+    old_in = as_matrix(previous_incoming, name="previous_incoming")
+    if old_out.shape != fresh_out.shape or old_in.shape != fresh_in.shape:
+        raise ValidationError("previous vectors disagree with the fresh solve shape")
+    return (
+        blend * fresh_out + (1.0 - blend) * old_out,
+        blend * fresh_in + (1.0 - blend) * old_in,
+    )

@@ -1,0 +1,79 @@
+"""Host coordinate vectors in the factored model.
+
+Every IDES participant carries two ``d``-vectors: the *outgoing* vector
+``X_i`` and the *incoming* vector ``Y_i``. The predicted distance from
+``i`` to ``j`` is ``X_i . Y_j`` (paper Eq. 4) — deliberately not
+symmetric in ``i`` and ``j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_vector
+from ..exceptions import ValidationError
+
+__all__ = ["HostVectors", "predict_distance", "stack_vectors"]
+
+
+@dataclass(frozen=True)
+class HostVectors:
+    """The pair of model vectors assigned to one host.
+
+    Attributes:
+        outgoing: ``X_i`` — combines with destinations' incoming vectors.
+        incoming: ``Y_i`` — combines with sources' outgoing vectors.
+    """
+
+    outgoing: np.ndarray
+    incoming: np.ndarray
+
+    def __post_init__(self) -> None:
+        outgoing = as_vector(self.outgoing, name="outgoing")
+        incoming = as_vector(self.incoming, name="incoming")
+        if outgoing.shape != incoming.shape:
+            raise ValidationError(
+                f"outgoing and incoming vectors differ in dimension: "
+                f"{outgoing.shape[0]} vs {incoming.shape[0]}"
+            )
+        object.__setattr__(self, "outgoing", outgoing)
+        object.__setattr__(self, "incoming", incoming)
+
+    @property
+    def dimension(self) -> int:
+        """Model dimension ``d``."""
+        return self.outgoing.shape[0]
+
+    def distance_to(self, other: "HostVectors") -> float:
+        """Predicted distance from this host to ``other`` (Eq. 4)."""
+        return predict_distance(self, other)
+
+    def distance_from(self, other: "HostVectors") -> float:
+        """Predicted distance from ``other`` to this host."""
+        return predict_distance(other, self)
+
+
+def predict_distance(source: HostVectors, destination: HostVectors) -> float:
+    """``X_source . Y_destination`` — the model's distance estimate."""
+    if source.dimension != destination.dimension:
+        raise ValidationError(
+            f"dimension mismatch: {source.dimension} vs {destination.dimension}"
+        )
+    return float(source.outgoing @ destination.incoming)
+
+
+def stack_vectors(vector_list: list[HostVectors]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack hosts' vectors into ``(X, Y)`` matrices (row per host)."""
+    if not vector_list:
+        raise ValidationError("vector_list must be non-empty")
+    dimension = vector_list[0].dimension
+    for index, vectors in enumerate(vector_list):
+        if vectors.dimension != dimension:
+            raise ValidationError(
+                f"host {index} has dimension {vectors.dimension}, expected {dimension}"
+            )
+    outgoing = np.stack([vectors.outgoing for vectors in vector_list])
+    incoming = np.stack([vectors.incoming for vectors in vector_list])
+    return outgoing, incoming

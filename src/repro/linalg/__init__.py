@@ -1,0 +1,45 @@
+"""Linear-algebra kernels used throughout the reproduction.
+
+Everything here is implemented from scratch on top of raw numpy
+primitives (``svd``, ``eigh``, ``lstsq``): truncated-SVD factor
+extraction, Lee-Seung NMF with and without missing data, (batched)
+least squares with optional ridge, Lawson-Hanson non-negative least
+squares, PCA, and the Nelder-Mead simplex-downhill optimizer GNP uses.
+"""
+
+from .least_squares import (
+    gram_condition_number,
+    solve_batched_least_squares,
+    solve_least_squares,
+    solve_weighted_batched_least_squares,
+)
+from .nmf import NMFResult, masked_nmf_factorize, nmf_factorize, nmf_objective
+from .nnls import nonnegative_least_squares
+from .pca import PCA
+from .simplex import SimplexResult, minimize_with_restarts, nelder_mead
+from .svd import (
+    SVDFactors,
+    low_rank_approximation,
+    singular_spectrum,
+    truncated_svd_factors,
+)
+
+__all__ = [
+    "PCA",
+    "NMFResult",
+    "SVDFactors",
+    "SimplexResult",
+    "gram_condition_number",
+    "low_rank_approximation",
+    "masked_nmf_factorize",
+    "minimize_with_restarts",
+    "nelder_mead",
+    "nmf_factorize",
+    "nmf_objective",
+    "nonnegative_least_squares",
+    "singular_spectrum",
+    "solve_batched_least_squares",
+    "solve_least_squares",
+    "solve_weighted_batched_least_squares",
+    "truncated_svd_factors",
+]

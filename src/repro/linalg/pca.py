@@ -1,0 +1,91 @@
+"""Principal component analysis implemented from scratch.
+
+PCA is the dimensionality-reduction step of the Lipschitz-embedding
+baselines the paper compares against (Virtual Landmarks, Tang & Crovella
+IMC 2003; ICS, Lim et al. IMC 2003): hosts are first embedded in
+``R^N`` by their distance vectors, then projected onto the ``d``
+directions of maximum variance.
+
+Implemented via eigendecomposition of the covariance matrix (rather
+than delegating to a library) so the baseline is self-contained and the
+relationship to SVD discussed in Section 4.1 of the paper is explicit
+in code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_matrix, check_dimension
+from ..exceptions import NotFittedError
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Principal component analysis by covariance eigendecomposition.
+
+    Args:
+        dimension: number of components ``d`` to retain.
+
+    Attributes (available after :meth:`fit`):
+        mean: per-feature mean of the training data, shape ``(p,)``.
+        components: ``(d, p)`` orthonormal rows, ordered by decreasing
+            explained variance.
+        explained_variance: eigenvalues of the covariance matrix for the
+            retained components, shape ``(d,)``.
+    """
+
+    def __init__(self, dimension: int):
+        self.dimension = check_dimension(dimension)
+        self.mean: np.ndarray | None = None
+        self.components: np.ndarray | None = None
+        self.explained_variance: np.ndarray | None = None
+
+    def fit(self, data: object) -> "PCA":
+        """Learn the principal subspace of ``data`` (rows = samples)."""
+        samples = as_matrix(data, name="data")
+        count, features = samples.shape
+        check_dimension(self.dimension, limit=features, name="dimension")
+
+        self.mean = samples.mean(axis=0)
+        centered = samples - self.mean
+        covariance = (centered.T @ centered) / max(count - 1, 1)
+
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1][: self.dimension]
+        self.components = eigenvectors[:, order].T
+        self.explained_variance = np.clip(eigenvalues[order], 0.0, None)
+        return self
+
+    def transform(self, data: object) -> np.ndarray:
+        """Project rows of ``data`` onto the fitted principal subspace."""
+        if self.components is None or self.mean is None:
+            raise NotFittedError("PCA.transform called before fit")
+        samples = as_matrix(data, name="data")
+        if samples.shape[1] != self.mean.shape[0]:
+            raise NotFittedError(
+                f"data has {samples.shape[1]} features, PCA was fitted on "
+                f"{self.mean.shape[0]}"
+            )
+        return (samples - self.mean) @ self.components.T
+
+    def fit_transform(self, data: object) -> np.ndarray:
+        """Equivalent to ``fit(data).transform(data)`` with one pass."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected: object) -> np.ndarray:
+        """Map projected coordinates back into the original space."""
+        if self.components is None or self.mean is None:
+            raise NotFittedError("PCA.inverse_transform called before fit")
+        coordinates = as_matrix(projected, name="projected")
+        return coordinates @ self.components + self.mean
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured by each retained component."""
+        if self.explained_variance is None:
+            raise NotFittedError("PCA.explained_variance_ratio called before fit")
+        total = self.explained_variance.sum()
+        if total == 0.0:
+            return np.zeros_like(self.explained_variance)
+        return self.explained_variance / total

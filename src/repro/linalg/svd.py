@@ -1,0 +1,92 @@
+"""Truncated singular value decomposition for distance-matrix factorization.
+
+This module implements the SVD factorization of Section 4.1 of the
+paper: an ``N x N'`` distance matrix ``D`` is decomposed as
+``D = U @ diag(S) @ V.T`` and the rank-``d`` factors are
+
+.. math::
+
+    X_{ij} = U_{ij} \\sqrt{S_{jj}}, \\qquad Y_{ij} = V_{ij} \\sqrt{S_{jj}}
+
+for ``j = 1..d`` (Eqs. 5-6), so that ``X @ Y.T`` is the best rank-``d``
+approximation of ``D`` in squared error (Eq. 7). Row ``X[i]`` is the
+*outgoing* vector of host ``i`` and row ``Y[j]`` the *incoming* vector
+of host ``j``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from .._validation import as_distance_matrix, as_matrix, check_dimension
+
+__all__ = [
+    "SVDFactors",
+    "truncated_svd_factors",
+    "low_rank_approximation",
+    "singular_spectrum",
+]
+
+
+class SVDFactors(NamedTuple):
+    """Result of a truncated SVD factorization.
+
+    Attributes:
+        outgoing: ``(N, d)`` matrix ``X`` of outgoing vectors.
+        incoming: ``(N', d)`` matrix ``Y`` of incoming vectors.
+        singular_values: the ``d`` retained singular values, descending.
+        residual: Frobenius norm of ``D - X @ Y.T``.
+    """
+
+    outgoing: np.ndarray
+    incoming: np.ndarray
+    singular_values: np.ndarray
+    residual: float
+
+
+def truncated_svd_factors(matrix: object, dimension: int) -> SVDFactors:
+    """Factor ``matrix ~= X @ Y.T`` with rank ``dimension`` via SVD.
+
+    Args:
+        matrix: an ``(N, N')`` matrix of non-negative finite distances.
+            Rectangular matrices are supported (paper footnote 3).
+        dimension: the model dimension ``d``; must satisfy
+            ``1 <= d <= min(N, N')``.
+
+    Returns:
+        :class:`SVDFactors` with the split-singular-value convention of
+        Eqs. (5)-(6): both factors absorb ``sqrt(S)``.
+
+    The factorization is exact (zero residual) whenever ``matrix`` has
+    rank at most ``dimension``, which the paper demonstrates on the
+    four-host topology of Figure 1.
+    """
+    distances = as_distance_matrix(matrix, name="matrix")
+    max_rank = min(distances.shape)
+    rank = check_dimension(dimension, limit=max_rank)
+
+    left, values, right_t = np.linalg.svd(distances, full_matrices=False)
+    scale = np.sqrt(values[:rank])
+    outgoing = left[:, :rank] * scale
+    incoming = right_t[:rank, :].T * scale
+    residual = float(np.linalg.norm(distances - outgoing @ incoming.T))
+    return SVDFactors(outgoing, incoming, values[:rank].copy(), residual)
+
+
+def low_rank_approximation(matrix: object, dimension: int) -> np.ndarray:
+    """Return the best rank-``dimension`` approximation of ``matrix``."""
+    factors = truncated_svd_factors(matrix, dimension)
+    return factors.outgoing @ factors.incoming.T
+
+
+def singular_spectrum(matrix: object) -> np.ndarray:
+    """Return all singular values of ``matrix`` in descending order.
+
+    The spectrum is the paper's justification for low-rank modeling:
+    distance matrices of clustered networks have a few dominant singular
+    values (see the ``ablate-rank`` experiment).
+    """
+    values = np.linalg.svd(as_matrix(matrix, name="matrix"), compute_uv=False)
+    return values

@@ -1,0 +1,34 @@
+"""Measurement substrate: simulated RTT probing.
+
+Noise models, the min-of-N pinger (NLANR/PL-RTT methodology), the King
+indirect-measurement simulator (P2PSim methodology), and campaign
+collection with missing data.
+"""
+
+from .collector import CampaignResult, MeasurementCampaign
+from .king import KingConfig, KingEstimator
+from .noise import (
+    CompositeNoise,
+    GaussianJitter,
+    NoNoise,
+    NoiseModel,
+    PacketLoss,
+    QueueingSpikes,
+    default_internet_noise,
+)
+from .pinger import Pinger
+
+__all__ = [
+    "CampaignResult",
+    "CompositeNoise",
+    "GaussianJitter",
+    "KingConfig",
+    "KingEstimator",
+    "MeasurementCampaign",
+    "NoNoise",
+    "NoiseModel",
+    "PacketLoss",
+    "Pinger",
+    "QueueingSpikes",
+    "default_internet_noise",
+]

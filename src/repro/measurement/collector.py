@@ -1,0 +1,98 @@
+"""Measurement campaigns: assembling (possibly incomplete) matrices.
+
+A campaign drives a prober over a host population and produces the
+artifact every algorithm in this library consumes: a distance matrix
+plus its observation mask. Missingness has two independent sources —
+probe loss inside the prober, and hosts that are down or unreachable
+for entire rows/columns — mirroring why the paper had to filter its
+raw data sets ("parts of the data sets were filtered out to eliminate
+missing elements", Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_rng, check_fraction
+from ..core.masks import mask_from_missing
+from .noise import NoiseModel
+from .pinger import Pinger
+
+__all__ = ["CampaignResult", "MeasurementCampaign"]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a measurement campaign.
+
+    Attributes:
+        distances: measured matrix; NaN marks unmeasured pairs.
+        mask: boolean observation matrix (True = measured).
+        down_hosts: indices of hosts that were down for the campaign.
+    """
+
+    distances: np.ndarray
+    mask: np.ndarray
+    down_hosts: np.ndarray
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of matrix entries actually observed."""
+        return float(self.mask.mean())
+
+
+class MeasurementCampaign:
+    """All-pairs campaign over a ground-truth RTT matrix.
+
+    Args:
+        true_rtt: square ground-truth matrix.
+        noise: per-probe noise model.
+        samples: probes per pair (min-of-N estimation).
+        pair_loss: fraction of pairs that fail to produce any estimate
+            (beyond per-probe loss) — path outages, filtering.
+        host_downtime: fraction of hosts down for the whole campaign;
+            their rows and columns are entirely missing.
+        seed: randomness source.
+    """
+
+    def __init__(
+        self,
+        true_rtt: object,
+        noise: NoiseModel | None = None,
+        samples: int = 10,
+        pair_loss: float = 0.0,
+        host_downtime: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ):
+        self._rng = as_rng(seed)
+        self.pinger = Pinger(true_rtt, noise=noise, samples=samples, seed=self._rng)
+        self.pair_loss = check_fraction(pair_loss, name="pair_loss")
+        self.host_downtime = check_fraction(host_downtime, name="host_downtime")
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign and return its result."""
+        measured = self.pinger.measure_matrix()
+        n = measured.shape[0]
+        rng = self._rng
+
+        if self.pair_loss > 0:
+            lost = rng.random(measured.shape) < self.pair_loss
+            if measured.shape[0] == measured.shape[1]:
+                np.fill_diagonal(lost, False)
+            measured[lost] = np.nan
+
+        down = np.array([], dtype=int)
+        if self.host_downtime > 0:
+            n_down = int(round(self.host_downtime * n))
+            if n_down:
+                down = np.sort(rng.choice(n, size=n_down, replace=False))
+                measured[down, :] = np.nan
+                measured[:, down] = np.nan
+
+        return CampaignResult(
+            distances=measured,
+            mask=mask_from_missing(measured),
+            down_hosts=down,
+        )

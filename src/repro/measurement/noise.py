@@ -1,0 +1,139 @@
+"""Noise models for simulated RTT probes.
+
+A single ping sample is the propagation RTT plus transient components:
+small jitter from serialization and scheduling, occasional large
+queueing spikes when a router buffer is loaded, and outright loss. The
+data sets the paper uses (NLANR, PL-RTT) take the *minimum* of many
+samples precisely to strip these components; our pinger reproduces that
+pipeline, so the residual noise floor in the generated matrices matches
+the character of real min-RTT data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from .._validation import as_rng, check_fraction
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "GaussianJitter",
+    "QueueingSpikes",
+    "PacketLoss",
+    "CompositeNoise",
+]
+
+
+class NoiseModel(Protocol):
+    """Transforms a vector of true RTTs into noisy probe samples.
+
+    Implementations must be pure given the generator: all randomness
+    comes from ``rng``. A returned NaN marks a lost probe.
+    """
+
+    def sample(self, true_rtt: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return one noisy sample per entry of ``true_rtt``."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """Ideal measurement: samples equal the true RTT."""
+
+    def sample(self, true_rtt: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the true RTTs unchanged (as a copy)."""
+        return np.array(true_rtt, dtype=float, copy=True)
+
+
+@dataclass(frozen=True)
+class GaussianJitter:
+    """Additive truncated-Gaussian jitter.
+
+    Attributes:
+        sigma_ms: jitter standard deviation; samples never fall below
+            the true RTT (a probe cannot beat the propagation delay).
+    """
+
+    sigma_ms: float = 0.5
+
+    def sample(self, true_rtt: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Add truncated-Gaussian jitter above the true RTT."""
+        jitter = np.abs(rng.normal(0.0, self.sigma_ms, size=np.shape(true_rtt)))
+        return np.asarray(true_rtt, dtype=float) + jitter
+
+
+@dataclass(frozen=True)
+class QueueingSpikes:
+    """Occasional exponential queueing delay added to a sample.
+
+    Attributes:
+        probability: chance a probe hits a loaded queue.
+        mean_ms: mean of the exponential spike magnitude.
+    """
+
+    probability: float = 0.1
+    mean_ms: float = 20.0
+
+    def sample(self, true_rtt: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Add an exponential queueing spike with the given probability."""
+        check_fraction(self.probability, name="probability")
+        base = np.asarray(true_rtt, dtype=float)
+        hit = rng.random(base.shape) < self.probability
+        spikes = rng.exponential(self.mean_ms, size=base.shape)
+        return base + np.where(hit, spikes, 0.0)
+
+
+@dataclass(frozen=True)
+class PacketLoss:
+    """Independent probe loss; lost probes are NaN.
+
+    Attributes:
+        probability: per-probe loss rate.
+    """
+
+    probability: float = 0.01
+
+    def sample(self, true_rtt: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Drop each probe independently (lost probes become NaN)."""
+        check_fraction(self.probability, name="probability")
+        base = np.array(true_rtt, dtype=float, copy=True)
+        lost = rng.random(base.shape) < self.probability
+        base[lost] = np.nan
+        return base
+
+
+@dataclass(frozen=True)
+class CompositeNoise:
+    """Apply several noise models in sequence.
+
+    Attributes:
+        stages: models applied left to right; a NaN introduced by any
+            stage survives to the output (loss dominates).
+    """
+
+    stages: tuple = field(default_factory=tuple)
+
+    def sample(self, true_rtt: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply every stage in order; loss survives the whole chain."""
+        current = np.asarray(true_rtt, dtype=float)
+        for stage in self.stages:
+            lost = np.isnan(current)
+            current = stage.sample(np.where(lost, 0.0, current), rng)
+            current[lost] = np.nan
+        return current
+
+
+def default_internet_noise() -> CompositeNoise:
+    """The noise profile used by the data-set generators by default."""
+    return CompositeNoise(
+        stages=(GaussianJitter(sigma_ms=0.4), QueueingSpikes(probability=0.15, mean_ms=15.0))
+    )
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Public re-export of the internal RNG coercion for convenience."""
+    return as_rng(seed)

@@ -1,0 +1,27 @@
+"""Routing substrate: from topologies to distance matrices.
+
+Shortest-path delays (scipy Dijkstra), policy inflation producing
+sub-optimal routes and triangle-inequality violations, directional
+asymmetry, and the vectorized site-to-host RTT composition.
+"""
+
+from .asymmetric import apply_asymmetry, apply_host_asymmetry, asymmetry_index
+from .matrix import compose_host_rtt
+from .policy import (
+    PolicyInflationConfig,
+    alternate_path_fraction,
+    apply_policy_inflation,
+)
+from .shortest_path import pairwise_site_delays, shortest_path_delays
+
+__all__ = [
+    "PolicyInflationConfig",
+    "alternate_path_fraction",
+    "apply_asymmetry",
+    "apply_host_asymmetry",
+    "apply_policy_inflation",
+    "asymmetry_index",
+    "compose_host_rtt",
+    "pairwise_site_delays",
+    "shortest_path_delays",
+]

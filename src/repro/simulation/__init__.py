@@ -1,0 +1,20 @@
+"""Discrete-event simulation of IDES as a running service.
+
+A minimal deterministic event loop, a network that delivers probe
+results after one RTT (with loss and node failures), and a scripted
+deployment scenario: landmark bootstrap, hosts joining over time,
+landmarks failing mid-run.
+"""
+
+from .events import Event, EventQueue, Simulator
+from .network import SimulatedNetwork
+from .scenario import IDESDeployment, PlacementRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "IDESDeployment",
+    "PlacementRecord",
+    "SimulatedNetwork",
+    "Simulator",
+]

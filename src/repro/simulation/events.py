@@ -1,0 +1,114 @@
+"""Minimal discrete-event simulation core.
+
+A deliberately small engine — priority queue of timestamped events,
+each carrying a callback — sufficient to run IDES as a *service*:
+measurements take RTT time, hosts join over time, landmarks fail and
+recover. Determinism matters more than throughput here; ties are broken
+by insertion order so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulation time (ms) at which the event fires.
+        sequence: tie-breaker preserving scheduling order.
+        action: zero-argument callable executed at ``time``.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at ``time`` and return the event."""
+        event = Event(time=float(time), sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Event loop with a monotonic clock.
+
+    Attributes:
+        now: current simulation time in ms, starting at 0.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue = EventQueue()
+        self._processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        return self._queue.push(time, action)
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> float:
+        """Process events (optionally only up to time ``until``).
+
+        Returns:
+            the simulation time when the loop stopped.
+        """
+        while self._queue:
+            if self._processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            event = self._queue.pop()
+            if until is not None and event.time > until:
+                # Put it back; the caller may resume later.
+                self._queue.push(event.time, event.action)
+                self.now = until
+                return self.now
+            self.now = event.time
+            event.action()
+            self._processed += 1
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now

@@ -1,0 +1,104 @@
+"""Simulated network for the IDES service.
+
+Delivers probe results with realistic timing: a measurement of the pair
+``(a, b)`` completes one RTT after it is issued, carrying a noisy
+sample of the true distance. Landmarks and hosts interact with the
+*network*, never with the ground-truth matrix directly, which keeps the
+service-layer code honest about what information is observable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .._validation import as_distance_matrix, as_rng
+from ..exceptions import SimulationError
+from ..measurement.noise import NoiseModel, NoNoise
+from .events import Simulator
+
+__all__ = ["SimulatedNetwork"]
+
+
+class SimulatedNetwork:
+    """Ground-truth network delivering asynchronous probe results.
+
+    Args:
+        simulator: the event loop driving time.
+        true_rtt: square matrix of true RTTs (ms) between all nodes.
+        noise: per-probe noise model.
+        seed: randomness source for the noise.
+        down_nodes: initially failed nodes (probes to them are lost).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        true_rtt: object,
+        noise: NoiseModel | None = None,
+        seed: int | np.random.Generator | None = None,
+        down_nodes: set[int] | None = None,
+    ):
+        self.simulator = simulator
+        self.true_rtt = as_distance_matrix(true_rtt, name="true_rtt", require_square=True)
+        self.noise = noise if noise is not None else NoNoise()
+        self._rng = as_rng(seed)
+        self._down: set[int] = set(down_nodes or ())
+        self.probes_sent = 0
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the simulated network."""
+        return self.true_rtt.shape[0]
+
+    def fail_node(self, node: int) -> None:
+        """Take a node down; subsequent probes to/from it are lost."""
+        self._check_node(node)
+        self._down.add(node)
+
+    def recover_node(self, node: int) -> None:
+        """Bring a failed node back."""
+        self._down.discard(node)
+
+    def is_down(self, node: int) -> bool:
+        """Whether a node is currently failed."""
+        return node in self._down
+
+    def probe(
+        self,
+        source: int,
+        destination: int,
+        callback: Callable[[int, int, float], None],
+        timeout_ms: float = 5000.0,
+    ) -> None:
+        """Issue an asynchronous RTT probe.
+
+        ``callback(source, destination, rtt)`` fires one RTT after the
+        probe is issued; a lost probe (down endpoint or noise-model
+        loss) fires with ``rtt = nan`` after ``timeout_ms`` instead.
+        """
+        self._check_node(source)
+        self._check_node(destination)
+        self.probes_sent += 1
+
+        if source in self._down or destination in self._down:
+            self.simulator.schedule(
+                timeout_ms, lambda: callback(source, destination, float("nan"))
+            )
+            return
+
+        true_value = np.asarray([self.true_rtt[source, destination]])
+        sample = float(self.noise.sample(true_value, self._rng)[0])
+        if not np.isfinite(sample):
+            self.simulator.schedule(
+                timeout_ms, lambda: callback(source, destination, float("nan"))
+            )
+            return
+        self.simulator.schedule(
+            max(sample, 1e-6), lambda: callback(source, destination, sample)
+        )
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise SimulationError(f"node {node} outside [0, {self.n_nodes - 1}]")

@@ -1,0 +1,241 @@
+"""End-to-end IDES deployment scenario on the event simulator.
+
+Runs the full service lifecycle the paper describes in prose:
+
+1. landmarks measure each other asynchronously over the simulated
+   network (probes take RTT time, may be lost, are retried);
+2. the information server factors the landmark matrix once enough
+   measurements arrive;
+3. ordinary hosts join over time, probe the landmarks they can reach,
+   solve for their vectors, and register with the server;
+4. optionally, landmarks fail mid-run — late-joining hosts then place
+   themselves from the surviving landmarks only.
+
+The scenario records per-host placement results so tests and examples
+can assert on accuracy as a function of join time and failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_rng, check_indices
+from ..exceptions import SimulationError
+from ..ides import IDESSystem
+from ..measurement.noise import NoiseModel
+from .events import Simulator
+from .network import SimulatedNetwork
+
+__all__ = ["PlacementRecord", "IDESDeployment"]
+
+
+@dataclass(frozen=True)
+class PlacementRecord:
+    """Outcome of one ordinary host's join.
+
+    Attributes:
+        host: node index of the host.
+        join_time: simulation time at which the host started probing.
+        placed_time: time at which its vectors were registered.
+        observed_landmarks: landmarks that answered its probes.
+        outgoing / incoming: the solved vectors.
+    """
+
+    host: int
+    join_time: float
+    placed_time: float
+    observed_landmarks: np.ndarray
+    outgoing: np.ndarray
+    incoming: np.ndarray
+
+
+@dataclass
+class IDESDeployment:
+    """Scripted IDES deployment over a simulated network.
+
+    Args:
+        true_rtt: ground-truth RTT matrix for all nodes.
+        landmark_nodes: node indices acting as landmarks.
+        dimension: model dimension.
+        method: landmark factorization method.
+        noise: probe noise model.
+        probe_retries: retries per lost probe before giving up on a
+            landmark.
+        seed: randomness source.
+    """
+
+    true_rtt: np.ndarray
+    landmark_nodes: list[int]
+    dimension: int = 8
+    method: str = "svd"
+    noise: NoiseModel | None = None
+    probe_retries: int = 2
+    seed: int | np.random.Generator | None = 0
+
+    simulator: Simulator = field(init=False)
+    network: SimulatedNetwork = field(init=False)
+    system: IDESSystem = field(init=False)
+    placements: list[PlacementRecord] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        rng = as_rng(self.seed)
+        self.simulator = Simulator()
+        self.network = SimulatedNetwork(
+            self.simulator, self.true_rtt, noise=self.noise, seed=rng
+        )
+        self.landmark_nodes = list(
+            check_indices(self.landmark_nodes, self.network.n_nodes, name="landmark_nodes")
+        )
+        self.system = IDESSystem(
+            dimension=self.dimension, method=self.method, strict=True, seed=rng
+        )
+        self.placements = []
+        self._landmarks_fitted = False
+
+    # ------------------------------------------------------------------ #
+    # phase 1: landmark mesh measurement + factorization
+    # ------------------------------------------------------------------ #
+
+    def bootstrap_landmarks(self) -> None:
+        """Measure the full landmark mesh, then factor it.
+
+        Probes all ordered landmark pairs (with retries); the landmark
+        matrix entry for an unmeasurable pair becomes NaN, which forces
+        the NMF path — matching the paper's note that NMF handles
+        missing landmark measurements.
+        """
+        m = len(self.landmark_nodes)
+        matrix = np.full((m, m), np.nan)
+        np.fill_diagonal(matrix, 0.0)
+        outstanding = {"count": 0}
+
+        def record(i: int, j: int, attempts_left: int):
+            def callback(_src: int, _dst: int, rtt: float) -> None:
+                if np.isfinite(rtt):
+                    matrix[i, j] = rtt
+                elif attempts_left > 0:
+                    outstanding["count"] += 1
+                    self.network.probe(
+                        self.landmark_nodes[i],
+                        self.landmark_nodes[j],
+                        record(i, j, attempts_left - 1),
+                    )
+                outstanding["count"] -= 1
+
+            return callback
+
+        for i in range(m):
+            for j in range(m):
+                if i == j:
+                    continue
+                outstanding["count"] += 1
+                self.network.probe(
+                    self.landmark_nodes[i],
+                    self.landmark_nodes[j],
+                    record(i, j, self.probe_retries),
+                )
+        self.simulator.run()
+        if outstanding["count"] != 0:
+            raise SimulationError("landmark probes still outstanding after run")
+
+        observed = ~np.isnan(matrix)
+        if self.method == "svd" and not observed.all():
+            raise SimulationError(
+                "landmark matrix is incomplete; SVD cannot proceed "
+                "(use method='nmf' or increase probe_retries)"
+            )
+        mask = None if observed.all() else observed
+        self.system.fit_landmarks(matrix, mask=mask)
+        self._landmarks_fitted = True
+
+    # ------------------------------------------------------------------ #
+    # phase 2: hosts join over time
+    # ------------------------------------------------------------------ #
+
+    def schedule_host_join(self, host: int, at_time: float) -> None:
+        """Schedule an ordinary host to join at a simulation time."""
+        if not self._landmarks_fitted:
+            raise SimulationError("bootstrap_landmarks must run before hosts join")
+        self.simulator.schedule_at(at_time, lambda: self._host_joins(host, at_time))
+
+    def _host_joins(self, host: int, join_time: float) -> None:
+        m = len(self.landmark_nodes)
+        out_measured = np.full(m, np.nan)
+        in_measured = np.full(m, np.nan)
+        pending = {"count": 2 * m}
+
+        def on_done() -> None:
+            observed = np.isfinite(out_measured) & np.isfinite(in_measured)
+            if observed.sum() < self.dimension:
+                return  # cannot place: too few landmarks answered
+            landmark_out, landmark_in = self.system.landmark_vectors()
+            vectors = self.system.place_single_host(
+                out_measured[observed],
+                in_measured[observed],
+                landmark_out[observed],
+                landmark_in[observed],
+            )
+            self.system.server.register_host(f"host-{host}", vectors)
+            self.placements.append(
+                PlacementRecord(
+                    host=host,
+                    join_time=join_time,
+                    placed_time=self.simulator.now,
+                    observed_landmarks=np.flatnonzero(observed),
+                    outgoing=vectors.outgoing,
+                    incoming=vectors.incoming,
+                )
+            )
+
+        def make_callback(index: int, direction: str):
+            def callback(_src: int, _dst: int, rtt: float) -> None:
+                if np.isfinite(rtt):
+                    if direction == "out":
+                        out_measured[index] = rtt
+                    else:
+                        in_measured[index] = rtt
+                pending["count"] -= 1
+                if pending["count"] == 0:
+                    on_done()
+
+            return callback
+
+        for index, landmark in enumerate(self.landmark_nodes):
+            self.network.probe(host, landmark, make_callback(index, "out"))
+            self.network.probe(landmark, host, make_callback(index, "in"))
+
+    # ------------------------------------------------------------------ #
+    # failure injection and execution
+    # ------------------------------------------------------------------ #
+
+    def schedule_landmark_failure(self, landmark_index: int, at_time: float) -> None:
+        """Fail the ``landmark_index``-th landmark at a given time."""
+        node = self.landmark_nodes[landmark_index]
+        self.simulator.schedule_at(at_time, lambda: self.network.fail_node(node))
+
+    def run(self, until: float | None = None) -> None:
+        """Drive the event loop to completion (or to ``until``)."""
+        self.simulator.run(until=until)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def placement_errors(self) -> np.ndarray:
+        """Relative prediction errors among all placed host pairs."""
+        if len(self.placements) < 2:
+            return np.array([])
+        errors: list[float] = []
+        for first in self.placements:
+            for second in self.placements:
+                if first.host == second.host:
+                    continue
+                predicted = float(first.outgoing @ second.incoming)
+                actual = float(self.true_rtt[first.host, second.host])
+                if actual <= 0:
+                    continue
+                denominator = max(min(actual, predicted), 1e-9)
+                errors.append(abs(actual - predicted) / denominator)
+        return np.asarray(errors)

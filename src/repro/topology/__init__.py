@@ -1,0 +1,33 @@
+"""Topology substrate: transit-stub Internet models with delay links.
+
+Provides the synthetic router-level topologies from which the data-set
+layer derives RTT matrices: Waxman building blocks, the GT-ITM-style
+transit-stub hierarchy, link/access delay models, and site/host
+placement.
+"""
+
+from .delays import (
+    SPEED_KM_PER_MS,
+    AccessDelayModel,
+    assign_link_delays,
+    propagation_delay_ms,
+)
+from .graph import NodeKind, Topology
+from .sites import SitePlacement, assign_hosts, place_sites
+from .transit_stub import TransitStubConfig, transit_stub_topology
+from .waxman import waxman_graph
+
+__all__ = [
+    "SPEED_KM_PER_MS",
+    "AccessDelayModel",
+    "NodeKind",
+    "SitePlacement",
+    "Topology",
+    "TransitStubConfig",
+    "assign_hosts",
+    "assign_link_delays",
+    "place_sites",
+    "propagation_delay_ms",
+    "transit_stub_topology",
+    "waxman_graph",
+]

@@ -1,0 +1,128 @@
+"""Topology container shared by the generators and the routing layer.
+
+A :class:`Topology` wraps a connected :class:`networkx.Graph` whose
+nodes carry a ``kind`` (transit/stub router), a Euclidean ``position``
+in kilometres, and a ``domain`` label (autonomous-system identifier),
+and whose edges carry a one-way ``delay`` in milliseconds. The routing
+layer turns topologies into delay matrices; the data-set layer turns
+delay matrices into the RTT matrices the paper models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import networkx as nx
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import ValidationError
+
+__all__ = ["NodeKind", "Topology"]
+
+
+class NodeKind(str, Enum):
+    """Role of a router node in the transit-stub hierarchy."""
+
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+@dataclass
+class Topology:
+    """A delay-annotated network topology.
+
+    Attributes:
+        graph: undirected graph; every edge must have a positive
+            ``delay`` attribute (one-way milliseconds) and every node a
+            ``position`` (length-2 array, km) plus ``kind`` and
+            ``domain`` labels.
+        name: human-readable identifier used in reports.
+    """
+
+    graph: nx.Graph
+    name: str = "topology"
+    _node_index: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.graph.number_of_nodes() == 0:
+            raise ValidationError("topology must contain at least one node")
+        if not nx.is_connected(self.graph):
+            raise ValidationError("topology graph must be connected")
+        for u, v, data in self.graph.edges(data=True):
+            delay = data.get("delay")
+            if delay is None or not np.isfinite(delay) or delay <= 0:
+                raise ValidationError(f"edge ({u}, {v}) lacks a positive delay")
+        self._node_index = {node: i for i, node in enumerate(self.graph.nodes())}
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of router nodes."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of links."""
+        return self.graph.number_of_edges()
+
+    def node_list(self) -> list:
+        """Nodes in the canonical (index) order."""
+        return list(self._node_index)
+
+    def index_of(self, node: object) -> int:
+        """Canonical integer index of a node."""
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise ValidationError(f"unknown node {node!r}") from None
+
+    def nodes_of_kind(self, kind: NodeKind) -> list:
+        """All nodes whose ``kind`` attribute equals ``kind``."""
+        return [
+            node
+            for node, data in self.graph.nodes(data=True)
+            if data.get("kind") == kind
+        ]
+
+    def positions(self) -> np.ndarray:
+        """``(n_nodes, 2)`` array of node positions in canonical order."""
+        return np.array(
+            [self.graph.nodes[node]["position"] for node in self._node_index]
+        )
+
+    def domains(self) -> np.ndarray:
+        """Domain label of every node in canonical order."""
+        return np.array(
+            [self.graph.nodes[node].get("domain", -1) for node in self._node_index]
+        )
+
+    def delay_adjacency(self) -> sparse.csr_matrix:
+        """Sparse symmetric adjacency matrix of link delays.
+
+        Row/column order matches :meth:`node_list`; consumed by the
+        scipy shortest-path routines in :mod:`repro.routing`.
+        """
+        n = self.n_nodes
+        rows, cols, delays = [], [], []
+        for u, v, data in self.graph.edges(data=True):
+            i, j = self._node_index[u], self._node_index[v]
+            rows.extend((i, j))
+            cols.extend((j, i))
+            delays.extend((data["delay"], data["delay"]))
+        return sparse.csr_matrix(
+            (np.asarray(delays, dtype=float), (rows, cols)), shape=(n, n)
+        )
+
+    def total_delay(self) -> float:
+        """Sum of all link delays; a crude size/scale diagnostic."""
+        return float(sum(data["delay"] for _u, _v, data in self.graph.edges(data=True)))
+
+    def describe(self) -> str:
+        """One-line summary used by examples and reports."""
+        n_transit = len(self.nodes_of_kind(NodeKind.TRANSIT))
+        n_stub = len(self.nodes_of_kind(NodeKind.STUB))
+        return (
+            f"{self.name}: {self.n_nodes} nodes ({n_transit} transit, "
+            f"{n_stub} stub), {self.n_edges} links"
+        )

@@ -1,0 +1,193 @@
+"""GT-ITM-style transit-stub topology generator.
+
+The transit-stub model (Zegura, Calvert & Bhattacharjee, INFOCOM 1996)
+captures the two-level structure of the Internet: a small number of
+interconnected *transit* (backbone/ISP) domains, each of whose routers
+attaches several *stub* (campus/enterprise) domains. End hosts live in
+stub domains; traffic between stubs transits the backbone.
+
+This hierarchy is what gives real distance matrices their low effective
+rank — all hosts in one stub domain share essentially the same path to
+everywhere else — which is precisely the property the paper's
+factorization model exploits (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .._validation import as_rng, check_positive
+from ..exceptions import ValidationError
+from .delays import assign_link_delays
+from .graph import NodeKind, Topology
+from .waxman import waxman_graph
+
+__all__ = ["TransitStubConfig", "transit_stub_topology"]
+
+
+@dataclass(frozen=True)
+class TransitStubConfig:
+    """Parameters of the transit-stub generator.
+
+    Attributes:
+        n_transit_domains: number of backbone domains (continents/ISPs).
+        transit_domain_size: routers per transit domain.
+        stub_domains_per_transit_node: stub domains hanging off each
+            transit router.
+        stub_domain_size: routers per stub domain.
+        region_km: side of the global placement square; transit domains
+            are spread across it, stub domains cluster near their
+            transit router.
+        stub_region_km: side of each stub domain's local square.
+        multihoming_probability: chance a stub domain gets a second
+            (redundant) link to a random transit router — the source of
+            path diversity and triangle-inequality violations.
+        per_hop_overhead_ms: fixed per-link overhead.
+        link_jitter_fraction: multiplicative fibre-detour spread.
+    """
+
+    n_transit_domains: int = 3
+    transit_domain_size: int = 4
+    stub_domains_per_transit_node: int = 2
+    stub_domain_size: int = 3
+    region_km: float = 8000.0
+    stub_region_km: float = 150.0
+    multihoming_probability: float = 0.15
+    per_hop_overhead_ms: float = 0.1
+    link_jitter_fraction: float = 0.15
+
+    def validate(self) -> None:
+        """Raise :class:`ValidationError` on inconsistent parameters."""
+        if self.n_transit_domains < 1:
+            raise ValidationError("need at least one transit domain")
+        if self.transit_domain_size < 1:
+            raise ValidationError("transit domains need at least one router")
+        if self.stub_domain_size < 1:
+            raise ValidationError("stub domains need at least one router")
+        if self.stub_domains_per_transit_node < 0:
+            raise ValidationError("stub_domains_per_transit_node must be >= 0")
+        check_positive(self.region_km, name="region_km")
+        check_positive(self.stub_region_km, name="stub_region_km")
+
+
+def _transit_domain_origins(
+    config: TransitStubConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Spread transit domains over the global region on a jittered grid."""
+    count = config.n_transit_domains
+    grid = int(np.ceil(np.sqrt(count)))
+    cell = config.region_km / grid
+    origins = []
+    for index in range(count):
+        row, col = divmod(index, grid)
+        jitter = rng.random(2) * 0.3 * cell
+        origins.append((col * cell + jitter[0], row * cell + jitter[1]))
+    return np.asarray(origins)
+
+
+def transit_stub_topology(
+    config: TransitStubConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+    name: str = "transit-stub",
+) -> Topology:
+    """Generate a transit-stub :class:`Topology`.
+
+    Args:
+        config: generator parameters; defaults model a small
+            three-continent Internet.
+        seed: randomness source.
+        name: topology name for reports.
+
+    Returns:
+        a connected, delay-annotated :class:`Topology`. Node attributes:
+        ``kind`` (:class:`NodeKind`), ``position`` (km), ``domain``
+        (integer domain id; transit domains come first, then stub
+        domains in creation order).
+    """
+    config = config or TransitStubConfig()
+    config.validate()
+    rng = as_rng(seed)
+
+    combined = nx.Graph()
+    next_node = 0
+    next_domain = 0
+    transit_nodes_by_domain: list[list[int]] = []
+    origins = _transit_domain_origins(config, rng)
+
+    # --- transit (backbone) domains -----------------------------------
+    transit_span = config.region_km / max(np.sqrt(config.n_transit_domains), 1.0) * 0.5
+    for domain_index in range(config.n_transit_domains):
+        domain_graph = waxman_graph(
+            config.transit_domain_size,
+            alpha=0.9,
+            beta=0.6,
+            region_km=transit_span,
+            origin_km=tuple(origins[domain_index]),
+            seed=rng,
+        )
+        relabel = {old: next_node + old for old in domain_graph.nodes}
+        domain_graph = nx.relabel_nodes(domain_graph, relabel)
+        for node in domain_graph.nodes:
+            domain_graph.nodes[node]["kind"] = NodeKind.TRANSIT
+            domain_graph.nodes[node]["domain"] = next_domain
+        combined.update(domain_graph)
+        transit_nodes_by_domain.append(sorted(domain_graph.nodes))
+        next_node += config.transit_domain_size
+        next_domain += 1
+
+    # --- inter-transit links (peering) --------------------------------
+    for first in range(config.n_transit_domains):
+        for second in range(first + 1, config.n_transit_domains):
+            # One guaranteed peering link plus an occasional second one.
+            links = 1 + int(rng.random() < 0.3)
+            for _ in range(links):
+                u = int(rng.choice(transit_nodes_by_domain[first]))
+                v = int(rng.choice(transit_nodes_by_domain[second]))
+                combined.add_edge(u, v)
+
+    # --- stub domains --------------------------------------------------
+    all_transit = [n for nodes in transit_nodes_by_domain for n in nodes]
+    for transit_node in all_transit:
+        anchor = combined.nodes[transit_node]["position"]
+        for _ in range(config.stub_domains_per_transit_node):
+            offset = (rng.random(2) - 0.5) * 4.0 * config.stub_region_km
+            stub_graph = waxman_graph(
+                config.stub_domain_size,
+                alpha=0.9,
+                beta=0.8,
+                region_km=config.stub_region_km,
+                origin_km=tuple(np.asarray(anchor) + offset),
+                seed=rng,
+            )
+            relabel = {old: next_node + old for old in stub_graph.nodes}
+            stub_graph = nx.relabel_nodes(stub_graph, relabel)
+            stub_nodes = sorted(stub_graph.nodes)
+            for node in stub_nodes:
+                stub_graph.nodes[node]["kind"] = NodeKind.STUB
+                stub_graph.nodes[node]["domain"] = next_domain
+            combined.update(stub_graph)
+
+            # Primary homing link to the owning transit router.
+            gateway = int(rng.choice(stub_nodes))
+            combined.add_edge(gateway, transit_node)
+
+            # Occasional multihoming to a different transit router.
+            if len(all_transit) > 1 and rng.random() < config.multihoming_probability:
+                others = [n for n in all_transit if n != transit_node]
+                backup = int(rng.choice(others))
+                second_gateway = int(rng.choice(stub_nodes))
+                combined.add_edge(second_gateway, backup)
+
+            next_node += config.stub_domain_size
+            next_domain += 1
+
+    assign_link_delays(
+        combined,
+        per_hop_overhead_ms=config.per_hop_overhead_ms,
+        jitter_fraction=config.link_jitter_fraction,
+        seed=rng,
+    )
+    return Topology(graph=combined, name=name)

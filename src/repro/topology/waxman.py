@@ -1,0 +1,100 @@
+"""Waxman random graphs with guaranteed connectivity.
+
+The Waxman model (Waxman, JSAC 1988) places nodes uniformly in a square
+and connects each pair with probability
+``alpha * exp(-dist / (beta * L))`` where ``L`` is the diameter of the
+region — long links are exponentially less likely than short ones,
+which is a reasonable first-order model of router-level connectivity.
+It is the building block of the GT-ITM-style transit-stub generator in
+:mod:`repro.topology.transit_stub`.
+
+We implement it directly (rather than via ``networkx.waxman_graph``) so
+that positions, the connectivity repair step, and the random stream are
+fully under our control and reproducible.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .._validation import as_rng, check_fraction, check_positive
+from ..exceptions import ValidationError
+
+__all__ = ["waxman_graph"]
+
+
+def _connect_components(graph: nx.Graph, positions: np.ndarray) -> None:
+    """Join disconnected components with their geometrically closest pair.
+
+    Repairing instead of resampling keeps the node positions (and hence
+    downstream delays) stable for a given seed.
+    """
+    components = [list(c) for c in nx.connected_components(graph)]
+    while len(components) > 1:
+        base = components[0]
+        best: tuple[float, int, int] | None = None
+        for other in components[1:]:
+            diffs = positions[np.asarray(base)][:, None, :] - positions[np.asarray(other)][None, :, :]
+            distances = np.linalg.norm(diffs, axis=2)
+            local = np.unravel_index(np.argmin(distances), distances.shape)
+            candidate = (float(distances[local]), base[local[0]], other[local[1]])
+            if best is None or candidate[0] < best[0]:
+                best = candidate
+        assert best is not None
+        graph.add_edge(best[1], best[2])
+        components = [list(c) for c in nx.connected_components(graph)]
+
+
+def waxman_graph(
+    n_nodes: int,
+    alpha: float = 0.6,
+    beta: float = 0.25,
+    region_km: float = 1000.0,
+    origin_km: tuple[float, float] = (0.0, 0.0),
+    seed: int | np.random.Generator | None = None,
+) -> nx.Graph:
+    """Generate a connected Waxman graph.
+
+    Args:
+        n_nodes: number of nodes.
+        alpha: overall edge density in ``(0, 1]``.
+        beta: decay length as a fraction of the region diameter; larger
+            values allow longer links.
+        region_km: side length of the square placement region.
+        origin_km: lower-left corner of the region, letting callers lay
+            multiple domains out on a shared plane.
+        seed: randomness source.
+
+    Returns:
+        a connected :class:`networkx.Graph` whose nodes carry a
+        ``position`` attribute (km). Edge delays are *not* assigned
+        here; see :func:`repro.topology.delays.assign_link_delays`.
+    """
+    if n_nodes < 1:
+        raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+    check_fraction(alpha, name="alpha")
+    check_positive(beta, name="beta")
+    check_positive(region_km, name="region_km")
+    rng = as_rng(seed)
+
+    positions = rng.random((n_nodes, 2)) * region_km + np.asarray(origin_km)
+    graph = nx.Graph()
+    for index in range(n_nodes):
+        graph.add_node(index, position=positions[index])
+
+    if n_nodes == 1:
+        return graph
+
+    diameter = region_km * np.sqrt(2.0)
+    pair_distances = np.linalg.norm(
+        positions[:, None, :] - positions[None, :, :], axis=2
+    )
+    probabilities = alpha * np.exp(-pair_distances / (beta * diameter))
+    draws = rng.random((n_nodes, n_nodes))
+    upper = np.triu(draws < probabilities, k=1)
+    for i, j in zip(*np.nonzero(upper)):
+        graph.add_edge(int(i), int(j))
+
+    _connect_components(graph, positions)
+    return graph

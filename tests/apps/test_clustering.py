@@ -1,0 +1,72 @@
+"""Tests for vector-space host clustering."""
+
+import numpy as np
+import pytest
+
+from repro.apps import cluster_hosts, kmeans
+from repro.core import SVDFactorizer
+from repro.exceptions import ValidationError
+
+from ..conftest import make_clustered_rtt
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]])
+        data = np.vstack(
+            [center + rng.normal(0, 1.0, size=(30, 2)) for center in centers]
+        )
+        result = kmeans(data, 3, seed=0)
+        truth = np.repeat([0, 1, 2], 30)
+        # Labels agree up to permutation: same-cluster pairs match.
+        same_truth = truth[:, None] == truth[None, :]
+        same_found = result.labels[:, None] == result.labels[None, :]
+        assert (same_truth == same_found).mean() > 0.99
+
+    def test_inertia_decreases_with_k(self, rng):
+        data = rng.random((60, 4)) * 10
+        inertias = [kmeans(data, k, seed=0).inertia for k in (1, 3, 6, 12)]
+        assert inertias == sorted(inertias, reverse=True)
+
+    def test_k_equals_n_gives_zero_inertia(self, rng):
+        data = rng.random((8, 2))
+        result = kmeans(data, 8, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_deterministic(self, rng):
+        data = rng.random((40, 3))
+        first = kmeans(data, 4, seed=9)
+        second = kmeans(data, 4, seed=9)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_labels_shape_and_range(self, rng):
+        data = rng.random((25, 3))
+        result = kmeans(data, 5, seed=1)
+        assert result.labels.shape == (25,)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < 5
+        assert result.n_clusters == 5
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValidationError):
+            kmeans(rng.random((5, 2)), 0)
+        with pytest.raises(ValidationError):
+            kmeans(rng.random((5, 2)), 6)
+
+
+class TestClusterHosts:
+    def test_recovers_network_clusters(self):
+        # Hosts at the same site share distance profiles, hence vectors.
+        matrix, truth = make_clustered_rtt(
+            n_hosts=40, n_clusters=4, seed=3, return_membership=True
+        )
+        model = SVDFactorizer(dimension=6).fit(matrix)
+        result = cluster_hosts(model.outgoing, model.incoming, k=4, seed=0)
+
+        same_truth = truth[:, None] == truth[None, :]
+        same_found = result.labels[:, None] == result.labels[None, :]
+        assert (same_truth == same_found).mean() > 0.9
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            cluster_hosts(rng.random((5, 3)), rng.random((5, 2)), k=2)

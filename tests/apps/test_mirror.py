@@ -1,0 +1,72 @@
+"""Tests for mirror selection."""
+
+import numpy as np
+import pytest
+
+from repro.apps import evaluate_selection, select_mirror
+from repro.core import SVDFactorizer
+from repro.exceptions import ValidationError
+
+from ..conftest import make_low_rank_matrix
+
+
+class TestSelectMirror:
+    def test_picks_smallest_dot_product(self):
+        client_incoming = np.array([1.0, 0.0])
+        mirrors = np.array([[5.0, 0.0], [2.0, 9.0], [7.0, 1.0]])
+        result = select_mirror(client_incoming, mirrors)
+        assert result.chosen == 1
+        assert result.predicted_ms == pytest.approx(2.0)
+
+    def test_stretch_perfect_when_choice_optimal(self):
+        client_incoming = np.array([1.0])
+        mirrors = np.array([[3.0], [1.0]])
+        truth = np.array([3.0, 1.0])
+        result = select_mirror(client_incoming, mirrors, truth)
+        assert result.stretch == pytest.approx(1.0)
+
+    def test_stretch_reflects_suboptimal_choice(self):
+        client_incoming = np.array([1.0])
+        mirrors = np.array([[2.0], [5.0]])
+        truth = np.array([10.0, 5.0])  # model misleads: picks mirror 0
+        result = select_mirror(client_incoming, mirrors, truth)
+        assert result.chosen == 0
+        assert result.stretch == pytest.approx(2.0)
+
+    def test_without_truth_stretch_nan(self):
+        result = select_mirror(np.ones(2), np.ones((3, 2)))
+        assert np.isnan(result.stretch)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            select_mirror(np.ones(3), np.ones((2, 2)))
+
+    def test_truth_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            select_mirror(np.ones(2), np.ones((3, 2)), np.ones(2))
+
+
+class TestEvaluateSelection:
+    def test_perfect_model_gives_unit_stretch(self):
+        # Exact factorization: selection should be optimal everywhere.
+        matrix = make_low_rank_matrix(20, 20, 3, seed=5)
+        model = SVDFactorizer(dimension=3).fit(matrix)
+        mirrors = np.arange(5)           # first five hosts serve content
+        clients = np.arange(5, 20)
+        stretches = evaluate_selection(
+            model.incoming[clients],
+            model.outgoing[mirrors],
+            matrix[np.ix_(mirrors, clients)],
+        )
+        np.testing.assert_allclose(stretches, 1.0, rtol=1e-6)
+
+    def test_subset_of_clients(self):
+        matrix = make_low_rank_matrix(10, 10, 2, seed=6)
+        model = SVDFactorizer(dimension=2).fit(matrix)
+        stretches = evaluate_selection(
+            model.incoming[5:],
+            model.outgoing[:5],
+            matrix[:5, 5:],
+            client_indices=[0, 2],
+        )
+        assert stretches.shape == (2,)

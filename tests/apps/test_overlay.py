@@ -1,0 +1,65 @@
+"""Tests for overlay neighbor selection."""
+
+import numpy as np
+import pytest
+
+from repro.apps import evaluate_overlay, select_neighbors
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def true_matrix(rng):
+    matrix = rng.random((20, 20)) * 100
+    matrix = 0.5 * (matrix + matrix.T)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestSelectNeighbors:
+    def test_perfect_prediction_perfect_efficiency(self, true_matrix):
+        result = select_neighbors(0, true_matrix, true_matrix, k=4)
+        assert result.efficiency == pytest.approx(1.0)
+        assert result.mean_chosen_ms == pytest.approx(result.mean_optimal_ms)
+
+    def test_chosen_are_k_smallest_predicted(self, true_matrix, rng):
+        predicted = rng.random((20, 20)) * 100
+        result = select_neighbors(3, predicted, true_matrix, k=5)
+        others = np.delete(np.arange(20), 3)
+        expected = others[np.argsort(predicted[3, others])][:5]
+        np.testing.assert_array_equal(np.sort(result.chosen), np.sort(expected))
+
+    def test_node_never_selects_itself(self, true_matrix):
+        result = select_neighbors(7, true_matrix, true_matrix, k=10)
+        assert 7 not in result.chosen
+
+    def test_invalid_k(self, true_matrix):
+        with pytest.raises(ValidationError):
+            select_neighbors(0, true_matrix, true_matrix, k=0)
+        with pytest.raises(ValidationError):
+            select_neighbors(0, true_matrix, true_matrix, k=20)
+
+
+class TestEvaluateOverlay:
+    def test_perfect_predictions(self, true_matrix):
+        results = evaluate_overlay(true_matrix, true_matrix, k=3)
+        assert len(results) == 20
+        for result in results:
+            assert result.efficiency == pytest.approx(1.0)
+
+    def test_random_predictions_worse_than_perfect(self, true_matrix, rng):
+        random_pred = rng.random((20, 20)) * 100
+        perfect = evaluate_overlay(true_matrix, true_matrix, k=3)
+        random_results = evaluate_overlay(random_pred, true_matrix, k=3, seed=0)
+        perfect_mean = np.mean([r.mean_chosen_ms for r in perfect])
+        random_mean = np.mean([r.mean_chosen_ms for r in random_results])
+        assert perfect_mean < random_mean
+
+    def test_sampling(self, true_matrix):
+        results = evaluate_overlay(true_matrix, true_matrix, k=2, sample_nodes=5, seed=1)
+        assert len(results) == 5
+
+    def test_shape_validation(self, true_matrix, rng):
+        with pytest.raises(ValidationError):
+            evaluate_overlay(rng.random((5, 5)), true_matrix)
+        with pytest.raises(ValidationError):
+            evaluate_overlay(rng.random((5, 6)), rng.random((5, 6)))

@@ -1,0 +1,90 @@
+"""Tests for replica placement."""
+
+import numpy as np
+import pytest
+
+from repro.apps import evaluate_placement, place_replicas
+from repro.core import SVDFactorizer
+from repro.exceptions import ValidationError
+
+from ..conftest import make_clustered_rtt
+
+
+@pytest.fixture(scope="module")
+def clustered_model():
+    matrix, membership = make_clustered_rtt(
+        n_hosts=40, n_clusters=4, seed=21, return_membership=True
+    )
+    model = SVDFactorizer(dimension=6).fit(matrix)
+    return {"matrix": matrix, "membership": membership, "model": model}
+
+
+class TestPlaceReplicas:
+    def test_chooses_k_distinct_candidates(self, clustered_model):
+        model = clustered_model["model"]
+        placement = place_replicas(model.outgoing[:15], model.incoming[15:], k=4)
+        assert placement.chosen.shape == (4,)
+        assert np.unique(placement.chosen).size == 4
+
+    def test_assignments_cover_all_clients(self, clustered_model):
+        model = clustered_model["model"]
+        placement = place_replicas(model.outgoing[:15], model.incoming[15:], k=3)
+        assert placement.assignments.shape == (25,)
+        assert placement.assignments.max() < 3
+
+    def test_more_replicas_never_cost_more(self, clustered_model):
+        model = clustered_model["model"]
+        costs = [
+            place_replicas(model.outgoing[:15], model.incoming[15:], k=k).predicted_cost
+            for k in (1, 2, 4, 8)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_spreads_across_clusters(self, clustered_model):
+        # With one replica per cluster budget, the greedy choice should
+        # hit distinct network clusters (their inter-cluster distances
+        # dominate the objective).
+        membership = clustered_model["membership"]
+        model = clustered_model["model"]
+        placement = place_replicas(model.outgoing, model.incoming, k=4)
+        chosen_clusters = membership[placement.chosen]
+        assert np.unique(chosen_clusters).size >= 3
+
+    def test_k_validation(self, clustered_model):
+        model = clustered_model["model"]
+        with pytest.raises(ValidationError):
+            place_replicas(model.outgoing[:5], model.incoming[5:], k=0)
+        with pytest.raises(ValidationError):
+            place_replicas(model.outgoing[:5], model.incoming[5:], k=6)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            place_replicas(rng.random((4, 3)), rng.random((5, 2)), k=2)
+
+
+class TestEvaluatePlacement:
+    def test_perfect_model_low_regret(self, clustered_model):
+        matrix = clustered_model["matrix"]
+        model = clustered_model["model"]
+        candidates = np.arange(15)
+        clients = np.arange(15, 40)
+        placement = place_replicas(
+            model.outgoing[candidates], model.incoming[clients], k=4
+        )
+        scores = evaluate_placement(
+            placement, matrix[np.ix_(candidates, clients)]
+        )
+        # An exact model should pick (almost) the same replicas greedy-
+        # on-truth would pick.
+        assert scores["regret"] < 1.05
+        assert scores["actual_cost"] > 0
+
+    def test_skipping_reference(self, clustered_model):
+        matrix = clustered_model["matrix"]
+        model = clustered_model["model"]
+        placement = place_replicas(model.outgoing[:15], model.incoming[15:], k=2)
+        scores = evaluate_placement(
+            placement, matrix[:15, 15:], optimal_reference=False
+        )
+        assert "regret" not in scores
+        assert "actual_cost" in scores

@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DistanceDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_matrix() -> np.ndarray:
+    """The 4-host ring distance matrix of the paper's Figure 1.
+
+    Exactly rank 3: S = diag(4, 2, 2, 0), so a d=3 SVD factorization is
+    exact while no Euclidean embedding of any dimension reproduces it.
+    """
+    return np.array(
+        [
+            [0.0, 1.0, 1.0, 2.0],
+            [1.0, 0.0, 2.0, 1.0],
+            [1.0, 2.0, 0.0, 1.0],
+            [2.0, 1.0, 1.0, 0.0],
+        ]
+    )
+
+
+def make_low_rank_matrix(
+    n_rows: int,
+    n_cols: int,
+    rank: int,
+    seed: int = 0,
+    scale: float = 50.0,
+) -> np.ndarray:
+    """A random non-negative matrix of exact rank ``rank``.
+
+    Built as a product of non-negative factors so both SVD and NMF can
+    represent it exactly at dimension >= rank.
+    """
+    generator = np.random.default_rng(seed)
+    left = scale * generator.random((n_rows, rank))
+    right = generator.random((n_cols, rank))
+    return left @ right.T
+
+
+def make_clustered_rtt(
+    n_hosts: int = 30,
+    n_clusters: int = 4,
+    seed: int = 0,
+    return_membership: bool = False,
+):
+    """A small synthetic RTT matrix with clear cluster structure.
+
+    Cluster-to-cluster base delays plus per-host access delays: the
+    structure the paper's model assumes, at a size where tests run in
+    milliseconds. Symmetric, zero diagonal, non-negative. With
+    ``return_membership`` the per-host cluster labels come back too.
+    """
+    generator = np.random.default_rng(seed)
+    base = generator.uniform(10.0, 120.0, size=(n_clusters, n_clusters))
+    base = 0.5 * (base + base.T)
+    np.fill_diagonal(base, 2.0)
+    membership = generator.integers(0, n_clusters, size=n_hosts)
+    access = generator.uniform(0.5, 3.0, size=n_hosts)
+    matrix = base[np.ix_(membership, membership)] + access[:, None] + access[None, :]
+    np.fill_diagonal(matrix, 0.0)
+    if return_membership:
+        return matrix, membership
+    return matrix
+
+
+@pytest.fixture
+def low_rank_matrix() -> np.ndarray:
+    """A 24 x 24 exact-rank-4 non-negative matrix."""
+    return make_low_rank_matrix(24, 24, 4, seed=3)
+
+
+@pytest.fixture
+def clustered_rtt() -> np.ndarray:
+    """A 30-host clustered RTT matrix."""
+    return make_clustered_rtt()
+
+
+@pytest.fixture
+def clustered_dataset(clustered_rtt) -> DistanceDataset:
+    """The clustered RTT matrix wrapped as a data set."""
+    return DistanceDataset(name="clustered-test", matrix=clustered_rtt)
+
+
+@pytest.fixture(scope="session")
+def nlanr_small() -> DistanceDataset:
+    """A small NLANR-like data set shared across the session."""
+    from repro.datasets import nlanr_like
+
+    return nlanr_like(seed=99, n_hosts=40)

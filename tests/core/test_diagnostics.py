@@ -1,0 +1,69 @@
+"""Tests for spectral diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    effective_rank,
+    energy_captured,
+    rank_for_energy,
+    spectrum_diagnostics,
+)
+
+from ..conftest import make_low_rank_matrix
+
+
+class TestEffectiveRank:
+    def test_identity_has_full_effective_rank(self):
+        assert effective_rank(np.eye(8)) == pytest.approx(8.0)
+
+    def test_rank_one(self):
+        matrix = np.outer(np.ones(6), np.arange(1.0, 7.0))
+        assert effective_rank(matrix) == pytest.approx(1.0)
+
+    def test_zero_matrix(self):
+        assert effective_rank(np.zeros((4, 4))) == 0.0
+
+    def test_between_one_and_min_dim(self, rng):
+        matrix = rng.random((10, 14))
+        value = effective_rank(matrix)
+        assert 1.0 <= value <= 10.0
+
+
+class TestEnergyCaptured:
+    def test_full_rank_energy_is_one(self, rng):
+        matrix = rng.random((6, 6))
+        assert energy_captured(matrix, 6) == pytest.approx(1.0)
+
+    def test_monotone_in_rank(self, rng):
+        matrix = rng.random((10, 10))
+        energies = [energy_captured(matrix, d) for d in range(11)]
+        assert energies == sorted(energies)
+
+    def test_low_rank_exact(self):
+        matrix = make_low_rank_matrix(12, 12, 3, seed=1)
+        assert energy_captured(matrix, 3) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestRankForEnergy:
+    def test_exact_rank_found(self):
+        matrix = make_low_rank_matrix(15, 15, 4, seed=2)
+        assert rank_for_energy(matrix, 0.999999) <= 4
+
+    def test_higher_energy_needs_more_rank(self, rng):
+        matrix = rng.random((12, 12))
+        assert rank_for_energy(matrix, 0.99) >= rank_for_energy(matrix, 0.5)
+
+    def test_zero_matrix(self):
+        assert rank_for_energy(np.zeros((3, 3)), 0.9) == 0
+
+
+class TestSpectrumDiagnostics:
+    def test_bundle_consistency(self):
+        matrix = make_low_rank_matrix(20, 20, 5, seed=3)
+        diagnostics = spectrum_diagnostics(matrix)
+        assert diagnostics.shape == (20, 20)
+        assert diagnostics.rank_90 <= diagnostics.rank_99 <= 5
+        assert diagnostics.top10_energy == pytest.approx(1.0, abs=1e-12)
+        assert diagnostics.singular_values.shape == (20,)
+        assert "eff_rank" in str(diagnostics)

@@ -1,0 +1,103 @@
+"""Tests for the modified relative error metric (paper Eq. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    off_diagonal_values,
+    relative_error_matrix,
+    relative_errors,
+    summarize_errors,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRelativeErrorMatrix:
+    def test_zero_when_exact(self):
+        matrix = np.array([[0.0, 2.0], [3.0, 0.0]])
+        errors = relative_error_matrix(matrix, matrix)
+        np.testing.assert_array_equal(errors[~np.eye(2, dtype=bool)], 0.0)
+
+    def test_eq10_value(self):
+        true = np.array([[20.0]])
+        estimate = np.array([[10.0]])
+        # |20-10| / min(20,10) = 1.0
+        assert relative_error_matrix(true, estimate)[0, 0] == pytest.approx(1.0)
+
+    def test_underestimation_penalized_more(self):
+        true = np.array([[20.0]])
+        over = relative_error_matrix(true, np.array([[30.0]]))[0, 0]   # /20
+        under = relative_error_matrix(true, np.array([[10.0]]))[0, 0]  # /10
+        assert under > over
+
+    def test_symmetric_in_arguments(self):
+        # min() in the denominator makes the metric symmetric in (D, D^).
+        a = np.array([[15.0]])
+        b = np.array([[25.0]])
+        assert relative_error_matrix(a, b)[0, 0] == pytest.approx(
+            relative_error_matrix(b, a)[0, 0]
+        )
+
+    def test_negative_estimate_is_finite_and_large(self):
+        true = np.array([[10.0]])
+        error = relative_error_matrix(true, np.array([[-5.0]]))[0, 0]
+        assert np.isfinite(error)
+        assert error > 100.0
+
+    def test_nan_propagates(self):
+        true = np.array([[np.nan, 1.0], [1.0, 0.0]])
+        errors = relative_error_matrix(true, np.ones((2, 2)))
+        assert np.isnan(errors[0, 0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            relative_error_matrix(np.ones((2, 2)), np.ones((3, 3)))
+
+
+class TestOffDiagonal:
+    def test_drops_diagonal(self):
+        matrix = np.arange(9.0).reshape(3, 3)
+        values = off_diagonal_values(matrix)
+        assert values.shape == (6,)
+        assert 0.0 not in values  # diagonal entries 0, 4, 8 dropped
+        assert 4.0 not in values
+
+    def test_requires_square(self):
+        with pytest.raises(ValidationError):
+            off_diagonal_values(np.ones((2, 3)))
+
+
+class TestRelativeErrors:
+    def test_excludes_diagonal_by_default_for_square(self):
+        true = np.full((3, 3), 10.0)
+        np.fill_diagonal(true, 0.0)
+        estimate = true * 1.1
+        errors = relative_errors(true, estimate)
+        assert errors.shape == (6,)
+        np.testing.assert_allclose(errors, 0.1, rtol=1e-9)
+
+    def test_rectangular_uses_all_entries(self):
+        true = np.full((2, 5), 10.0)
+        errors = relative_errors(true, true * 1.2)
+        assert errors.shape == (10,)
+
+    def test_drops_nan(self):
+        true = np.full((2, 2), 10.0)
+        np.fill_diagonal(true, 0.0)
+        true[0, 1] = np.nan
+        errors = relative_errors(true, np.full((2, 2), 10.0))
+        assert errors.shape == (1,)
+
+
+class TestSummarizeErrors:
+    def test_fields(self):
+        summary = summarize_errors([0.1, 0.2, 0.3, 0.4, 10.0])
+        assert summary.count == 5
+        assert summary.median == pytest.approx(0.3)
+        assert summary.maximum == pytest.approx(10.0)
+        assert summary.p90 >= summary.median
+        assert "median" in str(summary)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            summarize_errors([np.nan])

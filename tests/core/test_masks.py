@@ -1,0 +1,85 @@
+"""Tests for observation-mask generation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    apply_mask,
+    mask_from_missing,
+    random_mask,
+    symmetric_random_mask,
+    unobserved_landmark_mask,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRandomMask:
+    def test_all_observed_at_zero(self):
+        mask = random_mask((10, 10), 0.0, seed=0)
+        assert mask.all()
+
+    def test_fraction_roughly_respected(self):
+        mask = random_mask((200, 200), 0.3, seed=0, keep_diagonal=False)
+        assert 0.25 < (~mask).mean() < 0.35
+
+    def test_diagonal_kept(self):
+        mask = random_mask((50, 50), 0.9, seed=0, keep_diagonal=True)
+        assert np.diag(mask).all()
+
+    def test_rectangular_no_diagonal_handling(self):
+        mask = random_mask((5, 8), 0.5, seed=0)
+        assert mask.shape == (5, 8)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            random_mask((4, 4), 1.5)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_mask((20, 20), 0.4, seed=9), random_mask((20, 20), 0.4, seed=9)
+        )
+
+
+class TestSymmetricRandomMask:
+    def test_symmetric(self):
+        mask = symmetric_random_mask(40, 0.4, seed=1)
+        np.testing.assert_array_equal(mask, mask.T)
+
+    def test_diagonal_true(self):
+        mask = symmetric_random_mask(10, 0.9, seed=2)
+        assert np.diag(mask).all()
+
+
+class TestUnobservedLandmarkMask:
+    def test_exact_count_per_host(self):
+        mask = unobserved_landmark_mask(30, 20, 0.4, seed=0)
+        observed_per_host = mask.sum(axis=1)
+        np.testing.assert_array_equal(observed_per_host, 12)
+
+    def test_zero_fraction_all_observed(self):
+        assert unobserved_landmark_mask(5, 10, 0.0, seed=0).all()
+
+    def test_min_observed_floor(self):
+        mask = unobserved_landmark_mask(10, 10, 0.99, seed=0, min_observed=3)
+        assert (mask.sum(axis=1) >= 3).all()
+
+    def test_hosts_differ(self):
+        # Independent per-host selection: rows should not all match.
+        mask = unobserved_landmark_mask(20, 15, 0.5, seed=3)
+        assert np.unique(mask, axis=0).shape[0] > 1
+
+
+class TestMaskHelpers:
+    def test_apply_and_recover(self):
+        matrix = np.arange(12.0).reshape(3, 4)
+        mask = random_mask((3, 4), 0.4, seed=4)
+        masked = apply_mask(matrix, mask)
+        np.testing.assert_array_equal(mask_from_missing(masked), mask)
+        # Observed entries unchanged.
+        np.testing.assert_array_equal(masked[mask], matrix[mask])
+        assert np.isnan(masked[~mask]).all()
+
+    def test_apply_mask_copies(self):
+        matrix = np.ones((2, 2))
+        apply_mask(matrix, np.zeros((2, 2), dtype=bool))
+        assert not np.isnan(matrix).any()

@@ -1,0 +1,94 @@
+"""Tests for FactoredDistanceModel."""
+
+import numpy as np
+import pytest
+
+from repro.core import FactoredDistanceModel
+from repro.exceptions import ValidationError
+
+
+def make_model(n=6, m=5, d=3, seed=0, method="test"):
+    generator = np.random.default_rng(seed)
+    return FactoredDistanceModel(
+        outgoing=generator.random((n, d)),
+        incoming=generator.random((m, d)),
+        method=method,
+    )
+
+
+class TestFactoredDistanceModel:
+    def test_properties(self):
+        model = make_model(6, 5, 3)
+        assert model.dimension == 3
+        assert model.n_sources == 6
+        assert model.n_destinations == 5
+        assert model.method == "test"
+
+    def test_predict_is_dot_product(self):
+        model = make_model()
+        expected = float(model.outgoing[2] @ model.incoming[4])
+        assert model.predict(2, 4) == pytest.approx(expected)
+
+    def test_predict_matrix_matches_entries(self):
+        model = make_model()
+        matrix = model.predict_matrix()
+        for i in range(model.n_sources):
+            for j in range(model.n_destinations):
+                assert matrix[i, j] == pytest.approx(model.predict(i, j))
+
+    def test_predict_rows(self):
+        model = make_model()
+        rows = model.predict_rows([1, 3])
+        np.testing.assert_allclose(rows, model.predict_matrix()[[1, 3]])
+
+    def test_predict_between(self):
+        model = make_model()
+        block = model.predict_between([0, 2], [1, 4])
+        full = model.predict_matrix()
+        np.testing.assert_allclose(block, full[np.ix_([0, 2], [1, 4])])
+
+    def test_asymmetric_predictions(self):
+        # X_i . Y_j != X_j . Y_i in general — the paper's key property.
+        model = make_model(5, 5, 3, seed=7)
+        assert model.predict(0, 1) != pytest.approx(model.predict(1, 0))
+
+    def test_residual_and_frobenius(self, rng):
+        model = make_model(4, 4, 2)
+        truth = np.abs(rng.random((4, 4)))
+        residual = model.residual_matrix(truth)
+        np.testing.assert_allclose(residual, truth - model.predict_matrix())
+        assert model.frobenius_error(truth) == pytest.approx(
+            np.linalg.norm(residual)
+        )
+
+    def test_residual_rejects_wrong_shape(self, rng):
+        model = make_model(4, 4, 2)
+        with pytest.raises(ValidationError):
+            model.residual_matrix(rng.random((3, 4)))
+
+    def test_is_nonnegative(self):
+        model = make_model()
+        assert model.is_nonnegative()
+        negative = FactoredDistanceModel(
+            outgoing=-np.ones((3, 2)), incoming=np.ones((3, 2))
+        )
+        assert not negative.is_nonnegative()
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            FactoredDistanceModel(
+                outgoing=np.ones((4, 3)), incoming=np.ones((4, 2))
+            )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        model = make_model(method="svd")
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = FactoredDistanceModel.load(path)
+        np.testing.assert_array_equal(loaded.outgoing, model.outgoing)
+        np.testing.assert_array_equal(loaded.incoming, model.incoming)
+        assert loaded.method == "svd"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            FactoredDistanceModel.load(tmp_path / "nope.npz")

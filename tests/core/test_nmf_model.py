@@ -1,0 +1,75 @@
+"""Tests for the NMF factorizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import NMFFactorizer, SVDFactorizer, random_mask
+from repro.exceptions import ValidationError
+
+from ..conftest import make_low_rank_matrix
+
+
+class TestNMFFactorizer:
+    def test_nonnegative_model(self, low_rank_matrix):
+        model = NMFFactorizer(dimension=4, seed=0).fit(low_rank_matrix)
+        assert model.is_nonnegative()
+        assert (model.predict_matrix() >= 0).all()
+
+    def test_close_to_svd_at_true_rank(self, low_rank_matrix):
+        nmf_model = NMFFactorizer(dimension=4, seed=0, max_iter=600).fit(low_rank_matrix)
+        svd_error = SVDFactorizer(4).fit(low_rank_matrix).frobenius_error(low_rank_matrix)
+        nmf_error = nmf_model.frobenius_error(low_rank_matrix)
+        scale = np.linalg.norm(low_rank_matrix)
+        # NMF finds local minima; it should land within a small relative
+        # band of the (global) SVD optimum on an exactly-low-rank input.
+        assert nmf_error <= svd_error + 0.05 * scale
+
+    def test_metadata_records_fit(self, low_rank_matrix):
+        model = NMFFactorizer(dimension=3, seed=0).fit(low_rank_matrix)
+        assert model.method == "nmf"
+        assert model.metadata["iterations"] >= 1
+        assert model.metadata["masked"] is False
+
+    def test_nan_switches_to_masked_path(self, low_rank_matrix):
+        corrupted = low_rank_matrix.copy()
+        corrupted[2, 3] = np.nan
+        model = NMFFactorizer(dimension=3, seed=0).fit(corrupted)
+        assert model.metadata["masked"] is True
+        assert np.isfinite(model.predict_matrix()).all()
+
+    def test_explicit_mask(self, low_rank_matrix):
+        mask = random_mask(low_rank_matrix.shape, 0.1, seed=0)
+        model = NMFFactorizer(dimension=3, seed=0).fit(low_rank_matrix, mask=mask)
+        assert model.metadata["masked"] is True
+
+    def test_restarts_pick_best(self, low_rank_matrix):
+        single = NMFFactorizer(dimension=3, seed=0, n_restarts=1).fit(low_rank_matrix)
+        multi = NMFFactorizer(dimension=3, seed=0, n_restarts=4).fit(low_rank_matrix)
+        assert multi.metadata["objective"] <= single.metadata["objective"] + 1e-9
+
+    def test_deterministic_given_seed(self, low_rank_matrix):
+        first = NMFFactorizer(dimension=3, seed=11).fit(low_rank_matrix)
+        second = NMFFactorizer(dimension=3, seed=11).fit(low_rank_matrix)
+        np.testing.assert_array_equal(first.outgoing, second.outgoing)
+
+    def test_imputes_missing_entries(self):
+        matrix = make_low_rank_matrix(20, 20, 3, seed=21)
+        holes = random_mask(matrix.shape, 0.1, seed=5)
+        masked = matrix.copy()
+        masked[~holes] = np.nan
+        model = NMFFactorizer(dimension=3, seed=0, max_iter=800).fit(masked)
+        predicted = model.predict_matrix()
+        hidden = ~holes
+        relative = np.abs(predicted[hidden] - matrix[hidden]) / np.maximum(
+            matrix[hidden], 1e-9
+        )
+        assert np.median(relative) < 0.15
+
+    def test_fit_predict_shortcut(self, low_rank_matrix):
+        a = NMFFactorizer(dimension=3, seed=0).fit_predict(low_rank_matrix)
+        b = NMFFactorizer(dimension=3, seed=0).fit(low_rank_matrix).predict_matrix()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_rejects_bad_dimension(self, low_rank_matrix):
+        with pytest.raises(ValidationError):
+            NMFFactorizer(dimension=100).fit(low_rank_matrix)

@@ -1,0 +1,65 @@
+"""Tests for the SVD factorizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import SVDFactorizer
+from repro.exceptions import ValidationError
+
+from ..conftest import make_low_rank_matrix
+
+
+class TestSVDFactorizer:
+    def test_exact_on_paper_example(self, paper_matrix):
+        model = SVDFactorizer(dimension=3).fit(paper_matrix)
+        np.testing.assert_allclose(model.predict_matrix(), paper_matrix, atol=1e-12)
+
+    def test_metadata_contains_spectrum(self, paper_matrix):
+        model = SVDFactorizer(dimension=3).fit(paper_matrix)
+        np.testing.assert_allclose(
+            model.metadata["singular_values"], [4.0, 2.0, 2.0], atol=1e-12
+        )
+        assert model.metadata["frobenius_residual"] == pytest.approx(0.0, abs=1e-10)
+
+    def test_method_name(self, low_rank_matrix):
+        assert SVDFactorizer(4).fit(low_rank_matrix).method == "svd"
+
+    def test_exact_at_true_rank(self, low_rank_matrix):
+        model = SVDFactorizer(dimension=4).fit(low_rank_matrix)
+        np.testing.assert_allclose(
+            model.predict_matrix(), low_rank_matrix, atol=1e-7
+        )
+
+    def test_truncation_error_monotone(self):
+        matrix = make_low_rank_matrix(20, 20, 12, seed=11)
+        errors = [
+            SVDFactorizer(dimension=d).fit(matrix).frobenius_error(matrix)
+            for d in (1, 2, 4, 8, 12)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_fit_predict_shortcut(self, low_rank_matrix):
+        direct = SVDFactorizer(4).fit_predict(low_rank_matrix)
+        staged = SVDFactorizer(4).fit(low_rank_matrix).predict_matrix()
+        np.testing.assert_allclose(direct, staged, atol=1e-12)
+
+    def test_rejects_missing_entries(self, low_rank_matrix):
+        corrupted = low_rank_matrix.copy()
+        corrupted[0, 1] = np.nan
+        with pytest.raises(ValidationError):
+            SVDFactorizer(3).fit(corrupted)
+
+    def test_rejects_dimension_above_size(self):
+        with pytest.raises(ValidationError):
+            SVDFactorizer(dimension=10).fit(np.zeros((4, 4)))
+
+    def test_rectangular_input(self):
+        matrix = make_low_rank_matrix(30, 8, 4, seed=12)
+        model = SVDFactorizer(dimension=4).fit(matrix)
+        assert model.n_sources == 30
+        assert model.n_destinations == 8
+        np.testing.assert_allclose(model.predict_matrix(), matrix, atol=1e-7)
+
+    def test_rejects_invalid_dimension(self):
+        with pytest.raises(ValidationError):
+            SVDFactorizer(dimension=0)

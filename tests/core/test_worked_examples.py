@@ -1,0 +1,109 @@
+"""The paper's worked examples as executable tests.
+
+Sections 4.1, 5.1 and 5.2 carry fully worked numeric examples on the
+four-host ring topology of Figure 1 (extended with two ordinary hosts
+in Figure 4). These tests pin our implementation to the published
+numbers: 3.25 for the H1-H2 prediction, 2.5 / 2.3 / 1.3 for the
+relaxed-architecture estimates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SVDFactorizer
+from repro.embedding import LipschitzPCAEmbedding, euclidean_pairwise
+from repro.ides import IDESSystem, solve_host_vectors
+from repro.linalg import singular_spectrum
+
+
+@pytest.fixture
+def landmark_matrix(paper_matrix):
+    return paper_matrix
+
+
+class TestSection41SVDExample:
+    def test_spectrum_is_4_2_2_0(self, landmark_matrix):
+        np.testing.assert_allclose(
+            singular_spectrum(landmark_matrix), [4.0, 2.0, 2.0, 0.0], atol=1e-12
+        )
+
+    def test_rank3_factorization_exact(self, landmark_matrix):
+        model = SVDFactorizer(dimension=3).fit(landmark_matrix)
+        np.testing.assert_allclose(
+            model.predict_matrix(), landmark_matrix, atol=1e-12
+        )
+
+    def test_no_euclidean_embedding_reconstructs_it(self, landmark_matrix):
+        # Section 2.2: D14 = D23 = 2 but any Euclidean embedding yields
+        # strictly smaller estimates for those pairs than factorization.
+        embedding = LipschitzPCAEmbedding(dimension=3).fit(landmark_matrix)
+        estimates = embedding.estimate_matrix()
+        assert abs(estimates - landmark_matrix).max() > 0.1
+
+
+class TestSection51BasicArchitecture:
+    """Figure 4: ordinary hosts H1, H2 measure all four landmarks."""
+
+    @pytest.fixture
+    def fitted(self, landmark_matrix):
+        system = IDESSystem(dimension=3, method="svd")
+        system.fit_landmarks(landmark_matrix)
+        out = np.array([[0.5, 1.5, 1.5, 2.5], [2.5, 1.5, 1.5, 0.5]])
+        system.place_hosts(out)  # RTTs are symmetric: in = out.T
+        return system
+
+    def test_h1_h2_prediction_is_3_25(self, fitted):
+        predicted = fitted.predict_matrix()
+        assert predicted[0, 1] == pytest.approx(3.25, abs=1e-9)
+        assert predicted[1, 0] == pytest.approx(3.25, abs=1e-9)
+
+    def test_host_landmark_distances_exactly_preserved(self, fitted):
+        out = np.array([[0.5, 1.5, 1.5, 2.5], [2.5, 1.5, 1.5, 0.5]])
+        np.testing.assert_allclose(
+            fitted.predict_host_to_landmarks(), out, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            fitted.predict_landmarks_to_host(), out.T, atol=1e-9
+        )
+
+
+class TestSection52RelaxedArchitecture:
+    """Figure 5: H1 measures 3 landmarks; H2 measures L2, L4 and H1."""
+
+    @pytest.fixture
+    def system(self, landmark_matrix):
+        system = IDESSystem(dimension=3, method="svd")
+        system.fit_landmarks(landmark_matrix)
+        return system
+
+    def test_h1_predicts_unmeasured_l4_exactly(self, system):
+        landmark_out, landmark_in = system.landmark_vectors()
+        h1 = solve_host_vectors(
+            [0.5, 1.5, 1.5], [0.5, 1.5, 1.5], landmark_out[:3], landmark_in[:3]
+        )
+        assert float(h1.outgoing @ landmark_in[3]) == pytest.approx(2.5, abs=1e-9)
+
+    def test_h2_via_mixed_references_matches_paper(self, system):
+        landmark_out, landmark_in = system.landmark_vectors()
+        h1 = solve_host_vectors(
+            [0.5, 1.5, 1.5], [0.5, 1.5, 1.5], landmark_out[:3], landmark_in[:3]
+        )
+        reference_out = np.vstack([landmark_out[1], landmark_out[3], h1.outgoing])
+        reference_in = np.vstack([landmark_in[1], landmark_in[3], h1.incoming])
+        h2 = solve_host_vectors(
+            [1.5, 0.5, 3.0], [1.5, 0.5, 3.0], reference_out, reference_in
+        )
+        # The paper reports predictions 2.3 (to L1) and 1.3 (to L3) —
+        # true distances are 2.5 and 1.5 (max 15% relative error).
+        assert float(h2.outgoing @ landmark_in[0]) == pytest.approx(2.3, abs=0.01)
+        assert float(h2.outgoing @ landmark_in[2]) == pytest.approx(1.3, abs=0.01)
+
+
+class TestFigure1EmbeddingLimitation:
+    def test_any_2d_embedding_underestimates_diagonal_pairs(self, paper_matrix):
+        # The intuitive 2-D embedding puts the four hosts on a unit
+        # square: diagonal distances come out sqrt(2) < 2.
+        corners = 0.5 * np.array([[1, 1], [1, -1], [-1, 1], [-1, -1]], dtype=float)
+        estimates = euclidean_pairwise(corners)
+        assert estimates[0, 3] == pytest.approx(np.sqrt(2.0))
+        assert paper_matrix[0, 3] == 2.0

@@ -1,0 +1,99 @@
+"""Tests for the data-set container and landmark splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DistanceDataset, split_landmarks
+from repro.exceptions import ValidationError
+
+
+class TestDistanceDataset:
+    def test_basic_properties(self, clustered_dataset):
+        assert clustered_dataset.is_square
+        assert clustered_dataset.is_complete
+        assert clustered_dataset.missing_fraction == 0.0
+        assert clustered_dataset.n_hosts == 30
+        assert "30x30" in clustered_dataset.describe()
+
+    def test_rectangular(self, rng):
+        dataset = DistanceDataset(name="rect", matrix=rng.random((5, 8)))
+        assert not dataset.is_square
+        assert "rectangular" in dataset.describe()
+
+    def test_missing_fraction(self, clustered_rtt):
+        matrix = clustered_rtt.copy()
+        matrix[0, 1] = np.nan
+        dataset = DistanceDataset(name="holey", matrix=matrix)
+        assert not dataset.is_complete
+        assert dataset.missing_fraction == pytest.approx(1.0 / 900.0)
+
+    def test_submatrix(self, clustered_dataset):
+        block = clustered_dataset.submatrix([0, 2], [1, 3])
+        np.testing.assert_array_equal(
+            block, clustered_dataset.matrix[np.ix_([0, 2], [1, 3])]
+        )
+
+    def test_submatrix_default_cols(self, clustered_dataset):
+        block = clustered_dataset.submatrix([1, 4])
+        assert block.shape == (2, 2)
+
+    def test_submatrix_copy(self, clustered_dataset):
+        block = clustered_dataset.submatrix([0, 1])
+        block[0, 0] = 999.0
+        assert clustered_dataset.matrix[0, 0] == 0.0
+
+    def test_with_matrix(self, clustered_dataset):
+        derived = clustered_dataset.with_matrix(
+            clustered_dataset.matrix * 2, suffix="-x2"
+        )
+        assert derived.name == "clustered-test-x2"
+
+    def test_rejects_negative_distances(self):
+        with pytest.raises(ValidationError):
+            DistanceDataset(name="bad", matrix=-np.ones((3, 3)))
+
+
+class TestSplitLandmarks:
+    def test_partition_is_exclusive_and_complete(self, clustered_dataset):
+        split = split_landmarks(clustered_dataset, 8, seed=0)
+        assert split.n_landmarks == 8
+        assert split.n_ordinary == 22
+        combined = np.concatenate([split.landmark_indices, split.ordinary_indices])
+        np.testing.assert_array_equal(np.sort(combined), np.arange(30))
+
+    def test_submatrices_consistent(self, clustered_dataset):
+        split = split_landmarks(clustered_dataset, 5, seed=1)
+        matrix = clustered_dataset.matrix
+        lm, order = split.landmark_indices, split.ordinary_indices
+        np.testing.assert_array_equal(
+            split.landmark_matrix, matrix[np.ix_(lm, lm)]
+        )
+        np.testing.assert_array_equal(
+            split.out_distances, matrix[np.ix_(order, lm)]
+        )
+        np.testing.assert_array_equal(
+            split.in_distances, matrix[np.ix_(lm, order)]
+        )
+        np.testing.assert_array_equal(
+            split.ordinary_matrix, matrix[np.ix_(order, order)]
+        )
+
+    def test_explicit_indices(self, clustered_dataset):
+        split = split_landmarks(clustered_dataset, 0, landmark_indices=[3, 7, 9])
+        np.testing.assert_array_equal(split.landmark_indices, [3, 7, 9])
+
+    def test_deterministic_by_seed(self, clustered_dataset):
+        first = split_landmarks(clustered_dataset, 6, seed=42)
+        second = split_landmarks(clustered_dataset, 6, seed=42)
+        np.testing.assert_array_equal(first.landmark_indices, second.landmark_indices)
+
+    def test_rejects_rectangular(self, rng):
+        dataset = DistanceDataset(name="rect", matrix=rng.random((4, 6)))
+        with pytest.raises(ValidationError):
+            split_landmarks(dataset, 2, seed=0)
+
+    def test_rejects_bad_counts(self, clustered_dataset):
+        with pytest.raises(ValidationError):
+            split_landmarks(clustered_dataset, 0, seed=0)
+        with pytest.raises(ValidationError):
+            split_landmarks(clustered_dataset, 30, seed=0)

@@ -1,0 +1,85 @@
+"""Tests for completeness filtering."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DistanceDataset,
+    complete_host_subset,
+    drop_missing_rows,
+    filter_complete,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCompleteHostSubset:
+    def test_complete_matrix_keeps_everything(self, clustered_rtt):
+        kept = complete_host_subset(clustered_rtt)
+        np.testing.assert_array_equal(kept, np.arange(30))
+
+    def test_removes_bad_host(self, clustered_rtt):
+        matrix = clustered_rtt.copy()
+        matrix[5, :] = np.nan
+        matrix[:, 5] = np.nan
+        matrix[5, 5] = 0.0
+        kept = complete_host_subset(matrix)
+        assert 5 not in kept
+        assert kept.size == 29
+
+    def test_result_is_complete(self, clustered_rtt, rng):
+        matrix = clustered_rtt.copy()
+        holes = rng.random(matrix.shape) < 0.08
+        holes = holes | holes.T
+        np.fill_diagonal(holes, False)
+        matrix[holes] = np.nan
+        kept = complete_host_subset(matrix)
+        submatrix = matrix[np.ix_(kept, kept)]
+        assert not np.isnan(submatrix).any()
+        assert kept.size >= 2
+
+    def test_deterministic(self, clustered_rtt, rng):
+        matrix = clustered_rtt.copy()
+        holes = rng.random(matrix.shape) < 0.1
+        matrix[holes | holes.T] = np.nan
+        np.fill_diagonal(matrix, 0.0)
+        np.testing.assert_array_equal(
+            complete_host_subset(matrix), complete_host_subset(matrix)
+        )
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValidationError):
+            complete_host_subset(rng.random((3, 4)))
+
+
+class TestFilterComplete:
+    def test_complete_passthrough(self, clustered_dataset):
+        filtered, kept = filter_complete(clustered_dataset)
+        assert filtered is clustered_dataset
+        np.testing.assert_array_equal(kept, np.arange(30))
+
+    def test_filters_and_annotates(self, clustered_rtt):
+        matrix = clustered_rtt.copy()
+        matrix[3, 7] = np.nan
+        dataset = DistanceDataset(name="holey", matrix=matrix)
+        filtered, kept = filter_complete(dataset)
+        assert filtered.name == "holey-complete"
+        assert filtered.is_complete
+        assert filtered.metadata["filtered_from"] == 30
+        assert filtered.n_hosts == kept.size
+
+
+class TestDropMissingRows:
+    def test_drops_only_nan_rows(self, rng):
+        matrix = rng.random((6, 4)) + 1.0
+        matrix[2, 1] = np.nan
+        matrix[5, 0] = np.nan
+        filtered, kept = drop_missing_rows(matrix)
+        np.testing.assert_array_equal(kept, [0, 1, 3, 4])
+        assert filtered.shape == (4, 4)
+        assert not np.isnan(filtered).any()
+
+    def test_all_rows_kept_when_complete(self, rng):
+        matrix = rng.random((5, 3))
+        filtered, kept = drop_missing_rows(matrix)
+        assert kept.size == 5
+        np.testing.assert_array_equal(filtered, matrix)

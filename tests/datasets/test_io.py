@@ -1,0 +1,78 @@
+"""Tests for data-set persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DistanceDataset,
+    export_text,
+    import_text,
+    load_dataset_file,
+    save_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def dataset(clustered_rtt):
+    return DistanceDataset(
+        name="io-test",
+        matrix=clustered_rtt,
+        metadata={"methodology": "synthetic", "host_sites": np.arange(30) % 4},
+    )
+
+
+class TestNpzRoundtrip:
+    def test_matrix_and_name(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "data")
+        assert path.suffix == ".npz"
+        loaded = load_dataset_file(path)
+        assert loaded.name == "io-test"
+        np.testing.assert_array_equal(loaded.matrix, dataset.matrix)
+
+    def test_metadata_including_arrays(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "data.npz")
+        loaded = load_dataset_file(path)
+        assert loaded.metadata["methodology"] == "synthetic"
+        np.testing.assert_array_equal(
+            loaded.metadata["host_sites"], dataset.metadata["host_sites"]
+        )
+
+    def test_nan_preserved(self, dataset, tmp_path):
+        matrix = dataset.matrix.copy()
+        matrix[1, 2] = np.nan
+        holey = dataset.with_matrix(matrix)
+        path = save_dataset(holey, tmp_path / "holey")
+        loaded = load_dataset_file(path)
+        assert np.isnan(loaded.matrix[1, 2])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset_file(tmp_path / "nope.npz")
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = export_text(dataset, tmp_path / "data.txt")
+        loaded = import_text(path)
+        assert loaded.name == "io-test"
+        np.testing.assert_allclose(loaded.matrix, dataset.matrix, rtol=1e-5)
+
+    def test_nan_token(self, dataset, tmp_path):
+        matrix = dataset.matrix.copy()
+        matrix[0, 1] = np.nan
+        path = export_text(dataset.with_matrix(matrix), tmp_path / "holey.txt")
+        loaded = import_text(path)
+        assert np.isnan(loaded.matrix[0, 1])
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3\n1 2 3\n")
+        with pytest.raises(DatasetError):
+            import_text(path)
+
+    def test_shape_mismatch_detected(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("2 2 oops\n1 2\n")
+        with pytest.raises(DatasetError):
+            import_text(path)

@@ -1,0 +1,39 @@
+"""Tests for the data-set registry."""
+
+import pytest
+
+from repro.datasets import clear_cache, list_datasets, load_dataset
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_lists_the_five_paper_datasets(self):
+        assert list_datasets() == ["nlanr", "gnp", "agnp", "p2psim", "plrtt"]
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("does-not-exist")
+
+    def test_overrides_shrink_generation(self):
+        dataset = load_dataset("nlanr", seed=5, n_hosts=20)
+        assert dataset.shape == (20, 20)
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        first = load_dataset("nlanr", seed=6, n_hosts=20, use_cache=True)
+        # Overrides bypass the cache entirely:
+        second = load_dataset("nlanr", seed=6, n_hosts=20, use_cache=True)
+        assert first is not second  # overrides are never cached
+
+    def test_cache_hit_without_overrides(self):
+        clear_cache()
+        first = load_dataset("gnp", seed=7)
+        second = load_dataset("gnp", seed=7)
+        assert first is second
+        clear_cache()
+        third = load_dataset("gnp", seed=7)
+        assert third is not first
+
+    def test_case_insensitive(self):
+        dataset = load_dataset("NLANR", seed=8, n_hosts=20)
+        assert dataset.name == "nlanr"

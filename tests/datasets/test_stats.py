@@ -1,0 +1,69 @@
+"""Tests for data-set statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DistanceDataset,
+    dataset_statistics,
+    triangle_violation_fraction,
+)
+
+
+class TestTriangleViolationFraction:
+    def test_zero_for_metric(self, rng):
+        positions = rng.random((20, 2)) * 100
+        metric = np.linalg.norm(positions[:, None] - positions[None, :], axis=2)
+        assert triangle_violation_fraction(metric, seed=0) == 0.0
+
+    def test_detects_violations(self):
+        matrix = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        fraction = triangle_violation_fraction(matrix, sample_triples=5000, seed=0)
+        assert fraction > 0.2
+
+    def test_range(self, clustered_rtt):
+        fraction = triangle_violation_fraction(clustered_rtt, seed=1)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_tiny_matrix(self):
+        assert triangle_violation_fraction(np.zeros((2, 2))) == 0.0
+
+
+class TestDatasetStatistics:
+    def test_complete_square(self, clustered_dataset):
+        stats = dataset_statistics(clustered_dataset, sample_budget=2000)
+        assert stats.name == "clustered-test"
+        assert stats.shape == (30, 30)
+        assert stats.missing_fraction == 0.0
+        assert stats.median_rtt_ms > 0
+        assert stats.mean_rtt_ms >= 0
+        assert stats.max_rtt_ms >= stats.median_rtt_ms
+        assert np.isfinite(stats.effective_rank)
+        assert stats.rank_for_99_energy >= 1
+        assert "median RTT" in str(stats)
+
+    def test_symmetric_matrix_zero_asymmetry(self, clustered_dataset):
+        stats = dataset_statistics(clustered_dataset, sample_budget=1000)
+        assert stats.asymmetry == pytest.approx(0.0, abs=1e-9)
+
+    def test_rectangular(self, rng):
+        dataset = DistanceDataset(name="rect", matrix=rng.random((6, 10)) + 1)
+        stats = dataset_statistics(dataset, sample_budget=500)
+        assert np.isnan(stats.alternate_path_fraction)
+        assert np.isnan(stats.triangle_violation_fraction)
+        assert stats.asymmetry == 0.0
+
+    def test_incomplete(self, clustered_rtt):
+        matrix = clustered_rtt.copy()
+        matrix[1, 2] = np.nan
+        dataset = DistanceDataset(name="holey", matrix=matrix)
+        stats = dataset_statistics(dataset, sample_budget=500)
+        assert stats.missing_fraction > 0
+        assert np.isnan(stats.effective_rank)
+        assert stats.rank_for_99_energy == -1

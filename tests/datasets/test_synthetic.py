@@ -1,0 +1,125 @@
+"""Tests for the synthetic data-set generators.
+
+Full-size generation runs in the benchmarks; tests use small overrides
+to keep the suite fast while checking every invariant the experiments
+rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    WorldConfig,
+    build_world,
+    dataset_statistics,
+    gnp_family,
+    nlanr_like,
+    plrtt_like,
+    p2psim_like,
+)
+from repro.exceptions import ValidationError
+from repro.routing import asymmetry_index
+
+
+class TestBuildWorld:
+    def test_shapes_and_invariants(self):
+        config = WorldConfig(n_hosts=40, n_sites=15)
+        world = build_world(config, seed=0)
+        assert world.true_rtt.shape == (40, 40)
+        assert (world.true_rtt >= 0).all()
+        np.testing.assert_array_equal(np.diag(world.true_rtt), 0.0)
+        assert world.host_sites.shape == (40,)
+        assert world.host_sites.max() < 15
+
+    def test_symmetric_without_asymmetry(self):
+        config = WorldConfig(n_hosts=30, n_sites=10, asymmetry_level=0.0)
+        world = build_world(config, seed=1)
+        np.testing.assert_allclose(world.true_rtt, world.true_rtt.T, rtol=1e-9)
+
+    def test_asymmetry_level_respected(self):
+        config = WorldConfig(n_hosts=30, n_sites=10, asymmetry_level=0.3)
+        world = build_world(config, seed=2)
+        assert asymmetry_index(world.true_rtt) > 0.05
+
+    def test_deterministic(self):
+        config = WorldConfig(n_hosts=25, n_sites=8)
+        first = build_world(config, seed=3)
+        second = build_world(config, seed=3)
+        np.testing.assert_array_equal(first.true_rtt, second.true_rtt)
+
+    def test_co_located_hosts_are_close(self):
+        config = WorldConfig(n_hosts=60, n_sites=6, intra_site_ms=0.1)
+        world = build_world(config, seed=4)
+        sites = world.host_sites
+        same_site = (sites[:, None] == sites[None, :]) & ~np.eye(60, dtype=bool)
+        different = sites[:, None] != sites[None, :]
+        if same_site.any() and different.any():
+            assert world.true_rtt[same_site].mean() < world.true_rtt[different].mean()
+
+    def test_rejects_tiny_worlds(self):
+        with pytest.raises(ValidationError):
+            build_world(WorldConfig(n_hosts=1, n_sites=1), seed=0)
+
+
+class TestGenerators:
+    def test_nlanr_shape_and_cleanliness(self, nlanr_small):
+        assert nlanr_small.shape == (40, 40)
+        assert nlanr_small.is_complete
+        stats = dataset_statistics(nlanr_small, sample_budget=3000)
+        assert stats.median_rtt_ms > 1.0
+        assert stats.asymmetry < 0.05  # min-RTT mesh is nearly symmetric
+
+    def test_nlanr_default_size(self):
+        # Build at default size once to pin the paper's dimensions.
+        dataset = nlanr_like(seed=5)
+        assert dataset.shape == (110, 110)
+
+    def test_plrtt_small(self):
+        dataset = plrtt_like(seed=6, n_hosts=30)
+        assert dataset.shape == (30, 30)
+        assert dataset.is_complete
+
+    def test_p2psim_small_and_noisy(self):
+        dataset = p2psim_like(seed=7, n_hosts=60)
+        assert dataset.shape == (60, 60)
+        stats = dataset_statistics(dataset, sample_budget=3000)
+        # King estimation leaves measurable asymmetry in the matrix.
+        assert stats.asymmetry > 0.01
+
+    def test_determinism(self):
+        first = nlanr_like(seed=11, n_hosts=25)
+        second = nlanr_like(seed=11, n_hosts=25)
+        np.testing.assert_array_equal(first.matrix, second.matrix)
+
+    def test_different_seeds_differ(self):
+        first = nlanr_like(seed=1, n_hosts=25)
+        second = nlanr_like(seed=2, n_hosts=25)
+        assert not np.array_equal(first.matrix, second.matrix)
+
+
+class TestGNPFamily:
+    @pytest.fixture(scope="class")
+    def family(self):
+        return gnp_family(seed=9, n_gnp=10, n_agnp=50)
+
+    def test_shapes(self, family):
+        assert family.gnp.shape == (10, 10)
+        assert family.agnp.shape == (50, 10)
+        assert family.world_truth.shape == (60, 60)
+        assert family.agnp.metadata["reverse"].shape == (10, 50)
+
+    def test_gnp_matrix_symmetric(self, family):
+        np.testing.assert_allclose(
+            family.gnp.matrix, family.gnp.matrix.T, rtol=1e-9
+        )
+
+    def test_measurements_consistent_with_truth(self, family):
+        # Measured AGNP entries approximate the world-truth block.
+        truth_block = family.world_truth.matrix[10:, :10]
+        measured = family.agnp.matrix
+        relative = np.abs(measured - truth_block) / np.maximum(truth_block, 1e-9)
+        assert np.median(relative) < 0.15
+
+    def test_complete(self, family):
+        assert family.gnp.is_complete
+        assert family.agnp.is_complete

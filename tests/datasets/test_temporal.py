@@ -1,0 +1,107 @@
+"""Tests for the drifting-RTT temporal world."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TemporalConfig, TemporalWorld
+from repro.exceptions import ValidationError
+
+from ..conftest import make_clustered_rtt
+
+
+@pytest.fixture
+def base_matrix():
+    return make_clustered_rtt(n_hosts=24, n_clusters=4, seed=8)
+
+
+class TestTemporalWorld:
+    def test_initial_matrix_close_to_base(self, base_matrix):
+        world = TemporalWorld(base_matrix=base_matrix, seed=0)
+        current = world.current_matrix(measured=False)
+        # Only the (bounded) diurnal factor separates t=0 from base.
+        amplitude = world.config.diurnal_amplitude
+        ratio = current[base_matrix > 0] / base_matrix[base_matrix > 0]
+        assert (ratio >= 1.0 - 1e-9).all()
+        assert (ratio <= 1.0 + amplitude + 1e-9).all()
+
+    def test_diagonal_always_zero(self, base_matrix):
+        world = TemporalWorld(base_matrix=base_matrix, seed=1)
+        world.advance(10)
+        np.testing.assert_array_equal(
+            np.diag(world.current_matrix()), 0.0
+        )
+
+    def test_diurnal_periodicity(self, base_matrix):
+        config = TemporalConfig(route_change_rate=0.0, jitter_sigma=0.0)
+        world = TemporalWorld(base_matrix=base_matrix, config=config, seed=2)
+        at_zero = world.current_matrix(measured=False)
+        world.advance(config.period_steps)
+        after_full_cycle = world.current_matrix(measured=False)
+        np.testing.assert_allclose(after_full_cycle, at_zero, rtol=1e-9)
+
+    def test_route_changes_are_block_structured(self, base_matrix):
+        config = TemporalConfig(
+            diurnal_amplitude=0.0,
+            route_groups=3,
+            route_change_rate=0.5,
+            route_change_sigma=0.5,
+            jitter_sigma=0.0,
+        )
+        world = TemporalWorld(base_matrix=base_matrix, config=config, seed=3)
+        world.advance(5)
+        current = world.current_matrix(measured=False)
+        ratio = np.divide(
+            current, base_matrix, out=np.ones_like(current), where=base_matrix > 0
+        )
+        # Every pair's factor is one of the <= 3*3 group-pair values.
+        distinct = np.unique(np.round(ratio, 9))
+        assert distinct.size <= 3 * 3 + 1
+
+    def test_drift_grows_with_route_churn(self, base_matrix):
+        quiet = TemporalWorld(
+            base_matrix=base_matrix,
+            config=TemporalConfig(diurnal_amplitude=0.0, route_change_rate=0.0, jitter_sigma=0.0),
+            seed=4,
+        )
+        churning = TemporalWorld(
+            base_matrix=base_matrix,
+            config=TemporalConfig(
+                diurnal_amplitude=0.0,
+                route_groups=3,
+                route_change_rate=0.5,
+                route_change_sigma=0.6,
+                jitter_sigma=0.0,
+            ),
+            seed=4,
+        )
+        quiet.advance(20)
+        churning.advance(20)
+        assert churning.drift_from_base() > quiet.drift_from_base()
+        assert quiet.drift_from_base() == pytest.approx(0.0, abs=1e-12)
+
+    def test_measured_adds_jitter(self, base_matrix):
+        config = TemporalConfig(jitter_sigma=0.05)
+        world = TemporalWorld(base_matrix=base_matrix, config=config, seed=5)
+        noiseless = world.current_matrix(measured=False)
+        noisy = world.current_matrix(measured=True)
+        assert not np.allclose(noiseless, noisy)
+
+    def test_deterministic(self, base_matrix):
+        first = TemporalWorld(base_matrix=base_matrix, seed=6)
+        second = TemporalWorld(base_matrix=base_matrix, seed=6)
+        first.advance(7)
+        second.advance(7)
+        np.testing.assert_array_equal(
+            first.current_matrix(), second.current_matrix()
+        )
+
+    def test_negative_steps_rejected(self, base_matrix):
+        world = TemporalWorld(base_matrix=base_matrix, seed=7)
+        with pytest.raises(ValidationError):
+            world.advance(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            TemporalConfig(route_groups=0).validate()
+        with pytest.raises(ValidationError):
+            TemporalConfig(diurnal_amplitude=2.0).validate()

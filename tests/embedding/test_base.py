@@ -1,0 +1,35 @@
+"""Tests for the embedding base utilities."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import euclidean_pairwise
+
+
+class TestEuclideanPairwise:
+    def test_known_values(self):
+        coords = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = euclidean_pairwise(coords)
+        assert distances[0, 1] == pytest.approx(5.0)
+        assert distances[1, 0] == pytest.approx(5.0)
+        np.testing.assert_array_equal(np.diag(distances), 0.0)
+
+    def test_two_sets(self):
+        first = np.array([[0.0, 0.0]])
+        second = np.array([[1.0, 0.0], [0.0, 2.0]])
+        distances = euclidean_pairwise(first, second)
+        np.testing.assert_allclose(distances, [[1.0, 2.0]])
+
+    def test_symmetric_and_nonnegative(self, rng):
+        coords = rng.random((10, 4))
+        distances = euclidean_pairwise(coords)
+        np.testing.assert_allclose(distances, distances.T, rtol=1e-12)
+        assert (distances >= 0).all()
+
+    def test_triangle_inequality(self, rng):
+        coords = rng.random((8, 3))
+        distances = euclidean_pairwise(coords)
+        for i in range(8):
+            for j in range(8):
+                for k in range(8):
+                    assert distances[i, j] <= distances[i, k] + distances[k, j] + 1e-9

@@ -1,0 +1,103 @@
+"""Tests for the GNP simplex-downhill system."""
+
+import numpy as np
+import pytest
+
+from repro.core import relative_errors
+from repro.embedding import GNPSystem, euclidean_pairwise
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def euclidean_world():
+    """10 landmarks + 8 hosts with exactly Euclidean distances in R^2."""
+    generator = np.random.default_rng(4)
+    landmark_points = generator.random((10, 2)) * 100
+    host_points = generator.random((8, 2)) * 100
+    landmark_matrix = euclidean_pairwise(landmark_points)
+    out_distances = euclidean_pairwise(host_points, landmark_points)
+    host_matrix = euclidean_pairwise(host_points)
+    return landmark_matrix, out_distances, host_matrix
+
+
+@pytest.fixture(scope="module")
+def fitted_system(euclidean_world):
+    landmark_matrix, out_distances, _ = euclidean_world
+    system = GNPSystem(dimension=2, landmark_restarts=2, seed=0)
+    system.fit_landmarks(landmark_matrix)
+    system.place_hosts(out_distances)
+    return system
+
+
+class TestGNPSystem:
+    def test_landmark_fit_recovers_euclidean_distances(self, euclidean_world, fitted_system):
+        landmark_matrix, _, _ = euclidean_world
+        estimates = euclidean_pairwise(fitted_system.landmark_coordinates())
+        errors = relative_errors(landmark_matrix, estimates)
+        assert np.median(errors) < 0.12
+
+    def test_host_predictions_accurate_on_euclidean_data(
+        self, euclidean_world, fitted_system
+    ):
+        _, _, host_matrix = euclidean_world
+        errors = relative_errors(host_matrix, fitted_system.predict_matrix())
+        assert np.median(errors) < 0.2
+
+    def test_coordinates_shapes(self, fitted_system):
+        assert fitted_system.landmark_coordinates().shape == (10, 2)
+        assert fitted_system.host_coordinates().shape == (8, 2)
+
+    def test_predictions_symmetric(self, fitted_system):
+        predicted = fitted_system.predict_matrix()
+        np.testing.assert_allclose(predicted, predicted.T, rtol=1e-9)
+
+    def test_absolute_objective_accepted(self, euclidean_world):
+        landmark_matrix, _, _ = euclidean_world
+        system = GNPSystem(
+            dimension=2, objective="absolute", landmark_restarts=1,
+            max_iter_scale=0.3, seed=0,
+        )
+        system.fit_landmarks(landmark_matrix)
+        assert np.isfinite(system.landmark_fit_error(landmark_matrix))
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValidationError):
+            GNPSystem(objective="cubic")
+
+    def test_place_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GNPSystem(dimension=2).place_hosts(np.ones((2, 5)))
+
+    def test_observation_mask_respected(self, euclidean_world):
+        # A host whose unobserved landmark distance is garbage must be
+        # placed as if that landmark did not exist.
+        landmark_matrix, out_distances, _ = euclidean_world
+        system = GNPSystem(dimension=2, landmark_restarts=1, max_iter_scale=0.3, seed=0)
+        system.fit_landmarks(landmark_matrix)
+
+        corrupted = out_distances.copy()
+        corrupted[0, 3] = 1e9
+        mask = np.ones_like(corrupted, dtype=bool)
+        mask[0, 3] = False
+        system.place_hosts(corrupted, observation_mask=mask)
+        clean_coords = system.host_coordinates()[0].copy()
+
+        system.place_hosts(out_distances, observation_mask=mask)
+        np.testing.assert_allclose(system.host_coordinates()[0], clean_coords, atol=1e-6)
+
+    def test_averages_directions(self, euclidean_world):
+        landmark_matrix, out_distances, _ = euclidean_world
+        system = GNPSystem(dimension=2, landmark_restarts=1, max_iter_scale=0.3, seed=0)
+        system.fit_landmarks(landmark_matrix)
+        system.place_hosts(out_distances, in_distances=out_distances.T)
+        symmetric_coords = system.host_coordinates().copy()
+        system.place_hosts(out_distances)
+        np.testing.assert_allclose(system.host_coordinates(), symmetric_coords, atol=1e-9)
+
+    def test_paper_counterexample_cannot_be_fit(self, paper_matrix):
+        # The Figure 1 matrix defeats any Euclidean embedding: residual
+        # landmark error stays clearly above zero.
+        system = GNPSystem(dimension=3, landmark_restarts=2, seed=0)
+        system.fit_landmarks(paper_matrix)
+        estimates = euclidean_pairwise(system.landmark_coordinates())
+        assert np.abs(estimates - paper_matrix).max() > 0.1

@@ -1,0 +1,83 @@
+"""Tests for the ICS landmark-based system."""
+
+import numpy as np
+import pytest
+
+from repro.core import relative_errors
+from repro.embedding import ICSSystem, euclidean_pairwise
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def euclidean_world():
+    generator = np.random.default_rng(8)
+    landmark_points = generator.random((12, 3)) * 50
+    host_points = generator.random((15, 3)) * 50
+    return (
+        euclidean_pairwise(landmark_points),
+        euclidean_pairwise(host_points, landmark_points),
+        euclidean_pairwise(host_points),
+    )
+
+
+class TestICSSystem:
+    def test_accurate_on_euclidean_data(self, euclidean_world):
+        landmark_matrix, out_distances, host_matrix = euclidean_world
+        system = ICSSystem(dimension=5)
+        system.fit_landmarks(landmark_matrix)
+        system.place_hosts(out_distances)
+        errors = relative_errors(host_matrix, system.predict_matrix())
+        assert np.median(errors) < 0.25
+
+    def test_landmark_coordinates_shape(self, euclidean_world):
+        landmark_matrix, _, _ = euclidean_world
+        system = ICSSystem(dimension=4)
+        system.fit_landmarks(landmark_matrix)
+        assert system.landmark_coordinates().shape == (12, 4)
+
+    def test_predictions_symmetric(self, euclidean_world):
+        landmark_matrix, out_distances, _ = euclidean_world
+        system = ICSSystem(dimension=4)
+        system.fit_landmarks(landmark_matrix)
+        system.place_hosts(out_distances)
+        predicted = system.predict_matrix()
+        np.testing.assert_allclose(predicted, predicted.T, rtol=1e-9)
+
+    def test_mask_imputation_beats_garbage(self, euclidean_world):
+        landmark_matrix, out_distances, host_matrix = euclidean_world
+        system = ICSSystem(dimension=4)
+        system.fit_landmarks(landmark_matrix)
+
+        corrupted = out_distances.copy()
+        corrupted[:, 2] = 1e6
+        mask = np.ones_like(corrupted, dtype=bool)
+        mask[:, 2] = False
+
+        system.place_hosts(corrupted, observation_mask=mask)
+        masked_errors = relative_errors(host_matrix, system.predict_matrix())
+
+        system.place_hosts(corrupted)
+        garbage_errors = relative_errors(host_matrix, system.predict_matrix())
+        assert np.median(masked_errors) < np.median(garbage_errors)
+
+    def test_incomplete_landmark_matrix_imputed(self, euclidean_world):
+        landmark_matrix, out_distances, _ = euclidean_world
+        holey = landmark_matrix.copy()
+        holey[0, 5] = np.nan
+        mask = ~np.isnan(holey)
+        system = ICSSystem(dimension=4)
+        system.fit_landmarks(holey, mask=mask)
+        system.place_hosts(out_distances)
+        assert np.isfinite(system.predict_matrix()).all()
+
+    def test_dimension_cannot_exceed_landmarks(self, euclidean_world):
+        landmark_matrix, _, _ = euclidean_world
+        with pytest.raises(ValidationError):
+            ICSSystem(dimension=13).fit_landmarks(landmark_matrix)
+
+    def test_predict_before_place_raises(self, euclidean_world):
+        landmark_matrix, _, _ = euclidean_world
+        system = ICSSystem(dimension=3)
+        system.fit_landmarks(landmark_matrix)
+        with pytest.raises(NotFittedError):
+            system.predict_matrix()

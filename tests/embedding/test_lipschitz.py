@@ -1,0 +1,76 @@
+"""Tests for the Lipschitz+PCA reconstruction baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import relative_errors
+from repro.embedding import LipschitzPCAEmbedding, euclidean_pairwise, fit_distance_scale
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def euclidean_realizable_matrix(n=25, d=3, seed=0):
+    generator = np.random.default_rng(seed)
+    points = generator.random((n, d)) * 100
+    return euclidean_pairwise(points)
+
+
+class TestFitDistanceScale:
+    def test_recovers_known_scale(self, rng):
+        raw = rng.random(100) + 0.5
+        assert fit_distance_scale(raw, 3.0 * raw) == pytest.approx(3.0)
+
+    def test_degenerate_input(self):
+        assert fit_distance_scale(np.zeros(5), np.ones(5)) == 1.0
+
+    def test_ignores_nan(self, rng):
+        raw = rng.random(50) + 0.5
+        target = 2.0 * raw
+        target[0] = np.nan
+        assert fit_distance_scale(raw, target) == pytest.approx(2.0, rel=1e-9)
+
+
+class TestLipschitzPCAEmbedding:
+    def test_near_exact_on_euclidean_data(self):
+        # Distances realizable in R^3 embed well at d >= 3-4: the
+        # Lipschitz map distorts, but the estimate should be close.
+        matrix = euclidean_realizable_matrix()
+        embedding = LipschitzPCAEmbedding(dimension=5).fit(matrix)
+        errors = relative_errors(matrix, embedding.estimate_matrix())
+        assert np.median(errors) < 0.15
+
+    def test_poor_on_paper_counterexample(self, paper_matrix):
+        # Figure 1's matrix is provably not Euclidean-embeddable.
+        embedding = LipschitzPCAEmbedding(dimension=3).fit(paper_matrix)
+        worst = np.abs(embedding.estimate_matrix() - paper_matrix).max()
+        assert worst > 0.1
+
+    def test_coordinates_shape(self, clustered_rtt):
+        embedding = LipschitzPCAEmbedding(dimension=6).fit(clustered_rtt)
+        assert embedding.coordinates().shape == (30, 6)
+
+    def test_estimates_symmetric(self, clustered_rtt):
+        embedding = LipschitzPCAEmbedding(dimension=5).fit(clustered_rtt)
+        estimates = embedding.estimate_matrix()
+        np.testing.assert_allclose(estimates, estimates.T, rtol=1e-9)
+
+    def test_higher_dimension_not_worse(self, clustered_rtt):
+        low = LipschitzPCAEmbedding(dimension=2).fit(clustered_rtt)
+        high = LipschitzPCAEmbedding(dimension=15).fit(clustered_rtt)
+        low_error = np.median(relative_errors(clustered_rtt, low.estimate_matrix()))
+        high_error = np.median(relative_errors(clustered_rtt, high.estimate_matrix()))
+        assert high_error <= low_error + 0.02
+
+    def test_project_matches_fit(self, clustered_rtt):
+        embedding = LipschitzPCAEmbedding(dimension=4).fit(clustered_rtt)
+        projected = embedding.project(clustered_rtt)
+        np.testing.assert_allclose(projected, embedding.coordinates(), atol=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LipschitzPCAEmbedding(dimension=2).coordinates()
+        with pytest.raises(NotFittedError):
+            LipschitzPCAEmbedding(dimension=2).project(np.ones((2, 2)))
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValidationError):
+            LipschitzPCAEmbedding(dimension=2).fit(rng.random((4, 6)))

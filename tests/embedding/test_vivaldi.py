@@ -1,0 +1,58 @@
+"""Tests for the Vivaldi spring-relaxation system."""
+
+import numpy as np
+import pytest
+
+from repro.core import relative_errors
+from repro.embedding import VivaldiSystem, euclidean_pairwise
+from repro.exceptions import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def euclidean_matrix():
+    generator = np.random.default_rng(2)
+    points = generator.random((20, 2)) * 80 + 10
+    return euclidean_pairwise(points) + 2.0 * (1 - np.eye(20))
+
+
+class TestVivaldiSystem:
+    def test_fits_euclideanish_data(self, euclidean_matrix):
+        system = VivaldiSystem(dimension=2, rounds=400, seed=0).fit(euclidean_matrix)
+        errors = relative_errors(euclidean_matrix, system.estimate_matrix())
+        assert np.median(errors) < 0.2
+
+    def test_better_than_untrained(self, euclidean_matrix):
+        trained = VivaldiSystem(dimension=2, rounds=300, seed=1).fit(euclidean_matrix)
+        barely = VivaldiSystem(dimension=2, rounds=1, seed=1).fit(euclidean_matrix)
+        trained_error = np.median(
+            relative_errors(euclidean_matrix, trained.estimate_matrix())
+        )
+        barely_error = np.median(
+            relative_errors(euclidean_matrix, barely.estimate_matrix())
+        )
+        assert trained_error < barely_error
+
+    def test_estimates_symmetric_zero_diagonal(self, euclidean_matrix):
+        system = VivaldiSystem(dimension=3, rounds=50, seed=2).fit(euclidean_matrix)
+        estimates = system.estimate_matrix()
+        np.testing.assert_allclose(estimates, estimates.T, rtol=1e-9)
+        np.testing.assert_array_equal(np.diag(estimates), 0.0)
+
+    def test_heights_nonnegative(self, euclidean_matrix):
+        system = VivaldiSystem(dimension=2, rounds=100, use_height=True, seed=3)
+        system.fit(euclidean_matrix)
+        assert (system.heights() > 0).all()
+
+    def test_no_height_mode(self, euclidean_matrix):
+        system = VivaldiSystem(dimension=2, rounds=50, use_height=False, seed=4)
+        system.fit(euclidean_matrix)
+        np.testing.assert_array_equal(system.heights(), 0.0)
+
+    def test_deterministic(self, euclidean_matrix):
+        first = VivaldiSystem(dimension=2, rounds=50, seed=5).fit(euclidean_matrix)
+        second = VivaldiSystem(dimension=2, rounds=50, seed=5).fit(euclidean_matrix)
+        np.testing.assert_array_equal(first.coordinates(), second.coordinates())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            VivaldiSystem().coordinates()

@@ -1,0 +1,50 @@
+"""Tests for empirical CDF utilities."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import empirical_cdf
+from repro.exceptions import ValidationError
+
+
+class TestEmpiricalCDF:
+    def test_fraction_below(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.5) == pytest.approx(0.5)
+        assert cdf.fraction_below(0.5) == 0.0
+        assert cdf.fraction_below(4.0) == 1.0
+
+    def test_at_vector(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(cdf.at([0.0, 2.0, 10.0]), [0.0, 0.5, 1.0])
+
+    def test_median_and_percentile(self):
+        cdf = empirical_cdf(np.arange(1, 101, dtype=float))
+        assert cdf.median == pytest.approx(50.5)
+        assert cdf.percentile(90) == pytest.approx(90.1)
+
+    def test_nan_dropped(self):
+        cdf = empirical_cdf([1.0, np.nan, 3.0])
+        assert cdf.count == 2
+
+    def test_curve_subsampling(self):
+        cdf = empirical_cdf(np.random.default_rng(0).random(1000))
+        x, y = cdf.curve(n_points=50)
+        assert x.shape == (50,)
+        assert y.shape == (50,)
+        assert (np.diff(x) >= 0).all()
+        assert (np.diff(y) >= 0).all()
+
+    def test_curve_short_sample(self):
+        cdf = empirical_cdf([1.0, 2.0])
+        x, y = cdf.curve(n_points=10)
+        assert x.shape == (2,)
+        np.testing.assert_allclose(y, [0.5, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_cdf([np.nan, np.inf])
+
+    def test_curve_bad_points(self):
+        with pytest.raises(ValidationError):
+            empirical_cdf([1.0, 2.0]).curve(n_points=1)

@@ -1,0 +1,78 @@
+"""Tests for experiment chart dispatch."""
+
+import numpy as np
+
+from repro.evaluation import render_charts
+from repro.evaluation.experiments.common import ExperimentResult
+
+
+def make_result(experiment_id: str, data: dict) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        description=f"test {experiment_id}",
+        data=data,
+        table="t",
+    )
+
+
+class TestRenderCharts:
+    def test_fig2_one_cdf(self, rng):
+        result = make_result(
+            "fig2", {"gnp": rng.random(100) * 0.2, "p2psim": rng.random(100)}
+        )
+        charts = render_charts(result)
+        assert len(charts) == 1
+        assert "P(e<=x)" in charts[0]
+
+    def test_fig3_two_line_charts(self):
+        series = {
+            "dimensions": [1, 5, 10],
+            "SVD": [0.4, 0.1, 0.05],
+            "NMF": [0.4, 0.12, 0.06],
+            "Lipschitz+PCA": [0.3, 0.2, 0.18],
+        }
+        result = make_result("fig3", {"nlanr": dict(series), "p2psim": dict(series)})
+        charts = render_charts(result)
+        assert len(charts) == 2
+        assert "Figure 3(a)" in charts[0]
+
+    def test_fig6_three_cdfs(self, rng):
+        errors = {"IDES/SVD": rng.random(50), "GNP": rng.random(50)}
+        result = make_result(
+            "fig6", {"gnp": dict(errors), "nlanr": dict(errors), "p2psim": dict(errors)}
+        )
+        assert len(render_charts(result)) == 3
+
+    def test_fig7_clips_blowups(self):
+        data = {
+            "fractions": [0.0, 0.4, 0.8],
+            "nlanr": {"20 landmarks, d=8": [0.05, 0.1, 25.0],
+                      "50 landmarks, d=8": [0.05, 0.06, 0.3]},
+            "p2psim": {"20 landmarks, d=10": [0.2, 0.5, 11.0],
+                       "50 landmarks, d=10": [0.2, 0.25, 0.5]},
+        }
+        charts = render_charts(make_result("fig7", data))
+        assert len(charts) == 2
+        # The clipped ceiling keeps the y range at 1, not 25.
+        assert "25" not in charts[0].splitlines()[1]
+
+    def test_generic_series_ablation(self):
+        result = make_result(
+            "ablate-asym",
+            {
+                "levels": [0.0, 0.5],
+                "SVD factorization": [0.05, 0.06],
+                "Lipschitz+PCA (Euclidean)": [0.2, 0.5],
+            },
+        )
+        charts = render_charts(result)
+        assert len(charts) == 1
+        assert "asymmetry level" in charts[0]
+
+    def test_table_experiment_has_no_chart(self):
+        result = make_result("table1", {"GNP": {"IDES/SVD": 0.1}})
+        assert render_charts(result) == []
+
+    def test_unchartable_data_returns_empty(self):
+        result = make_result("ablate-unknown", {"weird": object()})
+        assert render_charts(result) == []

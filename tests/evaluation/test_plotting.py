@@ -1,0 +1,80 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.plotting import ascii_cdf_chart, ascii_line_chart
+from repro.exceptions import ValidationError
+
+
+class TestAsciiLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_line_chart(
+            [1, 2, 3, 4],
+            {"SVD": [0.4, 0.2, 0.1, 0.05], "NMF": [0.4, 0.25, 0.12, 0.08]},
+            title="demo chart",
+        )
+        assert "demo chart" in chart
+        assert "o = SVD" in chart
+        assert "x = NMF" in chart
+        grid_lines = chart.splitlines()[1:-4]  # exclude title/axis/legend
+        assert any("o" in line for line in grid_lines)
+
+    def test_axis_labels_present(self):
+        chart = ascii_line_chart(
+            [0, 10], {"s": [1.0, 2.0]}, x_label="dimension", y_label="err"
+        )
+        assert "dimension" in chart
+        assert "err" in chart
+
+    def test_y_range_rendered(self):
+        chart = ascii_line_chart([0, 1], {"s": [5.0, 10.0]})
+        assert "10" in chart
+        assert "5" in chart
+
+    def test_decreasing_series_slopes_down(self):
+        # The marker for the last x should sit lower (larger row index)
+        # than for the first x.
+        chart = ascii_line_chart([0, 1, 2, 3], {"s": [3.0, 2.0, 1.0, 0.0]},
+                                 width=16, height=8)
+        rows = [i for i, line in enumerate(chart.splitlines()) if "o" in line]
+        assert rows[0] < rows[-1]
+
+    def test_nan_points_skipped(self):
+        chart = ascii_line_chart([0, 1, 2], {"s": [1.0, float("nan"), 2.0]})
+        assert "legend" in chart
+
+    def test_constant_series_ok(self):
+        chart = ascii_line_chart([0, 1], {"s": [2.0, 2.0]})
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_line_chart([0, 1], {})
+        with pytest.raises(ValidationError):
+            ascii_line_chart([0], {"s": [1.0]})
+        with pytest.raises(ValidationError):
+            ascii_line_chart([0, 1], {"s": [1.0, 2.0]}, width=2)
+
+
+class TestAsciiCdfChart:
+    def test_renders_multiple_systems(self, rng):
+        chart = ascii_cdf_chart(
+            {"fast": rng.random(500) * 0.2, "slow": rng.random(500)},
+            title="error CDF",
+        )
+        assert "error CDF" in chart
+        assert "P(e<=x)" in chart
+        assert "o = fast" in chart
+
+    def test_x_max_override(self, rng):
+        chart = ascii_cdf_chart({"s": rng.random(100)}, x_max=2.0)
+        assert "2" in chart
+
+    def test_nan_samples_dropped(self):
+        chart = ascii_cdf_chart({"s": [0.1, float("nan"), 0.3, 0.5]})
+        assert "legend" in chart
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_cdf_chart({"s": [float("nan")]})

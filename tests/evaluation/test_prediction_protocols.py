@@ -1,0 +1,94 @@
+"""Integration tests for the Figure 6 / Table 1 protocols.
+
+GNP's full optimization budget belongs in the benchmarks; here the
+protocols run with a reduced budget, asserting the relationships that
+survive truncation (IDES beats ICS, GNP is orders of magnitude slower,
+the same landmark set serves every system).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.evaluation.experiments.fig6 import (
+    make_systems,
+    run_gnp_protocol,
+    run_prediction_protocol,
+)
+from repro.evaluation.experiments.table1 import run as run_table1
+from repro.evaluation import time_callable
+from repro.ides import IDESSystem
+from repro.embedding import GNPSystem, ICSSystem
+
+
+@pytest.fixture(scope="module")
+def nlanr():
+    return load_dataset("nlanr", seed=77, n_hosts=60, use_cache=False)
+
+
+class TestPredictionProtocol:
+    @pytest.fixture(scope="class")
+    def errors(self, nlanr):
+        systems = [
+            IDESSystem(dimension=8, method="svd"),
+            IDESSystem(dimension=8, method="nmf", seed=0),
+            ICSSystem(dimension=8),
+        ]
+        return run_prediction_protocol(nlanr, 15, systems, seed=3)
+
+    def test_all_systems_evaluated_on_same_pairs(self, errors):
+        sizes = {name: e.size for name, e in errors.items()}
+        assert len(set(sizes.values())) == 1
+        assert set(errors) == {"IDES/SVD", "IDES/NMF", "ICS"}
+
+    def test_ides_beats_ics(self, errors):
+        assert np.median(errors["IDES/SVD"]) < np.median(errors["ICS"])
+
+    def test_svd_and_nmf_comparable(self, errors):
+        svd = np.median(errors["IDES/SVD"])
+        nmf = np.median(errors["IDES/NMF"])
+        assert nmf < svd * 3 + 0.05
+
+    def test_errors_are_finite_and_nonnegative(self, errors):
+        for values in errors.values():
+            assert np.isfinite(values).all()
+            assert (values >= 0).all()
+
+
+class TestGNPProtocol:
+    def test_runs_and_evaluates_869x4_shape(self):
+        systems = make_systems(seed=5, gnp_iter_scale=0.05, include_gnp=False)
+        errors = run_gnp_protocol(systems, seed=5)
+        for values in errors.values():
+            # 869 AGNP hosts x 4 held-out GNP nodes.
+            assert values.size == 869 * 4
+
+
+class TestTimingGap:
+    def test_gnp_much_slower_than_ides(self, nlanr):
+        from repro.datasets import split_landmarks
+
+        split = split_landmarks(nlanr, 15, seed=0)
+
+        ides = IDESSystem(dimension=8, method="svd")
+        gnp = GNPSystem(dimension=8, max_iter_scale=0.2, landmark_restarts=1, seed=0)
+
+        def build(system):
+            system.fit_landmarks(split.landmark_matrix)
+            system.place_hosts(split.out_distances, split.in_distances)
+
+        ides_time, _ = time_callable(lambda: build(ides))
+        gnp_time, _ = time_callable(lambda: build(gnp))
+        # Even with a 5x-truncated budget GNP pays at least an order of
+        # magnitude more wall time than the closed-form IDES build.
+        assert gnp_time.best > 10 * ides_time.best
+
+
+class TestTable1Runner:
+    def test_fast_mode_structure(self):
+        result = run_table1(fast=True)
+        assert set(result.data) == {"GNP", "NLANR", "P2PSim"}
+        for row in result.data.values():
+            assert set(row) == {"IDES/SVD", "IDES/NMF", "ICS", "GNP"}
+            assert row["GNP"] > row["IDES/SVD"]
+        assert "Table 1" in result.table

@@ -1,0 +1,54 @@
+"""Tests for the text report renderers."""
+
+import numpy as np
+
+from repro.evaluation import format_cdf_report, format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.23456], ["b", 2.0]],
+            precision=3,
+            title="demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in table
+        assert "2.000" in table
+
+    def test_non_finite_rendered_as_dash(self):
+        table = format_table(["x"], [[float("nan")], [float("inf")]])
+        assert table.count("-") >= 2
+
+    def test_no_title(self):
+        table = format_table(["a"], [[1]])
+        assert table.splitlines()[0].startswith("a")
+
+
+class TestFormatSeriesTable:
+    def test_columns_per_series(self):
+        table = format_series_table(
+            "d", [1, 2, 4], {"SVD": [0.1, 0.05, 0.02], "NMF": [0.12, 0.06, 0.03]}
+        )
+        assert "SVD" in table and "NMF" in table
+        assert "0.0500" in table
+
+    def test_short_series_padded_with_dash(self):
+        table = format_series_table("x", [1, 2], {"s": [0.5]})
+        assert "-" in table.splitlines()[-1]
+
+
+class TestFormatCDFReport:
+    def test_quotes_fractions_and_percentiles(self):
+        errors = {"sys-a": np.array([0.05, 0.1, 0.2, 0.4]), "sys-b": np.array([0.5, 1.5])}
+        report = format_cdf_report(errors, thresholds=(0.1, 0.5))
+        assert "sys-a" in report and "sys-b" in report
+        assert "P(e<=0.1)" in report
+        assert "median" in report and "p90" in report
+
+    def test_handles_empty_series(self):
+        report = format_cdf_report({"empty": np.array([np.nan])})
+        assert "empty" in report

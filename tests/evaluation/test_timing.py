@@ -1,0 +1,38 @@
+"""Tests for the timing harness."""
+
+import time
+
+import pytest
+
+from repro.evaluation import TimingResult, time_callable
+
+
+class TestTimeCallable:
+    def test_returns_result_and_positive_time(self):
+        timing, value = time_callable(lambda: 42)
+        assert value == 42
+        assert timing.best >= 0.0
+
+    def test_repeats_collected(self):
+        timing, _ = time_callable(lambda: None, repeats=3)
+        assert len(timing.seconds) == 3
+        assert timing.best <= timing.mean
+
+    def test_measures_sleep(self):
+        timing, _ = time_callable(lambda: time.sleep(0.02))
+        assert timing.best >= 0.015
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestTimingResultFormat:
+    def test_milliseconds(self):
+        assert TimingResult(seconds=(0.0123,)).format() == "12.3ms"
+
+    def test_seconds(self):
+        assert TimingResult(seconds=(1.5,)).format() == "1.50s"
+
+    def test_minutes_paper_style(self):
+        assert TimingResult(seconds=(150.0,)).format() == "2min 30s"

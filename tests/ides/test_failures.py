@@ -1,0 +1,72 @@
+"""Tests for landmark failure models."""
+
+import numpy as np
+
+from repro.ides import CorrelatedFailures, IndependentFailures, PartitionFailures
+
+
+class TestIndependentFailures:
+    def test_exact_per_host_count(self):
+        mask = IndependentFailures(unobserved_fraction=0.25).generate(40, 20, seed=0)
+        np.testing.assert_array_equal(mask.sum(axis=1), 15)
+
+    def test_zero_fraction(self):
+        mask = IndependentFailures(unobserved_fraction=0.0).generate(5, 10, seed=0)
+        assert mask.all()
+
+    def test_min_observed(self):
+        mask = IndependentFailures(unobserved_fraction=0.95, min_observed=2).generate(
+            10, 10, seed=1
+        )
+        assert (mask.sum(axis=1) >= 2).all()
+
+
+class TestCorrelatedFailures:
+    def test_down_landmarks_invisible_to_all(self):
+        mask = CorrelatedFailures(down_fraction=0.3).generate(25, 10, seed=2)
+        down_columns = ~mask.any(axis=0)
+        assert down_columns.sum() == 3
+
+    def test_additional_independent_failures(self):
+        model = CorrelatedFailures(down_fraction=0.2, independent_fraction=0.3)
+        mask = model.generate(30, 10, seed=3)
+        surviving = mask.any(axis=0)
+        # Surviving landmarks are not observed by every host.
+        per_host = mask[:, surviving]
+        assert per_host.sum() < per_host.size
+
+    def test_every_host_observes_something(self):
+        model = CorrelatedFailures(down_fraction=0.8, independent_fraction=0.9)
+        mask = model.generate(50, 10, seed=4)
+        assert (mask.sum(axis=1) >= 1).all()
+
+    def test_never_downs_all_landmarks(self):
+        mask = CorrelatedFailures(down_fraction=1.0).generate(5, 8, seed=5)
+        assert mask.any()
+
+
+class TestPartitionFailures:
+    def test_structure(self):
+        model = PartitionFailures(
+            partitioned_hosts_fraction=0.4, hidden_landmarks_fraction=0.5
+        )
+        mask = model.generate(20, 10, seed=6)
+        affected_hosts = (~mask).any(axis=1)
+        assert affected_hosts.sum() == 8
+        # Affected hosts all miss the same landmark set.
+        rows = mask[affected_hosts]
+        assert np.unique(rows, axis=0).shape[0] == 1
+
+    def test_unaffected_hosts_see_everything(self):
+        model = PartitionFailures(
+            partitioned_hosts_fraction=0.3, hidden_landmarks_fraction=0.4
+        )
+        mask = model.generate(20, 10, seed=7)
+        unaffected = mask.all(axis=1)
+        assert unaffected.sum() == 14
+
+    def test_degenerate_fractions(self):
+        model = PartitionFailures(
+            partitioned_hosts_fraction=0.0, hidden_landmarks_fraction=0.9
+        )
+        assert model.generate(10, 5, seed=8).all()

@@ -1,0 +1,110 @@
+"""Tests for robust (Huber-IRLS) host placement."""
+
+import numpy as np
+import pytest
+
+from repro.core import SVDFactorizer
+from repro.exceptions import SingularSystemError, ValidationError
+from repro.ides import solve_host_vectors, solve_host_vectors_robust
+
+from ..conftest import make_low_rank_matrix
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Exact rank-3 world: 14 landmarks + hosts."""
+    matrix = make_low_rank_matrix(20, 20, 3, seed=13)
+    model = SVDFactorizer(dimension=3).fit(matrix[:14, :14])
+    return {
+        "matrix": matrix,
+        "landmark_out": model.outgoing,
+        "landmark_in": model.incoming,
+    }
+
+
+class TestSolveHostVectorsRobust:
+    def test_matches_least_squares_without_outliers(self, world):
+        host = 16
+        out_d = world["matrix"][host, :14]
+        in_d = world["matrix"][:14, host]
+        robust = solve_host_vectors_robust(
+            out_d, in_d, world["landmark_out"], world["landmark_in"]
+        )
+        plain = solve_host_vectors(
+            out_d, in_d, world["landmark_out"], world["landmark_in"]
+        )
+        np.testing.assert_allclose(
+            robust.vectors.outgoing, plain.outgoing, rtol=1e-4
+        )
+        assert robust.suspects.size == 0
+
+    def test_resists_lying_landmarks(self, world):
+        host = 17
+        out_d = world["matrix"][host, :14].copy()
+        in_d = world["matrix"][:14, host].copy()
+        # Landmarks 2 and 9 inflate their reports threefold.
+        for liar in (2, 9):
+            out_d[liar] *= 3.0
+            in_d[liar] *= 3.0
+
+        robust = solve_host_vectors_robust(
+            out_d, in_d, world["landmark_out"], world["landmark_in"]
+        )
+        plain = solve_host_vectors(
+            out_d, in_d, world["landmark_out"], world["landmark_in"]
+        )
+        honest = solve_host_vectors(
+            world["matrix"][host, :14],
+            world["matrix"][:14, host],
+            world["landmark_out"],
+            world["landmark_in"],
+        )
+        robust_gap = np.linalg.norm(robust.vectors.outgoing - honest.outgoing)
+        plain_gap = np.linalg.norm(plain.outgoing - honest.outgoing)
+        assert robust_gap < plain_gap * 0.5
+
+    def test_flags_the_liars(self, world):
+        host = 18
+        out_d = world["matrix"][host, :14].copy()
+        in_d = world["matrix"][:14, host].copy()
+        out_d[5] *= 4.0
+        in_d[5] *= 4.0
+        robust = solve_host_vectors_robust(
+            out_d, in_d, world["landmark_out"], world["landmark_in"]
+        )
+        assert 5 in robust.suspects
+
+    def test_weights_in_unit_interval(self, world):
+        host = 19
+        robust = solve_host_vectors_robust(
+            world["matrix"][host, :14],
+            world["matrix"][:14, host],
+            world["landmark_out"],
+            world["landmark_in"],
+        )
+        for weights in (robust.out_weights, robust.in_weights):
+            assert (weights >= 0).all() and (weights <= 1.0 + 1e-12).all()
+
+    def test_nan_measurements_dropped(self, world):
+        host = 15
+        out_d = world["matrix"][host, :14].copy()
+        in_d = world["matrix"][:14, host].copy()
+        out_d[0] = np.nan
+        in_d[0] = np.nan
+        robust = solve_host_vectors_robust(
+            out_d, in_d, world["landmark_out"], world["landmark_in"]
+        )
+        assert np.isfinite(robust.vectors.outgoing).all()
+        assert robust.out_weights[0] == 0.0
+
+    def test_underdetermined_rejected(self, rng):
+        with pytest.raises(SingularSystemError):
+            solve_host_vectors_robust(
+                rng.random(2), rng.random(2), rng.random((2, 4)), rng.random((2, 4))
+            )
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValidationError):
+            solve_host_vectors_robust(
+                rng.random(5), rng.random(6), rng.random((6, 3)), rng.random((6, 3))
+            )

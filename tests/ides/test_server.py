@@ -1,0 +1,109 @@
+"""Tests for the IDES information server."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ides import HostVectors, InformationServer
+
+from ..conftest import make_low_rank_matrix
+
+
+@pytest.fixture
+def landmark_matrix():
+    return make_low_rank_matrix(8, 8, 3, seed=2)
+
+
+class TestInformationServer:
+    def test_fit_publishes_landmark_vectors(self, landmark_matrix):
+        server = InformationServer(dimension=3, method="svd")
+        model = server.fit_landmarks(landmark_matrix)
+        assert model.method == "svd"
+        assert server.n_registered == 8
+        outgoing, incoming = server.landmark_vectors()
+        assert outgoing.shape == (8, 3)
+        assert incoming.shape == (8, 3)
+
+    def test_predict_between_landmarks(self, landmark_matrix):
+        server = InformationServer(dimension=3, method="svd")
+        server.fit_landmarks(landmark_matrix)
+        # Exact rank-3 matrix -> landmark predictions are exact.
+        assert server.predict(0, 5) == pytest.approx(landmark_matrix[0, 5], rel=1e-6)
+
+    def test_custom_landmark_ids(self, landmark_matrix):
+        ids = [f"lm-{i}" for i in range(8)]
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix, landmark_ids=ids)
+        assert server.landmark_ids == ids
+        assert server.get_vectors("lm-3").dimension == 3
+
+    def test_register_and_predict_ordinary_host(self, landmark_matrix):
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        vectors = HostVectors(outgoing=np.ones(3), incoming=np.ones(3))
+        server.register_host("host-a", vectors)
+        assert server.n_registered == 9
+        assert np.isfinite(server.predict("host-a", 0))
+
+    def test_deregister(self, landmark_matrix):
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        server.register_host("host-a", HostVectors(np.ones(3), np.ones(3)))
+        server.deregister_host("host-a")
+        with pytest.raises(ValidationError):
+            server.get_vectors("host-a")
+
+    def test_landmarks_cannot_be_deregistered(self, landmark_matrix):
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        with pytest.raises(ValidationError):
+            server.deregister_host(0)
+
+    def test_nmf_method_with_missing_entries(self, landmark_matrix):
+        holey = landmark_matrix.copy()
+        holey[0, 3] = np.nan
+        server = InformationServer(dimension=3, method="nmf", seed=0)
+        server.fit_landmarks(holey)
+        outgoing, incoming = server.landmark_vectors()
+        assert (outgoing >= 0).all() and (incoming >= 0).all()
+
+    def test_svd_rejects_mask(self, landmark_matrix):
+        server = InformationServer(dimension=3, method="svd")
+        with pytest.raises(ValidationError):
+            server.fit_landmarks(
+                landmark_matrix, mask=np.ones((8, 8), dtype=bool)
+            )
+
+    def test_wrong_dimension_registration_rejected(self, landmark_matrix):
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        with pytest.raises(ValidationError):
+            server.register_host("bad", HostVectors(np.ones(5), np.ones(5)))
+
+    def test_reference_vectors_sampling(self, landmark_matrix):
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        server.register_host("host-a", HostVectors(np.ones(3), np.ones(3)))
+        ids, outgoing, incoming = server.reference_vectors(5, seed=0)
+        assert len(ids) == 5
+        assert outgoing.shape == (5, 3)
+        # landmarks-only pool excludes the ordinary host
+        ids_lm, _, _ = server.reference_vectors(8, seed=0, include_ordinary=False)
+        assert "host-a" not in ids_lm
+
+    def test_reference_vectors_pool_too_small(self, landmark_matrix):
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        with pytest.raises(ValidationError):
+            server.reference_vectors(50, seed=0)
+
+    def test_unfitted_operations_raise(self):
+        server = InformationServer(dimension=3)
+        with pytest.raises(NotFittedError):
+            server.landmark_vectors()
+        with pytest.raises(NotFittedError):
+            server.register_host("x", HostVectors(np.ones(3), np.ones(3)))
+
+    def test_invalid_method(self):
+        with pytest.raises(ValidationError):
+            InformationServer(method="pca")

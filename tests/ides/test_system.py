@@ -1,0 +1,119 @@
+"""End-to-end tests for the IDESSystem facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import relative_errors, unobserved_landmark_mask
+from repro.exceptions import NotFittedError
+from repro.ides import IDESSystem
+
+from ..conftest import make_low_rank_matrix
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Exactly rank-4 40-host world with a 12-landmark split."""
+    matrix = make_low_rank_matrix(40, 40, 4, seed=6)
+    landmarks = np.arange(12)
+    hosts = np.arange(12, 40)
+    return {
+        "matrix": matrix,
+        "landmark_matrix": matrix[np.ix_(landmarks, landmarks)],
+        "out": matrix[np.ix_(hosts, landmarks)],
+        "in": matrix[np.ix_(landmarks, hosts)],
+        "truth": matrix[np.ix_(hosts, hosts)],
+    }
+
+
+class TestIDESSystemSVD:
+    def test_exact_predictions_in_low_rank_world(self, world):
+        system = IDESSystem(dimension=4, method="svd")
+        system.fit_landmarks(world["landmark_matrix"])
+        system.place_hosts(world["out"], world["in"])
+        errors = relative_errors(world["truth"], system.predict_matrix())
+        assert np.median(errors) < 1e-6
+
+    def test_predict_between_consistent(self, world):
+        system = IDESSystem(dimension=4, method="svd")
+        system.fit_landmarks(world["landmark_matrix"])
+        system.place_hosts(world["out"], world["in"])
+        full = system.predict_matrix()
+        block = system.predict_between([0, 3], [1, 2])
+        np.testing.assert_allclose(block, full[np.ix_([0, 3], [1, 2])], rtol=1e-12)
+
+    def test_name_reflects_method(self):
+        assert IDESSystem(method="svd").name == "IDES/SVD"
+        assert IDESSystem(method="nmf").name == "IDES/NMF"
+
+    def test_host_vectors_accessible(self, world):
+        system = IDESSystem(dimension=4, method="svd")
+        system.fit_landmarks(world["landmark_matrix"])
+        system.place_hosts(world["out"], world["in"])
+        outgoing, incoming = system.host_vectors()
+        assert outgoing.shape == (28, 4)
+        assert incoming.shape == (28, 4)
+
+    def test_predict_without_place_raises(self, world):
+        system = IDESSystem(dimension=4)
+        system.fit_landmarks(world["landmark_matrix"])
+        with pytest.raises(NotFittedError):
+            system.predict_matrix()
+
+
+class TestIDESSystemNMF:
+    def test_nonnegative_predictions(self, world):
+        system = IDESSystem(dimension=4, method="nmf", nonnegative_hosts=True, seed=0)
+        system.fit_landmarks(world["landmark_matrix"])
+        system.place_hosts(world["out"], world["in"])
+        assert (system.predict_matrix() >= 0).all()
+
+    def test_reasonable_accuracy(self, world):
+        system = IDESSystem(dimension=4, method="nmf", seed=0)
+        system.fit_landmarks(world["landmark_matrix"])
+        system.place_hosts(world["out"], world["in"])
+        errors = relative_errors(world["truth"], system.predict_matrix())
+        assert np.median(errors) < 0.05
+
+    def test_masked_landmark_matrix(self, world):
+        holey = world["landmark_matrix"].copy()
+        holey[1, 7] = np.nan
+        system = IDESSystem(dimension=4, method="nmf", seed=0)
+        system.fit_landmarks(holey)
+        system.place_hosts(world["out"], world["in"])
+        assert np.isfinite(system.predict_matrix()).all()
+
+
+class TestPartialObservation:
+    def test_masked_placement_still_accurate_with_margin(self, world):
+        # 12 landmarks, d=4: dropping 1/3 leaves 8 >= 2d references.
+        mask = unobserved_landmark_mask(28, 12, 0.33, seed=0, min_observed=4)
+        system = IDESSystem(dimension=4, method="svd")
+        system.fit_landmarks(world["landmark_matrix"])
+        system.place_hosts(world["out"], world["in"], observation_mask=mask)
+        errors = relative_errors(world["truth"], system.predict_matrix())
+        assert np.median(errors) < 1e-5  # exact-rank world: still exact
+
+    def test_accuracy_degrades_when_observed_below_dimension(self, world):
+        system = IDESSystem(dimension=4, method="svd", strict=False)
+        system.fit_landmarks(world["landmark_matrix"])
+
+        generous = unobserved_landmark_mask(28, 12, 0.2, seed=1, min_observed=4)
+        system.place_hosts(world["out"], world["in"], observation_mask=generous)
+        good = np.median(relative_errors(world["truth"], system.predict_matrix()))
+
+        starved = unobserved_landmark_mask(28, 12, 0.8, seed=1, min_observed=1)
+        system.place_hosts(world["out"], world["in"], observation_mask=starved)
+        bad = np.median(relative_errors(world["truth"], system.predict_matrix()))
+        assert bad > good
+
+    def test_relaxed_single_host_matches_basic_when_refs_are_landmarks(self, world):
+        system = IDESSystem(dimension=4, method="svd")
+        system.fit_landmarks(world["landmark_matrix"])
+        system.place_hosts(world["out"], world["in"])
+        batch_out, _ = system.host_vectors()
+
+        landmark_out, landmark_in = system.landmark_vectors()
+        single = system.place_single_host(
+            world["out"][0], world["in"][:, 0], landmark_out, landmark_in
+        )
+        np.testing.assert_allclose(single.outgoing, batch_out[0], rtol=1e-8)

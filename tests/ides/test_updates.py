@@ -1,0 +1,137 @@
+"""Tests for online vector maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ides import (
+    HostVectors,
+    OnlineVectorTracker,
+    refresh_host_vectors,
+    solve_host_vectors,
+)
+
+from ..conftest import make_low_rank_matrix
+
+
+@pytest.fixture(scope="module")
+def stationary_world():
+    """Exact rank-3 world: 10 landmarks with vectors, one target host."""
+    from repro.core import SVDFactorizer
+
+    matrix = make_low_rank_matrix(12, 12, 3, seed=9)
+    model = SVDFactorizer(dimension=3).fit(matrix[:10, :10])
+    return {
+        "matrix": matrix,
+        "landmark_out": model.outgoing,
+        "landmark_in": model.incoming,
+    }
+
+
+class TestOnlineVectorTracker:
+    def test_converges_to_consistent_solution(self, stationary_world):
+        world = stationary_world
+        host = 11
+        # Start far from the truth.
+        tracker = OnlineVectorTracker(
+            HostVectors(np.zeros(3), np.zeros(3)), learning_rate=1.0
+        )
+        generator = np.random.default_rng(0)
+        for _ in range(300):
+            landmark = int(generator.integers(10))
+            tracker.observe_out(
+                world["matrix"][host, landmark], world["landmark_in"][landmark]
+            )
+            tracker.observe_in(
+                world["matrix"][landmark, host], world["landmark_out"][landmark]
+            )
+        vectors = tracker.vectors
+        predicted = vectors.outgoing @ world["landmark_in"].T
+        truth = world["matrix"][host, :10]
+        relative = np.abs(predicted - truth) / truth
+        assert np.median(relative) < 0.05
+
+    def test_residual_shrinks_on_repeated_sample(self, stationary_world):
+        world = stationary_world
+        tracker = OnlineVectorTracker(
+            HostVectors(np.zeros(3), np.zeros(3)), learning_rate=0.5
+        )
+        first = abs(tracker.observe_out(50.0, world["landmark_in"][0]))
+        second = abs(tracker.observe_out(50.0, world["landmark_in"][0]))
+        assert second < first
+
+    def test_full_projection_zeroes_residual(self, stationary_world):
+        world = stationary_world
+        tracker = OnlineVectorTracker(
+            HostVectors(np.zeros(3), np.zeros(3)), learning_rate=1.0
+        )
+        tracker.observe_out(40.0, world["landmark_in"][2])
+        follow_up = tracker.observe_out(40.0, world["landmark_in"][2])
+        assert follow_up == pytest.approx(0.0, abs=1e-9)
+
+    def test_nan_sample_ignored(self):
+        tracker = OnlineVectorTracker(HostVectors(np.ones(2), np.ones(2)))
+        residual = tracker.observe_out(float("nan"), np.ones(2))
+        assert np.isnan(residual)
+        assert tracker.samples_seen == 0
+        np.testing.assert_array_equal(tracker.vectors.outgoing, 1.0)
+
+    def test_zero_reference_ignored(self):
+        tracker = OnlineVectorTracker(HostVectors(np.ones(2), np.ones(2)))
+        residual = tracker.observe_in(10.0, np.zeros(2))
+        assert np.isnan(residual)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValidationError):
+            OnlineVectorTracker(HostVectors(np.ones(2), np.ones(2)), learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            OnlineVectorTracker(HostVectors(np.ones(2), np.ones(2)), learning_rate=1.5)
+
+    def test_vectors_are_copies(self):
+        initial = HostVectors(np.ones(2), np.ones(2))
+        tracker = OnlineVectorTracker(initial)
+        tracker.observe_out(5.0, np.array([1.0, 0.0]))
+        np.testing.assert_array_equal(initial.outgoing, 1.0)
+
+
+class TestRefreshHostVectors:
+    def test_blend_one_is_pure_fresh(self, stationary_world, rng):
+        world = stationary_world
+        out_rows = world["matrix"][10:, :10]
+        in_cols = world["matrix"][:10, 10:]
+        fresh_out, fresh_in = refresh_host_vectors(
+            out_rows, in_cols, world["landmark_out"], world["landmark_in"],
+            previous_outgoing=rng.random((2, 3)),
+            previous_incoming=rng.random((2, 3)),
+            blend=1.0,
+        )
+        single = solve_host_vectors(
+            out_rows[0], in_cols[:, 0], world["landmark_out"], world["landmark_in"]
+        )
+        np.testing.assert_allclose(fresh_out[0], single.outgoing, rtol=1e-7)
+
+    def test_blend_interpolates(self, stationary_world):
+        world = stationary_world
+        out_rows = world["matrix"][10:, :10]
+        in_cols = world["matrix"][:10, 10:]
+        old_out = np.zeros((2, 3))
+        old_in = np.zeros((2, 3))
+        full_out, _ = refresh_host_vectors(
+            out_rows, in_cols, world["landmark_out"], world["landmark_in"]
+        )
+        half_out, _ = refresh_host_vectors(
+            out_rows, in_cols, world["landmark_out"], world["landmark_in"],
+            previous_outgoing=old_out, previous_incoming=old_in, blend=0.5,
+        )
+        np.testing.assert_allclose(half_out, 0.5 * full_out, rtol=1e-9)
+
+    def test_shape_mismatch_rejected(self, stationary_world):
+        world = stationary_world
+        out_rows = world["matrix"][10:, :10]
+        with pytest.raises(ValidationError):
+            refresh_host_vectors(
+                out_rows, None, world["landmark_out"], world["landmark_in"],
+                previous_outgoing=np.zeros((5, 3)),
+                previous_incoming=np.zeros((5, 3)),
+                blend=0.5,
+            )

@@ -1,0 +1,55 @@
+"""Tests for HostVectors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ides import HostVectors, predict_distance, stack_vectors
+
+
+class TestHostVectors:
+    def test_dimension(self):
+        vectors = HostVectors(outgoing=np.ones(4), incoming=np.zeros(4))
+        assert vectors.dimension == 4
+
+    def test_distance_to_is_dot_product(self):
+        a = HostVectors(outgoing=np.array([1.0, 2.0]), incoming=np.array([0.0, 1.0]))
+        b = HostVectors(outgoing=np.array([3.0, 1.0]), incoming=np.array([2.0, 2.0]))
+        # X_a . Y_b = 1*2 + 2*2 = 6
+        assert a.distance_to(b) == pytest.approx(6.0)
+        # X_b . Y_a = 3*0 + 1*1 = 1 — asymmetric by design.
+        assert a.distance_from(b) == pytest.approx(1.0)
+        assert predict_distance(a, b) == pytest.approx(6.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            HostVectors(outgoing=np.ones(3), incoming=np.ones(2))
+
+    def test_cross_dimension_prediction_rejected(self):
+        a = HostVectors(outgoing=np.ones(2), incoming=np.ones(2))
+        b = HostVectors(outgoing=np.ones(3), incoming=np.ones(3))
+        with pytest.raises(ValidationError):
+            predict_distance(a, b)
+
+
+class TestStackVectors:
+    def test_stacks_in_order(self):
+        vector_list = [
+            HostVectors(outgoing=np.array([1.0, 0.0]), incoming=np.array([0.0, 1.0])),
+            HostVectors(outgoing=np.array([2.0, 0.0]), incoming=np.array([0.0, 2.0])),
+        ]
+        outgoing, incoming = stack_vectors(vector_list)
+        np.testing.assert_array_equal(outgoing, [[1.0, 0.0], [2.0, 0.0]])
+        np.testing.assert_array_equal(incoming, [[0.0, 1.0], [0.0, 2.0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            stack_vectors([])
+
+    def test_mixed_dimensions_rejected(self):
+        vector_list = [
+            HostVectors(outgoing=np.ones(2), incoming=np.ones(2)),
+            HostVectors(outgoing=np.ones(3), incoming=np.ones(3)),
+        ]
+        with pytest.raises(ValidationError):
+            stack_vectors(vector_list)

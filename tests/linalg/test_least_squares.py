@@ -1,0 +1,204 @@
+"""Tests for the (batched) least-squares solvers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SingularSystemError, ValidationError
+from repro.linalg import (
+    gram_condition_number,
+    solve_batched_least_squares,
+    solve_least_squares,
+)
+
+
+class TestSolveLeastSquares:
+    def test_matches_normal_equations(self, rng):
+        basis = rng.random((20, 5))
+        targets = rng.random(20)
+        solution = solve_least_squares(basis, targets)
+        expected = np.linalg.solve(basis.T @ basis, basis.T @ targets)
+        np.testing.assert_allclose(solution, expected, rtol=1e-9)
+
+    def test_exact_for_consistent_system(self, rng):
+        basis = rng.random((10, 4))
+        truth = rng.random(4)
+        solution = solve_least_squares(basis, basis @ truth)
+        np.testing.assert_allclose(solution, truth, rtol=1e-9)
+
+    def test_gradient_vanishes_at_optimum(self, rng):
+        basis = rng.random((15, 6))
+        targets = rng.random(15)
+        solution = solve_least_squares(basis, targets)
+        gradient = basis.T @ (basis @ solution - targets)
+        np.testing.assert_allclose(gradient, 0.0, atol=1e-9)
+
+    def test_ridge_shrinks_solution(self, rng):
+        basis = rng.random((12, 4))
+        targets = rng.random(12)
+        plain = solve_least_squares(basis, targets)
+        shrunk = solve_least_squares(basis, targets, ridge=100.0)
+        assert np.linalg.norm(shrunk) < np.linalg.norm(plain)
+
+    def test_ridge_zero_matches_plain(self, rng):
+        basis = rng.random((12, 4))
+        targets = rng.random(12)
+        np.testing.assert_allclose(
+            solve_least_squares(basis, targets, ridge=0.0),
+            solve_least_squares(basis, targets),
+            rtol=1e-12,
+        )
+
+    def test_strict_rejects_underdetermined(self, rng):
+        basis = rng.random((3, 5))
+        with pytest.raises(SingularSystemError):
+            solve_least_squares(basis, rng.random(3), strict=True)
+
+    def test_non_strict_returns_min_norm(self, rng):
+        basis = rng.random((3, 5))
+        targets = rng.random(3)
+        solution = solve_least_squares(basis, targets, strict=False)
+        # Minimum-norm solution reproduces the targets exactly.
+        np.testing.assert_allclose(basis @ solution, targets, rtol=1e-8)
+
+    def test_strict_rejects_rank_deficient(self, rng):
+        column = rng.random((8, 1))
+        basis = np.hstack([column, column])  # rank 1, d = 2
+        with pytest.raises(SingularSystemError):
+            solve_least_squares(basis, rng.random(8), strict=True)
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValidationError):
+            solve_least_squares(rng.random((5, 2)), rng.random(4))
+
+    def test_rejects_negative_ridge(self, rng):
+        with pytest.raises(ValidationError):
+            solve_least_squares(rng.random((5, 2)), rng.random(5), ridge=-1.0)
+
+
+class TestBatchedLeastSquares:
+    def test_matches_row_by_row(self, rng):
+        basis = rng.random((15, 4))
+        rows = rng.random((7, 15))
+        batched = solve_batched_least_squares(basis, rows)
+        for index in range(7):
+            single = solve_least_squares(basis, rows[index])
+            np.testing.assert_allclose(batched[index], single, rtol=1e-9)
+
+    def test_with_ridge_matches_row_by_row(self, rng):
+        basis = rng.random((15, 4))
+        rows = rng.random((5, 15))
+        batched = solve_batched_least_squares(basis, rows, ridge=2.5)
+        for index in range(5):
+            single = solve_least_squares(basis, rows[index], ridge=2.5)
+            np.testing.assert_allclose(batched[index], single, rtol=1e-9)
+
+    def test_shape(self, rng):
+        result = solve_batched_least_squares(rng.random((9, 3)), rng.random((4, 9)))
+        assert result.shape == (4, 3)
+
+    def test_strict_underdetermined(self, rng):
+        with pytest.raises(SingularSystemError):
+            solve_batched_least_squares(
+                rng.random((2, 5)), rng.random((3, 2)), strict=True
+            )
+
+    def test_rejects_bad_column_count(self, rng):
+        with pytest.raises(ValidationError):
+            solve_batched_least_squares(rng.random((9, 3)), rng.random((4, 8)))
+
+
+class TestGramConditionNumber:
+    def test_identity_basis(self):
+        assert gram_condition_number(np.eye(4)) == pytest.approx(1.0)
+
+    def test_infinite_for_rank_deficient(self):
+        column = np.ones((5, 1))
+        basis = np.hstack([column, column])
+        assert gram_condition_number(basis) == np.inf
+
+    def test_grows_with_near_collinearity(self, rng):
+        well = rng.random((20, 3))
+        nearly = well.copy()
+        nearly[:, 2] = nearly[:, 0] + 1e-6 * rng.random(20)
+        assert gram_condition_number(nearly) > gram_condition_number(well)
+
+
+class TestWeightedBatchedLeastSquares:
+    def test_uniform_weights_match_plain(self, rng):
+        from repro.linalg import solve_weighted_batched_least_squares
+
+        basis = rng.random((12, 4))
+        rows = rng.random((6, 12))
+        weights = np.ones_like(rows)
+        weighted = solve_weighted_batched_least_squares(basis, rows, weights)
+        plain = solve_batched_least_squares(basis, rows)
+        np.testing.assert_allclose(weighted, plain, rtol=1e-8)
+
+    def test_zero_weight_drops_measurement(self, rng):
+        from repro.linalg import solve_weighted_batched_least_squares
+
+        basis = rng.random((10, 3))
+        rows = rng.random((1, 10))
+        corrupted = rows.copy()
+        corrupted[0, 4] = 1e9
+        weights = np.ones_like(rows)
+        weights[0, 4] = 0.0
+        with_garbage = solve_weighted_batched_least_squares(basis, corrupted, weights)
+        reference = solve_least_squares(
+            np.delete(basis, 4, axis=0), np.delete(rows[0], 4)
+        )
+        np.testing.assert_allclose(with_garbage[0], reference, rtol=1e-8)
+
+    def test_weights_tilt_the_fit(self, rng):
+        from repro.linalg import solve_weighted_batched_least_squares
+
+        # Two inconsistent measurements of a single scalar: the solution
+        # moves toward the heavily weighted one.
+        basis = np.ones((2, 1))
+        rows = np.array([[1.0, 3.0]])
+        weights = np.array([[100.0, 1.0]])
+        solution = solve_weighted_batched_least_squares(basis, rows, weights)
+        assert abs(solution[0, 0] - 1.0) < 0.1
+
+    def test_matches_manual_weighted_solve(self, rng):
+        from repro.linalg import solve_weighted_batched_least_squares
+
+        basis = rng.random((15, 3))
+        rows = rng.random((4, 15))
+        weights = rng.random((4, 15)) + 0.1
+        batched = solve_weighted_batched_least_squares(basis, rows, weights)
+        for host in range(4):
+            scale = np.sqrt(weights[host])
+            expected, *_ = np.linalg.lstsq(
+                basis * scale[:, None], rows[host] * scale, rcond=None
+            )
+            np.testing.assert_allclose(batched[host], expected, rtol=1e-7)
+
+    def test_ridge_regularizes(self, rng):
+        from repro.linalg import solve_weighted_batched_least_squares
+
+        basis = rng.random((10, 3))
+        rows = rng.random((2, 10))
+        weights = np.ones_like(rows)
+        plain = solve_weighted_batched_least_squares(basis, rows, weights)
+        shrunk = solve_weighted_batched_least_squares(basis, rows, weights, ridge=50.0)
+        assert np.linalg.norm(shrunk) < np.linalg.norm(plain)
+
+    def test_rejects_negative_weights(self, rng):
+        from repro.linalg import solve_weighted_batched_least_squares
+
+        with pytest.raises(ValidationError):
+            solve_weighted_batched_least_squares(
+                rng.random((5, 2)), rng.random((2, 5)), -np.ones((2, 5))
+            )
+
+    def test_singular_host_falls_back_to_min_norm(self, rng):
+        from repro.linalg import solve_weighted_batched_least_squares
+
+        basis = rng.random((6, 3))
+        rows = rng.random((2, 6))
+        weights = np.ones_like(rows)
+        weights[1, :] = 0.0  # host 1 has no observations at all
+        solutions = solve_weighted_batched_least_squares(basis, rows, weights)
+        assert np.isfinite(solutions).all()
+        np.testing.assert_allclose(solutions[1], 0.0, atol=1e-9)

@@ -1,0 +1,131 @@
+"""Tests for the Lee-Seung NMF kernels (full and masked)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg import masked_nmf_factorize, nmf_factorize, nmf_objective
+
+from ..conftest import make_low_rank_matrix
+
+
+class TestNMFFactorize:
+    def test_factors_nonnegative(self):
+        matrix = make_low_rank_matrix(15, 15, 4, seed=0)
+        result = nmf_factorize(matrix, 4, seed=0)
+        assert (result.outgoing >= 0).all()
+        assert (result.incoming >= 0).all()
+
+    def test_objective_monotone_nonincreasing(self):
+        matrix = make_low_rank_matrix(12, 12, 3, seed=1)
+        result = nmf_factorize(matrix, 3, seed=1, max_iter=150, tol=0.0)
+        diffs = np.diff(result.history)
+        # Allow tiny float noise around the Lee-Seung guarantee.
+        assert (diffs <= 1e-6 * np.abs(result.history[:-1]) + 1e-9).all()
+
+    def test_reconstructs_low_rank_closely(self):
+        matrix = make_low_rank_matrix(20, 20, 3, seed=2)
+        result = nmf_factorize(matrix, 3, seed=2, max_iter=500, tol=1e-12)
+        relative = np.abs(matrix - result.outgoing @ result.incoming.T)
+        assert np.median(relative / np.maximum(matrix, 1e-9)) < 0.02
+
+    def test_deterministic_given_seed(self):
+        matrix = make_low_rank_matrix(10, 10, 3, seed=3)
+        first = nmf_factorize(matrix, 3, seed=42)
+        second = nmf_factorize(matrix, 3, seed=42)
+        np.testing.assert_array_equal(first.outgoing, second.outgoing)
+        np.testing.assert_array_equal(first.incoming, second.incoming)
+
+    def test_different_seeds_differ(self):
+        matrix = make_low_rank_matrix(10, 10, 3, seed=4)
+        first = nmf_factorize(matrix, 3, seed=1)
+        second = nmf_factorize(matrix, 3, seed=2)
+        assert not np.allclose(first.outgoing, second.outgoing)
+
+    def test_objective_matches_helper(self):
+        matrix = make_low_rank_matrix(8, 8, 2, seed=5)
+        result = nmf_factorize(matrix, 2, seed=0)
+        recomputed = nmf_objective(matrix, result.outgoing, result.incoming)
+        assert recomputed == pytest.approx(result.objective, rel=1e-9)
+
+    def test_converged_flag_and_iterations(self):
+        # A noisy target has a positive objective floor, so the relative
+        # improvement criterion fires well before the budget.
+        matrix = make_low_rank_matrix(8, 8, 2, seed=6)
+        matrix += np.random.default_rng(0).random(matrix.shape)
+        result = nmf_factorize(matrix, 2, seed=0, max_iter=500, tol=1e-4)
+        assert result.converged
+        assert 1 <= result.iterations <= 500
+        assert result.history.shape == (result.iterations,)
+
+    def test_rectangular(self):
+        matrix = make_low_rank_matrix(20, 7, 3, seed=7)
+        result = nmf_factorize(matrix, 3, seed=0, max_iter=400)
+        assert result.outgoing.shape == (20, 3)
+        assert result.incoming.shape == (7, 3)
+
+    def test_rejects_nan_without_mask(self):
+        matrix = make_low_rank_matrix(6, 6, 2, seed=8)
+        matrix[1, 2] = np.nan
+        with pytest.raises(ValidationError):
+            nmf_factorize(matrix, 2)
+
+
+class TestMaskedNMF:
+    def test_ignores_masked_entries(self):
+        # Corrupt masked-out entries wildly: the fit must not change.
+        matrix = make_low_rank_matrix(12, 12, 3, seed=9)
+        mask = np.ones_like(matrix, dtype=bool)
+        mask[0, 5] = mask[7, 2] = False
+
+        clean = masked_nmf_factorize(matrix, mask, 3, seed=0)
+        corrupted = matrix.copy()
+        corrupted[0, 5] = 1e6
+        corrupted[7, 2] = 1e6
+        dirty = masked_nmf_factorize(corrupted, mask, 3, seed=0)
+        np.testing.assert_allclose(clean.outgoing, dirty.outgoing, rtol=1e-10)
+
+    def test_accepts_nan_at_masked_positions(self):
+        matrix = make_low_rank_matrix(10, 10, 2, seed=10)
+        mask = np.ones_like(matrix, dtype=bool)
+        mask[3, 4] = False
+        matrix[3, 4] = np.nan
+        result = masked_nmf_factorize(matrix, mask, 2, seed=0)
+        assert np.isfinite(result.objective)
+
+    def test_rejects_nan_at_observed_positions(self):
+        matrix = make_low_rank_matrix(6, 6, 2, seed=11)
+        matrix[2, 3] = np.nan
+        mask = np.ones_like(matrix, dtype=bool)
+        with pytest.raises(ValidationError):
+            masked_nmf_factorize(matrix, mask, 2)
+
+    def test_recovers_missing_entries_of_low_rank_matrix(self):
+        # The fit should impute held-out entries of an exactly low-rank
+        # matrix with small relative error.
+        matrix = make_low_rank_matrix(25, 25, 3, seed=12)
+        generator = np.random.default_rng(0)
+        mask = generator.random(matrix.shape) > 0.15
+        result = masked_nmf_factorize(matrix, mask, 3, seed=0, max_iter=800, tol=1e-13)
+        reconstruction = result.outgoing @ result.incoming.T
+        held_out = ~mask
+        relative = np.abs(reconstruction[held_out] - matrix[held_out])
+        relative /= np.maximum(matrix[held_out], 1e-9)
+        assert np.median(relative) < 0.1
+
+    def test_monotone_objective(self):
+        matrix = make_low_rank_matrix(10, 10, 3, seed=13)
+        mask = np.random.default_rng(1).random(matrix.shape) > 0.2
+        result = masked_nmf_factorize(matrix, mask, 3, seed=0, max_iter=100, tol=0.0)
+        diffs = np.diff(result.history)
+        assert (diffs <= 1e-6 * np.abs(result.history[:-1]) + 1e-9).all()
+
+    def test_rejects_empty_mask(self):
+        matrix = make_low_rank_matrix(5, 5, 2, seed=14)
+        with pytest.raises(ValidationError):
+            masked_nmf_factorize(matrix, np.zeros_like(matrix, dtype=bool), 2)
+
+    def test_rejects_wrong_mask_shape(self):
+        matrix = make_low_rank_matrix(5, 5, 2, seed=15)
+        with pytest.raises(ValidationError):
+            masked_nmf_factorize(matrix, np.ones((4, 4), dtype=bool), 2)

@@ -1,0 +1,69 @@
+"""Tests for the from-scratch Lawson-Hanson NNLS solver."""
+
+import numpy as np
+import pytest
+from scipy.optimize import nnls as scipy_nnls
+
+from repro.exceptions import ValidationError
+from repro.linalg import nonnegative_least_squares
+
+
+class TestNonnegativeLeastSquares:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scipy(self, seed):
+        generator = np.random.default_rng(seed)
+        basis = generator.standard_normal((12, 5))
+        targets = generator.standard_normal(12)
+        ours = nonnegative_least_squares(basis, targets)
+        theirs, _ = scipy_nnls(basis, targets)
+        np.testing.assert_allclose(ours, theirs, atol=1e-8)
+
+    def test_solution_nonnegative(self, rng):
+        basis = rng.standard_normal((20, 6))
+        solution = nonnegative_least_squares(basis, rng.standard_normal(20))
+        assert (solution >= 0).all()
+
+    def test_kkt_conditions(self, rng):
+        basis = rng.standard_normal((15, 4))
+        targets = rng.standard_normal(15)
+        solution = nonnegative_least_squares(basis, targets)
+        gradient = basis.T @ (basis @ solution - targets)
+        # Stationarity: gradient >= 0 (up to tolerance) ...
+        assert (gradient >= -1e-8).all()
+        # ... and complementary slackness on the support.
+        support = solution > 1e-12
+        np.testing.assert_allclose(gradient[support], 0.0, atol=1e-8)
+
+    def test_exact_recovery_of_nonnegative_truth(self, rng):
+        basis = rng.random((25, 5))
+        truth = rng.random(5)
+        solution = nonnegative_least_squares(basis, basis @ truth)
+        np.testing.assert_allclose(solution, truth, atol=1e-8)
+
+    def test_all_zero_when_targets_anticorrelated(self, rng):
+        # basis columns positive, targets negative: optimum is u = 0.
+        basis = rng.random((10, 3)) + 0.1
+        targets = -np.ones(10)
+        solution = nonnegative_least_squares(basis, targets)
+        np.testing.assert_allclose(solution, 0.0, atol=1e-12)
+
+    def test_objective_not_worse_than_clipped_lstsq(self, rng):
+        basis = rng.standard_normal((18, 6))
+        targets = rng.standard_normal(18)
+        solution = nonnegative_least_squares(basis, targets)
+        unconstrained, *_ = np.linalg.lstsq(basis, targets, rcond=None)
+        clipped = np.clip(unconstrained, 0.0, None)
+        ours = np.linalg.norm(basis @ solution - targets)
+        naive = np.linalg.norm(basis @ clipped - targets)
+        assert ours <= naive + 1e-10
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            nonnegative_least_squares(rng.random((5, 2)), rng.random(4))
+
+    def test_wide_problem(self, rng):
+        # More variables than equations still terminates and is feasible.
+        basis = rng.standard_normal((4, 9))
+        solution = nonnegative_least_squares(basis, rng.standard_normal(4))
+        assert solution.shape == (9,)
+        assert (solution >= 0).all()

@@ -1,0 +1,72 @@
+"""Tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg import PCA
+
+
+class TestPCA:
+    def test_components_orthonormal(self, rng):
+        data = rng.random((40, 8))
+        pca = PCA(4).fit(data)
+        gram = pca.components @ pca.components.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_variance_descending(self, rng):
+        data = rng.random((50, 10))
+        pca = PCA(6).fit(data)
+        assert np.all(np.diff(pca.explained_variance) <= 1e-12)
+
+    def test_full_dimension_reconstructs(self, rng):
+        data = rng.random((20, 5))
+        pca = PCA(5).fit(data)
+        roundtrip = pca.inverse_transform(pca.transform(data))
+        np.testing.assert_allclose(roundtrip, data, atol=1e-10)
+
+    def test_recovers_planted_subspace(self, rng):
+        # Data on a 2-D plane in R^6 (plus tiny noise): two components
+        # capture essentially all variance.
+        basis = np.linalg.qr(rng.standard_normal((6, 2)))[0]
+        coefficients = rng.standard_normal((100, 2)) * [5.0, 2.0]
+        data = coefficients @ basis.T + 1e-8 * rng.standard_normal((100, 6))
+        pca = PCA(3).fit(data)
+        ratio = pca.explained_variance_ratio()
+        assert ratio[:2].sum() > 0.999999
+
+    def test_transform_centers_data(self, rng):
+        data = rng.random((30, 4)) + 100.0
+        pca = PCA(2).fit(data)
+        projected = pca.transform(data)
+        np.testing.assert_allclose(projected.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_matches_svd_subspace(self, rng):
+        # PCA components span the top right-singular subspace of the
+        # centered data (the Section 4.1 SVD/PCA relationship).
+        data = rng.random((25, 6))
+        pca = PCA(3).fit(data)
+        centered = data - data.mean(axis=0)
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        projector_pca = pca.components.T @ pca.components
+        projector_svd = vt[:3].T @ vt[:3]
+        np.testing.assert_allclose(projector_pca, projector_svd, atol=1e-8)
+
+    def test_fit_transform_equivalent(self, rng):
+        data = rng.random((15, 5))
+        together = PCA(2).fit_transform(data)
+        separate = PCA(2).fit(data).transform(data)
+        np.testing.assert_allclose(together, separate, atol=1e-12)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            PCA(2).transform(np.ones((3, 3)))
+
+    def test_rejects_dimension_above_features(self, rng):
+        with pytest.raises(ValidationError):
+            PCA(7).fit(rng.random((10, 4)))
+
+    def test_feature_count_mismatch(self, rng):
+        pca = PCA(2).fit(rng.random((10, 4)))
+        with pytest.raises(NotFittedError):
+            pca.transform(rng.random((3, 5)))

@@ -1,0 +1,97 @@
+"""Tests for the from-scratch Nelder-Mead simplex optimizer."""
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize as scipy_minimize
+
+from repro.linalg import minimize_with_restarts, nelder_mead
+
+
+def quadratic(center):
+    def objective(point):
+        return float(np.sum((point - center) ** 2))
+
+    return objective
+
+
+def rosenbrock(point):
+    x, y = point
+    return float((1 - x) ** 2 + 100 * (y - x**2) ** 2)
+
+
+class TestNelderMead:
+    def test_minimizes_quadratic(self):
+        center = np.array([3.0, -2.0, 0.5])
+        result = nelder_mead(quadratic(center), np.zeros(3))
+        np.testing.assert_allclose(result.point, center, atol=1e-3)
+        assert result.value < 1e-6
+
+    def test_converges_flag(self):
+        result = nelder_mead(quadratic(np.array([1.0, 1.0])), np.zeros(2))
+        assert result.converged
+
+    def test_rosenbrock_reaches_optimum(self):
+        result = nelder_mead(rosenbrock, np.array([-1.0, 2.0]), max_iter=5000)
+        np.testing.assert_allclose(result.point, [1.0, 1.0], atol=1e-3)
+
+    def test_comparable_to_scipy(self):
+        start = np.array([-1.2, 1.0])
+        ours = nelder_mead(rosenbrock, start, max_iter=5000)
+        theirs = scipy_minimize(
+            rosenbrock, start, method="Nelder-Mead",
+            options={"maxiter": 5000, "xatol": 1e-6, "fatol": 1e-9},
+        )
+        assert ours.value <= theirs.fun * 10 + 1e-8
+
+    def test_respects_iteration_budget(self):
+        result = nelder_mead(rosenbrock, np.array([-1.2, 1.0]), max_iter=5)
+        assert result.iterations <= 5
+        assert not result.converged
+
+    def test_evaluations_counted(self):
+        result = nelder_mead(quadratic(np.zeros(2)), np.ones(2), max_iter=50)
+        # At least the initial simplex was evaluated.
+        assert result.evaluations >= 3
+
+    def test_handles_zero_start(self):
+        result = nelder_mead(quadratic(np.array([0.5, 0.5])), np.zeros(2))
+        np.testing.assert_allclose(result.point, [0.5, 0.5], atol=1e-3)
+
+    def test_one_dimensional(self):
+        result = nelder_mead(lambda p: float((p[0] - 7.0) ** 2), np.array([0.0]))
+        np.testing.assert_allclose(result.point, [7.0], atol=1e-3)
+
+
+class TestMinimizeWithRestarts:
+    def test_restarts_accumulate_counters(self):
+        single = nelder_mead(quadratic(np.ones(2)), np.zeros(2))
+        multi = minimize_with_restarts(
+            quadratic(np.ones(2)), np.zeros(2), restarts=3, seed=0
+        )
+        assert multi.evaluations > single.evaluations
+        assert multi.value <= single.value + 1e-9
+
+    def test_escapes_poor_local_minimum(self):
+        # Double-well in 1-D: the |x|-ish well at -2 is shallower than
+        # the one at +2; restarts should find the deeper one more
+        # reliably than a single badly-started run.
+        def double_well(point):
+            x = point[0]
+            return float(min((x + 2.0) ** 2 + 1.0, (x - 2.0) ** 2))
+
+        result = minimize_with_restarts(
+            double_well, np.array([-3.0]), restarts=8, perturbation=2.0, seed=0
+        )
+        assert result.value < 0.5
+
+    def test_deterministic_given_seed(self):
+        first = minimize_with_restarts(rosenbrock, np.array([0.0, 0.0]), restarts=3, seed=5)
+        second = minimize_with_restarts(rosenbrock, np.array([0.0, 0.0]), restarts=3, seed=5)
+        np.testing.assert_array_equal(first.point, second.point)
+
+    def test_single_restart_equals_plain(self):
+        plain = nelder_mead(quadratic(np.ones(3)), np.zeros(3))
+        wrapped = minimize_with_restarts(
+            quadratic(np.ones(3)), np.zeros(3), restarts=1, seed=0
+        )
+        np.testing.assert_allclose(wrapped.point, plain.point, atol=1e-12)

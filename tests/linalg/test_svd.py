@@ -1,0 +1,113 @@
+"""Tests for the truncated SVD factorization kernel."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg import (
+    low_rank_approximation,
+    singular_spectrum,
+    truncated_svd_factors,
+)
+
+from ..conftest import make_low_rank_matrix
+
+
+class TestTruncatedSVDFactors:
+    def test_factor_shapes(self):
+        matrix = make_low_rank_matrix(12, 9, 4, seed=1)
+        factors = truncated_svd_factors(matrix, 5)
+        assert factors.outgoing.shape == (12, 5)
+        assert factors.incoming.shape == (9, 5)
+        assert factors.singular_values.shape == (5,)
+
+    def test_exact_for_low_rank(self):
+        matrix = make_low_rank_matrix(15, 15, 3, seed=2)
+        factors = truncated_svd_factors(matrix, 3)
+        reconstructed = factors.outgoing @ factors.incoming.T
+        np.testing.assert_allclose(reconstructed, matrix, atol=1e-8)
+        assert factors.residual < 1e-7
+
+    def test_exact_on_paper_example(self, paper_matrix):
+        factors = truncated_svd_factors(paper_matrix, 3)
+        reconstructed = factors.outgoing @ factors.incoming.T
+        np.testing.assert_allclose(reconstructed, paper_matrix, atol=1e-12)
+
+    def test_paper_example_singular_values(self, paper_matrix):
+        # The paper reports S = diag(4, 2, 2, 0).
+        values = singular_spectrum(paper_matrix)
+        np.testing.assert_allclose(values, [4.0, 2.0, 2.0, 0.0], atol=1e-12)
+
+    def test_split_singular_value_convention(self):
+        # Both factors absorb sqrt(S): their Gram diagonals match S.
+        matrix = make_low_rank_matrix(10, 10, 5, seed=3)
+        factors = truncated_svd_factors(matrix, 5)
+        out_norms = np.linalg.norm(factors.outgoing, axis=0) ** 2
+        in_norms = np.linalg.norm(factors.incoming, axis=0) ** 2
+        np.testing.assert_allclose(out_norms, factors.singular_values, rtol=1e-10)
+        np.testing.assert_allclose(in_norms, factors.singular_values, rtol=1e-10)
+
+    def test_residual_decreases_with_rank(self):
+        matrix = make_low_rank_matrix(20, 20, 10, seed=4)
+        residuals = [truncated_svd_factors(matrix, d).residual for d in (1, 3, 6, 10)]
+        assert residuals == sorted(residuals, reverse=True)
+        assert residuals[-1] < 1e-7
+
+    def test_eckart_young_optimality(self, rng):
+        # The SVD reconstruction beats random factor pairs of equal rank.
+        matrix = make_low_rank_matrix(15, 15, 8, seed=5)
+        best = truncated_svd_factors(matrix, 3).residual
+        for trial in range(5):
+            outgoing = rng.random((15, 3))
+            incoming = rng.random((15, 3))
+            random_residual = np.linalg.norm(matrix - outgoing @ incoming.T)
+            assert best <= random_residual
+
+    def test_rectangular_matrix(self):
+        matrix = make_low_rank_matrix(30, 8, 4, seed=6)
+        factors = truncated_svd_factors(matrix, 4)
+        np.testing.assert_allclose(
+            factors.outgoing @ factors.incoming.T, matrix, atol=1e-8
+        )
+
+    def test_rejects_dimension_above_rank_limit(self):
+        matrix = make_low_rank_matrix(6, 4, 2, seed=7)
+        with pytest.raises(ValidationError):
+            truncated_svd_factors(matrix, 5)
+
+    def test_rejects_nan(self):
+        matrix = make_low_rank_matrix(5, 5, 2, seed=8)
+        matrix[0, 1] = np.nan
+        with pytest.raises(ValidationError):
+            truncated_svd_factors(matrix, 2)
+
+    def test_rejects_negative_distances(self):
+        matrix = -np.ones((4, 4))
+        with pytest.raises(ValidationError):
+            truncated_svd_factors(matrix, 2)
+
+
+class TestLowRankApproximation:
+    def test_matches_factor_product(self):
+        matrix = make_low_rank_matrix(10, 10, 6, seed=9)
+        factors = truncated_svd_factors(matrix, 4)
+        np.testing.assert_allclose(
+            low_rank_approximation(matrix, 4),
+            factors.outgoing @ factors.incoming.T,
+            atol=1e-10,
+        )
+
+
+class TestSingularSpectrum:
+    def test_descending(self):
+        matrix = make_low_rank_matrix(12, 12, 12, seed=10)
+        values = singular_spectrum(matrix)
+        assert np.all(np.diff(values) <= 1e-9)
+
+    def test_matches_numpy(self, rng):
+        matrix = rng.random((7, 11))
+        np.testing.assert_allclose(
+            singular_spectrum(matrix),
+            np.linalg.svd(matrix, compute_uv=False),
+            rtol=1e-12,
+        )

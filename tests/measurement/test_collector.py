@@ -1,0 +1,56 @@
+"""Tests for measurement campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.measurement import MeasurementCampaign
+
+
+@pytest.fixture
+def true_matrix(rng):
+    matrix = rng.random((25, 25)) * 50 + 5
+    matrix = 0.5 * (matrix + matrix.T)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestMeasurementCampaign:
+    def test_clean_campaign_complete(self, true_matrix):
+        result = MeasurementCampaign(true_matrix, samples=1, seed=0).run()
+        assert result.completeness == 1.0
+        np.testing.assert_array_equal(result.distances, true_matrix)
+        assert result.down_hosts.size == 0
+
+    def test_pair_loss_fraction(self, true_matrix):
+        result = MeasurementCampaign(
+            true_matrix, samples=1, pair_loss=0.2, seed=1
+        ).run()
+        missing = 1.0 - result.completeness
+        assert 0.1 < missing < 0.3
+
+    def test_mask_matches_nan_pattern(self, true_matrix):
+        result = MeasurementCampaign(
+            true_matrix, samples=1, pair_loss=0.3, seed=2
+        ).run()
+        np.testing.assert_array_equal(result.mask, ~np.isnan(result.distances))
+
+    def test_down_hosts_missing_everywhere(self, true_matrix):
+        result = MeasurementCampaign(
+            true_matrix, samples=1, host_downtime=0.2, seed=3
+        ).run()
+        assert result.down_hosts.size == 5
+        for host in result.down_hosts:
+            assert np.isnan(result.distances[host]).all()
+            assert np.isnan(result.distances[:, host]).all()
+
+    def test_diagonal_survives_pair_loss(self, true_matrix):
+        result = MeasurementCampaign(
+            true_matrix, samples=1, pair_loss=0.9, seed=4
+        ).run()
+        alive = np.setdiff1d(np.arange(25), result.down_hosts)
+        assert not np.isnan(np.diag(result.distances)[alive]).any()
+
+    def test_deterministic(self, true_matrix):
+        first = MeasurementCampaign(true_matrix, pair_loss=0.1, seed=7).run()
+        second = MeasurementCampaign(true_matrix, pair_loss=0.1, seed=7).run()
+        np.testing.assert_array_equal(first.mask, second.mask)

@@ -1,0 +1,68 @@
+"""Tests for the King-method simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.measurement import KingConfig, KingEstimator
+
+
+@pytest.fixture
+def true_matrix(rng):
+    matrix = rng.random((30, 30)) * 80 + 20
+    matrix = 0.5 * (matrix + matrix.T)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestKingEstimator:
+    def test_zero_config_is_identity(self, true_matrix):
+        config = KingConfig(
+            proxy_gap_ms=0.0, recursion_overhead_ms=0.0, relative_noise=0.0
+        )
+        estimate = KingEstimator(config, seed=0).estimate_matrix(true_matrix)
+        np.testing.assert_allclose(estimate, true_matrix, atol=1e-12)
+
+    def test_systematic_positive_bias(self, true_matrix):
+        estimator = KingEstimator(seed=1)
+        estimate = estimator.estimate_matrix(true_matrix)
+        off_diagonal = ~np.eye(30, dtype=bool)
+        assert (estimate - true_matrix)[off_diagonal].mean() > 0
+
+    def test_diagonal_zero(self, true_matrix):
+        estimate = KingEstimator(seed=2).estimate_matrix(true_matrix)
+        np.testing.assert_array_equal(np.diag(estimate), 0.0)
+
+    def test_proxy_error_is_structured(self, true_matrix):
+        # A host with a distant DNS proxy inflates ALL its estimates:
+        # per-host mean errors should vary far more than under iid noise.
+        config = KingConfig(
+            proxy_gap_ms=10.0, recursion_overhead_ms=0.0, relative_noise=0.0
+        )
+        estimate = KingEstimator(config, seed=3).estimate_matrix(true_matrix)
+        errors = estimate - true_matrix
+        np.fill_diagonal(errors, np.nan)
+        per_host_bias = np.nanmean(errors, axis=1)
+        assert per_host_bias.std() > 1.0
+
+    def test_failure_probability_yields_nan(self, true_matrix):
+        config = KingConfig(failure_probability=0.3)
+        estimate = KingEstimator(config, seed=4).estimate_matrix(true_matrix)
+        off_diagonal = ~np.eye(30, dtype=bool)
+        nan_fraction = np.isnan(estimate[off_diagonal]).mean()
+        assert 0.2 < nan_fraction < 0.4
+
+    def test_deterministic(self, true_matrix):
+        first = KingEstimator(seed=5).estimate_matrix(true_matrix)
+        second = KingEstimator(seed=5).estimate_matrix(true_matrix)
+        np.testing.assert_array_equal(first, second)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValidationError):
+            KingEstimator(seed=0).estimate_matrix(rng.random((3, 4)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            KingConfig(proxy_gap_ms=-1.0).validate()
+        with pytest.raises(ValidationError):
+            KingConfig(failure_probability=1.5).validate()

@@ -1,0 +1,80 @@
+"""Tests for probe noise models."""
+
+import numpy as np
+import pytest
+
+from repro.measurement import (
+    CompositeNoise,
+    GaussianJitter,
+    NoNoise,
+    PacketLoss,
+    QueueingSpikes,
+    default_internet_noise,
+)
+
+
+@pytest.fixture
+def true_rtt():
+    return np.full(5000, 20.0)
+
+
+class TestNoNoise:
+    def test_identity(self, true_rtt, rng):
+        np.testing.assert_array_equal(NoNoise().sample(true_rtt, rng), true_rtt)
+
+    def test_returns_copy(self, true_rtt, rng):
+        sample = NoNoise().sample(true_rtt, rng)
+        sample[0] = -1
+        assert true_rtt[0] == 20.0
+
+
+class TestGaussianJitter:
+    def test_never_below_truth(self, true_rtt, rng):
+        sample = GaussianJitter(sigma_ms=2.0).sample(true_rtt, rng)
+        assert (sample >= true_rtt).all()
+
+    def test_magnitude_scales_with_sigma(self, true_rtt, rng):
+        small = GaussianJitter(sigma_ms=0.1).sample(true_rtt, rng)
+        large = GaussianJitter(sigma_ms=5.0).sample(true_rtt, rng)
+        assert (large - true_rtt).mean() > (small - true_rtt).mean()
+
+
+class TestQueueingSpikes:
+    def test_spike_probability(self, true_rtt, rng):
+        sample = QueueingSpikes(probability=0.2, mean_ms=10.0).sample(true_rtt, rng)
+        spiked_fraction = (sample > true_rtt).mean()
+        assert 0.15 < spiked_fraction < 0.25
+
+    def test_zero_probability(self, true_rtt, rng):
+        sample = QueueingSpikes(probability=0.0).sample(true_rtt, rng)
+        np.testing.assert_array_equal(sample, true_rtt)
+
+
+class TestPacketLoss:
+    def test_loss_fraction(self, true_rtt, rng):
+        sample = PacketLoss(probability=0.1).sample(true_rtt, rng)
+        assert 0.07 < np.isnan(sample).mean() < 0.13
+
+    def test_survivors_unchanged(self, true_rtt, rng):
+        sample = PacketLoss(probability=0.5).sample(true_rtt, rng)
+        survivors = ~np.isnan(sample)
+        np.testing.assert_array_equal(sample[survivors], true_rtt[survivors])
+
+
+class TestCompositeNoise:
+    def test_chains_stages(self, true_rtt, rng):
+        composite = CompositeNoise(
+            stages=(GaussianJitter(sigma_ms=1.0), QueueingSpikes(probability=1.0, mean_ms=5.0))
+        )
+        sample = composite.sample(true_rtt, rng)
+        assert (sample > true_rtt).all()
+
+    def test_loss_survives_chain(self, true_rtt, rng):
+        composite = CompositeNoise(
+            stages=(PacketLoss(probability=0.3), GaussianJitter(sigma_ms=1.0))
+        )
+        sample = composite.sample(true_rtt, rng)
+        assert np.isnan(sample).any()
+
+    def test_default_profile_has_stages(self):
+        assert len(default_internet_noise().stages) >= 2

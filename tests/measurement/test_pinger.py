@@ -1,0 +1,72 @@
+"""Tests for the min-of-N pinger."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError, ValidationError
+from repro.measurement import GaussianJitter, PacketLoss, Pinger, QueueingSpikes
+
+
+@pytest.fixture
+def true_matrix(rng):
+    matrix = rng.random((12, 12)) * 40 + 10
+    matrix = 0.5 * (matrix + matrix.T)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestPinger:
+    def test_ideal_measurement_exact(self, true_matrix):
+        pinger = Pinger(true_matrix, samples=1, seed=0)
+        measured = pinger.measure_matrix()
+        np.testing.assert_array_equal(measured, true_matrix)
+
+    def test_min_of_n_converges_to_truth(self, true_matrix):
+        noisy = Pinger(
+            true_matrix,
+            noise=QueueingSpikes(probability=0.5, mean_ms=30.0),
+            samples=60,
+            seed=0,
+        )
+        measured = noisy.measure_matrix()
+        off_diagonal = ~np.eye(12, dtype=bool)
+        relative = np.abs(measured - true_matrix)[off_diagonal]
+        relative /= true_matrix[off_diagonal]
+        assert np.median(relative) < 0.02
+
+    def test_more_samples_reduce_error(self, true_matrix):
+        noise = GaussianJitter(sigma_ms=5.0)
+        few = Pinger(true_matrix, noise=noise, samples=2, seed=1).measure_matrix()
+        many = Pinger(true_matrix, noise=noise, samples=40, seed=1).measure_matrix()
+        off_diagonal = ~np.eye(12, dtype=bool)
+        few_error = np.abs(few - true_matrix)[off_diagonal].mean()
+        many_error = np.abs(many - true_matrix)[off_diagonal].mean()
+        assert many_error < few_error
+
+    def test_diagonal_forced_zero(self, true_matrix):
+        pinger = Pinger(true_matrix, noise=GaussianJitter(2.0), samples=3, seed=2)
+        np.testing.assert_array_equal(np.diag(pinger.measure_matrix()), 0.0)
+
+    def test_single_pair_measure(self, true_matrix):
+        pinger = Pinger(true_matrix, samples=5, seed=3)
+        assert pinger.measure(1, 2) == pytest.approx(true_matrix[1, 2])
+
+    def test_total_loss_raises_on_single_measure(self, true_matrix):
+        pinger = Pinger(true_matrix, noise=PacketLoss(probability=1.0), samples=3, seed=4)
+        with pytest.raises(MeasurementError):
+            pinger.measure(0, 1)
+
+    def test_total_loss_nan_in_matrix(self, true_matrix):
+        pinger = Pinger(true_matrix, noise=PacketLoss(probability=1.0), samples=2, seed=5)
+        measured = pinger.measure_matrix()
+        off_diagonal = ~np.eye(12, dtype=bool)
+        assert np.isnan(measured[off_diagonal]).all()
+
+    def test_submatrix_measurement(self, true_matrix):
+        pinger = Pinger(true_matrix, samples=1, seed=6)
+        block = pinger.measure_matrix([0, 1], [3, 4, 5])
+        np.testing.assert_array_equal(block, true_matrix[np.ix_([0, 1], [3, 4, 5])])
+
+    def test_rejects_zero_samples(self, true_matrix):
+        with pytest.raises(ValidationError):
+            Pinger(true_matrix, samples=0)

@@ -1,0 +1,112 @@
+"""Property-based tests for the linear-algebra kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg import (
+    nmf_factorize,
+    nonnegative_least_squares,
+    solve_least_squares,
+    truncated_svd_factors,
+)
+
+matrix_values = st.floats(
+    min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+def square_matrices(min_side=3, max_side=10):
+    return st.integers(min_side, max_side).flatmap(
+        lambda n: hnp.arrays(np.float64, (n, n), elements=matrix_values)
+    )
+
+
+class TestSVDProperties:
+    @given(matrix=square_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_full_rank_factorization_exact(self, matrix):
+        n = matrix.shape[0]
+        factors = truncated_svd_factors(matrix, n)
+        np.testing.assert_allclose(
+            factors.outgoing @ factors.incoming.T,
+            matrix,
+            atol=1e-6 * max(np.abs(matrix).max(), 1.0),
+        )
+
+    @given(matrix=square_matrices(), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_residual_monotone_in_rank(self, matrix, data):
+        n = matrix.shape[0]
+        low = data.draw(st.integers(1, n - 1)) if n > 1 else 1
+        high = data.draw(st.integers(low, n))
+        residual_low = truncated_svd_factors(matrix, low).residual
+        residual_high = truncated_svd_factors(matrix, high).residual
+        assert residual_high <= residual_low + 1e-9
+
+    @given(matrix=square_matrices(), rank=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_singular_values_nonnegative_descending(self, matrix, rank):
+        factors = truncated_svd_factors(matrix, min(rank, matrix.shape[0]))
+        values = factors.singular_values
+        assert (values >= 0).all()
+        assert (np.diff(values) <= 1e-9).all()
+
+
+class TestNMFProperties:
+    @given(
+        matrix=square_matrices(min_side=3, max_side=8),
+        dimension=st.integers(1, 3),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_factors_always_nonnegative(self, matrix, dimension, seed):
+        result = nmf_factorize(matrix, dimension, seed=seed, max_iter=30)
+        assert (result.outgoing >= 0).all()
+        assert (result.incoming >= 0).all()
+
+    @given(matrix=square_matrices(min_side=3, max_side=8), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_objective_monotone(self, matrix, seed):
+        result = nmf_factorize(matrix, 2, seed=seed, max_iter=40, tol=0.0)
+        history = result.history
+        diffs = np.diff(history)
+        assert (diffs <= 1e-6 * np.abs(history[:-1]) + 1e-9).all()
+
+
+class TestLeastSquaresProperties:
+    @given(
+        rows=st.integers(5, 15),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_optimality_against_perturbations(self, rows, cols, seed):
+        generator = np.random.default_rng(seed)
+        basis = generator.standard_normal((rows, cols))
+        targets = generator.standard_normal(rows)
+        solution = solve_least_squares(basis, targets)
+        best = np.linalg.norm(basis @ solution - targets)
+        for _ in range(5):
+            perturbed = solution + generator.standard_normal(cols) * 0.1
+            assert np.linalg.norm(basis @ perturbed - targets) >= best - 1e-9
+
+    @given(
+        rows=st.integers(4, 12),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nnls_feasible_and_kkt(self, rows, cols, seed):
+        generator = np.random.default_rng(seed)
+        basis = generator.standard_normal((rows, cols))
+        targets = generator.standard_normal(rows)
+        solution = nonnegative_least_squares(basis, targets)
+        assert (solution >= 0).all()
+        gradient = basis.T @ (basis @ solution - targets)
+        tolerance = 1e-6 * max(np.abs(gradient).max(), 1.0)
+        assert (gradient >= -tolerance).all()
+        support = solution > 1e-10
+        if support.any():
+            assert np.abs(gradient[support]).max() <= tolerance

@@ -1,0 +1,92 @@
+"""Property-based tests for the core model and error metric."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    FactoredDistanceModel,
+    SVDFactorizer,
+    relative_error_matrix,
+    relative_errors,
+)
+
+positive_values = st.floats(
+    min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+def factor_pairs(max_side=8, max_rank=3):
+    return st.tuples(
+        st.integers(2, max_side), st.integers(2, max_side), st.integers(1, max_rank)
+    ).flatmap(
+        lambda dims: st.tuples(
+            hnp.arrays(np.float64, (dims[0], dims[2]), elements=positive_values),
+            hnp.arrays(np.float64, (dims[1], dims[2]), elements=positive_values),
+        )
+    )
+
+
+class TestModelProperties:
+    @given(factors=factor_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_svd_recovers_product_of_factors(self, factors):
+        outgoing, incoming = factors
+        matrix = outgoing @ incoming.T
+        # The matrix rank cannot exceed any of its dimensions.
+        rank = min(outgoing.shape[1], *matrix.shape)
+        model = SVDFactorizer(dimension=rank).fit(matrix)
+        np.testing.assert_allclose(
+            model.predict_matrix(), matrix, atol=1e-6 * max(matrix.max(), 1.0)
+        )
+
+    @given(factors=factor_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_predict_consistency(self, factors):
+        outgoing, incoming = factors
+        model = FactoredDistanceModel(outgoing=outgoing, incoming=incoming)
+        matrix = model.predict_matrix()
+        for i in range(0, model.n_sources, 2):
+            for j in range(0, model.n_destinations, 2):
+                assert matrix[i, j] == model.predict(i, j)
+
+
+class TestErrorMetricProperties:
+    @given(
+        true_values=hnp.arrays(np.float64, (4, 4), elements=positive_values),
+        estimates=hnp.arrays(np.float64, (4, 4), elements=positive_values),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_and_symmetric_in_arguments(self, true_values, estimates):
+        forward = relative_error_matrix(true_values, estimates)
+        backward = relative_error_matrix(estimates, true_values)
+        assert (forward >= 0).all()
+        np.testing.assert_allclose(forward, backward, rtol=1e-9)
+
+    @given(true_values=hnp.arrays(np.float64, (5, 5), elements=positive_values))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_error_for_perfect_estimate(self, true_values):
+        errors = relative_error_matrix(true_values, true_values)
+        np.testing.assert_array_equal(errors, 0.0)
+
+    @given(
+        true_values=hnp.arrays(np.float64, (4, 4), elements=positive_values),
+        scale=st.floats(min_value=1.01, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_error_value(self, true_values, scale):
+        # Overestimating by factor s gives error (s-1) exactly.
+        errors = relative_error_matrix(true_values, true_values * scale)
+        np.testing.assert_allclose(errors, scale - 1.0, rtol=1e-7)
+
+    @given(
+        true_values=hnp.arrays(np.float64, (6, 6), elements=positive_values),
+        estimates=hnp.arrays(np.float64, (6, 6), elements=positive_values),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flat_errors_match_matrix(self, true_values, estimates):
+        matrix_errors = relative_error_matrix(true_values, estimates)
+        flat = relative_errors(true_values, estimates, exclude_diagonal=True)
+        off_diagonal = matrix_errors[~np.eye(6, dtype=bool)]
+        np.testing.assert_allclose(np.sort(flat), np.sort(off_diagonal), rtol=1e-12)

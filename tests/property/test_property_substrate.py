@@ -1,0 +1,130 @@
+"""Property-based tests for routing, masks and IDES placement."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import SVDFactorizer, unobserved_landmark_mask
+from repro.ides import place_hosts_batch
+from repro.routing import apply_asymmetry, asymmetry_index, compose_host_rtt
+
+positive_values = st.floats(
+    min_value=0.5, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+
+
+def symmetric_matrices(min_side=3, max_side=8):
+    def symmetrize(matrix):
+        result = 0.5 * (matrix + matrix.T)
+        np.fill_diagonal(result, 0.0)
+        return result
+
+    return st.integers(min_side, max_side).flatmap(
+        lambda n: hnp.arrays(np.float64, (n, n), elements=positive_values).map(symmetrize)
+    )
+
+
+class TestAsymmetryProperties:
+    @given(
+        matrix=symmetric_matrices(),
+        level=st.floats(min_value=0.01, max_value=1.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_geometric_mean_invariant(self, matrix, level, seed):
+        transformed = apply_asymmetry(matrix, level, seed=seed)
+        n = matrix.shape[0]
+        upper = np.triu_indices(n, k=1)
+        np.testing.assert_allclose(
+            np.sqrt(transformed[upper] * transformed.T[upper]),
+            matrix[upper],
+            rtol=1e-8,
+        )
+
+    @given(
+        matrix=symmetric_matrices(),
+        level=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_output_nonnegative_and_index_bounded(self, matrix, level, seed):
+        transformed = apply_asymmetry(matrix, level, seed=seed)
+        assert (transformed >= 0).all()
+        assert 0.0 <= asymmetry_index(transformed)
+
+
+class TestComposeProperties:
+    @given(
+        n_sites=st.integers(2, 6),
+        n_hosts=st.integers(2, 12),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_invariants(self, n_sites, n_hosts, seed):
+        generator = np.random.default_rng(seed)
+        delays = generator.random((n_sites, n_sites)) * 50
+        delays = 0.5 * (delays + delays.T)
+        np.fill_diagonal(delays, 0.0)
+        sites = generator.integers(0, n_sites, size=n_hosts)
+        access = generator.random(n_hosts) + 0.1
+
+        rtt = compose_host_rtt(delays, sites, access)
+        assert rtt.shape == (n_hosts, n_hosts)
+        assert (rtt >= 0).all()
+        np.testing.assert_array_equal(np.diag(rtt), 0.0)
+        np.testing.assert_allclose(rtt, rtt.T, rtol=1e-9)
+
+
+class TestPlacementProperties:
+    @given(
+        n_landmarks=st.integers(6, 10),
+        n_hosts=st.integers(2, 8),
+        rank=st.integers(1, 3),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_exact_world_placement_reproduces_measurements(
+        self, n_landmarks, n_hosts, rank, seed
+    ):
+        generator = np.random.default_rng(seed)
+        total = n_landmarks + n_hosts
+        left = generator.random((total, rank)) + 0.1
+        right = generator.random((total, rank)) + 0.1
+        world = left @ right.T
+
+        landmark_matrix = world[:n_landmarks, :n_landmarks]
+        model = SVDFactorizer(dimension=rank).fit(landmark_matrix)
+
+        out_block = world[n_landmarks:, :n_landmarks]
+        in_block = world[:n_landmarks, n_landmarks:]
+        host_out, host_in = place_hosts_batch(
+            out_block, in_block, model.outgoing, model.incoming
+        )
+        np.testing.assert_allclose(
+            host_out @ model.incoming.T, out_block, rtol=1e-5, atol=1e-7
+        )
+        np.testing.assert_allclose(
+            model.outgoing @ host_in.T, in_block, rtol=1e-5, atol=1e-7
+        )
+
+
+class TestMaskProperties:
+    @given(
+        n_hosts=st.integers(1, 20),
+        n_landmarks=st.integers(2, 30),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_row_counts_and_bounds(self, n_hosts, n_landmarks, fraction, seed):
+        mask = unobserved_landmark_mask(
+            n_hosts, n_landmarks, fraction, seed=seed, min_observed=1
+        )
+        assert mask.shape == (n_hosts, n_landmarks)
+        per_host = mask.sum(axis=1)
+        assert (per_host >= 1).all()
+        expected = n_landmarks - min(
+            int(round(fraction * n_landmarks)), n_landmarks - 1
+        )
+        np.testing.assert_array_equal(per_host, expected)

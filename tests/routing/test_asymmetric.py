@@ -1,0 +1,66 @@
+"""Tests for directional asymmetry transforms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.routing import apply_asymmetry, asymmetry_index
+
+
+@pytest.fixture
+def symmetric_matrix(rng):
+    matrix = rng.random((20, 20)) * 50 + 5
+    matrix = 0.5 * (matrix + matrix.T)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestApplyAsymmetry:
+    def test_level_zero_identity(self, symmetric_matrix):
+        result = apply_asymmetry(symmetric_matrix, 0.0, seed=0)
+        np.testing.assert_array_equal(result, symmetric_matrix)
+
+    def test_geometric_mean_preserved(self, symmetric_matrix):
+        result = apply_asymmetry(symmetric_matrix, 0.4, seed=1)
+        forward = result[np.triu_indices(20, k=1)]
+        backward = result.T[np.triu_indices(20, k=1)]
+        original = symmetric_matrix[np.triu_indices(20, k=1)]
+        np.testing.assert_allclose(np.sqrt(forward * backward), original, rtol=1e-9)
+
+    def test_diagonal_untouched(self, symmetric_matrix):
+        result = apply_asymmetry(symmetric_matrix, 0.5, seed=2)
+        np.testing.assert_array_equal(np.diag(result), 0.0)
+
+    def test_breaks_symmetry(self, symmetric_matrix):
+        result = apply_asymmetry(symmetric_matrix, 0.3, seed=3)
+        assert not np.allclose(result, result.T)
+
+    def test_nonnegative(self, symmetric_matrix):
+        result = apply_asymmetry(symmetric_matrix, 1.0, seed=4)
+        assert (result >= 0).all()
+
+    def test_rejects_negative_level(self, symmetric_matrix):
+        with pytest.raises(ValidationError):
+            apply_asymmetry(symmetric_matrix, -0.1)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValidationError):
+            apply_asymmetry(rng.random((3, 4)), 0.1)
+
+
+class TestAsymmetryIndex:
+    def test_zero_for_symmetric(self, symmetric_matrix):
+        assert asymmetry_index(symmetric_matrix) == 0.0
+
+    def test_grows_with_level(self, symmetric_matrix):
+        small = asymmetry_index(apply_asymmetry(symmetric_matrix, 0.1, seed=5))
+        large = asymmetry_index(apply_asymmetry(symmetric_matrix, 0.5, seed=5))
+        assert 0.0 < small < large
+
+    def test_known_two_host_value(self):
+        matrix = np.array([[0.0, 12.0], [10.0, 0.0]])
+        # |12 - 10| / 10 = 0.2
+        assert asymmetry_index(matrix) == pytest.approx(0.2)
+
+    def test_single_host(self):
+        assert asymmetry_index(np.zeros((1, 1))) == 0.0

@@ -1,0 +1,72 @@
+"""Tests for host RTT composition."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.routing import compose_host_rtt
+
+
+@pytest.fixture
+def site_delays():
+    delays = np.array(
+        [
+            [0.0, 5.0, 9.0],
+            [5.0, 0.0, 4.0],
+            [9.0, 4.0, 0.0],
+        ]
+    )
+    return delays
+
+
+class TestComposeHostRtt:
+    def test_zero_diagonal_square(self, site_delays):
+        rtt = compose_host_rtt(site_delays, [0, 1, 2, 0], [0.5, 0.5, 0.5, 0.5])
+        np.testing.assert_array_equal(np.diag(rtt), 0.0)
+
+    def test_rtt_formula(self, site_delays):
+        rtt = compose_host_rtt(site_delays, [0, 1], [1.0, 2.0])
+        # 2 * (access_0 + path(0,1) + access_1) = 2 * (1 + 5 + 2) = 16.
+        assert rtt[0, 1] == pytest.approx(16.0)
+
+    def test_same_site_uses_intra_site_delay(self, site_delays):
+        rtt = compose_host_rtt(
+            site_delays, [1, 1], [1.0, 1.0], intra_site_ms=0.25
+        )
+        # 2 * (1 + 0.25 + 1) = 4.5 between distinct co-located hosts.
+        assert rtt[0, 1] == pytest.approx(4.5)
+
+    def test_symmetric_for_symmetric_inputs(self, site_delays):
+        rtt = compose_host_rtt(site_delays, [0, 2, 1], [0.3, 0.4, 0.5])
+        np.testing.assert_allclose(rtt, rtt.T, rtol=1e-12)
+
+    def test_rectangular_composition(self, site_delays):
+        rtt = compose_host_rtt(
+            site_delays,
+            [0, 1, 2, 0],
+            [1.0] * 4,
+            col_sites=[2, 1],
+            col_access=[0.5, 0.5],
+        )
+        assert rtt.shape == (4, 2)
+        # Rectangular result keeps its "diagonal": row 2 site == col 0
+        # site, so the intra-site path applies, not zero.
+        assert rtt[2, 0] > 0
+
+    def test_nonnegative(self, site_delays, rng):
+        sites = rng.integers(0, 3, size=30)
+        access = rng.random(30)
+        rtt = compose_host_rtt(site_delays, sites, access)
+        assert (rtt >= 0).all()
+
+    def test_rejects_bad_site_index(self, site_delays):
+        with pytest.raises(ValidationError):
+            compose_host_rtt(site_delays, [0, 5], [1.0, 1.0])
+
+    def test_rejects_length_mismatch(self, site_delays):
+        with pytest.raises(ValidationError):
+            compose_host_rtt(site_delays, [0, 1], [1.0])
+
+    def test_rejects_rectangular_site_matrix(self):
+        with pytest.raises(ValidationError):
+            compose_host_rtt(np.ones((2, 3)), [0], [1.0])

@@ -1,0 +1,117 @@
+"""Tests for policy-routing inflation and alternate-path statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.routing import (
+    PolicyInflationConfig,
+    alternate_path_fraction,
+    apply_policy_inflation,
+)
+
+
+@pytest.fixture
+def site_world(rng):
+    n = 30
+    positions = rng.random((n, 2)) * 100
+    delays = np.linalg.norm(positions[:, None] - positions[None, :], axis=2)
+    domains = rng.integers(0, 5, size=n)
+    return delays, domains
+
+
+class TestApplyPolicyInflation:
+    def test_never_deflates(self, site_world):
+        delays, domains = site_world
+        inflated = apply_policy_inflation(delays, domains, seed=0)
+        assert (inflated >= delays - 1e-12).all()
+
+    def test_intra_domain_untouched(self, site_world):
+        delays, domains = site_world
+        inflated = apply_policy_inflation(delays, domains, seed=0)
+        same = domains[:, None] == domains[None, :]
+        np.testing.assert_array_equal(inflated[same], delays[same])
+
+    def test_diagonal_preserved(self, site_world):
+        delays, domains = site_world
+        inflated = apply_policy_inflation(delays, domains, seed=0)
+        np.testing.assert_array_equal(np.diag(inflated), np.diag(delays))
+
+    def test_symmetric_config_keeps_symmetry(self, site_world):
+        delays, domains = site_world
+        config = PolicyInflationConfig(symmetric=True)
+        inflated = apply_policy_inflation(delays, domains, config, seed=1)
+        np.testing.assert_allclose(inflated, inflated.T, rtol=1e-12)
+
+    def test_asymmetric_config_breaks_symmetry(self, site_world):
+        delays, domains = site_world
+        config = PolicyInflationConfig(
+            detour_probability=0.8, inflation_sigma=0.8, symmetric=False
+        )
+        inflated = apply_policy_inflation(delays, domains, config, seed=2)
+        assert not np.allclose(inflated, inflated.T)
+
+    def test_zero_probability_is_identity(self, site_world):
+        delays, domains = site_world
+        config = PolicyInflationConfig(
+            detour_probability=0.0, pair_detour_probability=0.0
+        )
+        inflated = apply_policy_inflation(delays, domains, config, seed=3)
+        np.testing.assert_array_equal(inflated, delays)
+
+    def test_domain_level_factor_shared_by_site_pairs(self, rng):
+        # All site pairs across one domain pair share the structural
+        # factor (pair-level detours disabled to isolate the layer).
+        delays = np.ones((6, 6)) * 10.0
+        np.fill_diagonal(delays, 0.0)
+        domains = np.array([0, 0, 0, 1, 1, 1])
+        config = PolicyInflationConfig(
+            detour_probability=1.0,
+            inflation_sigma=0.8,
+            pair_detour_probability=0.0,
+        )
+        inflated = apply_policy_inflation(delays, domains, config, seed=4)
+        cross_block = inflated[:3, 3:]
+        assert np.unique(np.round(cross_block, 9)).size == 1
+
+    def test_deterministic(self, site_world):
+        delays, domains = site_world
+        first = apply_policy_inflation(delays, domains, seed=9)
+        second = apply_policy_inflation(delays, domains, seed=9)
+        np.testing.assert_array_equal(first, second)
+
+    def test_rejects_mismatched_domains(self, site_world):
+        delays, _domains = site_world
+        with pytest.raises(ValidationError):
+            apply_policy_inflation(delays, np.zeros(3), seed=0)
+
+
+class TestAlternatePathFraction:
+    def test_zero_for_metric_matrix(self, rng):
+        positions = rng.random((15, 2))
+        metric = np.linalg.norm(positions[:, None] - positions[None, :], axis=2)
+        assert alternate_path_fraction(metric, sample_pairs=None) == 0.0
+
+    def test_detects_constructed_violation(self):
+        # Direct route 0->2 is inflated to 10, but 0->1->2 costs 2.
+        matrix = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        fraction = alternate_path_fraction(matrix, sample_pairs=None)
+        assert fraction == pytest.approx(2.0 / 6.0)
+
+    def test_sampled_close_to_exact(self, rng):
+        n = 40
+        matrix = rng.random((n, n)) * 100
+        matrix = 0.5 * (matrix + matrix.T)
+        np.fill_diagonal(matrix, 0.0)
+        exact = alternate_path_fraction(matrix, sample_pairs=None)
+        sampled = alternate_path_fraction(matrix, sample_pairs=2000, seed=1)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_small_matrix(self):
+        assert alternate_path_fraction(np.zeros((2, 2))) == 0.0

@@ -1,0 +1,57 @@
+"""Tests for shortest-path routing."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology import transit_stub_topology
+from repro.routing import pairwise_site_delays, shortest_path_delays
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return transit_stub_topology(seed=10)
+
+
+class TestShortestPathDelays:
+    def test_matches_networkx(self, topology):
+        ours = shortest_path_delays(topology)
+        nodes = topology.node_list()
+        lengths = dict(nx.all_pairs_dijkstra_path_length(topology.graph, weight="delay"))
+        for i in range(0, topology.n_nodes, 7):
+            for j in range(0, topology.n_nodes, 11):
+                expected = lengths[nodes[i]][nodes[j]]
+                assert ours[i, j] == pytest.approx(expected, rel=1e-9)
+
+    def test_symmetric_zero_diagonal(self, topology):
+        matrix = shortest_path_delays(topology)
+        np.testing.assert_allclose(matrix, matrix.T, rtol=1e-12)
+        np.testing.assert_array_equal(np.diag(matrix), 0.0)
+
+    def test_triangle_inequality_holds(self, topology):
+        # Shortest-path metrics always satisfy the triangle inequality;
+        # violations only appear after policy inflation.
+        matrix = shortest_path_delays(topology)
+        n = matrix.shape[0]
+        generator = np.random.default_rng(0)
+        for _ in range(200):
+            i, j, k = generator.integers(0, n, size=3)
+            assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-9
+
+    def test_subset_selection(self, topology):
+        sources = np.array([0, 5, 9])
+        targets = np.array([1, 2])
+        block = shortest_path_delays(topology, sources, targets)
+        full = shortest_path_delays(topology)
+        np.testing.assert_allclose(block, full[np.ix_(sources, targets)], rtol=1e-12)
+
+    def test_pairwise_site_delays_square(self, topology):
+        sites = np.array([2, 4, 8])
+        matrix = pairwise_site_delays(topology, sites)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_array_equal(np.diag(matrix), 0.0)
+
+    def test_invalid_indices_rejected(self, topology):
+        with pytest.raises(ValidationError):
+            shortest_path_delays(topology, [topology.n_nodes + 1])

@@ -1,0 +1,97 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(2.0, lambda: None)
+        second = queue.push(2.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert len(queue) == 1
+        assert queue
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(10.0, lambda: seen.append(simulator.now))
+        simulator.schedule(5.0, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [5.0, 10.0]
+        assert simulator.now == 10.0
+
+    def test_events_can_schedule_events(self):
+        simulator = Simulator()
+        log = []
+
+        def chain():
+            log.append(simulator.now)
+            if simulator.now < 30:
+                simulator.schedule(10.0, chain)
+
+        simulator.schedule(10.0, chain)
+        simulator.run()
+        assert log == [10.0, 20.0, 30.0]
+
+    def test_run_until_pauses_and_resumes(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(5.0, lambda: seen.append("early"))
+        simulator.schedule(50.0, lambda: seen.append("late"))
+        simulator.run(until=10.0)
+        assert seen == ["early"]
+        assert simulator.now == 10.0
+        simulator.run()
+        assert seen == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+
+        def forever():
+            simulator.schedule(1.0, forever)
+
+        simulator.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        simulator = Simulator()
+        for delay in (1.0, 2.0, 3.0):
+            simulator.schedule(delay, lambda: None)
+        simulator.run()
+        assert simulator.events_processed == 3

@@ -1,0 +1,75 @@
+"""Tests for the simulated probe network."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.measurement import PacketLoss
+from repro.simulation import SimulatedNetwork, Simulator
+
+
+@pytest.fixture
+def true_rtt():
+    matrix = np.array(
+        [
+            [0.0, 10.0, 20.0],
+            [10.0, 0.0, 15.0],
+            [20.0, 15.0, 0.0],
+        ]
+    )
+    return matrix
+
+
+class TestSimulatedNetwork:
+    def test_probe_result_arrives_after_rtt(self, true_rtt):
+        simulator = Simulator()
+        network = SimulatedNetwork(simulator, true_rtt)
+        results = []
+        network.probe(0, 1, lambda s, d, rtt: results.append((simulator.now, rtt)))
+        simulator.run()
+        assert results == [(10.0, 10.0)]
+
+    def test_probes_sent_counter(self, true_rtt):
+        simulator = Simulator()
+        network = SimulatedNetwork(simulator, true_rtt)
+        network.probe(0, 1, lambda *a: None)
+        network.probe(1, 2, lambda *a: None)
+        assert network.probes_sent == 2
+
+    def test_down_node_times_out_with_nan(self, true_rtt):
+        simulator = Simulator()
+        network = SimulatedNetwork(simulator, true_rtt)
+        network.fail_node(2)
+        results = []
+        network.probe(0, 2, lambda s, d, rtt: results.append(rtt), timeout_ms=100.0)
+        simulator.run()
+        assert len(results) == 1
+        assert np.isnan(results[0])
+        assert simulator.now == 100.0
+
+    def test_recovery(self, true_rtt):
+        simulator = Simulator()
+        network = SimulatedNetwork(simulator, true_rtt)
+        network.fail_node(1)
+        assert network.is_down(1)
+        network.recover_node(1)
+        assert not network.is_down(1)
+        results = []
+        network.probe(0, 1, lambda s, d, rtt: results.append(rtt))
+        simulator.run()
+        assert results == [10.0]
+
+    def test_noise_loss_times_out(self, true_rtt):
+        simulator = Simulator()
+        network = SimulatedNetwork(
+            simulator, true_rtt, noise=PacketLoss(probability=1.0), seed=0
+        )
+        results = []
+        network.probe(0, 1, lambda s, d, rtt: results.append(rtt), timeout_ms=50.0)
+        simulator.run()
+        assert np.isnan(results[0])
+
+    def test_invalid_node_rejected(self, true_rtt):
+        network = SimulatedNetwork(Simulator(), true_rtt)
+        with pytest.raises(SimulationError):
+            network.probe(0, 9, lambda *a: None)

@@ -1,0 +1,49 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        arguments = build_parser().parse_args(["list"])
+        assert arguments.command == "list"
+
+    def test_run_command_options(self):
+        arguments = build_parser().parse_args(
+            ["run", "fig2", "--seed", "7", "--fast"]
+        )
+        assert arguments.experiment == "fig2"
+        assert arguments.seed == 7
+        assert arguments.fast is True
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "table1" in output
+        assert "ablate-rank" in output
+
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "ablate-rank", "--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "ablate-rank" in output
+        assert "completed in" in output
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestPlotFlag:
+    def test_run_with_plot_renders_chart(self, capsys):
+        assert main(["run", "ablate-dimension", "--fast", "--plot"]) == 0
+        output = capsys.readouterr().out
+        assert "legend:" in output

@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DatasetError,
+    MeasurementError,
+    NotFittedError,
+    ReproError,
+    SimulationError,
+    SingularSystemError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            ValidationError,
+            ConvergenceError,
+            SingularSystemError,
+            DatasetError,
+            MeasurementError,
+            SimulationError,
+            NotFittedError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_validation_is_value_error(self):
+        # Idiomatic `except ValueError` must keep working.
+        assert issubclass(ValidationError, ValueError)
+        with pytest.raises(ValueError):
+            raise ValidationError("bad input")
+
+    def test_convergence_is_runtime_error(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_dataset_is_key_error(self):
+        assert issubclass(DatasetError, KeyError)
+
+    def test_catching_base_catches_all(self):
+        for exception_type in (ValidationError, SimulationError, NotFittedError):
+            with pytest.raises(ReproError):
+                raise exception_type("boom")
+
+    def test_library_raises_catchable_base(self):
+        from repro.datasets import load_dataset
+
+        with pytest.raises(ReproError):
+            load_dataset("not-a-dataset")

@@ -1,0 +1,168 @@
+"""Tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_distance_matrix,
+    as_mask,
+    as_matrix,
+    as_rng,
+    as_vector,
+    check_dimension,
+    check_fraction,
+    check_indices,
+    check_positive,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAsRng:
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            as_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValidationError):
+            as_rng("seed")  # type: ignore[arg-type]
+
+
+class TestAsMatrix:
+    def test_list_of_lists(self):
+        matrix = as_matrix([[1, 2], [3, 4]])
+        assert matrix.dtype == float
+        assert matrix.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            as_matrix([1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            as_matrix(np.empty((0, 3)))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            as_matrix([["a", "b"]])
+
+
+class TestAsDistanceMatrix:
+    def test_accepts_rectangular(self):
+        matrix = as_distance_matrix(np.ones((3, 5)))
+        assert matrix.shape == (3, 5)
+
+    def test_require_square(self):
+        with pytest.raises(ValidationError):
+            as_distance_matrix(np.ones((3, 5)), require_square=True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            as_distance_matrix([[-1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            as_distance_matrix([[np.inf]])
+
+    def test_nan_policy(self):
+        with pytest.raises(ValidationError):
+            as_distance_matrix([[np.nan, 1.0], [1.0, 0.0]])
+        matrix = as_distance_matrix(
+            [[np.nan, 1.0], [1.0, 0.0]], allow_missing=True
+        )
+        assert np.isnan(matrix[0, 0])
+
+
+class TestAsMask:
+    def test_bool_passthrough(self):
+        mask = np.ones((2, 2), dtype=bool)
+        np.testing.assert_array_equal(as_mask(mask, (2, 2)), mask)
+
+    def test_01_coerced(self):
+        mask = as_mask(np.array([[0, 1], [1, 0]]), (2, 2))
+        assert mask.dtype == bool
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            as_mask(np.ones((2, 3), dtype=bool), (2, 2))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValidationError):
+            as_mask(np.array([[0.5, 1.0]]), (1, 2))
+
+
+class TestScalarChecks:
+    def test_check_dimension(self):
+        assert check_dimension(3) == 3
+        assert check_dimension(np.int64(4)) == 4
+        with pytest.raises(ValidationError):
+            check_dimension(0)
+        with pytest.raises(ValidationError):
+            check_dimension(5, limit=4)
+        with pytest.raises(ValidationError):
+            check_dimension(2.5)  # type: ignore[arg-type]
+
+    def test_check_fraction(self):
+        assert check_fraction(0.0) == 0.0
+        assert check_fraction(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_fraction(1.0, inclusive=False)
+        with pytest.raises(ValidationError):
+            check_fraction(-0.1)
+
+    def test_check_positive(self):
+        assert check_positive(2.5) == 2.5
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+
+
+class TestCheckIndices:
+    def test_valid(self):
+        np.testing.assert_array_equal(check_indices([0, 2], 3), [0, 2])
+
+    def test_float_integers_coerced(self):
+        np.testing.assert_array_equal(check_indices([0.0, 1.0], 3), [0, 1])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_indices([0, 3], 3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            check_indices([1, 1], 3)
+
+    def test_duplicates_allowed_when_requested(self):
+        np.testing.assert_array_equal(
+            check_indices([1, 1], 3, unique=False), [1, 1]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            check_indices([], 3)
+
+    def test_fractional_rejected(self):
+        with pytest.raises(ValidationError):
+            check_indices([0.5], 3)
+
+
+class TestAsVector:
+    def test_coerces(self):
+        vector = as_vector([1, 2, 3])
+        assert vector.dtype == float
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            as_vector([[1, 2]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            as_vector([])

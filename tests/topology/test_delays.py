@@ -1,0 +1,77 @@
+"""Tests for link and access delay models."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology import (
+    SPEED_KM_PER_MS,
+    AccessDelayModel,
+    assign_link_delays,
+    propagation_delay_ms,
+)
+
+
+class TestPropagationDelay:
+    def test_known_distance(self):
+        # 200 km at 200 km/ms = 1 ms one way.
+        delay = propagation_delay_ms(np.array([0.0, 0.0]), np.array([200.0, 0.0]))
+        assert delay == pytest.approx(1.0)
+
+    def test_zero_distance(self):
+        point = np.array([5.0, 5.0])
+        assert propagation_delay_ms(point, point) == 0.0
+
+    def test_speed_constant_reasonable(self):
+        # Fibre light speed ~2/3 c.
+        assert 150.0 <= SPEED_KM_PER_MS <= 250.0
+
+
+class TestAssignLinkDelays:
+    def _line_graph(self, spacing_km=400.0):
+        graph = nx.Graph()
+        for index in range(3):
+            graph.add_node(index, position=np.array([index * spacing_km, 0.0]))
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        return graph
+
+    def test_delay_includes_overhead(self):
+        graph = assign_link_delays(self._line_graph(), per_hop_overhead_ms=0.5)
+        for _u, _v, data in graph.edges(data=True):
+            assert data["delay"] == pytest.approx(2.0 + 0.5)
+
+    def test_jitter_bounded(self):
+        graph = assign_link_delays(
+            self._line_graph(), per_hop_overhead_ms=0.1, jitter_fraction=0.2, seed=0
+        )
+        for _u, _v, data in graph.edges(data=True):
+            base = 2.1
+            assert 0.8 * base <= data["delay"] <= 1.2 * base
+
+    def test_deterministic_with_seed(self):
+        first = assign_link_delays(self._line_graph(), jitter_fraction=0.3, seed=1)
+        second = assign_link_delays(self._line_graph(), jitter_fraction=0.3, seed=1)
+        for (edge_a, edge_b) in zip(first.edges(data=True), second.edges(data=True)):
+            assert edge_a[2]["delay"] == edge_b[2]["delay"]
+
+
+class TestAccessDelayModel:
+    def test_deterministic_at_zero_sigma(self):
+        model = AccessDelayModel(median_ms=1.5, sigma=0.0)
+        np.testing.assert_array_equal(model.sample(5, seed=0), 1.5)
+
+    def test_positive_samples(self):
+        model = AccessDelayModel(median_ms=0.5, sigma=1.0)
+        samples = model.sample(1000, seed=0)
+        assert (samples > 0).all()
+
+    def test_median_close_to_parameter(self):
+        model = AccessDelayModel(median_ms=2.0, sigma=0.5)
+        samples = model.sample(20_000, seed=0)
+        assert np.median(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_heavier_sigma_heavier_tail(self):
+        light = AccessDelayModel(median_ms=1.0, sigma=0.1).sample(5000, seed=1)
+        heavy = AccessDelayModel(median_ms=1.0, sigma=1.0).sample(5000, seed=1)
+        assert np.percentile(heavy, 99) > np.percentile(light, 99)

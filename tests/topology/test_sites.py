@@ -1,0 +1,77 @@
+"""Tests for site placement and host assignment."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology import (
+    AccessDelayModel,
+    NodeKind,
+    assign_hosts,
+    place_sites,
+    transit_stub_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return transit_stub_topology(seed=0)
+
+
+class TestPlaceSites:
+    def test_sites_at_distinct_stub_routers(self, topology):
+        placement = place_sites(topology, 10, seed=1)
+        assert placement.n_sites == 10
+        assert np.unique(placement.site_nodes).size == 10
+        stub_nodes = set(topology.nodes_of_kind(NodeKind.STUB))
+        assert all(node in stub_nodes for node in placement.site_nodes)
+
+    def test_indices_align_with_nodes(self, topology):
+        placement = place_sites(topology, 5, seed=2)
+        for node, index in zip(placement.site_nodes, placement.site_indices):
+            assert topology.index_of(node) == index
+
+    def test_domains_recorded(self, topology):
+        placement = place_sites(topology, 8, seed=3)
+        assert placement.site_domains.shape == (8,)
+
+    def test_too_many_sites_rejected(self, topology):
+        n_stub = len(topology.nodes_of_kind(NodeKind.STUB))
+        with pytest.raises(ValidationError):
+            place_sites(topology, n_stub + 1, seed=0)
+
+    def test_transit_site_kind(self, topology):
+        placement = place_sites(topology, 3, seed=4, kind=NodeKind.TRANSIT)
+        transit_nodes = set(topology.nodes_of_kind(NodeKind.TRANSIT))
+        assert all(node in transit_nodes for node in placement.site_nodes)
+
+
+class TestAssignHosts:
+    def test_shapes_and_ranges(self):
+        sites, access = assign_hosts(100, 12, seed=0)
+        assert sites.shape == (100,)
+        assert access.shape == (100,)
+        assert sites.min() >= 0 and sites.max() < 12
+        assert (access > 0).all()
+
+    def test_every_site_populated_when_possible(self):
+        sites, _access = assign_hosts(50, 10, seed=1)
+        assert np.unique(sites).size == 10
+
+    def test_concentration_controls_skew(self):
+        skewed, _ = assign_hosts(2000, 20, seed=2, concentration=0.1)
+        even, _ = assign_hosts(2000, 20, seed=2, concentration=50.0)
+        skewed_counts = np.bincount(skewed, minlength=20)
+        even_counts = np.bincount(even, minlength=20)
+        assert skewed_counts.std() > even_counts.std()
+
+    def test_custom_access_model(self):
+        model = AccessDelayModel(median_ms=5.0, sigma=0.0)
+        _sites, access = assign_hosts(10, 3, seed=3, access_model=model)
+        np.testing.assert_array_equal(access, 5.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValidationError):
+            assign_hosts(0, 5)
+        with pytest.raises(ValidationError):
+            assign_hosts(5, 0)

@@ -1,0 +1,81 @@
+"""Tests for the transit-stub topology generator."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology import NodeKind, TransitStubConfig, transit_stub_topology
+
+
+class TestTransitStubTopology:
+    def test_node_kind_counts(self):
+        config = TransitStubConfig(
+            n_transit_domains=2,
+            transit_domain_size=3,
+            stub_domains_per_transit_node=2,
+            stub_domain_size=4,
+        )
+        topology = transit_stub_topology(config, seed=0)
+        n_transit = len(topology.nodes_of_kind(NodeKind.TRANSIT))
+        n_stub = len(topology.nodes_of_kind(NodeKind.STUB))
+        assert n_transit == 6  # 2 domains x 3 routers
+        assert n_stub == 6 * 2 * 4  # per transit router: 2 domains x 4 routers
+
+    def test_connected_with_positive_delays(self):
+        topology = transit_stub_topology(seed=1)
+        assert nx.is_connected(topology.graph)
+        for _u, _v, data in topology.graph.edges(data=True):
+            assert data["delay"] > 0
+
+    def test_domains_labeled(self):
+        config = TransitStubConfig(n_transit_domains=2)
+        topology = transit_stub_topology(config, seed=2)
+        domains = topology.domains()
+        # Transit domains 0..1, stub domains numbered after them.
+        assert domains.min() == 0
+        assert domains.max() >= 2
+
+    def test_deterministic(self):
+        first = transit_stub_topology(seed=5)
+        second = transit_stub_topology(seed=5)
+        assert sorted(first.graph.edges()) == sorted(second.graph.edges())
+
+    def test_single_transit_domain(self):
+        config = TransitStubConfig(n_transit_domains=1, transit_domain_size=4)
+        topology = transit_stub_topology(config, seed=3)
+        assert nx.is_connected(topology.graph)
+
+    def test_describe_mentions_counts(self):
+        topology = transit_stub_topology(seed=0, name="test-topo")
+        text = topology.describe()
+        assert "test-topo" in text
+        assert "transit" in text
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            transit_stub_topology(TransitStubConfig(n_transit_domains=0))
+        with pytest.raises(ValidationError):
+            transit_stub_topology(TransitStubConfig(stub_domain_size=0))
+
+
+class TestTopologyContainer:
+    def test_index_roundtrip(self):
+        topology = transit_stub_topology(seed=4)
+        nodes = topology.node_list()
+        for index, node in enumerate(nodes[:10]):
+            assert topology.index_of(node) == index
+
+    def test_unknown_node_rejected(self):
+        topology = transit_stub_topology(seed=4)
+        with pytest.raises(ValidationError):
+            topology.index_of("no-such-node")
+
+    def test_delay_adjacency_symmetric(self):
+        topology = transit_stub_topology(seed=4)
+        adjacency = topology.delay_adjacency()
+        difference = (adjacency - adjacency.T).toarray()
+        assert abs(difference).max() < 1e-12
+
+    def test_positions_shape(self):
+        topology = transit_stub_topology(seed=4)
+        assert topology.positions().shape == (topology.n_nodes, 2)

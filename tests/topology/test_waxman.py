@@ -1,0 +1,50 @@
+"""Tests for the Waxman random-graph generator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology import waxman_graph
+
+
+class TestWaxmanGraph:
+    def test_node_count_and_positions(self):
+        graph = waxman_graph(25, seed=0)
+        assert graph.number_of_nodes() == 25
+        for _node, data in graph.nodes(data=True):
+            assert data["position"].shape == (2,)
+
+    def test_always_connected(self):
+        for seed in range(5):
+            graph = waxman_graph(30, alpha=0.05, beta=0.05, seed=seed)
+            assert nx.is_connected(graph)
+
+    def test_positions_within_region(self):
+        graph = waxman_graph(40, region_km=500.0, origin_km=(1000.0, 2000.0), seed=1)
+        positions = np.array([d["position"] for _n, d in graph.nodes(data=True)])
+        assert (positions[:, 0] >= 1000.0).all() and (positions[:, 0] <= 1500.0).all()
+        assert (positions[:, 1] >= 2000.0).all() and (positions[:, 1] <= 2500.0).all()
+
+    def test_deterministic_given_seed(self):
+        first = waxman_graph(20, seed=7)
+        second = waxman_graph(20, seed=7)
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_alpha_increases_density(self):
+        sparse = waxman_graph(40, alpha=0.1, beta=0.3, seed=3)
+        dense = waxman_graph(40, alpha=0.9, beta=0.3, seed=3)
+        assert dense.number_of_edges() >= sparse.number_of_edges()
+
+    def test_single_node(self):
+        graph = waxman_graph(1, seed=0)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            waxman_graph(0)
+        with pytest.raises(ValidationError):
+            waxman_graph(5, alpha=2.0)
+        with pytest.raises(ValidationError):
+            waxman_graph(5, beta=0.0)
