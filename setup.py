@@ -1,7 +1,8 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setup shim: all project metadata lives in ``pyproject.toml``.
 
-All project metadata lives in ``pyproject.toml``; this file only lets
-``pip install -e . --no-use-pep517`` work offline.
+Kept only so ``python setup.py develop`` works in offline environments
+without the ``wheel`` package, where every ``pip install -e .`` path
+fails. On any networked machine, use ``pip install -e .`` instead.
 """
 
 from setuptools import setup

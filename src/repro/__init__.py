@@ -47,23 +47,35 @@ from .embedding import (
 )
 from .exceptions import ReproError
 from .ides import HostVectors, IDESSystem, InformationServer
+from .serving import (
+    DistanceService,
+    InMemoryVectorStore,
+    PredictionCache,
+    QueryEngine,
+    ShardedVectorStore,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DistanceDataset",
+    "DistanceService",
     "ErrorSummary",
     "FactoredDistanceModel",
     "GNPSystem",
     "HostVectors",
     "ICSSystem",
     "IDESSystem",
+    "InMemoryVectorStore",
     "InformationServer",
     "LandmarkSplit",
     "LipschitzPCAEmbedding",
     "NMFFactorizer",
+    "PredictionCache",
+    "QueryEngine",
     "ReproError",
     "SVDFactorizer",
+    "ShardedVectorStore",
     "VivaldiSystem",
     "__version__",
     "dataset_statistics",

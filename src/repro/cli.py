@@ -53,6 +53,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("datasets", help="summarize the synthetic data sets")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="build and query a distance service snapshot"
+    )
+    serve_subparsers = serve_parser.add_subparsers(dest="serve_command", required=True)
+
+    build_parser_ = serve_subparsers.add_parser(
+        "build", help="fit IDES on a data set and save a service snapshot"
+    )
+    build_parser_.add_argument("snapshot", help="output snapshot path (.npz)")
+    build_parser_.add_argument(
+        "--dataset", default="nlanr", help="data set name (default: nlanr)"
+    )
+    build_parser_.add_argument(
+        "--landmarks", type=int, default=20, help="number of landmarks (default: 20)"
+    )
+    build_parser_.add_argument(
+        "--dimension", type=int, default=10, help="model dimension d (default: 10)"
+    )
+    build_parser_.add_argument(
+        "--method", choices=("svd", "nmf"), default="svd", help="factorization"
+    )
+    build_parser_.add_argument(
+        "--shards", type=int, default=0, help="hash shards (0: unsharded)"
+    )
+    build_parser_.add_argument(
+        "--seed", type=int, default=0, help="landmark selection seed"
+    )
+
+    query_parser = serve_subparsers.add_parser(
+        "query", help="predict distances from a snapshot"
+    )
+    query_parser.add_argument("snapshot", help="snapshot path from 'serve build'")
+    query_parser.add_argument("--source", type=int, required=True, help="source host id")
+    query_parser.add_argument(
+        "--dest",
+        type=int,
+        nargs="+",
+        required=True,
+        help="destination host id(s); many ids run one vectorized batch",
+    )
+
+    nearest_parser = serve_subparsers.add_parser(
+        "nearest", help="k nearest registered hosts to a source"
+    )
+    nearest_parser.add_argument("snapshot", help="snapshot path from 'serve build'")
+    nearest_parser.add_argument("--source", type=int, required=True, help="source host id")
+    nearest_parser.add_argument("-k", type=int, default=5, help="neighbors (default: 5)")
+
+    health_parser = serve_subparsers.add_parser(
+        "health", help="print a snapshot's service health line"
+    )
+    health_parser.add_argument("snapshot", help="snapshot path from 'serve build'")
     return parser
 
 
@@ -89,6 +142,76 @@ def _command_run(
     return 0
 
 
+def _command_serve_build(arguments) -> int:
+    from .datasets import split_landmarks
+    from .ides import IDESSystem
+
+    dataset = load_dataset(arguments.dataset)
+    split = split_landmarks(dataset, arguments.landmarks, seed=arguments.seed)
+    system = IDESSystem(dimension=arguments.dimension, method=arguments.method)
+    system.fit_landmarks(split.landmark_matrix)
+    system.place_hosts(split.out_distances, split.in_distances)
+    service = system.to_service(
+        host_ids=[int(i) for i in split.ordinary_indices],
+        landmark_ids=[int(i) for i in split.landmark_indices],
+        n_shards=arguments.shards,
+    )
+    path = service.save(arguments.snapshot)
+    print(f"wrote {path}")
+    print(f"health: {service.health()}")
+    return 0
+
+
+def _load_service(snapshot_path: str):
+    from .serving import DistanceService
+
+    # ReproError (file missing / not a snapshot) is handled by
+    # _command_serve's shared catch.
+    return DistanceService.load(snapshot_path)
+
+
+def _command_serve_query(arguments) -> int:
+    service = _load_service(arguments.snapshot)
+    source = arguments.source
+    if len(arguments.dest) == 1:
+        print(f"{source} -> {arguments.dest[0]}: {service.query(source, arguments.dest[0]):.3f}")
+    else:
+        values = service.query_one_to_many(source, arguments.dest)
+        for destination, value in zip(arguments.dest, values):
+            print(f"{source} -> {destination}: {value:.3f}")
+    print(f"health: {service.health()}")
+    return 0
+
+
+def _command_serve_nearest(arguments) -> int:
+    service = _load_service(arguments.snapshot)
+    for host_id, distance in service.k_nearest(arguments.source, arguments.k):
+        print(f"{arguments.source} -> {host_id}: {distance:.3f}")
+    print(f"health: {service.health()}")
+    return 0
+
+
+def _command_serve_health(arguments) -> int:
+    print(_load_service(arguments.snapshot).health())
+    return 0
+
+
+def _command_serve(arguments) -> int:
+    from .exceptions import ReproError
+
+    handlers = {
+        "build": _command_serve_build,
+        "query": _command_serve_query,
+        "nearest": _command_serve_nearest,
+        "health": _command_serve_health,
+    }
+    try:
+        return handlers[arguments.serve_command](arguments)
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
 def _command_datasets() -> int:
     for name in list_datasets():
         dataset = load_dataset(name)
@@ -109,6 +232,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if arguments.command == "datasets":
         return _command_datasets()
+    if arguments.command == "serve":
+        return _command_serve(arguments)
     parser.error(f"unknown command {arguments.command!r}")
     return 2  # pragma: no cover
 

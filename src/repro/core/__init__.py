@@ -6,6 +6,7 @@ missing data), evaluated with the modified relative error of Eq. 10.
 """
 
 from .diagnostics import (
+    ServiceHealth,
     SpectrumDiagnostics,
     effective_rank,
     energy_captured,
@@ -35,6 +36,7 @@ __all__ = [
     "FactoredDistanceModel",
     "NMFFactorizer",
     "SVDFactorizer",
+    "ServiceHealth",
     "SpectrumDiagnostics",
     "apply_mask",
     "effective_rank",

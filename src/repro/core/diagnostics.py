@@ -16,6 +16,7 @@ from .._validation import as_matrix, check_fraction
 from ..linalg import singular_spectrum
 
 __all__ = [
+    "ServiceHealth",
     "SpectrumDiagnostics",
     "spectrum_diagnostics",
     "effective_rank",
@@ -94,6 +95,68 @@ class SpectrumDiagnostics:
             f"shape={self.shape} eff_rank={self.effective_rank:.2f} "
             f"rank90={self.rank_90} rank99={self.rank_99} "
             f"energy@10={self.top10_energy:.4f}"
+        )
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """Operational counters of a running distance-query service.
+
+    Produced by :meth:`repro.serving.DistanceService.health` and printed
+    by the CLI ``serve`` commands and ``benchmarks/bench_serving.py``.
+    Plain numbers only, so the core layer stays independent of the
+    serving implementation.
+
+    Attributes:
+        n_hosts: hosts in the vector store (landmarks included).
+        n_landmarks: hosts acting as the landmark reference set.
+        dimension: model dimension ``d``.
+        n_shards: store shard count (0 for the unsharded backend).
+        shard_occupancy: hosts per shard (empty when unsharded).
+        queries_served: engine calls answered since start/reset.
+        pairs_evaluated: (source, destination) pairs predicted.
+        cache_hits / cache_misses: point-query cache outcomes.
+        cache_size / cache_max_entries: cache occupancy and capacity.
+    """
+
+    n_hosts: int
+    n_landmarks: int
+    dimension: int
+    n_shards: int
+    shard_occupancy: tuple[int, ...]
+    queries_served: int
+    pairs_evaluated: int
+    cache_hits: int
+    cache_misses: int
+    cache_size: int
+    cache_max_entries: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over lookups (0.0 when never queried)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def shard_imbalance(self) -> float:
+        """Max over mean shard occupancy (1.0 = perfectly balanced)."""
+        if not self.shard_occupancy or sum(self.shard_occupancy) == 0:
+            return 1.0
+        mean = sum(self.shard_occupancy) / len(self.shard_occupancy)
+        return max(self.shard_occupancy) / mean
+
+    def __str__(self) -> str:
+        shards = (
+            f" shards={self.n_shards} imbalance={self.shard_imbalance:.2f}"
+            if self.n_shards
+            else ""
+        )
+        return (
+            f"hosts={self.n_hosts} landmarks={self.n_landmarks} "
+            f"d={self.dimension}{shards} queries={self.queries_served} "
+            f"pairs={self.pairs_evaluated} "
+            f"cache_hit_rate={self.cache_hit_rate:.3f} "
+            f"cache={self.cache_size}/{self.cache_max_entries}"
         )
 
 

@@ -201,6 +201,18 @@ class InformationServer:
         incoming = np.stack([self._directory[i].incoming for i in chosen])
         return chosen, outgoing, incoming
 
+    def to_service(self, **options: object):
+        """Export the directory as a :class:`repro.serving.DistanceService`.
+
+        Carries over every registered host (landmarks and ordinary) so
+        the service starts warm; ``options`` are forwarded to the
+        service constructor.
+        """
+        from ..serving import DistanceService
+
+        self._require_landmarks()
+        return DistanceService.from_server(self, **options)
+
     def _require_landmarks(self) -> None:
         if self._landmark_model is None:
             raise NotFittedError("InformationServer: call fit_landmarks first")

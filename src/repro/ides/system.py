@@ -156,6 +156,25 @@ class IDESSystem(LatencyPredictionSystem):
             strict=self.strict,
         )
 
+    def to_service(
+        self,
+        host_ids: list | None = None,
+        landmark_ids: list | None = None,
+        **options: object,
+    ):
+        """Export the fitted model as a :class:`repro.serving.DistanceService`.
+
+        The service answers batched queries, caches point lookups, and
+        keeps accepting new hosts incrementally — see
+        :mod:`repro.serving`. ``options`` (shards, cache sizing, solver
+        settings) are forwarded to the service constructor.
+        """
+        from ..serving import DistanceService
+
+        return DistanceService.from_ides(
+            self, host_ids=host_ids, landmark_ids=landmark_ids, **options
+        )
+
     def predict_host_to_landmarks(self) -> np.ndarray:
         """Predicted host -> landmark distances (reconstruction check)."""
         self._require_fitted("_host_outgoing")

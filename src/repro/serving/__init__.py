@@ -1,0 +1,39 @@
+"""Serving layer: the fitted model as an online query service.
+
+The IDES architecture (paper Section 5) is a *service*: a server
+factors the landmark matrix, hosts solve small least-squares problems,
+and from then on any distance is one dot product. This package is the
+layer the paper stops short of building — the part that actually
+serves the traffic:
+
+* :mod:`~repro.serving.store` — O(1) host-vector directories, in
+  memory or hash-sharded;
+* :mod:`~repro.serving.engine` — point / one-to-many / many-to-many /
+  k-nearest queries as dense NumPy batch products;
+* :mod:`~repro.serving.cache` — LRU + TTL memoization of point
+  queries with per-host invalidation;
+* :mod:`~repro.serving.service` — the :class:`DistanceService` facade
+  with incremental registration, eviction, snapshots and health
+  reporting;
+* :mod:`~repro.serving.snapshot` — portable ``.npz`` serialization.
+"""
+
+from .cache import CacheStats, PredictionCache
+from .engine import QueryEngine
+from .service import DistanceService
+from .snapshot import ServiceSnapshot, load_snapshot, save_snapshot
+from .store import InMemoryVectorStore, ShardedVectorStore, VectorStore, shard_of
+
+__all__ = [
+    "CacheStats",
+    "DistanceService",
+    "InMemoryVectorStore",
+    "PredictionCache",
+    "QueryEngine",
+    "ServiceSnapshot",
+    "ShardedVectorStore",
+    "VectorStore",
+    "load_snapshot",
+    "save_snapshot",
+    "shard_of",
+]

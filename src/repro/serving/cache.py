@@ -1,0 +1,197 @@
+"""Prediction cache: LRU + TTL memoization of point queries.
+
+Distance queries in a deployed estimator are heavily skewed — a CDN
+redirector asks about the same few thousand client/mirror pairs over
+and over — so a small LRU in front of the engine absorbs most of the
+read load. Entries can also age out (TTL) because predictions drift as
+vectors are refreshed, and a vector update invalidates every cached
+pair touching that host so the cache never serves stale coordinates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..exceptions import ValidationError
+
+__all__ = ["CacheStats", "PredictionCache"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing cache effectiveness.
+
+    Attributes:
+        hits / misses: lookup outcomes since creation (or last reset).
+        evictions: entries dropped by LRU capacity pressure.
+        expirations: entries dropped because their TTL lapsed.
+        invalidations: entries dropped by per-host invalidation.
+        size / max_entries: current and maximum occupancy.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    invalidations: int
+    size: int
+    max_entries: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when never queried)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"hit_rate={self.hit_rate:.3f} size={self.size}/{self.max_entries} "
+            f"evictions={self.evictions} expirations={self.expirations} "
+            f"invalidations={self.invalidations}"
+        )
+
+
+class PredictionCache:
+    """LRU + TTL cache of ``(source, destination) -> distance``.
+
+    Args:
+        max_entries: LRU capacity.
+        ttl: entry lifetime in seconds, or None for no expiry.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        ttl: float | None = None,
+        clock=time.monotonic,
+    ):
+        if int(max_entries) < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl is not None and not ttl > 0:
+            raise ValidationError(f"ttl must be > 0 or None, got {ttl}")
+        self.max_entries = int(max_entries)
+        self.ttl = None if ttl is None else float(ttl)
+        self._clock = clock
+        self._entries: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
+        self._keys_by_host: dict[object, set[tuple]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    # lookups and inserts
+    # ------------------------------------------------------------------ #
+
+    def get(self, source_id: object, destination_id: object) -> float | None:
+        """Cached prediction for the pair, or None on miss/expiry."""
+        key = (source_id, destination_id)
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self._misses += 1
+            return None
+        value, expires_at = entry
+        if expires_at is not None and self._clock() >= expires_at:
+            self._drop(key)
+            self._expirations += 1
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, source_id: object, destination_id: object, value: float) -> None:
+        """Insert (or refresh) the pair's prediction."""
+        key = (source_id, destination_id)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._unlink(evicted)
+            self._evictions += 1
+        expires_at = None if self.ttl is None else self._clock() + self.ttl
+        self._entries[key] = (float(value), expires_at)
+        for host_id in key:
+            self._keys_by_host.setdefault(host_id, set()).add(key)
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+
+    def invalidate_host(self, host_id: object) -> int:
+        """Drop every cached pair involving ``host_id``.
+
+        Called when the host's vectors change (re-registration, online
+        update) or the host is evicted. Returns the number of entries
+        dropped.
+        """
+        keys = self._keys_by_host.pop(host_id, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in list(keys):
+            if key in self._entries:
+                self._drop(key)
+                dropped += 1
+        self._invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._invalidations += len(self._entries)
+        self._entries.clear()
+        self._keys_by_host.clear()
+
+    def _drop(self, key: tuple) -> None:
+        self._entries.pop(key, None)
+        self._unlink(key)
+
+    def _unlink(self, key: tuple) -> None:
+        for host_id in key:
+            bucket = self._keys_by_host.get(host_id)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._keys_by_host[host_id]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            expirations=self._expirations,
+            invalidations=self._invalidations,
+            size=len(self._entries),
+            max_entries=self.max_entries,
+        )
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss/eviction counters (entries are kept)."""
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries

@@ -1,0 +1,126 @@
+"""The query engine: batched distance predictions over a vector store.
+
+Every query shape — point, one-to-many, many-to-many, k-nearest —
+reduces to gathering the relevant rows of the ``X``/``Y`` matrices and
+one dense product ``X[rows] @ Y[cols].T`` (paper Eq. 4). There is
+deliberately no per-pair Python loop anywhere on the read path; that
+is the entire performance story of the serving layer, quantified by
+``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .store import VectorStore
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Stateless-by-data query executor with served-work counters.
+
+    Args:
+        store: the :class:`VectorStore` holding host vectors.
+
+    Attributes:
+        queries_served: number of engine calls answered.
+        pairs_evaluated: total (source, destination) pairs predicted —
+            the unit the throughput benchmark reports.
+    """
+
+    def __init__(self, store: VectorStore):
+        self.store = store
+        self.queries_served = 0
+        self.pairs_evaluated = 0
+
+    # ------------------------------------------------------------------ #
+    # query shapes
+    # ------------------------------------------------------------------ #
+
+    def point(self, source_id: object, destination_id: object) -> float:
+        """Predicted distance for one (source, destination) pair."""
+        source = self.store.get(source_id)
+        destination = self.store.get(destination_id)
+        self.queries_served += 1
+        self.pairs_evaluated += 1
+        return float(source.outgoing @ destination.incoming)
+
+    def one_to_many(self, source_id: object, destination_ids: Sequence) -> np.ndarray:
+        """Distances from one source to each destination, vectorized."""
+        source = self.store.get(source_id)
+        _, incoming = self.store.gather(destination_ids)
+        self.queries_served += 1
+        self.pairs_evaluated += len(destination_ids)
+        return incoming @ source.outgoing
+
+    def many_to_one(self, source_ids: Sequence, destination_id: object) -> np.ndarray:
+        """Distances from each source to one destination, vectorized."""
+        destination = self.store.get(destination_id)
+        outgoing, _ = self.store.gather(source_ids)
+        self.queries_served += 1
+        self.pairs_evaluated += len(source_ids)
+        return outgoing @ destination.incoming
+
+    def many_to_many(
+        self, source_ids: Sequence, destination_ids: Sequence
+    ) -> np.ndarray:
+        """The ``(n_src, n_dst)`` prediction block ``X[rows] @ Y[cols].T``."""
+        outgoing, _ = self.store.gather(source_ids)
+        _, incoming = self.store.gather(destination_ids)
+        self.queries_served += 1
+        self.pairs_evaluated += len(source_ids) * len(destination_ids)
+        return outgoing @ incoming.T
+
+    def k_nearest(
+        self,
+        source_id: object,
+        k: int,
+        candidate_ids: Sequence | None = None,
+        include_self: bool = False,
+    ) -> list[tuple[object, float]]:
+        """The ``k`` candidates with the smallest predicted distance.
+
+        Args:
+            source_id: querying host.
+            k: number of neighbors to return.
+            candidate_ids: pool to search; defaults to every stored
+                host.
+            include_self: keep ``source_id`` itself in the result when
+                it appears among the candidates.
+
+        Returns:
+            ``[(host_id, predicted_distance), ...]`` sorted ascending.
+
+        Uses ``argpartition`` so the cost is one ``(n, d)`` gather, one
+        matrix-vector product and an O(n + k log k) selection — no full
+        sort of the candidate pool.
+        """
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if candidate_ids is None:
+            candidate_ids = self.store.ids()
+        candidates = list(candidate_ids)
+        if not include_self:
+            candidates = [c for c in candidates if c != source_id]
+        if not candidates:
+            return []
+
+        source = self.store.get(source_id)
+        _, incoming = self.store.gather(candidates)
+        distances = incoming @ source.outgoing
+        self.queries_served += 1
+        self.pairs_evaluated += len(candidates)
+
+        k = min(k, len(candidates))
+        top = np.argpartition(distances, k - 1)[:k]
+        top = top[np.argsort(distances[top], kind="stable")]
+        return [(candidates[int(i)], float(distances[int(i)])) for i in top]
+
+    def reset_counters(self) -> None:
+        """Zero the served-work counters (benchmark hygiene)."""
+        self.queries_served = 0
+        self.pairs_evaluated = 0

@@ -1,0 +1,397 @@
+"""The distance service facade: store + engine + cache in one object.
+
+:class:`DistanceService` is the deployable form of a fitted IDES
+model. It owns a :class:`~repro.serving.store.VectorStore` of host
+vectors, answers every query shape through a vectorized
+:class:`~repro.serving.engine.QueryEngine`, memoizes point queries in
+a :class:`~repro.serving.cache.PredictionCache`, and — unlike the
+fit-then-lookup :class:`~repro.ides.server.InformationServer` —
+supports *incremental* operation: new hosts register at any time by
+solving their vectors against already-registered references (the
+relaxed architecture of Section 5.2), without ever refactoring the
+landmark matrix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_dimension
+from ..core.diagnostics import ServiceHealth
+from ..exceptions import NotFittedError, ValidationError
+from ..ides.host import solve_host_vectors
+from ..ides.vectors import HostVectors
+from .cache import PredictionCache
+from .engine import QueryEngine
+from .snapshot import ServiceSnapshot, load_snapshot, save_snapshot
+from .store import InMemoryVectorStore, ShardedVectorStore, VectorStore
+
+__all__ = ["DistanceService"]
+
+
+class DistanceService:
+    """Online distance-query service over a fitted factored model.
+
+    Args:
+        dimension: model dimension ``d`` (ignored when ``store`` is
+            given).
+        store: a prebuilt vector store; by default an
+            :class:`InMemoryVectorStore` (or a
+            :class:`ShardedVectorStore` when ``n_shards`` > 0).
+        n_shards: build a hash-sharded store with this many shards.
+        cache_entries: LRU capacity of the point-query cache.
+        cache_ttl: cache entry lifetime in seconds (None: no expiry).
+        ridge / nonnegative / strict: solver options forwarded to
+            host registration (:func:`repro.ides.solve_host_vectors`).
+    """
+
+    def __init__(
+        self,
+        dimension: int | None = None,
+        store: VectorStore | None = None,
+        n_shards: int = 0,
+        cache_entries: int = 65536,
+        cache_ttl: float | None = None,
+        ridge: float = 0.0,
+        nonnegative: bool = False,
+        strict: bool = True,
+    ):
+        if store is None:
+            if dimension is None:
+                raise ValidationError("DistanceService needs a dimension or a store")
+            dimension = check_dimension(dimension)
+            if n_shards:
+                store = ShardedVectorStore(dimension, n_shards=n_shards)
+            else:
+                store = InMemoryVectorStore(dimension)
+        self.store = store
+        self.engine = QueryEngine(store)
+        self.cache = PredictionCache(max_entries=cache_entries, ttl=cache_ttl)
+        self.ridge = float(ridge)
+        self.nonnegative = bool(nonnegative)
+        self.strict = bool(strict)
+        self._landmark_ids: list = []
+
+    # ------------------------------------------------------------------ #
+    # construction from fitted models
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_vectors(
+        cls,
+        host_ids: Sequence,
+        outgoing: np.ndarray,
+        incoming: np.ndarray,
+        landmark_ids: Sequence = (),
+        **options: object,
+    ) -> "DistanceService":
+        """Build a service from dense ``(n, d)`` vector matrices.
+
+        ``landmark_ids`` marks the subset used as the default reference
+        pool for later incremental registrations.
+        """
+        outgoing = np.asarray(outgoing, dtype=float)
+        incoming = np.asarray(incoming, dtype=float)
+        if outgoing.ndim != 2 or outgoing.shape != incoming.shape:
+            raise ValidationError(
+                f"expected matching (n, d) matrices, got {outgoing.shape} "
+                f"and {incoming.shape}"
+            )
+        if len(host_ids) != outgoing.shape[0]:
+            raise ValidationError(
+                f"got {len(host_ids)} ids for {outgoing.shape[0]} vector rows"
+            )
+        if len(set(host_ids)) != len(host_ids):
+            raise ValidationError("host_ids contains duplicates")
+        service = cls(dimension=outgoing.shape[1], **options)
+        service.store.put_many(list(host_ids), outgoing, incoming)
+        service._set_landmarks(landmark_ids)
+        return service
+
+    @classmethod
+    def from_ides(
+        cls,
+        system,
+        host_ids: Sequence | None = None,
+        landmark_ids: Sequence | None = None,
+        **options: object,
+    ) -> "DistanceService":
+        """Build a service from a fitted :class:`repro.ides.IDESSystem`.
+
+        Imports the landmark vectors and, when the system has placed
+        ordinary hosts, their vectors too.
+
+        Args:
+            system: fitted IDES system (landmarks required, placed
+                hosts optional).
+            host_ids: identifiers for the placed ordinary hosts;
+                defaults to ``"host-0" .. "host-{n-1}"``.
+            landmark_ids: identifiers for the landmarks; defaults to
+                the server's directory ids (``0..m-1`` unless the
+                server was fitted with explicit ids).
+            **options: forwarded to the constructor (shards, cache,
+                solver settings).
+        """
+        landmark_out, landmark_in = system.landmark_vectors()
+        if landmark_ids is None:
+            landmark_ids = system.server.landmark_ids
+        landmark_ids = list(landmark_ids)
+        if len(landmark_ids) != landmark_out.shape[0]:
+            raise ValidationError(
+                f"got {len(landmark_ids)} landmark ids for "
+                f"{landmark_out.shape[0]} landmarks"
+            )
+
+        identifiers = landmark_ids
+        outgoing, incoming = landmark_out, landmark_in
+        try:
+            host_out, host_in = system.host_vectors()
+        except NotFittedError:
+            host_out = None
+        if host_out is not None:
+            if host_ids is None:
+                host_ids = [f"host-{i}" for i in range(host_out.shape[0])]
+            host_ids = list(host_ids)
+            if len(host_ids) != host_out.shape[0]:
+                raise ValidationError(
+                    f"got {len(host_ids)} host ids for {host_out.shape[0]} "
+                    "placed hosts"
+                )
+            overlap = set(host_ids) & set(landmark_ids)
+            if overlap:
+                raise ValidationError(
+                    f"host ids collide with landmark ids: {sorted(overlap)!r}"
+                )
+            identifiers = landmark_ids + host_ids
+            outgoing = np.vstack([landmark_out, host_out])
+            incoming = np.vstack([landmark_in, host_in])
+        elif host_ids is not None:
+            raise ValidationError(
+                "host_ids given but the system has not placed hosts"
+            )
+        return cls.from_vectors(
+            identifiers, outgoing, incoming, landmark_ids=landmark_ids, **options
+        )
+
+    @classmethod
+    def from_server(cls, server, **options: object) -> "DistanceService":
+        """Build a service from a fitted
+        :class:`repro.ides.InformationServer` directory."""
+        identifiers = server.known_hosts()
+        if not identifiers:
+            raise ValidationError("server has no registered hosts")
+        outgoing = np.stack([server.get_vectors(i).outgoing for i in identifiers])
+        incoming = np.stack([server.get_vectors(i).incoming for i in identifiers])
+        return cls.from_vectors(
+            identifiers,
+            outgoing,
+            incoming,
+            landmark_ids=server.landmark_ids,
+            **options,
+        )
+
+    def _set_landmarks(self, landmark_ids: Sequence) -> None:
+        missing = [i for i in landmark_ids if i not in self.store]
+        if missing:
+            raise ValidationError(f"landmark ids not in store: {missing!r}")
+        self._landmark_ids = list(landmark_ids)
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dimension(self) -> int:
+        """Model dimension ``d``."""
+        return self.store.dimension
+
+    @property
+    def n_hosts(self) -> int:
+        """Hosts in the store, landmarks included."""
+        return len(self.store)
+
+    @property
+    def landmark_ids(self) -> list:
+        """The default reference pool for incremental registration."""
+        return list(self._landmark_ids)
+
+    def known_hosts(self) -> list:
+        """All registered identifiers."""
+        return self.store.ids()
+
+    def __contains__(self, host_id: object) -> bool:
+        return host_id in self.store
+
+    def register_vectors(self, host_id: object, vectors: HostVectors) -> None:
+        """Publish (or overwrite) a host's solved vectors directly."""
+        self.store.put(host_id, vectors)
+        self.cache.invalidate_host(host_id)
+
+    def register_host(
+        self,
+        host_id: object,
+        out_distances: object,
+        in_distances: object | None = None,
+        reference_ids: Sequence | None = None,
+    ) -> HostVectors:
+        """Register a new host from its reference measurements.
+
+        Solves the host's vectors against already-registered reference
+        nodes (Eqs. 13-14) — landmarks by default, but any registered
+        host works (the Section 5.2 relaxation) — so registration never
+        refactors the landmark matrix.
+
+        Args:
+            host_id: identifier to register under.
+            out_distances: length-``k`` distances host -> reference.
+            in_distances: length-``k`` distances reference -> host;
+                None assumes RTT symmetry.
+            reference_ids: the ``k`` reference hosts measured; defaults
+                to the landmark set.
+
+        Returns:
+            the solved :class:`HostVectors` (already published).
+        """
+        if reference_ids is None:
+            if not self._landmark_ids:
+                raise ValidationError(
+                    "no landmark reference pool; pass reference_ids explicitly"
+                )
+            reference_ids = self._landmark_ids
+        reference_ids = list(reference_ids)
+        if host_id in reference_ids:
+            raise ValidationError(
+                f"host {host_id!r} cannot use itself as a reference"
+            )
+        ref_out, ref_in = self.store.gather(reference_ids)
+        if in_distances is None:
+            in_distances = out_distances
+        vectors = solve_host_vectors(
+            out_distances,
+            in_distances,
+            ref_out,
+            ref_in,
+            ridge=self.ridge,
+            nonnegative=self.nonnegative,
+            strict=self.strict,
+        )
+        self.register_vectors(host_id, vectors)
+        return vectors
+
+    def evict_host(self, host_id: object) -> bool:
+        """Remove an ordinary host; landmarks cannot be evicted."""
+        if host_id in self._landmark_ids:
+            raise ValidationError(f"cannot evict landmark {host_id!r}")
+        removed = self.store.delete(host_id)
+        if removed:
+            self.cache.invalidate_host(host_id)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, source_id: object, destination_id: object) -> float:
+        """Point query through the cache."""
+        cached = self.cache.get(source_id, destination_id)
+        if cached is not None:
+            return cached
+        value = self.engine.point(source_id, destination_id)
+        self.cache.put(source_id, destination_id, value)
+        return value
+
+    def query_one_to_many(
+        self,
+        source_id: object,
+        destination_ids: Sequence,
+        populate_cache: bool = False,
+    ) -> np.ndarray:
+        """Vectorized distances from one source to many destinations.
+
+        Batch reads bypass the cache lookup (a dense gather beats per
+        -pair dict probes); ``populate_cache`` additionally writes the
+        results back so follow-up point queries hit.
+        """
+        values = self.engine.one_to_many(source_id, destination_ids)
+        if populate_cache:
+            for destination_id, value in zip(destination_ids, values):
+                self.cache.put(source_id, destination_id, float(value))
+        return values
+
+    def query_many_to_many(
+        self, source_ids: Sequence, destination_ids: Sequence
+    ) -> np.ndarray:
+        """The ``(n_src, n_dst)`` prediction block, fully vectorized."""
+        return self.engine.many_to_many(source_ids, destination_ids)
+
+    def k_nearest(
+        self,
+        source_id: object,
+        k: int,
+        candidate_ids: Sequence | None = None,
+    ) -> list[tuple[object, float]]:
+        """The ``k`` registered hosts predicted closest to the source."""
+        return self.engine.k_nearest(source_id, k, candidate_ids=candidate_ids)
+
+    # ------------------------------------------------------------------ #
+    # snapshots and health
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Materialize the current directory as a snapshot object."""
+        identifiers, outgoing, incoming = self.store.export()
+        n_shards = getattr(self.store, "n_shards", 0)
+        return ServiceSnapshot(
+            ids=identifiers,
+            outgoing=outgoing,
+            incoming=incoming,
+            landmark_ids=list(self._landmark_ids),
+            n_shards=n_shards,
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the service state to an ``.npz`` snapshot."""
+        return save_snapshot(self.snapshot(), path)
+
+    @classmethod
+    def load(cls, path: str | Path, **options: object) -> "DistanceService":
+        """Rebuild a service from a snapshot file.
+
+        The shard layout is restored from the snapshot unless
+        ``n_shards`` is overridden in ``options``.
+        """
+        snapshot = load_snapshot(path)
+        options.setdefault("n_shards", snapshot.n_shards)
+        return cls.from_vectors(
+            snapshot.ids,
+            snapshot.outgoing,
+            snapshot.incoming,
+            landmark_ids=snapshot.landmark_ids,
+            **options,
+        )
+
+    def health(self) -> ServiceHealth:
+        """Operational counters as a :class:`ServiceHealth` report."""
+        cache_stats = self.cache.stats()
+        if isinstance(self.store, ShardedVectorStore):
+            n_shards = self.store.n_shards
+            occupancy = tuple(self.store.occupancy())
+        else:
+            n_shards = 0
+            occupancy = ()
+        return ServiceHealth(
+            n_hosts=self.n_hosts,
+            n_landmarks=len(self._landmark_ids),
+            dimension=self.dimension,
+            n_shards=n_shards,
+            shard_occupancy=occupancy,
+            queries_served=self.engine.queries_served,
+            pairs_evaluated=self.engine.pairs_evaluated,
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
+            cache_size=cache_stats.size,
+            cache_max_entries=cache_stats.max_entries,
+        )

@@ -1,0 +1,347 @@
+"""Vector stores: the directory layer of the query service.
+
+A :class:`VectorStore` maps host identifiers to their ``(outgoing,
+incoming)`` model vectors with O(1) lookup, and — crucially for the
+query engine — gathers many hosts' vectors into dense ``(n, d)``
+matrices in one shot so that every query becomes a NumPy batch
+operation instead of a per-pair Python loop.
+
+Two backends:
+
+* :class:`InMemoryVectorStore` keeps all vectors in two growable
+  arrays with a free-slot list, so registration, eviction and bulk
+  gather stay amortized O(1) per host.
+* :class:`ShardedVectorStore` hash-partitions identifiers across many
+  in-memory shards — the single-process rehearsal of the scale-out
+  directory the IDES paper sketches in Section 5.1.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .._validation import check_dimension
+from ..exceptions import ValidationError
+from ..ides.vectors import HostVectors
+
+__all__ = ["VectorStore", "InMemoryVectorStore", "ShardedVectorStore", "shard_of"]
+
+
+def shard_of(host_id: object, n_shards: int) -> int:
+    """Stable shard assignment for a host identifier.
+
+    Uses CRC-32 of the identifier's string form rather than Python's
+    builtin ``hash`` so that the same identifier lands on the same
+    shard across processes and snapshot reloads.
+    """
+    return zlib.crc32(repr(host_id).encode("utf-8")) % n_shards
+
+
+class VectorStore(ABC):
+    """Directory of host vectors behind the query engine."""
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Model dimension ``d`` of every stored vector."""
+
+    @abstractmethod
+    def put(self, host_id: object, vectors: HostVectors) -> None:
+        """Insert or overwrite one host's vectors."""
+
+    @abstractmethod
+    def put_many(
+        self, host_ids: Sequence, outgoing: np.ndarray, incoming: np.ndarray
+    ) -> None:
+        """Insert or overwrite many hosts from ``(n, d)`` matrices."""
+
+    @abstractmethod
+    def get(self, host_id: object) -> HostVectors:
+        """Fetch one host's vectors; raises for unknown hosts."""
+
+    @abstractmethod
+    def delete(self, host_id: object) -> bool:
+        """Remove a host; returns whether it was present."""
+
+    @abstractmethod
+    def gather(self, host_ids: Sequence) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the hosts' vectors into ``(n, d)`` ``(X, Y)`` matrices,
+        in request order."""
+
+    @abstractmethod
+    def export(self) -> tuple[list, np.ndarray, np.ndarray]:
+        """``(ids, X, Y)`` for every stored host (bulk snapshot)."""
+
+    @abstractmethod
+    def ids(self) -> list:
+        """All stored identifiers."""
+
+    @abstractmethod
+    def __contains__(self, host_id: object) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator:
+        return iter(self.ids())
+
+    def _check_vectors(self, vectors: HostVectors) -> None:
+        if vectors.dimension != self.dimension:
+            raise ValidationError(
+                f"vectors have dimension {vectors.dimension}, store uses "
+                f"{self.dimension}"
+            )
+
+
+class InMemoryVectorStore(VectorStore):
+    """Array-backed store with O(1) lookup and vectorized gather.
+
+    Vectors live in two ``(capacity, d)`` arrays that double on demand;
+    a dict maps identifiers to rows and deleted rows go on a free list
+    for reuse, so long-running register/evict churn does not leak
+    capacity.
+
+    Args:
+        dimension: model dimension ``d``.
+        initial_capacity: starting number of vector slots.
+    """
+
+    def __init__(self, dimension: int, initial_capacity: int = 64):
+        self._dimension = check_dimension(dimension)
+        capacity = max(1, int(initial_capacity))
+        self._outgoing = np.zeros((capacity, self._dimension))
+        self._incoming = np.zeros((capacity, self._dimension))
+        self._row_of: dict[object, int] = {}
+        self._id_of_row: dict[int, object] = {}
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def _claim_row(self, host_id: object) -> int:
+        row = self._row_of.get(host_id)
+        if row is not None:
+            return row
+        if not self._free:
+            self._grow()
+        row = self._free.pop()
+        self._row_of[host_id] = row
+        self._id_of_row[row] = host_id
+        return row
+
+    def _grow(self) -> None:
+        old = self._outgoing.shape[0]
+        new = max(1, old * 2)
+        grown_out = np.zeros((new, self._dimension))
+        grown_in = np.zeros((new, self._dimension))
+        grown_out[:old] = self._outgoing
+        grown_in[:old] = self._incoming
+        self._outgoing = grown_out
+        self._incoming = grown_in
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def put(self, host_id: object, vectors: HostVectors) -> None:
+        self._check_vectors(vectors)
+        row = self._claim_row(host_id)
+        self._outgoing[row] = vectors.outgoing
+        self._incoming[row] = vectors.incoming
+
+    def put_many(
+        self, host_ids: Sequence, outgoing: np.ndarray, incoming: np.ndarray
+    ) -> None:
+        outgoing = np.asarray(outgoing, dtype=float)
+        incoming = np.asarray(incoming, dtype=float)
+        expected = (len(host_ids), self._dimension)
+        if outgoing.shape != expected or incoming.shape != expected:
+            raise ValidationError(
+                f"put_many expects matrices of shape {expected}, got "
+                f"{outgoing.shape} and {incoming.shape}"
+            )
+        rows = np.fromiter(
+            (self._claim_row(host_id) for host_id in host_ids),
+            dtype=int,
+            count=len(host_ids),
+        )
+        self._outgoing[rows] = outgoing
+        self._incoming[rows] = incoming
+
+    def delete(self, host_id: object) -> bool:
+        row = self._row_of.pop(host_id, None)
+        if row is None:
+            return False
+        del self._id_of_row[row]
+        self._free.append(row)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, host_id: object) -> HostVectors:
+        try:
+            row = self._row_of[host_id]
+        except KeyError:
+            raise ValidationError(f"unknown host {host_id!r}") from None
+        return HostVectors(
+            outgoing=self._outgoing[row].copy(), incoming=self._incoming[row].copy()
+        )
+
+    def rows_for(self, host_ids: Sequence) -> np.ndarray:
+        """Internal row indices for the given hosts (request order)."""
+        try:
+            return np.fromiter(
+                (self._row_of[host_id] for host_id in host_ids),
+                dtype=int,
+                count=len(host_ids),
+            )
+        except KeyError as missing:
+            raise ValidationError(f"unknown host {missing.args[0]!r}") from None
+
+    def gather(self, host_ids: Sequence) -> tuple[np.ndarray, np.ndarray]:
+        rows = self.rows_for(host_ids)
+        return self._outgoing[rows], self._incoming[rows]
+
+    def export(self) -> tuple[list, np.ndarray, np.ndarray]:
+        identifiers = self.ids()
+        if not identifiers:
+            empty = np.zeros((0, self._dimension))
+            return [], empty, empty.copy()
+        outgoing, incoming = self.gather(identifiers)
+        return identifiers, outgoing, incoming
+
+    def ids(self) -> list:
+        return list(self._row_of)
+
+    def __contains__(self, host_id: object) -> bool:
+        return host_id in self._row_of
+
+    def __len__(self) -> int:
+        return len(self._row_of)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated vector slots (grows geometrically)."""
+        return self._outgoing.shape[0]
+
+
+class ShardedVectorStore(VectorStore):
+    """Hash-partitioned store: identifiers spread over N shards.
+
+    Single-item operations route to ``shard_of(host_id)``; bulk gathers
+    group the request by shard, gather once per shard, and scatter the
+    results back into request order, so batched queries stay vectorized
+    end to end.
+
+    Args:
+        dimension: model dimension ``d``.
+        n_shards: number of hash shards.
+        initial_capacity: per-shard starting capacity.
+    """
+
+    def __init__(self, dimension: int, n_shards: int = 8, initial_capacity: int = 64):
+        self._dimension = check_dimension(dimension)
+        if int(n_shards) < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.shards = [
+            InMemoryVectorStore(dimension, initial_capacity=initial_capacity)
+            for _ in range(self.n_shards)
+        ]
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    def shard_for(self, host_id: object) -> InMemoryVectorStore:
+        """The shard responsible for ``host_id``."""
+        return self.shards[shard_of(host_id, self.n_shards)]
+
+    def put(self, host_id: object, vectors: HostVectors) -> None:
+        self._check_vectors(vectors)
+        self.shard_for(host_id).put(host_id, vectors)
+
+    def put_many(
+        self, host_ids: Sequence, outgoing: np.ndarray, incoming: np.ndarray
+    ) -> None:
+        outgoing = np.asarray(outgoing, dtype=float)
+        incoming = np.asarray(incoming, dtype=float)
+        expected = (len(host_ids), self._dimension)
+        if outgoing.shape != expected or incoming.shape != expected:
+            raise ValidationError(
+                f"put_many expects matrices of shape {expected}, got "
+                f"{outgoing.shape} and {incoming.shape}"
+            )
+        for shard_index, positions in self._group_by_shard(host_ids).items():
+            self.shards[shard_index].put_many(
+                [host_ids[p] for p in positions],
+                outgoing[positions],
+                incoming[positions],
+            )
+
+    def get(self, host_id: object) -> HostVectors:
+        return self.shard_for(host_id).get(host_id)
+
+    def delete(self, host_id: object) -> bool:
+        return self.shard_for(host_id).delete(host_id)
+
+    def gather(self, host_ids: Sequence) -> tuple[np.ndarray, np.ndarray]:
+        count = len(host_ids)
+        outgoing = np.empty((count, self._dimension))
+        incoming = np.empty((count, self._dimension))
+        for shard_index, positions in self._group_by_shard(host_ids).items():
+            shard_out, shard_in = self.shards[shard_index].gather(
+                [host_ids[p] for p in positions]
+            )
+            outgoing[positions] = shard_out
+            incoming[positions] = shard_in
+        return outgoing, incoming
+
+    def _group_by_shard(self, host_ids: Sequence) -> dict[int, np.ndarray]:
+        assignments = np.fromiter(
+            (shard_of(host_id, self.n_shards) for host_id in host_ids),
+            dtype=int,
+            count=len(host_ids),
+        )
+        return {
+            int(shard_index): np.flatnonzero(assignments == shard_index)
+            for shard_index in np.unique(assignments)
+        }
+
+    def export(self) -> tuple[list, np.ndarray, np.ndarray]:
+        identifiers: list = []
+        blocks_out: list[np.ndarray] = []
+        blocks_in: list[np.ndarray] = []
+        for shard in self.shards:
+            shard_ids, shard_out, shard_in = shard.export()
+            identifiers.extend(shard_ids)
+            blocks_out.append(shard_out)
+            blocks_in.append(shard_in)
+        if not identifiers:
+            empty = np.zeros((0, self._dimension))
+            return [], empty, empty.copy()
+        return identifiers, np.vstack(blocks_out), np.vstack(blocks_in)
+
+    def ids(self) -> list:
+        collected: list = []
+        for shard in self.shards:
+            collected.extend(shard.ids())
+        return collected
+
+    def occupancy(self) -> list[int]:
+        """Number of hosts on each shard (load-balance diagnostic)."""
+        return [len(shard) for shard in self.shards]
+
+    def __contains__(self, host_id: object) -> bool:
+        return host_id in self.shard_for(host_id)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)

@@ -67,3 +67,44 @@ class TestSpectrumDiagnostics:
         assert diagnostics.top10_energy == pytest.approx(1.0, abs=1e-12)
         assert diagnostics.singular_values.shape == (20,)
         assert "eff_rank" in str(diagnostics)
+
+
+class TestServiceHealth:
+    def _health(self, **overrides):
+        from repro.core import ServiceHealth
+
+        values = dict(
+            n_hosts=100,
+            n_landmarks=20,
+            dimension=10,
+            n_shards=4,
+            shard_occupancy=(25, 25, 30, 20),
+            queries_served=50,
+            pairs_evaluated=500,
+            cache_hits=30,
+            cache_misses=20,
+            cache_size=40,
+            cache_max_entries=1024,
+        )
+        values.update(overrides)
+        return ServiceHealth(**values)
+
+    def test_cache_hit_rate(self):
+        assert self._health().cache_hit_rate == pytest.approx(0.6)
+        cold = self._health(cache_hits=0, cache_misses=0)
+        assert cold.cache_hit_rate == 0.0
+
+    def test_shard_imbalance(self):
+        assert self._health().shard_imbalance == pytest.approx(30 / 25)
+        balanced = self._health(shard_occupancy=(10, 10, 10, 10))
+        assert balanced.shard_imbalance == pytest.approx(1.0)
+        unsharded = self._health(n_shards=0, shard_occupancy=())
+        assert unsharded.shard_imbalance == 1.0
+
+    def test_str_reports_counters(self):
+        text = str(self._health())
+        assert "hosts=100" in text
+        assert "shards=4" in text
+        assert "cache_hit_rate=0.600" in text
+        unsharded = str(self._health(n_shards=0, shard_occupancy=()))
+        assert "shards" not in unsharded

@@ -1,0 +1,133 @@
+"""Tests for the LRU + TTL prediction cache."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving import PredictionCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = PredictionCache(max_entries=4)
+        assert cache.get("a", "b") is None
+        cache.put("a", "b", 12.5)
+        assert cache.get("a", "b") == 12.5
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_pairs_are_directional(self):
+        cache = PredictionCache(max_entries=4)
+        cache.put("a", "b", 1.0)
+        assert cache.get("b", "a") is None
+
+    def test_put_refreshes_value(self):
+        cache = PredictionCache(max_entries=4)
+        cache.put("a", "b", 1.0)
+        cache.put("a", "b", 2.0)
+        assert cache.get("a", "b") == 2.0
+        assert len(cache) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            PredictionCache(max_entries=0)
+        with pytest.raises(ValidationError):
+            PredictionCache(ttl=0.0)
+
+
+class TestLRU:
+    def test_capacity_evicts_least_recent(self):
+        cache = PredictionCache(max_entries=2)
+        cache.put("a", "b", 1.0)
+        cache.put("c", "d", 2.0)
+        assert cache.get("a", "b") == 1.0  # touch (a, b): (c, d) is now LRU
+        cache.put("e", "f", 3.0)
+        assert cache.get("c", "d") is None
+        assert cache.get("a", "b") == 1.0
+        assert cache.stats().evictions == 1
+
+    def test_size_never_exceeds_capacity(self):
+        cache = PredictionCache(max_entries=8)
+        for i in range(50):
+            cache.put(i, i + 1, float(i))
+        assert len(cache) == 8
+
+
+class TestTTL:
+    def test_entry_expires(self):
+        clock = FakeClock()
+        cache = PredictionCache(max_entries=4, ttl=10.0, clock=clock)
+        cache.put("a", "b", 1.0)
+        clock.advance(9.99)
+        assert cache.get("a", "b") == 1.0
+        clock.advance(0.02)
+        assert cache.get("a", "b") is None
+        assert cache.stats().expirations == 1
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = PredictionCache(max_entries=4, clock=clock)
+        cache.put("a", "b", 1.0)
+        clock.advance(1e9)
+        assert cache.get("a", "b") == 1.0
+
+
+class TestInvalidation:
+    def test_invalidate_host_drops_both_directions(self):
+        cache = PredictionCache(max_entries=16)
+        cache.put("a", "b", 1.0)
+        cache.put("b", "a", 2.0)
+        cache.put("c", "d", 3.0)
+        dropped = cache.invalidate_host("a")
+        assert dropped == 2
+        assert cache.get("a", "b") is None
+        assert cache.get("b", "a") is None
+        assert cache.get("c", "d") == 3.0
+        assert cache.stats().invalidations == 2
+
+    def test_invalidate_unknown_host_is_noop(self):
+        cache = PredictionCache(max_entries=4)
+        assert cache.invalidate_host("ghost") == 0
+
+    def test_clear(self):
+        cache = PredictionCache(max_entries=4)
+        cache.put("a", "b", 1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a", "b") is None
+
+    def test_eviction_unlinks_reverse_index(self):
+        cache = PredictionCache(max_entries=1)
+        cache.put("a", "b", 1.0)
+        cache.put("c", "d", 2.0)  # evicts (a, b)
+        # invalidating "a" must not claim to drop the evicted entry
+        assert cache.invalidate_host("a") == 0
+
+
+class TestStats:
+    def test_str_mentions_key_counters(self):
+        cache = PredictionCache(max_entries=4)
+        cache.put("a", "b", 1.0)
+        cache.get("a", "b")
+        text = str(cache.stats())
+        assert "hit_rate" in text and "size=1/4" in text
+
+    def test_reset_counters_keeps_entries(self):
+        cache = PredictionCache(max_entries=4)
+        cache.put("a", "b", 1.0)
+        cache.get("a", "b")
+        cache.reset_counters()
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+        assert len(cache) == 1

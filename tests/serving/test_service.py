@@ -1,0 +1,298 @@
+"""Tests for the DistanceService facade (end-to-end serving layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FactoredDistanceModel, ServiceHealth
+from repro.exceptions import ValidationError
+from repro.ides import HostVectors, IDESSystem, InformationServer
+from repro.serving import DistanceService, ShardedVectorStore
+
+from ..conftest import make_low_rank_matrix
+
+
+@pytest.fixture
+def fitted_system():
+    """IDES fitted on an exact rank-3 world: 8 landmarks + 12 hosts."""
+    matrix = make_low_rank_matrix(20, 20, 3, seed=5)
+    landmark_matrix = matrix[:8, :8]
+    out_distances = matrix[8:, :8]
+    in_distances = matrix[:8, 8:]
+    system = IDESSystem(dimension=3, method="svd")
+    system.fit_landmarks(landmark_matrix)
+    system.place_hosts(out_distances, in_distances)
+    return matrix, system
+
+
+@pytest.fixture
+def service(fitted_system):
+    _, system = fitted_system
+    return system.to_service(host_ids=[f"h{i}" for i in range(12)])
+
+
+class TestConstruction:
+    def test_from_ides_imports_landmarks_and_hosts(self, service):
+        assert service.n_hosts == 20
+        assert len(service.landmark_ids) == 8
+        assert "h3" in service and 0 in service
+
+    def test_from_ides_rejects_id_mismatch(self, fitted_system):
+        _, system = fitted_system
+        with pytest.raises(ValidationError):
+            system.to_service(host_ids=["only-one"])
+
+    def test_from_ides_rejects_id_collision(self, fitted_system):
+        _, system = fitted_system
+        with pytest.raises(ValidationError):
+            system.to_service(host_ids=list(range(12)))  # collides with 0..7
+
+    def test_from_server(self):
+        landmark_matrix = make_low_rank_matrix(6, 6, 3, seed=1)
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        server.register_host("extra", HostVectors(np.ones(3), np.ones(3)))
+        service = server.to_service()
+        assert service.n_hosts == 7
+        assert service.landmark_ids == list(range(6))
+
+    def test_sharded_construction(self, fitted_system):
+        _, system = fitted_system
+        service = system.to_service(
+            host_ids=[f"h{i}" for i in range(12)], n_shards=4
+        )
+        assert isinstance(service.store, ShardedVectorStore)
+        assert service.n_hosts == 20
+
+    def test_needs_dimension_or_store(self):
+        with pytest.raises(ValidationError):
+            DistanceService()
+
+    def test_duplicate_host_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            DistanceService.from_vectors(
+                ["a", "a"], np.ones((2, 3)), np.ones((2, 3))
+            )
+
+
+class TestBatchedEqualsPairwise:
+    """Acceptance: batched predictions match the factored model exactly."""
+
+    def test_many_to_many_matches_model_pairwise(self, fitted_system, service):
+        _, system = fitted_system
+        host_out, host_in = system.host_vectors()
+        model = FactoredDistanceModel(outgoing=host_out, incoming=host_in)
+        ids = [f"h{i}" for i in range(12)]
+        block = service.query_many_to_many(ids, ids)
+        for i in range(12):
+            for j in range(12):
+                assert block[i, j] == pytest.approx(model.predict(i, j), abs=1e-9)
+
+    def test_many_to_many_matches_predict_between(self, fitted_system, service):
+        _, system = fitted_system
+        rows, cols = [0, 5, 11], [2, 3]
+        block = service.query_many_to_many(
+            [f"h{i}" for i in rows], [f"h{j}" for j in cols]
+        )
+        np.testing.assert_array_equal(block, system.predict_between(rows, cols))
+
+    def test_point_query_matches_batch(self, service):
+        block = service.query_many_to_many(["h1"], ["h2"])
+        assert service.query("h1", "h2") == pytest.approx(block[0, 0])
+
+    def test_sharded_equals_unsharded(self, fitted_system):
+        _, system = fitted_system
+        ids = [f"h{i}" for i in range(12)]
+        flat = system.to_service(host_ids=ids)
+        sharded = system.to_service(host_ids=ids, n_shards=5)
+        np.testing.assert_array_equal(
+            flat.query_many_to_many(ids, ids), sharded.query_many_to_many(ids, ids)
+        )
+
+
+class TestIncrementalRegistration:
+    """Acceptance: hosts registered after the fit are served without
+    refactoring the landmark matrix."""
+
+    def test_late_host_matches_batch_placement(self, fitted_system):
+        matrix, system = fitted_system
+        # Service starts with landmarks only.
+        service = IDESSystem(dimension=3, method="svd")
+        service.fit_landmarks(matrix[:8, :8])
+        online = service.to_service()
+        assert online.n_hosts == 8
+
+        # Register the 12 ordinary hosts one at a time from measurements.
+        for i in range(12):
+            online.register_host(
+                f"h{i}", matrix[8 + i, :8], matrix[:8, 8 + i]
+            )
+        assert online.n_hosts == 20
+
+        # Predictions equal the batch-placed system's, pair by pair.
+        ids = [f"h{i}" for i in range(12)]
+        incremental = online.query_many_to_many(ids, ids)
+        batch = system.predict_matrix()
+        np.testing.assert_allclose(incremental, batch, rtol=1e-8, atol=1e-8)
+
+    def test_registration_against_ordinary_references(self, fitted_system):
+        matrix, system = fitted_system
+        service = system.to_service(host_ids=[f"h{i}" for i in range(12)])
+        # Relaxed architecture: measure a mixed reference pool, not
+        # necessarily the landmarks.
+        references = [0, 1, 2, "h0", "h1", "h2"]
+        ref_out, ref_in = service.store.gather(references)
+        truth_out = matrix[3, [0, 1, 2, 8, 9, 10]]  # pretend new host = host 3's row
+        truth_in = matrix[[0, 1, 2, 8, 9, 10], 3]
+        vectors = service.register_host(
+            "late", truth_out, truth_in, reference_ids=references
+        )
+        assert vectors.dimension == 3
+        assert "late" in service
+        assert np.isfinite(service.query("late", "h5"))
+
+    def test_register_requires_references(self):
+        service = DistanceService(dimension=3)
+        with pytest.raises(ValidationError):
+            service.register_host("a", np.ones(4), np.ones(4))
+
+    def test_self_reference_rejected(self, service):
+        with pytest.raises(ValidationError):
+            service.register_host("h0", np.ones(3), reference_ids=["h0", 0, 1])
+
+    def test_symmetric_default_in_distances(self, fitted_system):
+        matrix, _ = fitted_system
+        service = DistanceService(dimension=3)
+        model = IDESSystem(dimension=3)
+        model.fit_landmarks(matrix[:8, :8])
+        warm = model.to_service()
+        vectors = warm.register_host("sym", matrix[8, :8])
+        both = warm.register_host("asym", matrix[8, :8], matrix[8, :8])
+        np.testing.assert_allclose(vectors.outgoing, both.outgoing)
+
+
+class TestCacheIntegration:
+    def test_point_queries_hit_cache(self, service):
+        first = service.query("h0", "h1")
+        second = service.query("h0", "h1")
+        assert first == second
+        stats = service.cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert service.engine.pairs_evaluated == 1  # second hit never reached engine
+
+    def test_reregistration_invalidates_cached_pairs(self, service):
+        stale = service.query("h0", "h1")
+        service.register_vectors(
+            "h0", HostVectors(np.zeros(3), np.zeros(3))
+        )
+        fresh = service.query("h0", "h1")
+        assert fresh == pytest.approx(0.0)
+        assert fresh != stale
+
+    def test_populate_cache_from_batch(self, service):
+        ids = [f"h{i}" for i in range(1, 6)]
+        values = service.query_one_to_many("h0", ids, populate_cache=True)
+        for host_id, value in zip(ids, values):
+            assert service.query("h0", host_id) == pytest.approx(float(value))
+        assert service.cache.stats().hits == len(ids)
+
+
+class TestEviction:
+    def test_evict_ordinary_host(self, service):
+        assert service.evict_host("h7") is True
+        assert "h7" not in service
+        assert service.evict_host("h7") is False
+        with pytest.raises(ValidationError):
+            service.query("h7", "h0")
+
+    def test_evicted_pairs_leave_cache(self, service):
+        service.query("h7", "h0")
+        service.evict_host("h7")
+        assert ("h7", "h0") not in service.cache
+
+    def test_landmarks_cannot_be_evicted(self, service):
+        with pytest.raises(ValidationError):
+            service.evict_host(0)
+
+
+class TestSnapshot:
+    def test_save_load_roundtrip(self, service, tmp_path):
+        path = service.save(tmp_path / "svc.npz")
+        reloaded = DistanceService.load(path)
+        assert reloaded.n_hosts == service.n_hosts
+        assert sorted(map(str, reloaded.landmark_ids)) == sorted(
+            map(str, service.landmark_ids)
+        )
+        ids = [f"h{i}" for i in range(12)]
+        np.testing.assert_allclose(
+            reloaded.query_many_to_many(ids, ids),
+            service.query_many_to_many(ids, ids),
+        )
+
+    def test_snapshot_preserves_shard_layout(self, fitted_system, tmp_path):
+        _, system = fitted_system
+        sharded = system.to_service(
+            host_ids=[f"h{i}" for i in range(12)], n_shards=4
+        )
+        path = sharded.save(tmp_path / "sharded.npz")
+        reloaded = DistanceService.load(path)
+        assert isinstance(reloaded.store, ShardedVectorStore)
+        assert reloaded.store.n_shards == 4
+
+    def test_snapshot_rejects_unserializable_ids(self, tmp_path):
+        service = DistanceService(dimension=2)
+        service.register_vectors(("tuple", "id"), HostVectors(np.ones(2), np.ones(2)))
+        with pytest.raises(ValidationError):
+            service.save(tmp_path / "bad.npz")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            DistanceService.load(tmp_path / "nope.npz")
+
+    def test_load_rejects_non_snapshot_file(self, tmp_path):
+        junk = tmp_path / "junk.npz"
+        junk.write_text("not an archive")
+        with pytest.raises(ValidationError):
+            DistanceService.load(junk)
+
+    def test_save_without_npz_suffix_reports_real_path(self, service, tmp_path):
+        # A stale file at the extension-less name must not confuse save().
+        (tmp_path / "snap").write_text("stale")
+        path = service.save(tmp_path / "snap")
+        assert path.name == "snap.npz"
+        assert DistanceService.load(path).n_hosts == service.n_hosts
+
+    def test_registration_survives_reload(self, fitted_system, tmp_path):
+        matrix, _ = fitted_system
+        system = IDESSystem(dimension=3)
+        system.fit_landmarks(matrix[:8, :8])
+        service = system.to_service()
+        path = service.save(tmp_path / "landmarks.npz")
+        reloaded = DistanceService.load(path)
+        reloaded.register_host("new", matrix[8, :8], matrix[:8, 8])
+        assert np.isfinite(reloaded.query("new", 0))
+
+
+class TestHealth:
+    def test_health_reports_counters(self, service):
+        service.query("h0", "h1")
+        service.query("h0", "h1")
+        service.query_many_to_many(["h0", "h1"], ["h2", "h3"])
+        health = service.health()
+        assert isinstance(health, ServiceHealth)
+        assert health.n_hosts == 20
+        assert health.n_landmarks == 8
+        assert health.queries_served == 2  # cache absorbed the repeat
+        assert health.pairs_evaluated == 1 + 4
+        assert health.cache_hit_rate == pytest.approx(0.5)
+        assert health.n_shards == 0 and health.shard_occupancy == ()
+
+    def test_health_reports_shards(self, fitted_system):
+        _, system = fitted_system
+        service = system.to_service(
+            host_ids=[f"h{i}" for i in range(12)], n_shards=4
+        )
+        health = service.health()
+        assert health.n_shards == 4
+        assert sum(health.shard_occupancy) == 20
+        assert health.shard_imbalance >= 1.0
+        assert "shards=4" in str(health)

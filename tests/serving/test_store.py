@@ -1,0 +1,161 @@
+"""Tests for the vector-store backends."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ides import HostVectors
+from repro.serving import InMemoryVectorStore, ShardedVectorStore, shard_of
+
+
+def vectors_for(value: float, dimension: int = 3) -> HostVectors:
+    return HostVectors(
+        outgoing=np.full(dimension, value), incoming=np.full(dimension, -value)
+    )
+
+
+class TestInMemoryVectorStore:
+    def test_put_get_roundtrip(self):
+        store = InMemoryVectorStore(dimension=3)
+        store.put("a", vectors_for(1.5))
+        fetched = store.get("a")
+        np.testing.assert_array_equal(fetched.outgoing, [1.5, 1.5, 1.5])
+        np.testing.assert_array_equal(fetched.incoming, [-1.5, -1.5, -1.5])
+        assert "a" in store and len(store) == 1
+
+    def test_put_overwrites(self):
+        store = InMemoryVectorStore(dimension=3)
+        store.put("a", vectors_for(1.0))
+        store.put("a", vectors_for(2.0))
+        assert len(store) == 1
+        np.testing.assert_array_equal(store.get("a").outgoing, [2.0, 2.0, 2.0])
+
+    def test_get_returns_copies(self):
+        store = InMemoryVectorStore(dimension=3)
+        store.put("a", vectors_for(1.0))
+        store.get("a").outgoing[:] = 99.0
+        np.testing.assert_array_equal(store.get("a").outgoing, [1.0, 1.0, 1.0])
+
+    def test_unknown_host_raises(self):
+        store = InMemoryVectorStore(dimension=3)
+        with pytest.raises(ValidationError):
+            store.get("ghost")
+        with pytest.raises(ValidationError):
+            store.gather(["ghost"])
+
+    def test_dimension_mismatch_rejected(self):
+        store = InMemoryVectorStore(dimension=3)
+        with pytest.raises(ValidationError):
+            store.put("a", HostVectors(np.ones(5), np.ones(5)))
+
+    def test_growth_beyond_initial_capacity(self):
+        store = InMemoryVectorStore(dimension=2, initial_capacity=2)
+        ids = [f"h{i}" for i in range(50)]
+        for i, host_id in enumerate(ids):
+            store.put(host_id, HostVectors(np.full(2, i), np.full(2, 2 * i)))
+        assert len(store) == 50
+        assert store.capacity >= 50
+        outgoing, incoming = store.gather(ids)
+        np.testing.assert_array_equal(outgoing[:, 0], np.arange(50))
+        np.testing.assert_array_equal(incoming[:, 0], 2 * np.arange(50))
+
+    def test_delete_frees_slot_for_reuse(self):
+        store = InMemoryVectorStore(dimension=2, initial_capacity=2)
+        store.put("a", vectors_for(1.0, 2))
+        store.put("b", vectors_for(2.0, 2))
+        capacity = store.capacity
+        assert store.delete("a") is True
+        assert store.delete("a") is False
+        store.put("c", vectors_for(3.0, 2))
+        assert store.capacity == capacity  # reused the freed slot
+        assert "a" not in store and "c" in store
+
+    def test_put_many_and_gather_order(self):
+        store = InMemoryVectorStore(dimension=2)
+        ids = ["x", "y", "z"]
+        outgoing = np.arange(6.0).reshape(3, 2)
+        incoming = outgoing + 10.0
+        store.put_many(ids, outgoing, incoming)
+        got_out, got_in = store.gather(["z", "x"])
+        np.testing.assert_array_equal(got_out, outgoing[[2, 0]])
+        np.testing.assert_array_equal(got_in, incoming[[2, 0]])
+
+    def test_put_many_shape_validation(self):
+        store = InMemoryVectorStore(dimension=2)
+        with pytest.raises(ValidationError):
+            store.put_many(["a"], np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_export_roundtrips_all_hosts(self):
+        store = InMemoryVectorStore(dimension=2)
+        store.put_many(["a", "b"], np.ones((2, 2)), np.zeros((2, 2)))
+        ids, outgoing, incoming = store.export()
+        assert sorted(ids) == ["a", "b"]
+        assert outgoing.shape == incoming.shape == (2, 2)
+
+    def test_export_empty(self):
+        ids, outgoing, incoming = InMemoryVectorStore(dimension=4).export()
+        assert ids == []
+        assert outgoing.shape == (0, 4)
+
+
+class TestShardedVectorStore:
+    def test_shard_assignment_is_stable(self):
+        for host_id in ["a", "b", 42, "host-7"]:
+            assert shard_of(host_id, 8) == shard_of(host_id, 8)
+            assert 0 <= shard_of(host_id, 8) < 8
+
+    def test_put_get_across_shards(self):
+        store = ShardedVectorStore(dimension=3, n_shards=4)
+        ids = [f"h{i}" for i in range(40)]
+        for i, host_id in enumerate(ids):
+            store.put(host_id, HostVectors(np.full(3, i), np.full(3, -i)))
+        assert len(store) == 40
+        assert sum(store.occupancy()) == 40
+        assert all(count > 0 for count in store.occupancy())
+        for i, host_id in enumerate(ids):
+            np.testing.assert_array_equal(store.get(host_id).outgoing, np.full(3, i))
+
+    def test_gather_preserves_request_order(self):
+        store = ShardedVectorStore(dimension=2, n_shards=4)
+        ids = [f"h{i}" for i in range(20)]
+        outgoing = np.arange(40.0).reshape(20, 2)
+        store.put_many(ids, outgoing, outgoing)
+        shuffled = ids[::-1]
+        got_out, _ = store.gather(shuffled)
+        np.testing.assert_array_equal(got_out, outgoing[::-1])
+
+    def test_gather_matches_unsharded(self):
+        flat = InMemoryVectorStore(dimension=3)
+        sharded = ShardedVectorStore(dimension=3, n_shards=5)
+        rng = np.random.default_rng(0)
+        ids = [f"n{i}" for i in range(30)]
+        outgoing = rng.random((30, 3))
+        incoming = rng.random((30, 3))
+        flat.put_many(ids, outgoing, incoming)
+        sharded.put_many(ids, outgoing, incoming)
+        subset = ids[7:23]
+        np.testing.assert_array_equal(
+            flat.gather(subset)[0], sharded.gather(subset)[0]
+        )
+        np.testing.assert_array_equal(
+            flat.gather(subset)[1], sharded.gather(subset)[1]
+        )
+
+    def test_delete_routes_to_owning_shard(self):
+        store = ShardedVectorStore(dimension=2, n_shards=3)
+        store.put("a", HostVectors(np.ones(2), np.ones(2)))
+        assert store.delete("a") is True
+        assert len(store) == 0
+        assert store.delete("a") is False
+
+    def test_export_covers_every_shard(self):
+        store = ShardedVectorStore(dimension=2, n_shards=4)
+        ids = [f"h{i}" for i in range(12)]
+        store.put_many(ids, np.ones((12, 2)), np.zeros((12, 2)))
+        exported_ids, outgoing, incoming = store.export()
+        assert sorted(exported_ids) == sorted(ids)
+        assert outgoing.shape == (12, 2)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValidationError):
+            ShardedVectorStore(dimension=2, n_shards=0)

@@ -47,3 +47,70 @@ class TestPlotFlag:
         assert main(["run", "ablate-dimension", "--fast", "--plot"]) == 0
         output = capsys.readouterr().out
         assert "legend:" in output
+
+
+class TestServe:
+    @pytest.fixture
+    def snapshot_path(self, tmp_path, capsys):
+        path = tmp_path / "service.npz"
+        assert (
+            main(
+                [
+                    "serve", "build", str(path),
+                    "--dataset", "nlanr", "--landmarks", "15",
+                    "--dimension", "8", "--shards", "4", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "wrote" in output and "health:" in output
+        return path
+
+    def test_build_creates_snapshot(self, snapshot_path):
+        assert snapshot_path.exists()
+
+    def test_query_single_and_batch(self, snapshot_path, capsys):
+        assert (
+            main(["serve", "query", str(snapshot_path), "--source", "3", "--dest", "5"])
+            == 0
+        )
+        single = capsys.readouterr().out
+        assert "3 -> 5:" in single
+
+        assert (
+            main(
+                [
+                    "serve", "query", str(snapshot_path),
+                    "--source", "3", "--dest", "5", "7", "9",
+                ]
+            )
+            == 0
+        )
+        batched = capsys.readouterr().out
+        assert batched.count("3 ->") == 3
+        # the same pair predicts the same value on both paths
+        line = next(l for l in batched.splitlines() if l.startswith("3 -> 5:"))
+        assert line in single
+
+    def test_nearest(self, snapshot_path, capsys):
+        assert main(["serve", "nearest", str(snapshot_path), "--source", "3", "-k", "4"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("3 ->") == 4
+        assert "health:" in output
+
+    def test_health(self, snapshot_path, capsys):
+        assert main(["serve", "health", str(snapshot_path)]) == 0
+        output = capsys.readouterr().out
+        assert "hosts=110" in output and "shards=4" in output
+
+    def test_missing_snapshot_fails(self, tmp_path, capsys):
+        assert main(["serve", "health", str(tmp_path / "absent.npz")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_host_fails(self, snapshot_path, capsys):
+        assert (
+            main(["serve", "query", str(snapshot_path), "--source", "9999", "--dest", "5"])
+            == 2
+        )
+        assert "unknown host" in capsys.readouterr().err
