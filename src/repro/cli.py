@@ -106,6 +106,65 @@ def build_parser() -> argparse.ArgumentParser:
         "health", help="print a snapshot's service health line"
     )
     health_parser.add_argument("snapshot", help="snapshot path from 'serve build'")
+
+    bench_parser = serve_subparsers.add_parser(
+        "bench-concurrent",
+        help="compare micro-batched vs per-query dispatch under load",
+    )
+    bench_parser.add_argument(
+        "--hosts", type=int, default=1000, help="synthetic hosts (default: 1000)"
+    )
+    bench_parser.add_argument(
+        "--dimension", type=int, default=10, help="model dimension d (default: 10)"
+    )
+    bench_parser.add_argument(
+        "--clients", type=int, default=64, help="concurrent clients (default: 64)"
+    )
+    bench_parser.add_argument(
+        "--queries", type=int, default=200, help="queries per client (default: 200)"
+    )
+    bench_parser.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="point queries each client keeps in flight (default: 8)",
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default: 0)"
+    )
+
+    refresh_parser = serve_subparsers.add_parser(
+        "refresh",
+        help="stream drifting RTT observations through the refresh worker",
+    )
+    refresh_parser.add_argument("snapshot", help="snapshot path from 'serve build'")
+    refresh_parser.add_argument(
+        "--samples", type=int, default=4000, help="observation draws (default: 4000)"
+    )
+    refresh_parser.add_argument(
+        "--drift",
+        type=float,
+        default=0.2,
+        help="per-host drift half-width (default: 0.2)",
+    )
+    refresh_parser.add_argument(
+        "--noise", type=float, default=0.0, help="per-sample jitter (default: 0)"
+    )
+    refresh_parser.add_argument(
+        "--learning-rate", type=float, default=0.3, help="tracker step (default: 0.3)"
+    )
+    refresh_parser.add_argument(
+        "--flush-every",
+        type=int,
+        default=256,
+        help="samples between bulk flushes (default: 256)",
+    )
+    refresh_parser.add_argument(
+        "--seed", type=int, default=0, help="drift/stream seed (default: 0)"
+    )
+    refresh_parser.add_argument(
+        "--save", default=None, help="write the refreshed snapshot here"
+    )
     return parser
 
 
@@ -196,6 +255,87 @@ def _command_serve_health(arguments) -> int:
     return 0
 
 
+def _command_serve_bench_concurrent(arguments) -> int:
+    import numpy as np
+
+    from .serving import (
+        DistanceService,
+        measure_concurrent_throughput,
+        measure_per_query_throughput,
+    )
+
+    rng = np.random.default_rng(arguments.seed)
+    shape = (arguments.hosts, arguments.dimension)
+    ids = list(range(arguments.hosts))
+    service = DistanceService.from_vectors(
+        ids, rng.random(shape), rng.random(shape), landmark_ids=ids[:20]
+    )
+    print(
+        f"workload: {arguments.hosts} hosts, d={arguments.dimension}, "
+        f"{arguments.clients} clients x {arguments.queries} queries"
+    )
+    per_query = measure_per_query_throughput(
+        service,
+        n_clients=arguments.clients,
+        queries_per_client=arguments.queries,
+        seed=arguments.seed,
+    )
+    batched = measure_concurrent_throughput(
+        service,
+        n_clients=arguments.clients,
+        queries_per_client=arguments.queries,
+        window=arguments.window,
+        seed=arguments.seed,
+    )
+    print(per_query)
+    print(batched)
+    if per_query.queries_per_second > 0:
+        ratio = batched.queries_per_second / per_query.queries_per_second
+        print(f"speedup: {ratio:.1f}x")
+    return 0
+
+
+def _command_serve_refresh(arguments) -> int:
+    from .serving import RefreshWorker, synthetic_drift_stream
+
+    service = _load_service(arguments.snapshot)
+    worker = RefreshWorker(
+        service,
+        learning_rate=arguments.learning_rate,
+        flush_every=arguments.flush_every,
+    )
+    stream = synthetic_drift_stream(
+        service,
+        samples=arguments.samples,
+        drift=arguments.drift,
+        noise=arguments.noise,
+        seed=arguments.seed,
+    )
+    observations = list(stream)
+    midpoint = max(1, len(observations) // 2)
+    worker.run(iter(observations[:midpoint]))
+    early = worker.stats()
+    worker.run(iter(observations[midpoint:]))
+    late = worker.stats()
+    early_residual = (
+        f"{early.mean_abs_residual:.3f}"
+        if early.mean_abs_residual is not None
+        else "n/a"
+    )
+    late_residual = (
+        f"{late.mean_abs_residual:.3f}"
+        if late.mean_abs_residual is not None
+        else "n/a"
+    )
+    print(f"drift +-{arguments.drift:.0%} over {len(observations)} observations")
+    print(f"residual ewma: {early_residual} (midstream) -> {late_residual} (final)")
+    print(f"refresh: {late}")
+    print(f"health: {service.health()}")
+    if arguments.save:
+        print(f"wrote {service.save(arguments.save)}")
+    return 0
+
+
 def _command_serve(arguments) -> int:
     from .exceptions import ReproError
 
@@ -204,6 +344,8 @@ def _command_serve(arguments) -> int:
         "query": _command_serve_query,
         "nearest": _command_serve_nearest,
         "health": _command_serve_health,
+        "bench-concurrent": _command_serve_bench_concurrent,
+        "refresh": _command_serve_refresh,
     }
     try:
         return handlers[arguments.serve_command](arguments)

@@ -117,6 +117,14 @@ class ServiceHealth:
         pairs_evaluated: (source, destination) pairs predicted.
         cache_hits / cache_misses: point-query cache outcomes.
         cache_size / cache_max_entries: cache occupancy and capacity.
+        vectors_refreshed: cumulative host-vector updates applied
+            through the bulk refresh path.
+        refresh_batches: bulk refresh flushes applied.
+        seconds_since_refresh: age of the newest refresh flush, or
+            None when no refresh ever ran.
+        max_vector_age_seconds / mean_vector_age_seconds: staleness of
+            the stored vectors (time since each host's last write), or
+            None when the service does not track write times.
     """
 
     n_hosts: int
@@ -130,6 +138,11 @@ class ServiceHealth:
     cache_misses: int
     cache_size: int
     cache_max_entries: int
+    vectors_refreshed: int = 0
+    refresh_batches: int = 0
+    seconds_since_refresh: float | None = None
+    max_vector_age_seconds: float | None = None
+    mean_vector_age_seconds: float | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -151,12 +164,29 @@ class ServiceHealth:
             if self.n_shards
             else ""
         )
+        refresh = ""
+        if self.refresh_batches:
+            age = (
+                f" refresh_age={self.seconds_since_refresh:.1f}s"
+                if self.seconds_since_refresh is not None
+                else ""
+            )
+            refresh = (
+                f" refreshed={self.vectors_refreshed}"
+                f"/{self.refresh_batches}batches{age}"
+            )
+        staleness = (
+            f" max_vector_age={self.max_vector_age_seconds:.1f}s"
+            if self.max_vector_age_seconds is not None
+            else ""
+        )
         return (
             f"hosts={self.n_hosts} landmarks={self.n_landmarks} "
             f"d={self.dimension}{shards} queries={self.queries_served} "
             f"pairs={self.pairs_evaluated} "
             f"cache_hit_rate={self.cache_hit_rate:.3f} "
             f"cache={self.cache_size}/{self.cache_max_entries}"
+            f"{refresh}{staleness}"
         )
 
 

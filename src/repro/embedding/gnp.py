@@ -25,7 +25,7 @@ from .._validation import (
     as_rng,
     check_dimension,
 )
-from ..exceptions import NotFittedError, ValidationError
+from ..exceptions import ValidationError
 from ..linalg import minimize_with_restarts
 from .base import LatencyPredictionSystem, euclidean_pairwise
 

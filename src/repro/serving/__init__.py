@@ -7,33 +7,63 @@ layer the paper stops short of building — the part that actually
 serves the traffic:
 
 * :mod:`~repro.serving.store` — O(1) host-vector directories, in
-  memory or hash-sharded;
-* :mod:`~repro.serving.engine` — point / one-to-many / many-to-many /
-  k-nearest queries as dense NumPy batch products;
+  memory or hash-sharded, thread-safe under concurrent refresh;
+* :mod:`~repro.serving.engine` — point / pairs / one-to-many /
+  many-to-many / k-nearest queries as dense NumPy batch products;
 * :mod:`~repro.serving.cache` — LRU + TTL memoization of point
-  queries with per-host invalidation;
+  queries with per-host invalidation and an injectable clock;
 * :mod:`~repro.serving.service` — the :class:`DistanceService` facade
-  with incremental registration, eviction, snapshots and health
-  reporting;
+  with incremental registration, bulk refresh updates, snapshots and
+  health/staleness reporting;
+* :mod:`~repro.serving.frontend` — the concurrent asyncio tier:
+  :class:`AsyncDistanceFrontend` coalesces point queries from many
+  clients into dense micro-batches;
+* :mod:`~repro.serving.refresh` — :class:`RefreshWorker` streams RTT
+  observations through online trackers back into the store while
+  queries keep flowing;
 * :mod:`~repro.serving.snapshot` — portable ``.npz`` serialization.
 """
 
 from .cache import CacheStats, PredictionCache
 from .engine import QueryEngine
+from .frontend import (
+    AsyncDistanceFrontend,
+    ConcurrencyReport,
+    FrontendStats,
+    measure_concurrent_throughput,
+    measure_per_query_throughput,
+)
+from .refresh import (
+    RefreshStats,
+    RefreshWorker,
+    RttObservation,
+    replay_observations,
+    synthetic_drift_stream,
+)
 from .service import DistanceService
 from .snapshot import ServiceSnapshot, load_snapshot, save_snapshot
 from .store import InMemoryVectorStore, ShardedVectorStore, VectorStore, shard_of
 
 __all__ = [
+    "AsyncDistanceFrontend",
     "CacheStats",
+    "ConcurrencyReport",
     "DistanceService",
+    "FrontendStats",
     "InMemoryVectorStore",
     "PredictionCache",
     "QueryEngine",
+    "RefreshStats",
+    "RefreshWorker",
+    "RttObservation",
     "ServiceSnapshot",
     "ShardedVectorStore",
     "VectorStore",
     "load_snapshot",
+    "measure_concurrent_throughput",
+    "measure_per_query_throughput",
+    "replay_observations",
     "save_snapshot",
     "shard_of",
+    "synthetic_drift_stream",
 ]

@@ -10,9 +10,11 @@ pair touching that host so the cache never serves stale coordinates.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..exceptions import ValidationError
 
@@ -64,10 +66,15 @@ class CacheStats:
 class PredictionCache:
     """LRU + TTL cache of ``(source, destination) -> distance``.
 
+    Thread-safe: lookups, inserts and invalidations serialize on an
+    internal lock, so a background refresh worker can invalidate hosts
+    while the query path reads.
+
     Args:
         max_entries: LRU capacity.
         ttl: entry lifetime in seconds, or None for no expiry.
-        clock: monotonic time source (injectable for tests).
+        clock: monotonic time source (injectable so TTL tests advance
+            time instead of sleeping).
     """
 
     def __init__(
@@ -83,6 +90,7 @@ class PredictionCache:
         self.max_entries = int(max_entries)
         self.ttl = None if ttl is None else float(ttl)
         self._clock = clock
+        self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
         self._keys_by_host: dict[object, set[tuple]] = {}
         self._hits = 0
@@ -98,33 +106,35 @@ class PredictionCache:
     def get(self, source_id: object, destination_id: object) -> float | None:
         """Cached prediction for the pair, or None on miss/expiry."""
         key = (source_id, destination_id)
-        entry = self._entries.get(key, _MISSING)
-        if entry is _MISSING:
-            self._misses += 1
-            return None
-        value, expires_at = entry
-        if expires_at is not None and self._clock() >= expires_at:
-            self._drop(key)
-            self._expirations += 1
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self._misses += 1
+                return None
+            value, expires_at = entry
+            if expires_at is not None and self._clock() >= expires_at:
+                self._drop(key)
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
 
     def put(self, source_id: object, destination_id: object, value: float) -> None:
         """Insert (or refresh) the pair's prediction."""
         key = (source_id, destination_id)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif len(self._entries) >= self.max_entries:
-            evicted, _ = self._entries.popitem(last=False)
-            self._unlink(evicted)
-            self._evictions += 1
-        expires_at = None if self.ttl is None else self._clock() + self.ttl
-        self._entries[key] = (float(value), expires_at)
-        for host_id in key:
-            self._keys_by_host.setdefault(host_id, set()).add(key)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif len(self._entries) >= self.max_entries:
+                evicted, _ = self._entries.popitem(last=False)
+                self._unlink(evicted)
+                self._evictions += 1
+            expires_at = None if self.ttl is None else self._clock() + self.ttl
+            self._entries[key] = (float(value), expires_at)
+            for host_id in key:
+                self._keys_by_host.setdefault(host_id, set()).add(key)
 
     # ------------------------------------------------------------------ #
     # invalidation
@@ -137,22 +147,34 @@ class PredictionCache:
         update) or the host is evicted. Returns the number of entries
         dropped.
         """
-        keys = self._keys_by_host.pop(host_id, None)
-        if not keys:
-            return 0
-        dropped = 0
-        for key in list(keys):
-            if key in self._entries:
-                self._drop(key)
-                dropped += 1
-        self._invalidations += dropped
-        return dropped
+        with self._lock:
+            keys = self._keys_by_host.pop(host_id, None)
+            if not keys:
+                return 0
+            dropped = 0
+            for key in list(keys):
+                if key in self._entries:
+                    self._drop(key)
+                    dropped += 1
+            self._invalidations += dropped
+            return dropped
+
+    def invalidate_hosts(self, host_ids: Iterable) -> int:
+        """Bulk per-host invalidation in one lock acquisition.
+
+        The refresh worker's flush path: after a bulk vector update,
+        every cached pair touching any refreshed host must go. Returns
+        the total number of entries dropped.
+        """
+        with self._lock:
+            return sum(self.invalidate_host(host_id) for host_id in host_ids)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._invalidations += len(self._entries)
-        self._entries.clear()
-        self._keys_by_host.clear()
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+            self._keys_by_host.clear()
 
     def _drop(self, key: tuple) -> None:
         self._entries.pop(key, None)
@@ -172,15 +194,16 @@ class PredictionCache:
 
     def stats(self) -> CacheStats:
         """Snapshot of the cache counters."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            expirations=self._expirations,
-            invalidations=self._invalidations,
-            size=len(self._entries),
-            max_entries=self.max_entries,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                max_entries=self.max_entries,
+            )
 
     def reset_counters(self) -> None:
         """Zero hit/miss/eviction counters (entries are kept)."""

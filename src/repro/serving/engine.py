@@ -10,6 +10,7 @@ is the entire performance story of the serving layer, quantified by
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -22,6 +23,11 @@ __all__ = ["QueryEngine"]
 
 class QueryEngine:
     """Stateless-by-data query executor with served-work counters.
+
+    Counter updates take a lock: the engine is driven concurrently (a
+    thread-per-client server, the asyncio dispatcher, the refresh
+    worker's streams), and unsynchronized ``+=`` would silently lose
+    increments.
 
     Args:
         store: the :class:`VectorStore` holding host vectors.
@@ -36,6 +42,12 @@ class QueryEngine:
         self.store = store
         self.queries_served = 0
         self.pairs_evaluated = 0
+        self._counter_lock = threading.Lock()
+
+    def _count(self, pairs: int) -> None:
+        with self._counter_lock:
+            self.queries_served += 1
+            self.pairs_evaluated += pairs
 
     # ------------------------------------------------------------------ #
     # query shapes
@@ -45,24 +57,42 @@ class QueryEngine:
         """Predicted distance for one (source, destination) pair."""
         source = self.store.get(source_id)
         destination = self.store.get(destination_id)
-        self.queries_served += 1
-        self.pairs_evaluated += 1
+        self._count(1)
         return float(source.outgoing @ destination.incoming)
+
+    def pairs(
+        self, source_ids: Sequence, destination_ids: Sequence
+    ) -> np.ndarray:
+        """Per-pair distances for aligned source/destination sequences.
+
+        ``result[i]`` is the predicted distance ``source_ids[i] ->
+        destination_ids[i]``. This is the coalescing primitive of the
+        concurrent frontend: a micro-batch of point queries from many
+        independent callers becomes two gathers and one row-wise
+        product, instead of ``n`` separate :meth:`point` calls.
+        """
+        if len(source_ids) != len(destination_ids):
+            raise ValidationError(
+                f"pairs needs aligned sequences, got {len(source_ids)} "
+                f"sources and {len(destination_ids)} destinations"
+            )
+        outgoing, _ = self.store.gather(source_ids)
+        _, incoming = self.store.gather(destination_ids)
+        self._count(len(source_ids))
+        return np.einsum("ij,ij->i", outgoing, incoming)
 
     def one_to_many(self, source_id: object, destination_ids: Sequence) -> np.ndarray:
         """Distances from one source to each destination, vectorized."""
         source = self.store.get(source_id)
         _, incoming = self.store.gather(destination_ids)
-        self.queries_served += 1
-        self.pairs_evaluated += len(destination_ids)
+        self._count(len(destination_ids))
         return incoming @ source.outgoing
 
     def many_to_one(self, source_ids: Sequence, destination_id: object) -> np.ndarray:
         """Distances from each source to one destination, vectorized."""
         destination = self.store.get(destination_id)
         outgoing, _ = self.store.gather(source_ids)
-        self.queries_served += 1
-        self.pairs_evaluated += len(source_ids)
+        self._count(len(source_ids))
         return outgoing @ destination.incoming
 
     def many_to_many(
@@ -71,8 +101,7 @@ class QueryEngine:
         """The ``(n_src, n_dst)`` prediction block ``X[rows] @ Y[cols].T``."""
         outgoing, _ = self.store.gather(source_ids)
         _, incoming = self.store.gather(destination_ids)
-        self.queries_served += 1
-        self.pairs_evaluated += len(source_ids) * len(destination_ids)
+        self._count(len(source_ids) * len(destination_ids))
         return outgoing @ incoming.T
 
     def k_nearest(
@@ -112,8 +141,7 @@ class QueryEngine:
         source = self.store.get(source_id)
         _, incoming = self.store.gather(candidates)
         distances = incoming @ source.outgoing
-        self.queries_served += 1
-        self.pairs_evaluated += len(candidates)
+        self._count(len(candidates))
 
         k = min(k, len(candidates))
         top = np.argpartition(distances, k - 1)[:k]
@@ -122,5 +150,6 @@ class QueryEngine:
 
     def reset_counters(self) -> None:
         """Zero the served-work counters (benchmark hygiene)."""
-        self.queries_served = 0
-        self.pairs_evaluated = 0
+        with self._counter_lock:
+            self.queries_served = 0
+            self.pairs_evaluated = 0

@@ -1,0 +1,447 @@
+"""Background vector refresh: streamed RTT samples into the store.
+
+The serving loop the paper stops short of: coordinates rot as routes
+change, so a deployed :class:`~repro.serving.DistanceService` needs a
+maintenance path that never stops the query traffic.
+:class:`RefreshWorker` consumes a stream of
+:class:`RttObservation` samples (from a measurement campaign, a
+replayed trace, or live probes), feeds each one through the host's
+:class:`~repro.ides.updates.OnlineVectorTracker`, and periodically
+flushes the drifted vectors back into the service in one bulk update —
+store write, per-host cache invalidation and staleness stamp all under
+the service lock. Any single store gather sees either the old or the
+new vectors, never a torn row map; a multi-gather query (e.g. a
+many-to-many block, which gathers sources and destinations
+separately) may straddle an update boundary and mix epochs.
+
+Observation streams are plain iterables; :func:`replay_observations`
+builds one from any (possibly NaN-masked) RTT matrix, and
+:func:`synthetic_drift_stream` fabricates a drifting world from the
+service's own predictions for demos and tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .._validation import as_rng
+from ..exceptions import ValidationError
+from ..ides.updates import OnlineVectorTracker
+from .service import DistanceService
+
+__all__ = [
+    "RttObservation",
+    "RefreshStats",
+    "RefreshWorker",
+    "replay_observations",
+    "synthetic_drift_stream",
+]
+
+
+@dataclass(frozen=True)
+class RttObservation:
+    """One streamed RTT sample between a host and a reference node.
+
+    Attributes:
+        host_id: the host whose vectors the sample refines.
+        reference_id: the already-registered node measured against.
+        rtt: the measured round-trip (or one-way) distance.
+        outgoing: True for a host -> reference sample (updates the
+            host's outgoing vector), False for reference -> host
+            (updates the incoming vector).
+    """
+
+    host_id: object
+    reference_id: object
+    rtt: float
+    outgoing: bool = True
+
+
+@dataclass(frozen=True)
+class RefreshStats:
+    """Counters describing a refresh worker's progress.
+
+    Attributes:
+        samples_applied: observations that updated a tracker.
+        samples_skipped: observations dropped (unknown host/reference,
+            non-finite RTT, degenerate reference vector).
+        flushes: bulk updates pushed into the service.
+        vectors_flushed: host-vector updates applied across flushes.
+        hosts_tracked: hosts with a live tracker.
+        pending_hosts: hosts with unflushed tracker state.
+        mean_abs_residual: EWMA of |measured - predicted| at observe
+            time — the convergence signal (None before any sample).
+    """
+
+    samples_applied: int
+    samples_skipped: int
+    flushes: int
+    vectors_flushed: int
+    hosts_tracked: int
+    pending_hosts: int
+    mean_abs_residual: float | None
+
+    def __str__(self) -> str:
+        residual = (
+            f"{self.mean_abs_residual:.3f}"
+            if self.mean_abs_residual is not None
+            else "n/a"
+        )
+        return (
+            f"applied={self.samples_applied} skipped={self.samples_skipped} "
+            f"flushes={self.flushes} flushed_vectors={self.vectors_flushed} "
+            f"tracked={self.hosts_tracked} pending={self.pending_hosts} "
+            f"ewma_residual={residual}"
+        )
+
+
+class RefreshWorker:
+    """Streams RTT observations through per-host trackers into a service.
+
+    Thread-safe: :meth:`observe` may run on a background thread while
+    the event loop serves queries; every flush goes through
+    :meth:`DistanceService.apply_vector_updates`, which invalidates the
+    prediction cache for exactly the refreshed hosts.
+
+    Args:
+        service: the service whose vectors to maintain.
+        learning_rate: tracker step size (see
+            :class:`~repro.ides.updates.OnlineVectorTracker`).
+        flush_every: push tracker state into the service after this
+            many applied samples (plus a final flush on stream end).
+        ewma_alpha: smoothing factor of the residual EWMA.
+    """
+
+    def __init__(
+        self,
+        service: DistanceService,
+        learning_rate: float = 0.3,
+        flush_every: int = 256,
+        ewma_alpha: float = 0.05,
+    ):
+        if int(flush_every) < 1:
+            raise ValidationError(f"flush_every must be >= 1, got {flush_every}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValidationError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.service = service
+        self.learning_rate = float(learning_rate)
+        self.flush_every = int(flush_every)
+        self.ewma_alpha = float(ewma_alpha)
+        self._trackers: dict[object, OnlineVectorTracker] = {}
+        self._dirty: set = set()
+        self._since_flush = 0
+        self._samples_applied = 0
+        self._samples_skipped = 0
+        self._flushes = 0
+        self._vectors_flushed = 0
+        self._residual_ewma: float | None = None
+        self._lock = threading.RLock()
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # observation path
+    # ------------------------------------------------------------------ #
+
+    def observe(self, observation: RttObservation) -> float | None:
+        """Feed one sample; returns the pre-update residual, or None
+        when the sample was skipped."""
+        host_id = observation.host_id
+        reference_id = observation.reference_id
+        with self._lock:
+            store = self.service.store
+            if host_id not in store or reference_id not in store:
+                self._samples_skipped += 1
+                return None
+            tracker = self._trackers.get(host_id)
+            if tracker is None:
+                tracker = OnlineVectorTracker(
+                    store.get(host_id), learning_rate=self.learning_rate
+                )
+                self._trackers[host_id] = tracker
+            reference = store.get(reference_id)
+            if observation.outgoing:
+                residual = tracker.observe_out(observation.rtt, reference.incoming)
+            else:
+                residual = tracker.observe_in(observation.rtt, reference.outgoing)
+            if not np.isfinite(residual):
+                self._samples_skipped += 1
+                return None
+            self._samples_applied += 1
+            self._dirty.add(host_id)
+            self._since_flush += 1
+            magnitude = abs(residual)
+            if self._residual_ewma is None:
+                self._residual_ewma = magnitude
+            else:
+                self._residual_ewma += self.ewma_alpha * (
+                    magnitude - self._residual_ewma
+                )
+            if self._since_flush >= self.flush_every:
+                self._flush_locked()
+            return residual
+
+    def observe_many(self, stream: Iterable[RttObservation]) -> int:
+        """Feed a whole stream; returns how many samples were applied."""
+        applied = 0
+        for observation in stream:
+            if self.observe(observation) is not None:
+                applied += 1
+        return applied
+
+    # ------------------------------------------------------------------ #
+    # flush path
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> int:
+        """Push all unflushed tracker state into the service now.
+
+        Returns the number of hosts updated.
+        """
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        self._since_flush = 0
+        if not self._dirty:
+            return 0
+        store = self.service.store
+        pending = list(self._dirty)
+        self._dirty.clear()
+        # The service re-checks membership under its own lock, so an
+        # eviction racing this flush surfaces as ValidationError; drop
+        # the vanished hosts and retry with the survivors.
+        for _ in range(3):
+            host_ids, gone = [], []
+            for host_id in pending:
+                (host_ids if host_id in store else gone).append(host_id)
+            for host_id in gone:  # evicted mid-stream: drop the tracker
+                self._trackers.pop(host_id, None)
+            if not host_ids:
+                return 0
+            outgoing = np.stack(
+                [self._trackers[i].vectors.outgoing for i in host_ids]
+            )
+            incoming = np.stack(
+                [self._trackers[i].vectors.incoming for i in host_ids]
+            )
+            try:
+                updated = self.service.apply_vector_updates(
+                    host_ids, outgoing, incoming
+                )
+            except ValidationError:
+                pending = host_ids
+                continue
+            self._flushes += 1
+            self._vectors_flushed += updated
+            return updated
+        return 0  # pragma: no cover - pathological eviction churn
+
+    def forget(self, host_id: object) -> bool:
+        """Drop a host's tracker (e.g. after eviction)."""
+        with self._lock:
+            self._dirty.discard(host_id)
+            return self._trackers.pop(host_id, None) is not None
+
+    # ------------------------------------------------------------------ #
+    # drive modes
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        stream: Iterable[RttObservation],
+        stop_event: threading.Event | None = None,
+    ) -> int:
+        """Drain a stream synchronously (with a final flush).
+
+        Returns the number of samples applied. ``stop_event`` aborts
+        between observations — the handle the background mode uses.
+        """
+        applied = 0
+        try:
+            for observation in stream:
+                if stop_event is not None and stop_event.is_set():
+                    break
+                if self.observe(observation) is not None:
+                    applied += 1
+        finally:
+            self.flush()
+        return applied
+
+    @property
+    def running(self) -> bool:
+        """Whether a background thread is draining a stream."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, stream: Iterable[RttObservation]) -> None:
+        """Drain ``stream`` on a daemon thread until exhausted/stopped."""
+        if self.running:
+            raise ValidationError("refresh worker is already running")
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self.run,
+            args=(stream, self._stop_event),
+            name="distance-refresh-worker",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float | None = 5.0) -> bool:
+        """Signal the background thread and wait for its final flush.
+
+        Returns True when the thread terminated within ``timeout``.
+        On False the worker keeps the handle — ``running`` stays
+        truthful and a later :meth:`stop` can finish the join —
+        because the stream only notices the stop signal between
+        observations (a blocked generator can hold the thread up).
+        """
+        if self._thread is None:
+            return True
+        self._stop_event.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            return False
+        self._thread = None
+        return True
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> RefreshStats:
+        """Snapshot of the worker counters."""
+        with self._lock:
+            return RefreshStats(
+                samples_applied=self._samples_applied,
+                samples_skipped=self._samples_skipped,
+                flushes=self._flushes,
+                vectors_flushed=self._vectors_flushed,
+                hosts_tracked=len(self._trackers),
+                pending_hosts=len(self._dirty),
+                mean_abs_residual=self._residual_ewma,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# observation streams
+# ---------------------------------------------------------------------- #
+
+
+def replay_observations(
+    distances: object,
+    ids: Sequence,
+    host_ids: Sequence | None = None,
+    reference_ids: Sequence | None = None,
+    samples: int = 1000,
+    seed: int | np.random.Generator | None = None,
+    both_directions: bool = True,
+) -> Iterator[RttObservation]:
+    """Replay random samples of an RTT matrix as an observation stream.
+
+    Args:
+        distances: ``(n, n)`` matrix over ``ids`` (row -> column);
+            NaN entries (e.g. from a masked
+            :class:`~repro.measurement.CampaignResult`) are skipped.
+        ids: identifier of each matrix row/column.
+        host_ids: hosts to refresh; defaults to every id.
+        reference_ids: measurement targets; defaults to every id.
+        samples: number of (host, reference) draws.
+        seed: randomness source.
+        both_directions: emit the reference -> host sample too.
+
+    Yields:
+        :class:`RttObservation` samples in random order.
+    """
+    matrix = np.asarray(distances, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(f"expected a square matrix, got {matrix.shape}")
+    if len(ids) != matrix.shape[0]:
+        raise ValidationError(
+            f"got {len(ids)} ids for a {matrix.shape[0]}-row matrix"
+        )
+    index_of = {host_id: row for row, host_id in enumerate(ids)}
+    hosts = list(host_ids) if host_ids is not None else list(ids)
+    references = list(reference_ids) if reference_ids is not None else list(ids)
+    missing = [i for i in hosts + references if i not in index_of]
+    if missing:
+        raise ValidationError(f"ids not present in the matrix: {missing[:5]!r}")
+    rng = as_rng(seed)
+    host_draws = rng.integers(0, len(hosts), int(samples))
+    reference_draws = rng.integers(0, len(references), int(samples))
+    for host_pick, reference_pick in zip(host_draws, reference_draws):
+        host = hosts[int(host_pick)]
+        reference = references[int(reference_pick)]
+        if host == reference:
+            continue
+        row, column = index_of[host], index_of[reference]
+        out_rtt = matrix[row, column]
+        if np.isfinite(out_rtt):
+            yield RttObservation(host, reference, float(out_rtt), outgoing=True)
+        if both_directions:
+            in_rtt = matrix[column, row]
+            if np.isfinite(in_rtt):
+                yield RttObservation(host, reference, float(in_rtt), outgoing=False)
+
+
+def synthetic_drift_stream(
+    service: DistanceService,
+    host_ids: Sequence | None = None,
+    reference_ids: Sequence | None = None,
+    samples: int = 1000,
+    drift: float = 0.2,
+    noise: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+) -> Iterator[RttObservation]:
+    """A drifting world derived from the service's own predictions.
+
+    Each host gets a persistent multiplicative drift factor drawn from
+    ``1 +- drift``; every emitted sample is the service's predicted
+    distance scaled by that factor (plus optional lognormal-ish jitter)
+    — so a tracker that converges drives its residuals toward zero
+    against a world that genuinely moved away from the stored vectors.
+
+    Args:
+        service: the service whose predictions seed the drifted truth.
+        host_ids: hosts to drift; defaults to non-landmark hosts.
+        reference_ids: references; defaults to the landmark set.
+        samples: (host, reference) draws.
+        drift: half-width of the uniform per-host drift factor.
+        noise: per-sample relative Gaussian jitter (0 disables).
+        seed: randomness source.
+    """
+    rng = as_rng(seed)
+    if reference_ids is None:
+        reference_ids = service.landmark_ids or service.known_hosts()
+    references = list(reference_ids)
+    if host_ids is None:
+        landmark_set = set(references)
+        host_ids = [i for i in service.known_hosts() if i not in landmark_set]
+    hosts = list(host_ids)
+    if not hosts or not references:
+        raise ValidationError("need at least one host and one reference")
+    # Snapshot the base predictions up front: the drifted "truth" must
+    # stand still while the worker refreshes vectors underneath it,
+    # otherwise the target would chase its own updates.
+    host_to_reference = service.engine.many_to_many(hosts, references)
+    reference_to_host = service.engine.many_to_many(references, hosts)
+    factors = 1.0 + rng.uniform(-drift, drift, len(hosts))
+    host_draws = rng.integers(0, len(hosts), int(samples))
+    reference_draws = rng.integers(0, len(references), int(samples))
+    for host_pick, reference_pick in zip(host_draws, reference_draws):
+        row, column = int(host_pick), int(reference_pick)
+        host = hosts[row]
+        reference = references[column]
+        if host == reference:
+            continue
+        factor = float(factors[row])
+        out_rtt = float(host_to_reference[row, column]) * factor
+        in_rtt = float(reference_to_host[column, row]) * factor
+        if noise > 0:
+            out_rtt *= 1.0 + float(rng.normal(0.0, noise))
+            in_rtt *= 1.0 + float(rng.normal(0.0, noise))
+        yield RttObservation(host, reference, out_rtt, outgoing=True)
+        yield RttObservation(host, reference, in_rtt, outgoing=False)

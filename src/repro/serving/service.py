@@ -14,6 +14,8 @@ landmark matrix.
 
 from __future__ import annotations
 
+import threading
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -44,6 +46,9 @@ class DistanceService:
         n_shards: build a hash-sharded store with this many shards.
         cache_entries: LRU capacity of the point-query cache.
         cache_ttl: cache entry lifetime in seconds (None: no expiry).
+        clock: monotonic time source shared by the cache's TTL logic
+            and the staleness metrics; injectable so tests advance
+            time instead of sleeping.
         ridge / nonnegative / strict: solver options forwarded to
             host registration (:func:`repro.ides.solve_host_vectors`).
     """
@@ -55,6 +60,7 @@ class DistanceService:
         n_shards: int = 0,
         cache_entries: int = 65536,
         cache_ttl: float | None = None,
+        clock=time.monotonic,
         ridge: float = 0.0,
         nonnegative: bool = False,
         strict: bool = True,
@@ -69,11 +75,20 @@ class DistanceService:
                 store = InMemoryVectorStore(dimension)
         self.store = store
         self.engine = QueryEngine(store)
-        self.cache = PredictionCache(max_entries=cache_entries, ttl=cache_ttl)
+        self.clock = clock
+        self.cache = PredictionCache(
+            max_entries=cache_entries, ttl=cache_ttl, clock=clock
+        )
         self.ridge = float(ridge)
         self.nonnegative = bool(nonnegative)
         self.strict = bool(strict)
         self._landmark_ids: list = []
+        self._lock = threading.RLock()
+        self._updated_at: dict[object, float] = {}
+        self._vectors_refreshed = 0
+        self._refresh_batches = 0
+        self._last_refresh_at: float | None = None
+        self._write_epoch = 0
 
     # ------------------------------------------------------------------ #
     # construction from fitted models
@@ -108,6 +123,7 @@ class DistanceService:
             raise ValidationError("host_ids contains duplicates")
         service = cls(dimension=outgoing.shape[1], **options)
         service.store.put_many(list(host_ids), outgoing, incoming)
+        service._stamp(host_ids)
         service._set_landmarks(landmark_ids)
         return service
 
@@ -225,10 +241,97 @@ class DistanceService:
     def __contains__(self, host_id: object) -> bool:
         return host_id in self.store
 
+    def _stamp(self, host_ids: Sequence) -> None:
+        """Record write times for staleness metrics."""
+        now = self.clock()
+        with self._lock:
+            for host_id in host_ids:
+                self._updated_at[host_id] = now
+
     def register_vectors(self, host_id: object, vectors: HostVectors) -> None:
         """Publish (or overwrite) a host's solved vectors directly."""
-        self.store.put(host_id, vectors)
-        self.cache.invalidate_host(host_id)
+        with self._lock:
+            self.store.put(host_id, vectors)
+            self.cache.invalidate_host(host_id)
+            self._stamp([host_id])
+            self._write_epoch += 1
+
+    @property
+    def write_epoch(self) -> int:
+        """Monotonic count of vector writes and evictions.
+
+        Cache writers capture it *before* computing a prediction and
+        hand it to :meth:`cache_put_if_current`, so a value computed
+        from pre-refresh vectors can never be cached after the
+        refresh's invalidation already ran.
+        """
+        return self._write_epoch
+
+    def cache_put_if_current(
+        self,
+        epoch: int,
+        source_id: object,
+        destination_id: object,
+        value: float,
+    ) -> bool:
+        """Cache a prediction only if no vector write intervened.
+
+        Returns whether the entry was stored.
+        """
+        with self._lock:
+            if epoch != self._write_epoch:
+                return False
+            self.cache.put(source_id, destination_id, value)
+            return True
+
+    def cache_put_many_if_current(
+        self, epoch: int, entries: Sequence[tuple]
+    ) -> int:
+        """Bulk :meth:`cache_put_if_current`; returns entries stored."""
+        with self._lock:
+            if epoch != self._write_epoch:
+                return 0
+            for source_id, destination_id, value in entries:
+                self.cache.put(source_id, destination_id, value)
+            return len(entries)
+
+    def apply_vector_updates(
+        self,
+        host_ids: Sequence,
+        outgoing: np.ndarray,
+        incoming: np.ndarray,
+    ) -> int:
+        """Bulk-publish refreshed vectors for already-known hosts.
+
+        The refresh worker's flush path: one ``put_many`` into the
+        store, one bulk cache invalidation, one staleness stamp — all
+        under the service lock. The store's own locking guarantees any
+        single gather sees either the old or the new vectors (no torn
+        rows); queries composed of several gathers may span the update
+        boundary. Unlike :meth:`register_vectors` this refuses unknown
+        hosts (a refresh cannot invent members), checked under the
+        same lock so a racing eviction cannot be resurrected.
+
+        Returns:
+            the number of hosts updated.
+        """
+        host_ids = list(host_ids)
+        with self._lock:
+            # Membership check under the lock: a concurrent eviction
+            # must not let a refresh resurrect the evicted host.
+            unknown = [i for i in host_ids if i not in self.store]
+            if unknown:
+                raise ValidationError(
+                    f"cannot refresh unregistered hosts: {unknown[:5]!r}"
+                )
+            self.store.put_many(host_ids, outgoing, incoming)
+            self.cache.invalidate_hosts(host_ids)
+            self._stamp(host_ids)
+            self._vectors_refreshed += len(host_ids)
+            self._refresh_batches += 1
+            self._last_refresh_at = self.clock()
+            self._write_epoch += 1
+        return len(host_ids)
 
     def register_host(
         self,
@@ -285,10 +388,13 @@ class DistanceService:
         """Remove an ordinary host; landmarks cannot be evicted."""
         if host_id in self._landmark_ids:
             raise ValidationError(f"cannot evict landmark {host_id!r}")
-        removed = self.store.delete(host_id)
-        if removed:
-            self.cache.invalidate_host(host_id)
-        return removed
+        with self._lock:
+            removed = self.store.delete(host_id)
+            if removed:
+                self.cache.invalidate_host(host_id)
+                self._updated_at.pop(host_id, None)
+                self._write_epoch += 1
+            return removed
 
     # ------------------------------------------------------------------ #
     # queries
@@ -299,8 +405,11 @@ class DistanceService:
         cached = self.cache.get(source_id, destination_id)
         if cached is not None:
             return cached
+        epoch = self._write_epoch
         value = self.engine.point(source_id, destination_id)
-        self.cache.put(source_id, destination_id, value)
+        # Epoch-guarded put: if a refresh invalidated this host while
+        # we computed, the stale value must not re-enter the cache.
+        self.cache_put_if_current(epoch, source_id, destination_id, value)
         return value
 
     def query_one_to_many(
@@ -315,10 +424,16 @@ class DistanceService:
         -pair dict probes); ``populate_cache`` additionally writes the
         results back so follow-up point queries hit.
         """
+        epoch = self._write_epoch
         values = self.engine.one_to_many(source_id, destination_ids)
         if populate_cache:
-            for destination_id, value in zip(destination_ids, values):
-                self.cache.put(source_id, destination_id, float(value))
+            self.cache_put_many_if_current(
+                epoch,
+                [
+                    (source_id, destination_id, float(value))
+                    for destination_id, value in zip(destination_ids, values)
+                ],
+            )
         return values
 
     def query_many_to_many(
@@ -326,6 +441,17 @@ class DistanceService:
     ) -> np.ndarray:
         """The ``(n_src, n_dst)`` prediction block, fully vectorized."""
         return self.engine.many_to_many(source_ids, destination_ids)
+
+    def query_pairs(
+        self, source_ids: Sequence, destination_ids: Sequence
+    ) -> np.ndarray:
+        """Aligned per-pair predictions in one dense batch.
+
+        ``result[i]`` is ``source_ids[i] -> destination_ids[i]``; the
+        same coalescing primitive the concurrent frontend uses, exposed
+        synchronously. Bypasses the cache like the other batch reads.
+        """
+        return self.engine.pairs(source_ids, destination_ids)
 
     def k_nearest(
         self,
@@ -382,6 +508,22 @@ class DistanceService:
         else:
             n_shards = 0
             occupancy = ()
+        now = self.clock()
+        with self._lock:
+            stamps = list(self._updated_at.values())
+            since_refresh = (
+                None
+                if self._last_refresh_at is None
+                else now - self._last_refresh_at
+            )
+            vectors_refreshed = self._vectors_refreshed
+            refresh_batches = self._refresh_batches
+        if stamps:
+            ages = [now - stamp for stamp in stamps]
+            max_age: float | None = max(ages)
+            mean_age: float | None = sum(ages) / len(ages)
+        else:
+            max_age = mean_age = None
         return ServiceHealth(
             n_hosts=self.n_hosts,
             n_landmarks=len(self._landmark_ids),
@@ -394,4 +536,9 @@ class DistanceService:
             cache_misses=cache_stats.misses,
             cache_size=cache_stats.size,
             cache_max_entries=cache_stats.max_entries,
+            vectors_refreshed=vectors_refreshed,
+            refresh_batches=refresh_batches,
+            seconds_since_refresh=since_refresh,
+            max_vector_age_seconds=max_age,
+            mean_vector_age_seconds=mean_age,
         )

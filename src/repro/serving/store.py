@@ -14,10 +14,15 @@ Two backends:
 * :class:`ShardedVectorStore` hash-partitions identifiers across many
   in-memory shards — the single-process rehearsal of the scale-out
   directory the IDES paper sketches in Section 5.1.
+
+Both backends are thread-safe: a background refresh worker can bulk
+``put_many`` new vectors while the query path gathers, without torn
+row maps (each in-memory shard serializes access with an RLock).
 """
 
 from __future__ import annotations
 
+import threading
 import zlib
 from abc import ABC, abstractmethod
 from typing import Iterator, Sequence
@@ -118,6 +123,7 @@ class InMemoryVectorStore(VectorStore):
         self._row_of: dict[object, int] = {}
         self._id_of_row: dict[int, object] = {}
         self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._lock = threading.RLock()
 
     @property
     def dimension(self) -> int:
@@ -151,9 +157,10 @@ class InMemoryVectorStore(VectorStore):
 
     def put(self, host_id: object, vectors: HostVectors) -> None:
         self._check_vectors(vectors)
-        row = self._claim_row(host_id)
-        self._outgoing[row] = vectors.outgoing
-        self._incoming[row] = vectors.incoming
+        with self._lock:
+            row = self._claim_row(host_id)
+            self._outgoing[row] = vectors.outgoing
+            self._incoming[row] = vectors.incoming
 
     def put_many(
         self, host_ids: Sequence, outgoing: np.ndarray, incoming: np.ndarray
@@ -166,34 +173,38 @@ class InMemoryVectorStore(VectorStore):
                 f"put_many expects matrices of shape {expected}, got "
                 f"{outgoing.shape} and {incoming.shape}"
             )
-        rows = np.fromiter(
-            (self._claim_row(host_id) for host_id in host_ids),
-            dtype=int,
-            count=len(host_ids),
-        )
-        self._outgoing[rows] = outgoing
-        self._incoming[rows] = incoming
+        with self._lock:
+            rows = np.fromiter(
+                (self._claim_row(host_id) for host_id in host_ids),
+                dtype=int,
+                count=len(host_ids),
+            )
+            self._outgoing[rows] = outgoing
+            self._incoming[rows] = incoming
 
     def delete(self, host_id: object) -> bool:
-        row = self._row_of.pop(host_id, None)
-        if row is None:
-            return False
-        del self._id_of_row[row]
-        self._free.append(row)
-        return True
+        with self._lock:
+            row = self._row_of.pop(host_id, None)
+            if row is None:
+                return False
+            del self._id_of_row[row]
+            self._free.append(row)
+            return True
 
     # ------------------------------------------------------------------ #
     # reads
     # ------------------------------------------------------------------ #
 
     def get(self, host_id: object) -> HostVectors:
-        try:
-            row = self._row_of[host_id]
-        except KeyError:
-            raise ValidationError(f"unknown host {host_id!r}") from None
-        return HostVectors(
-            outgoing=self._outgoing[row].copy(), incoming=self._incoming[row].copy()
-        )
+        with self._lock:
+            try:
+                row = self._row_of[host_id]
+            except KeyError:
+                raise ValidationError(f"unknown host {host_id!r}") from None
+            return HostVectors(
+                outgoing=self._outgoing[row].copy(),
+                incoming=self._incoming[row].copy(),
+            )
 
     def rows_for(self, host_ids: Sequence) -> np.ndarray:
         """Internal row indices for the given hosts (request order)."""
@@ -207,19 +218,22 @@ class InMemoryVectorStore(VectorStore):
             raise ValidationError(f"unknown host {missing.args[0]!r}") from None
 
     def gather(self, host_ids: Sequence) -> tuple[np.ndarray, np.ndarray]:
-        rows = self.rows_for(host_ids)
-        return self._outgoing[rows], self._incoming[rows]
+        with self._lock:
+            rows = self.rows_for(host_ids)
+            return self._outgoing[rows], self._incoming[rows]
 
     def export(self) -> tuple[list, np.ndarray, np.ndarray]:
-        identifiers = self.ids()
-        if not identifiers:
-            empty = np.zeros((0, self._dimension))
-            return [], empty, empty.copy()
-        outgoing, incoming = self.gather(identifiers)
-        return identifiers, outgoing, incoming
+        with self._lock:
+            identifiers = self.ids()
+            if not identifiers:
+                empty = np.zeros((0, self._dimension))
+                return [], empty, empty.copy()
+            outgoing, incoming = self.gather(identifiers)
+            return identifiers, outgoing, incoming
 
     def ids(self) -> list:
-        return list(self._row_of)
+        with self._lock:
+            return list(self._row_of)
 
     def __contains__(self, host_id: object) -> bool:
         return host_id in self._row_of

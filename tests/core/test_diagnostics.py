@@ -108,3 +108,46 @@ class TestServiceHealth:
         assert "cache_hit_rate=0.600" in text
         unsharded = str(self._health(n_shards=0, shard_occupancy=()))
         assert "shards" not in unsharded
+
+
+class TestServiceHealthStaleness:
+    def _health(self, **overrides):
+        from repro.core import ServiceHealth
+
+        values = dict(
+            n_hosts=10,
+            n_landmarks=4,
+            dimension=3,
+            n_shards=0,
+            shard_occupancy=(),
+            queries_served=0,
+            pairs_evaluated=0,
+            cache_hits=0,
+            cache_misses=0,
+            cache_size=0,
+            cache_max_entries=16,
+        )
+        values.update(overrides)
+        return ServiceHealth(**values)
+
+    def test_refresh_fields_default_to_never(self):
+        health = self._health()
+        assert health.vectors_refreshed == 0
+        assert health.refresh_batches == 0
+        assert health.seconds_since_refresh is None
+        assert health.max_vector_age_seconds is None
+        assert "refreshed" not in str(health)
+        assert "max_vector_age" not in str(health)
+
+    def test_str_reports_refresh_and_staleness(self):
+        health = self._health(
+            vectors_refreshed=12,
+            refresh_batches=3,
+            seconds_since_refresh=1.5,
+            max_vector_age_seconds=9.25,
+            mean_vector_age_seconds=4.0,
+        )
+        text = str(health)
+        assert "refreshed=12/3batches" in text
+        assert "refresh_age=1.5s" in text
+        assert "max_vector_age=9.2s" in text

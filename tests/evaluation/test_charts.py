@@ -1,7 +1,5 @@
 """Tests for experiment chart dispatch."""
 
-import numpy as np
-
 from repro.evaluation import render_charts
 from repro.evaluation.experiments.common import ExperimentResult
 

@@ -1,6 +1,5 @@
 """Tests for ASCII chart rendering."""
 
-import numpy as np
 import pytest
 
 from repro.evaluation.plotting import ascii_cdf_chart, ascii_line_chart

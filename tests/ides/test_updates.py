@@ -135,3 +135,110 @@ class TestRefreshHostVectors:
                 previous_incoming=np.zeros((5, 3)),
                 blend=0.5,
             )
+
+
+class TestDriftingStreamConvergence:
+    """Satellite coverage: the tracker follows a world that moves."""
+
+    def _drifted_stream(self, world, host, scale, samples, seed):
+        generator = np.random.default_rng(seed)
+        for _ in range(samples):
+            landmark = int(generator.integers(10))
+            yield (
+                landmark,
+                world["matrix"][host, landmark] * scale,
+                world["matrix"][landmark, host] * scale,
+            )
+
+    def test_tracks_scaled_world(self, stationary_world):
+        """Start from the *stationary* solution, then let every RTT
+        grow 40%: the tracker must re-converge onto the drifted truth."""
+        world = stationary_world
+        host = 10
+        initial = solve_host_vectors(
+            world["matrix"][host, :10],
+            world["matrix"][:10, host],
+            world["landmark_out"],
+            world["landmark_in"],
+        )
+        tracker = OnlineVectorTracker(initial, learning_rate=0.5)
+        scale = 1.4
+        for landmark, out_rtt, in_rtt in self._drifted_stream(
+            world, host, scale, samples=400, seed=4
+        ):
+            tracker.observe_out(out_rtt, world["landmark_in"][landmark])
+            tracker.observe_in(in_rtt, world["landmark_out"][landmark])
+        vectors = tracker.vectors
+        predicted = vectors.outgoing @ world["landmark_in"].T
+        truth = world["matrix"][host, :10] * scale
+        relative = np.abs(predicted - truth) / truth
+        assert np.median(relative) < 0.05
+        predicted_in = world["landmark_out"] @ vectors.incoming
+        truth_in = world["matrix"][:10, host] * scale
+        relative_in = np.abs(predicted_in - truth_in) / truth_in
+        assert np.median(relative_in) < 0.05
+
+    def test_residuals_shrink_across_the_stream(self, stationary_world):
+        world = stationary_world
+        host = 10
+        initial = solve_host_vectors(
+            world["matrix"][host, :10],
+            world["matrix"][:10, host],
+            world["landmark_out"],
+            world["landmark_in"],
+        )
+        tracker = OnlineVectorTracker(initial, learning_rate=0.5)
+        residuals = []
+        for landmark, out_rtt, _ in self._drifted_stream(
+            world, host, 1.3, samples=300, seed=8
+        ):
+            residuals.append(
+                abs(tracker.observe_out(out_rtt, world["landmark_in"][landmark]))
+            )
+        early = np.mean(residuals[:30])
+        late = np.mean(residuals[-30:])
+        assert late < early * 0.2
+
+    def test_samples_seen_counts_only_applied(self, stationary_world):
+        world = stationary_world
+        tracker = OnlineVectorTracker(
+            HostVectors(np.zeros(3), np.zeros(3)), learning_rate=0.5
+        )
+        tracker.observe_out(10.0, world["landmark_in"][0])
+        tracker.observe_out(float("inf"), world["landmark_in"][1])
+        tracker.observe_in(12.0, world["landmark_out"][2])
+        assert tracker.samples_seen == 2
+
+
+class TestRefreshHostVectorsMore:
+    """Satellite coverage: refresh_host_vectors edge cases."""
+
+    def test_blend_zero_keeps_previous(self, stationary_world):
+        world = stationary_world
+        out_rows = world["matrix"][10:, :10]
+        in_cols = world["matrix"][:10, 10:]
+        old_out = np.full((2, 3), 3.0)
+        old_in = np.full((2, 3), 4.0)
+        kept_out, kept_in = refresh_host_vectors(
+            out_rows, in_cols, world["landmark_out"], world["landmark_in"],
+            previous_outgoing=old_out, previous_incoming=old_in, blend=0.0,
+        )
+        np.testing.assert_allclose(kept_out, old_out)
+        np.testing.assert_allclose(kept_in, old_in)
+
+    def test_symmetric_distances_when_in_is_none(self, stationary_world):
+        world = stationary_world
+        out_rows = world["matrix"][10:, :10]
+        fresh_out, fresh_in = refresh_host_vectors(
+            out_rows, None, world["landmark_out"], world["landmark_in"]
+        )
+        assert fresh_out.shape == fresh_in.shape == (2, 3)
+
+    def test_invalid_blend_rejected(self, stationary_world):
+        world = stationary_world
+        out_rows = world["matrix"][10:, :10]
+        with pytest.raises(ValidationError):
+            refresh_host_vectors(
+                out_rows, None, world["landmark_out"], world["landmark_in"],
+                blend=1.5,
+            )

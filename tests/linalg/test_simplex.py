@@ -1,7 +1,6 @@
 """Tests for the from-scratch Nelder-Mead simplex optimizer."""
 
 import numpy as np
-import pytest
 from scipy.optimize import minimize as scipy_minimize
 
 from repro.linalg import minimize_with_restarts, nelder_mead

@@ -131,3 +131,57 @@ class TestStats:
         stats = cache.stats()
         assert stats.hits == 0 and stats.misses == 0
         assert len(cache) == 1
+
+
+class TestBulkInvalidation:
+    def test_invalidate_hosts_drops_all_matching_pairs(self):
+        cache = PredictionCache(max_entries=16)
+        cache.put("a", "b", 1.0)
+        cache.put("b", "c", 2.0)
+        cache.put("c", "d", 3.0)
+        cache.put("x", "y", 4.0)
+        assert cache.invalidate_hosts(["a", "d"]) == 2
+        assert cache.get("a", "b") is None
+        assert cache.get("c", "d") is None
+        assert cache.get("b", "c") == 2.0
+        assert cache.get("x", "y") == 4.0
+
+    def test_invalidate_hosts_counts_each_entry_once(self):
+        cache = PredictionCache(max_entries=16)
+        cache.put("a", "b", 1.0)  # touches both a and b
+        assert cache.invalidate_hosts(["a", "b"]) == 1
+        assert cache.stats().invalidations == 1
+
+    def test_invalidate_hosts_empty_iterable(self):
+        cache = PredictionCache(max_entries=16)
+        cache.put("a", "b", 1.0)
+        assert cache.invalidate_hosts([]) == 0
+        assert len(cache) == 1
+
+    def test_thread_safe_under_concurrent_access(self):
+        import threading
+
+        cache = PredictionCache(max_entries=256)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(500):
+                    cache.put(f"s{offset}", f"d{i % 20}", float(i))
+                    cache.get(f"s{offset}", f"d{i % 20}")
+                    if i % 50 == 0:
+                        cache.invalidate_hosts([f"d{i % 20}"])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,), daemon=True)
+            for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        stats = cache.stats()
+        assert stats.lookups == 2000

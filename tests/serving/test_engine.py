@@ -38,6 +38,28 @@ class TestQueryShapes:
         expected = [float(outgoing[i] @ incoming[20]) for i in range(6)]
         np.testing.assert_allclose(batched, expected)
 
+    def test_pairs_matches_pointwise(self, populated):
+        ids, outgoing, incoming, engine = populated
+        sources = [ids[i] for i in (0, 5, 5, 13)]
+        destinations = [ids[i] for i in (9, 2, 5, 0)]
+        values = engine.pairs(sources, destinations)
+        expected = [
+            engine.point(s, d) for s, d in zip(sources, destinations)
+        ]
+        np.testing.assert_allclose(values, expected)
+
+    def test_pairs_misaligned_rejected(self, populated):
+        ids, _, _, engine = populated
+        with pytest.raises(ValidationError):
+            engine.pairs([ids[0]], [ids[1], ids[2]])
+
+    def test_pairs_counts_one_query(self, populated):
+        ids, _, _, engine = populated
+        engine.reset_counters()
+        engine.pairs(ids[:6], ids[6:12])
+        assert engine.queries_served == 1
+        assert engine.pairs_evaluated == 6
+
     def test_many_to_many_matches_matrix_product(self, populated):
         ids, outgoing, incoming, engine = populated
         rows, cols = [2, 4, 6], [1, 3]
@@ -106,3 +128,24 @@ class TestCounters:
         engine.reset_counters()
         assert engine.queries_served == 0
         assert engine.pairs_evaluated == 0
+
+
+class TestCounterThreadSafety:
+    def test_no_lost_increments_under_concurrency(self, populated):
+        import threading
+
+        ids, _, _, engine = populated
+        engine.reset_counters()
+        per_thread = 500
+
+        def hammer():
+            for i in range(per_thread):
+                engine.point(ids[i % 25], ids[(i + 1) % 25])
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert engine.queries_served == 8 * per_thread
+        assert engine.pairs_evaluated == 8 * per_thread

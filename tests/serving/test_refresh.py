@@ -1,0 +1,303 @@
+"""Tests for the background vector-refresh worker."""
+
+import itertools
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving import (
+    DistanceService,
+    RefreshWorker,
+    RttObservation,
+    replay_observations,
+    synthetic_drift_stream,
+)
+from tests.conftest import make_low_rank_matrix
+
+
+@pytest.fixture
+def world():
+    """Exact rank-3 matrix served exactly: residuals start at zero."""
+    matrix = make_low_rank_matrix(30, 30, 3, seed=2)
+    from repro.core import SVDFactorizer
+
+    model = SVDFactorizer(dimension=3).fit(matrix)
+    ids = [f"n{i}" for i in range(30)]
+    service = DistanceService.from_vectors(
+        ids, model.outgoing, model.incoming, landmark_ids=ids[:8]
+    )
+    return matrix, ids, service
+
+
+class TestReplayObservations:
+    def test_yields_both_directions(self, world):
+        matrix, ids, _ = world
+        observations = list(
+            replay_observations(matrix, ids, samples=50, seed=0)
+        )
+        assert observations
+        directions = {o.outgoing for o in observations}
+        assert directions == {True, False}
+        for o in observations:
+            row = ids.index(o.host_id if o.outgoing else o.host_id)
+            assert o.host_id != o.reference_id
+            assert np.isfinite(o.rtt)
+
+    def test_observation_values_come_from_the_matrix(self, world):
+        matrix, ids, _ = world
+        for o in replay_observations(matrix, ids, samples=30, seed=1):
+            row = ids.index(o.host_id)
+            column = ids.index(o.reference_id)
+            expected = matrix[row, column] if o.outgoing else matrix[column, row]
+            assert o.rtt == pytest.approx(expected)
+
+    def test_nan_entries_skipped(self, world):
+        matrix, ids, _ = world
+        masked = matrix.copy()
+        masked[3, :] = np.nan
+        masked[:, 3] = np.nan
+        observations = list(
+            replay_observations(masked, ids, samples=300, seed=0)
+        )
+        assert observations
+        assert all(np.isfinite(o.rtt) for o in observations)
+
+    def test_validation(self, world):
+        matrix, ids, _ = world
+        with pytest.raises(ValidationError):
+            list(replay_observations(matrix[:5], ids, samples=5))
+        with pytest.raises(ValidationError):
+            list(replay_observations(matrix, ids[:5], samples=5))
+        with pytest.raises(ValidationError):
+            list(
+                replay_observations(matrix, ids, host_ids=["ghost"], samples=5)
+            )
+
+
+class TestSyntheticDriftStream:
+    def test_defaults_to_hosts_vs_landmarks(self, world):
+        _, ids, service = world
+        landmark_set = set(service.landmark_ids)
+        for o in itertools.islice(
+            synthetic_drift_stream(service, samples=40, seed=0), 40
+        ):
+            assert o.host_id not in landmark_set
+            assert o.reference_id in landmark_set
+
+    def test_drifted_truth_stands_still_under_refresh(self, world):
+        _, ids, service = world
+        stream = synthetic_drift_stream(service, samples=200, drift=0.3, seed=5)
+        first = list(itertools.islice(stream, 10))
+        # mutate the service mid-stream: the emitted truth must not chase it
+        service.apply_vector_updates(
+            [ids[10]],
+            np.zeros((1, 3)),
+            np.zeros((1, 3)),
+        )
+        rest = list(stream)
+        base = {
+            (o.host_id, o.reference_id, o.outgoing): o.rtt for o in first
+        }
+        for o in rest:
+            key = (o.host_id, o.reference_id, o.outgoing)
+            if key in base:
+                assert o.rtt == pytest.approx(base[key])
+
+    def test_needs_hosts(self, world):
+        _, _, service = world
+        with pytest.raises(ValidationError):
+            list(synthetic_drift_stream(service, host_ids=[], samples=5))
+
+
+class TestRefreshWorker:
+    def test_invalid_parameters(self, world):
+        _, _, service = world
+        with pytest.raises(ValidationError):
+            RefreshWorker(service, flush_every=0)
+        with pytest.raises(ValidationError):
+            RefreshWorker(service, ewma_alpha=0.0)
+
+    def test_unknown_ids_are_skipped_not_fatal(self, world):
+        _, _, service = world
+        worker = RefreshWorker(service)
+        assert worker.observe(RttObservation("ghost", "n0", 10.0)) is None
+        assert worker.observe(RttObservation("n9", "ghost", 10.0)) is None
+        stats = worker.stats()
+        assert stats.samples_skipped == 2
+        assert stats.samples_applied == 0
+
+    def test_nonfinite_rtt_skipped(self, world):
+        _, _, service = world
+        worker = RefreshWorker(service)
+        assert worker.observe(RttObservation("n9", "n0", float("nan"))) is None
+        assert worker.stats().samples_skipped == 1
+
+    def test_flush_applies_vectors_and_invalidates_cache(self, world):
+        matrix, ids, service = world
+        worker = RefreshWorker(service, learning_rate=1.0, flush_every=10_000)
+        service.query("n9", "n0")  # prime a cache entry touching n9
+        assert len(service.cache) == 1
+        before = service.store.get("n9").outgoing.copy()
+        # teach the worker a sharply different world for n9
+        for _ in range(20):
+            worker.observe(RttObservation("n9", "n0", 500.0, outgoing=True))
+        assert worker.stats().pending_hosts == 1
+        assert worker.flush() == 1
+        after = service.store.get("n9").outgoing
+        assert not np.allclose(before, after)
+        assert len(service.cache) == 0  # pair (n9, n0) invalidated
+        assert worker.stats().pending_hosts == 0
+        health = service.health()
+        assert health.vectors_refreshed == 1
+        assert health.refresh_batches == 1
+        assert health.seconds_since_refresh is not None
+
+    def test_auto_flush_every_n_samples(self, world):
+        _, _, service = world
+        worker = RefreshWorker(service, flush_every=8)
+        stream = synthetic_drift_stream(service, samples=40, drift=0.2, seed=0)
+        worker.observe_many(itertools.islice(stream, 16))
+        assert worker.stats().flushes >= 2
+
+    def test_converges_on_drifted_world(self, world):
+        """The tentpole behavior: streamed samples pull the service's
+        predictions onto the drifted truth without any refit."""
+        _, ids, service = world
+        observations = list(
+            synthetic_drift_stream(
+                service, samples=6000, drift=0.3, seed=7
+            )
+        )
+        truth = {
+            (o.host_id, o.reference_id, o.outgoing): o.rtt for o in observations
+        }
+        worker = RefreshWorker(service, learning_rate=0.5, flush_every=128)
+        worker.run(iter(observations))
+        errors = []
+        for (host, reference, outgoing), rtt in truth.items():
+            if outgoing:
+                predicted = service.engine.point(host, reference)
+            else:
+                predicted = service.engine.point(reference, host)
+            scale = max(abs(rtt), 1e-9)
+            errors.append(abs(predicted - rtt) / scale)
+        assert np.median(errors) < 0.05
+        stats = worker.stats()
+        assert stats.mean_abs_residual is not None
+        assert stats.samples_applied == len(observations)
+
+    def test_residual_ewma_shrinks_as_trackers_adapt(self, world):
+        _, _, service = world
+        observations = list(
+            synthetic_drift_stream(service, samples=4000, drift=0.3, seed=3)
+        )
+        worker = RefreshWorker(service, learning_rate=0.5, flush_every=128)
+        midpoint = len(observations) // 2
+        worker.run(iter(observations[:midpoint]))
+        early = worker.stats().mean_abs_residual
+        worker.run(iter(observations[midpoint:]))
+        late = worker.stats().mean_abs_residual
+        assert late < early
+
+    def test_eviction_mid_stream_drops_tracker(self, world):
+        _, _, service = world
+        worker = RefreshWorker(service, flush_every=10_000)
+        worker.observe(RttObservation("n9", "n0", 50.0))
+        service.evict_host("n9")
+        assert worker.flush() == 0  # gone host silently dropped
+        assert worker.stats().hosts_tracked == 0
+
+    def test_forget(self, world):
+        _, _, service = world
+        worker = RefreshWorker(service, flush_every=10_000)
+        worker.observe(RttObservation("n9", "n0", 50.0))
+        assert worker.forget("n9")
+        assert not worker.forget("n9")
+        assert worker.flush() == 0
+
+    def test_run_flushes_on_stream_end(self, world):
+        _, _, service = world
+        worker = RefreshWorker(service, flush_every=10_000)
+        applied = worker.run(
+            synthetic_drift_stream(service, samples=20, drift=0.2, seed=1)
+        )
+        assert applied > 0
+        assert worker.stats().flushes == 1
+        assert worker.stats().pending_hosts == 0
+
+
+class TestBackgroundMode:
+    def test_start_stop_drains_and_flushes(self, world):
+        _, _, service = world
+        worker = RefreshWorker(service, learning_rate=0.5, flush_every=64)
+        finite = list(
+            synthetic_drift_stream(service, samples=500, drift=0.2, seed=2)
+        )
+        started = threading.Event()
+
+        def stream():
+            for observation in itertools.cycle(finite):
+                started.set()
+                yield observation
+
+        worker.start(stream())
+        assert started.wait(timeout=5.0)
+        with pytest.raises(ValidationError):
+            worker.start(iter(finite))  # already running
+        deadline = time.monotonic() + 5.0
+        while worker.stats().samples_applied < 100:
+            if time.monotonic() > deadline:  # pragma: no cover - CI guard
+                pytest.fail("background worker made no progress")
+            time.sleep(0.01)
+        worker.stop()
+        assert not worker.running
+        stats = worker.stats()
+        assert stats.samples_applied >= 100
+        assert stats.pending_hosts == 0  # final flush ran
+
+    def test_stop_reports_timeout_and_recovers(self, world):
+        """A stream blocked between observations holds the thread past
+        the stop timeout; stop() must say so and keep the handle."""
+        _, _, service = world
+        worker = RefreshWorker(service, flush_every=10_000)
+        release = threading.Event()
+
+        def stream():
+            yield RttObservation("n9", "n0", 40.0)
+            release.wait(timeout=10.0)
+            yield RttObservation("n9", "n0", 41.0)
+
+        worker.start(stream())
+        deadline = time.monotonic() + 5.0
+        while worker.stats().samples_applied < 1:
+            if time.monotonic() > deadline:  # pragma: no cover - CI guard
+                pytest.fail("worker made no progress")
+            time.sleep(0.005)
+        assert worker.stop(timeout=0.05) is False
+        assert worker.running  # handle kept: the thread is still alive
+        release.set()
+        assert worker.stop(timeout=5.0) is True
+        assert not worker.running
+        assert worker.stats().pending_hosts == 0  # final flush still ran
+
+    def test_queries_stay_consistent_under_concurrent_refresh(self, world):
+        """Thread-safety: gathers racing bulk updates never tear."""
+        _, ids, service = world
+        worker = RefreshWorker(service, learning_rate=0.3, flush_every=32)
+        finite = list(
+            synthetic_drift_stream(service, samples=2000, drift=0.2, seed=4)
+        )
+        worker.start(iter(finite))
+        try:
+            iterations = 0
+            while worker.running or iterations < 50:
+                block = service.query_many_to_many(ids, ids)
+                assert np.all(np.isfinite(block))
+                service.query(ids[3], ids[5])
+                iterations += 1
+        finally:
+            worker.stop()
+        assert worker.stats().samples_applied == len(finite)

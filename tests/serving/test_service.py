@@ -296,3 +296,173 @@ class TestHealth:
         assert sum(health.shard_occupancy) == 20
         assert health.shard_imbalance >= 1.0
         assert "shards=4" in str(health)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestQueryPairs:
+    def test_matches_pointwise(self, service):
+        sources = ["h0", "h3", 2]
+        destinations = [1, "h5", "h0"]
+        values = service.query_pairs(sources, destinations)
+        for (s, d), value in zip(zip(sources, destinations), values):
+            assert value == pytest.approx(service.engine.point(s, d))
+
+    def test_bypasses_cache(self, service):
+        service.query_pairs(["h0"], ["h1"])
+        assert len(service.cache) == 0
+
+
+class TestInjectableClock:
+    def test_service_ttl_expires_without_sleeping(self, fitted_system):
+        _, system = fitted_system
+        clock = FakeClock()
+        service = system.to_service(
+            host_ids=[f"h{i}" for i in range(12)],
+            cache_ttl=30.0,
+            clock=clock,
+        )
+        service.query("h0", "h1")
+        clock.advance(29.0)
+        service.query("h0", "h1")
+        assert service.cache.stats().hits == 1
+        clock.advance(2.0)  # past the TTL: deterministic expiry
+        service.query("h0", "h1")
+        stats = service.cache.stats()
+        assert stats.expirations == 1
+        assert stats.hits == 1
+
+    def test_vector_ages_advance_with_clock(self, fitted_system):
+        _, system = fitted_system
+        clock = FakeClock()
+        service = system.to_service(
+            host_ids=[f"h{i}" for i in range(12)], clock=clock
+        )
+        clock.advance(10.0)
+        health = service.health()
+        assert health.max_vector_age_seconds == pytest.approx(10.0)
+        assert health.mean_vector_age_seconds == pytest.approx(10.0)
+        service.register_vectors("h0", HostVectors(np.ones(3), np.ones(3)))
+        health = service.health()
+        assert health.mean_vector_age_seconds < 10.0
+        assert health.max_vector_age_seconds == pytest.approx(10.0)
+
+
+class TestBulkRefreshUpdates:
+    def test_apply_vector_updates_rewrites_store(self, service):
+        fresh_out = np.full((2, 3), 7.0)
+        fresh_in = np.full((2, 3), 9.0)
+        assert service.apply_vector_updates(["h0", "h1"], fresh_out, fresh_in) == 2
+        np.testing.assert_array_equal(service.store.get("h0").outgoing, 7.0)
+        np.testing.assert_array_equal(service.store.get("h1").incoming, 9.0)
+
+    def test_apply_vector_updates_invalidates_only_touched_hosts(self, service):
+        service.query("h0", "h1")
+        service.query("h2", "h3")
+        assert len(service.cache) == 2
+        service.apply_vector_updates(
+            ["h0"], np.ones((1, 3)), np.ones((1, 3))
+        )
+        assert service.cache.get("h2", "h3") is not None
+        assert ("h0", "h1") not in service.cache
+
+    def test_apply_vector_updates_rejects_unknown_hosts(self, service):
+        with pytest.raises(ValidationError):
+            service.apply_vector_updates(
+                ["ghost"], np.ones((1, 3)), np.ones((1, 3))
+            )
+
+    def test_refresh_counters_and_staleness(self, fitted_system):
+        _, system = fitted_system
+        clock = FakeClock()
+        service = system.to_service(
+            host_ids=[f"h{i}" for i in range(12)], clock=clock
+        )
+        assert service.health().seconds_since_refresh is None
+        clock.advance(100.0)
+        service.apply_vector_updates(
+            ["h0", "h1"], np.ones((2, 3)), np.ones((2, 3))
+        )
+        clock.advance(5.0)
+        health = service.health()
+        assert health.vectors_refreshed == 2
+        assert health.refresh_batches == 1
+        assert health.seconds_since_refresh == pytest.approx(5.0)
+        assert health.max_vector_age_seconds == pytest.approx(105.0)
+        assert "refreshed=2" in str(health)
+
+    def test_eviction_clears_staleness_stamp(self, fitted_system):
+        _, system = fitted_system
+        clock = FakeClock()
+        service = system.to_service(
+            host_ids=[f"h{i}" for i in range(12)], clock=clock
+        )
+        clock.advance(50.0)
+        service.register_vectors("h0", HostVectors(np.ones(3), np.ones(3)))
+        service.evict_host("h0")
+        health = service.health()
+        # every remaining stamp dates from construction
+        assert health.max_vector_age_seconds == pytest.approx(50.0)
+        assert health.mean_vector_age_seconds == pytest.approx(50.0)
+
+
+class TestEpochGuardedCachePuts:
+    """A value computed from pre-refresh vectors must never be cached
+    after the refresh's invalidation already ran."""
+
+    def test_stale_epoch_put_is_rejected(self, service):
+        epoch = service.write_epoch
+        value = service.engine.point("h0", "h1")
+        service.apply_vector_updates(["h0"], np.ones((1, 3)), np.ones((1, 3)))
+        assert not service.cache_put_if_current(epoch, "h0", "h1", value)
+        assert service.cache.get("h0", "h1") is None
+
+    def test_current_epoch_put_is_stored(self, service):
+        epoch = service.write_epoch
+        assert service.cache_put_if_current(epoch, "h0", "h1", 4.5)
+        assert service.cache.get("h0", "h1") == 4.5
+
+    def test_bulk_put_all_or_nothing(self, service):
+        epoch = service.write_epoch
+        service.evict_host("h11")  # bumps the epoch
+        stored = service.cache_put_many_if_current(
+            epoch, [("h0", "h1", 1.0), ("h2", "h3", 2.0)]
+        )
+        assert stored == 0
+        assert len(service.cache) == 0
+
+    def test_every_write_path_bumps_the_epoch(self, service):
+        epoch = service.write_epoch
+        service.register_vectors("h0", HostVectors(np.ones(3), np.ones(3)))
+        assert service.write_epoch == epoch + 1
+        service.apply_vector_updates(["h1"], np.ones((1, 3)), np.ones((1, 3)))
+        assert service.write_epoch == epoch + 2
+        service.evict_host("h2")
+        assert service.write_epoch == epoch + 3
+        service.evict_host("absent")  # no-op: epoch unchanged
+        assert service.write_epoch == epoch + 3
+
+    def test_query_skips_caching_across_a_refresh(self, service, monkeypatch):
+        """Simulate the race: the refresh lands while query() computes."""
+        real_point = service.engine.point
+
+        def refresh_mid_compute(source_id, destination_id):
+            value = real_point(source_id, destination_id)
+            service.apply_vector_updates(
+                [source_id], np.zeros((1, 3)), np.zeros((1, 3))
+            )
+            return value
+
+        monkeypatch.setattr(service.engine, "point", refresh_mid_compute)
+        service.query("h0", "h1")
+        # the stale value must not have been cached
+        assert service.cache.get("h0", "h1") is None

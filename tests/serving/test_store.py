@@ -159,3 +159,75 @@ class TestShardedVectorStore:
     def test_invalid_shard_count(self):
         with pytest.raises(ValidationError):
             ShardedVectorStore(dimension=2, n_shards=0)
+
+
+class TestThreadSafety:
+    """Bulk writes racing gathers must never tear the row maps."""
+
+    def test_concurrent_put_many_and_gather(self):
+        import threading
+
+        rng = np.random.default_rng(0)
+        ids = [f"h{i}" for i in range(200)]
+        store = InMemoryVectorStore(dimension=3, initial_capacity=4)
+        store.put_many(ids, rng.random((200, 3)), rng.random((200, 3)))
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                store.put_many(
+                    ids[:50], rng.random((50, 3)), rng.random((50, 3))
+                )
+
+        def reader():
+            try:
+                for _ in range(300):
+                    outgoing, incoming = store.gather(ids)
+                    if outgoing.shape != (200, 3) or incoming.shape != (200, 3):
+                        errors.append("bad shape")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(repr(error))
+
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        reader_threads = [
+            threading.Thread(target=reader, daemon=True) for _ in range(3)
+        ]
+        writer_thread.start()
+        for thread in reader_threads:
+            thread.start()
+        for thread in reader_threads:
+            thread.join(timeout=30)
+        stop.set()
+        writer_thread.join(timeout=30)
+        assert errors == []
+
+    def test_concurrent_churn_on_sharded_store(self):
+        import threading
+
+        rng = np.random.default_rng(1)
+        ids = [f"h{i}" for i in range(120)]
+        store = ShardedVectorStore(dimension=2, n_shards=4, initial_capacity=2)
+        store.put_many(ids, rng.random((120, 2)), rng.random((120, 2)))
+        errors = []
+
+        def churn(offset):
+            try:
+                for i in range(200):
+                    host = f"extra-{offset}-{i % 10}"
+                    store.put(host, HostVectors(np.ones(2), np.ones(2)))
+                    store.gather(ids[:30])
+                    store.delete(host)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=churn, args=(t,), daemon=True)
+            for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert len(store) == 120

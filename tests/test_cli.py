@@ -90,7 +90,7 @@ class TestServe:
         batched = capsys.readouterr().out
         assert batched.count("3 ->") == 3
         # the same pair predicts the same value on both paths
-        line = next(l for l in batched.splitlines() if l.startswith("3 -> 5:"))
+        line = next(row for row in batched.splitlines() if row.startswith("3 -> 5:"))
         assert line in single
 
     def test_nearest(self, snapshot_path, capsys):
@@ -114,3 +114,75 @@ class TestServe:
             == 2
         )
         assert "unknown host" in capsys.readouterr().err
+
+
+class TestServeConcurrent:
+    def test_bench_concurrent_prints_comparison(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "bench-concurrent",
+                    "--hosts", "80",
+                    "--clients", "4",
+                    "--queries", "10",
+                    "--window", "4",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "per-query dispatch" in output
+        assert "coalesced micro-batched dispatch" in output
+        assert "speedup" in output
+
+
+class TestServeRefresh:
+    @pytest.fixture
+    def snapshot_path(self, tmp_path, capsys):
+        path = tmp_path / "refresh-service.npz"
+        assert (
+            main(
+                [
+                    "serve", "build", str(path),
+                    "--dataset", "nlanr",
+                    "--landmarks", "12",
+                    "--dimension", "6",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return path
+
+    def test_refresh_reports_convergence(self, snapshot_path, capsys):
+        assert (
+            main(
+                [
+                    "serve", "refresh", str(snapshot_path),
+                    "--samples", "600",
+                    "--drift", "0.2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "residual ewma" in output
+        assert "refreshed=" in output
+
+    def test_refresh_can_save_updated_snapshot(
+        self, snapshot_path, tmp_path, capsys
+    ):
+        refreshed = tmp_path / "refreshed.npz"
+        assert (
+            main(
+                [
+                    "serve", "refresh", str(snapshot_path),
+                    "--samples", "200",
+                    "--save", str(refreshed),
+                ]
+            )
+            == 0
+        )
+        assert refreshed.exists()
+        capsys.readouterr()
+        assert main(["serve", "health", str(refreshed)]) == 0
