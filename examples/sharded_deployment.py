@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Sharded deployment: the distance service split across processes.
+
+Builds on ``examples/serving_quickstart.py``: the same fitted model,
+but the directory now lives in *shard server processes* — each owning
+the slice of hosts that hashes to it — with a scatter-gather router in
+front, the deployment shape the IDES information server implies
+(paper Section 5.1). The walk-through:
+
+1. fit IDES once and snapshot the service to disk,
+2. spawn two shard server processes (empty, port 0 = OS-assigned),
+3. connect a ``ShardedQueryRouter`` and seed the cluster from the
+   snapshot (each host lands on its home shard),
+4. run point / one-to-many / k-nearest queries through the router and
+   check them against a local single-process service,
+5. serve the same queries through the unchanged
+   ``AsyncDistanceFrontend`` — callers cannot tell the backend is a
+   cluster,
+6. stream drifting RTT observations through a ``RefreshWorker`` whose
+   update sink (``ShardReplicator``) fans every flush out to the
+   shard processes, and
+7. read per-shard cluster health.
+
+Run with::
+
+    python examples/sharded_deployment.py
+
+The CLI equivalent (three terminals)::
+
+    ides-experiment serve build service.npz --dataset nlanr
+    ides-experiment serve shard --port 7001 --shard-index 0 --n-shards 2 \\
+        --snapshot service.npz
+    ides-experiment serve shard --port 7002 --shard-index 1 --n-shards 2 \\
+        --snapshot service.npz
+    ides-experiment serve router --shard 127.0.0.1:7001 \\
+        --shard 127.0.0.1:7002 --source 3 --dest 5 7 9 --nearest 5
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import IDESSystem, load_dataset, split_landmarks
+from repro.serving import (
+    AsyncDistanceFrontend,
+    RefreshWorker,
+    ShardReplicator,
+    connect_router,
+    spawn_shard_process,
+    synthetic_drift_stream,
+)
+
+N_SHARDS = 2
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Fit once, export, snapshot — the offline half of the split.
+    # ------------------------------------------------------------------
+    dataset = load_dataset("nlanr")
+    split = split_landmarks(dataset, n_landmarks=20, seed=42)
+    ides = IDESSystem(dimension=10, method="svd")
+    ides.fit_landmarks(split.landmark_matrix)
+    ides.place_hosts(split.out_distances, split.in_distances)
+    service = ides.to_service(
+        host_ids=[int(i) for i in split.ordinary_indices],
+        landmark_ids=[int(i) for i in split.landmark_indices],
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        snapshot_path = service.save(Path(scratch) / "service.npz")
+
+        # --------------------------------------------------------------
+        # 2. The online half: one process per shard. Each child binds a
+        #    free port and reports it back.
+        # --------------------------------------------------------------
+        shards = [
+            spawn_shard_process(index, N_SHARDS, dimension=service.dimension)
+            for index in range(N_SHARDS)
+        ]
+        addresses = [f"{shard.host}:{shard.port}" for shard in shards]
+        print(f"shard processes up: {addresses}")
+        try:
+            asyncio.run(drive_cluster(service, snapshot_path, addresses))
+        finally:
+            for shard in shards:
+                shard.stop()
+    print("shard processes stopped")
+
+
+async def drive_cluster(service, snapshot_path, addresses) -> None:
+    # ------------------------------------------------------------------
+    # 3. Handshake (verifies shard order, count and dimension), then
+    #    scatter the snapshot: every host's vectors go to the one shard
+    #    that shard_of() maps it to.
+    # ------------------------------------------------------------------
+    router = await connect_router(addresses)
+    snapshot = service.snapshot()
+    stored = await router.put_many(
+        snapshot.ids, snapshot.outgoing, snapshot.incoming
+    )
+    print(f"seeded {stored} hosts across {router.n_shards} shards")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. The same query shapes, now scatter-gathered over sockets —
+    #    answers are bit-identical to the local engine.
+    # ------------------------------------------------------------------
+    hosts = service.known_hosts()
+    a, b = hosts[25], hosts[40]
+    remote = await router.point(a, b)
+    print(f"point    {a} -> {b}: {remote:.2f} ms "
+          f"(local: {service.engine.point(a, b):.2f})")
+
+    fan_out = await router.one_to_many(a, hosts[30:38])
+    assert np.allclose(fan_out, service.engine.one_to_many(a, hosts[30:38]))
+    print(f"fan-out  {a} -> 8 hosts: {np.round(fan_out, 1)}")
+
+    neighbors = await router.k_nearest(a, 5)
+    assert neighbors == service.engine.k_nearest(a, 5)
+    print(f"5 nearest to {a}: {[(h, round(d, 2)) for h, d in neighbors]}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. The concurrent frontend takes the router as its backend —
+    #    coalesced micro-batches now scatter across the cluster.
+    # ------------------------------------------------------------------
+    async with AsyncDistanceFrontend(router) as frontend:
+        futures = [frontend.submit(a, other) for other in hosts[50:58]]
+        values = [await future for future in futures]
+        stats = frontend.stats()
+    print(f"frontend over the cluster: {len(values)} point queries in "
+          f"{stats.batches} dispatch cycle(s), mean batch {stats.mean_batch:.0f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 6. Online refresh across process boundaries: the worker flushes
+    #    into the local service, and the attached ShardReplicator fans
+    #    the same vectors out to every shard process.
+    # ------------------------------------------------------------------
+    replicator = ShardReplicator(addresses)
+    service.add_update_sink(replicator)
+    worker = RefreshWorker(service, learning_rate=0.5, flush_every=128)
+    worker.run(synthetic_drift_stream(service, samples=2000, drift=0.25, seed=7))
+    service.remove_update_sink(replicator)
+    replicator.close()
+
+    drifted_local = service.query_pairs(hosts[25:35], hosts[45:55])
+    drifted_remote = await router.pairs(hosts[25:35], hosts[45:55])
+    assert np.allclose(drifted_local, drifted_remote)
+    print(f"refresh fan-out: {worker.stats()}")
+    print("cluster agrees with the refreshed local service")
+    print()
+
+    # ------------------------------------------------------------------
+    # 7. Per-shard health: occupancy, served work, reachability.
+    # ------------------------------------------------------------------
+    health = await router.health()
+    for shard in health.shards:
+        print(f"  {shard}")
+    print(f"cluster health: {health}")
+    await router.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -165,6 +165,85 @@ def build_parser() -> argparse.ArgumentParser:
     refresh_parser.add_argument(
         "--save", default=None, help="write the refreshed snapshot here"
     )
+
+    shard_parser = serve_subparsers.add_parser(
+        "shard",
+        help="run one shard server process (blocks until a shutdown RPC)",
+    )
+    shard_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    shard_parser.add_argument(
+        "--port", type=int, default=0, help="bind port (default: 0 = pick free)"
+    )
+    shard_parser.add_argument(
+        "--shard-index", type=int, default=0, help="this server's shard slot"
+    )
+    shard_parser.add_argument(
+        "--n-shards", type=int, default=1, help="total shards in the deployment"
+    )
+    shard_parser.add_argument(
+        "--snapshot",
+        default=None,
+        help="seed from this snapshot (only hosts hashing to --shard-index)",
+    )
+    shard_parser.add_argument(
+        "--dimension",
+        type=int,
+        default=None,
+        help="model dimension for an empty shard (ignored with --snapshot)",
+    )
+    shard_parser.add_argument(
+        "--work-delay",
+        type=float,
+        default=0.0,
+        help="artificial per-request service time in seconds (benchmarks)",
+    )
+
+    router_parser = serve_subparsers.add_parser(
+        "router",
+        help="route queries across running shard servers (scatter-gather)",
+    )
+    router_parser.add_argument(
+        "--shard",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="shard server address, repeated once per shard, in shard order",
+    )
+    router_parser.add_argument(
+        "--snapshot",
+        default=None,
+        help="seed the shards with this snapshot's vectors before querying",
+    )
+    router_parser.add_argument(
+        "--source", type=int, default=None, help="source host id to query"
+    )
+    router_parser.add_argument(
+        "--dest",
+        type=int,
+        nargs="+",
+        default=None,
+        help="destination host id(s) for --source",
+    )
+    router_parser.add_argument(
+        "--nearest",
+        type=int,
+        default=None,
+        metavar="K",
+        help="also print the K nearest hosts to --source",
+    )
+    router_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-RPC timeout in seconds (default: 10)",
+    )
+    router_parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send every shard a shutdown RPC before exiting",
+    )
     return parser
 
 
@@ -336,6 +415,87 @@ def _command_serve_refresh(arguments) -> int:
     return 0
 
 
+def _command_serve_shard(arguments) -> int:
+    from .serving.transport import run_shard_server
+
+    run_shard_server(
+        dimension=arguments.dimension,
+        shard_index=arguments.shard_index,
+        n_shards=arguments.n_shards,
+        host=arguments.host,
+        port=arguments.port,
+        snapshot_path=arguments.snapshot,
+        work_delay=arguments.work_delay,
+        announce=print,
+    )
+    return 0
+
+
+def _command_serve_router(arguments) -> int:
+    import asyncio
+
+    from .exceptions import TransportError
+    from .serving import connect_router, load_snapshot
+
+    async def session() -> int:
+        try:
+            router = await connect_router(
+                arguments.shard, timeout=arguments.timeout
+            )
+        except TransportError as dark:
+            # A dark shard fails the topology handshake, but an
+            # operator pointing at a half-up cluster still needs the
+            # health report and --shutdown to reach the live shards.
+            if arguments.snapshot or arguments.source is not None:
+                raise
+            print(f"handshake failed ({dark}); degraded session", file=sys.stderr)
+            router = await connect_router(
+                arguments.shard, handshake=False, timeout=arguments.timeout
+            )
+        try:
+            if arguments.snapshot:
+                snapshot = load_snapshot(arguments.snapshot)
+                stored = await router.put_many(
+                    snapshot.ids, snapshot.outgoing, snapshot.incoming
+                )
+                print(
+                    f"seeded {stored} hosts across {router.n_shards} shards "
+                    f"from {arguments.snapshot}"
+                )
+            if arguments.source is not None and arguments.dest:
+                values = await router.one_to_many(
+                    arguments.source, arguments.dest
+                )
+                for destination, value in zip(arguments.dest, values):
+                    print(f"{arguments.source} -> {destination}: {value:.3f}")
+            if arguments.source is not None and arguments.nearest:
+                neighbors = await router.k_nearest(
+                    arguments.source, arguments.nearest
+                )
+                for host_id, distance in neighbors:
+                    print(f"{arguments.source} ~ {host_id}: {distance:.3f}")
+            health = await router.health()
+            for shard in health.shards:
+                print(f"  {shard}")
+            print(f"health: {health}")
+            if arguments.shutdown:
+                stopped = 0
+                for client in router.clients:
+                    # Best-effort: a shard that is already dark must not
+                    # keep the live ones running.
+                    try:
+                        await client.call("shutdown")
+                        stopped += 1
+                    except TransportError:
+                        pass
+                print(f"sent shutdown to {stopped}/{router.n_shards} shards")
+            return 2 if health.unreachable_shards else 0
+        finally:
+            await router.close()
+
+    return asyncio.run(session())
+
+
 def _command_serve(arguments) -> int:
     from .exceptions import ReproError
 
@@ -346,6 +506,8 @@ def _command_serve(arguments) -> int:
         "health": _command_serve_health,
         "bench-concurrent": _command_serve_bench_concurrent,
         "refresh": _command_serve_refresh,
+        "shard": _command_serve_shard,
+        "router": _command_serve_router,
     }
     try:
         return handlers[arguments.serve_command](arguments)

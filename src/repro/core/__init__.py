@@ -7,6 +7,7 @@ missing data), evaluated with the modified relative error of Eq. 10.
 
 from .diagnostics import (
     ServiceHealth,
+    ShardHealth,
     SpectrumDiagnostics,
     effective_rank,
     energy_captured,
@@ -37,6 +38,7 @@ __all__ = [
     "NMFFactorizer",
     "SVDFactorizer",
     "ServiceHealth",
+    "ShardHealth",
     "SpectrumDiagnostics",
     "apply_mask",
     "effective_rank",

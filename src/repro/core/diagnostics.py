@@ -17,6 +17,7 @@ from ..linalg import singular_spectrum
 
 __all__ = [
     "ServiceHealth",
+    "ShardHealth",
     "SpectrumDiagnostics",
     "spectrum_diagnostics",
     "effective_rank",
@@ -99,6 +100,46 @@ class SpectrumDiagnostics:
 
 
 @dataclass(frozen=True)
+class ShardHealth:
+    """Health of one shard of a (possibly distributed) directory.
+
+    For an in-process :class:`~repro.serving.store.ShardedVectorStore`
+    all shards share one query engine, so the per-shard served-work
+    counters are unknown (None). For a cross-process deployment each
+    :class:`~repro.serving.transport.ShardServer` reports its own
+    counters, and an unreachable shard is recorded with
+    ``reachable=False`` rather than silently dropped — a router health
+    report must show *which* partition of the directory is dark.
+
+    Attributes:
+        shard_index: the shard's slot in the hash space.
+        n_hosts: hosts stored on the shard (0 when unreachable).
+        queries_served / pairs_evaluated: the shard's own engine
+            counters, or None when not individually tracked.
+        address: ``host:port`` for remote shards, None in-process.
+        reachable: False when the shard could not be contacted.
+    """
+
+    shard_index: int
+    n_hosts: int
+    queries_served: int | None = None
+    pairs_evaluated: int | None = None
+    address: str | None = None
+    reachable: bool = True
+
+    def __str__(self) -> str:
+        location = f"@{self.address}" if self.address else ""
+        if not self.reachable:
+            return f"shard{self.shard_index}{location}:UNREACHABLE"
+        served = (
+            f" queries={self.queries_served}"
+            if self.queries_served is not None
+            else ""
+        )
+        return f"shard{self.shard_index}{location}:{self.n_hosts}hosts{served}"
+
+
+@dataclass(frozen=True)
 class ServiceHealth:
     """Operational counters of a running distance-query service.
 
@@ -125,6 +166,13 @@ class ServiceHealth:
         max_vector_age_seconds / mean_vector_age_seconds: staleness of
             the stored vectors (time since each host's last write), or
             None when the service does not track write times.
+        shards: per-shard :class:`ShardHealth` entries (empty when
+            unsharded); a cross-process router fills per-shard served
+            counters and reachability here.
+        update_sink_failures: vector-update fan-outs to attached
+            replicas (see
+            :meth:`~repro.serving.DistanceService.add_update_sink`)
+            that raised — replication lag the operator must see.
     """
 
     n_hosts: int
@@ -143,6 +191,8 @@ class ServiceHealth:
     seconds_since_refresh: float | None = None
     max_vector_age_seconds: float | None = None
     mean_vector_age_seconds: float | None = None
+    shards: tuple[ShardHealth, ...] = ()
+    update_sink_failures: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -158,12 +208,21 @@ class ServiceHealth:
         mean = sum(self.shard_occupancy) / len(self.shard_occupancy)
         return max(self.shard_occupancy) / mean
 
+    @property
+    def unreachable_shards(self) -> int:
+        """Shards that could not be contacted (0 for local stores)."""
+        return sum(1 for shard in self.shards if not shard.reachable)
+
     def __str__(self) -> str:
         shards = (
             f" shards={self.n_shards} imbalance={self.shard_imbalance:.2f}"
             if self.n_shards
             else ""
         )
+        if self.unreachable_shards:
+            shards += f" unreachable={self.unreachable_shards}"
+        if self.update_sink_failures:
+            shards += f" sink_failures={self.update_sink_failures}"
         refresh = ""
         if self.refresh_batches:
             age = (

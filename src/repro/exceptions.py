@@ -18,6 +18,10 @@ __all__ = [
     "MeasurementError",
     "SimulationError",
     "NotFittedError",
+    "TransportError",
+    "ProtocolError",
+    "ShardUnavailableError",
+    "RemoteShardError",
 ]
 
 
@@ -56,3 +60,33 @@ class SimulationError(ReproError, RuntimeError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A model method was called before the model was fitted."""
+
+
+class TransportError(ReproError, RuntimeError):
+    """Base class for cross-process shard-transport failures."""
+
+
+class ProtocolError(TransportError):
+    """A wire frame violated the protocol (bad magic, version, sizes).
+
+    Raised by the codec in :mod:`repro.serving.transport.protocol`; a
+    server that hits it answers with an error frame (when it still can)
+    and closes the offending connection, never the whole listener.
+    """
+
+
+class ShardUnavailableError(TransportError):
+    """A shard server could not be reached within the retry budget.
+
+    Carries ``shard_index`` when the failing shard is known, so a
+    router caller can tell *which* partition of the directory is dark.
+    """
+
+    def __init__(self, message: str, shard_index: int | None = None):
+        super().__init__(message)
+        self.shard_index = shard_index
+
+
+class RemoteShardError(TransportError):
+    """A shard server answered with an error frame the client cannot
+    map onto a more specific local exception type."""

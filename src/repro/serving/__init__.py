@@ -21,7 +21,25 @@ serves the traffic:
 * :mod:`~repro.serving.refresh` — :class:`RefreshWorker` streams RTT
   observations through online trackers back into the store while
   queries keep flowing;
-* :mod:`~repro.serving.snapshot` — portable ``.npz`` serialization.
+* :mod:`~repro.serving.snapshot` — portable ``.npz`` serialization;
+* :mod:`~repro.serving.transport` — the cross-process tier: a framed
+  binary wire protocol (``docs/wire-protocol.md``), :class:`ShardServer`
+  processes each owning one store shard, and
+  :class:`ShardedQueryRouter` scatter-gathering batches over sockets
+  behind the same frontend.
+
+Thread-safety at a glance (details in each module): stores and the
+cache serialize on internal locks, so refresh threads and query
+threads interleave safely; ``DistanceService`` guards membership,
+write stamps and the write epoch under one RLock and re-checks
+membership inside it so refreshes cannot resurrect evicted hosts;
+cache writers are epoch-guarded (capture ``write_epoch`` before
+computing, publish through ``cache_put_*_if_current``) so a stale
+prediction can never overwrite a refresh's invalidation; the asyncio
+frontend and router are single-event-loop objects, with
+:class:`~repro.serving.transport.ShardReplicator` as the documented
+bridge from thread-world writers. Time is always an injectable
+``clock`` so TTL and staleness tests advance it instead of sleeping.
 """
 
 from .cache import CacheStats, PredictionCache
@@ -42,7 +60,21 @@ from .refresh import (
 )
 from .service import DistanceService
 from .snapshot import ServiceSnapshot, load_snapshot, save_snapshot
-from .store import InMemoryVectorStore, ShardedVectorStore, VectorStore, shard_of
+from .store import (
+    InMemoryVectorStore,
+    ShardedVectorStore,
+    VectorStore,
+    group_by_shard,
+    shard_of,
+)
+from .transport import (
+    RemoteShardClient,
+    ShardReplicator,
+    ShardServer,
+    ShardedQueryRouter,
+    connect_router,
+    spawn_shard_process,
+)
 
 __all__ = [
     "AsyncDistanceFrontend",
@@ -55,15 +87,22 @@ __all__ = [
     "QueryEngine",
     "RefreshStats",
     "RefreshWorker",
+    "RemoteShardClient",
     "RttObservation",
     "ServiceSnapshot",
+    "ShardReplicator",
+    "ShardServer",
+    "ShardedQueryRouter",
     "ShardedVectorStore",
     "VectorStore",
+    "connect_router",
+    "group_by_shard",
     "load_snapshot",
     "measure_concurrent_throughput",
     "measure_per_query_throughput",
     "replay_observations",
     "save_snapshot",
     "shard_of",
+    "spawn_shard_process",
     "synthetic_drift_stream",
 ]

@@ -5,7 +5,20 @@ redirector asks about the same few thousand client/mirror pairs over
 and over — so a small LRU in front of the engine absorbs most of the
 read load. Entries can also age out (TTL) because predictions drift as
 vectors are refreshed, and a vector update invalidates every cached
-pair touching that host so the cache never serves stale coordinates.
+pair touching that host (a reverse index keys pairs by host, so the
+invalidation is exact, not a scan) so the cache never serves stale
+coordinates.
+
+Thread-safety and invariants: every lookup, insert and invalidation
+serializes on one internal lock, so a background refresh worker can
+invalidate hosts while query threads read. The cache itself is
+last-writer-wins and does not know about vector epochs — writers that
+compute values *outside* the lock must publish through
+:meth:`DistanceService.cache_put_if_current` (or the router's
+equivalent), which re-checks the service write epoch so a value
+computed from pre-refresh vectors can never overwrite a refresh's
+invalidation. Time comes from an injectable ``clock`` (monotonic) so
+TTL tests advance time instead of sleeping.
 """
 
 from __future__ import annotations

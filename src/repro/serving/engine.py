@@ -6,6 +6,15 @@ one dense product ``X[rows] @ Y[cols].T`` (paper Eq. 4). There is
 deliberately no per-pair Python loop anywhere on the read path; that
 is the entire performance story of the serving layer, quantified by
 ``benchmarks/bench_serving.py``.
+
+Thread-safety: the engine holds no query state of its own — reads are
+as safe as the underlying store's gathers (which lock internally) —
+but its served-work counters are mutated from every driver at once
+(thread-per-client servers, the asyncio dispatcher, refresh streams,
+shard-server RPC handlers), so counter updates serialize on a lock.
+In a cross-process deployment each
+:class:`~repro.serving.transport.ShardServer` owns a private engine;
+the router sums their counters into one health report.
 """
 
 from __future__ import annotations
@@ -18,7 +27,21 @@ import numpy as np
 from ..exceptions import ValidationError
 from .store import VectorStore
 
-__all__ = ["QueryEngine"]
+__all__ = ["QueryEngine", "top_k_ascending"]
+
+
+def top_k_ascending(distances: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest distances, ascending, stable ties.
+
+    One ``argpartition`` plus a stable sort of the winners —
+    O(n + k log k), never a full sort. Shared by
+    :meth:`QueryEngine.k_nearest` and the shard server's ``nearest``
+    RPC so a single-process engine and a routed cluster rank
+    identically (the e2e tests compare them element-for-element).
+    """
+    k = min(int(k), distances.shape[0])
+    top = np.argpartition(distances, k - 1)[:k]
+    return top[np.argsort(distances[top], kind="stable")]
 
 
 class QueryEngine:
@@ -143,10 +166,19 @@ class QueryEngine:
         distances = incoming @ source.outgoing
         self._count(len(candidates))
 
-        k = min(k, len(candidates))
-        top = np.argpartition(distances, k - 1)[:k]
-        top = top[np.argsort(distances[top], kind="stable")]
+        top = top_k_ascending(distances, k)
         return [(candidates[int(i)], float(distances[int(i)])) for i in top]
+
+    def count_served(self, pairs: int) -> None:
+        """Record one query of ``pairs`` pairs answered outside the engine.
+
+        The shard-server RPC handlers use this for vector-carrying
+        operations (a router ships a source vector instead of a source
+        id, so the dot products happen against the store directly): the
+        work still shows up in :class:`ServiceHealth` per-shard
+        counters either way.
+        """
+        self._count(int(pairs))
 
     def reset_counters(self) -> None:
         """Zero the served-work counters (benchmark hygiene)."""

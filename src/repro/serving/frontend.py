@@ -22,6 +22,23 @@ dispatch.
 Failure isolation: a batch containing an unknown host does not poison
 its neighbors — the dispatcher retries that batch per-request so only
 the offending futures receive the exception.
+
+Backends: the frontend dispatches into either a local synchronous
+:class:`~repro.serving.service.DistanceService` (engine calls execute
+inline on the event loop) or any *async backend* exposing coroutine
+``point`` / ``pairs`` / ``one_to_many`` / ``k_nearest`` methods plus
+the epoch-guarded cache surface (``cache``, ``write_epoch``,
+``cache_put_if_current``, ``cache_put_many_if_current``) — in
+practice the cross-process
+:class:`~repro.serving.transport.ShardedQueryRouter`, whose
+scatter-gather then overlaps network I/O across shards *within* each
+coalesced batch. Client-facing semantics are identical either way.
+
+Thread-safety contract: the frontend itself is single-loop — every
+``submit``/``query`` must come from the event loop that ran
+:meth:`AsyncDistanceFrontend.start`. Concurrency with refresh threads
+is delegated to the backend (the service's internal locks, or the
+router's single-loop discipline plus :class:`ShardReplicator`).
 """
 
 from __future__ import annotations
@@ -49,6 +66,62 @@ _POINT = 0
 _PAIRS = 1
 _FANOUT = 2
 _NEAREST = 3
+
+
+class _ServiceBackend:
+    """Adapts a synchronous :class:`DistanceService` to the async
+    backend protocol the dispatcher speaks.
+
+    The coroutine wrappers never actually await — engine batches run
+    inline on the event loop exactly as before this abstraction
+    existed — so the sync path pays one coroutine frame per call and
+    nothing else.
+    """
+
+    def __init__(self, service: DistanceService):
+        self.service = service
+
+    @property
+    def cache(self):
+        return self.service.cache
+
+    @property
+    def write_epoch(self) -> int:
+        return self.service.write_epoch
+
+    def cache_put_if_current(self, epoch, source_id, destination_id, value):
+        return self.service.cache_put_if_current(
+            epoch, source_id, destination_id, value
+        )
+
+    def cache_put_many_if_current(self, epoch, entries):
+        return self.service.cache_put_many_if_current(epoch, entries)
+
+    async def point(self, source_id, destination_id):
+        return self.service.engine.point(source_id, destination_id)
+
+    async def pairs(self, source_ids, destination_ids):
+        return self.service.engine.pairs(source_ids, destination_ids)
+
+    async def one_to_many(self, source_id, destination_ids):
+        return self.service.engine.one_to_many(source_id, destination_ids)
+
+    async def k_nearest(self, source_id, k, candidate_ids=None):
+        return self.service.engine.k_nearest(
+            source_id, k, candidate_ids=candidate_ids
+        )
+
+
+def _as_backend(service):
+    """Wrap a DistanceService; pass async backends (routers) through."""
+    if isinstance(service, DistanceService) or hasattr(service, "engine"):
+        return _ServiceBackend(service)
+    if asyncio.iscoroutinefunction(getattr(service, "pairs", None)):
+        return service
+    raise ValidationError(
+        f"frontend backend {service!r} is neither a DistanceService nor an "
+        "async query backend (coroutine point/pairs/one_to_many/k_nearest)"
+    )
 
 
 @dataclass(frozen=True)
@@ -90,10 +163,14 @@ class FrontendStats:
 
 
 class AsyncDistanceFrontend:
-    """Micro-batching asyncio frontend over a :class:`DistanceService`.
+    """Micro-batching asyncio frontend over a local service or a
+    remote shard cluster.
 
     Args:
-        service: the synchronous service to dispatch into.
+        service: the backend to dispatch into — a synchronous
+            :class:`DistanceService`, or an async backend such as
+            :class:`~repro.serving.transport.ShardedQueryRouter` (see
+            the module docstring for the protocol).
         max_batch: largest number of requests executed in one dispatch
             cycle; overflow stays queued for the next cycle.
         min_batch: dispatch cycles smaller than this wait up to
@@ -130,11 +207,13 @@ class AsyncDistanceFrontend:
         if max_wait_ms < 0:
             raise ValidationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         self.service = service
+        self._backend = _as_backend(service)
         self.max_batch = int(max_batch)
         self.min_batch = int(min_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
         self.populate_cache = bool(populate_cache)
         self._pending: list[tuple] = []
+        self._in_flight: list[tuple] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._wakeup: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -180,10 +259,15 @@ class AsyncDistanceFrontend:
             await task
         except asyncio.CancelledError:
             pass
-        for request in self._pending:
+        # Batch execution is now a real await point (async backends do
+        # network rounds), so cancellation can land mid-batch: the
+        # in-flight requests' futures must be cancelled along with the
+        # still-queued ones, or their callers would hang forever.
+        for request in [*self._in_flight, *self._pending]:
             future = request[-1]
             if not future.done():
                 future.cancel()
+        self._in_flight.clear()
         self._pending.clear()
 
     async def __aenter__(self) -> "AsyncDistanceFrontend":
@@ -220,7 +304,7 @@ class AsyncDistanceFrontend:
         in the same dispatch cycle. Cache hits return an
         already-resolved future without touching the queue.
         """
-        cache = self.service.cache
+        cache = self._backend.cache
         if len(cache):  # a probe into an empty cache is pure overhead
             cached = cache.get(source_id, destination_id)
             if cached is not None:
@@ -293,8 +377,12 @@ class AsyncDistanceFrontend:
             if not self._pending:
                 wakeup.clear()
             if batch:
+                # Deliberately NOT a try/finally: on CancelledError the
+                # batch must stay in _in_flight so stop() can cancel its
+                # futures; every non-cancel path clears it below.
+                self._in_flight = batch
                 try:
-                    self._execute(batch)
+                    await self._execute(batch)
                 except Exception as error:  # noqa: BLE001 - the dispatcher
                     # must survive anything: fail this batch's callers,
                     # keep serving everyone else.
@@ -302,23 +390,34 @@ class AsyncDistanceFrontend:
                         future = request[-1]
                         if not future.done():
                             future.set_exception(error)
+                self._in_flight = []
 
-    def _execute(self, batch: list[tuple]) -> None:
+    async def _execute(self, batch: list[tuple]) -> None:
         self._batches += 1
         self._coalesced += len(batch)
         self._max_batch_seen = max(self._max_batch_seen, len(batch))
 
         points = [r for r in batch if r[0] == _POINT]
+        singles = [r for r in batch if r[0] != _POINT]
+        # Everything in the cycle runs concurrently: with an async
+        # (router) backend the point batch and each pairs/1:N/k-NN
+        # request overlap their network rounds instead of paying them
+        # serially; with a sync service backend nothing actually
+        # yields, so execution order is unchanged. Failure isolation
+        # lives inside the tasks — none of them raises.
+        await asyncio.gather(
+            self._execute_point_batch(points),
+            *(self._execute_single(request) for request in singles),
+        )
+
+    async def _execute_point_batch(self, points: list[tuple]) -> None:
         try:
-            self._execute_points(points)
+            await self._execute_points(points)
         except Exception:  # noqa: BLE001 - any bad request (unknown or
             # even unhashable host id) must only fail its own future
-            self._execute_points_individually(points)
-        for request in batch:
-            if request[0] != _POINT:
-                self._execute_single(request)
+            await self._execute_points_individually(points)
 
-    def _execute_points(self, points: list[tuple]) -> None:
+    async def _execute_points(self, points: list[tuple]) -> None:
         """All point requests of the cycle as one dense pairs batch."""
         if not points:
             return
@@ -326,33 +425,35 @@ class AsyncDistanceFrontend:
         if not live:
             self._completed += len(points)
             return
-        epoch = self.service.write_epoch
+        backend = self._backend
+        epoch = backend.write_epoch
         if len(live) == 1:
             _, source_id, destination_id, future = live[0]
-            value = self.service.engine.point(source_id, destination_id)
-            future.set_result(value)
+            value = await backend.point(source_id, destination_id)
+            if not future.cancelled():
+                future.set_result(value)
             if self.populate_cache:
-                self.service.cache_put_if_current(
+                backend.cache_put_if_current(
                     epoch, source_id, destination_id, value
                 )
             self._completed += len(points)
             return
         sources = [r[1] for r in live]
         destinations = [r[2] for r in live]
-        values = self.service.engine.pairs(sources, destinations).tolist()
+        values = (await backend.pairs(sources, destinations)).tolist()
         for (_, source_id, destination_id, future), value in zip(live, values):
             if not future.cancelled():
                 future.set_result(value)
         if self.populate_cache:
             # Epoch-guarded: a refresh flush racing this batch must not
             # see its invalidation undone by these writes.
-            self.service.cache_put_many_if_current(
+            backend.cache_put_many_if_current(
                 epoch,
                 [(r[1], r[2], v) for r, v in zip(live, values)],
             )
         self._completed += len(points)
 
-    def _execute_points_individually(self, points: list[tuple]) -> None:
+    async def _execute_points_individually(self, points: list[tuple]) -> None:
         """Fallback when a coalesced batch contains a bad request.
 
         Only the offending futures get the exception; every other
@@ -363,32 +464,40 @@ class AsyncDistanceFrontend:
                 continue
             self._point_fallbacks += 1
             try:
-                future.set_result(
-                    self.service.engine.point(source_id, destination_id)
-                )
+                value = await self._backend.point(source_id, destination_id)
             except Exception as error:  # noqa: BLE001 - per-request fate
-                future.set_exception(error)
+                if not future.done():
+                    future.set_exception(error)
+            else:
+                if not future.done():
+                    future.set_result(value)
         self._completed += len(points)
 
-    def _execute_single(self, request: tuple) -> None:
+    async def _execute_single(self, request: tuple) -> None:
         kind, first, second, future = request
         self._completed += 1
         if future.cancelled():
             return
         try:
             if kind == _PAIRS:
-                future.set_result(self.service.engine.pairs(first, second))
+                result = await self._backend.pairs(first, second)
             elif kind == _FANOUT:
-                future.set_result(self.service.engine.one_to_many(first, second))
+                result = await self._backend.one_to_many(first, second)
             elif kind == _NEAREST:
                 k, candidates = second
-                future.set_result(
-                    self.service.engine.k_nearest(first, k, candidate_ids=candidates)
+                result = await self._backend.k_nearest(
+                    first, k, candidate_ids=candidates
                 )
             else:  # pragma: no cover - defensive
-                future.set_exception(ReproError(f"unknown request kind {kind}"))
+                if not future.done():
+                    future.set_exception(ReproError(f"unknown request kind {kind}"))
+                return
         except Exception as error:  # noqa: BLE001 - per-request fate
-            future.set_exception(error)
+            if not future.done():
+                future.set_exception(error)
+        else:
+            if not future.done():
+                future.set_result(result)
 
     # ------------------------------------------------------------------ #
     # introspection

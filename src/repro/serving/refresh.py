@@ -18,6 +18,17 @@ Observation streams are plain iterables; :func:`replay_observations`
 builds one from any (possibly NaN-masked) RTT matrix, and
 :func:`synthetic_drift_stream` fabricates a drifting world from the
 service's own predictions for demos and tests.
+
+The flush path composes with the service's invariants rather than
+duplicating them: membership is re-checked *inside* the service lock
+(an eviction racing a flush surfaces as ``ValidationError`` here, and
+the worker drops the vanished hosts and retries with the survivors),
+and the flush bumps the write epoch so concurrently-computed cache
+entries are discarded. In a cross-process deployment the same flush
+fans out to shard servers through any sinks attached with
+:meth:`DistanceService.add_update_sink` — e.g.
+:class:`~repro.serving.transport.ShardReplicator` — so one refresh
+stream maintains both the local store and the remote cluster.
 """
 
 from __future__ import annotations

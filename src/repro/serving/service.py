@@ -22,7 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from .._validation import check_dimension
-from ..core.diagnostics import ServiceHealth
+from ..core.diagnostics import ServiceHealth, ShardHealth
 from ..exceptions import NotFittedError, ValidationError
 from ..ides.host import solve_host_vectors
 from ..ides.vectors import HostVectors
@@ -89,6 +89,8 @@ class DistanceService:
         self._refresh_batches = 0
         self._last_refresh_at: float | None = None
         self._write_epoch = 0
+        self._update_sinks: list = []
+        self._update_sink_failures = 0
 
     # ------------------------------------------------------------------ #
     # construction from fitted models
@@ -331,7 +333,45 @@ class DistanceService:
             self._refresh_batches += 1
             self._last_refresh_at = self.clock()
             self._write_epoch += 1
+            sinks = list(self._update_sinks)
+        # Fan-out to attached replicas happens *outside* the service
+        # lock: a slow or dark remote shard must not stall the local
+        # query path. Sinks are best-effort — a failure is counted (and
+        # surfaced via health) but never rolls back the local update;
+        # flushes are idempotent overwrites, so the next one converges
+        # the replica.
+        for sink in sinks:
+            try:
+                sink(host_ids, outgoing, incoming)
+            except Exception:  # noqa: BLE001 - replication must not
+                # break local serving
+                with self._lock:
+                    self._update_sink_failures += 1
         return len(host_ids)
+
+    def add_update_sink(self, sink) -> None:
+        """Attach a replication sink to the bulk-refresh path.
+
+        ``sink(host_ids, outgoing, incoming)`` is invoked after every
+        successful :meth:`apply_vector_updates`, outside the service
+        lock, in registration order — the hook
+        :class:`~repro.serving.transport.ShardReplicator` uses to fan
+        refreshed vectors out to cross-process shard servers so a
+        :class:`~repro.serving.refresh.RefreshWorker` maintains a
+        whole cluster. Sink exceptions are swallowed and counted
+        (``update_sink_failures`` in :meth:`health`).
+        """
+        with self._lock:
+            self._update_sinks.append(sink)
+
+    def remove_update_sink(self, sink) -> bool:
+        """Detach a replication sink; returns whether it was attached."""
+        with self._lock:
+            try:
+                self._update_sinks.remove(sink)
+            except ValueError:
+                return False
+            return True
 
     def register_host(
         self,
@@ -500,14 +540,27 @@ class DistanceService:
         )
 
     def health(self) -> ServiceHealth:
-        """Operational counters as a :class:`ServiceHealth` report."""
+        """Operational counters as a :class:`ServiceHealth` report.
+
+        For a sharded store the report carries one
+        :class:`~repro.core.diagnostics.ShardHealth` per shard. In a
+        single process all shards share this service's engine, so the
+        per-shard served-work counters are None; a cross-process
+        :meth:`~repro.serving.transport.ShardedQueryRouter.health`
+        fills them from each shard server's own engine.
+        """
         cache_stats = self.cache.stats()
         if isinstance(self.store, ShardedVectorStore):
             n_shards = self.store.n_shards
             occupancy = tuple(self.store.occupancy())
+            shards = tuple(
+                ShardHealth(shard_index=index, n_hosts=count)
+                for index, count in enumerate(occupancy)
+            )
         else:
             n_shards = 0
             occupancy = ()
+            shards = ()
         now = self.clock()
         with self._lock:
             stamps = list(self._updated_at.values())
@@ -518,6 +571,7 @@ class DistanceService:
             )
             vectors_refreshed = self._vectors_refreshed
             refresh_batches = self._refresh_batches
+            sink_failures = self._update_sink_failures
         if stamps:
             ages = [now - stamp for stamp in stamps]
             max_age: float | None = max(ages)
@@ -541,4 +595,6 @@ class DistanceService:
             seconds_since_refresh=since_refresh,
             max_vector_age_seconds=max_age,
             mean_vector_age_seconds=mean_age,
+            shards=shards,
+            update_sink_failures=sink_failures,
         )

@@ -33,7 +33,13 @@ from .._validation import check_dimension
 from ..exceptions import ValidationError
 from ..ides.vectors import HostVectors
 
-__all__ = ["VectorStore", "InMemoryVectorStore", "ShardedVectorStore", "shard_of"]
+__all__ = [
+    "VectorStore",
+    "InMemoryVectorStore",
+    "ShardedVectorStore",
+    "shard_of",
+    "group_by_shard",
+]
 
 
 def shard_of(host_id: object, n_shards: int) -> int:
@@ -41,9 +47,31 @@ def shard_of(host_id: object, n_shards: int) -> int:
 
     Uses CRC-32 of the identifier's string form rather than Python's
     builtin ``hash`` so that the same identifier lands on the same
-    shard across processes and snapshot reloads.
+    shard across processes and snapshot reloads — the invariant the
+    cross-process transport (:mod:`repro.serving.transport`) relies on
+    to route requests without a directory lookup.
     """
     return zlib.crc32(repr(host_id).encode("utf-8")) % n_shards
+
+
+def group_by_shard(host_ids: Sequence, n_shards: int) -> dict[int, np.ndarray]:
+    """Positions of ``host_ids`` grouped by their ``shard_of`` shard.
+
+    The scatter primitive shared by :class:`ShardedVectorStore` (which
+    gathers once per in-process shard) and the cross-process
+    :class:`~repro.serving.transport.ShardedQueryRouter` (which turns
+    each group into one RPC): ``result[shard] -> array of positions``,
+    so results can be written back into request order.
+    """
+    assignments = np.fromiter(
+        (shard_of(host_id, n_shards) for host_id in host_ids),
+        dtype=int,
+        count=len(host_ids),
+    )
+    return {
+        int(shard_index): np.flatnonzero(assignments == shard_index)
+        for shard_index in np.unique(assignments)
+    }
 
 
 class VectorStore(ABC):
@@ -320,15 +348,7 @@ class ShardedVectorStore(VectorStore):
         return outgoing, incoming
 
     def _group_by_shard(self, host_ids: Sequence) -> dict[int, np.ndarray]:
-        assignments = np.fromiter(
-            (shard_of(host_id, self.n_shards) for host_id in host_ids),
-            dtype=int,
-            count=len(host_ids),
-        )
-        return {
-            int(shard_index): np.flatnonzero(assignments == shard_index)
-            for shard_index in np.unique(assignments)
-        }
+        return group_by_shard(host_ids, self.n_shards)
 
     def export(self) -> tuple[list, np.ndarray, np.ndarray]:
         identifiers: list = []

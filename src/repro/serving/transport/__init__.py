@@ -1,0 +1,63 @@
+"""Cross-process shard transport: the serving stack over sockets.
+
+The IDES architecture (paper Section 5.1) is explicitly a *networked*
+service — clients retrieve vectors and predictions from an information
+server over the wire — and everything below this package (hash-sharded
+:class:`~repro.serving.store.ShardedVectorStore`, the coalescing
+:class:`~repro.serving.frontend.AsyncDistanceFrontend`) was built
+shard-aware but ran in one process. This package supplies the missing
+transport so a deployment can put every shard in its own process (or
+on its own machine):
+
+* :mod:`~repro.serving.transport.protocol` — the length-prefixed
+  binary wire format: a fixed 16-byte prelude, a JSON header, and raw
+  C-order ndarray payloads (spec: ``docs/wire-protocol.md``);
+* :mod:`~repro.serving.transport.server` — :class:`ShardServer`, an
+  asyncio process owning one vector-store shard plus a local
+  :class:`~repro.serving.engine.QueryEngine`, serving point / pairs /
+  one-to-many / k-nearest / gather / update RPCs;
+* :mod:`~repro.serving.transport.client` — :class:`RemoteShardClient`,
+  a per-shard connection pool with call timeouts and bounded retries
+  (every RPC is idempotent, so a retry is always safe);
+* :mod:`~repro.serving.transport.router` — :class:`ShardedQueryRouter`,
+  which splits each batch by ``shard_of``, scatters the sub-batches
+  over the sockets concurrently, gathers the answers back into request
+  order, and exposes the async query surface
+  :class:`~repro.serving.frontend.AsyncDistanceFrontend` dispatches
+  into — existing frontend callers work unchanged on top of a remote
+  cluster. :class:`ShardReplicator` bridges the synchronous
+  :meth:`~repro.serving.service.DistanceService.add_update_sink` hook
+  onto the router so a :class:`~repro.serving.refresh.RefreshWorker`
+  keeps refreshing vectors across process boundaries.
+"""
+
+from .client import RemoteShardClient
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Message,
+    decode_frame,
+    encode_frame,
+    read_message,
+    write_message,
+)
+from .router import ShardedQueryRouter, ShardReplicator, connect_router
+from .server import ShardProcess, ShardServer, run_shard_server, spawn_shard_process
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "Message",
+    "RemoteShardClient",
+    "ShardProcess",
+    "ShardReplicator",
+    "ShardServer",
+    "ShardedQueryRouter",
+    "connect_router",
+    "decode_frame",
+    "encode_frame",
+    "read_message",
+    "run_shard_server",
+    "spawn_shard_process",
+    "write_message",
+]

@@ -1,0 +1,216 @@
+"""The shard client: a pooled, retrying RPC connection to one shard.
+
+:class:`RemoteShardClient` owns a small pool of TCP connections to one
+:class:`~repro.serving.transport.server.ShardServer`. Each
+:meth:`~RemoteShardClient.call` checks a connection out of the pool,
+writes one request frame, reads one response frame, and returns the
+connection — so a router can keep ``pool_size`` RPCs in flight against
+the same shard concurrently without interleaving frames on a socket.
+
+Failure policy: every operation in the wire vocabulary is idempotent
+(queries are pure; ``put``/``update``/``delete`` overwrite), so a call
+that dies on a connection error or times out is retried on a *fresh*
+connection up to ``retries`` times with linear backoff. When the
+budget is exhausted the call raises
+:class:`~repro.exceptions.ShardUnavailableError` — the signal the
+router uses to mark the shard dark. An error *frame* from a live
+server is not retried: it is mapped back onto the local exception
+hierarchy (``ValidationError`` for bad requests, ``ProtocolError`` for
+framing complaints, :class:`~repro.exceptions.RemoteShardError`
+otherwise) and raised immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from ...exceptions import (
+    ProtocolError,
+    RemoteShardError,
+    ShardUnavailableError,
+    ValidationError,
+)
+from .protocol import Message, read_message, write_message
+
+__all__ = ["RemoteShardClient"]
+
+#: Error-frame names mapped back onto local exception types. Anything
+#: else arrives as RemoteShardError carrying the remote type name.
+_ERROR_TYPES = {
+    "ValidationError": ValidationError,
+    "ProtocolError": ProtocolError,
+}
+
+
+class RemoteShardClient:
+    """Connection pool speaking the shard wire protocol to one address.
+
+    Args:
+        host / port: the shard server's address.
+        shard_index: the shard slot this client expects to find there
+            (attached to unavailability errors; verified by the
+            router's handshake, not here).
+        pool_size: maximum concurrent connections (and therefore
+            concurrent in-flight calls).
+        timeout: seconds allowed per attempt (connect + write + read).
+        retries: additional attempts after the first failure.
+        retry_backoff: sleep before retry ``n`` is ``n * retry_backoff``
+            seconds.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        shard_index: int | None = None,
+        pool_size: int = 4,
+        timeout: float = 10.0,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+    ):
+        if int(pool_size) < 1:
+            raise ValidationError(f"pool_size must be >= 1, got {pool_size}")
+        if timeout <= 0:
+            raise ValidationError(f"timeout must be > 0, got {timeout}")
+        if int(retries) < 0:
+            raise ValidationError(f"retries must be >= 0, got {retries}")
+        self.host = host
+        self.port = int(port)
+        self.shard_index = shard_index
+        self.pool_size = int(pool_size)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._slots = asyncio.Semaphore(self.pool_size)
+        self._closed = False
+        self.calls = 0
+        self.retries_used = 0
+
+    @property
+    def address(self) -> str:
+        """``host:port`` for messages and health reports."""
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # pool plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _checkout(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._free:
+            return self._free.pop()
+        return await asyncio.open_connection(self.host, self.port)
+
+    def _checkin(
+        self, connection: tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ) -> None:
+        if self._closed:
+            self._discard(connection)
+        else:
+            self._free.append(connection)
+
+    def _discard(
+        self, connection: tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ) -> None:
+        _, writer = connection
+        try:
+            writer.close()
+        except Exception:  # noqa: BLE001 - already-broken transport
+            pass
+
+    async def close(self) -> None:
+        """Close every pooled connection; in-flight calls may still
+        finish on their checked-out sockets."""
+        self._closed = True
+        while self._free:
+            self._discard(self._free.pop())
+
+    # ------------------------------------------------------------------ #
+    # the RPC
+    # ------------------------------------------------------------------ #
+
+    async def call(
+        self,
+        op: str,
+        fields: dict | None = None,
+        arrays: dict[str, np.ndarray] | None = None,
+    ) -> Message:
+        """One request/response round trip, with retries.
+
+        Returns the response :class:`Message` (its ``ok`` field
+        stripped). Raises the mapped remote exception for error frames
+        and :class:`ShardUnavailableError` when the shard cannot be
+        reached within the retry budget.
+        """
+        request = {"op": op, **(fields or {})}
+        failure: Exception | None = None
+        async with self._slots:
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.retries_used += 1
+                    await asyncio.sleep(attempt * self.retry_backoff)
+                try:
+                    # Retries must not pop another possibly-stale pooled
+                    # socket (after a server restart *every* pooled
+                    # connection is dead): attempt 2+ drains the pool
+                    # and dials fresh.
+                    return await asyncio.wait_for(
+                        self._call_once(request, arrays, fresh=attempt > 0),
+                        self.timeout,
+                    )
+                except (ConnectionError, OSError, asyncio.TimeoutError) as broken:
+                    failure = broken
+        reason = type(failure).__name__ if failure is not None else "failure"
+        raise ShardUnavailableError(
+            f"shard at {self.address} unreachable after "
+            f"{self.retries + 1} attempts ({reason}: {failure})",
+            shard_index=self.shard_index,
+        )
+
+    async def _call_once(
+        self,
+        request: dict,
+        arrays: dict[str, np.ndarray] | None,
+        fresh: bool = False,
+    ) -> Message:
+        if fresh:
+            while self._free:
+                self._discard(self._free.pop())
+        connection = await self._checkout()
+        reader, writer = connection
+        try:
+            await write_message(writer, request, arrays)
+            response = await read_message(reader)
+        except ProtocolError:
+            # The *response* was malformed — a server bug, not a flaky
+            # link. Drop the connection and surface it; retrying would
+            # just repeat the garbage.
+            self._discard(connection)
+            raise
+        except asyncio.CancelledError:
+            # A cancelled call (timeout) leaves the socket mid-frame;
+            # it must never return to the pool.
+            self._discard(connection)
+            raise
+        except (ConnectionError, OSError):
+            self._discard(connection)
+            raise
+        if response is None:
+            self._discard(connection)
+            raise ConnectionResetError("server closed the connection mid-call")
+        self._checkin(connection)
+        self.calls += 1
+        if response.fields.get("ok"):
+            fields = dict(response.fields)
+            fields.pop("ok", None)
+            return Message(fields=fields, arrays=response.arrays)
+        error_type = str(response.fields.get("error", "RemoteShardError"))
+        message = str(response.fields.get("message", "unspecified remote error"))
+        raised = _ERROR_TYPES.get(error_type)
+        if raised is not None:
+            raise raised(f"{message} (from shard at {self.address})")
+        raise RemoteShardError(
+            f"{error_type}: {message} (from shard at {self.address})"
+        )

@@ -1,0 +1,279 @@
+"""The wire format: framed JSON headers with raw ndarray payloads.
+
+One message is one frame; the full byte-level layout, the message
+vocabulary and the versioning rules are specified in
+``docs/wire-protocol.md`` (this module is the reference
+implementation). The short version::
+
+    offset  size  field
+    0       4     magic  b"IDES"
+    4       1     protocol version (currently 1)
+    5       1     flags (reserved, must be 0)
+    6       2     reserved (must be 0)
+    8       4     header length H, big-endian unsigned
+    12      4     body length B, big-endian unsigned
+    16      H     header: UTF-8 JSON object
+    16+H    B     body: the concatenated C-order bytes of every array
+
+The header carries all scalar fields (the operation name, host
+identifiers, error text, ...) plus an ``"arrays"`` list describing
+each binary payload: ``{"name": ..., "dtype": ..., "shape": [...]}``
+in body order. Splitting metadata from bulk keeps the hot path free of
+per-element encoding — a gathered ``(n, d)`` float64 matrix goes onto
+the socket as exactly its ``tobytes()`` — while staying introspectable
+with nothing but ``struct`` and ``json`` (no third-party codec to
+install on either end).
+
+Every decode guard raises :class:`~repro.exceptions.ProtocolError`:
+wrong magic, unknown version, non-zero reserved bits, frames above
+:data:`MAX_FRAME_BYTES`, header/body length mismatches, dtypes outside
+the allowlist. A server treats any of these as a poisoned connection —
+answer with an error frame if possible, then close; never crash the
+listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...exceptions import ProtocolError
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "PRELUDE",
+    "Message",
+    "encode_frame",
+    "decode_frame",
+    "read_message",
+    "write_message",
+]
+
+MAGIC = b"IDES"
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame (prelude + header + body). Large enough
+#: for ~4M float64 vector rows at d=10, small enough that a length
+#: field corrupted into garbage cannot make a peer allocate the moon.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: The fixed 16-byte frame prelude (see the module docstring).
+PRELUDE = struct.Struct("!4sBBHII")
+
+#: dtypes allowed on the wire. Everything the serving stack ships is
+#: float64 matrices or int64 index vectors; an allowlist means a
+#: malicious header cannot smuggle object dtypes through ``np.frombuffer``.
+_WIRE_DTYPES = {"<f8", "<i8"}
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded frame: scalar fields plus named arrays.
+
+    Attributes:
+        fields: the header's scalar entries (``"arrays"`` removed).
+        arrays: name -> ndarray for each binary payload, C-order, with
+            the dtype and shape the header declared.
+    """
+
+    fields: dict
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def op(self) -> str:
+        """The operation name (requests) or ``""`` when absent."""
+        return str(self.fields.get("op", ""))
+
+    def array(self, name: str) -> np.ndarray:
+        """A named payload; raises :class:`ProtocolError` when missing."""
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise ProtocolError(f"frame is missing array {name!r}") from None
+
+
+def _wire_dtype(array: np.ndarray) -> str:
+    if array.dtype == np.float64:
+        return "<f8"
+    if array.dtype == np.int64:
+        return "<i8"
+    raise ProtocolError(
+        f"dtype {array.dtype} is not wire-encodable; use float64 or int64"
+    )
+
+
+def encode_frame(fields: dict, arrays: dict[str, np.ndarray] | None = None) -> bytes:
+    """Serialize one message into a complete frame.
+
+    Args:
+        fields: JSON-representable scalar fields. Must not contain the
+            reserved key ``"arrays"``.
+        arrays: named ndarray payloads; converted to contiguous
+            float64/int64 before hitting the wire.
+
+    Returns:
+        the frame bytes, prelude included.
+    """
+    if "arrays" in fields:
+        raise ProtocolError("'arrays' is a reserved header key")
+    manifest = []
+    blobs = []
+    for name, payload in (arrays or {}).items():
+        payload = np.ascontiguousarray(payload)
+        if payload.dtype != np.int64 and payload.dtype != np.float64:
+            if payload.dtype.kind not in "biuf":
+                raise ProtocolError(
+                    f"dtype {payload.dtype} is not wire-encodable; use "
+                    "float64 or int64"
+                )
+            payload = np.ascontiguousarray(payload, dtype=np.float64)
+        manifest.append(
+            {
+                "name": str(name),
+                "dtype": _wire_dtype(payload),
+                "shape": list(payload.shape),
+            }
+        )
+        blobs.append(payload.tobytes())
+    header = json.dumps(
+        {**fields, "arrays": manifest}, separators=(",", ":")
+    ).encode("utf-8")
+    body = b"".join(blobs)
+    frame_length = PRELUDE.size + len(header) + len(body)
+    if frame_length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {frame_length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    prelude = PRELUDE.pack(
+        MAGIC, PROTOCOL_VERSION, 0, 0, len(header), len(body)
+    )
+    return prelude + header + body
+
+
+def _decode_prelude(prelude: bytes) -> tuple[int, int]:
+    """Validate a 16-byte prelude; returns (header_length, body_length)."""
+    try:
+        magic, version, flags, reserved, header_length, body_length = (
+            PRELUDE.unpack(prelude)
+        )
+    except struct.error as broken:
+        raise ProtocolError(f"truncated frame prelude: {broken}") from None
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (speaking "
+            f"{PROTOCOL_VERSION})"
+        )
+    if flags != 0 or reserved != 0:
+        raise ProtocolError("reserved prelude bits are set")
+    if PRELUDE.size + header_length + body_length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame of {PRELUDE.size + header_length + body_length} "
+            f"bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return header_length, body_length
+
+
+def _decode_payload(header_bytes: bytes, body: bytes) -> Message:
+    """Parse header JSON + body blobs into a :class:`Message`."""
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as broken:
+        raise ProtocolError(f"frame header is not JSON: {broken}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    manifest = header.pop("arrays", [])
+    if not isinstance(manifest, list):
+        raise ProtocolError("'arrays' must be a list of descriptors")
+    arrays: dict[str, np.ndarray] = {}
+    offset = 0
+    for descriptor in manifest:
+        try:
+            name = descriptor["name"]
+            dtype = descriptor["dtype"]
+            shape = tuple(int(n) for n in descriptor["shape"])
+        except (TypeError, KeyError) as broken:
+            raise ProtocolError(
+                f"malformed array descriptor {descriptor!r}: {broken}"
+            ) from None
+        if dtype not in _WIRE_DTYPES:
+            raise ProtocolError(f"dtype {dtype!r} is not on the wire allowlist")
+        if any(n < 0 for n in shape):
+            raise ProtocolError(f"negative dimension in shape {shape}")
+        count = 1
+        for n in shape:
+            count *= n
+        nbytes = count * 8  # both wire dtypes are 8 bytes wide
+        if offset + nbytes > len(body):
+            raise ProtocolError(
+                f"array {name!r} overruns the frame body "
+                f"({offset + nbytes} > {len(body)} bytes)"
+            )
+        flat = np.frombuffer(body, dtype=np.dtype(dtype), count=count, offset=offset)
+        # Copy so the message owns writable memory independent of the
+        # receive buffer.
+        arrays[str(name)] = flat.reshape(shape).copy()
+        offset += nbytes
+    if offset != len(body):
+        raise ProtocolError(
+            f"frame body has {len(body) - offset} undeclared trailing bytes"
+        )
+    return Message(fields=header, arrays=arrays)
+
+
+def decode_frame(frame: bytes) -> Message:
+    """Decode one complete frame (the exact bytes of :func:`encode_frame`)."""
+    header_length, body_length = _decode_prelude(frame[: PRELUDE.size])
+    if len(frame) != PRELUDE.size + header_length + body_length:
+        raise ProtocolError(
+            f"frame is {len(frame)} bytes, prelude declares "
+            f"{PRELUDE.size + header_length + body_length}"
+        )
+    header_end = PRELUDE.size + header_length
+    return _decode_payload(frame[PRELUDE.size : header_end], frame[header_end:])
+
+
+async def read_message(reader: asyncio.StreamReader) -> Message | None:
+    """Read one frame from a stream.
+
+    Returns None on a clean EOF at a frame boundary (the peer hung
+    up). EOF *mid-frame* raises :class:`ConnectionResetError` — the
+    peer died, which is a transport failure the client may retry —
+    while malformed bytes raise :class:`ProtocolError`, which is never
+    retriable.
+    """
+    try:
+        prelude = await reader.readexactly(PRELUDE.size)
+    except asyncio.IncompleteReadError as eof:
+        if not eof.partial:
+            return None
+        raise ConnectionResetError(
+            f"connection closed mid-prelude ({len(eof.partial)} bytes)"
+        ) from None
+    header_length, body_length = _decode_prelude(prelude)
+    try:
+        header_bytes = await reader.readexactly(header_length)
+        body = await reader.readexactly(body_length)
+    except asyncio.IncompleteReadError as eof:
+        raise ConnectionResetError(
+            f"connection closed mid-frame ({len(eof.partial)} bytes short)"
+        ) from None
+    return _decode_payload(header_bytes, body)
+
+
+async def write_message(
+    writer: asyncio.StreamWriter,
+    fields: dict,
+    arrays: dict[str, np.ndarray] | None = None,
+) -> None:
+    """Encode and send one frame, draining the transport buffer."""
+    writer.write(encode_frame(fields, arrays))
+    await writer.drain()

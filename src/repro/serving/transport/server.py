@@ -1,0 +1,592 @@
+"""The shard server: one vector-store partition behind a socket.
+
+A :class:`ShardServer` is the process-level unit of a distributed
+deployment: it owns exactly one
+:class:`~repro.serving.store.InMemoryVectorStore` (the hosts whose
+``shard_of(host_id, n_shards)`` equals its ``shard_index``) plus a
+local :class:`~repro.serving.engine.QueryEngine`, and answers the RPC
+vocabulary of ``docs/wire-protocol.md`` over length-prefixed frames.
+
+Request handling is deliberately single-frame-in / single-frame-out
+per connection turn: a connection carries one outstanding request at a
+time, and concurrency comes from the client side opening a small pool
+of connections. Handler bodies run synchronously between awaits on one
+event loop, so per-request store mutations are atomic without extra
+locking (the store's own lock still guards against a co-located
+refresh thread when a server is embedded in a bigger process).
+
+Error discipline: a request that fails validation gets an error frame
+naming the exception type and message, and the connection stays up; a
+frame that violates the protocol poisons only its own connection; the
+listener itself survives both.
+
+Host identifiers must be wire-representable — ``str`` or ``int`` —
+exactly like snapshot identifiers (:mod:`repro.serving.snapshot`).
+
+:func:`run_shard_server` is the blocking entry point used by the
+``ides-experiment serve shard`` CLI and by
+:func:`spawn_shard_process`, which forks a shard into a child process
+and reports the bound address back — the building block of the
+end-to-end tests and ``benchmarks/bench_transport.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import queue
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..._validation import check_dimension
+from ...exceptions import (
+    ProtocolError,
+    ReproError,
+    TransportError,
+    ValidationError,
+)
+from ..engine import QueryEngine, top_k_ascending
+from ..snapshot import load_snapshot
+from ..store import InMemoryVectorStore, shard_of
+from .protocol import PROTOCOL_VERSION, Message, read_message, write_message
+
+__all__ = ["ShardServer", "ShardProcess", "run_shard_server", "spawn_shard_process"]
+
+
+def _check_wire_ids(host_ids: list) -> list:
+    for host_id in host_ids:
+        if not isinstance(host_id, (str, int)):
+            raise ValidationError(
+                f"host id {host_id!r} is not wire-representable; the "
+                "transport supports only str or int identifiers"
+            )
+    return host_ids
+
+
+class ShardServer:
+    """Asyncio server for one shard of the distance directory.
+
+    Args:
+        dimension: model dimension ``d`` (ignored when ``store`` is
+            given).
+        shard_index: which partition of the ``shard_of`` hash space
+            this server owns.
+        n_shards: total partitions in the deployment; the router
+            cross-checks both values during its handshake.
+        host / port: bind address (port 0 picks a free port; the bound
+            address is available as :attr:`address` after
+            :meth:`start`).
+        store: a prebuilt store to serve (defaults to an empty
+            :class:`InMemoryVectorStore` that the router seeds over
+            ``put`` RPCs).
+        work_delay: artificial seconds of service time added to every
+            request — a test/benchmark hook modeling network and
+            compute latency deterministically, never set in real
+            deployments.
+    """
+
+    def __init__(
+        self,
+        dimension: int | None = None,
+        shard_index: int = 0,
+        n_shards: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: InMemoryVectorStore | None = None,
+        work_delay: float = 0.0,
+    ):
+        if store is None:
+            if dimension is None:
+                raise ValidationError("ShardServer needs a dimension or a store")
+            store = InMemoryVectorStore(check_dimension(dimension))
+        if not 0 <= int(shard_index) < int(n_shards):
+            raise ValidationError(
+                f"shard_index must be in [0, {n_shards}), got {shard_index}"
+            )
+        if work_delay < 0:
+            raise ValidationError(f"work_delay must be >= 0, got {work_delay}")
+        self.store = store
+        self.engine = QueryEngine(store)
+        self.shard_index = int(shard_index)
+        self.n_shards = int(n_shards)
+        self.work_delay = float(work_delay)
+        self._host = host
+        self._port = int(port)
+        self._server: asyncio.base_events.Server | None = None
+        self._stopped: asyncio.Event | None = None
+        self.connections_rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; raises before :meth:`start`."""
+        if self._server is None:
+            raise TransportError("shard server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        if self._server is not None:
+            return self.address
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting and release the listening socket."""
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        try:
+            # 3.12's wait_closed also drains live client connections; a
+            # router pool keeping idle sockets open must not wedge the
+            # shutdown, so the wait is bounded and best-effort.
+            await asyncio.wait_for(server.wait_closed(), timeout=1.0)
+        except asyncio.TimeoutError:
+            pass
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` runs (e.g. via a ``shutdown`` RPC)."""
+        if self._stopped is None:
+            raise TransportError("shard server is not started")
+        await self._stopped.wait()
+
+    async def __aenter__(self) -> "ShardServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # connection loop
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_message(reader)
+                except ProtocolError as broken:
+                    # Poisoned connection: best-effort error frame, then
+                    # hang up. The listener and every other connection
+                    # keep serving.
+                    self.connections_rejected += 1
+                    await self._try_error(writer, broken)
+                    return
+                if request is None:  # clean EOF
+                    return
+                stop_after = await self._answer(writer, request)
+                if stop_after:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _try_error(
+        self, writer: asyncio.StreamWriter, error: Exception
+    ) -> None:
+        try:
+            await write_message(
+                writer,
+                {"ok": False, "error": type(error).__name__, "message": str(error)},
+            )
+        except (ConnectionError, OSError):  # pragma: no cover - peer is gone
+            pass
+
+    async def _answer(
+        self, writer: asyncio.StreamWriter, request: Message
+    ) -> bool:
+        """Handle one request; returns True when the server should stop."""
+        if self.work_delay:
+            await asyncio.sleep(self.work_delay)
+        handler = self._HANDLERS.get(request.op)
+        try:
+            if handler is None:
+                raise ValidationError(f"unknown operation {request.op!r}")
+            fields, arrays = handler(self, request)
+        except ReproError as error:
+            await self._try_error(writer, error)
+            return False
+        except Exception as error:  # noqa: BLE001 - a handler bug must
+            # surface at the caller as an error frame, not kill the shard
+            await self._try_error(writer, error)
+            return False
+        await write_message(writer, {"ok": True, **fields}, arrays)
+        if request.op == "shutdown":
+            asyncio.get_running_loop().call_soon(
+                lambda: asyncio.ensure_future(self.stop())
+            )
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # handlers — one per wire operation (docs/wire-protocol.md)
+    # ------------------------------------------------------------------ #
+
+    def _local_ids(self, message: Message, key: str = "ids") -> list:
+        ids = message.fields.get(key)
+        if not isinstance(ids, list):
+            raise ValidationError(f"operation needs a list field {key!r}")
+        return _check_wire_ids(ids)
+
+    def _scalar_id(self, message: Message, key: str) -> object:
+        host_id = message.fields.get(key)
+        if not isinstance(host_id, (str, int)):
+            raise ValidationError(
+                f"operation needs a str/int field {key!r}, got {host_id!r}"
+            )
+        return host_id
+
+    def _op_ping(self, message: Message) -> tuple[dict, dict]:
+        return (
+            {
+                "version": PROTOCOL_VERSION,
+                "shard_index": self.shard_index,
+                "n_shards": self.n_shards,
+                "dimension": self.store.dimension,
+                "n_hosts": len(self.store),
+            },
+            {},
+        )
+
+    def _op_put_many(self, message: Message) -> tuple[dict, dict]:
+        ids = self._local_ids(message)
+        outgoing = message.array("outgoing")
+        incoming = message.array("incoming")
+        misrouted = [
+            i for i in ids if shard_of(i, self.n_shards) != self.shard_index
+        ]
+        if misrouted:
+            raise ValidationError(
+                f"hosts {misrouted[:5]!r} do not belong to shard "
+                f"{self.shard_index}/{self.n_shards}"
+            )
+        self.store.put_many(ids, outgoing, incoming)
+        return {"stored": len(ids)}, {}
+
+    def _op_update_many(self, message: Message) -> tuple[dict, dict]:
+        ids = self._local_ids(message)
+        unknown = [i for i in ids if i not in self.store]
+        if unknown:
+            raise ValidationError(
+                f"cannot refresh unregistered hosts: {unknown[:5]!r}"
+            )
+        self.store.put_many(ids, message.array("outgoing"), message.array("incoming"))
+        return {"updated": len(ids)}, {}
+
+    def _op_delete(self, message: Message) -> tuple[dict, dict]:
+        host_id = self._scalar_id(message, "id")
+        return {"deleted": self.store.delete(host_id)}, {}
+
+    def _op_gather(self, message: Message) -> tuple[dict, dict]:
+        ids = self._local_ids(message)
+        which = message.fields.get("which", "both")
+        outgoing, incoming = self.store.gather(ids)
+        # A gather is the shard's share of a routed batch (the einsum
+        # runs at the router), so it must register as served work or
+        # the dominant pairs path would leave every counter at zero.
+        self.engine.count_served(0)
+        if which == "out":
+            return {}, {"outgoing": outgoing}
+        if which == "in":
+            return {}, {"incoming": incoming}
+        if which != "both":
+            raise ValidationError(f"gather 'which' must be out/in/both, got {which!r}")
+        return {}, {"outgoing": outgoing, "incoming": incoming}
+
+    def _op_ids(self, message: Message) -> tuple[dict, dict]:
+        return {"ids": self.store.ids()}, {}
+
+    def _op_point(self, message: Message) -> tuple[dict, dict]:
+        source_id = self._scalar_id(message, "source")
+        destination_id = self._scalar_id(message, "dest")
+        return {"value": self.engine.point(source_id, destination_id)}, {}
+
+    def _op_pairs(self, message: Message) -> tuple[dict, dict]:
+        sources = self._local_ids(message, "sources")
+        destinations = self._local_ids(message, "dests")
+        return {}, {"values": self.engine.pairs(sources, destinations)}
+
+    def _op_fanout(self, message: Message) -> tuple[dict, dict]:
+        """One-to-many with the source vector shipped in the request —
+        the cross-shard form: the router fetched the source's outgoing
+        vector from its home shard and scatters it to every shard
+        holding destinations."""
+        destinations = self._local_ids(message, "dests")
+        source_out = message.array("source_out")
+        if source_out.shape != (self.store.dimension,):
+            raise ValidationError(
+                f"source_out must have shape ({self.store.dimension},), "
+                f"got {source_out.shape}"
+            )
+        _, incoming = self.store.gather(destinations)
+        self.engine.count_served(len(destinations))
+        return {}, {"values": incoming @ source_out}
+
+    def _op_nearest(self, message: Message) -> tuple[dict, dict]:
+        """Local top-k among this shard's hosts; the router merges the
+        per-shard candidate lists into the global answer."""
+        k = int(message.fields.get("k", 0))
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        source_out = message.array("source_out")
+        if source_out.shape != (self.store.dimension,):
+            raise ValidationError(
+                f"source_out must have shape ({self.store.dimension},), "
+                f"got {source_out.shape}"
+            )
+        candidates = message.fields.get("candidates")
+        if candidates is None:
+            candidates = self.store.ids()
+        else:
+            candidates = _check_wire_ids(list(candidates))
+        exclude = message.fields.get("exclude")
+        if exclude is not None:
+            candidates = [c for c in candidates if c != exclude]
+        if not candidates:
+            return {"ids": []}, {"values": np.zeros(0)}
+        _, incoming = self.store.gather(candidates)
+        distances = incoming @ source_out
+        self.engine.count_served(len(candidates))
+        top = top_k_ascending(distances, k)
+        return (
+            {"ids": [candidates[int(i)] for i in top]},
+            {"values": distances[top]},
+        )
+
+    def _op_export(self, message: Message) -> tuple[dict, dict]:
+        ids, outgoing, incoming = self.store.export()
+        _check_wire_ids(ids)
+        return {"ids": ids}, {"outgoing": outgoing, "incoming": incoming}
+
+    def _op_health(self, message: Message) -> tuple[dict, dict]:
+        return (
+            {
+                "shard_index": self.shard_index,
+                "n_shards": self.n_shards,
+                "dimension": self.store.dimension,
+                "n_hosts": len(self.store),
+                "queries_served": self.engine.queries_served,
+                "pairs_evaluated": self.engine.pairs_evaluated,
+                "connections_rejected": self.connections_rejected,
+            },
+            {},
+        )
+
+    def _op_shutdown(self, message: Message) -> tuple[dict, dict]:
+        return {"stopping": True}, {}
+
+    _HANDLERS = {
+        "ping": _op_ping,
+        "put_many": _op_put_many,
+        "update_many": _op_update_many,
+        "delete": _op_delete,
+        "gather": _op_gather,
+        "ids": _op_ids,
+        "point": _op_point,
+        "pairs": _op_pairs,
+        "fanout": _op_fanout,
+        "nearest": _op_nearest,
+        "export": _op_export,
+        "health": _op_health,
+        "shutdown": _op_shutdown,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# process entry points
+# ---------------------------------------------------------------------- #
+
+
+def _shard_store_from_snapshot(
+    snapshot_path: str, shard_index: int, n_shards: int
+) -> InMemoryVectorStore:
+    """This shard's slice of a snapshot: the hosts ``shard_of`` maps here."""
+    snapshot = load_snapshot(snapshot_path)
+    store = InMemoryVectorStore(snapshot.dimension)
+    keep = [
+        row
+        for row, host_id in enumerate(snapshot.ids)
+        if shard_of(host_id, n_shards) == shard_index
+    ]
+    if keep:
+        store.put_many(
+            [snapshot.ids[row] for row in keep],
+            snapshot.outgoing[keep],
+            snapshot.incoming[keep],
+        )
+    return store
+
+
+def run_shard_server(
+    dimension: int | None = None,
+    shard_index: int = 0,
+    n_shards: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    snapshot_path: str | None = None,
+    work_delay: float = 0.0,
+    ready=None,
+    announce=None,
+) -> None:
+    """Run one shard server until a ``shutdown`` RPC (blocking).
+
+    Args:
+        dimension: model dimension for an empty shard (ignored with a
+            snapshot).
+        shard_index / n_shards: this server's slot in the hash space.
+        host / port: bind address (port 0 picks a free port).
+        snapshot_path: seed the shard with its slice of a service
+            snapshot (only hosts hashing to ``shard_index`` are kept).
+        work_delay: per-request artificial service time (benchmarks).
+        ready: optional queue-like object; the bound ``(host, port)``
+            is ``put()`` once the server listens — how
+            :func:`spawn_shard_process` learns the OS-assigned port.
+        announce: optional callable for a human-readable startup line
+            (the CLI passes ``print``).
+    """
+    store = None
+    if snapshot_path is not None:
+        store = _shard_store_from_snapshot(snapshot_path, shard_index, n_shards)
+
+    async def serve() -> None:
+        server = ShardServer(
+            dimension=dimension,
+            shard_index=shard_index,
+            n_shards=n_shards,
+            host=host,
+            port=port,
+            store=store,
+            work_delay=work_delay,
+        )
+        bound_host, bound_port = await server.start()
+        if ready is not None:
+            ready.put((bound_host, bound_port))
+        if announce is not None:
+            announce(
+                f"shard {shard_index}/{n_shards} listening on "
+                f"{bound_host}:{bound_port} ({len(server.store)} hosts, "
+                f"d={server.store.dimension})"
+            )
+        await server.wait_stopped()
+
+    asyncio.run(serve())
+
+
+@dataclass
+class ShardProcess:
+    """Handle on a shard server running in a child process.
+
+    Attributes:
+        process: the :class:`multiprocessing.Process`.
+        host / port: the bound address reported back by the child.
+        shard_index: the shard slot the child owns.
+    """
+
+    process: multiprocessing.Process
+    host: str
+    port: int
+    shard_index: int
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` of the child's listener."""
+        return self.host, self.port
+
+    def kill(self) -> None:
+        """Terminate the child immediately (failure-injection hook)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: ``shutdown`` RPC first, terminate as a
+        fallback, then reap the child."""
+        if self.process.is_alive():
+            try:
+                asyncio.run(_send_shutdown(self.host, self.port, timeout))
+            except Exception:  # noqa: BLE001 - the child may already be
+                pass  # gone; terminate below is the backstop
+            self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck child
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+
+
+async def _send_shutdown(host: str, port: int, timeout: float) -> None:
+    from .client import RemoteShardClient
+
+    client = RemoteShardClient(host, port, timeout=timeout, retries=0)
+    try:
+        await client.call("shutdown")
+    finally:
+        await client.close()
+
+
+def spawn_shard_process(
+    shard_index: int,
+    n_shards: int,
+    dimension: int | None = None,
+    host: str = "127.0.0.1",
+    snapshot_path: str | None = None,
+    work_delay: float = 0.0,
+    startup_timeout: float = 30.0,
+) -> ShardProcess:
+    """Fork a shard server into a child process and wait for its port."""
+    ready: multiprocessing.Queue = multiprocessing.Queue()
+    process = multiprocessing.Process(
+        target=run_shard_server,
+        kwargs={
+            "dimension": dimension,
+            "shard_index": shard_index,
+            "n_shards": n_shards,
+            "host": host,
+            "port": 0,
+            "snapshot_path": snapshot_path,
+            "work_delay": work_delay,
+            "ready": ready,
+        },
+        daemon=True,
+        name=f"ides-shard-{shard_index}",
+    )
+    process.start()
+
+    waited = 0.0
+    while True:
+        try:
+            bound_host, bound_port = ready.get(timeout=0.2)
+            break
+        except queue.Empty:
+            waited += 0.2
+            if not process.is_alive():
+                raise TransportError(
+                    f"shard {shard_index} process died during startup"
+                ) from None
+            if waited >= startup_timeout:
+                process.terminate()
+                raise TransportError(
+                    f"shard {shard_index} did not report a port within "
+                    f"{startup_timeout}s"
+                ) from None
+    return ShardProcess(
+        process=process, host=bound_host, port=bound_port, shard_index=shard_index
+    )

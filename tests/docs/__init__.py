@@ -1,0 +1,1 @@
+"""Test package (enables the suite's relative conftest imports)."""

@@ -1,0 +1,86 @@
+"""The documentation rot checks, run as part of tier-1.
+
+CI's docs job runs ``tools/check_docs.py`` as a script; this module
+imports the same checker so documented commands, code blocks and paths
+are verified on every local test run too — plus negative tests proving
+the checker actually catches rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestRealDocumentation:
+    def test_docs_tree_exists(self):
+        for name in ("architecture.md", "wire-protocol.md", "paper-mapping.md"):
+            assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
+
+    def test_readme_points_into_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/architecture.md" in readme
+        assert "docs/wire-protocol.md" in readme
+        assert "docs/paper-mapping.md" in readme
+        assert "serve shard" in readme and "serve router" in readme
+
+    def test_documentation_is_consistent(self):
+        errors = checker.collect_errors()
+        assert errors == [], "\n".join(errors)
+
+
+class TestCheckerCatchesRot:
+    def test_flags_broken_python_block(self, tmp_path):
+        page = tmp_path / "bad.md"
+        text = "```python\ndef broken(:\n```\n"
+        errors = checker.check_python_blocks(page, text)
+        assert len(errors) == 1 and "does not compile" in errors[0]
+
+    def test_allows_top_level_await_snippets(self, tmp_path):
+        page = tmp_path / "ok.md"
+        text = "```python\nvalue = await frontend.query('a', 'b')\n```\n"
+        assert checker.check_python_blocks(page, text) == []
+
+    def test_flags_unparseable_cli_line(self, tmp_path):
+        page = tmp_path / "bad.md"
+        text = "```bash\nides-experiment serve frobnicate thing.npz\n```\n"
+        errors = checker.check_cli_lines(page, text)
+        assert len(errors) == 1 and "does not parse" in errors[0]
+
+    def test_accepts_real_cli_line_with_continuation(self, tmp_path):
+        page = tmp_path / "ok.md"
+        text = (
+            "```bash\nides-experiment serve shard --port 7001 \\\n"
+            "    --shard-index 0 --n-shards 2 --snapshot service.npz\n```\n"
+        )
+        assert checker.check_cli_lines(page, text) == []
+
+    def test_flags_dangling_path_reference(self, tmp_path):
+        page = tmp_path / "bad.md"
+        text = "See [the guide](no/such/file.md) and `examples/ghost.py`.\n"
+        errors = checker.check_paths(page, text)
+        assert len(errors) == 2
+        assert any("no/such/file.md" in e for e in errors)
+        assert any("examples/ghost.py" in e for e in errors)
+
+    def test_ignores_external_links_and_code_blocks(self, tmp_path):
+        page = tmp_path / "ok.md"
+        text = (
+            "[site](https://example.org)\n"
+            "```text\n[fake](not/a/real/path.md)\n```\n"
+        )
+        assert checker.check_paths(page, text) == []

@@ -1,0 +1,733 @@
+"""Tests for the shard transport: codec, server, client, router.
+
+Everything here runs in one process (servers and clients share the
+test's event loop); the cross-process spawn path is covered by
+``test_transport_e2e.py``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import (
+    ProtocolError,
+    RemoteShardError,
+    ShardUnavailableError,
+    ValidationError,
+)
+from repro.serving import (
+    AsyncDistanceFrontend,
+    InMemoryVectorStore,
+    QueryEngine,
+    RemoteShardClient,
+    ShardServer,
+    ShardedQueryRouter,
+    shard_of,
+)
+from repro.serving.transport import protocol
+from repro.serving.transport.protocol import (
+    MAGIC,
+    PRELUDE,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ---------------------------------------------------------------------- #
+# codec
+# ---------------------------------------------------------------------- #
+
+
+class TestCodec:
+    def test_fields_only_round_trip(self):
+        message = decode_frame(encode_frame({"op": "ping", "k": 3, "id": "h7"}))
+        assert message.fields == {"op": "ping", "k": 3, "id": "h7"}
+        assert message.arrays == {}
+        assert message.op == "ping"
+
+    def test_arrays_round_trip_exactly(self):
+        outgoing = np.arange(12, dtype=float).reshape(3, 4)
+        rows = np.array([5, 2, 9])
+        message = decode_frame(
+            encode_frame({"op": "x"}, {"out": outgoing, "rows": rows})
+        )
+        np.testing.assert_array_equal(message.array("out"), outgoing)
+        np.testing.assert_array_equal(message.array("rows"), rows)
+        assert message.array("rows").dtype == np.int64
+
+    def test_empty_and_zero_dimension_arrays(self):
+        message = decode_frame(
+            encode_frame({}, {"a": np.zeros((0, 4)), "b": np.zeros(0)})
+        )
+        assert message.array("a").shape == (0, 4)
+        assert message.array("b").shape == (0,)
+
+    def test_non_contiguous_input_is_encoded(self):
+        matrix = np.arange(24, dtype=float).reshape(4, 6)
+        view = matrix[:, ::2]  # non-contiguous stride
+        message = decode_frame(encode_frame({}, {"v": view}))
+        np.testing.assert_array_equal(message.array("v"), view)
+
+    def test_decoded_arrays_are_writable_copies(self):
+        message = decode_frame(encode_frame({}, {"v": np.ones(3)}))
+        message.array("v")[0] = 7.0  # must not raise (owns its memory)
+
+    def test_missing_array_raises(self):
+        message = decode_frame(encode_frame({"op": "x"}))
+        with pytest.raises(ProtocolError):
+            message.array("nope")
+
+    def test_reserved_arrays_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"arrays": []})
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({}, {"v": np.array(["a", "b"], dtype=object)})
+
+
+class TestMalformedFrames:
+    def frame(self, **overrides):
+        """A valid frame, with prelude fields selectively corrupted."""
+        payload = encode_frame({"op": "ping"}, {"v": np.ones(2)})
+        fields = {
+            "magic": MAGIC,
+            "version": PROTOCOL_VERSION,
+            "flags": 0,
+            "reserved": 0,
+            "header_length": None,
+            "body_length": None,
+        }
+        magic, version, flags, reserved, header_length, body_length = (
+            PRELUDE.unpack(payload[: PRELUDE.size])
+        )
+        fields.update(header_length=header_length, body_length=body_length)
+        fields.update(overrides)
+        prelude = PRELUDE.pack(
+            fields["magic"],
+            fields["version"],
+            fields["flags"],
+            fields["reserved"],
+            fields["header_length"],
+            fields["body_length"],
+        )
+        return prelude + payload[PRELUDE.size :]
+
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(self.frame(magic=b"EVIL"))
+
+    def test_unknown_version(self):
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(self.frame(version=99))
+
+    def test_reserved_bits_set(self):
+        with pytest.raises(ProtocolError, match="reserved"):
+            decode_frame(self.frame(flags=1))
+
+    def test_truncated_frame(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(self.frame()[:-3])
+
+    def test_lying_header_length(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(self.frame(header_length=5))
+
+    def test_oversized_declared_frame(self):
+        with pytest.raises(ProtocolError, match="limit"):
+            decode_frame(self.frame(body_length=protocol.MAX_FRAME_BYTES))
+
+    def test_header_not_json(self):
+        good = self.frame()
+        corrupted = (
+            good[: PRELUDE.size]
+            + b"{" * (len(good) - PRELUDE.size - 16)
+            + good[-16:]
+        )
+        with pytest.raises(ProtocolError):
+            decode_frame(corrupted)
+
+    def test_undeclared_trailing_body_bytes(self):
+        payload = encode_frame({"op": "ping"})
+        magic, version, flags, reserved, header_length, body_length = (
+            PRELUDE.unpack(payload[: PRELUDE.size])
+        )
+        prelude = PRELUDE.pack(
+            magic, version, flags, reserved, header_length, body_length + 8
+        )
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_frame(prelude + payload[PRELUDE.size :] + b"\x00" * 8)
+
+    def test_dtype_outside_allowlist(self):
+        payload = encode_frame({"op": "x"}, {"v": np.ones(2)})
+        poisoned = payload.replace(b'"dtype":"<f8"', b'"dtype":"<c8"')
+        with pytest.raises(ProtocolError, match="allowlist"):
+            decode_frame(poisoned)
+
+
+class TestCodecProperties:
+    @given(
+        fields=st.dictionaries(
+            st.text(min_size=1, max_size=8).filter(lambda k: k != "arrays"),
+            st.one_of(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.text(max_size=20),
+                st.booleans(),
+                st.none(),
+            ),
+            max_size=5,
+        ),
+        arrays=st.dictionaries(
+            st.text(min_size=1, max_size=6),
+            st.one_of(
+                hnp.arrays(
+                    np.float64,
+                    hnp.array_shapes(max_dims=3, max_side=5),
+                    elements=st.floats(
+                        allow_nan=False, allow_infinity=False, width=64
+                    ),
+                ),
+                hnp.arrays(
+                    np.int64,
+                    hnp.array_shapes(max_dims=2, max_side=5),
+                    elements=st.integers(min_value=-(2**62), max_value=2**62),
+                ),
+            ),
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_identity(self, fields, arrays):
+        message = decode_frame(encode_frame(fields, arrays))
+        assert message.fields == fields
+        assert set(message.arrays) == set(arrays)
+        for name, payload in arrays.items():
+            decoded = message.arrays[name]
+            assert decoded.dtype == payload.dtype
+            assert decoded.shape == payload.shape
+            np.testing.assert_array_equal(decoded, payload)
+
+
+# ---------------------------------------------------------------------- #
+# server + client (in-process, shared event loop)
+# ---------------------------------------------------------------------- #
+
+
+N_HOSTS = 36
+DIMENSION = 4
+
+
+@pytest.fixture
+def vectors():
+    rng = np.random.default_rng(11)
+    ids = [f"h{i}" for i in range(N_HOSTS)]
+    return ids, rng.random((N_HOSTS, DIMENSION)) + 0.5, rng.random(
+        (N_HOSTS, DIMENSION)
+    ) + 0.5
+
+
+@pytest.fixture
+def reference(vectors):
+    """Single-process engine over the same vectors: the ground truth."""
+    ids, outgoing, incoming = vectors
+    store = InMemoryVectorStore(DIMENSION)
+    store.put_many(ids, outgoing, incoming)
+    return QueryEngine(store)
+
+
+class _Cluster:
+    """N in-process shard servers + a handshaken router."""
+
+    def __init__(self, n_shards, vectors=None, **client_options):
+        self.n_shards = n_shards
+        self.vectors = vectors
+        self.client_options = {"timeout": 5.0, "retries": 1, **client_options}
+        self.servers = []
+        self.router = None
+
+    async def __aenter__(self):
+        for index in range(self.n_shards):
+            server = ShardServer(
+                dimension=DIMENSION, shard_index=index, n_shards=self.n_shards
+            )
+            await server.start()
+            self.servers.append(server)
+        clients = [
+            RemoteShardClient(*server.address, **self.client_options)
+            for server in self.servers
+        ]
+        self.router = ShardedQueryRouter(clients)
+        await self.router.handshake()
+        if self.vectors is not None:
+            ids, outgoing, incoming = self.vectors
+            await self.router.put_many(ids, outgoing, incoming)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.router.close()
+        for server in self.servers:
+            await server.stop()
+
+
+class TestShardServerRpc:
+    def test_ping_reports_topology(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(*server.address)
+                response = await client.call("ping")
+                await client.close()
+                return response.fields
+
+        fields = run(scenario())
+        assert fields["shard_index"] == 0
+        assert fields["n_shards"] == 1
+        assert fields["dimension"] == DIMENSION
+        assert fields["version"] == PROTOCOL_VERSION
+
+    def test_put_rejects_misrouted_hosts(self, vectors):
+        ids, outgoing, incoming = vectors
+        wrong = [i for i in ids if shard_of(i, 2) == 1]
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=2
+            ) as server:
+                client = RemoteShardClient(*server.address)
+                try:
+                    with pytest.raises(ValidationError, match="do not belong"):
+                        await client.call(
+                            "put_many",
+                            {"ids": wrong[:2]},
+                            {
+                                "outgoing": outgoing[:2],
+                                "incoming": incoming[:2],
+                            },
+                        )
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_update_refuses_unknown_hosts(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(*server.address)
+                try:
+                    with pytest.raises(ValidationError, match="unregistered"):
+                        await client.call(
+                            "update_many",
+                            {"ids": ["ghost"]},
+                            {
+                                "outgoing": np.ones((1, DIMENSION)),
+                                "incoming": np.ones((1, DIMENSION)),
+                            },
+                        )
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_unknown_operation_is_an_error_frame(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(*server.address)
+                try:
+                    with pytest.raises(ValidationError, match="unknown operation"):
+                        await client.call("frobnicate")
+                    # the connection survives the error frame
+                    response = await client.call("ping")
+                    assert response.fields["n_hosts"] == 0
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_malformed_frame_poisons_only_its_connection(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET / HTTP/1.1\r\n\r\n" + b"\x00" * 32)
+                await writer.drain()
+                # The server answers with an error frame, then hangs up.
+                from repro.serving.transport.protocol import read_message
+
+                response = await asyncio.wait_for(read_message(reader), 5.0)
+                assert response.fields["ok"] is False
+                assert response.fields["error"] == "ProtocolError"
+                assert await reader.read(1) == b""  # connection closed
+                writer.close()
+
+                # A well-formed client on a fresh connection still works.
+                client = RemoteShardClient(host, port)
+                ping = await client.call("ping")
+                await client.close()
+                assert ping.fields["n_hosts"] == 0
+                assert server.connections_rejected == 1
+
+        run(scenario())
+
+    def test_oversized_frame_is_rejected(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                prelude = PRELUDE.pack(
+                    MAGIC, PROTOCOL_VERSION, 0, 0, 64, protocol.MAX_FRAME_BYTES
+                )
+                writer.write(prelude)
+                await writer.drain()
+                from repro.serving.transport.protocol import read_message
+
+                response = await asyncio.wait_for(read_message(reader), 5.0)
+                assert response.fields["error"] == "ProtocolError"
+                writer.close()
+
+        run(scenario())
+
+
+class TestClientRetries:
+    def test_unreachable_address_raises_shard_unavailable(self):
+        async def scenario():
+            client = RemoteShardClient(
+                "127.0.0.1", 1, shard_index=3, timeout=0.5,
+                retries=1, retry_backoff=0.01,
+            )
+            try:
+                with pytest.raises(ShardUnavailableError) as failure:
+                    await client.call("ping")
+                return failure.value
+            finally:
+                await client.close()
+
+        error = run(scenario())
+        assert error.shard_index == 3
+        assert "attempts" in str(error)
+
+    def test_retry_recovers_after_connection_loss(self):
+        """A pooled connection severed between calls is retried
+        transparently on a fresh socket."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, retries=2, retry_backoff=0.01
+                )
+                await client.call("ping")
+                # Sever the pooled connection behind the client's back.
+                reader, writer = client._free[0]
+                writer.close()
+                await asyncio.sleep(0.05)
+                response = await client.call("ping")  # must retry cleanly
+                await client.close()
+                assert response.fields["n_hosts"] == 0
+                assert client.retries_used >= 1
+
+        run(scenario())
+
+    def test_retry_survives_server_restart_with_stale_pool(self):
+        """After a shard restart every pooled socket is dead; retries
+        must drain the pool and dial fresh instead of popping another
+        stale connection per attempt."""
+
+        async def scenario():
+            server = ShardServer(dimension=DIMENSION, shard_index=0, n_shards=1)
+            host, port = await server.start()
+            client = RemoteShardClient(
+                host, port, pool_size=4, retries=2, retry_backoff=0.01
+            )
+            try:
+                # Park several connections in the pool, then bounce the
+                # server on the same port.
+                await asyncio.gather(*(client.call("ping") for _ in range(4)))
+                assert len(client._free) >= 2
+                await server.stop()
+                server = ShardServer(
+                    dimension=DIMENSION, shard_index=0, n_shards=1,
+                    host=host, port=port,
+                )
+                await server.start()
+                response = await client.call("ping")
+                assert response.fields["n_hosts"] == 0
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_remote_unmapped_error_type(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                # Break a handler so the server emits a non-Repro error.
+                server.store = None
+                client = RemoteShardClient(*server.address, retries=0)
+                try:
+                    with pytest.raises(RemoteShardError):
+                        await client.call("health")
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# router
+# ---------------------------------------------------------------------- #
+
+
+class TestRouterQueries:
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_all_query_shapes_match_local_engine(
+        self, vectors, reference, n_shards
+    ):
+        ids = vectors[0]
+
+        async def scenario():
+            async with _Cluster(n_shards, vectors) as cluster:
+                router = cluster.router
+                point = await router.point(ids[3], ids[17])
+                pairs = await router.pairs(ids[:10], ids[20:30])
+                fan_out = await router.one_to_many(ids[0], ids[4:24])
+                block = await router.many_to_many(ids[:6], ids[6:14])
+                nearest = await router.k_nearest(ids[2], 5)
+                constrained = await router.k_nearest(
+                    ids[2], 3, candidate_ids=ids[10:20]
+                )
+                return point, pairs, fan_out, block, nearest, constrained
+
+        point, pairs, fan_out, block, nearest, constrained = run(scenario())
+        assert point == pytest.approx(reference.point(ids[3], ids[17]))
+        np.testing.assert_allclose(pairs, reference.pairs(ids[:10], ids[20:30]))
+        np.testing.assert_allclose(
+            fan_out, reference.one_to_many(ids[0], ids[4:24])
+        )
+        np.testing.assert_allclose(
+            block, reference.many_to_many(ids[:6], ids[6:14])
+        )
+        assert nearest == reference.k_nearest(ids[2], 5)
+        assert constrained == reference.k_nearest(
+            ids[2], 3, candidate_ids=ids[10:20]
+        )
+
+    def test_unknown_host_maps_to_validation_error(self, vectors):
+        async def scenario():
+            async with _Cluster(2, vectors) as cluster:
+                with pytest.raises(ValidationError, match="unknown host"):
+                    await cluster.router.point("ghost", vectors[0][0])
+
+        run(scenario())
+
+    def test_updates_change_answers_and_bump_epoch(self, vectors):
+        ids, outgoing, incoming = vectors
+
+        async def scenario():
+            async with _Cluster(2, vectors) as cluster:
+                router = cluster.router
+                epoch = router.write_epoch
+                await router.apply_vector_updates(
+                    ids, outgoing + 1.0, incoming + 1.0
+                )
+                assert router.write_epoch == epoch + 1
+                return await router.point(ids[1], ids[2])
+
+        value = run(scenario())
+        expected = float((outgoing[1] + 1.0) @ (incoming[2] + 1.0))
+        assert value == pytest.approx(expected)
+
+    def test_update_unknown_host_propagates(self, vectors):
+        ids, outgoing, incoming = vectors
+
+        async def scenario():
+            async with _Cluster(2, vectors) as cluster:
+                with pytest.raises(ValidationError, match="unregistered"):
+                    await cluster.router.apply_vector_updates(
+                        ["ghost"], outgoing[:1], incoming[:1]
+                    )
+
+        run(scenario())
+
+    def test_delete_and_known_hosts(self, vectors):
+        ids = vectors[0]
+
+        async def scenario():
+            async with _Cluster(2, vectors) as cluster:
+                router = cluster.router
+                assert await router.delete(ids[0]) is True
+                assert await router.delete(ids[0]) is False
+                return sorted(await router.known_hosts())
+
+        assert run(scenario()) == sorted(ids[1:])
+
+    def test_health_aggregates_per_shard_counters(self, vectors):
+        ids = vectors[0]
+
+        async def scenario():
+            async with _Cluster(3, vectors) as cluster:
+                router = cluster.router
+                await router.pairs(ids[:8], ids[8:16])
+                return await router.health()
+
+        health = run(scenario())
+        assert health.n_hosts == N_HOSTS
+        assert health.n_shards == 3
+        assert len(health.shards) == 3
+        assert health.unreachable_shards == 0
+        assert all(shard.address for shard in health.shards)
+        assert sum(shard.n_hosts for shard in health.shards) == N_HOSTS
+
+    def test_handshake_rejects_topology_mismatch(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=1, n_shards=4
+            ) as server:
+                client = RemoteShardClient(*server.address)
+                router = ShardedQueryRouter([client])
+                try:
+                    with pytest.raises(ValidationError, match="expected"):
+                        await router.handshake()
+                finally:
+                    await router.close()
+
+        run(scenario())
+
+
+class TestFrontendOverRouter:
+    def test_coalesced_queries_match_local_engine(self, vectors, reference):
+        ids = vectors[0]
+        rng = np.random.default_rng(5)
+        pair_picks = list(
+            zip(
+                rng.integers(0, N_HOSTS, 40).tolist(),
+                rng.integers(0, N_HOSTS, 40).tolist(),
+            )
+        )
+
+        async def scenario():
+            async with _Cluster(3, vectors) as cluster:
+                async with AsyncDistanceFrontend(cluster.router) as frontend:
+                    futures = [
+                        frontend.submit(ids[s], ids[d]) for s, d in pair_picks
+                    ]
+                    point_values = [await future for future in futures]
+                    fan_out = await frontend.query_one_to_many(
+                        ids[0], ids[10:20]
+                    )
+                    nearest = await frontend.k_nearest(ids[7], 4)
+                    stats = frontend.stats()
+                return point_values, fan_out, nearest, stats
+
+        point_values, fan_out, nearest, stats = run(scenario())
+        for (s, d), value in zip(pair_picks, point_values):
+            assert value == pytest.approx(reference.point(ids[s], ids[d]))
+        np.testing.assert_allclose(
+            fan_out, reference.one_to_many(ids[0], ids[10:20])
+        )
+        assert nearest == reference.k_nearest(ids[7], 4)
+        assert stats.completed == stats.submitted
+        assert stats.batches >= 1
+
+    def test_bad_request_fails_alone_in_coalesced_batch(self, vectors):
+        ids = vectors[0]
+
+        async def scenario():
+            async with _Cluster(2, vectors) as cluster:
+                async with AsyncDistanceFrontend(cluster.router) as frontend:
+                    good = frontend.submit(ids[0], ids[1])
+                    bad = frontend.submit("ghost", ids[2])
+                    also_good = frontend.submit(ids[3], ids[4])
+                    value = await good
+                    with pytest.raises(ValidationError):
+                        await bad
+                    other = await also_good
+                return value, other
+
+        value, other = run(scenario())
+        assert np.isfinite(value) and np.isfinite(other)
+
+    def test_populate_cache_round_trips_through_router_cache(self, vectors):
+        ids = vectors[0]
+
+        async def scenario():
+            async with _Cluster(2, vectors) as cluster:
+                router = cluster.router
+                async with AsyncDistanceFrontend(
+                    router, populate_cache=True
+                ) as frontend:
+                    first = await frontend.query(ids[0], ids[1])
+                    second = await frontend.query(ids[0], ids[1])
+                    stats = frontend.stats()
+                return first, second, stats, len(router.cache)
+
+        first, second, stats, cached = run(scenario())
+        assert first == second
+        assert stats.cache_hits == 1
+        assert cached >= 1
+
+    def test_rejects_backends_without_protocol(self):
+        with pytest.raises(ValidationError, match="backend"):
+            AsyncDistanceFrontend(object())
+
+    def test_stop_mid_batch_cancels_in_flight_futures(self):
+        """With an async backend a batch is a real await point; stop()
+        must cancel the futures of the batch being executed, not only
+        the still-queued ones."""
+        from repro.serving import PredictionCache
+
+        class SlowBackend:
+            cache = PredictionCache()
+            write_epoch = 0
+
+            def cache_put_if_current(self, *args):
+                return False
+
+            def cache_put_many_if_current(self, *args):
+                return 0
+
+            async def point(self, source_id, destination_id):
+                await asyncio.sleep(30)
+
+            async def pairs(self, source_ids, destination_ids):
+                await asyncio.sleep(30)
+
+            async def one_to_many(self, source_id, destination_ids):
+                await asyncio.sleep(30)
+
+            async def k_nearest(self, source_id, k, candidate_ids=None):
+                await asyncio.sleep(30)
+
+        async def scenario():
+            frontend = AsyncDistanceFrontend(SlowBackend())
+            await frontend.start()
+            first = frontend.submit("a", "b")
+            second = frontend.submit("c", "d")
+            await asyncio.sleep(0.05)  # batch is now in flight
+            assert frontend._in_flight
+            await asyncio.wait_for(frontend.stop(), 5)
+            for future in (first, second):
+                with pytest.raises(asyncio.CancelledError):
+                    await future
+
+        asyncio.run(asyncio.wait_for(scenario(), 10))

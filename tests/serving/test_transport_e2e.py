@@ -1,0 +1,311 @@
+"""End-to-end transport tests: real shard server *processes*.
+
+The acceptance scenario of the cross-process tier: spawn >= 2
+:class:`ShardServer` processes, route mixed point / one-to-many /
+k-nearest traffic through a :class:`ShardedQueryRouter` (and through
+the unchanged :class:`AsyncDistanceFrontend`), and verify answers
+identical to a single-process :class:`QueryEngine` over the same
+vectors — plus the failure modes: a shard process dying mid-stream
+must surface as a clean, isolated error, and refresh flushes must fan
+out across the process boundary.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ShardUnavailableError
+from repro.serving import (
+    AsyncDistanceFrontend,
+    DistanceService,
+    RefreshWorker,
+    ShardReplicator,
+    connect_router,
+    shard_of,
+    spawn_shard_process,
+    synthetic_drift_stream,
+)
+
+N_SHARDS = 2
+N_HOSTS = 40
+DIMENSION = 5
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def service():
+    """Local single-process service: the ground truth the cluster must
+    reproduce exactly."""
+    rng = np.random.default_rng(23)
+    ids = [f"h{i}" for i in range(N_HOSTS)]
+    return DistanceService.from_vectors(
+        ids,
+        rng.random((N_HOSTS, DIMENSION)) + 0.5,
+        rng.random((N_HOSTS, DIMENSION)) + 0.5,
+        landmark_ids=ids[:8],
+    )
+
+
+@pytest.fixture
+def cluster(service):
+    """>= 2 shard server processes, seeded with the service's vectors."""
+    processes = [
+        spawn_shard_process(index, N_SHARDS, dimension=DIMENSION)
+        for index in range(N_SHARDS)
+    ]
+    addresses = [process.address for process in processes]
+
+    async def seed():
+        router = await connect_router(addresses, timeout=5.0)
+        snapshot = service.snapshot()
+        await router.put_many(snapshot.ids, snapshot.outgoing, snapshot.incoming)
+        await router.close()
+
+    try:
+        run(seed())
+        yield processes, addresses
+    finally:
+        for process in processes:
+            process.stop()
+
+
+class TestEndToEnd:
+    def test_mixed_batch_matches_single_process_engine(self, service, cluster):
+        _, addresses = cluster
+        ids = service.known_hosts()
+        rng = np.random.default_rng(3)
+        picks = list(
+            zip(
+                rng.integers(0, N_HOSTS, 30).tolist(),
+                rng.integers(0, N_HOSTS, 30).tolist(),
+            )
+        )
+
+        async def scenario():
+            router = await connect_router(addresses, timeout=5.0)
+            try:
+                async with AsyncDistanceFrontend(router) as frontend:
+                    # A mixed batch: pipelined points + 1:N + k-nearest
+                    # submitted together, coalesced across shard RPCs.
+                    point_futures = [
+                        frontend.submit(ids[s], ids[d]) for s, d in picks
+                    ]
+                    fan_out_task = asyncio.ensure_future(
+                        frontend.query_one_to_many(ids[0], ids[5:25])
+                    )
+                    nearest_task = asyncio.ensure_future(
+                        frontend.k_nearest(ids[3], 6)
+                    )
+                    points = [await future for future in point_futures]
+                    fan_out = await fan_out_task
+                    nearest = await nearest_task
+                health = await router.health()
+                return points, fan_out, nearest, health
+            finally:
+                await router.close()
+
+        points, fan_out, nearest, health = run(scenario())
+        for (s, d), value in zip(picks, points):
+            assert value == pytest.approx(service.engine.point(ids[s], ids[d]))
+        np.testing.assert_allclose(
+            fan_out, service.engine.one_to_many(ids[0], ids[5:25])
+        )
+        assert nearest == service.engine.k_nearest(ids[3], 6)
+        assert health.n_hosts == N_HOSTS
+        assert len(health.shards) == N_SHARDS
+        assert health.unreachable_shards == 0
+        # The work really happened on the remote shards' own engines.
+        assert sum(s.queries_served or 0 for s in health.shards) > 0
+
+    def test_shard_death_is_isolated_and_reported(self, service, cluster):
+        processes, addresses = cluster
+        ids = service.known_hosts()
+        dead_ids = [i for i in ids if shard_of(i, N_SHARDS) == 0]
+        live_ids = [i for i in ids if shard_of(i, N_SHARDS) == 1]
+
+        async def scenario():
+            router = await connect_router(
+                addresses, timeout=1.0, retries=1, retry_backoff=0.01
+            )
+            try:
+                # Cluster healthy: a cross-shard query works.
+                await router.point(dead_ids[0], live_ids[0])
+                processes[0].kill()
+
+                # Queries needing the dead shard fail with a clean,
+                # attributed error ...
+                with pytest.raises(ShardUnavailableError) as failure:
+                    await router.point(dead_ids[0], dead_ids[1])
+                assert failure.value.shard_index == 0
+
+                # ... while traffic on the surviving shard keeps
+                # flowing, including through the frontend (only the
+                # affected futures error).
+                survivor = await router.pairs(live_ids[:4], live_ids[4:8])
+                async with AsyncDistanceFrontend(router) as frontend:
+                    good = frontend.submit(live_ids[0], live_ids[1])
+                    bad = frontend.submit(dead_ids[0], live_ids[0])
+                    good_value = await good
+                    with pytest.raises(ShardUnavailableError):
+                        await bad
+
+                health = await router.health()
+                return survivor, good_value, health
+            finally:
+                await router.close()
+
+        survivor, good_value, health = run(scenario())
+        np.testing.assert_allclose(
+            survivor, service.engine.pairs(live_ids[:4], live_ids[4:8])
+        )
+        assert good_value == pytest.approx(
+            service.engine.point(live_ids[0], live_ids[1])
+        )
+        assert health.unreachable_shards == 1
+        assert not health.shards[0].reachable
+        assert health.shards[1].reachable
+
+    def test_refresh_worker_fans_updates_across_processes(self, service, cluster):
+        _, addresses = cluster
+        ids = service.known_hosts()
+
+        replicator = ShardReplicator(addresses, timeout=5.0)
+        service.add_update_sink(replicator)
+        try:
+            worker = RefreshWorker(service, learning_rate=0.5, flush_every=64)
+            applied = worker.run(
+                synthetic_drift_stream(service, samples=600, drift=0.3, seed=9)
+            )
+            assert applied > 0
+            assert worker.stats().vectors_flushed > 0
+        finally:
+            service.remove_update_sink(replicator)
+            replicator.close()
+        assert service.health().update_sink_failures == 0
+
+        async def compare():
+            router = await connect_router(addresses, timeout=5.0)
+            try:
+                return await router.pairs(ids[:12], ids[12:24])
+            finally:
+                await router.close()
+
+        remote = run(compare())
+        np.testing.assert_allclose(
+            remote, service.query_pairs(ids[:12], ids[12:24])
+        )
+
+    def test_replicator_upserts_hosts_registered_after_seeding(
+        self, service, cluster
+    ):
+        """A host registered on the primary after the shards were
+        seeded must flow to its home shard on the next flush — not
+        poison the shard's whole update group."""
+        _, addresses = cluster
+        from repro.ides.vectors import HostVectors
+
+        rng = np.random.default_rng(41)
+        service.register_vectors(
+            "latecomer",
+            HostVectors(
+                outgoing=rng.random(DIMENSION), incoming=rng.random(DIMENSION)
+            ),
+        )
+        replicator = ShardReplicator(addresses, timeout=5.0)
+        service.add_update_sink(replicator)
+        try:
+            ids = ["latecomer"] + service.known_hosts()[:5]
+            ids = list(dict.fromkeys(ids))
+            outgoing, incoming = service.store.gather(ids)
+            service.apply_vector_updates(ids, outgoing, incoming)
+        finally:
+            service.remove_update_sink(replicator)
+            replicator.close()
+        assert service.health().update_sink_failures == 0
+
+        async def check():
+            router = await connect_router(addresses, timeout=5.0)
+            try:
+                value = await router.point("latecomer", service.known_hosts()[1])
+                assert "latecomer" in await router.known_hosts()
+                return value
+            finally:
+                await router.close()
+
+        value = run(check())
+        assert value == pytest.approx(
+            service.engine.point("latecomer", service.known_hosts()[1])
+        )
+
+    def test_failed_sink_is_counted_not_fatal(self, service):
+        def broken_sink(host_ids, outgoing, incoming):
+            raise ConnectionError("replica down")
+
+        service.add_update_sink(broken_sink)
+        ids = service.known_hosts()[:3]
+        outgoing, incoming = service.store.gather(ids)
+        assert service.apply_vector_updates(ids, outgoing, incoming) == 3
+        assert service.health().update_sink_failures == 1
+
+
+class TestServeRouterCli:
+    def test_router_session_against_spawned_shards(self, service, tmp_path, capsys):
+        # Integer ids for the CLI's int-typed --source/--dest.
+        int_service = DistanceService.from_vectors(
+            list(range(N_HOSTS)),
+            service.snapshot().outgoing,
+            service.snapshot().incoming,
+        )
+        snapshot = int_service.save(tmp_path / "cluster.npz")
+        processes = [
+            spawn_shard_process(index, N_SHARDS, dimension=DIMENSION)
+            for index in range(N_SHARDS)
+        ]
+        try:
+            exit_code = main(
+                [
+                    "serve", "router",
+                    "--shard", f"{processes[0].host}:{processes[0].port}",
+                    "--shard", f"{processes[1].host}:{processes[1].port}",
+                    "--snapshot", str(snapshot),
+                    "--source", "3", "--dest", "5", "9",
+                    "--nearest", "2",
+                ]
+            )
+            output = capsys.readouterr().out
+        finally:
+            for process in processes:
+                process.stop()
+        assert exit_code == 0
+        assert f"seeded {N_HOSTS} hosts" in output
+        expected = int_service.engine.point(3, 5)
+        assert f"3 -> 5: {expected:.3f}" in output
+        assert "health:" in output
+        assert "shard0@" in output and "shard1@" in output
+
+    def test_degraded_session_reaches_live_shards(self, capsys):
+        """With one shard dark at connect time, a health/--shutdown
+        session must still report the cluster and stop the live shard."""
+        live = spawn_shard_process(1, N_SHARDS, dimension=DIMENSION)
+        try:
+            exit_code = main(
+                [
+                    "serve", "router",
+                    "--shard", "127.0.0.1:1",
+                    "--shard", f"{live.host}:{live.port}",
+                    "--timeout", "0.5",
+                    "--shutdown",
+                ]
+            )
+            captured = capsys.readouterr()
+        finally:
+            live.stop()
+        assert exit_code == 2  # dark shard reported, session completed
+        assert "UNREACHABLE" in captured.out
+        assert "sent shutdown to 1/2 shards" in captured.out
+        assert "degraded session" in captured.err

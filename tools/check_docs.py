@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Documentation rot checker: documented things must stay real.
+
+Run from the repository root (CI's docs job does, and
+``tests/docs/test_documentation.py`` runs the same checks in tier-1)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+1. every fenced ```python block compiles (top-level ``await`` allowed
+   — snippets may show coroutine usage);
+2. every ``ides-experiment ...`` line inside fenced ```bash blocks
+   parses against the real CLI parser (``repro.cli.build_parser``), so
+   a renamed flag or subcommand breaks the build, not a reader;
+3. every relative path reference (markdown links and backticked
+   ``examples/...``-style paths) points at a file or directory that
+   exists.
+
+The checker is intentionally a plain script with a ``collect_errors``
+entry point: no test framework required, importable from the test
+suite, exit code 1 on any finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fenced code blocks: ```lang\n ... \n```
+_FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+#: Markdown links to local targets: [text](path) — not http(s)/anchors.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#][^)]*)\)")
+#: Backticked repo paths: `examples/foo.py`, `docs/bar.md`, `tools/x.py`,
+#: `benchmarks/...`, `src/repro/...`, `tests/...`.
+_BACKTICK_PATH = re.compile(
+    r"`((?:examples|docs|benchmarks|tools|tests|src)/[A-Za-z0-9_./-]+)`"
+)
+
+
+def doc_files() -> list[Path]:
+    """README plus every markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def _line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_python_blocks(path: Path, text: str) -> list[str]:
+    """Every ```python block must at least compile."""
+    errors = []
+    for match in _FENCE.finditer(text):
+        language, source = match.group(1), match.group(2)
+        if language != "python":
+            continue
+        try:
+            compile(
+                source,
+                f"{path.name}:{_line_of(text, match.start())}",
+                "exec",
+                flags=ast.PyCF_ALLOW_TOP_LEVEL_AWAIT,
+            )
+        except SyntaxError as broken:
+            errors.append(
+                f"{path.name}:{_line_of(text, match.start())}: python block "
+                f"does not compile: {broken}"
+            )
+    return errors
+
+
+def check_cli_lines(path: Path, text: str) -> list[str]:
+    """Every documented ``ides-experiment`` invocation must parse."""
+    from repro.cli import build_parser
+
+    errors = []
+    for match in _FENCE.finditer(text):
+        language, source = match.group(1), match.group(2)
+        if language not in ("bash", "sh", "shell", "console"):
+            continue
+        block_line = _line_of(text, match.start())
+        # Re-join backslash continuations before splitting into commands.
+        joined = source.replace("\\\n", " ")
+        for offset, line in enumerate(joined.splitlines()):
+            line = line.strip()
+            if not line.startswith("ides-experiment"):
+                continue
+            argv = shlex.split(line)[1:]
+            # Placeholder-style docs lines ("run <id>") are not real
+            # invocations; skip anything with angle brackets.
+            if any("<" in token for token in argv):
+                continue
+            parser = build_parser()
+            try:
+                parser.parse_args(argv)
+            except SystemExit:
+                errors.append(
+                    f"{path.name}:{block_line + offset}: documented command "
+                    f"does not parse: {line!r}"
+                )
+    return errors
+
+
+def check_paths(path: Path, text: str) -> list[str]:
+    """Every referenced repo-relative path must exist."""
+    errors = []
+    candidates: set[str] = set()
+    stripped = _FENCE.sub("", text)  # links inside code blocks are code
+    for match in _LINK.finditer(stripped):
+        target = match.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        candidates.add(target)
+    for match in _BACKTICK_PATH.finditer(stripped):
+        candidates.add(match.group(1))
+    for target in sorted(candidates):
+        resolved = (path.parent / target).resolve()
+        in_repo = (REPO_ROOT / target).resolve()
+        if not resolved.exists() and not in_repo.exists():
+            errors.append(f"{path.name}: referenced path does not exist: {target}")
+    return errors
+
+
+def collect_errors() -> list[str]:
+    """All findings across all documentation files."""
+    errors = []
+    for path in doc_files():
+        text = path.read_text(encoding="utf-8")
+        errors.extend(check_python_blocks(path, text))
+        errors.extend(check_cli_lines(path, text))
+        errors.extend(check_paths(path, text))
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    errors = collect_errors()
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    print(f"checked {len(files)} files: {', '.join(f.name for f in files)}")
+    if errors:
+        print(f"{len(errors)} documentation error(s)", file=sys.stderr)
+        return 1
+    print("documentation is consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
