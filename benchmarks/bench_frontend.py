@@ -26,11 +26,15 @@ import asyncio
 import sys
 
 import numpy as np
+import pytest
 
 from repro.serving import (
+    AdaptiveBatchPolicy,
     AsyncDistanceFrontend,
     DistanceService,
+    FixedWindowPolicy,
     RefreshWorker,
+    measure_batching_policy,
     measure_concurrent_throughput,
     measure_per_query_throughput,
     synthetic_drift_stream,
@@ -42,6 +46,10 @@ N_CLIENTS = 64
 QUERIES_PER_CLIENT = 400
 WINDOW = 8
 SPEEDUP_GATE = 5.0
+#: Hand-tuned fixed windows the adaptive controller must match, in ms.
+FIXED_WINDOWS = (0.0, 1.0, 3.0, 6.0)
+#: Tolerance over the best fixed window (absorbs event-loop jitter).
+ADAPTIVE_TOLERANCE = 1.3
 
 
 def build_service(
@@ -98,6 +106,73 @@ def test_microbatching_beats_per_query_dispatch_5x():
     assert speedup >= SPEEDUP_GATE, (
         f"micro-batched dispatch only {speedup:.1f}x faster than per-query"
     )
+
+
+def measure_policy_grid(load: str, attempts: int = 2) -> tuple:
+    """(best_fixed, worst_fixed, adaptive) PolicyReports for one load.
+
+    Best-of-``attempts`` per policy: the comparison is architectural
+    (window length vs dispatch base cost), so one clean run suffices
+    and retries absorb scheduler noise on loaded CI runners.
+    """
+    def best_of(policy_factory, label):
+        best = None
+        for _ in range(attempts):
+            report = measure_batching_policy(
+                policy_factory(), load=load, label=label
+            )
+            if best is None or report.elapsed_seconds < best.elapsed_seconds:
+                best = report
+        return best
+
+    fixed = [
+        best_of(lambda wait=wait: FixedWindowPolicy(wait), f"fixed-{wait}ms")
+        for wait in FIXED_WINDOWS
+    ]
+    adaptive = best_of(lambda: AdaptiveBatchPolicy(), "adaptive")
+    fixed.sort(key=lambda report: report.elapsed_seconds)
+    return fixed[0], fixed[-1], adaptive
+
+
+@pytest.mark.parametrize("load", ["steady", "bursty"])
+def test_adaptive_policy_matches_best_fixed_window(load):
+    """Acceptance gate: the EWMA feedback controller matches (within
+    tolerance) the best hand-tuned fixed window on both load shapes —
+    no constant does that, as the spread between best and worst fixed
+    shows."""
+    best, worst, adaptive = measure_policy_grid(load)
+    print(
+        f"\n[bench_frontend:{load}] best fixed {best.policy} "
+        f"{best.elapsed_seconds * 1000:.0f} ms, worst fixed {worst.policy} "
+        f"{worst.elapsed_seconds * 1000:.0f} ms, adaptive "
+        f"{adaptive.elapsed_seconds * 1000:.0f} ms "
+        f"(window {adaptive.batch_wait_ms:.2f} ms, "
+        f"{adaptive.dispatches} dispatches)",
+        file=sys.__stdout__,
+        flush=True,
+    )
+    assert adaptive.elapsed_seconds <= (
+        best.elapsed_seconds * ADAPTIVE_TOLERANCE
+    ), (
+        f"adaptive controller {adaptive.elapsed_seconds * 1000:.0f} ms on "
+        f"{load} load, best fixed window ({best.policy}) "
+        f"{best.elapsed_seconds * 1000:.0f} ms"
+    )
+
+
+def test_mistuned_fixed_window_is_costly_on_steady_load():
+    """The reason the controller exists: a window tuned for bursts
+    (6 ms) taxes steady lockstep traffic heavily, while the adaptive
+    controller converges to (near-)zero wait."""
+    steady_fixed = measure_batching_policy(
+        FixedWindowPolicy(6.0), load="steady", label="fixed-6ms"
+    )
+    adaptive = measure_batching_policy(
+        AdaptiveBatchPolicy(), load="steady", label="adaptive"
+    )
+    assert adaptive.elapsed_seconds < steady_fixed.elapsed_seconds
+    assert adaptive.batch_wait_ms is not None
+    assert adaptive.batch_wait_ms < 3.0  # converged well below the tax
 
 
 def test_frontend_coalesces_concurrent_load():
@@ -201,7 +276,16 @@ def main() -> int:
     worker.run(synthetic_drift_stream(service, samples=5000, drift=0.25, seed=3))
     print(f"refresh             : {worker.stats()}")
     print(f"service health      : {service.health()}")
-    return 0 if speedup >= SPEEDUP_GATE else 1
+    adaptive_ok = True
+    for load in ("steady", "bursty"):
+        best, worst, adaptive = measure_policy_grid(load)
+        print(f"[{load}] best fixed    : {best}")
+        print(f"[{load}] worst fixed   : {worst}")
+        print(f"[{load}] adaptive      : {adaptive}")
+        adaptive_ok = adaptive_ok and adaptive.elapsed_seconds <= (
+            best.elapsed_seconds * ADAPTIVE_TOLERANCE
+        )
+    return 0 if speedup >= SPEEDUP_GATE and adaptive_ok else 1
 
 
 if __name__ == "__main__":

@@ -1,12 +1,20 @@
-"""Transport benchmark: concurrent scatter-gather vs sequential dispatch.
+"""Transport benchmarks: scatter-gather, pipelining, and the codec.
 
-Quantifies the architectural claim of
-:class:`~repro.serving.transport.ShardedQueryRouter`: when a batch is
-split across shard server *processes*, launching the per-shard RPCs
-concurrently makes the batch cost the slowest single shard, while
-dispatching shard-by-shard costs the *sum* over shards. The gate is
-conservative — concurrent must beat sequential by >= 2x on a 4-shard
-cluster (the ideal is ~n_shards x; 4-6x is typical here).
+Three architectural claims, each gated:
+
+1. **Scatter-gather** (PR 3's win, kept): when a batch is split
+   across shard server *processes*, launching the per-shard RPCs
+   concurrently makes the batch cost the slowest single shard, while
+   dispatching shard-by-shard costs the *sum* over shards. Gate:
+   >= 2x on a 4-shard cluster (4-6x typical).
+2. **Pipelining** (protocol v2): many in-flight RPCs on a *single*
+   socket overlap their service times, where the v1 discipline pays
+   them serially. Gate: >= 3x over the one-in-flight baseline at
+   depth 16 on one connection (8-12x typical).
+3. **Zero-copy codec**: decoding a frame performs zero payload
+   copies — every decoded array is a view over the receive buffer —
+   and the scatter-write encoder never builds a joined intermediate.
+   Gated structurally (view/ownership assertions), not by a timer.
 
 Methodology: each shard server runs with a small fixed ``work_delay``
 (2 ms) so per-RPC service time — in production: real network latency
@@ -35,9 +43,15 @@ from repro.serving import (
     ShardServer,
     connect_router,
     group_by_shard,
+    measure_pipelined_speedup,
     spawn_shard_process,
 )
-from repro.serving.transport.protocol import decode_frame, encode_frame
+from repro.serving.transport.protocol import (
+    PRELUDE,
+    decode_frame,
+    encode_frame,
+    encode_frame_parts,
+)
 
 N_SHARDS = 4
 N_HOSTS = 600
@@ -46,6 +60,8 @@ PAIR_BATCH = 512
 ROUNDS = 5
 WORK_DELAY = 0.002
 SPEEDUP_GATE = 2.0
+PIPELINE_DEPTH = 16
+PIPELINE_GATE = 3.0
 
 
 def build_vectors(n_hosts: int = N_HOSTS, dimension: int = DIMENSION):
@@ -185,6 +201,55 @@ def test_scatter_gather_beats_sequential_dispatch_2x():
     )
 
 
+def test_pipelined_dispatch_beats_one_in_flight_3x():
+    """Acceptance gate: protocol v2 pipelining >= 3x the v1
+    one-in-flight baseline on a single connection at depth 16."""
+    report = measure_pipelined_speedup(
+        depth=PIPELINE_DEPTH, work_delay=WORK_DELAY
+    )
+    print(f"\n[bench_transport] {report}", file=sys.__stdout__, flush=True)
+    assert report.speedup >= PIPELINE_GATE, (
+        f"pipelined dispatch only {report.speedup:.1f}x the one-in-flight "
+        f"baseline (gate: >= {PIPELINE_GATE:.0f}x)"
+    )
+
+
+def test_codec_decode_is_zero_copy():
+    """Acceptance gate: decoding performs zero payload copies — every
+    decoded array is a read-only view whose memory *is* the frame
+    buffer, at any payload size."""
+    rng = np.random.default_rng(5)
+    arrays = {
+        "outgoing": rng.random((4096, DIMENSION)),
+        "incoming": rng.random((4096, DIMENSION)),
+        "rows": np.arange(4096),
+    }
+    frame = encode_frame({"op": "gather"}, arrays)
+    message = decode_frame(frame)
+    frame_view = np.frombuffer(frame, dtype=np.uint8)
+    for name, original in arrays.items():
+        decoded = message.array(name)
+        assert not decoded.flags.owndata, f"{name} was copied on decode"
+        assert not decoded.flags.writeable
+        assert np.shares_memory(decoded, frame_view), (
+            f"{name} does not alias the receive buffer"
+        )
+        np.testing.assert_array_equal(decoded, original)
+
+
+def test_codec_encode_scatter_writes_payload_views():
+    """The send side hands the socket views of the source arrays —
+    no ``tobytes()`` intermediates, no joined frame."""
+    payload = np.arange(64, dtype=float).reshape(8, 8)
+    parts = encode_frame_parts({"op": "x"}, {"m": payload})
+    assert len(parts) == 2  # prelude+header, then one payload view
+    view = parts[1]
+    assert isinstance(view, memoryview)
+    assert np.shares_memory(np.frombuffer(view, dtype=float), payload)
+    prelude = bytes(parts[0])[: PRELUDE.size]
+    assert prelude[:4] == b"IDES" and prelude[4] == 2  # magic + v2
+
+
 def test_codec_round_trip_throughput(benchmark):
     """Statistical timing of encode+decode for one gather-sized frame."""
     rng = np.random.default_rng(1)
@@ -244,7 +309,13 @@ def main() -> int:
     print(f"concurrent scatter-gather    : {concurrent * 1000:8.1f} ms")
     print(f"speedup                      : {speedup:8.1f} x  "
           f"(gate: >= {SPEEDUP_GATE:.0f}x)")
-    return 0 if speedup >= SPEEDUP_GATE else 1
+    pipeline = measure_pipelined_speedup(
+        depth=PIPELINE_DEPTH, work_delay=WORK_DELAY
+    )
+    print(f"pipelining (single socket)   : {pipeline}")
+    print(f"pipeline gate                : >= {PIPELINE_GATE:.0f}x")
+    ok = speedup >= SPEEDUP_GATE and pipeline.speedup >= PIPELINE_GATE
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

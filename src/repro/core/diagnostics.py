@@ -158,6 +158,9 @@ class ServiceHealth:
         pairs_evaluated: (source, destination) pairs predicted.
         cache_hits / cache_misses: point-query cache outcomes.
         cache_size / cache_max_entries: cache occupancy and capacity.
+        cache_admitted / cache_rejected: admission-gate outcomes for
+            insert offers (rejected stays 0 unless the cache runs a
+            doorkeeper admission policy).
         vectors_refreshed: cumulative host-vector updates applied
             through the bulk refresh path.
         refresh_batches: bulk refresh flushes applied.
@@ -186,6 +189,8 @@ class ServiceHealth:
     cache_misses: int
     cache_size: int
     cache_max_entries: int
+    cache_admitted: int = 0
+    cache_rejected: int = 0
     vectors_refreshed: int = 0
     refresh_batches: int = 0
     seconds_since_refresh: float | None = None
@@ -223,6 +228,11 @@ class ServiceHealth:
             shards += f" unreachable={self.unreachable_shards}"
         if self.update_sink_failures:
             shards += f" sink_failures={self.update_sink_failures}"
+        admission = (
+            f" cache_rejected={self.cache_rejected}"
+            if self.cache_rejected
+            else ""
+        )
         refresh = ""
         if self.refresh_batches:
             age = (
@@ -245,7 +255,7 @@ class ServiceHealth:
             f"pairs={self.pairs_evaluated} "
             f"cache_hit_rate={self.cache_hit_rate:.3f} "
             f"cache={self.cache_size}/{self.cache_max_entries}"
-            f"{refresh}{staleness}"
+            f"{admission}{refresh}{staleness}"
         )
 
 

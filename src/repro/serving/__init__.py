@@ -45,9 +45,14 @@ bridge from thread-world writers. Time is always an injectable
 from .cache import CacheStats, PredictionCache
 from .engine import QueryEngine
 from .frontend import (
+    AdaptiveBatchPolicy,
     AsyncDistanceFrontend,
     ConcurrencyReport,
+    FixedWindowPolicy,
     FrontendStats,
+    PolicyReport,
+    SimulatedDispatchBackend,
+    measure_batching_policy,
     measure_concurrent_throughput,
     measure_per_query_throughput,
 )
@@ -68,21 +73,27 @@ from .store import (
     shard_of,
 )
 from .transport import (
+    PipelineReport,
     RemoteShardClient,
     ShardReplicator,
     ShardServer,
     ShardedQueryRouter,
     connect_router,
+    measure_pipelined_speedup,
     spawn_shard_process,
 )
 
 __all__ = [
+    "AdaptiveBatchPolicy",
     "AsyncDistanceFrontend",
     "CacheStats",
     "ConcurrencyReport",
     "DistanceService",
+    "FixedWindowPolicy",
     "FrontendStats",
     "InMemoryVectorStore",
+    "PipelineReport",
+    "PolicyReport",
     "PredictionCache",
     "QueryEngine",
     "RefreshStats",
@@ -92,13 +103,16 @@ __all__ = [
     "ServiceSnapshot",
     "ShardReplicator",
     "ShardServer",
+    "SimulatedDispatchBackend",
     "ShardedQueryRouter",
     "ShardedVectorStore",
     "VectorStore",
     "connect_router",
     "group_by_shard",
     "load_snapshot",
+    "measure_batching_policy",
     "measure_concurrent_throughput",
+    "measure_pipelined_speedup",
     "measure_per_query_throughput",
     "replay_observations",
     "save_snapshot",

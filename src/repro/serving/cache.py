@@ -9,6 +9,18 @@ pair touching that host (a reverse index keys pairs by host, so the
 invalidation is exact, not a scan) so the cache never serves stale
 coordinates.
 
+Admission control: pure LRU pays an insert (and an eviction) for
+every miss, which under *uniform* traffic is pure overhead — one-hit
+wonders churn the cache without ever being read back. The optional
+**doorkeeper** (TinyLFU-style frequency gate, off by default) makes a
+pair earn residency: the first time a non-resident pair is offered it
+is only remembered in a small recency set; it is admitted on a repeat
+offer within the doorkeeper's aging window. Skewed traffic — the
+workload caches exist for — passes the gate almost immediately, while
+uniform traffic stops paying for insertions it will never use.
+Admission outcomes are counted (``admitted``/``rejected`` in
+:class:`CacheStats`) and surfaced in ``ServiceHealth``.
+
 Thread-safety and invariants: every lookup, insert and invalidation
 serializes on one internal lock, so a background refresh worker can
 invalidate hosts while query threads read. The cache itself is
@@ -46,6 +58,10 @@ class CacheStats:
         expirations: entries dropped because their TTL lapsed.
         invalidations: entries dropped by per-host invalidation.
         size / max_entries: current and maximum occupancy.
+        admitted: inserts accepted (equals every insert offer when no
+            doorkeeper is configured).
+        rejected: insert offers the doorkeeper turned away (first
+            sighting of a non-resident pair).
     """
 
     hits: int
@@ -55,6 +71,8 @@ class CacheStats:
     invalidations: int
     size: int
     max_entries: int
+    admitted: int = 0
+    rejected: int = 0
 
     @property
     def lookups(self) -> int:
@@ -67,12 +85,23 @@ class CacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    @property
+    def admission_rate(self) -> float:
+        """Admitted over insert offers (1.0 when never offered)."""
+        offers = self.admitted + self.rejected
+        return self.admitted / offers if offers else 1.0
+
     def __str__(self) -> str:
+        doorkeeper = (
+            f" admitted={self.admitted} rejected={self.rejected}"
+            if self.rejected
+            else ""
+        )
         return (
             f"hits={self.hits} misses={self.misses} "
             f"hit_rate={self.hit_rate:.3f} size={self.size}/{self.max_entries} "
             f"evictions={self.evictions} expirations={self.expirations} "
-            f"invalidations={self.invalidations}"
+            f"invalidations={self.invalidations}{doorkeeper}"
         )
 
 
@@ -88,6 +117,14 @@ class PredictionCache:
         ttl: entry lifetime in seconds, or None for no expiry.
         clock: monotonic time source (injectable so TTL tests advance
             time instead of sleeping).
+        admission: ``"none"`` (every insert lands, the historical
+            behavior) or ``"doorkeeper"`` — a non-resident pair must
+            be offered twice within the doorkeeper's aging window to
+            earn residency, so uniform one-hit traffic stops churning
+            the LRU.
+        doorkeeper_capacity: sightings remembered before the
+            doorkeeper forgets everything (the aging reset). Defaults
+            to ``4 * max_entries``.
     """
 
     def __init__(
@@ -95,22 +132,41 @@ class PredictionCache:
         max_entries: int = 65536,
         ttl: float | None = None,
         clock=time.monotonic,
+        admission: str = "none",
+        doorkeeper_capacity: int | None = None,
     ):
         if int(max_entries) < 1:
             raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
         if ttl is not None and not ttl > 0:
             raise ValidationError(f"ttl must be > 0 or None, got {ttl}")
+        if admission not in ("none", "doorkeeper"):
+            raise ValidationError(
+                f"admission must be 'none' or 'doorkeeper', got {admission!r}"
+            )
+        if doorkeeper_capacity is not None and int(doorkeeper_capacity) < 1:
+            raise ValidationError(
+                f"doorkeeper_capacity must be >= 1, got {doorkeeper_capacity}"
+            )
         self.max_entries = int(max_entries)
         self.ttl = None if ttl is None else float(ttl)
+        self.admission = admission
+        self.doorkeeper_capacity = (
+            4 * self.max_entries
+            if doorkeeper_capacity is None
+            else int(doorkeeper_capacity)
+        )
         self._clock = clock
         self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
         self._keys_by_host: dict[object, set[tuple]] = {}
+        self._doorkeeper: set[tuple] = set()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
         self._invalidations = 0
+        self._admitted = 0
+        self._rejected = 0
 
     # ------------------------------------------------------------------ #
     # lookups and inserts
@@ -135,19 +191,41 @@ class PredictionCache:
             return value
 
     def put(self, source_id: object, destination_id: object, value: float) -> None:
-        """Insert (or refresh) the pair's prediction."""
+        """Offer the pair's prediction for insertion (or refresh it).
+
+        With the doorkeeper enabled, a non-resident pair's first offer
+        is only remembered, not stored; see the class docstring.
+        """
         key = (source_id, destination_id)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            elif len(self._entries) >= self.max_entries:
-                evicted, _ = self._entries.popitem(last=False)
-                self._unlink(evicted)
-                self._evictions += 1
+            else:
+                if self.admission == "doorkeeper" and not self._admit(key):
+                    return
+                if len(self._entries) >= self.max_entries:
+                    evicted, _ = self._entries.popitem(last=False)
+                    self._unlink(evicted)
+                    self._evictions += 1
+            self._admitted += 1
             expires_at = None if self.ttl is None else self._clock() + self.ttl
             self._entries[key] = (float(value), expires_at)
             for host_id in key:
                 self._keys_by_host.setdefault(host_id, set()).add(key)
+
+    def _admit(self, key: tuple) -> bool:
+        """Frequency gate: second sighting within the window admits."""
+        if key in self._doorkeeper:
+            self._doorkeeper.discard(key)
+            return True
+        if len(self._doorkeeper) >= self.doorkeeper_capacity:
+            # Aging: forget the sample window wholesale (the classic
+            # TinyLFU reset) so stale one-hit sightings cannot admit
+            # forever.
+            self._doorkeeper.clear()
+        self._doorkeeper.add(key)
+        self._rejected += 1
+        return False
 
     # ------------------------------------------------------------------ #
     # invalidation
@@ -188,6 +266,7 @@ class PredictionCache:
             self._invalidations += len(self._entries)
             self._entries.clear()
             self._keys_by_host.clear()
+            self._doorkeeper.clear()
 
     def _drop(self, key: tuple) -> None:
         self._entries.pop(key, None)
@@ -216,6 +295,8 @@ class PredictionCache:
                 invalidations=self._invalidations,
                 size=len(self._entries),
                 max_entries=self.max_entries,
+                admitted=self._admitted,
+                rejected=self._rejected,
             )
 
     def reset_counters(self) -> None:
@@ -225,6 +306,8 @@ class PredictionCache:
         self._evictions = 0
         self._expirations = 0
         self._invalidations = 0
+        self._admitted = 0
+        self._rejected = 0
 
     def __len__(self) -> int:
         return len(self._entries)

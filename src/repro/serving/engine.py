@@ -54,6 +54,13 @@ class QueryEngine:
 
     Args:
         store: the :class:`VectorStore` holding host vectors.
+        zero_copy: gather row *views* instead of copies where the
+            engine consumes them immediately (one product, result
+            owned). Only safe when the store is mutated solely from
+            the caller's own event loop — the shard server's
+            deployment shape; the thread-shared
+            :class:`~repro.serving.service.DistanceService` keeps the
+            default.
 
     Attributes:
         queries_served: number of engine calls answered.
@@ -61,10 +68,11 @@ class QueryEngine:
             the unit the throughput benchmark reports.
     """
 
-    def __init__(self, store: VectorStore):
+    def __init__(self, store: VectorStore, zero_copy: bool = False):
         self.store = store
         self.queries_served = 0
         self.pairs_evaluated = 0
+        self._copy = not bool(zero_copy)
         self._counter_lock = threading.Lock()
 
     def _count(self, pairs: int) -> None:
@@ -99,22 +107,22 @@ class QueryEngine:
                 f"pairs needs aligned sequences, got {len(source_ids)} "
                 f"sources and {len(destination_ids)} destinations"
             )
-        outgoing, _ = self.store.gather(source_ids)
-        _, incoming = self.store.gather(destination_ids)
+        outgoing, _ = self.store.gather(source_ids, copy=self._copy)
+        _, incoming = self.store.gather(destination_ids, copy=self._copy)
         self._count(len(source_ids))
         return np.einsum("ij,ij->i", outgoing, incoming)
 
     def one_to_many(self, source_id: object, destination_ids: Sequence) -> np.ndarray:
         """Distances from one source to each destination, vectorized."""
         source = self.store.get(source_id)
-        _, incoming = self.store.gather(destination_ids)
+        _, incoming = self.store.gather(destination_ids, copy=self._copy)
         self._count(len(destination_ids))
         return incoming @ source.outgoing
 
     def many_to_one(self, source_ids: Sequence, destination_id: object) -> np.ndarray:
         """Distances from each source to one destination, vectorized."""
         destination = self.store.get(destination_id)
-        outgoing, _ = self.store.gather(source_ids)
+        outgoing, _ = self.store.gather(source_ids, copy=self._copy)
         self._count(len(source_ids))
         return outgoing @ destination.incoming
 
@@ -122,8 +130,8 @@ class QueryEngine:
         self, source_ids: Sequence, destination_ids: Sequence
     ) -> np.ndarray:
         """The ``(n_src, n_dst)`` prediction block ``X[rows] @ Y[cols].T``."""
-        outgoing, _ = self.store.gather(source_ids)
-        _, incoming = self.store.gather(destination_ids)
+        outgoing, _ = self.store.gather(source_ids, copy=self._copy)
+        _, incoming = self.store.gather(destination_ids, copy=self._copy)
         self._count(len(source_ids) * len(destination_ids))
         return outgoing @ incoming.T
 
@@ -162,7 +170,7 @@ class QueryEngine:
             return []
 
         source = self.store.get(source_id)
-        _, incoming = self.store.gather(candidates)
+        _, incoming = self.store.gather(candidates, copy=self._copy)
         distances = incoming @ source.outgoing
         self._count(len(candidates))
 

@@ -19,6 +19,20 @@ per second into a few dense einsum batches per event-loop cycle —
 ``benchmarks/bench_frontend.py`` quantifies the gap against per-query
 dispatch.
 
+On top of that, the hold-the-batch-open window is **pluggable**: pass
+a *batch policy* (``policy=``) and the dispatcher asks it, after each
+drain pass, how long to keep collecting before cutting the batch.
+:class:`FixedWindowPolicy` reproduces a hand-tuned constant window;
+:class:`AdaptiveBatchPolicy` is a feedback controller that tunes the
+window from EWMAs of observed dispatch latency and arrival rate — it
+holds batches open just long enough to amortize an expensive (e.g.
+cross-shard) dispatch when traffic is bursty, and collapses to
+zero-wait drain-then-dispatch when traffic is steady or light.
+``benchmarks/bench_frontend.py`` gates that the adaptive controller
+matches or beats the best fixed window on both load shapes. The
+controller's current window and its EWMAs are observable through
+:class:`FrontendStats`.
+
 Failure isolation: a batch containing an unknown host does not poison
 its neighbors — the dispatcher retries that batch per-request so only
 the offending futures receive the exception.
@@ -52,12 +66,18 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ReproError, ValidationError
+from .cache import PredictionCache
 from .service import DistanceService
 
 __all__ = [
+    "AdaptiveBatchPolicy",
     "AsyncDistanceFrontend",
+    "FixedWindowPolicy",
     "FrontendStats",
     "ConcurrencyReport",
+    "PolicyReport",
+    "SimulatedDispatchBackend",
+    "measure_batching_policy",
     "measure_concurrent_throughput",
     "measure_per_query_throughput",
 ]
@@ -124,6 +144,159 @@ def _as_backend(service):
     )
 
 
+class FixedWindowPolicy:
+    """A constant hold-the-batch-open window (hand-tuned batching).
+
+    ``wait_ms=0`` is pure drain-then-dispatch. The policy interface is
+    two methods: :meth:`wait_seconds` (asked after each drain pass)
+    and :meth:`observe` (feedback after each dispatch); arrival
+    notifications come through :meth:`note_arrival`.
+    """
+
+    def __init__(self, wait_ms: float = 0.0):
+        if wait_ms < 0:
+            raise ValidationError(f"wait_ms must be >= 0, got {wait_ms}")
+        self._wait = float(wait_ms) / 1000.0
+
+    def note_arrival(self, count: int = 1) -> None:
+        """Arrivals do not move a fixed window."""
+
+    def wait_seconds(self, pending: int) -> float:
+        """The constant window, regardless of queue depth."""
+        return self._wait
+
+    def observe(self, batch_size: int, dispatch_seconds: float) -> None:
+        """Fixed windows ignore feedback."""
+
+    @property
+    def current_wait_ms(self) -> float:
+        """The window in milliseconds (constant)."""
+        return self._wait * 1000.0
+
+    @property
+    def arrival_rate(self) -> float | None:
+        """Fixed windows do not track arrivals."""
+        return None
+
+    @property
+    def dispatch_latency_ms(self) -> float | None:
+        """Fixed windows do not track dispatch latency."""
+        return None
+
+
+class AdaptiveBatchPolicy:
+    """EWMA feedback controller for the micro-batch window.
+
+    The controller maintains two exponentially-weighted averages —
+    dispatch latency ``L`` (seconds per batch execution) and arrival
+    rate ``λ`` (requests/second, measured between dispatches) — and
+    derives a *target batch* ``λ·L``: the batch size the queue reaches
+    naturally while one dispatch executes, i.e. the equilibrium of
+    drain-then-dispatch. After a drain pass:
+
+    * queue already at (or above) target → dispatch now, zero wait —
+      steady traffic never pays a latency tax;
+    * queue below target and traffic flowing → hold the batch open
+      for the time the EWMA rate needs to fill the gap, capped by
+      ``gain · L`` (never wait longer than a fraction of a dispatch)
+      and by ``ceiling_ms`` — bursty traffic coalesces instead of
+      shredding into base-cost-dominated fragments.
+
+    The controller therefore *converges to the best fixed window for
+    whatever the traffic currently is*, which is exactly what
+    ``benchmarks/bench_frontend.py`` gates against hand-tuned
+    constants.
+
+    Args:
+        gain: cap on the window as a fraction of the latency EWMA.
+        ceiling_ms: absolute cap on the window.
+        alpha: EWMA smoothing factor (weight of the newest sample).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        gain: float = 0.5,
+        ceiling_ms: float = 10.0,
+        alpha: float = 0.25,
+        clock=time.monotonic,
+    ):
+        if gain < 0:
+            raise ValidationError(f"gain must be >= 0, got {gain}")
+        if ceiling_ms < 0:
+            raise ValidationError(f"ceiling_ms must be >= 0, got {ceiling_ms}")
+        if not 0 < alpha <= 1:
+            raise ValidationError(f"alpha must be in (0, 1], got {alpha}")
+        self.gain = float(gain)
+        self.ceiling = float(ceiling_ms) / 1000.0
+        self.alpha = float(alpha)
+        self._clock = clock
+        self._latency: float | None = None
+        self._rate: float | None = None
+        self._arrived = 0
+        self._last_dispatch_at: float | None = None
+        self._last_wait = 0.0
+
+    def note_arrival(self, count: int = 1) -> None:
+        """Count arrivals for the rate EWMA (called by the frontend)."""
+        self._arrived += count
+
+    def wait_seconds(self, pending: int) -> float:
+        """The window to hold the current batch open, in seconds."""
+        latency, rate = self._latency, self._rate
+        if latency is None or not rate:
+            self._last_wait = 0.0
+            return 0.0  # no feedback yet: behave like drain-then-dispatch
+        target = rate * latency
+        if pending >= target or target < 1.0:
+            # At equilibrium (steady load), or traffic too light for
+            # a window to collect anything: dispatch immediately.
+            self._last_wait = 0.0
+            return 0.0
+        fill_time = (target - pending) / rate
+        hold = min(fill_time, self.gain * latency, self.ceiling)
+        if hold < 1e-4:
+            # Below the event loop's sleep granularity a hold buys
+            # nothing; dispatch now.
+            hold = 0.0
+        self._last_wait = hold
+        return hold
+
+    def observe(self, batch_size: int, dispatch_seconds: float) -> None:
+        """Fold one dispatch's outcome into the EWMAs."""
+        now = self._clock()
+        if self._last_dispatch_at is not None:
+            window = max(now - self._last_dispatch_at, 1e-6)
+            rate = self._arrived / window
+            self._rate = (
+                rate
+                if self._rate is None
+                else (1 - self.alpha) * self._rate + self.alpha * rate
+            )
+        self._arrived = 0
+        self._last_dispatch_at = now
+        self._latency = (
+            dispatch_seconds
+            if self._latency is None
+            else (1 - self.alpha) * self._latency + self.alpha * dispatch_seconds
+        )
+
+    @property
+    def current_wait_ms(self) -> float:
+        """The most recently chosen window, in milliseconds."""
+        return self._last_wait * 1000.0
+
+    @property
+    def arrival_rate(self) -> float | None:
+        """EWMA arrivals/second (None before any feedback)."""
+        return self._rate
+
+    @property
+    def dispatch_latency_ms(self) -> float | None:
+        """EWMA dispatch latency in ms (None before any feedback)."""
+        return None if self._latency is None else self._latency * 1000.0
+
+
 @dataclass(frozen=True)
 class FrontendStats:
     """Counters describing the frontend's coalescing behavior.
@@ -138,6 +311,11 @@ class FrontendStats:
         max_batch_seen: largest single dispatch cycle.
         point_fallbacks: requests retried individually because their
             batch contained a failing request.
+        batch_wait_ms: the batch policy's current hold-open window
+            (None when no policy is attached).
+        arrival_rate: the policy's EWMA arrivals/second, when tracked.
+        dispatch_latency_ms: the policy's EWMA dispatch latency, when
+            tracked.
     """
 
     submitted: int
@@ -147,6 +325,9 @@ class FrontendStats:
     coalesced: int
     max_batch_seen: int
     point_fallbacks: int
+    batch_wait_ms: float | None = None
+    arrival_rate: float | None = None
+    dispatch_latency_ms: float | None = None
 
     @property
     def mean_batch(self) -> float:
@@ -179,6 +360,14 @@ class AsyncDistanceFrontend:
             already forms large batches, and a lone request should not
             pay a latency tax.
         max_wait_ms: upper bound on that wait.
+        policy: a batch policy (:class:`FixedWindowPolicy`,
+            :class:`AdaptiveBatchPolicy`, or anything with their
+            ``note_arrival`` / ``wait_seconds`` / ``observe``
+            surface). When given it supersedes the legacy
+            ``min_batch``/``max_wait_ms`` waiting rule: after each
+            drain pass the dispatcher holds the batch open for
+            ``policy.wait_seconds(pending)`` and reports every
+            dispatch back through ``policy.observe``.
         populate_cache: write coalesced point results back into the
             service's prediction cache (point queries always *read*
             the cache at submit time).
@@ -196,6 +385,7 @@ class AsyncDistanceFrontend:
         max_batch: int = 4096,
         min_batch: int = 1,
         max_wait_ms: float = 0.5,
+        policy=None,
         populate_cache: bool = False,
     ):
         if int(max_batch) < 1:
@@ -211,6 +401,15 @@ class AsyncDistanceFrontend:
         self.max_batch = int(max_batch)
         self.min_batch = int(min_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
+        if policy is not None and not all(
+            callable(getattr(policy, method, None))
+            for method in ("wait_seconds", "observe", "note_arrival")
+        ):
+            raise ValidationError(
+                f"batch policy {policy!r} lacks the wait_seconds/observe/"
+                "note_arrival surface"
+            )
+        self.policy = policy
         self.populate_cache = bool(populate_cache)
         self._pending: list[tuple] = []
         self._in_flight: list[tuple] = []
@@ -286,6 +485,8 @@ class AsyncDistanceFrontend:
             self._wakeup.set()
         pending.append(request)
         self._submitted += 1
+        if self.policy is not None:
+            self.policy.note_arrival()
         return request[-1]
 
     def _future(self) -> asyncio.Future:
@@ -366,7 +567,12 @@ class AsyncDistanceFrontend:
             # One full pass through the event loop: every runnable
             # client enqueues before the batch is cut.
             await asyncio.sleep(0)
-            if (
+            if self.policy is not None:
+                if len(self._pending) < self.max_batch:
+                    hold = self.policy.wait_seconds(len(self._pending))
+                    if hold > 0:
+                        await asyncio.sleep(hold)
+            elif (
                 self.min_batch > 1
                 and len(self._pending) < self.min_batch
                 and self.max_wait > 0
@@ -381,6 +587,7 @@ class AsyncDistanceFrontend:
                 # batch must stay in _in_flight so stop() can cancel its
                 # futures; every non-cancel path clears it below.
                 self._in_flight = batch
+                started = time.perf_counter()
                 try:
                     await self._execute(batch)
                 except Exception as error:  # noqa: BLE001 - the dispatcher
@@ -391,6 +598,10 @@ class AsyncDistanceFrontend:
                         if not future.done():
                             future.set_exception(error)
                 self._in_flight = []
+                if self.policy is not None:
+                    self.policy.observe(
+                        len(batch), time.perf_counter() - started
+                    )
 
     async def _execute(self, batch: list[tuple]) -> None:
         self._batches += 1
@@ -505,6 +716,7 @@ class AsyncDistanceFrontend:
 
     def stats(self) -> FrontendStats:
         """Snapshot of the coalescing counters."""
+        policy = self.policy
         return FrontendStats(
             submitted=self._submitted,
             completed=self._completed,
@@ -513,6 +725,23 @@ class AsyncDistanceFrontend:
             coalesced=self._coalesced,
             max_batch_seen=self._max_batch_seen,
             point_fallbacks=self._point_fallbacks,
+            # getattr: the validated policy surface is only
+            # note_arrival/wait_seconds/observe — a custom policy
+            # without the introspection properties must not break
+            # stats().
+            batch_wait_ms=(
+                None
+                if policy is None
+                else getattr(policy, "current_wait_ms", None)
+            ),
+            arrival_rate=(
+                None if policy is None else getattr(policy, "arrival_rate", None)
+            ),
+            dispatch_latency_ms=(
+                None
+                if policy is None
+                else getattr(policy, "dispatch_latency_ms", None)
+            ),
         )
 
 
@@ -644,4 +873,200 @@ def measure_per_query_throughput(
         total_queries=n_clients * queries_per_client,
         elapsed_seconds=elapsed,
         mean_batch=1.0,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# batch-policy evaluation: synthetic dispatch costs, bursty/steady load
+# ---------------------------------------------------------------------- #
+
+
+class SimulatedDispatchBackend:
+    """An async backend whose only behavior is its *cost model*.
+
+    Every dispatch spends ``base_ms + per_item_us * n`` of event-loop
+    time — the shape of a cross-shard RPC round (fixed protocol/syscall
+    overhead plus linear payload cost). Results are zeros; the point is
+    to make the batching tradeoff real and deterministic so batch
+    policies can be compared: many small dispatches pay ``base_ms``
+    over and over, one large dispatch pays it once but makes early
+    arrivals wait.
+
+    Attributes:
+        dispatches: backend calls executed.
+        items: total requests served across those calls.
+    """
+
+    def __init__(self, base_ms: float = 2.0, per_item_us: float = 4.0):
+        if base_ms < 0 or per_item_us < 0:
+            raise ValidationError("cost-model parameters must be >= 0")
+        self.base = float(base_ms) / 1000.0
+        self.per_item = float(per_item_us) / 1_000_000.0
+        self.cache = PredictionCache()  # stays empty: no hit fast path
+        self.write_epoch = 0
+        self.dispatches = 0
+        self.items = 0
+
+    def cache_put_if_current(self, *args: object) -> bool:
+        return False
+
+    def cache_put_many_if_current(self, *args: object) -> int:
+        return 0
+
+    async def _spend(self, items: int) -> None:
+        self.dispatches += 1
+        self.items += items
+        await asyncio.sleep(self.base + self.per_item * items)
+
+    async def point(self, source_id: object, destination_id: object) -> float:
+        await self._spend(1)
+        return 0.0
+
+    async def pairs(self, source_ids, destination_ids) -> np.ndarray:
+        await self._spend(len(source_ids))
+        return np.zeros(len(source_ids))
+
+    async def one_to_many(self, source_id: object, destination_ids) -> np.ndarray:
+        await self._spend(len(destination_ids))
+        return np.zeros(len(destination_ids))
+
+    async def k_nearest(self, source_id: object, k: int, candidate_ids=None):
+        await self._spend(int(k))
+        return []
+
+
+@dataclass(frozen=True)
+class PolicyReport:
+    """Outcome of one batch policy under one synthetic load.
+
+    Attributes:
+        policy: human-readable policy label.
+        load: "steady" or "bursty".
+        total_queries: point queries completed.
+        elapsed_seconds: wall-clock time for the whole run.
+        dispatches: backend calls the policy's batching produced.
+        mean_batch: average coalesced batch size.
+        batch_wait_ms: the policy's final window (None for no policy).
+    """
+
+    policy: str
+    load: str
+    total_queries: int
+    elapsed_seconds: float
+    dispatches: int
+    mean_batch: float
+    batch_wait_ms: float | None
+
+    @property
+    def queries_per_second(self) -> float:
+        """Aggregate throughput."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total_queries / self.elapsed_seconds
+
+    def __str__(self) -> str:
+        wait = (
+            f" wait={self.batch_wait_ms:.2f}ms"
+            if self.batch_wait_ms is not None
+            else ""
+        )
+        return (
+            f"{self.policy} [{self.load}]: {self.elapsed_seconds * 1000:.0f} ms "
+            f"for {self.total_queries} queries in {self.dispatches} dispatches "
+            f"(mean batch {self.mean_batch:.0f}{wait})"
+        )
+
+
+async def _drive_steady(
+    frontend: AsyncDistanceFrontend, n_clients: int, rounds: int
+) -> int:
+    """Closed-loop lockstep traffic: every client keeps exactly one
+    query in flight — the regime where any extra window is pure
+    latency tax."""
+
+    async def client(index: int) -> None:
+        for round_number in range(rounds):
+            await frontend.query(("s", index), ("d", round_number))
+
+    await asyncio.gather(*(client(i) for i in range(n_clients)))
+    return n_clients * rounds
+
+
+async def _drive_bursty(
+    frontend: AsyncDistanceFrontend,
+    n_clients: int,
+    rounds: int,
+    window: int,
+    spread_ms: float,
+) -> int:
+    """Closed-loop bursts with intra-burst arrival spread: each round,
+    clients submit ``window`` queries staggered across ``spread_ms`` —
+    the regime where a hold-open window collects the burst instead of
+    shredding it into base-cost-dominated fragments."""
+    spread = spread_ms / 1000.0
+
+    async def client(index: int) -> None:
+        offset = spread * index / max(n_clients - 1, 1)
+        for round_number in range(rounds):
+            await asyncio.sleep(offset)
+            futures = [
+                frontend.submit(("s", index, w), ("d", round_number))
+                for w in range(window)
+            ]
+            for future in futures:
+                await future
+
+    await asyncio.gather(*(client(i) for i in range(n_clients)))
+    return n_clients * rounds * window
+
+
+def measure_batching_policy(
+    policy,
+    load: str = "steady",
+    label: str | None = None,
+    n_clients: int = 24,
+    rounds: int = 20,
+    window: int = 4,
+    spread_ms: float = 6.0,
+    base_ms: float = 2.0,
+    per_item_us: float = 4.0,
+) -> PolicyReport:
+    """Run one batch policy against one synthetic load shape.
+
+    Args:
+        policy: a batch policy instance, or None for bare
+            drain-then-dispatch.
+        load: "steady" (lockstep closed loop) or "bursty" (staggered
+            burst rounds).
+        label: report label (defaults to the policy class name).
+        n_clients / rounds / window / spread_ms: load-shape knobs.
+        base_ms / per_item_us: the simulated dispatch cost model.
+    """
+    if load not in ("steady", "bursty"):
+        raise ValidationError(f"load must be 'steady' or 'bursty', got {load!r}")
+    backend = SimulatedDispatchBackend(base_ms=base_ms, per_item_us=per_item_us)
+    if label is None:
+        label = type(policy).__name__ if policy is not None else "no-policy"
+
+    async def run() -> tuple[int, float, FrontendStats]:
+        async with AsyncDistanceFrontend(backend, policy=policy) as frontend:
+            started = time.perf_counter()
+            if load == "steady":
+                served = await _drive_steady(frontend, n_clients, rounds)
+            else:
+                served = await _drive_bursty(
+                    frontend, n_clients, rounds, window, spread_ms
+                )
+            elapsed = time.perf_counter() - started
+            return served, elapsed, frontend.stats()
+
+    served, elapsed, stats = asyncio.run(run())
+    return PolicyReport(
+        policy=label,
+        load=load,
+        total_queries=served,
+        elapsed_seconds=elapsed,
+        dispatches=backend.dispatches,
+        mean_batch=stats.mean_batch,
+        batch_wait_ms=stats.batch_wait_ms,
     )

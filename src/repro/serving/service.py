@@ -46,6 +46,10 @@ class DistanceService:
         n_shards: build a hash-sharded store with this many shards.
         cache_entries: LRU capacity of the point-query cache.
         cache_ttl: cache entry lifetime in seconds (None: no expiry).
+        cache_admission: point-query cache admission policy —
+            ``"none"`` (insert everything) or ``"doorkeeper"``
+            (frequency-gated; see
+            :class:`~repro.serving.cache.PredictionCache`).
         clock: monotonic time source shared by the cache's TTL logic
             and the staleness metrics; injectable so tests advance
             time instead of sleeping.
@@ -60,6 +64,7 @@ class DistanceService:
         n_shards: int = 0,
         cache_entries: int = 65536,
         cache_ttl: float | None = None,
+        cache_admission: str = "none",
         clock=time.monotonic,
         ridge: float = 0.0,
         nonnegative: bool = False,
@@ -77,7 +82,10 @@ class DistanceService:
         self.engine = QueryEngine(store)
         self.clock = clock
         self.cache = PredictionCache(
-            max_entries=cache_entries, ttl=cache_ttl, clock=clock
+            max_entries=cache_entries,
+            ttl=cache_ttl,
+            clock=clock,
+            admission=cache_admission,
         )
         self.ridge = float(ridge)
         self.nonnegative = bool(nonnegative)
@@ -590,6 +598,8 @@ class DistanceService:
             cache_misses=cache_stats.misses,
             cache_size=cache_stats.size,
             cache_max_entries=cache_stats.max_entries,
+            cache_admitted=cache_stats.admitted,
+            cache_rejected=cache_stats.rejected,
             vectors_refreshed=vectors_refreshed,
             refresh_batches=refresh_batches,
             seconds_since_refresh=since_refresh,

@@ -101,9 +101,18 @@ class VectorStore(ABC):
         """Remove a host; returns whether it was present."""
 
     @abstractmethod
-    def gather(self, host_ids: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    def gather(
+        self, host_ids: Sequence, copy: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Stack the hosts' vectors into ``(n, d)`` ``(X, Y)`` matrices,
-        in request order."""
+        in request order.
+
+        ``copy=False`` permits (but does not require) the result to be
+        a *view* of the store's backing arrays — the zero-copy fast
+        path for readers that consume the rows before the store can be
+        mutated again (the shard server's socket path). Callers that
+        hold results across writes, or share the store with writer
+        threads, must keep the default."""
 
     @abstractmethod
     def export(self) -> tuple[list, np.ndarray, np.ndarray]:
@@ -245,9 +254,21 @@ class InMemoryVectorStore(VectorStore):
         except KeyError as missing:
             raise ValidationError(f"unknown host {missing.args[0]!r}") from None
 
-    def gather(self, host_ids: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    def gather(
+        self, host_ids: Sequence, copy: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
         with self._lock:
             rows = self.rows_for(host_ids)
+            if not copy and rows.size:
+                # Contiguous ascending slab (the common case after bulk
+                # seeding): slice views instead of fancy-index copies,
+                # so the rows can flow to a socket with zero copies.
+                start = int(rows[0])
+                stop = start + rows.size
+                if stop <= self._outgoing.shape[0] and np.array_equal(
+                    rows, np.arange(start, stop)
+                ):
+                    return self._outgoing[start:stop], self._incoming[start:stop]
             return self._outgoing[rows], self._incoming[rows]
 
     def export(self) -> tuple[list, np.ndarray, np.ndarray]:
@@ -335,7 +356,11 @@ class ShardedVectorStore(VectorStore):
     def delete(self, host_id: object) -> bool:
         return self.shard_for(host_id).delete(host_id)
 
-    def gather(self, host_ids: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    def gather(
+        self, host_ids: Sequence, copy: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # The scatter back into request order always materializes new
+        # matrices, so ``copy`` has no view to offer here.
         count = len(host_ids)
         outgoing = np.empty((count, self._dimension))
         incoming = np.empty((count, self._dimension))

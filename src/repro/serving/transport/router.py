@@ -90,6 +90,9 @@ class ShardedQueryRouter:
             invalidation channel), so the TTL is what bounds staleness.
             Only routers that are their cluster's sole writer should
             pass None.
+        cache_admission: router cache admission policy (``"none"`` or
+            the frequency-gated ``"doorkeeper"``; see
+            :class:`~repro.serving.cache.PredictionCache`).
         clock: injectable time source for the cache's TTL logic.
     """
 
@@ -98,6 +101,7 @@ class ShardedQueryRouter:
         clients: Sequence[RemoteShardClient],
         cache_entries: int = 65536,
         cache_ttl: float | None = 30.0,
+        cache_admission: str = "none",
         clock=time.monotonic,
     ):
         if not clients:
@@ -106,7 +110,10 @@ class ShardedQueryRouter:
         for shard_index, client in enumerate(self.clients):
             client.shard_index = shard_index
         self.cache = PredictionCache(
-            max_entries=cache_entries, ttl=cache_ttl, clock=clock
+            max_entries=cache_entries,
+            ttl=cache_ttl,
+            clock=clock,
+            admission=cache_admission,
         )
         self.dimension: int | None = None
         self._write_epoch = 0
@@ -456,6 +463,8 @@ class ShardedQueryRouter:
             cache_misses=cache_stats.misses,
             cache_size=cache_stats.size,
             cache_max_entries=cache_stats.max_entries,
+            cache_admitted=cache_stats.admitted,
+            cache_rejected=cache_stats.rejected,
             shards=shards,
         )
 
@@ -500,12 +509,20 @@ async def connect_router(
             against a cluster with dark shards; queries on an
             unverified router fail on first use instead.
         **options: forwarded to :class:`ShardedQueryRouter` and the
-            underlying clients (``timeout``, ``retries``, ``pool_size``
-            go to the clients; the rest to the router).
+            underlying clients (``timeout``, ``retries``, ``pool_size``,
+            ``protocol_version``, ``max_in_flight`` go to the clients;
+            the rest to the router).
     """
     client_options = {
         key: options.pop(key)
-        for key in ("pool_size", "timeout", "retries", "retry_backoff")
+        for key in (
+            "pool_size",
+            "timeout",
+            "retries",
+            "retry_backoff",
+            "protocol_version",
+            "max_in_flight",
+        )
         if key in options
     }
     clients = [

@@ -7,13 +7,29 @@ deployment: it owns exactly one
 local :class:`~repro.serving.engine.QueryEngine`, and answers the RPC
 vocabulary of ``docs/wire-protocol.md`` over length-prefixed frames.
 
-Request handling is deliberately single-frame-in / single-frame-out
-per connection turn: a connection carries one outstanding request at a
-time, and concurrency comes from the client side opening a small pool
-of connections. Handler bodies run synchronously between awaits on one
-event loop, so per-request store mutations are atomic without extra
-locking (the store's own lock still guards against a co-located
-refresh thread when a server is embedded in a bigger process).
+Request handling is version-aware. A protocol v1 frame keeps the
+legacy discipline — single-frame-in / single-frame-out, strictly in
+order — so old clients see exactly the old conversation. A protocol v2
+frame carries a request id, and the connection loop spawns one task
+per request: requests **pipeline** (their ``work_delay``/service time
+overlaps) and responses may return out of order, each echoing its
+request id. Frame writes are serialized per connection (one frame's
+buffers always hit the transport contiguously), and per-request
+isolation holds in both modes: a failing handler produces an error
+frame for its own request id and nothing else. Handler bodies run
+synchronously between awaits on one event loop, so per-request store
+mutations are atomic without extra locking (the store's own lock
+still guards against a co-located refresh thread when a server is
+embedded in a bigger process).
+
+Zero-copy read path: with ``zero_copy=True`` (the default) the
+vector-carrying handlers gather row *views* out of the store
+(``InMemoryVectorStore.gather(copy=False)``) and the codec
+scatter-writes those views straight to the transport — no
+intermediate stacking or ``tobytes()`` on the hot path. This is safe
+exactly because the server mutates its store only from its own event
+loop; embedding a server over a store that other *threads* write
+requires ``zero_copy=False``.
 
 Error discipline: a request that fails validation gets an error frame
 naming the exception type and message, and the connection stays up; a
@@ -49,7 +65,13 @@ from ...exceptions import (
 from ..engine import QueryEngine, top_k_ascending
 from ..snapshot import load_snapshot
 from ..store import InMemoryVectorStore, shard_of
-from .protocol import PROTOCOL_VERSION, Message, read_message, write_message
+from .protocol import (
+    PROTOCOL_V1,
+    PROTOCOL_VERSION,
+    Message,
+    read_message,
+    write_message,
+)
 
 __all__ = ["ShardServer", "ShardProcess", "run_shard_server", "spawn_shard_process"]
 
@@ -83,7 +105,15 @@ class ShardServer:
         work_delay: artificial seconds of service time added to every
             request — a test/benchmark hook modeling network and
             compute latency deterministically, never set in real
-            deployments.
+            deployments. Pipelined (v2) requests overlap their delays.
+        zero_copy: gather row views out of the store and scatter-write
+            them to the socket (no intermediate stacking). Safe for
+            the standard deployment where only this event loop writes
+            the store; pass False when embedding the server over a
+            store that other threads mutate.
+        max_pipeline: outstanding v2 requests allowed per connection
+            before the read loop stops accepting more (backpressure
+            against a peer that writes faster than it reads).
     """
 
     def __init__(
@@ -95,6 +125,8 @@ class ShardServer:
         port: int = 0,
         store: InMemoryVectorStore | None = None,
         work_delay: float = 0.0,
+        zero_copy: bool = True,
+        max_pipeline: int = 256,
     ):
         if store is None:
             if dimension is None:
@@ -106,8 +138,14 @@ class ShardServer:
             )
         if work_delay < 0:
             raise ValidationError(f"work_delay must be >= 0, got {work_delay}")
+        if int(max_pipeline) < 1:
+            raise ValidationError(
+                f"max_pipeline must be >= 1, got {max_pipeline}"
+            )
+        self.max_pipeline = int(max_pipeline)
         self.store = store
-        self.engine = QueryEngine(store)
+        self.zero_copy = bool(zero_copy)
+        self.engine = QueryEngine(store, zero_copy=self.zero_copy)
         self.shard_index = int(shard_index)
         self.n_shards = int(n_shards)
         self.work_delay = float(work_delay)
@@ -116,6 +154,7 @@ class ShardServer:
         self._server: asyncio.base_events.Server | None = None
         self._stopped: asyncio.Event | None = None
         self.connections_rejected = 0
+        self.pipelined_requests = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -176,6 +215,16 @@ class ShardServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # One lock per connection keeps response frames contiguous on
+        # the transport when v2 tasks answer concurrently; one task set
+        # so a dying connection cancels its outstanding work; one
+        # semaphore bounds outstanding pipelined requests — when a
+        # client writes faster than it reads answers, the read loop
+        # stalls here and TCP backpressure does the rest (v1's
+        # one-at-a-time discipline gave this for free).
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        in_flight = asyncio.Semaphore(self.max_pipeline)
         try:
             while True:
                 try:
@@ -185,16 +234,36 @@ class ShardServer:
                     # hang up. The listener and every other connection
                     # keep serving.
                     self.connections_rejected += 1
-                    await self._try_error(writer, broken)
+                    await self._try_error(writer, write_lock, broken)
                     return
                 if request is None:  # clean EOF
                     return
-                stop_after = await self._answer(writer, request)
-                if stop_after:
-                    return
+                if request.version == PROTOCOL_V1:
+                    # Legacy conversation: strictly one at a time, in
+                    # order, exactly as a v1 client expects.
+                    stop_after = await self._answer(
+                        writer, write_lock, request
+                    )
+                    if stop_after:
+                        return
+                else:
+                    # Pipelined: keep reading; this request's service
+                    # time overlaps every other in-flight request's,
+                    # and its response frame carries its request id.
+                    await in_flight.acquire()
+                    self.pipelined_requests += 1
+                    task = asyncio.create_task(
+                        self._answer_pipelined(
+                            writer, write_lock, request, in_flight
+                        )
+                    )
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
         except (ConnectionError, asyncio.CancelledError):
             return
         finally:
+            for task in tasks:
+                task.cancel()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -202,41 +271,112 @@ class ShardServer:
                 pass
 
     async def _try_error(
-        self, writer: asyncio.StreamWriter, error: Exception
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        error: Exception,
+        request: Message | None = None,
     ) -> None:
+        request_id = request.request_id if request is not None else 0
+        version = request.version if request is not None else PROTOCOL_V1
         try:
-            await write_message(
-                writer,
-                {"ok": False, "error": type(error).__name__, "message": str(error)},
-            )
+            async with write_lock:
+                await write_message(
+                    writer,
+                    {
+                        "ok": False,
+                        "error": type(error).__name__,
+                        "message": str(error),
+                    },
+                    request_id=request_id,
+                    version=version,
+                )
         except (ConnectionError, OSError):  # pragma: no cover - peer is gone
             pass
 
+    async def _answer_pipelined(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        request: Message,
+        in_flight: asyncio.Semaphore,
+    ) -> None:
+        """One spawned v2 request: answer, then release the pipeline
+        slot. The peer hanging up mid-answer is normal connection churn
+        (the v1 serial loop swallows it too), never an unretrieved
+        task exception."""
+        try:
+            await self._answer(writer, write_lock, request)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            in_flight.release()
+
     async def _answer(
-        self, writer: asyncio.StreamWriter, request: Message
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        request: Message,
     ) -> bool:
-        """Handle one request; returns True when the server should stop."""
+        """Handle one request; returns True when the server should stop.
+
+        Per-request isolation: any failure becomes an error frame for
+        *this* request id; concurrent pipelined requests never see it.
+
+        The handler body and the response write happen under the
+        connection's write lock with no await between them, so any
+        store views the handler returns (the zero-copy gather path)
+        are consumed into the transport buffer before another task —
+        say a ``put_many`` refresh — can run and mutate the rows they
+        alias. Handlers are synchronous, so holding the lock across
+        them costs nothing in concurrency.
+        """
         if self.work_delay:
             await asyncio.sleep(self.work_delay)
         handler = self._HANDLERS.get(request.op)
-        try:
-            if handler is None:
-                raise ValidationError(f"unknown operation {request.op!r}")
-            fields, arrays = handler(self, request)
-        except ReproError as error:
-            await self._try_error(writer, error)
-            return False
-        except Exception as error:  # noqa: BLE001 - a handler bug must
-            # surface at the caller as an error frame, not kill the shard
-            await self._try_error(writer, error)
-            return False
-        await write_message(writer, {"ok": True, **fields}, arrays)
+        async with write_lock:
+            try:
+                if handler is None:
+                    raise ValidationError(f"unknown operation {request.op!r}")
+                fields, arrays = handler(self, request)
+            except ReproError as error:
+                await self._write_error_locked(writer, error, request)
+                return False
+            except asyncio.CancelledError:  # connection teardown
+                raise
+            except Exception as error:  # noqa: BLE001 - a handler bug must
+                # surface at the caller as an error frame, not kill the
+                # shard
+                await self._write_error_locked(writer, error, request)
+                return False
+            await write_message(
+                writer,
+                {"ok": True, **fields},
+                arrays,
+                request_id=request.request_id,
+                version=request.version,
+            )
         if request.op == "shutdown":
             asyncio.get_running_loop().call_soon(
                 lambda: asyncio.ensure_future(self.stop())
             )
+            if request.version != PROTOCOL_V1:
+                # The pipelined path has no serial loop to break out
+                # of: close the connection so the read loop unblocks.
+                writer.close()
             return True
         return False
+
+    async def _write_error_locked(
+        self, writer: asyncio.StreamWriter, error: Exception, request: Message
+    ) -> None:
+        """Send an error frame for one request (write lock held)."""
+        await write_message(
+            writer,
+            {"ok": False, "error": type(error).__name__, "message": str(error)},
+            request_id=request.request_id,
+            version=request.version,
+        )
 
     # ------------------------------------------------------------------ #
     # handlers — one per wire operation (docs/wire-protocol.md)
@@ -300,7 +440,9 @@ class ShardServer:
     def _op_gather(self, message: Message) -> tuple[dict, dict]:
         ids = self._local_ids(message)
         which = message.fields.get("which", "both")
-        outgoing, incoming = self.store.gather(ids)
+        # copy=False: contiguous row slabs leave the store as views and
+        # the codec scatter-writes them — no intermediate stacking.
+        outgoing, incoming = self.store.gather(ids, copy=not self.zero_copy)
         # A gather is the shard's share of a routed batch (the einsum
         # runs at the router), so it must register as served work or
         # the dominant pairs path would leave every counter at zero.
@@ -338,7 +480,7 @@ class ShardServer:
                 f"source_out must have shape ({self.store.dimension},), "
                 f"got {source_out.shape}"
             )
-        _, incoming = self.store.gather(destinations)
+        _, incoming = self.store.gather(destinations, copy=not self.zero_copy)
         self.engine.count_served(len(destinations))
         return {}, {"values": incoming @ source_out}
 
@@ -364,7 +506,7 @@ class ShardServer:
             candidates = [c for c in candidates if c != exclude]
         if not candidates:
             return {"ids": []}, {"values": np.zeros(0)}
-        _, incoming = self.store.gather(candidates)
+        _, incoming = self.store.gather(candidates, copy=not self.zero_copy)
         distances = incoming @ source_out
         self.engine.count_served(len(candidates))
         top = top_k_ascending(distances, k)

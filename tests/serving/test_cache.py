@@ -185,3 +185,99 @@ class TestBulkInvalidation:
         assert errors == []
         stats = cache.stats()
         assert stats.lookups == 2000
+
+
+class TestDoorkeeperAdmission:
+    def test_off_by_default_everything_admitted(self):
+        cache = PredictionCache(max_entries=8)
+        cache.put("a", "b", 1.0)
+        stats = cache.stats()
+        assert cache.admission == "none"
+        assert stats.admitted == 1
+        assert stats.rejected == 0
+        assert stats.admission_rate == 1.0
+
+    def test_first_offer_rejected_second_admitted(self):
+        cache = PredictionCache(max_entries=8, admission="doorkeeper")
+        cache.put("a", "b", 1.0)
+        assert cache.get("a", "b") is None  # not resident yet
+        cache.put("a", "b", 1.0)
+        assert cache.get("a", "b") == 1.0  # earned residency
+        stats = cache.stats()
+        assert stats.rejected == 1
+        assert stats.admitted == 1
+
+    def test_uniform_one_hit_traffic_never_populates(self):
+        """The ROADMAP-named gap: pure LRU pays an insert+evict per
+        miss on uniform traffic; the doorkeeper stops that."""
+        cache = PredictionCache(max_entries=16, admission="doorkeeper")
+        for i in range(500):  # 500 distinct one-hit pairs
+            cache.put(f"s{i}", f"d{i}", float(i))
+        stats = cache.stats()
+        assert stats.size == 0
+        assert stats.evictions == 0
+        assert stats.rejected == 500
+
+    def test_skewed_traffic_passes_the_gate(self):
+        cache = PredictionCache(max_entries=16, admission="doorkeeper")
+        for _ in range(3):
+            for i in range(8):  # a hot working set, repeated
+                cache.put(f"s{i}", f"d{i}", float(i))
+        stats = cache.stats()
+        assert stats.size == 8
+        assert all(cache.get(f"s{i}", f"d{i}") == float(i) for i in range(8))
+
+    def test_resident_entries_refresh_without_regating(self):
+        cache = PredictionCache(max_entries=8, admission="doorkeeper")
+        cache.put("a", "b", 1.0)
+        cache.put("a", "b", 1.0)  # admitted
+        cache.put("a", "b", 2.0)  # refresh, no new gate decision
+        assert cache.get("a", "b") == 2.0
+        assert cache.stats().rejected == 1
+
+    def test_doorkeeper_ages_out(self):
+        """The recency window resets wholesale at capacity, so an
+        ancient first sighting cannot admit forever."""
+        cache = PredictionCache(
+            max_entries=8, admission="doorkeeper", doorkeeper_capacity=4
+        )
+        cache.put("old", "pair", 1.0)  # sighting 1 of 'old'
+        for i in range(4):  # fills and resets the doorkeeper
+            cache.put(f"s{i}", f"d{i}", float(i))
+        cache.put("old", "pair", 1.0)  # sighting forgotten: rejected again
+        assert cache.get("old", "pair") is None
+
+    def test_clear_resets_the_doorkeeper(self):
+        cache = PredictionCache(max_entries=8, admission="doorkeeper")
+        cache.put("a", "b", 1.0)
+        cache.clear()
+        cache.put("a", "b", 1.0)  # still the first sighting post-clear
+        assert cache.get("a", "b") is None
+
+    def test_invalid_admission_rejected(self):
+        with pytest.raises(ValidationError):
+            PredictionCache(admission="bloom")
+        with pytest.raises(ValidationError):
+            PredictionCache(admission="doorkeeper", doorkeeper_capacity=0)
+
+    def test_service_and_router_surface_admission_counters(self):
+        import numpy as np
+
+        from repro.serving import DistanceService
+
+        rng = np.random.default_rng(0)
+        ids = list(range(20))
+        service = DistanceService.from_vectors(
+            ids,
+            rng.random((20, 4)),
+            rng.random((20, 4)),
+            cache_admission="doorkeeper",
+        )
+        for i in range(10):
+            service.query(ids[i], ids[-1 - i])  # one-hit pairs: gated
+        health = service.health()
+        assert health.cache_rejected == 10
+        assert health.cache_admitted == 0
+        assert "cache_rejected=10" in str(health)
+        service.query(ids[0], ids[-1])  # second offer: admitted
+        assert service.health().cache_admitted == 1

@@ -1,0 +1,590 @@
+"""Tests for protocol v2: pipelining, negotiation, failure injection.
+
+Covers the request-id framing property-wise (interleaved and
+out-of-order response streams must resolve every caller correctly),
+the v1<->v2 negotiation rules against a v1-only peer, and the chaos
+path: a shard killed mid-pipeline must reject every pending future
+exactly once, and a closed client must fail in-flight calls fast
+instead of letting them hang until their timeout.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    ProtocolError,
+    ShardUnavailableError,
+    ValidationError,
+)
+from repro.serving import (
+    AsyncDistanceFrontend,
+    RemoteShardClient,
+    ShardServer,
+    ShardedQueryRouter,
+    spawn_shard_process,
+)
+from repro.serving.transport.protocol import (
+    PROTOCOL_V1,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    read_message,
+    write_message,
+)
+
+DIMENSION = 4
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ---------------------------------------------------------------------- #
+# codec: request ids on the frame
+# ---------------------------------------------------------------------- #
+
+
+class TestRequestIdFraming:
+    def test_v2_frame_round_trips_request_id(self):
+        message = decode_frame(encode_frame({"op": "ping"}, request_id=777))
+        assert message.request_id == 777
+        assert message.version == PROTOCOL_VERSION
+
+    def test_v1_frame_has_request_id_zero(self):
+        message = decode_frame(
+            encode_frame({"op": "ping"}, version=PROTOCOL_V1)
+        )
+        assert message.request_id == 0
+        assert message.version == PROTOCOL_V1
+
+    def test_v1_frame_cannot_carry_a_request_id(self):
+        with pytest.raises(ProtocolError, match="request id"):
+            encode_frame({"op": "ping"}, request_id=3, version=PROTOCOL_V1)
+
+    def test_request_id_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError, match="request id"):
+            encode_frame({"op": "ping"}, request_id=0x10000)
+
+    @given(request_id=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=40, deadline=None)
+    def test_every_request_id_round_trips(self, request_id):
+        message = decode_frame(
+            encode_frame({"op": "x"}, {"v": np.ones(2)}, request_id=request_id)
+        )
+        assert message.request_id == request_id
+        np.testing.assert_array_equal(message.array("v"), np.ones(2))
+
+
+# ---------------------------------------------------------------------- #
+# out-of-order response streams (property: any permutation resolves)
+# ---------------------------------------------------------------------- #
+
+
+class _ShufflingEchoServer:
+    """A stub peer that collects a window of v2 requests and answers
+    them in an arbitrary (test-chosen) order, echoing each request's
+    ``nonce`` field — the adversarial reordering a client's
+    demultiplexer must survive."""
+
+    def __init__(self, window: int, order: list[int]):
+        self.window = window
+        self.order = order
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _serve(self, reader, writer):
+        try:
+            while True:
+                batch = []
+                for _ in range(self.window):
+                    request = await read_message(reader)
+                    if request is None:
+                        return
+                    batch.append(request)
+                for position in self.order:
+                    request = batch[position]
+                    await write_message(
+                        writer,
+                        {"ok": True, "nonce": request.fields.get("nonce")},
+                        request_id=request.request_id,
+                        version=request.version,
+                    )
+        except (ConnectionError, asyncio.CancelledError):
+            return
+        finally:
+            writer.close()
+
+
+class TestOutOfOrderResponses:
+    @given(order=st.permutations(list(range(6))))
+    @settings(max_examples=20, deadline=None)
+    def test_any_response_permutation_resolves_every_caller(self, order):
+        async def scenario():
+            async with _ShufflingEchoServer(6, list(order)) as stub:
+                client = RemoteShardClient(
+                    *stub.address,
+                    pool_size=1,
+                    protocol_version=2,
+                    timeout=5.0,
+                    retries=0,
+                )
+                try:
+                    responses = await asyncio.gather(
+                        *(
+                            client.call("echo", {"nonce": nonce})
+                            for nonce in range(6)
+                        )
+                    )
+                    return [r.fields["nonce"] for r in responses]
+                finally:
+                    await client.close()
+
+        assert run(scenario()) == list(range(6))
+
+    def test_real_server_answers_out_of_order_correctly(self):
+        """Against a real shard server with service delay, a mixed
+        pipelined batch resolves every call with its own answer and
+        isolates per-request failures."""
+        rng = np.random.default_rng(0)
+        ids = [f"h{i}" for i in range(12)]
+        outgoing = rng.random((12, DIMENSION))
+        incoming = rng.random((12, DIMENSION))
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1,
+                work_delay=0.005,
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, pool_size=1, timeout=5.0, retries=0
+                )
+                try:
+                    await client.call(
+                        "put_many",
+                        {"ids": ids},
+                        {"outgoing": outgoing, "incoming": incoming},
+                    )
+                    calls = [
+                        client.call("point", {"source": ids[i], "dest": ids[-1 - i]})
+                        for i in range(6)
+                    ]
+                    bad = client.call("point", {"source": "ghost", "dest": ids[0]})
+                    values = await asyncio.gather(*calls)
+                    with pytest.raises(ValidationError, match="unknown host"):
+                        await bad
+                    assert server.pipelined_requests >= 7
+                    return [float(v.fields["value"]) for v in values]
+                finally:
+                    await client.close()
+
+        values = run(scenario())
+        for i, value in enumerate(values):
+            assert value == pytest.approx(
+                float(outgoing[i] @ incoming[-1 - i])
+            )
+
+
+# ---------------------------------------------------------------------- #
+# negotiation
+# ---------------------------------------------------------------------- #
+
+
+class _V1OnlyServer:
+    """A peer speaking exactly the PR 3 dialect: v1 frames answered in
+    order, any other version refused with a v1 ProtocolError frame and
+    a hangup — byte-identical to what an old ShardServer does."""
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _serve(self, reader, writer):
+        try:
+            while True:
+                request = await read_message(reader)
+                if request is None:
+                    return
+                if request.version != PROTOCOL_V1:
+                    await write_message(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": "ProtocolError",
+                            "message": (
+                                "unsupported protocol version "
+                                f"{request.version} (speaking 1)"
+                            ),
+                        },
+                        version=PROTOCOL_V1,
+                    )
+                    return
+                await write_message(
+                    writer,
+                    {"ok": True, "version": 1, "shard_index": 0,
+                     "n_shards": 1, "dimension": DIMENSION, "n_hosts": 0},
+                    version=PROTOCOL_V1,
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            return
+        finally:
+            writer.close()
+
+
+class TestNegotiation:
+    def test_v2_server_negotiates_v2(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(*server.address)
+                try:
+                    assert client.negotiated_version is None
+                    await client.call("ping")
+                    return client.negotiated_version
+                finally:
+                    await client.close()
+
+        assert run(scenario()) == PROTOCOL_VERSION
+
+    def test_v1_only_peer_negotiates_fallback(self):
+        async def scenario():
+            async with _V1OnlyServer() as stub:
+                client = RemoteShardClient(*stub.address, timeout=5.0)
+                try:
+                    response = await client.call("ping")
+                    first = client.negotiated_version
+                    # Subsequent calls stay on v1 without re-probing.
+                    await client.call("ping")
+                    return first, response.fields["n_hosts"]
+                finally:
+                    await client.close()
+
+        version, n_hosts = run(scenario())
+        assert version == PROTOCOL_V1
+        assert n_hosts == 0
+
+    def test_forced_v2_against_v1_peer_raises_protocol_error(self):
+        async def scenario():
+            async with _V1OnlyServer() as stub:
+                client = RemoteShardClient(
+                    *stub.address, protocol_version=2, timeout=5.0, retries=0
+                )
+                try:
+                    with pytest.raises(ProtocolError, match="version"):
+                        await client.call("ping")
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_forced_v1_against_v2_server_works(self):
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, protocol_version=1
+                )
+                try:
+                    response = await client.call("ping")
+                    # The server answered on the legacy sequential path.
+                    assert server.pipelined_requests == 0
+                    return response.fields["n_hosts"], client.negotiated_version
+                finally:
+                    await client.close()
+
+        assert run(scenario()) == (0, PROTOCOL_V1)
+
+    def test_concurrent_first_calls_negotiate_once(self):
+        """A burst of first calls must not run a negotiation storm:
+        one probe settles the version for every caller."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(*server.address, pool_size=2)
+                try:
+                    await asyncio.gather(
+                        *(client.call("ping") for _ in range(16))
+                    )
+                    return client.negotiated_version, client.open_connections
+                finally:
+                    await client.close()
+
+        version, connections = run(scenario())
+        assert version == PROTOCOL_VERSION
+        assert connections <= 2
+
+
+# ---------------------------------------------------------------------- #
+# chaos: death and shutdown mid-pipeline
+# ---------------------------------------------------------------------- #
+
+
+class TestMidPipelineFailures:
+    def test_killed_shard_rejects_every_pending_future_exactly_once(self):
+        """Kill a shard process with a full pipeline in flight: every
+        pending call must fail with ShardUnavailableError — none may
+        hang, none may resolve twice."""
+        process = spawn_shard_process(0, 1, dimension=DIMENSION, work_delay=0.5)
+        outcomes: list[str] = []
+
+        async def scenario():
+            client = RemoteShardClient(
+                *process.address, timeout=10.0, retries=0, max_in_flight=32
+            )
+            try:
+                async def one(i: int) -> None:
+                    try:
+                        await client.call("ping")
+                    except ShardUnavailableError:
+                        outcomes.append("rejected")
+                    else:  # pragma: no cover - the kill must beat 0.5s
+                        outcomes.append("answered")
+
+                calls = [asyncio.create_task(one(i)) for i in range(24)]
+                await asyncio.sleep(0.1)  # all 24 are now in flight
+                assert client.in_flight >= 1
+                process.kill()
+                await asyncio.wait_for(asyncio.gather(*calls), timeout=5.0)
+            finally:
+                await client.close()
+
+        started = time.perf_counter()
+        run(scenario())
+        elapsed = time.perf_counter() - started
+        assert outcomes.count("rejected") == 24  # exactly once each
+        assert elapsed < 5.0  # failed fast, not via the 10s timeout
+
+    def test_close_fails_in_flight_calls_fast(self):
+        """client.close() with calls in flight: ShardUnavailableError
+        immediately, never a hang until the (long) timeout."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1,
+                work_delay=30.0,
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, timeout=60.0, retries=2
+                )
+                calls = [
+                    asyncio.create_task(client.call("ping")) for _ in range(4)
+                ]
+                await asyncio.sleep(0.05)  # in flight, server stalling
+                started = time.perf_counter()
+                await client.close()
+                for call in calls:
+                    with pytest.raises(ShardUnavailableError, match="closed"):
+                        await asyncio.wait_for(call, timeout=2.0)
+                return time.perf_counter() - started
+
+        assert run(scenario()) < 2.0
+
+    def test_frontend_stop_then_router_close_does_not_hang(self):
+        """The stop()/close() interaction: tearing down a frontend and
+        its router while a pipelined batch is stuck on a slow shard
+        completes immediately; the stuck callers get clean errors."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1,
+                work_delay=30.0,
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, timeout=60.0, retries=0
+                )
+                router = ShardedQueryRouter([client])
+                # Handshake would stall on work_delay; skip it.
+                router.dimension = DIMENSION
+                frontend = AsyncDistanceFrontend(router)
+                await frontend.start()
+                first = frontend.submit("a", "b")
+                second = frontend.submit("c", "d")
+                await asyncio.sleep(0.05)
+                started = time.perf_counter()
+                await asyncio.wait_for(frontend.stop(), timeout=2.0)
+                await asyncio.wait_for(router.close(), timeout=2.0)
+                for future in (first, second):
+                    with pytest.raises(
+                        (asyncio.CancelledError, ShardUnavailableError)
+                    ):
+                        await future
+                return time.perf_counter() - started
+
+        assert run(scenario()) < 2.0
+
+    def test_timeout_does_not_poison_the_pipelined_connection(self):
+        """One slow call timing out must not break the socket for the
+        calls that follow it."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, timeout=5.0, retries=0
+                )
+                await client.call("ping")
+                # Shrink the timeout below the service time for one call.
+                server.work_delay = 0.3
+                client.timeout = 0.05
+                with pytest.raises(ShardUnavailableError):
+                    await client.call("ping")
+                server.work_delay = 0.0
+                client.timeout = 5.0
+                response = await client.call("ping")
+                await client.close()
+                return response.fields["n_hosts"]
+
+        assert run(scenario()) == 0
+
+
+class TestBackpressureAndTelemetry:
+    def test_late_response_is_counted_not_delivered(self):
+        """A response arriving after its caller timed out is dropped
+        and counted in client.late_responses."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, timeout=5.0, retries=0
+                )
+                await client.call("ping")
+                server.work_delay = 0.2
+                client.timeout = 0.05
+                with pytest.raises(ShardUnavailableError):
+                    await client.call("ping")
+                # let the late frame arrive on the still-open socket
+                await asyncio.sleep(0.4)
+                late = client.late_responses
+                client.timeout = 5.0
+                server.work_delay = 0.0
+                await client.call("ping")  # connection still healthy
+                await client.close()
+                return late
+
+        assert run(scenario()) == 1
+
+    def test_server_bounds_outstanding_pipelined_requests(self):
+        """With max_pipeline=2 the server never runs more than two
+        requests of one connection concurrently — the read loop holds
+        the rest back."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1,
+                work_delay=0.05, max_pipeline=2,
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, timeout=10.0, retries=0,
+                    max_in_flight=16, protocol_version=2,
+                )
+                started = asyncio.get_running_loop().time()
+                await asyncio.gather(*(client.call("ping") for _ in range(8)))
+                elapsed = asyncio.get_running_loop().time() - started
+                await client.close()
+                # 8 requests, 2 at a time, 50ms each: >= 4 waves.
+                assert elapsed >= 0.15
+                assert server.pipelined_requests == 8
+
+        run(scenario())
+
+    def test_gather_view_consumed_before_interleaved_update(self):
+        """The zero-copy race the write-lock discipline prevents: a
+        pipelined update_many racing a gather on the same connection
+        must never corrupt the gather's response — it reflects the
+        rows wholly before or wholly after the update."""
+        rng = np.random.default_rng(7)
+        ids = [f"h{i}" for i in range(16)]
+        before_out = rng.random((16, DIMENSION))
+        before_in = rng.random((16, DIMENSION))
+        after_out = before_out + 100.0
+        after_in = before_in + 100.0
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(*server.address, timeout=5.0)
+                try:
+                    await client.call(
+                        "put_many",
+                        {"ids": ids},
+                        {"outgoing": before_out, "incoming": before_in},
+                    )
+                    for _ in range(20):
+                        gather = client.call(
+                            "gather", {"ids": ids, "which": "out"}
+                        )
+                        update = client.call(
+                            "update_many",
+                            {"ids": ids},
+                            {"outgoing": after_out, "incoming": after_in},
+                        )
+                        response, _ = await asyncio.gather(gather, update)
+                        seen = np.asarray(response.array("outgoing"))
+                        is_before = np.array_equal(seen, before_out)
+                        is_after = np.array_equal(seen, after_out)
+                        assert is_before or is_after, "torn gather response"
+                        await client.call(
+                            "update_many",
+                            {"ids": ids},
+                            {"outgoing": before_out, "incoming": before_in},
+                        )
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_repeated_timeouts_do_not_leak_sockets(self):
+        """Retry dials distrust pooled sockets, but idle survivors
+        beyond pool_size must be retired — a persistently slow shard
+        must not exhaust file descriptors."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, pool_size=1, retries=2,
+                    retry_backoff=0.0, protocol_version=2,
+                )
+                await client.call("ping")
+                server.work_delay = 0.5
+                client.timeout = 0.03
+                for _ in range(5):
+                    with pytest.raises(ShardUnavailableError):
+                        await client.call("ping")
+                # 15 timed-out attempts later the pool is still bounded
+                # (idle surplus retired; only in-flight stragglers may
+                # briefly exceed the cap).
+                assert client.open_connections <= 4
+                await client.close()
+
+        run(scenario())

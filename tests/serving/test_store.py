@@ -231,3 +231,73 @@ class TestThreadSafety:
             thread.join(timeout=30)
         assert errors == []
         assert len(store) == 120
+
+
+class TestZeroCopyGather:
+    def build(self, n=10, d=4):
+        rng = np.random.default_rng(2)
+        store = InMemoryVectorStore(d)
+        ids = [f"h{i}" for i in range(n)]
+        store.put_many(ids, rng.random((n, d)), rng.random((n, d)))
+        return store, ids
+
+    def test_copy_true_returns_owned_arrays(self):
+        store, ids = self.build()
+        outgoing, _ = store.gather(ids)
+        assert outgoing.flags.owndata or outgoing.base is None
+        outgoing[0, 0] = 99.0
+        fresh, _ = store.gather(ids)
+        assert fresh[0, 0] != 99.0  # the store was not written through
+
+    def test_contiguous_slab_is_a_view_with_copy_false(self):
+        """Bulk-seeded hosts occupy a contiguous slab: gather(copy=False)
+        returns slice views — the zero-copy path to the socket."""
+        store, ids = self.build()
+        outgoing, incoming = store.gather(ids, copy=False)
+        assert not outgoing.flags.owndata
+        assert np.shares_memory(outgoing, store._outgoing)
+        assert np.shares_memory(incoming, store._incoming)
+        expected, _ = store.gather(ids)
+        np.testing.assert_array_equal(outgoing, expected)
+
+    def test_subslab_view(self):
+        store, ids = self.build()
+        outgoing, _ = store.gather(ids[3:8], copy=False)
+        assert np.shares_memory(outgoing, store._outgoing)
+        np.testing.assert_array_equal(outgoing, store.gather(ids[3:8])[0])
+
+    def test_shuffled_request_still_correct_with_copy_false(self):
+        """Non-contiguous requests silently take the fancy-index path:
+        copy=False is permission, not a promise."""
+        store, ids = self.build()
+        shuffled = [ids[7], ids[2], ids[9], ids[0]]
+        outgoing, incoming = store.gather(shuffled, copy=False)
+        expected_out, expected_in = store.gather(shuffled)
+        np.testing.assert_array_equal(outgoing, expected_out)
+        np.testing.assert_array_equal(incoming, expected_in)
+
+    def test_reversed_request_is_not_a_wrong_view(self):
+        store, ids = self.build()
+        outgoing, _ = store.gather(list(reversed(ids)), copy=False)
+        np.testing.assert_array_equal(
+            outgoing, store.gather(list(reversed(ids)))[0]
+        )
+
+    def test_sharded_store_accepts_copy_flag(self):
+        rng = np.random.default_rng(3)
+        store = ShardedVectorStore(4, n_shards=3)
+        ids = [f"h{i}" for i in range(12)]
+        store.put_many(ids, rng.random((12, 4)), rng.random((12, 4)))
+        outgoing, _ = store.gather(ids, copy=False)
+        np.testing.assert_array_equal(outgoing, store.gather(ids)[0])
+
+    def test_zero_copy_engine_matches_copying_engine(self):
+        from repro.serving import QueryEngine
+
+        store, ids = self.build()
+        plain = QueryEngine(store)
+        fast = QueryEngine(store, zero_copy=True)
+        np.testing.assert_array_equal(
+            plain.pairs(ids[:4], ids[4:8]), fast.pairs(ids[:4], ids[4:8])
+        )
+        assert plain.k_nearest(ids[0], 3) == fast.k_nearest(ids[0], 3)

@@ -1,0 +1,101 @@
+"""Tests for the benchmark regression gate (tools/bench_compare.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import bench_compare  # noqa: E402
+
+
+def pytest_benchmark_payload(means: dict) -> dict:
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+
+
+@pytest.fixture
+def files(tmp_path):
+    def write(name: str, payload: dict) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    return write
+
+
+class TestCollectMeans:
+    def test_reads_pytest_benchmark_schema(self, files):
+        path = files("run.json", pytest_benchmark_payload({"a": 0.5, "b": 1.0}))
+        assert bench_compare.collect_means([path]) == {"a": 0.5, "b": 1.0}
+
+    def test_reads_slim_baseline_schema(self, files):
+        path = files("base.json", {"benchmarks": {"a": 0.25}})
+        assert bench_compare.collect_means([path]) == {"a": 0.25}
+
+    def test_merge_keeps_fastest(self, files):
+        first = files("one.json", pytest_benchmark_payload({"a": 0.5}))
+        second = files("two.json", pytest_benchmark_payload({"a": 0.3}))
+        assert bench_compare.collect_means([first, second]) == {"a": 0.3}
+
+
+class TestCompare:
+    def test_within_budget_passes(self):
+        assert bench_compare.compare({"a": 1.1}, {"a": 1.0}, 0.20) == []
+
+    def test_over_budget_fails(self):
+        findings = bench_compare.compare({"a": 1.3}, {"a": 1.0}, 0.20)
+        assert len(findings) == 1
+        assert "1.30x" in findings[0]
+
+    def test_improvements_and_new_benchmarks_pass(self):
+        assert bench_compare.compare({"a": 0.5, "new": 9.0}, {"a": 1.0}, 0.2) == []
+
+
+class TestMain:
+    def test_regression_exits_nonzero(self, files, capsys):
+        run = files("run.json", pytest_benchmark_payload({"a": 2.0}))
+        base = files("base.json", {"benchmarks": {"a": 1.0}})
+        code = bench_compare.main([str(run), "--baseline", str(base)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_clean_run_exits_zero(self, files, capsys):
+        run = files("run.json", pytest_benchmark_payload({"a": 1.0, "b": 0.1}))
+        base = files("base.json", {"benchmarks": {"a": 1.0}})
+        code = bench_compare.main([str(run), "--baseline", str(base)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no baseline yet" in out  # 'b' is new, reported, passing
+
+    def test_missing_baseline_file_fails_with_hint(self, files, capsys):
+        run = files("run.json", pytest_benchmark_payload({"a": 1.0}))
+        code = bench_compare.main(
+            [str(run), "--baseline", str(run.parent / "absent.json")]
+        )
+        assert code == 1
+        assert "--write-baseline" in capsys.readouterr().err
+
+    def test_write_baseline_round_trips(self, files, tmp_path):
+        run = files("run.json", pytest_benchmark_payload({"a": 1.0}))
+        out = tmp_path / "new_base.json"
+        assert bench_compare.main(
+            [str(run), "--write-baseline", str(out)]
+        ) == 0
+        assert bench_compare.collect_means([out]) == {"a": 1.0}
+
+    def test_committed_baseline_is_current(self):
+        """The baseline in the repo must parse and cover the
+        pytest-benchmark suite's stable benchmarks."""
+        baseline = bench_compare.collect_means(
+            [REPO_ROOT / "benchmarks" / "baseline.json"]
+        )
+        assert len(baseline) >= 5
+        assert all(mean > 0 for mean in baseline.values())

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare a run against the committed baseline.
+
+CI persists every benchmark job's pytest-benchmark JSON as a
+``BENCH_<n>.json`` perf-trajectory artifact (``<n>`` = the CI run
+number) and then runs this tool, which fails the job when any
+benchmark's mean time regressed by more than ``--threshold`` (default
+20%) versus the baseline committed at ``benchmarks/baseline.json``::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+        --benchmark-json=BENCH_123.json
+    python tools/bench_compare.py BENCH_123.json \
+        --baseline benchmarks/baseline.json
+
+The committed baseline is a slim ``{"benchmarks": {name: mean_s}}``
+mapping (hardware-specific absolute times are noisy, so the threshold
+is generous and the baseline is refreshed deliberately, not on every
+run)::
+
+    python tools/bench_compare.py BENCH_123.json \
+        --write-baseline benchmarks/baseline.json
+
+Benchmarks present in the run but missing from the baseline are
+reported and pass (new benchmarks must not fail their first run);
+baseline entries missing from the run are reported and pass too (a
+matrix job may run a subset). Exit code 1 only on a real regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["collect_means", "compare", "main"]
+
+
+def collect_means(paths: list[Path]) -> dict[str, float]:
+    """name -> mean seconds, merged across benchmark JSON files.
+
+    Accepts both the pytest-benchmark schema (``benchmarks`` is a list
+    of entries with ``stats.mean``) and this tool's slim baseline
+    schema (``benchmarks`` is a name->mean mapping). A benchmark
+    appearing in several files keeps its fastest mean (best-of).
+    """
+    means: dict[str, float] = {}
+    for path in paths:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = payload.get("benchmarks", payload)
+        if isinstance(entries, dict):
+            parsed = {str(name): float(mean) for name, mean in entries.items()}
+        else:
+            parsed = {
+                str(entry["fullname"]): float(entry["stats"]["mean"])
+                for entry in entries
+            }
+        for name, mean in parsed.items():
+            if name not in means or mean < means[name]:
+                means[name] = mean
+    return means
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float,
+) -> list[str]:
+    """Regression findings (empty when the run is within budget)."""
+    findings = []
+    for name in sorted(current):
+        if name not in baseline:
+            continue
+        before, now = baseline[name], current[name]
+        if before <= 0:
+            continue
+        ratio = now / before
+        if ratio > 1.0 + threshold:
+            findings.append(
+                f"{name}: {now * 1000:.3f} ms vs baseline "
+                f"{before * 1000:.3f} ms ({ratio:.2f}x, budget "
+                f"{1.0 + threshold:.2f}x)"
+            )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results", nargs="+", type=Path, help="benchmark JSON file(s) to check"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baseline.json"),
+        help="committed baseline (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional mean-time regression (default: 0.20)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's means as a new slim baseline and exit",
+    )
+    arguments = parser.parse_args(argv)
+
+    current = collect_means(arguments.results)
+    if not current:
+        print("no benchmarks found in the given results", file=sys.stderr)
+        return 1
+
+    if arguments.write_baseline is not None:
+        payload = {"benchmarks": dict(sorted(current.items()))}
+        arguments.write_baseline.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {len(current)} baseline entries to "
+              f"{arguments.write_baseline}")
+        return 0
+
+    if not arguments.baseline.exists():
+        print(
+            f"baseline {arguments.baseline} does not exist; run with "
+            "--write-baseline to create it",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = collect_means([arguments.baseline])
+
+    new = sorted(set(current) - set(baseline))
+    missing = sorted(set(baseline) - set(current))
+    compared = sorted(set(current) & set(baseline))
+    for name in compared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 0.0
+        print(
+            f"  {name}: {current[name] * 1000:.3f} ms "
+            f"(baseline {baseline[name] * 1000:.3f} ms, {ratio:.2f}x)"
+        )
+    for name in new:
+        print(f"  {name}: {current[name] * 1000:.3f} ms (no baseline yet)")
+    for name in missing:
+        print(f"  {name}: not in this run (baseline only)")
+
+    findings = compare(current, baseline, arguments.threshold)
+    for finding in findings:
+        print(f"REGRESSION: {finding}", file=sys.stderr)
+    print(
+        f"compared {len(compared)} benchmarks "
+        f"({len(new)} new, {len(missing)} absent): "
+        f"{len(findings)} regression(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
