@@ -14,7 +14,8 @@ every miss, which under *uniform* traffic is pure overhead — one-hit
 wonders churn the cache without ever being read back. The optional
 **doorkeeper** (TinyLFU-style frequency gate, off by default) makes a
 pair earn residency: the first time a non-resident pair is offered it
-is only remembered in a small recency set; it is admitted on a repeat
+is only remembered in a recency set of key *hashes* (cheap ints, with
+Bloom-filter-style collision semantics); it is admitted on a repeat
 offer within the doorkeeper's aging window. Skewed traffic — the
 workload caches exist for — passes the gate almost immediately, while
 uniform traffic stops paying for insertions it will never use.
@@ -159,7 +160,12 @@ class PredictionCache:
         self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
         self._keys_by_host: dict[object, set[tuple]] = {}
-        self._doorkeeper: set[tuple] = set()
+        # Sightings are remembered as 64-bit key *hashes*, not the key
+        # tuples themselves — Bloom-filter-style: a hash collision
+        # admits a pair one offer early (harmless for an admission
+        # heuristic), and the window costs small ints instead of
+        # pinning tuples and host-id objects.
+        self._doorkeeper: set[int] = set()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -215,15 +221,16 @@ class PredictionCache:
 
     def _admit(self, key: tuple) -> bool:
         """Frequency gate: second sighting within the window admits."""
-        if key in self._doorkeeper:
-            self._doorkeeper.discard(key)
+        sighting = hash(key)
+        if sighting in self._doorkeeper:
+            self._doorkeeper.discard(sighting)
             return True
         if len(self._doorkeeper) >= self.doorkeeper_capacity:
             # Aging: forget the sample window wholesale (the classic
             # TinyLFU reset) so stale one-hit sightings cannot admit
             # forever.
             self._doorkeeper.clear()
-        self._doorkeeper.add(key)
+        self._doorkeeper.add(sighting)
         self._rejected += 1
         return False
 

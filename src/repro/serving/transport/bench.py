@@ -153,8 +153,11 @@ def measure_pipelined_speedup(
     outgoing = rng.random((n_hosts, dimension)) + 0.5
     incoming = rng.random((n_hosts, dimension)) + 0.5
 
+    # The payload-heavy direction (gather responses) is encoded by the
+    # shard *process*, so the codec mode must be set there; the parent
+    # mirrors it so the seeding put_many exercises the same send path.
     process = spawn_shard_process(
-        0, 1, dimension=dimension, work_delay=work_delay
+        0, 1, dimension=dimension, work_delay=work_delay, codec_mode=codec
     )
     previous_codec = protocol.CODEC_MODE  # live value, not an import-time copy
     set_codec_mode(codec)

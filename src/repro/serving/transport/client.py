@@ -13,6 +13,14 @@ which the client treats as the negotiation signal and falls back to
 the strict one-in-flight conversation. ``protocol_version=1`` or ``2``
 skips negotiation (the benchmark CLI uses 1 to measure the baseline).
 
+``max_in_flight`` is a hard admission bound: a caller beyond it waits
+on the connection's slot semaphore (the wait counts against its
+timeout) instead of piling more request ids onto the socket. A call
+that times out leaves its request outstanding on the server, so its
+request id is **quarantined** — skipped by the id counter — until the
+late response arrives and is dropped; a wrapped counter can therefore
+never deliver an old answer to a new caller.
+
 Failure policy: every operation in the wire vocabulary is idempotent
 (queries are pure; ``put``/``update``/``delete`` overwrite), so a call
 that dies on a connection error or times out is retried on a *fresh*
@@ -68,6 +76,12 @@ _ERROR_TYPES = {
 
 def _replica(failure: BaseException) -> Exception:
     """A fresh exception of the same flavor, safe to set on many futures."""
+    if isinstance(failure, ShardUnavailableError):
+        # The clone must keep shard_index: callers use it to report
+        # which partition of the directory went dark.
+        return ShardUnavailableError(
+            str(failure), shard_index=failure.shard_index
+        )
     try:
         clone = type(failure)(str(failure))
         if isinstance(clone, Exception):
@@ -96,8 +110,21 @@ class _ShardConnection:
         self._on_late_response = on_late_response
         self.broken = False
         self._pending: dict[int, asyncio.Future] = {}
+        #: Request ids whose callers gave up (timeout/cancellation)
+        #: while the request was still outstanding on the server. They
+        #: stay quarantined — never reissued — until the late response
+        #: arrives and is dropped, so a wrapped id counter can never
+        #: deliver an old answer to a new caller.
+        self._abandoned: set[int] = set()
         self._next_id = 0
         self._lock = asyncio.Lock()  # v1 conversation / v2 frame writes
+        #: Admitted calls (in flight or waiting for a slot) — the
+        #: pool's load-balancing signal.
+        self._load = 0
+        #: Hard admission bound: a caller beyond ``max_in_flight``
+        #: waits here for a slot instead of piling another request id
+        #: onto the connection.
+        self._slots = asyncio.Semaphore(max_in_flight)
         self._reader_task: asyncio.Task | None = None
         if version == PROTOCOL_VERSION:
             self._reader_task = asyncio.create_task(
@@ -112,11 +139,16 @@ class _ShardConnection:
         return len(self._pending)
 
     @property
+    def load(self) -> int:
+        """Admitted calls: in flight plus waiting for a pipeline slot."""
+        return self._load
+
+    @property
     def saturated(self) -> bool:
         """Whether another call should prefer a different connection."""
         if self.version == PROTOCOL_V1:
-            return self._lock.locked()
-        return len(self._pending) >= self.max_in_flight
+            return self._load >= 1
+        return self._load >= self.max_in_flight
 
     # ------------------------------------------------------------------ #
     # the demultiplexer (v2 only)
@@ -139,35 +171,63 @@ class _ShardConnection:
                     for request_id in self._pending:
                         future = self._pending.pop(request_id)
                         break
+                elif response.request_id in self._abandoned:
+                    # The late answer to a call whose caller gave up:
+                    # drop the frame, lift the id's quarantine (it is
+                    # now safe to reissue), and let the client count it.
+                    self._abandoned.discard(response.request_id)
+                    if self._on_late_response is not None:
+                        self._on_late_response()
+                    continue
                 else:
                     future = self._pending.pop(response.request_id, None)
                     if future is None and self._on_late_response is not None:
-                        # The caller gave up (timeout) before the frame
-                        # arrived: drop it, but let the client count it.
+                        # Not pending, not quarantined: an id this
+                        # client never issued. Drop it, but count it.
                         self._on_late_response()
                 if future is not None and not future.done():
                     future.set_result(response)
         except (ConnectionError, OSError, ProtocolError) as broken:
             failure = broken
         finally:
-            self.broken = True
+            # _mark_broken (not just the flag): a clean server EOF
+            # leaves the half-closed transport open on our side, and
+            # _prune would drop the last reference without ever closing
+            # the socket — a CLOSE_WAIT fd leak per server restart.
+            self._mark_broken()
             self._fail_pending(failure)
 
     def _fail_pending(self, failure: BaseException) -> None:
         """Reject every in-flight call exactly once."""
         pending, self._pending = self._pending, {}
+        # A dead connection receives no more frames, so no quarantined
+        # id can ever be confused with a reissue again.
+        self._abandoned.clear()
         for future in pending.values():
             if not future.done():
                 future.set_exception(_replica(failure))
 
     def _claim_id(self) -> int:
+        """A request id that is neither in flight nor quarantined.
+
+        The admission semaphore keeps in-flight ids at or below
+        ``max_in_flight``, but quarantined ids of timed-out calls can
+        accumulate while the server sits on their responses; a
+        connection that runs entirely out of ids raises
+        :class:`TransportError`, which the client retries on a fresh
+        connection (whose id space is empty).
+        """
         for _ in range(MAX_REQUEST_ID + 1):
             self._next_id = (self._next_id + 1) & MAX_REQUEST_ID
-            if self._next_id not in self._pending:
+            if (
+                self._next_id not in self._pending
+                and self._next_id not in self._abandoned
+            ):
                 return self._next_id
         raise TransportError(
-            f"{MAX_REQUEST_ID + 1} RPCs in flight on one connection"
-        )  # pragma: no cover - max_in_flight bounds this far below 65536
+            f"no free request id: {MAX_REQUEST_ID + 1} RPCs in flight "
+            "or quarantined on one connection"
+        )
 
     # ------------------------------------------------------------------ #
     # one RPC
@@ -177,11 +237,29 @@ class _ShardConnection:
         self, request: dict, arrays: dict[str, np.ndarray] | None
     ) -> Message:
         """Write one request frame and await its response frame."""
-        if self.version == PROTOCOL_V1:
-            return await self._call_v1(request, arrays)
+        self._load += 1
+        try:
+            if self.version == PROTOCOL_V1:
+                return await self._call_v1(request, arrays)
+            async with self._slots:  # wait for a pipeline slot
+                return await self._call_v2(request, arrays)
+        finally:
+            self._load -= 1
+
+    async def _call_v2(
+        self, request: dict, arrays: dict[str, np.ndarray] | None
+    ) -> Message:
+        if self.broken:
+            # The connection died while this caller waited for a slot:
+            # its future would never resolve (the reader is gone), so
+            # fail retriably instead of hanging until the timeout.
+            raise ConnectionResetError(
+                "connection closed while waiting for a pipeline slot"
+            )
         request_id = self._claim_id()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
+        sent = False
         try:
             async with self._lock:
                 try:
@@ -192,17 +270,37 @@ class _ShardConnection:
                         request_id=request_id,
                         version=PROTOCOL_VERSION,
                     )
+                    sent = True
+                except asyncio.CancelledError:
+                    # Inside write_message the first await comes after
+                    # the last (synchronous) transport write, so a
+                    # cancellation landing here — e.g. the caller's
+                    # timeout expiring during the backpressure flush —
+                    # finds the frame fully queued: the stream stays
+                    # well-framed and the socket stays healthy for the
+                    # other pipelined calls. The quarantine below
+                    # handles the eventual response.
+                    sent = True
+                    raise
                 except BaseException:
-                    # A write that died (cancel, reset) may have left a
-                    # partial frame on the socket: poison the connection.
+                    # A genuine transport failure (reset, encode bug):
+                    # poison the connection.
                     self._mark_broken()
                     raise
             return await future
         finally:
-            # Normally the read loop already popped the id; a timeout
-            # cancellation lands here with the entry still registered,
-            # and removing it keeps a late response from mismatching.
-            self._pending.pop(request_id, None)
+            # Normally the read loop already popped the id. A timeout
+            # (or any cancellation) lands here with the entry still
+            # registered; if the request actually reached the wire it
+            # is still outstanding on the server, so quarantine the id:
+            # a wrapped counter cannot reassign it before the late
+            # response arrives — the read loop drops that response and
+            # lifts the quarantine. A call cancelled before its frame
+            # was queued (waiting for the write lock) frees its id
+            # immediately: no response will ever come for it.
+            if self._pending.pop(request_id, None) is not None:
+                if sent and not self.broken:
+                    self._abandoned.add(request_id)
 
     async def _call_v1(
         self, request: dict, arrays: dict[str, np.ndarray] | None
@@ -274,7 +372,8 @@ class RemoteShardClient:
         protocol_version: ``None`` negotiates (v2 preferred, v1
             fallback); ``1`` or ``2`` forces a version — forcing 2
             against a v1-only server fails with ``ProtocolError``.
-        max_in_flight: pipeline depth per v2 connection.
+        max_in_flight: pipeline depth per v2 connection — a hard
+            admission bound; excess concurrent callers wait for a slot.
     """
 
     def __init__(
@@ -391,7 +490,7 @@ class RemoteShardClient:
         for connection in list(self._connections):
             if surplus <= 0:
                 break
-            if connection is keep or connection.in_flight:
+            if connection is keep or connection.load:
                 continue
             connection.close()
             self._connections.remove(connection)
@@ -451,7 +550,7 @@ class RemoteShardClient:
             return connection
         candidates = [c for c in self._connections if not c.saturated]
         if candidates:
-            return min(candidates, key=lambda c: c.in_flight)
+            return min(candidates, key=lambda c: c.load)
         # Serialize dials: a burst of first calls must share the one
         # socket the first of them opens, not race the pool cap.
         if self._dialing is None:
@@ -460,14 +559,15 @@ class RemoteShardClient:
             self._prune()
             candidates = [c for c in self._connections if not c.saturated]
             if candidates:
-                return min(candidates, key=lambda c: c.in_flight)
+                return min(candidates, key=lambda c: c.load)
             if len(self._connections) < self.pool_size:
                 return await self._dial(version)
-        # Every socket is saturated and the pool is at its cap: pile
-        # onto the least-loaded one (v2 queues the frame; v1 waits on
-        # the conversation lock).
+        # Every socket is saturated and the pool is at its cap: queue
+        # on the least-loaded one — admission is still bounded, because
+        # the connection's slot semaphore (v2) or conversation lock
+        # (v1) holds the excess caller back until a slot frees up.
         if self._connections:
-            return min(self._connections, key=lambda c: c.in_flight)
+            return min(self._connections, key=lambda c: c.load)
         return await self._dial(version)
 
     async def close(self) -> None:
@@ -517,7 +617,22 @@ class RemoteShardClient:
                 # close() rejected the in-flight future: fail fast, the
                 # retry budget does not apply to a deliberate shutdown.
                 raise
-            except (ConnectionError, OSError, asyncio.TimeoutError) as broken:
+            except (ProtocolError, RemoteShardError):
+                # Framing violations are server bugs and error frames
+                # come from a *live* server: never retriable. Both are
+                # TransportErrors, so they must be re-raised before the
+                # retriable clause below.
+                raise
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                TransportError,
+            ) as broken:
+                # TransportError covers connection-local exhaustion
+                # (e.g. no free request id): retried on a fresh socket,
+                # mapped to ShardUnavailableError when the budget runs
+                # out — never surfaced raw.
                 failure = broken
                 continue
             self.calls += 1

@@ -44,9 +44,19 @@ Zero-copy discipline (both directions):
   bytes plus one ``memoryview`` per contiguous payload, so
   :func:`write_message` hands the socket views of the source arrays
   instead of building ``tobytes()`` intermediates and joining them.
+  Because a backpressured transport retains unsent buffers *by
+  reference*, :func:`write_message` only returns once the transport
+  has fully flushed the payload views — callers may reuse or mutate
+  the source arrays the moment it returns, and never earlier.
   :func:`encode_frame` (the joined single-buffer form) remains for
   tests and for callers that want one blob; the legacy behaviour is
   selectable process-wide via :data:`CODEC_MODE` for benchmarking.
+
+Compatibility note: before protocol v2 every decoded payload was a
+freshly-allocated *writable* array. An embedder that mutated decoded
+payloads in place now gets ``ValueError: assignment destination is
+read-only`` and should switch those call sites to
+:meth:`Message.writable`.
 
 Every decode guard raises :class:`~repro.exceptions.ProtocolError`:
 wrong magic, unknown version, non-zero reserved bits, frames above
@@ -76,6 +86,7 @@ __all__ = [
     "PRELUDE",
     "CODEC_MODE",
     "Message",
+    "check_codec_mode",
     "encode_frame",
     "encode_frame_parts",
     "decode_frame",
@@ -116,12 +127,17 @@ _WIRE_DTYPES = {"<f8", "<i8"}
 CODEC_MODE = "scatter"
 
 
+def check_codec_mode(mode: str) -> str:
+    """Validate a codec mode name; returns it or raises ProtocolError."""
+    if mode not in ("scatter", "join"):
+        raise ProtocolError(f"codec mode must be 'scatter' or 'join', got {mode!r}")
+    return mode
+
+
 def set_codec_mode(mode: str) -> None:
     """Select the send-side codec ("scatter" or "join") process-wide."""
     global CODEC_MODE
-    if mode not in ("scatter", "join"):
-        raise ProtocolError(f"codec mode must be 'scatter' or 'join', got {mode!r}")
-    CODEC_MODE = mode
+    CODEC_MODE = check_codec_mode(mode)
 
 
 @dataclass(frozen=True)
@@ -187,8 +203,11 @@ def encode_frame_parts(
     whose remaining elements are one byte-cast ``memoryview`` per
     payload — views of the source arrays, not copies. The caller
     (usually :func:`write_message`) hands each buffer to the transport
-    in order; a selector-loop transport consumes them synchronously,
-    so the source arrays may be reused once the write call returns.
+    in order. ``transport.write()`` consumes a buffer synchronously
+    only when the socket accepts it immediately; under backpressure
+    the unsent tail is retained *by reference*, so a caller writing
+    these views itself must wait for a fully flushed transport buffer
+    (as :func:`write_message` does) before reusing the source arrays.
 
     Args:
         fields: JSON-representable scalar fields. Must not contain the
@@ -405,25 +424,127 @@ async def read_message(reader: asyncio.StreamReader) -> Message | None:
     return _decode_payload(header_bytes, body, request_id, version)
 
 
+async def _bounded_flush(
+    writer: asyncio.StreamWriter, flush_timeout: float | None = None
+) -> None:
+    """Wait until the transport buffer holds none of our payload views.
+
+    ``transport.write()`` is only *sometimes* synchronous: when the
+    socket cannot take every byte immediately, the asyncio transport
+    retains the unsent tail **by reference** (on Python 3.12+ the
+    selector transport keeps the very memoryviews it was handed in its
+    write deque), and ``drain()`` resolves at the low-water mark, not
+    at empty. Returning then would break the zero-copy contract — the
+    caller (e.g. a shard server holding its write lock) is entitled to
+    let the source arrays mutate the moment :func:`write_message`
+    returns. Dropping the high-water mark to zero turns ``drain()``
+    into a wait-for-empty-buffer; the limits are restored afterwards.
+
+    ``flush_timeout`` bounds the wait, and it is a **stall** bound, not
+    a transfer bound: the clock resets whenever the buffer shrinks, so
+    a slow-but-steadily-reading peer is never aborted no matter how
+    large the frame. A peer that makes no progress for ``flush_timeout``
+    seconds gets its connection **aborted** (not closed — a close would
+    keep flushing the aliased buffers in the background) and the caller
+    sees :class:`ConnectionResetError`. Servers pass this so a stalled
+    peer cannot hold a shared write lock forever; clients rely on their
+    per-call timeout instead.
+
+    Despite the zero-copy motivation, the bound applies to *every*
+    frame a server writes — join-mode and header-only frames included
+    (a multi-megabyte ``ids`` response or an error frame carries no
+    payload views, but an unbounded ``drain()`` on it would pin the
+    server-wide lock all the same).
+    """
+    transport = writer.transport
+    if transport is None:
+        await writer.drain()
+        return
+    try:
+        if transport.get_write_buffer_size() == 0:
+            # Fully consumed synchronously; the plain drain keeps the
+            # lost-connection error semantics of the legacy path.
+            await writer.drain()
+            return
+        low, high = transport.get_write_buffer_limits()
+    except (AttributeError, NotImplementedError):  # pragma: no cover
+        # A transport without buffer introspection: an ordinary drain
+        # is all that can be done.
+        await writer.drain()
+        return
+    loop = asyncio.get_running_loop()
+    deadline = None if flush_timeout is None else loop.time() + flush_timeout
+    last_size = transport.get_write_buffer_size()
+    transport.set_write_buffer_limits(high=0)
+    try:
+        while (size := transport.get_write_buffer_size()) > 0:
+            if transport.is_closing():
+                raise ConnectionResetError(
+                    "connection closed with a partially written frame"
+                )
+            if deadline is None:
+                await writer.drain()
+                continue
+            if size < last_size:
+                # The peer is reading: progress resets the stall clock
+                # (flush_timeout bounds stalls, not transfer time).
+                last_size = size
+                deadline = loop.time() + flush_timeout
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                transport.abort()  # clears the buffer: capture size first
+                raise ConnectionResetError(
+                    f"peer made no progress for {flush_timeout}s with "
+                    f"{size} bytes unsent; connection aborted"
+                )
+            try:
+                await asyncio.wait_for(writer.drain(), remaining)
+            except asyncio.TimeoutError:
+                continue  # re-check progress; the deadline check aborts
+    finally:
+        try:
+            transport.set_write_buffer_limits(high=high, low=low)
+        except (AttributeError, RuntimeError):  # pragma: no cover
+            pass  # the transport was just aborted
+
+
 async def write_message(
     writer: asyncio.StreamWriter,
     fields: dict,
     arrays: dict[str, np.ndarray] | None = None,
     request_id: int = 0,
     version: int = PROTOCOL_VERSION,
+    flush_timeout: float | None = None,
 ) -> None:
-    """Encode and send one frame, draining the transport buffer.
+    """Encode and send one frame, flushing the transport buffer.
 
     In the default "scatter" codec mode the payload views are handed
-    to the transport one by one — ``write`` consumes each buffer
-    synchronously (direct send or copy into the transport buffer), so
-    no joined intermediate frame is ever built. "join" mode rebuilds
-    the legacy single buffer for comparison benchmarks.
+    to the transport one by one — no joined intermediate frame is ever
+    built — and the coroutine returns only once the transport has
+    fully flushed them (see :func:`_bounded_flush`), so the source
+    arrays are free to be reused or mutated on return. "join" mode
+    rebuilds the legacy single buffer for comparison benchmarks.
+    ``flush_timeout`` bounds every wait — scatter, join, and
+    header-only frames alike — by aborting the connection of a peer
+    that stops reading; without it, only scatter frames with payload
+    views wait for a full flush (clients bound the wait with their
+    per-call timeout instead).
     """
     parts = encode_frame_parts(fields, arrays, request_id, version)
     if CODEC_MODE == "join":
         writer.write(b"".join(bytes(part) for part in parts))
+        scatter_views = False
     else:
         for part in parts:
             writer.write(part)
-    await writer.drain()
+        scatter_views = len(parts) > 1
+    if scatter_views or flush_timeout is not None:
+        # The bounded flush subsumes drain(): an ordinary drain would
+        # block unboundedly at the low-water mark under backpressure —
+        # unacceptable both while payload views alias caller arrays
+        # (scatter frames) and while a server-side caller holds the
+        # shard-wide write lock (any frame with flush_timeout set,
+        # header-only error frames and joined buffers included).
+        await _bounded_flush(writer, flush_timeout)
+    else:
+        await writer.drain()

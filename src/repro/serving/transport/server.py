@@ -13,10 +13,12 @@ order — so old clients see exactly the old conversation. A protocol v2
 frame carries a request id, and the connection loop spawns one task
 per request: requests **pipeline** (their ``work_delay``/service time
 overlaps) and responses may return out of order, each echoing its
-request id. Frame writes are serialized per connection (one frame's
-buffers always hit the transport contiguously), and per-request
-isolation holds in both modes: a failing handler produces an error
-frame for its own request id and nothing else. Handler bodies run
+request id. Frame writes are serialized (one frame's buffers always
+hit the transport contiguously) — under ``zero_copy`` by one
+server-wide lock shared across connections, which doubles as the
+store mutation barrier described below — and per-request isolation
+holds in both modes: a failing handler produces an error frame for
+its own request id and nothing else. Handler bodies run
 synchronously between awaits on one event loop, so per-request store
 mutations are atomic without extra locking (the store's own lock
 still guards against a co-located refresh thread when a server is
@@ -26,9 +28,15 @@ Zero-copy read path: with ``zero_copy=True`` (the default) the
 vector-carrying handlers gather row *views* out of the store
 (``InMemoryVectorStore.gather(copy=False)``) and the codec
 scatter-writes those views straight to the transport — no
-intermediate stacking or ``tobytes()`` on the hot path. This is safe
-exactly because the server mutates its store only from its own event
-loop; embedding a server over a store that other *threads* write
+intermediate stacking or ``tobytes()`` on the hot path. Three
+disciplines make this safe: the server mutates its store only from
+its own event loop; ``write_message`` returns only after the
+transport has *fully flushed* the payload views (under backpressure a
+transport retains unsent buffers by reference, and ``drain()`` alone
+resolves at the low-water mark); and every handler+write runs under
+one **server-wide** write lock, so no handler on any connection can
+mutate store rows while another connection's frame still aliases
+them. Embedding a server over a store that other *threads* write
 requires ``zero_copy=False``.
 
 Error discipline: a request that fails validation gets an error frame
@@ -69,7 +77,9 @@ from .protocol import (
     PROTOCOL_V1,
     PROTOCOL_VERSION,
     Message,
+    check_codec_mode,
     read_message,
+    set_codec_mode,
     write_message,
 )
 
@@ -114,6 +124,12 @@ class ShardServer:
         max_pipeline: outstanding v2 requests allowed per connection
             before the read loop stops accepting more (backpressure
             against a peer that writes faster than it reads).
+        flush_timeout: seconds a response write may wait for a
+            backpressured peer to drain before the connection is
+            aborted. Bounds how long the zero-copy write lock (shared
+            across connections) can be held by one stalled peer, so a
+            client that stops reading cannot freeze the shard; None
+            waits forever.
     """
 
     def __init__(
@@ -127,6 +143,7 @@ class ShardServer:
         work_delay: float = 0.0,
         zero_copy: bool = True,
         max_pipeline: int = 256,
+        flush_timeout: float | None = 2.0,
     ):
         if store is None:
             if dimension is None:
@@ -142,7 +159,14 @@ class ShardServer:
             raise ValidationError(
                 f"max_pipeline must be >= 1, got {max_pipeline}"
             )
+        if flush_timeout is not None and not flush_timeout > 0:
+            raise ValidationError(
+                f"flush_timeout must be > 0 or None, got {flush_timeout}"
+            )
         self.max_pipeline = int(max_pipeline)
+        self.flush_timeout = (
+            None if flush_timeout is None else float(flush_timeout)
+        )
         self.store = store
         self.zero_copy = bool(zero_copy)
         self.engine = QueryEngine(store, zero_copy=self.zero_copy)
@@ -153,6 +177,7 @@ class ShardServer:
         self._port = int(port)
         self._server: asyncio.base_events.Server | None = None
         self._stopped: asyncio.Event | None = None
+        self._write_lock: asyncio.Lock | None = None
         self.connections_rejected = 0
         self.pipelined_requests = 0
 
@@ -174,6 +199,18 @@ class ShardServer:
         if self._server is not None:
             return self.address
         self._stopped = asyncio.Event()
+        # With zero_copy, response frames hold *views* of store rows
+        # until fully flushed, so one lock must serialize every
+        # handler+write+flush across ALL connections — otherwise a
+        # mutating handler on connection B could rewrite rows that
+        # connection A's backpressured frame still aliases. Handlers
+        # are synchronous and writes normally flush instantly, so the
+        # shared lock costs nothing until a peer actually backpressures
+        # (then its flush briefly stalls other connections' responses —
+        # the price of zero-copy, bounded by flush_timeout, which
+        # aborts a peer that stops reading mid-flush; zero_copy=False
+        # restores fully independent per-connection writes).
+        self._write_lock = asyncio.Lock() if self.zero_copy else None
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
         )
@@ -215,14 +252,17 @@ class ShardServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        # One lock per connection keeps response frames contiguous on
-        # the transport when v2 tasks answer concurrently; one task set
-        # so a dying connection cancels its outstanding work; one
+        # The write lock keeps response frames contiguous on the
+        # transport when v2 tasks answer concurrently. With zero_copy
+        # it is the server-wide lock created in start() (the store
+        # mutation barrier — see there); without, a per-connection lock
+        # suffices because frames own their payload copies. One task
+        # set so a dying connection cancels its outstanding work; one
         # semaphore bounds outstanding pipelined requests — when a
         # client writes faster than it reads answers, the read loop
         # stalls here and TCP backpressure does the rest (v1's
         # one-at-a-time discipline gave this for free).
-        write_lock = asyncio.Lock()
+        write_lock = self._write_lock or asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         in_flight = asyncio.Semaphore(self.max_pipeline)
         try:
@@ -266,9 +306,14 @@ class ShardServer:
                 task.cancel()
             writer.close()
             try:
-                await writer.wait_closed()
+                # close() flushes buffered data first, so a peer that
+                # stopped reading could wedge this teardown forever:
+                # bound the wait and abort as the backstop.
+                await asyncio.wait_for(writer.wait_closed(), timeout=1.0)
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
+            except asyncio.TimeoutError:  # pragma: no cover - stuck peer
+                writer.transport.abort()
 
     async def _try_error(
         self,
@@ -290,6 +335,7 @@ class ShardServer:
                     },
                     request_id=request_id,
                     version=version,
+                    flush_timeout=self.flush_timeout,
                 )
         except (ConnectionError, OSError):  # pragma: no cover - peer is gone
             pass
@@ -323,13 +369,15 @@ class ShardServer:
         Per-request isolation: any failure becomes an error frame for
         *this* request id; concurrent pipelined requests never see it.
 
-        The handler body and the response write happen under the
-        connection's write lock with no await between them, so any
-        store views the handler returns (the zero-copy gather path)
-        are consumed into the transport buffer before another task —
-        say a ``put_many`` refresh — can run and mutate the rows they
-        alias. Handlers are synchronous, so holding the lock across
-        them costs nothing in concurrency.
+        The handler body and the response write happen under the write
+        lock — server-wide under ``zero_copy`` — so any store views
+        the handler returns (the zero-copy gather path) are fully
+        flushed to the socket — ``write_message`` waits out transport
+        backpressure rather than trusting ``drain()``'s low-water
+        mark — before the lock is released and another task *on any
+        connection* — say a ``put_many`` refresh — can run and mutate
+        the rows they alias. Handlers are synchronous, so holding the
+        lock across them costs nothing in concurrency.
         """
         if self.work_delay:
             await asyncio.sleep(self.work_delay)
@@ -355,6 +403,7 @@ class ShardServer:
                 arrays,
                 request_id=request.request_id,
                 version=request.version,
+                flush_timeout=self.flush_timeout,
             )
         if request.op == "shutdown":
             asyncio.get_running_loop().call_soon(
@@ -376,6 +425,7 @@ class ShardServer:
             {"ok": False, "error": type(error).__name__, "message": str(error)},
             request_id=request.request_id,
             version=request.version,
+            flush_timeout=self.flush_timeout,
         )
 
     # ------------------------------------------------------------------ #
@@ -587,6 +637,7 @@ def run_shard_server(
     port: int = 0,
     snapshot_path: str | None = None,
     work_delay: float = 0.0,
+    codec_mode: str = "scatter",
     ready=None,
     announce=None,
 ) -> None:
@@ -600,12 +651,17 @@ def run_shard_server(
         snapshot_path: seed the shard with its slice of a service
             snapshot (only hosts hashing to ``shard_index`` are kept).
         work_delay: per-request artificial service time (benchmarks).
+        codec_mode: send-side codec for this server process ("scatter"
+            or "join") — the knob the transport benchmark flips; the
+            server encodes the payload-heavy direction, so the mode
+            must be set *here*, in the serving process, to matter.
         ready: optional queue-like object; the bound ``(host, port)``
             is ``put()`` once the server listens — how
             :func:`spawn_shard_process` learns the OS-assigned port.
         announce: optional callable for a human-readable startup line
             (the CLI passes ``print``).
     """
+    set_codec_mode(codec_mode)
     store = None
     if snapshot_path is not None:
         store = _shard_store_from_snapshot(snapshot_path, shard_index, n_shards)
@@ -691,9 +747,12 @@ def spawn_shard_process(
     host: str = "127.0.0.1",
     snapshot_path: str | None = None,
     work_delay: float = 0.0,
+    codec_mode: str = "scatter",
     startup_timeout: float = 30.0,
 ) -> ShardProcess:
     """Fork a shard server into a child process and wait for its port."""
+    # Fail in the parent, not as an opaque child startup death.
+    check_codec_mode(codec_mode)
     ready: multiprocessing.Queue = multiprocessing.Queue()
     process = multiprocessing.Process(
         target=run_shard_server,
@@ -705,6 +764,7 @@ def spawn_shard_process(
             "port": 0,
             "snapshot_path": snapshot_path,
             "work_delay": work_delay,
+            "codec_mode": codec_mode,
             "ready": ready,
         },
         daemon=True,

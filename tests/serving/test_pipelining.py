@@ -9,6 +9,7 @@ instead of letting them hang until their timeout.
 """
 
 import asyncio
+import socket
 import time
 
 import numpy as np
@@ -19,6 +20,7 @@ from hypothesis import strategies as st
 from repro.exceptions import (
     ProtocolError,
     ShardUnavailableError,
+    TransportError,
     ValidationError,
 )
 from repro.serving import (
@@ -28,7 +30,10 @@ from repro.serving import (
     ShardedQueryRouter,
     spawn_shard_process,
 )
+from repro.serving.store import InMemoryVectorStore
+from repro.serving.transport.client import _ShardConnection
 from repro.serving.transport.protocol import (
+    MAX_REQUEST_ID,
     PROTOCOL_V1,
     PROTOCOL_VERSION,
     decode_frame,
@@ -562,6 +567,38 @@ class TestBackpressureAndTelemetry:
 
         run(scenario())
 
+    def test_max_in_flight_is_a_hard_admission_bound(self):
+        """Saturating one pooled socket must queue excess callers on
+        the slot semaphore, never pile extra request ids onto the
+        connection — max_in_flight is a real bound."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1,
+                work_delay=0.01,
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, pool_size=1, max_in_flight=2,
+                    protocol_version=2, timeout=10.0, retries=0,
+                )
+                peak = 0
+
+                async def watch():
+                    nonlocal peak
+                    while True:
+                        peak = max(peak, client.in_flight)
+                        await asyncio.sleep(0.001)
+
+                watcher = asyncio.create_task(watch())
+                await asyncio.gather(*(client.call("ping") for _ in range(10)))
+                watcher.cancel()
+                connection = client._connections[0]
+                assert connection.load == 0
+                await client.close()
+                return peak
+
+        assert run(scenario()) <= 2
+
     def test_repeated_timeouts_do_not_leak_sockets(self):
         """Retry dials distrust pooled sockets, but idle survivors
         beyond pool_size must be retired — a persistently slow shard
@@ -586,5 +623,555 @@ class TestBackpressureAndTelemetry:
                 # briefly exceed the cap).
                 assert client.open_connections <= 4
                 await client.close()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# request-id quarantine (a wrapped counter must never mismatch)
+# ---------------------------------------------------------------------- #
+
+
+class _NullWriter:
+    """A writer stub that swallows frames (for driving _ShardConnection
+    with a hand-fed StreamReader)."""
+
+    transport = None
+
+    def __init__(self):
+        self.closed = False
+
+    def write(self, data) -> None:
+        pass
+
+    async def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class TestRequestIdQuarantine:
+    def test_timed_out_id_is_quarantined_until_its_late_response(self):
+        """The id of a timed-out call stays reserved — skipped by the
+        claim counter even after it wraps — until the server's late
+        response arrives, is dropped, and lifts the quarantine. A
+        reassigned id can therefore never resolve a new call with an
+        old answer."""
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            late: list[int] = []
+            connection = _ShardConnection(
+                reader, _NullWriter(), PROTOCOL_VERSION, 4,
+                on_late_response=lambda: late.append(1),
+            )
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        connection.call({"op": "ping"}, None), 0.02
+                    )
+                assert connection._abandoned == {1}
+                # Wrap the counter back around: the quarantined id must
+                # be skipped, not reissued.
+                connection._next_id = 0
+                assert connection._claim_id() == 2
+                # The late response arrives: dropped, counted, and the
+                # id returns to circulation.
+                reader.feed_data(encode_frame({"ok": True}, request_id=1))
+                await asyncio.sleep(0.05)
+                assert connection._abandoned == set()
+                assert late == [1]
+                connection._next_id = 0
+                assert connection._claim_id() == 1
+            finally:
+                connection.close()
+
+        run(scenario())
+
+    def test_exhausted_id_space_raises_transport_error(self):
+        """With every id in flight or quarantined, _claim_id fails with
+        TransportError (which the client retries on a fresh socket)."""
+
+        async def scenario():
+            connection = _ShardConnection(
+                asyncio.StreamReader(), _NullWriter(), PROTOCOL_VERSION, 4
+            )
+            try:
+                connection._abandoned = set(range(MAX_REQUEST_ID + 1))
+                with pytest.raises(TransportError, match="request id"):
+                    connection._claim_id()
+            finally:
+                connection.close()
+
+        run(scenario())
+
+    def test_transport_error_is_retried_and_mapped_to_unavailable(self):
+        """A raw TransportError from the connection layer (e.g. id
+        exhaustion) consumes the retry budget and surfaces as
+        ShardUnavailableError, never raw."""
+
+        async def scenario():
+            client = RemoteShardClient(
+                "127.0.0.1", 1, retries=2, retry_backoff=0.0, timeout=1.0
+            )
+
+            async def exhausted(request, arrays, fresh=False):
+                raise TransportError("no free request id")
+
+            client._call_once = exhausted
+            with pytest.raises(
+                ShardUnavailableError, match="TransportError"
+            ):
+                await client.call("ping")
+            assert client.retries_used == 2
+            await client.close()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# scatter-write flush (payload views must not outlive write_message)
+# ---------------------------------------------------------------------- #
+
+
+class _RetainingTransport(asyncio.Transport):
+    """A write transport that accepts every buffer but sends nothing
+    until told to flush — modeling the selector transport's
+    by-reference retention of unsent memoryviews under backpressure
+    (Python 3.12+ keeps the exact objects it was handed)."""
+
+    def __init__(self, protocol):
+        super().__init__()
+        self._protocol = protocol
+        self.retained: list = []
+        self.sent = bytearray()
+        self.aborted = False
+        self._low, self._high = 16 * 1024, 64 * 1024
+        self._paused = False
+        self._closing = False
+
+    def write(self, data) -> None:
+        self.retained.append(data)  # by reference, like the real deque
+        self._maybe_pause()
+
+    def get_write_buffer_size(self) -> int:
+        return sum(memoryview(chunk).nbytes for chunk in self.retained)
+
+    def get_write_buffer_limits(self):
+        return (self._low, self._high)
+
+    def set_write_buffer_limits(self, high=None, low=None) -> None:
+        if high is None:
+            high = 64 * 1024 if low is None else 4 * low
+        if low is None:
+            low = high // 4
+        self._low, self._high = low, high
+        self._maybe_pause()
+
+    def flush(self) -> None:
+        """Pretend the kernel accepted everything."""
+        for chunk in self.retained:
+            self.sent += bytes(chunk)
+        self.retained.clear()
+        self._maybe_resume()
+
+    def flush_some(self) -> None:
+        """Pretend the kernel accepted one buffered chunk (a slow but
+        steadily-reading peer)."""
+        if self.retained:
+            self.sent += bytes(self.retained.pop(0))
+        self._maybe_resume()
+
+    def is_closing(self) -> bool:
+        return self._closing
+
+    def close(self) -> None:
+        self._closing = True
+
+    def abort(self) -> None:
+        self.aborted = True
+        self.retained.clear()
+        self._closing = True
+
+    def _maybe_pause(self) -> None:
+        if not self._paused and self.get_write_buffer_size() > self._high:
+            self._paused = True
+            self._protocol.pause_writing()
+
+    def _maybe_resume(self) -> None:
+        if self._paused and self.get_write_buffer_size() <= self._low:
+            self._paused = False
+            self._protocol.resume_writing()
+
+
+def _retaining_writer():
+    loop = asyncio.get_running_loop()
+    protocol = asyncio.streams.FlowControlMixin(loop=loop)
+    transport = _RetainingTransport(protocol)
+    writer = asyncio.StreamWriter(transport, protocol, None, loop)
+    return transport, writer
+
+
+class TestScatterWriteFlush:
+    def test_write_message_waits_for_retained_payload_views(self):
+        """write_message must not return while the transport still
+        holds payload views — the server's write-lock discipline (and
+        any caller reusing its arrays) depends on it."""
+
+        async def scenario():
+            transport, writer = _retaining_writer()
+            payload = np.arange(8, dtype=float)
+            task = asyncio.create_task(
+                write_message(writer, {"op": "x"}, {"v": payload})
+            )
+            for _ in range(20):
+                await asyncio.sleep(0)
+            assert not task.done(), "returned with payload views retained"
+            transport.flush()
+            await asyncio.wait_for(task, timeout=1.0)
+            # Mutating the source array after return must not corrupt
+            # the frame that went to the wire.
+            payload[:] = -1.0
+            message = decode_frame(bytes(transport.sent))
+            np.testing.assert_array_equal(
+                message.array("v"), np.arange(8, dtype=float)
+            )
+            # The ordinary buffer limits were restored afterwards.
+            assert transport.get_write_buffer_limits() == (16 * 1024, 64 * 1024)
+
+        run(scenario())
+
+    def test_header_only_frame_is_not_blocked_by_backpressure(self):
+        """A frame with no payload views hands the transport immutable
+        bytes, so write_message need not wait for a full flush."""
+
+        async def scenario():
+            transport, writer = _retaining_writer()
+            await asyncio.wait_for(
+                write_message(writer, {"op": "ping"}), timeout=1.0
+            )
+            assert transport.retained  # still buffered, and that is fine
+            transport.flush()
+            assert decode_frame(bytes(transport.sent)).op == "ping"
+
+        run(scenario())
+
+
+class TestWriteBarrierAcrossConnections:
+    def test_zero_copy_gather_isolated_from_other_connections_update(self):
+        """The server-wide write barrier: while one connection's large
+        gather response sits backpressured in the transport (still
+        aliasing store rows), an update_many arriving on ANOTHER
+        connection must wait — the delivered gather reflects the store
+        wholly before the update, never torn."""
+        n_hosts, d = 100_000, 40  # ~32 MB response >> kernel buffers
+        ids = [f"h{i}" for i in range(n_hosts)]
+
+        async def scenario():
+            store = InMemoryVectorStore(d)
+            base = np.arange(n_hosts * d, dtype=float).reshape(n_hosts, d)
+            store.put_many(ids, base, base)
+            async with ShardServer(
+                # Generous flush_timeout: this test reads the response
+                # (slowly, through the tiny buffer) and is about the
+                # write barrier; the abort path has its own test.
+                store=store, shard_index=0, n_shards=1, flush_timeout=60.0
+            ) as server:
+                host, port = server.address
+                # Connection A: a raw socket with a tiny receive buffer
+                # that does not read yet, so the server's response
+                # backpressures with row views queued in its transport.
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+                sock.setblocking(False)
+                await asyncio.get_running_loop().sock_connect(
+                    sock, (host, port)
+                )
+                reader_a, writer_a = await asyncio.open_connection(sock=sock)
+                writer_a.write(
+                    encode_frame(
+                        {"op": "gather", "ids": ids, "which": "out"},
+                        request_id=1,
+                    )
+                )
+                await writer_a.drain()
+                await asyncio.sleep(0.3)  # server now stuck flushing A
+                # Connection B: overwrite the LAST rows — the bytes
+                # still queued in A's transport buffer.
+                tail = ids[-1000:]
+                update = np.full((1000, d), -5.0)
+                client = RemoteShardClient(host, port, timeout=30.0, retries=0)
+                update_task = asyncio.create_task(
+                    client.call(
+                        "update_many",
+                        {"ids": tail},
+                        {"outgoing": update, "incoming": update},
+                    )
+                )
+                await asyncio.sleep(0.2)
+                # Barred by the server-wide lock until A's frame flushes.
+                assert not update_task.done()
+                response = await asyncio.wait_for(
+                    read_message(reader_a), timeout=30.0
+                )
+                outgoing = np.asarray(response.array("outgoing"))
+                np.testing.assert_array_equal(outgoing, base)
+                await asyncio.wait_for(update_task, timeout=5.0)
+                writer_a.close()
+                await client.close()
+
+        run(scenario())
+
+
+class TestCancellationDiscipline:
+    def test_timeout_during_backpressure_flush_does_not_poison(self):
+        """A caller timing out while write_message waits out transport
+        backpressure finds its frame fully queued (every write is
+        synchronous): the socket must stay healthy for the other
+        pipelined calls, and the id goes into quarantine."""
+
+        async def scenario():
+            transport, writer = _retaining_writer()
+            reader = asyncio.StreamReader()
+            late: list[int] = []
+            connection = _ShardConnection(
+                reader, writer, PROTOCOL_VERSION, 4,
+                on_late_response=lambda: late.append(1),
+            )
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        connection.call({"op": "x"}, {"v": np.ones(4)}), 0.05
+                    )
+                assert not connection.broken
+                assert connection._abandoned == {1}
+                transport.flush()  # the peer finally drains the frame
+                # ... and answers late: quarantine lifts, count ticks.
+                reader.feed_data(encode_frame({"ok": True}, request_id=1))
+                await asyncio.sleep(0.05)
+                assert connection._abandoned == set()
+                assert late == [1]
+                # The connection still works end to end.
+                follow_up = asyncio.create_task(
+                    connection.call({"op": "y"}, None)
+                )
+                await asyncio.sleep(0.05)
+                reader.feed_data(encode_frame({"ok": True}, request_id=2))
+                response = await asyncio.wait_for(follow_up, timeout=1.0)
+                assert response.fields["ok"]
+            finally:
+                connection.close()
+
+        run(scenario())
+
+    def test_cancel_before_frame_queued_frees_the_id(self):
+        """A call cancelled while still waiting for the write lock
+        never reached the wire: no response will ever come, so its id
+        must return to circulation instead of being quarantined."""
+
+        async def scenario():
+            connection = _ShardConnection(
+                asyncio.StreamReader(), _NullWriter(), PROTOCOL_VERSION, 4
+            )
+            try:
+                await connection._lock.acquire()  # a long write in flight
+                call = asyncio.create_task(connection.call({"op": "x"}, None))
+                await asyncio.sleep(0.01)  # now queued on the lock
+                call.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await call
+                assert connection._abandoned == set()
+                assert connection._pending == {}
+                connection._next_id = 0
+                assert connection._claim_id() == 1
+            finally:
+                connection._lock.release()
+                connection.close()
+
+        run(scenario())
+
+
+class TestStalledPeerIsolation:
+    def test_stalled_reader_is_aborted_not_allowed_to_freeze_the_shard(self):
+        """flush_timeout bounds the server-wide write lock: a peer that
+        requests a large response and then stops reading gets its
+        connection aborted, and every other connection keeps being
+        served."""
+        n_hosts, d = 100_000, 40  # ~32 MB response >> kernel buffers
+        ids = [f"h{i}" for i in range(n_hosts)]
+
+        async def scenario():
+            store = InMemoryVectorStore(d)
+            base = np.arange(n_hosts * d, dtype=float).reshape(n_hosts, d)
+            store.put_many(ids, base, base)
+            async with ShardServer(
+                store=store, shard_index=0, n_shards=1, flush_timeout=0.3
+            ) as server:
+                host, port = server.address
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+                sock.setblocking(False)
+                await asyncio.get_running_loop().sock_connect(
+                    sock, (host, port)
+                )
+                reader_a, writer_a = await asyncio.open_connection(sock=sock)
+                client = RemoteShardClient(host, port, timeout=10.0, retries=0)
+                try:
+                    writer_a.write(
+                        encode_frame(
+                            {"op": "gather", "ids": ids, "which": "out"},
+                            request_id=1,
+                        )
+                    )
+                    await writer_a.drain()
+                    # ... and never read: the stalled peer.
+                    started = time.perf_counter()
+                    response = await asyncio.wait_for(
+                        client.call("ping"), timeout=5.0
+                    )
+                    elapsed = time.perf_counter() - started
+                    assert response.fields["n_hosts"] == n_hosts
+                    assert elapsed < 3.0  # waited out the abort, no freeze
+                    # The stalled connection itself was aborted.
+                    with pytest.raises((ConnectionError, asyncio.TimeoutError)):
+                        await asyncio.wait_for(
+                            read_message(reader_a), timeout=5.0
+                        )
+                finally:
+                    writer_a.transport.abort()
+                    await client.close()
+
+        run(scenario())
+
+
+class TestCodecModePlumbing:
+    def test_bad_codec_mode_fails_in_the_parent(self):
+        with pytest.raises(ProtocolError, match="codec mode"):
+            spawn_shard_process(0, 1, dimension=DIMENSION, codec_mode="bogus")
+
+    def test_join_codec_shard_process_serves_correctly(self):
+        """The benchmark's --codec join knob reaches the shard process
+        (which encodes the payload-heavy responses) and answers stay
+        bit-identical."""
+        rng = np.random.default_rng(11)
+        ids = [f"h{i}" for i in range(8)]
+        outgoing = rng.random((8, DIMENSION))
+        incoming = rng.random((8, DIMENSION))
+        process = spawn_shard_process(
+            0, 1, dimension=DIMENSION, codec_mode="join"
+        )
+
+        async def scenario():
+            client = RemoteShardClient(*process.address, timeout=10.0)
+            try:
+                await client.call(
+                    "put_many",
+                    {"ids": ids},
+                    {"outgoing": outgoing, "incoming": incoming},
+                )
+                response = await client.call(
+                    "gather", {"ids": ids, "which": "out"}
+                )
+                np.testing.assert_array_equal(
+                    np.asarray(response.array("outgoing")), outgoing
+                )
+            finally:
+                await client.close()
+
+        try:
+            run(scenario())
+        finally:
+            process.stop()
+
+
+class TestShardIndexAttribution:
+    def test_close_rejections_carry_the_shard_index(self):
+        """Futures rejected at close() keep shard_index, so per-shard
+        health attribution survives teardown."""
+
+        async def scenario():
+            async with ShardServer(
+                dimension=DIMENSION, shard_index=0, n_shards=1,
+                work_delay=30.0,
+            ) as server:
+                client = RemoteShardClient(
+                    *server.address, shard_index=7, timeout=60.0, retries=0
+                )
+                call = asyncio.create_task(client.call("ping"))
+                await asyncio.sleep(0.05)
+                await client.close()
+                with pytest.raises(ShardUnavailableError) as caught:
+                    await asyncio.wait_for(call, timeout=2.0)
+                assert caught.value.shard_index == 7
+
+        run(scenario())
+
+
+class TestFlushStallDetection:
+    def test_steady_progress_is_never_aborted_but_a_stall_is(self):
+        """flush_timeout is a stall bound, not a transfer bound: a
+        peer draining the buffer chunk by chunk keeps resetting the
+        clock (total transfer time far exceeds the timeout), while a
+        peer that stops entirely is aborted with the unsent byte count
+        in the error."""
+
+        async def scenario():
+            transport, writer = _retaining_writer()
+            arrays = {
+                f"v{i}": np.arange(64, dtype=float) for i in range(8)
+            }
+            task = asyncio.create_task(
+                write_message(writer, {"op": "x"}, arrays, flush_timeout=0.2)
+            )
+            for _ in range(10):  # 9 chunks (header + 8 views) + slack
+                await asyncio.sleep(0.05)
+                transport.flush_some()
+            # ~0.5 s total > flush_timeout, yet steadily delivered.
+            await asyncio.wait_for(task, timeout=2.0)
+            assert not transport.aborted
+
+            stalled = asyncio.create_task(
+                write_message(writer, {"op": "y"}, arrays, flush_timeout=0.2)
+            )
+            with pytest.raises(ConnectionResetError, match="no progress"):
+                await asyncio.wait_for(stalled, timeout=2.0)
+            assert transport.aborted
+
+        run(scenario())
+
+    def test_header_only_frame_is_bounded_when_server_asks(self):
+        """Error frames and big-header responses carry no payload
+        views, but with flush_timeout set they must still never pin
+        the server's write lock behind an unbounded drain."""
+
+        async def scenario():
+            transport, writer = _retaining_writer()
+            # A previous frame stuffed the buffer past the high-water
+            # mark and the peer has stopped reading.
+            transport.write(b"x" * (128 * 1024))
+            with pytest.raises(ConnectionResetError, match="no progress"):
+                await write_message(writer, {"op": "ping"}, flush_timeout=0.2)
+            assert transport.aborted
+
+        run(scenario())
+
+
+class TestConnectionTeardownHygiene:
+    def test_clean_server_eof_closes_the_writer(self):
+        """A server hanging up cleanly leaves a half-closed transport
+        on the client side; the read loop must close it rather than
+        let _prune drop the last reference with the fd still open."""
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            writer = _NullWriter()
+            connection = _ShardConnection(
+                reader, writer, PROTOCOL_VERSION, 4
+            )
+            reader.feed_eof()
+            await asyncio.sleep(0.05)
+            assert connection.broken
+            assert writer.closed
 
         run(scenario())
