@@ -23,7 +23,9 @@ import numpy as np
 from .._validation import as_mask, as_matrix
 from ..exceptions import SingularSystemError, ValidationError
 from ..linalg import (
+    mask_row_groups,
     nonnegative_least_squares,
+    nonnegative_least_squares_batched,
     solve_batched_least_squares,
     solve_least_squares,
     solve_weighted_batched_least_squares,
@@ -148,11 +150,19 @@ def place_hosts_batch(
     Returns:
         ``(new_outgoing, new_incoming)`` of shapes ``(n, d)``.
 
-    Fully-observed unconstrained placements collapse to two batched
-    least-squares solves sharing one Gram factorization; only hosts
-    with masked or missing measurements (or the NNLS variant) take the
-    per-host path. Relative weighting handles masks natively (a masked
-    measurement simply weighs zero).
+    Every variant is solved vectorized — there is no per-host Python
+    loop. Unconstrained placements group hosts by identical
+    observation-mask pattern (the common case: an outage drops the
+    *same* landmarks for many hosts, Figure 7) and solve each pattern
+    as two multi-RHS systems, one factorization per pattern per
+    direction, with the grouping shared between the outgoing and
+    incoming solves; a fully-observed batch is simply the one-pattern
+    case. The NNLS variant runs the batched Lawson-Hanson kernel
+    (:func:`repro.linalg.nonnegative_least_squares_batched`) over both
+    directions. Relative weighting handles masks natively (a masked
+    measurement simply weighs zero). The single-host
+    :func:`solve_host_vectors` is retained as the reference oracle that
+    tests and benchmarks compare against.
     """
     if weighting not in WEIGHTINGS:
         raise ValidationError(f"weighting must be one of {WEIGHTINGS}, got {weighting!r}")
@@ -202,8 +212,26 @@ def place_hosts_batch(
         )
         return new_outgoing, new_incoming
 
-    fully_observed = bool(observed.all())
-    if fully_observed and not nonnegative:
+    dimension = ref_out.shape[1]
+    if strict and (observed.sum(axis=1) < dimension).any():
+        short = int(np.argmax(observed.sum(axis=1) < dimension))
+        raise SingularSystemError(
+            f"need >= d={dimension} finite measurements per direction, host "
+            f"{short} observes only {int(observed[short].sum())}"
+        )
+
+    if nonnegative:
+        new_outgoing = nonnegative_least_squares_batched(
+            ref_in, np.where(observed, out_matrix, 0.0), mask=observed
+        )
+        new_incoming = nonnegative_least_squares_batched(
+            ref_out, np.where(observed, in_matrix.T, 0.0), mask=observed
+        )
+        return new_outgoing, new_incoming
+
+    if observed.all():
+        # One pattern: both directional solves share the full reference
+        # set, one factorization each.
         new_outgoing = solve_batched_least_squares(
             ref_in, out_matrix, ridge=ridge, strict=strict
         )
@@ -212,20 +240,23 @@ def place_hosts_batch(
         )
         return new_outgoing, new_incoming
 
-    dimension = ref_out.shape[1]
+    # Mask-grouped placement: one multi-RHS solve per distinct pattern
+    # per direction, with the pattern grouping computed once and shared
+    # by the outgoing and incoming solves.
     new_outgoing = np.empty((n_hosts, dimension))
     new_incoming = np.empty((n_hosts, dimension))
-    for host in range(n_hosts):
-        row_mask = observed[host]
-        vectors = solve_host_vectors(
-            np.where(row_mask, out_matrix[host], np.nan),
-            np.where(row_mask, in_matrix[:, host], np.nan),
-            ref_out,
-            ref_in,
+    in_transposed = in_matrix.T
+    for members, observed_idx in mask_row_groups(observed):
+        new_outgoing[members] = solve_batched_least_squares(
+            ref_in[observed_idx],
+            out_matrix[np.ix_(members, observed_idx)],
             ridge=ridge,
-            nonnegative=nonnegative,
             strict=strict,
         )
-        new_outgoing[host] = vectors.outgoing
-        new_incoming[host] = vectors.incoming
+        new_incoming[members] = solve_batched_least_squares(
+            ref_out[observed_idx],
+            in_transposed[np.ix_(members, observed_idx)],
+            ridge=ridge,
+            strict=strict,
+        )
     return new_outgoing, new_incoming

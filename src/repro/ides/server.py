@@ -52,6 +52,11 @@ class InformationServer:
         self._landmark_model: FactoredDistanceModel | None = None
         self._landmark_ids: list = []
         self._directory: dict[object, HostVectors] = {}
+        # Stacked (ids, X, Y) matrices over the directory, built lazily
+        # per reference pool and invalidated by any directory mutation,
+        # so repeated reference sampling is two fancy indexes instead
+        # of re-stacking the whole directory per call.
+        self._reference_cache: dict[bool, tuple[list, np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # landmark phase
@@ -105,6 +110,7 @@ class InformationServer:
             identifier: HostVectors(model.outgoing[i], model.incoming[i])
             for i, identifier in enumerate(landmark_ids)
         }
+        self._reference_cache.clear()
         return model
 
     @property
@@ -132,12 +138,14 @@ class InformationServer:
                 f"{self.dimension}"
             )
         self._directory[host_id] = vectors
+        self._reference_cache.clear()
 
     def deregister_host(self, host_id: object) -> None:
         """Remove a host from the directory (landmarks cannot leave)."""
         if host_id in self._landmark_ids:
             raise ValidationError(f"cannot deregister landmark {host_id!r}")
-        self._directory.pop(host_id, None)
+        if self._directory.pop(host_id, None) is not None:
+            self._reference_cache.clear()
 
     def get_vectors(self, host_id: object) -> HostVectors:
         """Fetch a registered host's vectors."""
@@ -183,12 +191,17 @@ class InformationServer:
 
         Returns:
             ``(ids, X_refs, Y_refs)`` for the sampled reference nodes.
+
+        The directory's stacked vector matrices are cached per pool
+        (and invalidated by ``fit_landmarks`` / ``register_host`` /
+        ``deregister_host``), so a burst of placements — each sampling
+        its own reference set — pays two fancy indexes per call instead
+        of re-stacking the whole directory every time.
         """
         self._require_landmarks()
-        if include_ordinary:
-            pool = list(self._directory)
-        else:
-            pool = list(self._landmark_ids)
+        pool, all_outgoing, all_incoming = self._stacked_references(
+            include_ordinary
+        )
         if count > len(pool):
             raise ValidationError(
                 f"requested {count} references but only {len(pool)} are known"
@@ -196,10 +209,24 @@ class InformationServer:
         from .._validation import as_rng  # local import avoids cycle at module load
 
         rng = as_rng(seed)
-        chosen = [pool[i] for i in rng.choice(len(pool), size=count, replace=False)]
-        outgoing = np.stack([self._directory[i].outgoing for i in chosen])
-        incoming = np.stack([self._directory[i].incoming for i in chosen])
-        return chosen, outgoing, incoming
+        picks = rng.choice(len(pool), size=count, replace=False)
+        chosen = [pool[i] for i in picks]
+        return chosen, all_outgoing[picks], all_incoming[picks]
+
+    def _stacked_references(
+        self, include_ordinary: bool
+    ) -> tuple[list, np.ndarray, np.ndarray]:
+        cached = self._reference_cache.get(include_ordinary)
+        if cached is None:
+            if include_ordinary:
+                pool = list(self._directory)
+            else:
+                pool = list(self._landmark_ids)
+            outgoing = np.stack([self._directory[i].outgoing for i in pool])
+            incoming = np.stack([self._directory[i].incoming for i in pool])
+            cached = (pool, outgoing, incoming)
+            self._reference_cache[include_ordinary] = cached
+        return cached
 
     def to_service(self, **options: object):
         """Export the directory as a :class:`repro.serving.DistanceService`.

@@ -29,11 +29,22 @@ from ..exceptions import ValidationError
 from .host import place_hosts_batch
 from .vectors import HostVectors
 
+try:  # scipy is optional: forward substitution beats a generic LU
+    from scipy.linalg import solve_triangular as _solve_triangular
+except ImportError:  # pragma: no cover - exercised on numpy-only installs
+    _solve_triangular = None
+
 __all__ = ["OnlineVectorTracker", "refresh_host_vectors"]
 
 
 class OnlineVectorTracker:
     """Per-host stochastic-gradient maintenance of model vectors.
+
+    Each observed sample updates one direction: an outgoing RTT sample
+    to reference ``r`` adjusts ``X``; an incoming sample adjusts ``Y``.
+    Whole flushes of samples go through :meth:`observe_many`, which
+    applies a same-direction stack of samples as dense ndarray ops —
+    exactly equivalent to replaying them one at a time.
 
     Args:
         initial: the host's starting vectors (from a full solve).
@@ -41,20 +52,52 @@ class OnlineVectorTracker:
             squared reference-vector norm; values in ``(0, 1]`` are
             stable (1.0 projects the residual out completely for that
             sample, like a Kaczmarz step).
-
-    Each observed sample updates one direction: an outgoing RTT sample
-    to reference ``r`` adjusts ``X``; an incoming sample adjusts ``Y``.
+        storage: optional ``(outgoing_buffer, incoming_buffer)`` pair
+            of length-``d`` arrays the tracker mutates in place —
+            typically rows of a pooled matrix, so a bulk flush can
+            gather many trackers' state with one fancy index instead
+            of re-stacking per-tracker copies.
     """
 
-    def __init__(self, initial: HostVectors, learning_rate: float = 0.3):
+    def __init__(
+        self,
+        initial: HostVectors,
+        learning_rate: float = 0.3,
+        storage: tuple[np.ndarray, np.ndarray] | None = None,
+    ):
         if not 0.0 < learning_rate <= 1.0:
             raise ValidationError(
                 f"learning_rate must be in (0, 1], got {learning_rate}"
             )
         self.learning_rate = float(learning_rate)
-        self._outgoing = initial.outgoing.copy()
-        self._incoming = initial.incoming.copy()
+        if storage is None:
+            self._outgoing = initial.outgoing.copy()
+            self._incoming = initial.incoming.copy()
+        else:
+            out_buffer, in_buffer = storage
+            if (
+                out_buffer.shape != initial.outgoing.shape
+                or in_buffer.shape != initial.incoming.shape
+            ):
+                raise ValidationError(
+                    "storage buffers disagree with the initial vector shape"
+                )
+            out_buffer[...] = initial.outgoing
+            in_buffer[...] = initial.incoming
+            self._outgoing = out_buffer
+            self._incoming = in_buffer
         self.samples_seen = 0
+
+    def bind_storage(self, out_buffer: np.ndarray, in_buffer: np.ndarray) -> None:
+        """Move the tracker's state into caller-provided buffers.
+
+        Used when a pooled backing matrix grows: the current state is
+        copied into the new rows and all further updates land there.
+        """
+        out_buffer[...] = self._outgoing
+        in_buffer[...] = self._incoming
+        self._outgoing = out_buffer
+        self._incoming = in_buffer
 
     @property
     def vectors(self) -> HostVectors:
@@ -88,6 +131,95 @@ class OnlineVectorTracker:
         self._incoming += self.learning_rate * residual * reference / norm_sq
         self.samples_seen += 1
         return residual
+
+    def observe_many(
+        self,
+        measured_rtts: object,
+        references: object,
+        outgoing: bool = True,
+    ) -> np.ndarray:
+        """Apply a stack of same-direction samples in one shot.
+
+        Exactly equivalent to calling :meth:`observe_out` (or
+        :meth:`observe_in`) once per sample in order: the sequential
+        damped-projection recurrence
+
+        .. math::
+
+            x_i = x_{i-1} + \\eta\\,(d_i - x_{i-1} \\cdot y_i)\\,
+                  y_i / \\lVert y_i \\rVert^2
+
+        is linear in the step coefficients, so the whole stack reduces
+        to one lower-triangular solve against the samples' Gram matrix
+        followed by a single rank-``m`` vector update — dense ndarray
+        ops instead of ``m`` Python-level iterations.
+
+        Args:
+            measured_rtts: length-``m`` measured distances.
+            references: ``(m, d)`` reference vectors — ``Y_r`` rows for
+                outgoing samples, ``X_r`` rows for incoming.
+            outgoing: which of the host's vectors the stack updates.
+
+        Returns:
+            length-``m`` pre-update residuals, NaN where a sample was
+            skipped (non-finite RTT or degenerate reference vector);
+            skipped samples do not advance ``samples_seen``.
+        """
+        rtts = np.asarray(measured_rtts, dtype=float).ravel()
+        reference_rows = np.asarray(references, dtype=float)
+        if reference_rows.ndim != 2 or reference_rows.shape[0] != rtts.shape[0]:
+            raise ValidationError(
+                f"references must have shape ({rtts.shape[0]}, d), got "
+                f"{reference_rows.shape}"
+            )
+        state = self._outgoing if outgoing else self._incoming
+        if reference_rows.shape[1] != state.shape[0]:
+            raise ValidationError(
+                f"references have dimension {reference_rows.shape[1]}, "
+                f"vectors have {state.shape[0]}"
+            )
+        norms_sq = np.einsum("ij,ij->i", reference_rows, reference_rows)
+        valid = np.isfinite(rtts) & (norms_sq > 0)
+        residuals = np.full(rtts.shape[0], np.nan)
+        count = int(valid.sum())
+        if count == 0:
+            return residuals
+        all_rows = reference_rows[valid]
+        all_rtts = rtts[valid]
+        all_scaled_norms = norms_sq[valid] / self.learning_rate
+        all_coefficients = np.empty(count)
+        # Blocked application keeps the Gram matrix bounded: each block
+        # is one triangular solve against the state left by the
+        # previous block, which *is* the sequential recurrence — so an
+        # arbitrarily long stack stays O(block^2) memory and exact.
+        block = 512
+        for start in range(0, count, block):
+            stop = min(start + block, count)
+            rows = all_rows[start:stop]
+            scaled_norms = all_scaled_norms[start:stop]
+            initial_residuals = all_rtts[start:stop] - rows @ state
+            if stop - start == 1:
+                coefficients = initial_residuals / scaled_norms
+            else:
+                # Step i feels every earlier step through the Gram
+                # matrix: (diag(|y|^2/eta) + strict_lower(Y Y^T)) c =
+                # d - Y x_0. The system is lower triangular by
+                # construction — forward-substitute when scipy is
+                # available instead of paying a generic LU.
+                system = np.tril(rows @ rows.T, k=-1)
+                np.fill_diagonal(system, scaled_norms)
+                if _solve_triangular is not None:
+                    coefficients = _solve_triangular(
+                        system, initial_residuals, lower=True,
+                        check_finite=False,
+                    )
+                else:
+                    coefficients = np.linalg.solve(system, initial_residuals)
+            state += coefficients @ rows
+            all_coefficients[start:stop] = coefficients
+        residuals[valid] = all_coefficients * all_scaled_norms
+        self.samples_seen += count
+        return residuals
 
 
 def refresh_host_vectors(

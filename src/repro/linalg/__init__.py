@@ -9,12 +9,13 @@ squares, PCA, and the Nelder-Mead simplex-downhill optimizer GNP uses.
 
 from .least_squares import (
     gram_condition_number,
+    mask_row_groups,
     solve_batched_least_squares,
     solve_least_squares,
     solve_weighted_batched_least_squares,
 )
 from .nmf import NMFResult, masked_nmf_factorize, nmf_factorize, nmf_objective
-from .nnls import nonnegative_least_squares
+from .nnls import nonnegative_least_squares, nonnegative_least_squares_batched
 from .pca import PCA
 from .simplex import SimplexResult, minimize_with_restarts, nelder_mead
 from .svd import (
@@ -31,12 +32,14 @@ __all__ = [
     "SimplexResult",
     "gram_condition_number",
     "low_rank_approximation",
+    "mask_row_groups",
     "masked_nmf_factorize",
     "minimize_with_restarts",
     "nelder_mead",
     "nmf_factorize",
     "nmf_objective",
     "nonnegative_least_squares",
+    "nonnegative_least_squares_batched",
     "singular_spectrum",
     "solve_batched_least_squares",
     "solve_least_squares",

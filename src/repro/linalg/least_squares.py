@@ -25,8 +25,53 @@ __all__ = [
     "solve_least_squares",
     "solve_batched_least_squares",
     "solve_weighted_batched_least_squares",
+    "mask_row_groups",
     "gram_condition_number",
 ]
+
+
+def row_pattern_groups(rows: np.ndarray) -> list[np.ndarray]:
+    """Index arrays grouping the rows of ``rows`` by exact equality.
+
+    The shared engine behind every "hosts sharing a pattern share a
+    factorization" path: returns one member-index array per distinct
+    row, in first-appearance order of the sorted-unique patterns.
+    """
+    matrix = np.asarray(rows)
+    if matrix.ndim != 2:
+        raise ValidationError(f"rows must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[0] == 0:
+        return []
+    _, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.flatnonzero(np.diff(inverse[order])) + 1
+    return np.split(order, boundaries)
+
+
+def mask_row_groups(mask_rows: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Group rows of a boolean matrix by identical pattern.
+
+    The grouping step behind mask-aware batched placement: hosts that
+    observe the same reference subset (the common case — an outage
+    drops the *same* landmarks for many hosts, Figure 7) share one
+    design sub-matrix, so their solves collapse into one multi-RHS
+    factorization per pattern.
+
+    Args:
+        mask_rows: ``(n, k)`` boolean matrix, one observation row per
+            host.
+
+    Returns:
+        one ``(member_indices, observed_column_indices)`` pair per
+        distinct pattern, where ``member_indices`` are the row numbers
+        sharing the pattern and ``observed_column_indices`` the True
+        columns of that pattern.
+    """
+    mask = np.asarray(mask_rows, dtype=bool)
+    return [
+        (members, np.flatnonzero(mask[members[0]]))
+        for members in row_pattern_groups(mask)
+    ]
 
 
 def solve_least_squares(
@@ -186,12 +231,16 @@ def solve_weighted_batched_least_squares(
         return np.linalg.solve(normal, rhs[..., None])[..., 0]
     except np.linalg.LinAlgError:
         # Some host's weighted system is singular: fall back to
-        # per-host pseudo-inverse solves (minimum-norm).
+        # minimum-norm solves. Hosts sharing a weight pattern share a
+        # normal matrix, so each pattern is one multi-RHS lstsq rather
+        # than a per-host Python loop (the Figure 7 workload drops the
+        # same landmarks for many hosts at once).
         solutions = np.empty((rows.shape[0], dimension))
-        for host in range(rows.shape[0]):
-            solutions[host] = np.linalg.lstsq(
-                normal[host], rhs[host], rcond=None
-            )[0]
+        for members in row_pattern_groups(weights):
+            solved, *_ = np.linalg.lstsq(
+                normal[members[0]], rhs[members].T, rcond=None
+            )
+            solutions[members] = solved.T
         return solutions
 
 

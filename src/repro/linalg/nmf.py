@@ -127,15 +127,34 @@ def nmf_factorize(
     converged = False
     previous = nmf_objective(distances, outgoing, incoming)
     sweeps = 0
+    # Preallocated sweep buffers: every multiplicative update writes
+    # into these in place, so the 200-sweep loop allocates nothing.
+    gram = np.empty((rank, rank))
+    numer_out = np.empty_like(outgoing)
+    denom_out = np.empty_like(outgoing)
+    numer_in = np.empty_like(incoming)
+    denom_in = np.empty_like(incoming)
+    residual = np.empty_like(distances)
     for sweeps in range(1, max_iter + 1):
         # X <- X * (D Y) / (X Y^T Y)
-        gram_incoming = incoming.T @ incoming
-        outgoing *= (distances @ incoming) / (outgoing @ gram_incoming + _EPSILON)
+        np.matmul(incoming.T, incoming, out=gram)
+        np.matmul(distances, incoming, out=numer_out)
+        np.matmul(outgoing, gram, out=denom_out)
+        denom_out += _EPSILON
+        np.divide(numer_out, denom_out, out=numer_out)
+        outgoing *= numer_out
         # Y <- Y * (D^T X) / (Y X^T X)
-        gram_outgoing = outgoing.T @ outgoing
-        incoming *= (distances.T @ outgoing) / (incoming @ gram_outgoing + _EPSILON)
+        np.matmul(outgoing.T, outgoing, out=gram)
+        np.matmul(distances.T, outgoing, out=numer_in)
+        np.matmul(incoming, gram, out=denom_in)
+        denom_in += _EPSILON
+        np.divide(numer_in, denom_in, out=numer_in)
+        incoming *= numer_in
 
-        current = nmf_objective(distances, outgoing, incoming)
+        np.matmul(outgoing, incoming.T, out=residual)
+        np.subtract(distances, residual, out=residual)
+        np.multiply(residual, residual, out=residual)
+        current = float(residual.sum())
         history[sweeps - 1] = current
         if previous > 0 and (previous - current) <= tol * previous:
             converged = True
@@ -203,14 +222,36 @@ def masked_nmf_factorize(
     converged = False
     previous = nmf_objective(data, outgoing, incoming, observed)
     sweeps = 0
+    # Preallocated sweep buffers (the masked sweep's reconstruction is
+    # the big one — (N, N') — and used to be reallocated twice per
+    # sweep); all updates below run in place.
+    reconstruction = np.empty_like(data)
+    numer_out = np.empty_like(outgoing)
+    denom_out = np.empty_like(outgoing)
+    numer_in = np.empty_like(incoming)
+    denom_in = np.empty_like(incoming)
     for sweeps in range(1, max_iter + 1):
-        reconstruction = (outgoing @ incoming.T) * weight
-        outgoing *= (data @ incoming) / (reconstruction @ incoming + _EPSILON)
+        np.matmul(outgoing, incoming.T, out=reconstruction)
+        reconstruction *= weight
+        np.matmul(data, incoming, out=numer_out)
+        np.matmul(reconstruction, incoming, out=denom_out)
+        denom_out += _EPSILON
+        np.divide(numer_out, denom_out, out=numer_out)
+        outgoing *= numer_out
 
-        reconstruction = (outgoing @ incoming.T) * weight
-        incoming *= (data.T @ outgoing) / (reconstruction.T @ outgoing + _EPSILON)
+        np.matmul(outgoing, incoming.T, out=reconstruction)
+        reconstruction *= weight
+        np.matmul(data.T, outgoing, out=numer_in)
+        np.matmul(reconstruction.T, outgoing, out=denom_in)
+        denom_in += _EPSILON
+        np.divide(numer_in, denom_in, out=numer_in)
+        incoming *= numer_in
 
-        current = nmf_objective(data, outgoing, incoming, observed)
+        np.matmul(outgoing, incoming.T, out=reconstruction)
+        np.subtract(data, reconstruction, out=reconstruction)
+        reconstruction *= weight
+        np.multiply(reconstruction, reconstruction, out=reconstruction)
+        current = float(reconstruction.sum())
         history[sweeps - 1] = current
         if previous > 0 and (previous - current) <= tol * previous:
             converged = True

@@ -13,14 +13,23 @@ Admission control: pure LRU pays an insert (and an eviction) for
 every miss, which under *uniform* traffic is pure overhead — one-hit
 wonders churn the cache without ever being read back. The optional
 **doorkeeper** (TinyLFU-style frequency gate, off by default) makes a
-pair earn residency: the first time a non-resident pair is offered it
-is only remembered in a recency set of key *hashes* (cheap ints, with
-Bloom-filter-style collision semantics); it is admitted on a repeat
-offer within the doorkeeper's aging window. Skewed traffic — the
-workload caches exist for — passes the gate almost immediately, while
-uniform traffic stops paying for insertions it will never use.
-Admission outcomes are counted (``admitted``/``rejected`` in
-:class:`CacheStats`) and surfaced in ``ServiceHealth``.
+pair earn residency: offers of a non-resident pair are tallied in an
+**aging frequency sketch** — a map from 64-bit key *hashes* (cheap
+ints, Bloom-filter-style collision semantics) to small saturating
+counters — and the pair is admitted once its sketch count shows a
+prior sighting. Every ``doorkeeper_capacity`` recorded sightings the
+sketch *halves* all counters (the classic TinyLFU age), so a stale
+one-hit sighting cannot admit forever while a genuinely hot pair's
+accumulated count survives the reset. Because admission no longer
+*consumes* the sighting (the recency-set behavior this replaced), the
+sketch is TTL-aware: a hot pair whose entry lapses re-enters on its
+first re-offer instead of paying the two-offer tax again. Skewed
+traffic — the workload caches exist for — passes the gate almost
+immediately, while uniform traffic stops paying for insertions it
+will never use. Admission outcomes are counted
+(``admitted``/``rejected`` in :class:`CacheStats`, along with the
+sketch's ``doorkeeper_entries``/``doorkeeper_resets``) and surfaced
+in ``ServiceHealth``.
 
 Thread-safety and invariants: every lookup, insert and invalidation
 serializes on one internal lock, so a background refresh worker can
@@ -61,8 +70,12 @@ class CacheStats:
         size / max_entries: current and maximum occupancy.
         admitted: inserts accepted (equals every insert offer when no
             doorkeeper is configured).
-        rejected: insert offers the doorkeeper turned away (first
-            sighting of a non-resident pair).
+        rejected: insert offers the doorkeeper turned away (no prior
+            sighting of the non-resident pair in the sketch).
+        doorkeeper_entries: key hashes with a live (nonzero) counter in
+            the admission sketch.
+        doorkeeper_resets: times the sketch aged (halved all counters)
+            after a full sighting window.
     """
 
     hits: int
@@ -74,6 +87,8 @@ class CacheStats:
     max_entries: int
     admitted: int = 0
     rejected: int = 0
+    doorkeeper_entries: int = 0
+    doorkeeper_resets: int = 0
 
     @property
     def lookups(self) -> int:
@@ -94,7 +109,9 @@ class CacheStats:
 
     def __str__(self) -> str:
         doorkeeper = (
-            f" admitted={self.admitted} rejected={self.rejected}"
+            f" admitted={self.admitted} rejected={self.rejected} "
+            f"sketch={self.doorkeeper_entries} "
+            f"sketch_resets={self.doorkeeper_resets}"
             if self.rejected
             else ""
         )
@@ -120,13 +137,18 @@ class PredictionCache:
             time instead of sleeping).
         admission: ``"none"`` (every insert lands, the historical
             behavior) or ``"doorkeeper"`` — a non-resident pair must
-            be offered twice within the doorkeeper's aging window to
+            show a prior sighting in the aging frequency sketch to
             earn residency, so uniform one-hit traffic stops churning
-            the LRU.
-        doorkeeper_capacity: sightings remembered before the
-            doorkeeper forgets everything (the aging reset). Defaults
-            to ``4 * max_entries``.
+            the LRU while hot-but-expired pairs re-enter immediately.
+        doorkeeper_capacity: recorded sightings per aging window;
+            when the window fills, every sketch counter is halved
+            (counters that reach zero are dropped). Defaults to
+            ``4 * max_entries``.
     """
+
+    #: Sketch counters saturate here (4-bit TinyLFU semantics): enough
+    #: to survive several halvings, small enough to age out eventually.
+    _SKETCH_MAX_COUNT = 15
 
     def __init__(
         self,
@@ -160,12 +182,16 @@ class PredictionCache:
         self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
         self._keys_by_host: dict[object, set[tuple]] = {}
-        # Sightings are remembered as 64-bit key *hashes*, not the key
-        # tuples themselves — Bloom-filter-style: a hash collision
-        # admits a pair one offer early (harmless for an admission
-        # heuristic), and the window costs small ints instead of
-        # pinning tuples and host-id objects.
-        self._doorkeeper: set[int] = set()
+        # The admission sketch maps 64-bit key *hashes* — not the key
+        # tuples themselves — to small saturating counters.
+        # Bloom-filter-style: a hash collision admits a pair one offer
+        # early (harmless for an admission heuristic), and the sketch
+        # costs small ints instead of pinning tuples and host-id
+        # objects. ``_doorkeeper_window`` counts recorded sightings
+        # since the last aging pass.
+        self._doorkeeper: dict[int, int] = {}
+        self._doorkeeper_window = 0
+        self._doorkeeper_resets = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -220,19 +246,36 @@ class PredictionCache:
                 self._keys_by_host.setdefault(host_id, set()).add(key)
 
     def _admit(self, key: tuple) -> bool:
-        """Frequency gate: second sighting within the window admits."""
+        """Frequency gate: any surviving prior sighting admits.
+
+        Every offer bumps the key's sketch counter (saturating), so —
+        unlike the recency set this replaced — admission does not erase
+        the pair's history: when a hot entry's TTL lapses and it is
+        re-offered, its accumulated count re-admits it on the first
+        offer. Aging halves all counters once the sighting window
+        fills, so one-hit wonders decay back to zero.
+        """
         sighting = hash(key)
-        if sighting in self._doorkeeper:
-            self._doorkeeper.discard(sighting)
+        count = self._doorkeeper.get(sighting, 0)
+        if count < self._SKETCH_MAX_COUNT:
+            self._doorkeeper[sighting] = count + 1
+        self._doorkeeper_window += 1
+        if self._doorkeeper_window >= self.doorkeeper_capacity:
+            self._age_doorkeeper()
+        if count >= 1:
             return True
-        if len(self._doorkeeper) >= self.doorkeeper_capacity:
-            # Aging: forget the sample window wholesale (the classic
-            # TinyLFU reset) so stale one-hit sightings cannot admit
-            # forever.
-            self._doorkeeper.clear()
-        self._doorkeeper.add(sighting)
         self._rejected += 1
         return False
+
+    def _age_doorkeeper(self) -> None:
+        """Halve every sketch counter (the classic TinyLFU reset)."""
+        self._doorkeeper = {
+            sighting: count >> 1
+            for sighting, count in self._doorkeeper.items()
+            if count >= 2
+        }
+        self._doorkeeper_window = 0
+        self._doorkeeper_resets += 1
 
     # ------------------------------------------------------------------ #
     # invalidation
@@ -274,6 +317,7 @@ class PredictionCache:
             self._entries.clear()
             self._keys_by_host.clear()
             self._doorkeeper.clear()
+            self._doorkeeper_window = 0
 
     def _drop(self, key: tuple) -> None:
         self._entries.pop(key, None)
@@ -304,6 +348,8 @@ class PredictionCache:
                 max_entries=self.max_entries,
                 admitted=self._admitted,
                 rejected=self._rejected,
+                doorkeeper_entries=len(self._doorkeeper),
+                doorkeeper_resets=self._doorkeeper_resets,
             )
 
     def reset_counters(self) -> None:
@@ -315,6 +361,7 @@ class PredictionCache:
         self._invalidations = 0
         self._admitted = 0
         self._rejected = 0
+        self._doorkeeper_resets = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -33,6 +33,7 @@ stream maintains both the local store and the remote cluster.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -110,6 +111,31 @@ class RefreshStats:
         )
 
 
+def _stack_samples(
+    batch: list[RttObservation],
+    references: dict,
+    positions: Sequence[int],
+    outgoing: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack one group's RTTs and reference-vector rows in stream order.
+
+    Outgoing samples update against the reference's *incoming* vector
+    and vice versa — both bulk paths resolve the direction here, once.
+    """
+    rtts = np.fromiter(
+        (batch[p].rtt for p in positions), dtype=float, count=len(positions)
+    )
+    rows = np.stack(
+        [
+            references[batch[p].reference_id].incoming
+            if outgoing
+            else references[batch[p].reference_id].outgoing
+            for p in positions
+        ]
+    )
+    return rtts, rows
+
+
 class RefreshWorker:
     """Streams RTT observations through per-host trackers into a service.
 
@@ -143,6 +169,14 @@ class RefreshWorker:
         self.flush_every = int(flush_every)
         self.ewma_alpha = float(ewma_alpha)
         self._trackers: dict[object, OnlineVectorTracker] = {}
+        # Tracker state lives in pooled (capacity, d) matrices — each
+        # tracker mutates its own row in place, so a flush gathers the
+        # dirty hosts with one fancy index instead of re-stacking
+        # per-tracker copies.
+        self._row_of: dict[object, int] = {}
+        self._free_rows: list[int] = []
+        self._out_pool: np.ndarray | None = None
+        self._in_pool: np.ndarray | None = None
         self._dirty: set = set()
         self._since_flush = 0
         self._samples_applied = 0
@@ -168,12 +202,7 @@ class RefreshWorker:
             if host_id not in store or reference_id not in store:
                 self._samples_skipped += 1
                 return None
-            tracker = self._trackers.get(host_id)
-            if tracker is None:
-                tracker = OnlineVectorTracker(
-                    store.get(host_id), learning_rate=self.learning_rate
-                )
-                self._trackers[host_id] = tracker
+            tracker = self._tracker_for(host_id, store)
             reference = store.get(reference_id)
             if observation.outgoing:
                 residual = tracker.observe_out(observation.rtt, reference.incoming)
@@ -197,12 +226,249 @@ class RefreshWorker:
             return residual
 
     def observe_many(self, stream: Iterable[RttObservation]) -> int:
-        """Feed a whole stream; returns how many samples were applied."""
+        """Feed a whole stream through the bulk path.
+
+        The stream is drained in chunks sized to the flush cadence;
+        each chunk takes the lock once, groups its samples by (host,
+        direction), and applies every group as one stacked ndarray
+        update through :meth:`OnlineVectorTracker.observe_many` — the
+        result matches feeding the samples one at a time through
+        :meth:`observe`, at a fraction of the per-sample cost. Returns
+        how many samples were applied.
+        """
+        iterator = iter(stream)
         applied = 0
-        for observation in stream:
-            if self.observe(observation) is not None:
-                applied += 1
+        while True:
+            with self._lock:
+                budget = max(self.flush_every - self._since_flush, 1)
+            chunk = list(itertools.islice(iterator, budget))
+            if not chunk:
+                return applied
+            applied += self.observe_batch(chunk)
+
+    def observe_batch(self, observations: Sequence[RttObservation]) -> int:
+        """Apply one batch of samples under a single lock acquisition.
+
+        The bulk fast path: samples are grouped by (host, direction)
+        preserving stream order, reference vectors are resolved once
+        per distinct reference, and each group lands as one stacked
+        tracker update. Returns the number of samples applied; the
+        flush threshold is checked once, after the whole batch.
+        """
+        batch = list(observations)
+        if not batch:
+            return 0
+        with self._lock:
+            return self._observe_batch_locked(batch)
+
+    #: A (host, direction) group at least this large is applied through
+    #: the tracker's own stacked update (one triangular solve); smaller
+    #: groups are merged into cross-host rounds instead, where the
+    #: per-group overhead would dominate.
+    _BULK_GROUP_THRESHOLD = 8
+
+    def _observe_batch_locked(self, batch: list[RttObservation]) -> int:
+        store = self.service.store
+        groups: dict[tuple, list[int]] = {}
+        references: dict[object, object] = {}
+        skipped = 0
+        for position, observation in enumerate(batch):
+            host_id = observation.host_id
+            reference_id = observation.reference_id
+            if host_id not in store:
+                skipped += 1
+                continue
+            if reference_id not in references:
+                if reference_id not in store:
+                    skipped += 1
+                    continue
+                references[reference_id] = store.get(reference_id)
+            groups.setdefault((host_id, observation.outgoing), []).append(
+                position
+            )
+
+        applied = 0
+        magnitudes = np.full(len(batch), np.nan)
+        rounds: dict[bool, list[tuple]] = {True: [], False: []}
+        for (host_id, outgoing), positions in groups.items():
+            tracker = self._tracker_for(host_id, store)
+            if len(positions) < self._BULK_GROUP_THRESHOLD:
+                rounds[outgoing].append((host_id, positions))
+                continue
+            # Concentrated group (a re-probe campaign on one host):
+            # one stacked tracker update, one triangular solve.
+            rtts, rows = _stack_samples(batch, references, positions, outgoing)
+            residuals = tracker.observe_many(rtts, rows, outgoing=outgoing)
+            valid = np.isfinite(residuals)
+            group_applied = int(valid.sum())
+            skipped += len(positions) - group_applied
+            if group_applied:
+                applied += group_applied
+                self._dirty.add(host_id)
+                magnitudes[np.asarray(positions)[valid]] = np.abs(
+                    residuals[valid]
+                )
+
+        for outgoing, members in rounds.items():
+            scattered_applied, scattered_skipped = self._apply_rounds(
+                batch, references, members, outgoing, magnitudes
+            )
+            applied += scattered_applied
+            skipped += scattered_skipped
+
+        self._samples_applied += applied
+        self._samples_skipped += skipped
+        self._since_flush += applied
+        self._fold_residual_ewma(magnitudes[np.isfinite(magnitudes)])
+        if self._since_flush >= self.flush_every:
+            self._flush_locked()
         return applied
+
+    def _apply_rounds(
+        self,
+        batch: list[RttObservation],
+        references: dict,
+        members: list[tuple],
+        outgoing: bool,
+        magnitudes: np.ndarray,
+    ) -> tuple[int, int]:
+        """Apply many hosts' small sample groups as cross-host rounds.
+
+        Round ``r`` applies the ``r``-th surviving sample of *every*
+        host in one gather / einsum / scatter triple against the pooled
+        state matrix — each round touches distinct pool rows, so the
+        scatter is exact, and within a host the samples keep their
+        stream order, so the result matches the per-sample path bit for
+        bit.
+        """
+        if not members:
+            return 0, 0
+        positions: list[int] = []
+        pool_rows: list[int] = []
+        dirty_hosts: list[object] = []
+        for host_id, host_positions in members:
+            positions.extend(host_positions)
+            pool_rows.extend([self._row_of[host_id]] * len(host_positions))
+            dirty_hosts.append(host_id)
+        position_array = np.asarray(positions, dtype=np.intp)
+        row_array = np.asarray(pool_rows, dtype=np.intp)
+        rtts, refs = _stack_samples(batch, references, positions, outgoing)
+        norms_sq = np.einsum("ij,ij->i", refs, refs)
+        valid = np.isfinite(rtts) & (norms_sq > 0)
+        invalid_count = int((~valid).sum())
+        if invalid_count:
+            position_array = position_array[valid]
+            row_array = row_array[valid]
+            rtts = rtts[valid]
+            refs = refs[valid]
+            norms_sq = norms_sq[valid]
+        count = rtts.shape[0]
+        if count == 0:
+            return 0, invalid_count
+
+        # Rank of each sample within its host's surviving subsequence:
+        # samples sharing a rank touch distinct rows and form one round.
+        order = np.argsort(row_array, kind="stable")
+        sorted_rows = row_array[order]
+        run_start = np.empty(count, dtype=bool)
+        run_start[0] = True
+        np.not_equal(sorted_rows[1:], sorted_rows[:-1], out=run_start[1:])
+        indices = np.arange(count)
+        rank_sorted = indices - np.maximum.accumulate(
+            np.where(run_start, indices, 0)
+        )
+        ranks = np.empty(count, dtype=np.intp)
+        ranks[order] = rank_sorted
+
+        pool = self._out_pool if outgoing else self._in_pool
+        rate = self.learning_rate
+        residuals = np.empty(count)
+        for round_index in range(int(ranks.max()) + 1):
+            in_round = ranks == round_index
+            rows_r = row_array[in_round]
+            refs_r = refs[in_round]
+            state = pool[rows_r]
+            residual = rtts[in_round] - np.einsum("ij,ij->i", state, refs_r)
+            pool[rows_r] = state + (
+                rate * residual / norms_sq[in_round]
+            )[:, None] * refs_r
+            residuals[in_round] = residual
+
+        magnitudes[position_array] = np.abs(residuals)
+        # Per-tracker bookkeeping: counts per pool row, mapped back.
+        counts = {row: 0 for row in pool_rows}
+        for row in row_array.tolist():
+            counts[row] += 1
+        for host_id in dirty_hosts:
+            row_count = counts.get(self._row_of[host_id], 0)
+            if row_count:
+                self._trackers[host_id].samples_seen += row_count
+                self._dirty.add(host_id)
+        return count, invalid_count
+
+    def _fold_residual_ewma(self, magnitudes: np.ndarray) -> None:
+        """Fold a stream-ordered run of residual magnitudes into the EWMA.
+
+        Closed form of ``m`` sequential updates
+        ``e <- e + alpha * (x_i - e)``, so the bulk path lands on the
+        same value the per-sample path would.
+        """
+        if magnitudes.size == 0:
+            return
+        if self._residual_ewma is None:
+            self._residual_ewma = float(magnitudes[0])
+            magnitudes = magnitudes[1:]
+            if magnitudes.size == 0:
+                return
+        alpha = self.ewma_alpha
+        decay = (1.0 - alpha) ** np.arange(magnitudes.size - 1, -1, -1)
+        self._residual_ewma = float(
+            (1.0 - alpha) ** magnitudes.size * self._residual_ewma
+            + alpha * np.dot(decay, magnitudes)
+        )
+
+    # ------------------------------------------------------------------ #
+    # pooled tracker storage
+    # ------------------------------------------------------------------ #
+
+    def _tracker_for(self, host_id: object, store) -> OnlineVectorTracker:
+        tracker = self._trackers.get(host_id)
+        if tracker is None:
+            initial = store.get(host_id)
+            row = self._allocate_row(initial.outgoing.shape[0])
+            tracker = OnlineVectorTracker(
+                initial,
+                learning_rate=self.learning_rate,
+                storage=(self._out_pool[row], self._in_pool[row]),
+            )
+            self._trackers[host_id] = tracker
+            self._row_of[host_id] = row
+        return tracker
+
+    def _allocate_row(self, dimension: int) -> int:
+        if self._out_pool is None:
+            capacity = 64
+            self._out_pool = np.empty((capacity, dimension))
+            self._in_pool = np.empty((capacity, dimension))
+            self._free_rows = list(range(capacity - 1, -1, -1))
+        if not self._free_rows:
+            previous = self._out_pool.shape[0]
+            capacity = previous * 2
+            self._out_pool = np.resize(self._out_pool, (capacity, dimension))
+            self._in_pool = np.resize(self._in_pool, (capacity, dimension))
+            # The old rows were realloc-copied; rebind every live
+            # tracker's views onto the new backing matrices.
+            for host_id, row in self._row_of.items():
+                self._trackers[host_id].bind_storage(
+                    self._out_pool[row], self._in_pool[row]
+                )
+            self._free_rows = list(range(capacity - 1, previous - 1, -1))
+        return self._free_rows.pop()
+
+    def _release_row(self, host_id: object) -> None:
+        row = self._row_of.pop(host_id, None)
+        if row is not None:
+            self._free_rows.append(row)
 
     # ------------------------------------------------------------------ #
     # flush path
@@ -232,14 +498,19 @@ class RefreshWorker:
                 (host_ids if host_id in store else gone).append(host_id)
             for host_id in gone:  # evicted mid-stream: drop the tracker
                 self._trackers.pop(host_id, None)
+                self._release_row(host_id)
             if not host_ids:
                 return 0
-            outgoing = np.stack(
-                [self._trackers[i].vectors.outgoing for i in host_ids]
+            # Tracker state lives in the pooled matrices, so the flush
+            # payload is two fancy-index gathers — no per-tracker
+            # copies, no re-stacking.
+            rows = np.fromiter(
+                (self._row_of[i] for i in host_ids),
+                dtype=np.intp,
+                count=len(host_ids),
             )
-            incoming = np.stack(
-                [self._trackers[i].vectors.incoming for i in host_ids]
-            )
+            outgoing = self._out_pool[rows]
+            incoming = self._in_pool[rows]
             try:
                 updated = self.service.apply_vector_updates(
                     host_ids, outgoing, incoming
@@ -256,6 +527,7 @@ class RefreshWorker:
         """Drop a host's tracker (e.g. after eviction)."""
         with self._lock:
             self._dirty.discard(host_id)
+            self._release_row(host_id)
             return self._trackers.pop(host_id, None) is not None
 
     # ------------------------------------------------------------------ #

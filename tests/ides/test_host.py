@@ -170,6 +170,79 @@ class TestPlaceHostsBatch:
                 observation_mask=mask, strict=True,
             )
 
+    def test_mask_grouped_path_matches_per_host_oracle(self, factored_world, rng):
+        """Mixed mask patterns (the Figure 7 workload): the grouped
+        solves must agree with looping the single-host oracle."""
+        world = factored_world
+        matrix = world["matrix"]
+        out_block = matrix[np.ix_(world["hosts"], world["landmarks"])]
+        in_block = matrix[np.ix_(world["landmarks"], world["hosts"])]
+        patterns = np.ones((3, out_block.shape[1]), dtype=bool)
+        patterns[1, :3] = False
+        patterns[2, 4:6] = False
+        mask = patterns[rng.integers(0, 3, out_block.shape[0])]
+        batch_out, batch_in = place_hosts_batch(
+            out_block, in_block, world["landmark_out"], world["landmark_in"],
+            observation_mask=mask,
+        )
+        for host in range(out_block.shape[0]):
+            single = solve_host_vectors(
+                np.where(mask[host], out_block[host], np.nan),
+                np.where(mask[host], in_block[:, host], np.nan),
+                world["landmark_out"],
+                world["landmark_in"],
+            )
+            np.testing.assert_allclose(
+                batch_out[host], single.outgoing, atol=1e-8, rtol=1e-7
+            )
+            np.testing.assert_allclose(
+                batch_in[host], single.incoming, atol=1e-8, rtol=1e-7
+            )
+
+    def test_masked_nonnegative_batch_matches_oracle(self, factored_world, rng):
+        """The batched NNLS placement agrees with per-host NNLS solves."""
+        world = factored_world
+        matrix = world["matrix"]
+        out_block = matrix[np.ix_(world["hosts"], world["landmarks"])]
+        mask = np.ones_like(out_block, dtype=bool)
+        mask[::2, :2] = False
+        batch_out, batch_in = place_hosts_batch(
+            out_block, None, world["landmark_out"], world["landmark_in"],
+            observation_mask=mask, nonnegative=True, strict=False,
+        )
+        for host in range(out_block.shape[0]):
+            single = solve_host_vectors(
+                np.where(mask[host], out_block[host], np.nan),
+                np.where(mask[host], out_block[host], np.nan),
+                world["landmark_out"],
+                world["landmark_in"],
+                nonnegative=True,
+                strict=False,
+            )
+            np.testing.assert_allclose(
+                batch_out[host], single.outgoing, atol=1e-8
+            )
+            np.testing.assert_allclose(
+                batch_in[host], single.incoming, atol=1e-8
+            )
+
+    def test_masked_ridge_matches_oracle(self, factored_world, rng):
+        world = factored_world
+        matrix = world["matrix"]
+        out_block = matrix[np.ix_(world["hosts"], world["landmarks"])]
+        mask = np.ones_like(out_block, dtype=bool)
+        mask[0, :4] = False
+        batch_out, _ = place_hosts_batch(
+            out_block, None, world["landmark_out"], world["landmark_in"],
+            observation_mask=mask, ridge=0.5,
+        )
+        single = solve_host_vectors(
+            np.where(mask[0], out_block[0], np.nan),
+            np.where(mask[0], out_block[0], np.nan),
+            world["landmark_out"], world["landmark_in"], ridge=0.5,
+        )
+        np.testing.assert_allclose(batch_out[0], single.outgoing, rtol=1e-8)
+
     def test_nonnegative_batch(self, factored_world):
         world = factored_world
         matrix = world["matrix"]

@@ -91,6 +91,40 @@ class TestInformationServer:
         ids_lm, _, _ = server.reference_vectors(8, seed=0, include_ordinary=False)
         assert "host-a" not in ids_lm
 
+    def test_reference_cache_invalidated_on_directory_changes(
+        self, landmark_matrix
+    ):
+        """The stacked reference matrices are cached between calls and
+        rebuilt whenever the directory mutates."""
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        ids_before, _, _ = server.reference_vectors(8, seed=1)
+        assert server._reference_cache  # populated lazily
+        server.register_host("late", HostVectors(2 * np.ones(3), np.ones(3)))
+        assert not server._reference_cache  # registration invalidates
+        ids_after, outgoing, _ = server.reference_vectors(9, seed=1)
+        assert "late" in ids_after
+        row = ids_after.index("late")
+        np.testing.assert_array_equal(outgoing[row], 2 * np.ones(3))
+        # re-registration with new vectors must be visible immediately
+        server.register_host("late", HostVectors(3 * np.ones(3), np.ones(3)))
+        ids_again, outgoing_again, _ = server.reference_vectors(9, seed=1)
+        row = ids_again.index("late")
+        np.testing.assert_array_equal(outgoing_again[row], 3 * np.ones(3))
+        server.deregister_host("late")
+        ids_final, _, _ = server.reference_vectors(8, seed=1)
+        assert "late" not in ids_final
+
+    def test_reference_vectors_cached_between_calls(self, landmark_matrix):
+        server = InformationServer(dimension=3)
+        server.fit_landmarks(landmark_matrix)
+        first = server.reference_vectors(4, seed=3)
+        cached = server._reference_cache[True]
+        second = server.reference_vectors(4, seed=3)
+        assert server._reference_cache[True] is cached  # reused, not rebuilt
+        assert first[0] == second[0]
+        np.testing.assert_array_equal(first[1], second[1])
+
     def test_reference_vectors_pool_too_small(self, landmark_matrix):
         server = InformationServer(dimension=3)
         server.fit_landmarks(landmark_matrix)

@@ -87,6 +87,116 @@ class TestOnlineVectorTracker:
         with pytest.raises(ValidationError):
             OnlineVectorTracker(HostVectors(np.ones(2), np.ones(2)), learning_rate=1.5)
 
+    def test_observe_many_matches_sequential_replay(self, rng):
+        """The bulk stack must reproduce the one-at-a-time recurrence
+        exactly — it is the same sequence of damped projections."""
+        initial = HostVectors(rng.random(4), rng.random(4))
+        sequential = OnlineVectorTracker(initial, learning_rate=0.4)
+        bulk = OnlineVectorTracker(initial, learning_rate=0.4)
+        rtts = rng.random(50) * 100
+        references = rng.random((50, 4))
+        expected = np.array([
+            sequential.observe_out(float(rtt), reference)
+            for rtt, reference in zip(rtts, references)
+        ])
+        residuals = bulk.observe_many(rtts, references, outgoing=True)
+        np.testing.assert_allclose(residuals, expected, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(
+            bulk.vectors.outgoing, sequential.vectors.outgoing, rtol=1e-9
+        )
+        assert bulk.samples_seen == sequential.samples_seen == 50
+
+    def test_observe_many_incoming_direction(self, rng):
+        initial = HostVectors(rng.random(3), rng.random(3))
+        sequential = OnlineVectorTracker(initial)
+        bulk = OnlineVectorTracker(initial)
+        rtts = rng.random(20) * 50
+        references = rng.random((20, 3))
+        for rtt, reference in zip(rtts, references):
+            sequential.observe_in(float(rtt), reference)
+        bulk.observe_many(rtts, references, outgoing=False)
+        np.testing.assert_allclose(
+            bulk.vectors.incoming, sequential.vectors.incoming, rtol=1e-9
+        )
+
+    def test_observe_many_skips_invalid_samples(self, rng):
+        initial = HostVectors(rng.random(3), rng.random(3))
+        tracker = OnlineVectorTracker(initial)
+        rtts = np.array([10.0, np.nan, 20.0, np.inf])
+        references = rng.random((4, 3))
+        references[2] = 0.0  # degenerate reference
+        residuals = tracker.observe_many(rtts, references)
+        assert np.isfinite(residuals[0])
+        assert np.isnan(residuals[1]) and np.isnan(residuals[2])
+        assert np.isnan(residuals[3])
+        assert tracker.samples_seen == 1
+
+    def test_observe_many_single_sample_equals_observe(self, rng):
+        initial = HostVectors(rng.random(3), rng.random(3))
+        one = OnlineVectorTracker(initial)
+        many = OnlineVectorTracker(initial)
+        reference = rng.random(3)
+        expected = one.observe_out(25.0, reference)
+        residuals = many.observe_many([25.0], reference[None, :])
+        assert residuals.shape == (1,)
+        assert residuals[0] == pytest.approx(expected, rel=1e-12)
+        np.testing.assert_allclose(
+            many.vectors.outgoing, one.vectors.outgoing, rtol=1e-12
+        )
+
+    def test_observe_many_blocked_beyond_block_size(self, rng):
+        """Stacks longer than the internal block are applied in exact
+        block-sequential chunks — same result, bounded Gram memory."""
+        initial = HostVectors(rng.random(4), rng.random(4))
+        sequential = OnlineVectorTracker(initial, learning_rate=0.5)
+        bulk = OnlineVectorTracker(initial, learning_rate=0.5)
+        count = 1300  # > 2 internal blocks of 512
+        rtts = rng.random(count) * 100
+        references = rng.random((count, 4)) + 0.05
+        expected = np.array([
+            sequential.observe_out(float(rtt), reference)
+            for rtt, reference in zip(rtts, references)
+        ])
+        residuals = bulk.observe_many(rtts, references)
+        np.testing.assert_allclose(residuals, expected, rtol=1e-7, atol=1e-9)
+        np.testing.assert_allclose(
+            bulk.vectors.outgoing, sequential.vectors.outgoing, rtol=1e-9
+        )
+
+    def test_observe_many_shape_validation(self, rng):
+        tracker = OnlineVectorTracker(HostVectors(rng.random(3), rng.random(3)))
+        with pytest.raises(ValidationError):
+            tracker.observe_many([1.0, 2.0], rng.random((3, 3)))
+        with pytest.raises(ValidationError):
+            tracker.observe_many([1.0], rng.random((1, 5)))
+
+    def test_pooled_storage_views(self, rng):
+        """A tracker bound to pool rows mutates them in place, and
+        rebinding carries the state over."""
+        pool_out = np.zeros((4, 3))
+        pool_in = np.zeros((4, 3))
+        initial = HostVectors(rng.random(3), rng.random(3))
+        tracker = OnlineVectorTracker(
+            initial, storage=(pool_out[1], pool_in[1])
+        )
+        np.testing.assert_array_equal(pool_out[1], initial.outgoing)
+        tracker.observe_out(40.0, rng.random(3) + 0.1)
+        np.testing.assert_array_equal(pool_out[1], tracker.vectors.outgoing)
+        bigger_out = np.zeros((8, 3))
+        bigger_in = np.zeros((8, 3))
+        tracker.bind_storage(bigger_out[5], bigger_in[5])
+        np.testing.assert_array_equal(bigger_out[5], tracker.vectors.outgoing)
+        tracker.observe_in(10.0, rng.random(3) + 0.1)
+        np.testing.assert_array_equal(bigger_in[5], tracker.vectors.incoming)
+        assert pool_in[1].sum() != bigger_in[5].sum()  # old rows detached
+
+    def test_storage_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            OnlineVectorTracker(
+                HostVectors(rng.random(3), rng.random(3)),
+                storage=(np.zeros(4), np.zeros(3)),
+            )
+
     def test_vectors_are_copies(self):
         initial = HostVectors(np.ones(2), np.ones(2))
         tracker = OnlineVectorTracker(initial)

@@ -61,6 +61,17 @@ class TestNonnegativeLeastSquares:
         with pytest.raises(ValidationError):
             nonnegative_least_squares(rng.random((5, 2)), rng.random(4))
 
+    def test_noise_floor_stall_converges(self):
+        """Regression: when the optimum is exact but the dual gradient
+        rounds to just above tolerance, the entering variable
+        backtracks to zero immediately (alpha = 0) and the iterate
+        stops moving — the solver must recognize the stall as
+        convergence instead of cycling into ConvergenceError."""
+        basis = np.array([[0.0, 1.0], [1.0, 1.0]])
+        targets = np.array([89.0, 89.0])
+        solution = nonnegative_least_squares(basis, targets)
+        np.testing.assert_allclose(solution, [0.0, 89.0], atol=1e-8)
+
     def test_wide_problem(self, rng):
         # More variables than equations still terminates and is feasible.
         basis = rng.standard_normal((4, 9))

@@ -162,6 +162,115 @@ class TestRefreshWorker:
         worker.observe_many(itertools.islice(stream, 16))
         assert worker.stats().flushes >= 2
 
+    def test_bulk_path_matches_per_sample_path(self, world):
+        """observe_many (bulk grouped ndarray path) must produce the
+        same vectors, counters and EWMA as per-sample observe calls."""
+        matrix, ids, _ = world
+        from repro.core import SVDFactorizer
+
+        def build():
+            model = SVDFactorizer(dimension=3).fit(matrix)
+            return DistanceService.from_vectors(
+                ids, model.outgoing, model.incoming, landmark_ids=ids[:8]
+            )
+
+        service_a, service_b = build(), build()
+        observations = list(
+            synthetic_drift_stream(service_a, samples=600, drift=0.3, seed=5)
+        )
+        sequential = RefreshWorker(service_a, flush_every=64)
+        bulk = RefreshWorker(service_b, flush_every=64)
+        for observation in observations:
+            sequential.observe(observation)
+        bulk.observe_many(observations)
+        sequential.flush()
+        bulk.flush()
+        stats_a, stats_b = sequential.stats(), bulk.stats()
+        assert stats_a.samples_applied == stats_b.samples_applied
+        assert stats_a.samples_skipped == stats_b.samples_skipped
+        assert stats_a.flushes == stats_b.flushes
+        assert stats_a.hosts_tracked == stats_b.hosts_tracked
+        assert stats_a.mean_abs_residual == pytest.approx(
+            stats_b.mean_abs_residual, rel=1e-9
+        )
+        for host_id in ids:
+            va = service_a.store.get(host_id)
+            vb = service_b.store.get(host_id)
+            np.testing.assert_allclose(va.outgoing, vb.outgoing, atol=1e-12)
+            np.testing.assert_allclose(va.incoming, vb.incoming, atol=1e-12)
+
+    def test_bulk_path_handles_concentrated_groups(self, world):
+        """Groups above the bulk threshold take the stacked tracker
+        update; result still matches the sequential path."""
+        matrix, ids, _ = world
+        from repro.core import SVDFactorizer
+
+        def build():
+            model = SVDFactorizer(dimension=3).fit(matrix)
+            return DistanceService.from_vectors(
+                ids, model.outgoing, model.incoming, landmark_ids=ids[:8]
+            )
+
+        service_a, service_b = build(), build()
+        campaign = [
+            RttObservation("n20", f"n{r % 8}", 40.0 + r, outgoing=bool(r % 2))
+            for r in range(60)
+        ]
+        sequential = RefreshWorker(service_a, flush_every=500)
+        bulk = RefreshWorker(service_b, flush_every=500)
+        for observation in campaign:
+            sequential.observe(observation)
+        applied = bulk.observe_many(campaign)
+        assert applied == 60
+        sequential.flush()
+        bulk.flush()
+        va, vb = service_a.store.get("n20"), service_b.store.get("n20")
+        np.testing.assert_allclose(va.outgoing, vb.outgoing, atol=1e-10)
+        np.testing.assert_allclose(va.incoming, vb.incoming, atol=1e-10)
+
+    def test_bulk_unknown_and_nonfinite_skipped(self, world):
+        _, _, service = world
+        worker = RefreshWorker(service)
+        applied = worker.observe_batch(
+            [
+                RttObservation("ghost", "n0", 10.0),
+                RttObservation("n9", "ghost", 10.0),
+                RttObservation("n9", "n0", float("nan")),
+                RttObservation("n9", "n0", 25.0),
+            ]
+        )
+        assert applied == 1
+        stats = worker.stats()
+        assert stats.samples_applied == 1
+        assert stats.samples_skipped == 3
+
+    def test_pool_grows_and_rows_are_recycled(self, world):
+        """More trackers than the initial pool capacity forces growth;
+        forget() frees rows for reuse."""
+        matrix, ids, _ = world
+        from repro.core import SVDFactorizer
+
+        model = SVDFactorizer(dimension=3).fit(matrix)
+        big_ids = [f"m{i}" for i in range(200)]
+        rng = np.random.default_rng(0)
+        service = DistanceService.from_vectors(
+            big_ids,
+            np.tile(model.outgoing, (7, 1))[:200] + rng.random((200, 3)),
+            np.tile(model.incoming, (7, 1))[:200] + rng.random((200, 3)),
+            landmark_ids=big_ids[:8],
+        )
+        worker = RefreshWorker(service, flush_every=10_000)
+        for host_id in big_ids[8:]:
+            worker.observe(RttObservation(host_id, "m0", 30.0))
+        assert worker.stats().hosts_tracked == 192
+        assert worker.flush() == 192
+        # trackers keep working after the growth-triggered rebinding
+        worker.observe(RttObservation("m150", "m1", 44.0))
+        assert worker.flush() == 1
+        assert worker.forget("m150") is True
+        worker.observe(RttObservation("m151", "m1", 44.0))
+        assert worker.flush() == 1
+
     def test_converges_on_drifted_world(self, world):
         """The tentpole behavior: streamed samples pull the service's
         predictions onto the drifted truth without any refit."""
