@@ -106,6 +106,44 @@ def build_parser() -> argparse.ArgumentParser:
         "health", help="print a snapshot's service health line"
     )
     health_parser.add_argument("snapshot", help="snapshot path from 'serve build'")
+    health_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the health report as a JSON object instead of one line",
+    )
+
+    metrics_parser = serve_subparsers.add_parser(
+        "metrics",
+        help="scrape a running telemetry endpoint and print the exposition",
+    )
+    metrics_parser.add_argument(
+        "target", help="telemetry address (host:port or full URL)"
+    )
+    metrics_parser.add_argument(
+        "--path",
+        default="/metrics",
+        help="endpoint path: /metrics, /metrics.json, /health, /trace",
+    )
+    metrics_parser.add_argument(
+        "--timeout", type=float, default=5.0, help="scrape timeout in seconds"
+    )
+
+    trace_tail_parser = serve_subparsers.add_parser(
+        "trace-tail",
+        help="render exported trace spans (JSONL) as per-request trees",
+    )
+    trace_tail_parser.add_argument(
+        "export", help="span export file written via --trace-export"
+    )
+    trace_tail_parser.add_argument(
+        "--trace", default=None, help="only show this trace id"
+    )
+    trace_tail_parser.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="newest traces to show (default: 10)",
+    )
 
     bench_parser = serve_subparsers.add_parser(
         "bench-concurrent",
@@ -237,6 +275,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="artificial per-request service time in seconds (benchmarks)",
     )
+    shard_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve HTTP /metrics and /health on this port (0 = pick free)",
+    )
+    shard_parser.add_argument(
+        "--trace-export",
+        default=None,
+        help="append finished trace spans to this JSONL file",
+    )
+    shard_parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log spans at least this many milliseconds long as slow",
+    )
 
     router_parser = serve_subparsers.add_parser(
         "router",
@@ -281,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown",
         action="store_true",
         help="send every shard a shutdown RPC before exiting",
+    )
+    router_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the cluster health report as JSON instead of text",
     )
     return parser
 
@@ -368,7 +428,57 @@ def _command_serve_nearest(arguments) -> int:
 
 
 def _command_serve_health(arguments) -> int:
-    print(_load_service(arguments.snapshot).health())
+    health = _load_service(arguments.snapshot).health()
+    if arguments.json:
+        import json
+
+        print(json.dumps(health.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(health)
+    return 0
+
+
+def _command_serve_metrics(arguments) -> int:
+    from .serving.observability import scrape
+
+    try:
+        print(scrape(arguments.target, arguments.path, timeout=arguments.timeout))
+    except OSError as error:
+        print(f"scrape failed: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _command_serve_trace_tail(arguments) -> int:
+    from .serving.observability import (
+        build_trace_trees,
+        format_trace_tree,
+        load_spans,
+    )
+
+    spans = load_spans(arguments.export)
+    if not spans:
+        print(f"no spans in {arguments.export}", file=sys.stderr)
+        return 2
+    trees = build_trace_trees(spans)
+    if arguments.trace is not None:
+        if arguments.trace not in trees:
+            print(f"trace {arguments.trace} not found", file=sys.stderr)
+            return 2
+        selected = [(arguments.trace, trees[arguments.trace])]
+    else:
+        # Newest last, ordered by each trace's earliest span.
+        ordered = sorted(
+            trees.items(),
+            key=lambda item: min(
+                root.get("start_time", 0.0) for root in item[1]
+            ),
+        )
+        selected = ordered[-arguments.limit :]
+    for trace_id, roots in selected:
+        print(f"trace {trace_id}")
+        print(format_trace_tree(roots))
+    print(f"{len(selected)}/{len(trees)} traces, {len(spans)} spans total")
     return 0
 
 
@@ -489,6 +599,9 @@ def _command_serve_shard(arguments) -> int:
         port=arguments.port,
         snapshot_path=arguments.snapshot,
         work_delay=arguments.work_delay,
+        metrics_port=arguments.metrics_port,
+        trace_export=arguments.trace_export,
+        slow_ms=arguments.slow_ms,
         announce=print,
     )
     return 0
@@ -538,9 +651,14 @@ def _command_serve_router(arguments) -> int:
                 for host_id, distance in neighbors:
                     print(f"{arguments.source} ~ {host_id}: {distance:.3f}")
             health = await router.health()
-            for shard in health.shards:
-                print(f"  {shard}")
-            print(f"health: {health}")
+            if arguments.json:
+                import json
+
+                print(json.dumps(health.to_dict(), indent=2, sort_keys=True))
+            else:
+                for shard in health.shards:
+                    print(f"  {shard}")
+                print(f"health: {health}")
             if arguments.shutdown:
                 stopped = 0
                 for client in router.clients:
@@ -572,6 +690,8 @@ def _command_serve(arguments) -> int:
         "refresh": _command_serve_refresh,
         "shard": _command_serve_shard,
         "router": _command_serve_router,
+        "metrics": _command_serve_metrics,
+        "trace-tail": _command_serve_trace_tail,
     }
     try:
         return handlers[arguments.serve_command](arguments)

@@ -8,7 +8,7 @@ for any data set and back the ``ablate-rank`` experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -127,6 +127,10 @@ class ShardHealth:
     address: str | None = None
     reachable: bool = True
 
+    def to_dict(self) -> dict:
+        """Plain-JSON form (the ``--json`` health surfaces)."""
+        return asdict(self)
+
     def __str__(self) -> str:
         location = f"@{self.address}" if self.address else ""
         if not self.reachable:
@@ -176,6 +180,10 @@ class ServiceHealth:
             replicas (see
             :meth:`~repro.serving.DistanceService.add_update_sink`)
             that raised — replication lag the operator must see.
+        update_sink_failures_by_sink: the same failures attributed to
+            the sink that raised, as sorted ``(sink_name, count)``
+            pairs — a flapping replica is identifiable by name instead
+            of hiding inside one global counter.
     """
 
     n_hosts: int
@@ -198,6 +206,24 @@ class ServiceHealth:
     mean_vector_age_seconds: float | None = None
     shards: tuple[ShardHealth, ...] = ()
     update_sink_failures: int = 0
+    update_sink_failures_by_sink: tuple[tuple[str, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (the ``--json`` health surfaces).
+
+        Shards become a list of dicts and the per-sink failure pairs
+        become a name -> count mapping; derived rates ride along.
+        """
+        data = asdict(self)
+        data["shard_occupancy"] = list(self.shard_occupancy)
+        data["shards"] = [shard.to_dict() for shard in self.shards]
+        data["update_sink_failures_by_sink"] = dict(
+            self.update_sink_failures_by_sink
+        )
+        data["cache_hit_rate"] = self.cache_hit_rate
+        data["shard_imbalance"] = self.shard_imbalance
+        data["unreachable_shards"] = self.unreachable_shards
+        return data
 
     @property
     def cache_hit_rate(self) -> float:
@@ -228,6 +254,12 @@ class ServiceHealth:
             shards += f" unreachable={self.unreachable_shards}"
         if self.update_sink_failures:
             shards += f" sink_failures={self.update_sink_failures}"
+            if self.update_sink_failures_by_sink:
+                detail = ",".join(
+                    f"{name}={count}"
+                    for name, count in self.update_sink_failures_by_sink
+                )
+                shards += f"({detail})"
         admission = (
             f" cache_rejected={self.cache_rejected}"
             if self.cache_rejected

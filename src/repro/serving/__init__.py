@@ -22,6 +22,10 @@ serves the traffic:
   observations through online trackers back into the store while
   queries keep flowing;
 * :mod:`~repro.serving.snapshot` — portable ``.npz`` serialization;
+* :mod:`~repro.serving.observability` — the telemetry plane: a
+  process-wide :class:`MetricsRegistry` (Prometheus-text + JSON
+  exposition), distributed :class:`Tracer` spans threaded through the
+  wire protocol, and a tiny asyncio HTTP ``/metrics`` endpoint;
 * :mod:`~repro.serving.transport` — the cross-process tier: a framed
   binary wire protocol (``docs/wire-protocol.md``), :class:`ShardServer`
   processes each owning one store shard, and
@@ -44,6 +48,21 @@ bridge from thread-world writers. Time is always an injectable
 
 from .cache import CacheStats, PredictionCache
 from .engine import QueryEngine
+from .observability import (
+    MetricsRegistry,
+    TelemetryServer,
+    TraceContext,
+    Tracer,
+    build_trace_trees,
+    configure_tracing,
+    format_trace_tree,
+    get_registry,
+    get_tracer,
+    load_spans,
+    parse_prometheus_text,
+    scrape,
+    set_registry,
+)
 from .frontend import (
     AdaptiveBatchPolicy,
     AsyncDistanceFrontend,
@@ -92,6 +111,7 @@ __all__ = [
     "FixedWindowPolicy",
     "FrontendStats",
     "InMemoryVectorStore",
+    "MetricsRegistry",
     "PipelineReport",
     "PolicyReport",
     "PredictionCache",
@@ -106,16 +126,28 @@ __all__ = [
     "SimulatedDispatchBackend",
     "ShardedQueryRouter",
     "ShardedVectorStore",
+    "TelemetryServer",
+    "TraceContext",
+    "Tracer",
     "VectorStore",
+    "build_trace_trees",
+    "configure_tracing",
     "connect_router",
+    "format_trace_tree",
+    "get_registry",
+    "get_tracer",
     "group_by_shard",
+    "load_spans",
     "load_snapshot",
     "measure_batching_policy",
     "measure_concurrent_throughput",
     "measure_pipelined_speedup",
     "measure_per_query_throughput",
+    "parse_prometheus_text",
     "replay_observations",
     "save_snapshot",
+    "scrape",
+    "set_registry",
     "shard_of",
     "spawn_shard_process",
     "synthetic_drift_stream",

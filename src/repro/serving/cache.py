@@ -335,6 +335,48 @@ class PredictionCache:
     # introspection
     # ------------------------------------------------------------------ #
 
+    def bind_metrics(self, registry, component: str = "cache") -> None:
+        """Expose this cache's counters through a metrics registry.
+
+        Registers a scrape-time collector over :meth:`stats` — the
+        admission/eviction hot paths stay untouched. ``component``
+        labels the series so a router cache and a service cache can
+        coexist in one registry.
+        """
+        from .observability.metrics import Sample
+
+        label = (("component", component),)
+        counters = (
+            ("hits", "Cache hits."),
+            ("misses", "Cache misses."),
+            ("evictions", "LRU evictions."),
+            ("expirations", "TTL expirations."),
+            ("invalidations", "Entries dropped by host invalidation."),
+            ("admitted", "Entries admitted by the admission policy."),
+            ("rejected", "Entries rejected by the admission policy."),
+        )
+        gauges = (
+            ("size", "Entries currently cached."),
+            ("max_entries", "Configured capacity."),
+            ("doorkeeper_entries", "Keys tracked by the doorkeeper."),
+        )
+
+        def collect():
+            stats = self.stats()
+            samples = [
+                Sample(f"ides_cache_{name}_total", "counter", help_text,
+                       label, getattr(stats, name))
+                for name, help_text in counters
+            ]
+            samples.extend(
+                Sample(f"ides_cache_{name}", "gauge", help_text,
+                       label, getattr(stats, name))
+                for name, help_text in gauges
+            )
+            return samples
+
+        registry.register_collector(collect)
+
     def stats(self) -> CacheStats:
         """Snapshot of the cache counters."""
         with self._lock:

@@ -80,6 +80,29 @@ class QueryEngine:
             self.queries_served += 1
             self.pairs_evaluated += pairs
 
+    def bind_metrics(self, registry, component: str = "engine") -> None:
+        """Expose the served-work counters through a metrics registry.
+
+        A scrape-time collector over the existing locked counters; the
+        query hot path is untouched. ``component`` distinguishes
+        co-resident engines (a service's vs an embedded shard's).
+        """
+        from .observability.metrics import Sample
+
+        label = (("component", component),)
+
+        def collect():
+            with self._counter_lock:
+                served, pairs = self.queries_served, self.pairs_evaluated
+            return [
+                Sample("ides_engine_queries_served_total", "counter",
+                       "Queries answered by the engine.", label, served),
+                Sample("ides_engine_pairs_evaluated_total", "counter",
+                       "Host pairs evaluated by the engine.", label, pairs),
+            ]
+
+        registry.register_collector(collect)
+
     # ------------------------------------------------------------------ #
     # query shapes
     # ------------------------------------------------------------------ #

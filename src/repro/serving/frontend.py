@@ -67,6 +67,8 @@ import numpy as np
 
 from ..exceptions import ReproError, ValidationError
 from .cache import PredictionCache
+from .observability.metrics import Sample
+from .observability.tracing import current_context, get_tracer
 from .service import DistanceService
 
 __all__ = [
@@ -423,6 +425,76 @@ class AsyncDistanceFrontend:
         self._coalesced = 0
         self._max_batch_seen = 0
         self._point_fallbacks = 0
+        #: Optional dispatch instruments, attached by
+        #: :meth:`bind_metrics`; ``None`` keeps the loop uninstrumented.
+        self._dispatch_seconds = None
+        self._batch_size = None
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+
+    def bind_metrics(self, registry) -> None:
+        """Expose the frontend through a metrics registry.
+
+        The :class:`FrontendStats` counters become scrape-time
+        collector samples; dispatch cycles additionally land their
+        wall time and batch size in first-class histograms. The
+        submit/coalesce hot path stays untouched.
+        """
+        self._dispatch_seconds = registry.histogram(
+            "ides_frontend_dispatch_seconds",
+            "Wall time of one dispatch cycle (backend execution included).",
+        )
+        self._batch_size = registry.histogram(
+            "ides_frontend_batch_size",
+            "Requests coalesced per dispatch cycle.",
+            buckets=tuple(float(2**k) for k in range(14)),
+        )
+
+        def collect():
+            stats = self.stats()
+            samples = [
+                Sample("ides_frontend_submitted_total", "counter",
+                       "Requests submitted to the frontend.",
+                       (), stats.submitted),
+                Sample("ides_frontend_completed_total", "counter",
+                       "Requests resolved (cache hits included).",
+                       (), stats.completed),
+                Sample("ides_frontend_cache_hits_total", "counter",
+                       "Requests answered from the cache at submit time.",
+                       (), stats.cache_hits),
+                Sample("ides_frontend_batches_total", "counter",
+                       "Dispatch cycles executed.", (), stats.batches),
+                Sample("ides_frontend_coalesced_total", "counter",
+                       "Requests that went through a dispatch batch.",
+                       (), stats.coalesced),
+                Sample("ides_frontend_point_fallbacks_total", "counter",
+                       "Point queries retried individually after a batch "
+                       "failure.", (), stats.point_fallbacks),
+                Sample("ides_frontend_max_batch_seen", "gauge",
+                       "Largest batch coalesced so far.",
+                       (), stats.max_batch_seen),
+                Sample("ides_frontend_pending", "gauge",
+                       "Requests queued for the next cycle.",
+                       (), len(self._pending)),
+                Sample("ides_frontend_in_flight", "gauge",
+                       "Requests in the executing batch.",
+                       (), len(self._in_flight)),
+            ]
+            if stats.arrival_rate is not None:
+                samples.append(
+                    Sample("ides_frontend_arrival_rate", "gauge",
+                           "Adaptive policy's EWMA arrival rate (req/s).",
+                           (), stats.arrival_rate)
+                )
+            return samples
+
+        registry.register_collector(collect)
+
+    # Submitter span contexts are captured into the request tuples via
+    # ``current_context()`` so the dispatcher task can parent its spans
+    # correctly (the dispatcher runs outside the submitter's context).
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -516,7 +588,8 @@ class AsyncDistanceFrontend:
                 future.set_result(cached)
                 return future
         return self._submit(
-            (_POINT, source_id, destination_id, self._future())
+            (_POINT, source_id, destination_id, current_context(),
+             self._future())
         )
 
     async def query(self, source_id: object, destination_id: object) -> float:
@@ -534,7 +607,8 @@ class AsyncDistanceFrontend:
             )
         future = self._future()
         return await self._submit(
-            (_PAIRS, list(source_ids), list(destination_ids), future)
+            (_PAIRS, list(source_ids), list(destination_ids),
+             current_context(), future)
         )
 
     async def query_one_to_many(
@@ -543,7 +617,8 @@ class AsyncDistanceFrontend:
         """1:N fan-out executed inside the next dispatch cycle."""
         future = self._future()
         return await self._submit(
-            (_FANOUT, source_id, list(destination_ids), future)
+            (_FANOUT, source_id, list(destination_ids),
+             current_context(), future)
         )
 
     async def k_nearest(
@@ -554,7 +629,10 @@ class AsyncDistanceFrontend:
     ) -> list[tuple[object, float]]:
         """k-nearest query executed inside the next dispatch cycle."""
         future = self._future()
-        return await self._submit((_NEAREST, source_id, (k, candidate_ids), future))
+        return await self._submit(
+            (_NEAREST, source_id, (k, candidate_ids),
+             current_context(), future)
+        )
 
     # ------------------------------------------------------------------ #
     # dispatcher
@@ -598,6 +676,11 @@ class AsyncDistanceFrontend:
                         if not future.done():
                             future.set_exception(error)
                 self._in_flight = []
+                if self._dispatch_seconds is not None:
+                    self._dispatch_seconds.observe(
+                        time.perf_counter() - started
+                    )
+                    self._batch_size.observe(len(batch))
                 if self.policy is not None:
                     self.policy.observe(
                         len(batch), time.perf_counter() - started
@@ -632,15 +715,16 @@ class AsyncDistanceFrontend:
         """All point requests of the cycle as one dense pairs batch."""
         if not points:
             return
-        live = [r for r in points if not r[3].cancelled()]
+        live = [r for r in points if not r[-1].cancelled()]
         if not live:
             self._completed += len(points)
             return
         backend = self._backend
         epoch = backend.write_epoch
         if len(live) == 1:
-            _, source_id, destination_id, future = live[0]
-            value = await backend.point(source_id, destination_id)
+            _, source_id, destination_id, context, future = live[0]
+            with get_tracer().span("frontend:point", parent=context):
+                value = await backend.point(source_id, destination_id)
             if not future.cancelled():
                 future.set_result(value)
             if self.populate_cache:
@@ -651,8 +735,17 @@ class AsyncDistanceFrontend:
             return
         sources = [r[1] for r in live]
         destinations = [r[2] for r in live]
-        values = (await backend.pairs(sources, destinations)).tolist()
-        for (_, source_id, destination_id, future), value in zip(live, values):
+        # The batch span parents on the first live submitter's context:
+        # one coalesced backend round genuinely serves many callers, so
+        # one span (sized) represents it rather than n duplicates.
+        with get_tracer().span(
+            "frontend:batch", parent=live[0][3],
+            attributes={"size": len(live)},
+        ):
+            values = (await backend.pairs(sources, destinations)).tolist()
+        for (_, source_id, destination_id, _context, future), value in zip(
+            live, values
+        ):
             if not future.cancelled():
                 future.set_result(value)
         if self.populate_cache:
@@ -670,7 +763,7 @@ class AsyncDistanceFrontend:
         Only the offending futures get the exception; every other
         caller still receives its answer.
         """
-        for _, source_id, destination_id, future in points:
+        for _, source_id, destination_id, _context, future in points:
             if future.done():  # cancelled, or resolved before the raise
                 continue
             self._point_fallbacks += 1
@@ -685,20 +778,24 @@ class AsyncDistanceFrontend:
         self._completed += len(points)
 
     async def _execute_single(self, request: tuple) -> None:
-        kind, first, second, future = request
+        kind, first, second, context, future = request
         self._completed += 1
         if future.cancelled():
             return
+        tracer = get_tracer()
         try:
             if kind == _PAIRS:
-                result = await self._backend.pairs(first, second)
+                with tracer.span("frontend:pairs", parent=context):
+                    result = await self._backend.pairs(first, second)
             elif kind == _FANOUT:
-                result = await self._backend.one_to_many(first, second)
+                with tracer.span("frontend:one_to_many", parent=context):
+                    result = await self._backend.one_to_many(first, second)
             elif kind == _NEAREST:
                 k, candidates = second
-                result = await self._backend.k_nearest(
-                    first, k, candidate_ids=candidates
-                )
+                with tracer.span("frontend:k_nearest", parent=context):
+                    result = await self._backend.k_nearest(
+                        first, k, candidate_ids=candidates
+                    )
             else:  # pragma: no cover - defensive
                 if not future.done():
                     future.set_exception(ReproError(f"unknown request kind {kind}"))
@@ -803,12 +900,18 @@ def measure_concurrent_throughput(
     window: int = 8,
     max_batch: int = 4096,
     seed: int = 0,
+    instrument: bool = False,
 ) -> ConcurrencyReport:
     """Drive the micro-batching frontend with concurrent async clients.
 
     Each client keeps ``window`` point queries in flight (a redirector
     resolving several candidate pairs at once); the frontend coalesces
     across all ``n_clients`` of them.
+
+    ``instrument=True`` runs the identical workload with the telemetry
+    plane live — tracing enabled and the service's and frontend's
+    metrics bound to a fresh registry — so the observability overhead
+    benchmark can gate instrumented-vs-plain on this exact path.
     """
     host_ids = service.known_hosts()
     workloads = _client_workloads(
@@ -816,8 +919,18 @@ def measure_concurrent_throughput(
     )
     service.cache.clear()  # same cold start as the per-query baseline
 
+    registry = None
+    if instrument:
+        from .observability import MetricsRegistry, configure_tracing
+
+        registry = MetricsRegistry()
+        service.bind_metrics(registry)
+        configure_tracing(enabled=True, service="bench-frontend")
+
     async def run() -> tuple[float, float]:
         async with AsyncDistanceFrontend(service, max_batch=max_batch) as frontend:
+            if registry is not None:
+                frontend.bind_metrics(registry)
             async def client(pairs: list[tuple[int, int]]) -> None:
                 submit = frontend.submit
                 for i in range(0, len(pairs), window):
@@ -833,7 +946,13 @@ def measure_concurrent_throughput(
             elapsed = time.perf_counter() - started
             return elapsed, frontend.stats().mean_batch
 
-    elapsed, mean_batch = asyncio.run(run())
+    try:
+        elapsed, mean_batch = asyncio.run(run())
+    finally:
+        if instrument:
+            from .observability import configure_tracing
+
+            configure_tracing(enabled=False)
     return ConcurrencyReport(
         strategy="coalesced micro-batched dispatch",
         n_clients=n_clients,

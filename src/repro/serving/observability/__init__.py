@@ -1,0 +1,60 @@
+"""Telemetry substrate for the serving stack: metrics, tracing, HTTP plane.
+
+Three stdlib-only pieces (see ``docs/observability.md``):
+
+* :mod:`~repro.serving.observability.metrics` — a thread-safe
+  :class:`MetricsRegistry` of labeled counters, gauges and log-bucketed
+  histograms (p50/p90/p99 snapshots) with Prometheus-text and JSON
+  exposition, plus scrape-time *collectors* that re-back the existing
+  stats dataclasses without touching their hot paths;
+* :mod:`~repro.serving.observability.tracing` — ``TraceContext`` /
+  ``Span`` / ``Tracer``: a connected span tree per query across
+  frontend → router → per-connection RPC → shard server → engine,
+  propagated in-process via ``contextvars`` and across the wire in the
+  optional ``"trace"`` JSON-header field, with a bounded span buffer, a
+  JSONL exporter and a threshold-driven slow-query log;
+* :mod:`~repro.serving.observability.httpd` — a tiny asyncio HTTP
+  endpoint serving ``/metrics``, ``/metrics.json``, ``/health`` and
+  ``/trace`` for scrapers and load balancers.
+"""
+
+from .httpd import TelemetryServer, scrape
+from .metrics import (
+    MetricsRegistry,
+    Sample,
+    default_buckets,
+    get_registry,
+    parse_prometheus_text,
+    set_registry,
+)
+from .tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    build_trace_trees,
+    configure_tracing,
+    current_context,
+    format_trace_tree,
+    get_tracer,
+    load_spans,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Sample",
+    "Span",
+    "TelemetryServer",
+    "TraceContext",
+    "Tracer",
+    "build_trace_trees",
+    "configure_tracing",
+    "current_context",
+    "default_buckets",
+    "format_trace_tree",
+    "get_registry",
+    "get_tracer",
+    "load_spans",
+    "parse_prometheus_text",
+    "scrape",
+    "set_registry",
+]

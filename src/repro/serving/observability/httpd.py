@@ -1,0 +1,171 @@
+"""A tiny asyncio HTTP endpoint serving ``/metrics`` and ``/health``.
+
+Just enough HTTP/1.1 for a Prometheus scraper or a load balancer's
+health check — stdlib-only, one short-lived connection per request:
+
+* ``GET /metrics``       → Prometheus text exposition of the registry
+* ``GET /metrics.json``  → JSON exposition (quantile snapshots included)
+* ``GET /health``        → JSON health document from the owner's callback
+* ``GET /trace``         → JSON tail of the tracer's recent spans
+
+The :class:`TelemetryServer` is attached to a shard server process (via
+``run_shard_server(..., metrics_port=...)``) and to the router (via the
+smoke tooling and ``serve router --metrics-port``); it deliberately does
+not touch the binary wire protocol's port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.request
+
+from .metrics import MetricsRegistry, get_registry
+from .tracing import Tracer, get_tracer
+
+__all__ = ["TelemetryServer", "scrape"]
+
+_MAX_REQUEST_BYTES = 16384
+
+
+class TelemetryServer:
+    """Serve a registry (and optionally health/trace views) over HTTP."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        health=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._tracer = tracer
+        self._health = health
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._bound: tuple[str, int] | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._bound is None:
+            raise RuntimeError("telemetry server is not running")
+        return self._bound
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, host=self._host, port=self._port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._bound = (sockname[0], sockname[1])
+        return self._bound
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+            self._bound = None
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            if not request_line:
+                return
+            # Drain (and bound) the headers; we never need their content.
+            consumed = len(request_line)
+            while True:
+                header = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                consumed += len(header)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                if consumed > _MAX_REQUEST_BYTES:
+                    await self._respond(writer, 431, "text/plain", b"headers too large")
+                    return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                await self._respond(writer, 400, "text/plain", b"bad request")
+                return
+            method, target = parts[0], parts[1]
+            if method != "GET":
+                await self._respond(writer, 405, "text/plain", b"method not allowed")
+                return
+            await self._route(writer, target.split("?", 1)[0])
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, writer: asyncio.StreamWriter, path: str) -> None:
+        registry = self._registry or get_registry()
+        if path == "/metrics":
+            body = registry.render_prometheus().encode("utf-8")
+            await self._respond(
+                writer, 200, "text/plain; version=0.0.4; charset=utf-8", body
+            )
+        elif path == "/metrics.json":
+            body = registry.render_json().encode("utf-8")
+            await self._respond(writer, 200, "application/json", body)
+        elif path == "/health":
+            document = {"status": "ok"}
+            if self._health is not None:
+                try:
+                    document = self._health()
+                except Exception as broken:  # health must answer, not raise
+                    document = {"status": "error", "error": repr(broken)}
+            body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+            await self._respond(writer, 200, "application/json", body)
+        elif path == "/trace":
+            tracer = self._tracer or get_tracer()
+            body = json.dumps(
+                {"spans": tracer.tail(), "slow": tracer.slow_tail()},
+                indent=2,
+                sort_keys=True,
+            ).encode("utf-8")
+            await self._respond(writer, 200, "application/json", body)
+        else:
+            await self._respond(writer, 404, "text/plain", b"not found")
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 431: "Request Header Fields Too Large"}
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+def scrape(target: str, path: str = "/metrics", timeout: float = 5.0) -> str:
+    """Fetch a telemetry endpoint synchronously (CLI / smoke tooling).
+
+    ``target`` may be a full URL (``http://host:port/metrics``) or a
+    bare ``host:port``, in which case ``path`` is appended.
+    """
+    url = target if "://" in target else f"http://{target}{path}"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")

@@ -1,0 +1,536 @@
+"""Thread-safe metrics registry with Prometheus-text and JSON exposition.
+
+The registry is the single sensor substrate for the serving stack: every
+component (engine, cache, frontend, router, shard client/server, refresh
+worker) either *owns* first-class instruments here — counters, gauges and
+log-bucketed histograms created via :meth:`MetricsRegistry.counter` /
+:meth:`MetricsRegistry.gauge` / :meth:`MetricsRegistry.histogram` — or
+exposes its existing cheap in-object counters lazily through
+:meth:`MetricsRegistry.register_collector`, which is only invoked at
+scrape time and therefore adds **zero** hot-path overhead.
+
+Design notes:
+
+* Instruments are *families* keyed by name; a family with label names
+  hands out per-label-value children via ``family.labels(op="gather")``.
+  An unlabeled family proxies ``inc``/``set``/``observe`` straight to its
+  single anonymous child so call sites stay terse.
+* Histograms use geometric ("log") bucket bounds so one instrument
+  covers microsecond RPCs and multi-second flushes with bounded memory;
+  p50/p90/p99 are interpolated from the bucket counts at snapshot time.
+* Exposition: :meth:`MetricsRegistry.render_prometheus` emits the
+  Prometheus text format (``# HELP`` / ``# TYPE`` + samples, histogram
+  ``_bucket``/``_sum``/``_count`` series); :meth:`MetricsRegistry.render_json`
+  emits the same data as a JSON document with quantile snapshots
+  included, for scrapers that prefer structure over text.
+
+Everything is stdlib-only; there is no dependency on a Prometheus client
+library.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MetricsRegistry",
+    "Sample",
+    "default_buckets",
+    "get_registry",
+    "parse_prometheus_text",
+    "set_registry",
+]
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def default_buckets(
+    start: float = 1e-5, factor: float = 2.0, count: int = 28
+) -> tuple[float, ...]:
+    """Geometric bucket upper bounds: ``start * factor**k``.
+
+    The defaults span 10 microseconds to ~22 minutes, which covers
+    every latency this stack produces (codec work, RPCs, batch
+    dispatches, refresh flushes) with 28 buckets per child.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ValueError("buckets need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor**k for k in range(count))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition sample emitted by a lazy collector.
+
+    Collectors return iterables of these; ``kind`` must be ``counter``
+    or ``gauge`` (histograms are only available as first-class
+    instruments, where the registry owns the bucket state).
+    """
+
+    name: str
+    kind: str
+    help: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("counter", "gauge"):
+            raise ValueError(f"collector samples must be counter/gauge, not {self.kind}")
+
+
+def _label_items(labelnames: tuple[str, ...], labelvalues: dict) -> tuple:
+    if set(labelvalues) != set(labelnames):
+        raise ValueError(
+            f"expected labels {labelnames}, got {tuple(sorted(labelvalues))}"
+        )
+    return tuple((name, str(labelvalues[name])) for name in labelnames)
+
+
+class _Counter:
+    """Monotonic counter child."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _Gauge:
+    """Gauge child: settable, inc/dec-able."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _Histogram:
+    """Log-bucketed histogram child with interpolated quantiles."""
+
+    __slots__ = ("_bounds", "_counts", "_lock", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self._lock = threading.Lock()
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile estimate from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                upper = (
+                    self._bounds[index]
+                    if index < len(self._bounds)
+                    else self._bounds[-1] * 2
+                )
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                inside = rank - cumulative
+                fraction = inside / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self._bounds[-1] * 2
+
+    def snapshot(self) -> dict:
+        """Count/sum plus p50/p90/p99 — the shape the JSON exposition uses."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative (upper_bound, count) pairs, ending with +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative, pairs = 0, []
+        for index, bound in enumerate(self._bounds):
+            cumulative += counts[index]
+            pairs.append((bound, cumulative))
+        pairs.append((math.inf, cumulative + counts[-1]))
+        return pairs
+
+
+_CHILD_TYPES = {"counter": _Counter, "gauge": _Gauge, "histogram": _Histogram}
+
+
+class _Family:
+    """A named instrument family handing out per-label-value children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+        callback=None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self.callback = callback
+        self._children: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        if not labelnames and callback is None:
+            self._default = self._make_child()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return _Histogram(self.buckets or default_buckets())
+        return _CHILD_TYPES[self.kind]()
+
+    def labels(self, **labelvalues):
+        key = _label_items(self.labelnames, labelvalues)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    # Unlabeled families proxy straight to their single child.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+    def children(self) -> list[tuple[tuple, object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+@dataclass
+class _CollectedFamily:
+    """Scrape-time view of one family (first-class or collector-built)."""
+
+    name: str
+    kind: str
+    help: str
+    samples: list = field(default_factory=list)
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Thread-safe home for labeled counters, gauges and histograms.
+
+    One registry per process is the normal arrangement (see
+    :func:`get_registry`), but components accept an explicit registry so
+    tests and multi-tenant setups can isolate their series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list = []
+
+    # -- instrument constructors ------------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()
+    ) -> _Family:
+        return self._family(name, "counter", help, tuple(labels))
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        callback=None,
+    ) -> _Family:
+        """A gauge; with ``callback`` its value is computed at scrape time."""
+        return self._family(name, "gauge", help, tuple(labels), callback=callback)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> _Family:
+        return self._family(name, "histogram", help, tuple(labels), buckets=buckets)
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+        callback=None,
+    ) -> _Family:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            family = _Family(name, kind, help, labelnames, buckets, callback)
+            self._families[name] = family
+            return family
+
+    def register_collector(self, collector) -> None:
+        """Register a zero-arg callable returning an iterable of Samples.
+
+        Collectors run only at scrape time: they are how the existing
+        stats dataclasses (``ServiceHealth``, ``FrontendStats``,
+        ``CacheStats``, ...) are re-backed by the registry without
+        adding a single instruction to the hot paths that feed them.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def unregister_collector(self, collector) -> None:
+        with self._lock:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                pass
+
+    # -- scraping ----------------------------------------------------------
+
+    def collect(self) -> list[_CollectedFamily]:
+        """Snapshot every family, merging collector output by name."""
+        with self._lock:
+            families = list(self._families.values())
+            collectors = list(self._collectors)
+
+        out: dict[str, _CollectedFamily] = {}
+        for family in families:
+            collected = _CollectedFamily(family.name, family.kind, family.help)
+            if family.callback is not None:
+                collected.samples.append(((), float(family.callback())))
+            else:
+                for labelkey, child in family.children():
+                    if family.kind == "histogram":
+                        collected.samples.append(
+                            (labelkey, child.snapshot(), child.bucket_counts())
+                        )
+                    else:
+                        collected.samples.append((labelkey, child.value))
+            out[family.name] = collected
+
+        for collector in collectors:
+            for sample in collector():
+                collected = out.get(sample.name)
+                if collected is None:
+                    collected = _CollectedFamily(sample.name, sample.kind, sample.help)
+                    out[sample.name] = collected
+                collected.samples.append((tuple(sample.labels), float(sample.value)))
+        return [out[name] for name in sorted(out)]
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for family in self.collect():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            if family.kind == "histogram":
+                for labelkey, snapshot, buckets in family.samples:
+                    for bound, cumulative in buckets:
+                        bucket_labels = labelkey + (("le", _format_value(bound)),)
+                        lines.append(
+                            f"{family.name}_bucket{_render_labels(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    rendered = _render_labels(labelkey)
+                    lines.append(
+                        f"{family.name}_sum{rendered} {_format_value(snapshot['sum'])}"
+                    )
+                    lines.append(f"{family.name}_count{rendered} {snapshot['count']}")
+            else:
+                for labelkey, value in family.samples:
+                    lines.append(
+                        f"{family.name}{_render_labels(labelkey)} "
+                        f"{_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def render_json(self) -> str:
+        """JSON exposition: same families, quantile snapshots included."""
+        document = []
+        for family in self.collect():
+            entry: dict = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "samples": [],
+            }
+            if family.kind == "histogram":
+                for labelkey, snapshot, _buckets in family.samples:
+                    entry["samples"].append(
+                        {"labels": dict(labelkey), **snapshot}
+                    )
+            else:
+                for labelkey, value in family.samples:
+                    entry["samples"].append({"labels": dict(labelkey), "value": value})
+            document.append(entry)
+        return json.dumps({"metrics": document}, indent=2, sort_keys=True)
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[tuple, float]]:
+    """Parse Prometheus text exposition into ``{name: {labels: value}}``.
+
+    A deliberately small parser used by the smoke tooling and tests to
+    assert that the stack's own exposition is well-formed; it handles
+    exactly the subset :meth:`MetricsRegistry.render_prometheus` emits
+    (and what real Prometheus servers scrape).
+    """
+    series: dict[str, dict[tuple, float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"unparseable sample line: {raw!r}")
+        if "{" in name_part:
+            name, _, label_body = name_part.partition("{")
+            label_body = label_body.rstrip("}")
+            labels = []
+            for item in _split_labels(label_body):
+                key, _, quoted = item.partition("=")
+                if not quoted.startswith('"') or not quoted.endswith('"'):
+                    raise ValueError(f"bad label in line: {raw!r}")
+                labels.append((key, quoted[1:-1]))
+            labelkey = tuple(labels)
+        else:
+            name, labelkey = name_part, ()
+        value = math.inf if value_part == "+Inf" else float(value_part)
+        series.setdefault(name, {})[labelkey] = value
+    return series
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    items, current, in_quotes = [], [], False
+    for char in body:
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+        elif char == "," and not in_quotes:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        items.append("".join(current))
+    return [item for item in items if item]
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry (returns the previous one)."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

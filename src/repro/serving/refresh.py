@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -187,6 +188,54 @@ class RefreshWorker:
         self._lock = threading.RLock()
         self._thread: threading.Thread | None = None
         self._stop_event = threading.Event()
+        #: Optional flush-latency histogram, attached by
+        #: :meth:`bind_metrics`; ``None`` keeps flushes uninstrumented.
+        self._flush_seconds = None
+
+    def bind_metrics(self, registry) -> None:
+        """Expose the worker through a metrics registry.
+
+        The :class:`RefreshStats` counters become scrape-time collector
+        samples and non-empty flushes land their wall time in the
+        ``ides_refresh_flush_seconds`` histogram; the per-observation
+        hot path stays untouched.
+        """
+        from .observability.metrics import Sample
+
+        self._flush_seconds = registry.histogram(
+            "ides_refresh_flush_seconds",
+            "Wall time of non-empty refresh flushes into the service.",
+        )
+
+        def collect():
+            stats = self.stats()
+            samples = [
+                Sample("ides_refresh_samples_applied_total", "counter",
+                       "RTT observations folded into trackers.",
+                       (), stats.samples_applied),
+                Sample("ides_refresh_samples_skipped_total", "counter",
+                       "Observations skipped (unknown host, non-finite).",
+                       (), stats.samples_skipped),
+                Sample("ides_refresh_flushes_total", "counter",
+                       "Flushes pushed into the service.", (), stats.flushes),
+                Sample("ides_refresh_vectors_flushed_total", "counter",
+                       "Host vectors written by flushes.",
+                       (), stats.vectors_flushed),
+                Sample("ides_refresh_hosts_tracked", "gauge",
+                       "Hosts with live trackers.", (), stats.hosts_tracked),
+                Sample("ides_refresh_pending_hosts", "gauge",
+                       "Dirty hosts awaiting the next flush.",
+                       (), stats.pending_hosts),
+            ]
+            if stats.mean_abs_residual is not None:
+                samples.append(
+                    Sample("ides_refresh_mean_abs_residual", "gauge",
+                           "EWMA of pre-update absolute residuals.",
+                           (), stats.mean_abs_residual)
+                )
+            return samples
+
+        registry.register_collector(collect)
 
     # ------------------------------------------------------------------ #
     # observation path
@@ -486,6 +535,9 @@ class RefreshWorker:
         self._since_flush = 0
         if not self._dirty:
             return 0
+        started = (
+            time.perf_counter() if self._flush_seconds is not None else 0.0
+        )
         store = self.service.store
         pending = list(self._dirty)
         self._dirty.clear()
@@ -520,6 +572,8 @@ class RefreshWorker:
                 continue
             self._flushes += 1
             self._vectors_flushed += updated
+            if self._flush_seconds is not None:
+                self._flush_seconds.observe(time.perf_counter() - started)
             return updated
         return 0  # pragma: no cover - pathological eviction churn
 

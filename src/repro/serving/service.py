@@ -97,8 +97,10 @@ class DistanceService:
         self._refresh_batches = 0
         self._last_refresh_at: float | None = None
         self._write_epoch = 0
-        self._update_sinks: list = []
+        self._update_sinks: list = []  # [(name, sink), ...]
         self._update_sink_failures = 0
+        self._sink_failures_by_name: dict[str, int] = {}
+        self._sinks_attached = 0
 
     # ------------------------------------------------------------------ #
     # construction from fitted models
@@ -348,16 +350,19 @@ class DistanceService:
         # surfaced via health) but never rolls back the local update;
         # flushes are idempotent overwrites, so the next one converges
         # the replica.
-        for sink in sinks:
+        for name, sink in sinks:
             try:
                 sink(host_ids, outgoing, incoming)
             except Exception:  # noqa: BLE001 - replication must not
                 # break local serving
                 with self._lock:
                     self._update_sink_failures += 1
+                    self._sink_failures_by_name[name] = (
+                        self._sink_failures_by_name.get(name, 0) + 1
+                    )
         return len(host_ids)
 
-    def add_update_sink(self, sink) -> None:
+    def add_update_sink(self, sink, name: str | None = None) -> None:
         """Attach a replication sink to the bulk-refresh path.
 
         ``sink(host_ids, outgoing, incoming)`` is invoked after every
@@ -366,20 +371,28 @@ class DistanceService:
         :class:`~repro.serving.transport.ShardReplicator` uses to fan
         refreshed vectors out to cross-process shard servers so a
         :class:`~repro.serving.refresh.RefreshWorker` maintains a
-        whole cluster. Sink exceptions are swallowed and counted
-        (``update_sink_failures`` in :meth:`health`).
+        whole cluster. Sink exceptions are swallowed and counted per
+        sink under ``name`` (``update_sink_failures`` /
+        ``update_sink_failures_by_sink`` in :meth:`health`); the
+        default name is ``sink-{attach_index}`` so two anonymous
+        replicas never alias each other's failures.
         """
         with self._lock:
-            self._update_sinks.append(sink)
+            if name is None:
+                name = getattr(sink, "sink_name", None) or (
+                    f"sink-{self._sinks_attached}"
+                )
+            self._sinks_attached += 1
+            self._update_sinks.append((str(name), sink))
 
     def remove_update_sink(self, sink) -> bool:
         """Detach a replication sink; returns whether it was attached."""
         with self._lock:
-            try:
-                self._update_sinks.remove(sink)
-            except ValueError:
-                return False
-            return True
+            for index, (_, attached) in enumerate(self._update_sinks):
+                if attached is sink:
+                    del self._update_sinks[index]
+                    return True
+            return False
 
     def register_host(
         self,
@@ -580,6 +593,9 @@ class DistanceService:
             vectors_refreshed = self._vectors_refreshed
             refresh_batches = self._refresh_batches
             sink_failures = self._update_sink_failures
+            sink_failures_by_name = tuple(
+                sorted(self._sink_failures_by_name.items())
+            )
         if stamps:
             ages = [now - stamp for stamp in stamps]
             max_age: float | None = max(ages)
@@ -607,4 +623,51 @@ class DistanceService:
             mean_vector_age_seconds=mean_age,
             shards=shards,
             update_sink_failures=sink_failures,
+            update_sink_failures_by_sink=sink_failures_by_name,
         )
+
+    def bind_metrics(self, registry, component: str = "service") -> None:
+        """Register this service's counters with a metrics registry.
+
+        Binds the engine and cache collectors under ``component`` and
+        adds a service-level collector (membership gauges, refresh
+        counters, per-sink replication failures). Scrape-time reads of
+        the existing counters — nothing is added to the query path.
+        """
+        from .observability.metrics import Sample
+
+        self.engine.bind_metrics(registry, component=component)
+        self.cache.bind_metrics(registry, component=component)
+
+        def collect():
+            with self._lock:
+                refreshed = self._vectors_refreshed
+                batches = self._refresh_batches
+                epoch = self._write_epoch
+                by_sink = dict(self._sink_failures_by_name)
+            label = (("component", component),)
+            samples = [
+                Sample("ides_service_hosts", "gauge",
+                       "Hosts registered in the vector store.",
+                       label, self.n_hosts),
+                Sample("ides_service_landmarks", "gauge",
+                       "Hosts acting as the landmark reference set.",
+                       label, len(self._landmark_ids)),
+                Sample("ides_service_write_epoch", "counter",
+                       "Vector writes and evictions applied.",
+                       label, epoch),
+                Sample("ides_service_vectors_refreshed_total", "counter",
+                       "Host vectors updated through the refresh path.",
+                       label, refreshed),
+                Sample("ides_service_refresh_batches_total", "counter",
+                       "Bulk refresh flushes applied.", label, batches),
+            ]
+            for name, count in sorted(by_sink.items()):
+                samples.append(Sample(
+                    "ides_service_update_sink_failures_total", "counter",
+                    "Replication sink invocations that raised.",
+                    (("component", component), ("sink", name)), count,
+                ))
+            return samples
+
+        registry.register_collector(collect)

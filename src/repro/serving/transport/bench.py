@@ -82,6 +82,7 @@ async def _measure_once(
     requests: int,
     depth: int,
     batch: int,
+    registry=None,
 ) -> tuple[float, float]:
     """(sequential_seconds, pipelined_seconds) over identical plans."""
     picks = [
@@ -99,6 +100,9 @@ async def _measure_once(
         max_in_flight=depth,
         timeout=30.0,
     )
+    if registry is not None:
+        baseline.bind_metrics(registry)
+        pipelined.bind_metrics(registry)
     try:
         # Warm both connections (dial + negotiate) before timing.
         await baseline.call("ping")
@@ -139,12 +143,20 @@ def measure_pipelined_speedup(
     dimension: int = 10,
     n_hosts: int = 256,
     attempts: int = 3,
+    instrument: bool = False,
 ) -> PipelineReport:
     """Spawn one shard process and compare the two disciplines.
 
     Best-of-``attempts`` to absorb scheduler noise on loaded CI
     runners; the gap is architectural (requests/depth versus requests
     sequential service times), so one clean run suffices.
+
+    ``instrument=True`` runs the identical measurement with the full
+    telemetry plane live on both sides — client RPC histograms bound
+    to a fresh registry, tracing enabled in this process, and the
+    shard process running its own registry and tracer — so
+    ``benchmarks/bench_observability.py`` can gate the overhead of
+    observability against the plain run.
     """
     if depth < 1:
         raise ValidationError(f"depth must be >= 1, got {depth}")
@@ -157,10 +169,22 @@ def measure_pipelined_speedup(
     # shard *process*, so the codec mode must be set there; the parent
     # mirrors it so the seeding put_many exercises the same send path.
     process = spawn_shard_process(
-        0, 1, dimension=dimension, work_delay=work_delay, codec_mode=codec
+        0,
+        1,
+        dimension=dimension,
+        work_delay=work_delay,
+        codec_mode=codec,
+        telemetry=instrument,
     )
     previous_codec = protocol.CODEC_MODE  # live value, not an import-time copy
     set_codec_mode(codec)
+
+    registry = None
+    if instrument:
+        from ..observability import MetricsRegistry, configure_tracing
+
+        registry = MetricsRegistry()
+        configure_tracing(enabled=True, service="bench-client")
 
     async def seed() -> None:
         client = RemoteShardClient(*process.address, timeout=30.0)
@@ -178,7 +202,9 @@ def measure_pipelined_speedup(
         best: tuple[float, float] | None = None
         for _ in range(attempts):
             sequential, pipelined = asyncio.run(
-                _measure_once(process.address, ids, requests, depth, batch)
+                _measure_once(
+                    process.address, ids, requests, depth, batch, registry
+                )
             )
             if best is None or sequential / pipelined > best[0] / best[1]:
                 best = (sequential, pipelined)
@@ -192,5 +218,9 @@ def measure_pipelined_speedup(
             pipelined_seconds=best[1],
         )
     finally:
+        if instrument:
+            from ..observability import configure_tracing
+
+            configure_tracing(enabled=False)
         set_codec_mode(previous_codec)
         process.stop()

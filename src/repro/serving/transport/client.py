@@ -45,9 +45,12 @@ path.
 from __future__ import annotations
 
 import asyncio
+import time
 
 import numpy as np
 
+from ..observability.metrics import Sample
+from ..observability.tracing import TRACE_FIELD, get_tracer
 from ...exceptions import (
     ProtocolError,
     RemoteShardError,
@@ -421,6 +424,21 @@ class RemoteShardClient:
         #: Responses that arrived after their caller timed out and
         #: abandoned the request id (dropped, but visible telemetry).
         self.late_responses = 0
+        #: Attempts that expired the per-attempt timeout (a subset of
+        #: the retriable failures behind ``retries_used``).
+        self.timeouts = 0
+        #: Optional first-class RPC latency histogram, attached by
+        #: :meth:`bind_metrics`; ``None`` keeps the hot path untouched.
+        self._rpc_seconds = None
+        self._rpc_children: dict[str, object] = {}  # op -> histogram child
+        self._span_names: dict[str, str] = {}  # op -> "rpc:{op}"
+        self._shard_label = (
+            str(shard_index) if shard_index is not None else self.address
+        )
+        self._span_attributes = {
+            "shard": self._shard_label,
+            "address": self.address,
+        }
 
     @property
     def address(self) -> str:
@@ -441,6 +459,55 @@ class RemoteShardClient:
     def in_flight(self) -> int:
         """RPCs currently awaiting responses across the pool."""
         return sum(c.in_flight for c in self._connections)
+
+    @property
+    def quarantined_ids(self) -> int:
+        """Request ids of timed-out calls still awaiting late responses."""
+        return sum(len(c._abandoned) for c in self._connections)
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+
+    def bind_metrics(self, registry) -> None:
+        """Expose this client through a metrics registry.
+
+        The existing telemetry counters (``calls``, ``retries_used``,
+        ``late_responses``, ``timeouts``) and pool gauges become
+        scrape-time collector samples labeled by shard, and a
+        first-class ``ides_client_rpc_seconds`` histogram starts
+        observing per-RPC latency. Unbound clients pay nothing.
+        """
+        self._rpc_seconds = registry.histogram(
+            "ides_client_rpc_seconds",
+            "Shard RPC latency as seen by the client, retries included.",
+            labels=("op", "shard"),
+        )
+        shard = (("shard", self._shard_label),)
+
+        def collect():
+            return [
+                Sample("ides_client_rpcs_total", "counter",
+                       "Completed shard RPCs.", shard, self.calls),
+                Sample("ides_client_retries_total", "counter",
+                       "Retry attempts spent on fresh connections.",
+                       shard, self.retries_used),
+                Sample("ides_client_timeouts_total", "counter",
+                       "Per-attempt timeouts.", shard, self.timeouts),
+                Sample("ides_client_late_responses_total", "counter",
+                       "Responses that arrived after their caller gave up.",
+                       shard, self.late_responses),
+                Sample("ides_client_in_flight", "gauge",
+                       "RPCs awaiting responses across the pool.",
+                       shard, self.in_flight),
+                Sample("ides_client_open_connections", "gauge",
+                       "Live pooled sockets.", shard, self.open_connections),
+                Sample("ides_client_quarantined_ids", "gauge",
+                       "Request ids quarantined until late responses land.",
+                       shard, self.quarantined_ids),
+            ]
+
+        registry.register_collector(collect)
 
     # ------------------------------------------------------------------ #
     # pool plumbing + negotiation
@@ -600,8 +667,45 @@ class RemoteShardClient:
         stripped). Raises the mapped remote exception for error frames
         and :class:`ShardUnavailableError` when the shard cannot be
         reached within the retry budget (or the client was closed).
+
+        When tracing is enabled the RPC runs inside an ``rpc:{op}``
+        span whose context rides the request header's optional
+        ``"trace"`` field (the header is rebuilt per call — the shared
+        retry dict is never mutated); when :meth:`bind_metrics` has
+        attached a registry the RPC latency lands in the
+        ``ides_client_rpc_seconds`` histogram. With neither configured
+        this method is exactly the uninstrumented fast path.
         """
         request = {"op": op, **(fields or {})}
+        tracer = get_tracer()
+        if not tracer.enabled and self._rpc_seconds is None:
+            return await self._call_with_retries(request, arrays)
+        name = self._span_names.get(op)
+        if name is None:
+            name = self._span_names[op] = f"rpc:{op}"
+        with tracer.span(name, attributes=self._span_attributes):
+            context = tracer.current()
+            if context is not None:
+                request = {**request, TRACE_FIELD: context.header()}
+            started = time.perf_counter()
+            try:
+                return await self._call_with_retries(request, arrays)
+            finally:
+                if self._rpc_seconds is not None:
+                    child = self._rpc_children.get(op)
+                    if child is None:
+                        child = self._rpc_children[op] = (
+                            self._rpc_seconds.labels(
+                                op=op, shard=self._shard_label
+                            )
+                        )
+                    child.observe(time.perf_counter() - started)
+
+    async def _call_with_retries(
+        self,
+        request: dict,
+        arrays: dict[str, np.ndarray] | None,
+    ) -> Message:
         failure: Exception | None = None
         for attempt in range(self.retries + 1):
             self._check_open()
@@ -633,6 +737,8 @@ class RemoteShardClient:
                 # (e.g. no free request id): retried on a fresh socket,
                 # mapped to ShardUnavailableError when the budget runs
                 # out — never surfaced raw.
+                if isinstance(broken, asyncio.TimeoutError):
+                    self.timeouts += 1
                 failure = broken
                 continue
             self.calls += 1

@@ -44,6 +44,7 @@ vector updates out to the cluster.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import threading
 import time
 from typing import Sequence
@@ -53,6 +54,8 @@ import numpy as np
 from ...core.diagnostics import ServiceHealth, ShardHealth
 from ...exceptions import TransportError, ValidationError
 from ..cache import PredictionCache
+from ..observability.metrics import Sample
+from ..observability.tracing import get_tracer
 from ..store import group_by_shard, shard_of
 from .client import RemoteShardClient
 
@@ -123,10 +126,71 @@ class ShardedQueryRouter:
         # engine counters in ShardHealth).
         self._queries_served = 0
         self._pairs_evaluated = 0
+        #: Optional routed-query latency histogram, attached by
+        #: :meth:`bind_metrics`; ``None`` keeps the hot path untouched.
+        self._query_seconds = None
 
     def _count(self, pairs: int) -> None:
         self._queries_served += 1
         self._pairs_evaluated += int(pairs)
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+
+    def bind_metrics(self, registry) -> None:
+        """Expose the router, its cache and every shard client.
+
+        Routed-query latency lands in ``ides_router_query_seconds``
+        (labeled by plan kind); the existing counters, the cache stats
+        and each :class:`RemoteShardClient`'s telemetry become
+        scrape-time collector samples.
+        """
+        self._query_seconds = registry.histogram(
+            "ides_router_query_seconds",
+            "Routed query latency by plan kind (scatter-gather included).",
+            labels=("kind",),
+        )
+        self.cache.bind_metrics(registry, component="router")
+        for client in self.clients:
+            client.bind_metrics(registry)
+
+        def collect():
+            return [
+                Sample("ides_router_queries_total", "counter",
+                       "Queries routed (batches count once).",
+                       (), self._queries_served),
+                Sample("ides_router_pairs_total", "counter",
+                       "Host pairs evaluated across routed queries.",
+                       (), self._pairs_evaluated),
+                Sample("ides_router_write_epoch", "counter",
+                       "Routed writes (the cache guard epoch).",
+                       (), self._write_epoch),
+                Sample("ides_router_shards", "gauge",
+                       "Shard clients owned by this router.",
+                       (), self.n_shards),
+            ]
+
+        registry.register_collector(collect)
+
+    @contextlib.contextmanager
+    def _observe(self, kind: str):
+        """Span + latency envelope for one routed query (no-op unless
+        tracing is enabled or metrics are bound)."""
+        tracer = get_tracer()
+        histogram = self._query_seconds
+        if not tracer.enabled and histogram is None:
+            yield
+            return
+        started = time.perf_counter()
+        with tracer.span(f"router:{kind}"):
+            try:
+                yield
+            finally:
+                if histogram is not None:
+                    histogram.labels(kind=kind).observe(
+                        time.perf_counter() - started
+                    )
 
     @property
     def n_shards(self) -> int:
@@ -292,9 +356,10 @@ class ShardedQueryRouter:
         """One predicted distance; single-RPC when co-located."""
         source_client = self.client_for(source_id)
         if source_client is self.client_for(destination_id):
-            response = await source_client.call(
-                "point", {"source": source_id, "dest": destination_id}
-            )
+            with self._observe("point"):
+                response = await source_client.call(
+                    "point", {"source": source_id, "dest": destination_id}
+                )
             self._count(1)
             return float(response.fields["value"])
         values = await self.pairs([source_id], [destination_id])
@@ -310,47 +375,50 @@ class ShardedQueryRouter:
                 f"pairs needs aligned sequences, got {len(source_ids)} "
                 f"sources and {len(destination_ids)} destinations"
             )
-        (outgoing, _), (_, incoming) = await asyncio.gather(
-            self.gather(source_ids, which="out"),
-            self.gather(destination_ids, which="in"),
-        )
-        self._count(len(source_ids))
-        return np.einsum("ij,ij->i", outgoing, incoming)
+        with self._observe("pairs"):
+            (outgoing, _), (_, incoming) = await asyncio.gather(
+                self.gather(source_ids, which="out"),
+                self.gather(destination_ids, which="in"),
+            )
+            self._count(len(source_ids))
+            return np.einsum("ij,ij->i", outgoing, incoming)
 
     async def one_to_many(
         self, source_id: object, destination_ids: Sequence
     ) -> np.ndarray:
         """1:N fan-out: ship the source vector, dot on the shards."""
         destination_ids = list(destination_ids)
-        source_out = await self._source_vector(source_id)
-        values = np.zeros(len(destination_ids))
-        groups = group_by_shard(destination_ids, self.n_shards)
+        with self._observe("one_to_many"):
+            source_out = await self._source_vector(source_id)
+            values = np.zeros(len(destination_ids))
+            groups = group_by_shard(destination_ids, self.n_shards)
 
-        async def fanout(shard_index: int, positions: np.ndarray):
-            response = await self.clients[shard_index].call(
-                "fanout",
-                {"dests": [destination_ids[p] for p in positions]},
-                {"source_out": source_out},
-            )
-            return positions, response.array("values")
+            async def fanout(shard_index: int, positions: np.ndarray):
+                response = await self.clients[shard_index].call(
+                    "fanout",
+                    {"dests": [destination_ids[p] for p in positions]},
+                    {"source_out": source_out},
+                )
+                return positions, response.array("values")
 
-        for positions, shard_values in await asyncio.gather(
-            *(fanout(shard, positions) for shard, positions in groups.items())
-        ):
-            values[positions] = shard_values
-        self._count(len(destination_ids))
-        return values
+            for positions, shard_values in await asyncio.gather(
+                *(fanout(shard, positions) for shard, positions in groups.items())
+            ):
+                values[positions] = shard_values
+            self._count(len(destination_ids))
+            return values
 
     async def many_to_many(
         self, source_ids: Sequence, destination_ids: Sequence
     ) -> np.ndarray:
         """The ``(n_src, n_dst)`` block: gather both sides, one product."""
-        (outgoing, _), (_, incoming) = await asyncio.gather(
-            self.gather(source_ids, which="out"),
-            self.gather(destination_ids, which="in"),
-        )
-        self._count(len(source_ids) * len(destination_ids))
-        return outgoing @ incoming.T
+        with self._observe("many_to_many"):
+            (outgoing, _), (_, incoming) = await asyncio.gather(
+                self.gather(source_ids, which="out"),
+                self.gather(destination_ids, which="in"),
+            )
+            self._count(len(source_ids) * len(destination_ids))
+            return outgoing @ incoming.T
 
     async def k_nearest(
         self,
@@ -361,38 +429,39 @@ class ShardedQueryRouter:
         """Global k-nearest: per-shard local top-k, merged at the router."""
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
-        source_out = await self._source_vector(source_id)
-        if candidate_ids is None:
-            targets = {
-                shard_index: None for shard_index in range(self.n_shards)
-            }
-        else:
-            candidates = list(candidate_ids)
-            groups = group_by_shard(candidates, self.n_shards)
-            targets = {
-                shard_index: [candidates[p] for p in positions]
-                for shard_index, positions in groups.items()
-            }
+        with self._observe("k_nearest"):
+            source_out = await self._source_vector(source_id)
+            if candidate_ids is None:
+                targets = {
+                    shard_index: None for shard_index in range(self.n_shards)
+                }
+            else:
+                candidates = list(candidate_ids)
+                groups = group_by_shard(candidates, self.n_shards)
+                targets = {
+                    shard_index: [candidates[p] for p in positions]
+                    for shard_index, positions in groups.items()
+                }
 
-        async def nearest(shard_index: int, shard_candidates):
-            fields = {"k": int(k), "exclude": source_id}
-            if shard_candidates is not None:
-                fields["candidates"] = shard_candidates
-            response = await self.clients[shard_index].call(
-                "nearest", fields, {"source_out": source_out}
-            )
-            return list(
-                zip(response.fields["ids"], response.array("values").tolist())
-            )
+            async def nearest(shard_index: int, shard_candidates):
+                fields = {"k": int(k), "exclude": source_id}
+                if shard_candidates is not None:
+                    fields["candidates"] = shard_candidates
+                response = await self.clients[shard_index].call(
+                    "nearest", fields, {"source_out": source_out}
+                )
+                return list(
+                    zip(response.fields["ids"], response.array("values").tolist())
+                )
 
-        per_shard = await asyncio.gather(
-            *(nearest(shard, shard_candidates)
-              for shard, shard_candidates in targets.items())
-        )
-        merged = [entry for shard_list in per_shard for entry in shard_list]
-        merged.sort(key=lambda entry: entry[1])
-        self._count(len(merged))
-        return merged[:k]
+            per_shard = await asyncio.gather(
+                *(nearest(shard, shard_candidates)
+                  for shard, shard_candidates in targets.items())
+            )
+            merged = [entry for shard_list in per_shard for entry in shard_list]
+            merged.sort(key=lambda entry: entry[1])
+            self._count(len(merged))
+            return merged[:k]
 
     async def known_hosts(self) -> list:
         """Every identifier stored across the cluster."""

@@ -59,10 +59,14 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import queue
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability.httpd import TelemetryServer
+from ..observability.metrics import Sample, get_registry
+from ..observability.tracing import TraceContext, configure_tracing, get_tracer
 from ..._validation import check_dimension
 from ...exceptions import (
     ProtocolError,
@@ -180,6 +184,15 @@ class ShardServer:
         self._write_lock: asyncio.Lock | None = None
         self.connections_rejected = 0
         self.pipelined_requests = 0
+        #: First-class instruments attached by :meth:`bind_metrics`;
+        #: ``None`` keeps request handling on the uninstrumented path.
+        self._request_seconds = None
+        self._requests_total = None
+        self._errors_total = None
+        self._op_instruments: dict[str, tuple] = {}  # op -> children
+        self._span_attributes = {"shard": self.shard_index}
+        self._server_span_names: dict[str, str] = {}  # op -> "server:{op}"
+        self._engine_span_names: dict[str, str] = {}  # op -> "engine:{op}"
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -244,6 +257,70 @@ class ShardServer:
 
     async def __aexit__(self, *exc_info: object) -> None:
         await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+
+    def bind_metrics(self, registry) -> None:
+        """Expose this server through a metrics registry.
+
+        Request handling gains an ``ides_server_request_seconds``
+        histogram and per-op request/error counters; the existing
+        cheap counters (engine, pipeline, rejections) and the store
+        size become scrape-time collector samples. Unbound servers pay
+        nothing on the request path.
+        """
+        self._request_seconds = registry.histogram(
+            "ides_server_request_seconds",
+            "Server-side request handling latency (work_delay included).",
+            labels=("op",),
+        )
+        self._requests_total = registry.counter(
+            "ides_server_requests_total",
+            "Requests handled, by wire operation.",
+            labels=("op",),
+        )
+        self._errors_total = registry.counter(
+            "ides_server_errors_total",
+            "Requests answered with an error frame, by wire operation.",
+            labels=("op",),
+        )
+        shard = (("shard", str(self.shard_index)),)
+
+        def collect():
+            return [
+                Sample("ides_server_pipelined_requests_total", "counter",
+                       "v2 requests dispatched to pipelined handler tasks.",
+                       shard, self.pipelined_requests),
+                Sample("ides_server_connections_rejected_total", "counter",
+                       "Connections dropped for protocol violations.",
+                       shard, self.connections_rejected),
+                Sample("ides_engine_queries_served_total", "counter",
+                       "Queries answered by the local engine.",
+                       shard, self.engine.queries_served),
+                Sample("ides_engine_pairs_evaluated_total", "counter",
+                       "Host pairs evaluated by the local engine.",
+                       shard, self.engine.pairs_evaluated),
+                Sample("ides_store_hosts", "gauge",
+                       "Hosts resident in this shard's vector store.",
+                       shard, len(self.store)),
+            ]
+
+        registry.register_collector(collect)
+
+    def health_fields(self) -> dict:
+        """The health document served over RPC and HTTP ``/health``."""
+        return {
+            "shard_index": self.shard_index,
+            "n_shards": self.n_shards,
+            "dimension": self.store.dimension,
+            "n_hosts": len(self.store),
+            "queries_served": self.engine.queries_served,
+            "pairs_evaluated": self.engine.pairs_evaluated,
+            "connections_rejected": self.connections_rejected,
+            "pipelined_requests": self.pipelined_requests,
+        }
 
     # ------------------------------------------------------------------ #
     # connection loop
@@ -364,6 +441,47 @@ class ShardServer:
         write_lock: asyncio.Lock,
         request: Message,
     ) -> bool:
+        """Handle one request inside its telemetry envelope.
+
+        With tracing enabled the request runs in a ``server:{op}``
+        span parented on the client's span when the header carried the
+        optional ``trace`` field (a remote parent); with metrics bound
+        the handling latency lands in ``ides_server_request_seconds``.
+        Neither configured: exactly the uninstrumented path.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled and self._request_seconds is None:
+            return await self._answer_inner(writer, write_lock, request)
+        op = str(request.op)
+        name = self._server_span_names.get(op)
+        if name is None:
+            name = self._server_span_names[op] = f"server:{op}"
+        parent = TraceContext.from_fields(request.fields)
+        started = time.perf_counter()
+        with tracer.span(
+            name,
+            parent=parent,
+            attributes=self._span_attributes,
+        ):
+            try:
+                return await self._answer_inner(writer, write_lock, request)
+            finally:
+                if self._request_seconds is not None:
+                    children = self._op_instruments.get(op)
+                    if children is None:
+                        children = self._op_instruments[op] = (
+                            self._request_seconds.labels(op=op),
+                            self._requests_total.labels(op=op),
+                        )
+                    children[0].observe(time.perf_counter() - started)
+                    children[1].inc()
+
+    async def _answer_inner(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        request: Message,
+    ) -> bool:
         """Handle one request; returns True when the server should stop.
 
         Per-request isolation: any failure becomes an error frame for
@@ -386,7 +504,13 @@ class ShardServer:
             try:
                 if handler is None:
                     raise ValidationError(f"unknown operation {request.op!r}")
-                fields, arrays = handler(self, request)
+                name = self._engine_span_names.get(request.op)
+                if name is None:
+                    name = self._engine_span_names[request.op] = (
+                        f"engine:{request.op}"
+                    )
+                with get_tracer().span(name):
+                    fields, arrays = handler(self, request)
             except ReproError as error:
                 await self._write_error_locked(writer, error, request)
                 return False
@@ -420,6 +544,8 @@ class ShardServer:
         self, writer: asyncio.StreamWriter, error: Exception, request: Message
     ) -> None:
         """Send an error frame for one request (write lock held)."""
+        if self._errors_total is not None:
+            self._errors_total.labels(op=str(request.op)).inc()
         await write_message(
             writer,
             {"ok": False, "error": type(error).__name__, "message": str(error)},
@@ -571,18 +697,7 @@ class ShardServer:
         return {"ids": ids}, {"outgoing": outgoing, "incoming": incoming}
 
     def _op_health(self, message: Message) -> tuple[dict, dict]:
-        return (
-            {
-                "shard_index": self.shard_index,
-                "n_shards": self.n_shards,
-                "dimension": self.store.dimension,
-                "n_hosts": len(self.store),
-                "queries_served": self.engine.queries_served,
-                "pairs_evaluated": self.engine.pairs_evaluated,
-                "connections_rejected": self.connections_rejected,
-            },
-            {},
-        )
+        return self.health_fields(), {}
 
     def _op_shutdown(self, message: Message) -> tuple[dict, dict]:
         return {"stopping": True}, {}
@@ -640,6 +755,10 @@ def run_shard_server(
     codec_mode: str = "scatter",
     ready=None,
     announce=None,
+    telemetry: bool = False,
+    metrics_port: int | None = None,
+    trace_export: str | None = None,
+    slow_ms: float | None = None,
 ) -> None:
     """Run one shard server until a ``shutdown`` RPC (blocking).
 
@@ -655,13 +774,24 @@ def run_shard_server(
             or "join") — the knob the transport benchmark flips; the
             server encodes the payload-heavy direction, so the mode
             must be set *here*, in the serving process, to matter.
-        ready: optional queue-like object; the bound ``(host, port)``
-            is ``put()`` once the server listens — how
-            :func:`spawn_shard_process` learns the OS-assigned port.
+        ready: optional queue-like object; a ``(host, port, extras)``
+            triple is ``put()`` once the server listens (``extras``
+            carries e.g. the bound metrics address) — how
+            :func:`spawn_shard_process` learns the OS-assigned ports.
         announce: optional callable for a human-readable startup line
             (the CLI passes ``print``).
+        telemetry: bind the server to this process's default metrics
+            registry and enable tracing (implied by ``metrics_port``
+            or ``trace_export``).
+        metrics_port: serve HTTP ``/metrics`` + ``/health`` on this
+            port (0 picks a free port; None disables the endpoint).
+        trace_export: append every finished span to this JSONL file —
+            shard processes can share one file with the frontend.
+        slow_ms: spans at or above this duration land in the tracer's
+            slow-query log.
     """
     set_codec_mode(codec_mode)
+    telemetry = telemetry or metrics_port is not None or trace_export is not None
     store = None
     if snapshot_path is not None:
         store = _shard_store_from_snapshot(snapshot_path, shard_index, n_shards)
@@ -676,16 +806,44 @@ def run_shard_server(
             store=store,
             work_delay=work_delay,
         )
+        extras: dict = {}
+        telemetry_server = None
+        if telemetry:
+            registry = get_registry()
+            server.bind_metrics(registry)
+            tracer = configure_tracing(
+                enabled=True,
+                service=f"shard-{shard_index}",
+                export_path=trace_export,
+                slow_ms=slow_ms,
+            )
+            registry.register_collector(tracer.stats_samples)
+            if metrics_port is not None:
+                telemetry_server = TelemetryServer(
+                    registry=registry,
+                    tracer=tracer,
+                    health=server.health_fields,
+                    host=host,
+                    port=metrics_port,
+                )
+                extras["metrics"] = await telemetry_server.start()
         bound_host, bound_port = await server.start()
         if ready is not None:
-            ready.put((bound_host, bound_port))
+            ready.put((bound_host, bound_port, extras))
         if announce is not None:
             announce(
                 f"shard {shard_index}/{n_shards} listening on "
                 f"{bound_host}:{bound_port} ({len(server.store)} hosts, "
                 f"d={server.store.dimension})"
+                + (
+                    "; metrics on http://{}:{}".format(*extras["metrics"])
+                    if "metrics" in extras
+                    else ""
+                )
             )
         await server.wait_stopped()
+        if telemetry_server is not None:
+            await telemetry_server.stop()
 
     asyncio.run(serve())
 
@@ -698,17 +856,31 @@ class ShardProcess:
         process: the :class:`multiprocessing.Process`.
         host / port: the bound address reported back by the child.
         shard_index: the shard slot the child owns.
+        metrics_host / metrics_port: the child's HTTP telemetry
+            endpoint, when it was spawned with one (else ``None``).
     """
 
     process: multiprocessing.Process
     host: str
     port: int
     shard_index: int
+    metrics_host: str | None = None
+    metrics_port: int | None = None
 
     @property
     def address(self) -> tuple[str, int]:
         """``(host, port)`` of the child's listener."""
         return self.host, self.port
+
+    @property
+    def metrics_address(self) -> tuple[str, int]:
+        """``(host, port)`` of the child's ``/metrics`` endpoint."""
+        if self.metrics_host is None or self.metrics_port is None:
+            raise TransportError(
+                f"shard {self.shard_index} was spawned without a "
+                "metrics endpoint"
+            )
+        return self.metrics_host, self.metrics_port
 
     def kill(self) -> None:
         """Terminate the child immediately (failure-injection hook)."""
@@ -749,8 +921,19 @@ def spawn_shard_process(
     work_delay: float = 0.0,
     codec_mode: str = "scatter",
     startup_timeout: float = 30.0,
+    telemetry: bool = False,
+    metrics_port: int | None = None,
+    trace_export: str | None = None,
+    slow_ms: float | None = None,
 ) -> ShardProcess:
-    """Fork a shard server into a child process and wait for its port."""
+    """Fork a shard server into a child process and wait for its port.
+
+    ``telemetry`` / ``metrics_port`` / ``trace_export`` / ``slow_ms``
+    plumb straight through to :func:`run_shard_server`: the child binds
+    its own registry and tracer (registries are per-process — the
+    parent scrapes the child over HTTP, it cannot share its object),
+    and the bound metrics address is reported back on the handle.
+    """
     # Fail in the parent, not as an opaque child startup death.
     check_codec_mode(codec_mode)
     ready: multiprocessing.Queue = multiprocessing.Queue()
@@ -766,6 +949,10 @@ def spawn_shard_process(
             "work_delay": work_delay,
             "codec_mode": codec_mode,
             "ready": ready,
+            "telemetry": telemetry,
+            "metrics_port": metrics_port,
+            "trace_export": trace_export,
+            "slow_ms": slow_ms,
         },
         daemon=True,
         name=f"ides-shard-{shard_index}",
@@ -775,7 +962,7 @@ def spawn_shard_process(
     waited = 0.0
     while True:
         try:
-            bound_host, bound_port = ready.get(timeout=0.2)
+            payload = ready.get(timeout=0.2)
             break
         except queue.Empty:
             waited += 0.2
@@ -789,6 +976,14 @@ def spawn_shard_process(
                     f"shard {shard_index} did not report a port within "
                     f"{startup_timeout}s"
                 ) from None
+    bound_host, bound_port = payload[0], payload[1]
+    extras = payload[2] if len(payload) > 2 else {}
+    metrics_address = extras.get("metrics")
     return ShardProcess(
-        process=process, host=bound_host, port=bound_port, shard_index=shard_index
+        process=process,
+        host=bound_host,
+        port=bound_port,
+        shard_index=shard_index,
+        metrics_host=metrics_address[0] if metrics_address else None,
+        metrics_port=metrics_address[1] if metrics_address else None,
     )

@@ -1,0 +1,204 @@
+"""End-to-end telemetry: one traced query across real shard processes.
+
+The acceptance scenario for the observability plane: a k-nearest query
+issued through the asyncio frontend against a 2-process shard cluster
+must yield a *single connected span tree* — frontend → router →
+per-shard RPC in this process, server handler → engine in each shard
+process — reassembled from one shared JSONL export file with
+consistent trace/parent ids. The same cluster must expose scrapeable
+``/metrics`` endpoints whose Prometheus text parses and carries the
+core serving series.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    AsyncDistanceFrontend,
+    DistanceService,
+    build_trace_trees,
+    configure_tracing,
+    format_trace_tree,
+    load_spans,
+    parse_prometheus_text,
+    scrape,
+)
+from repro.serving.transport import connect_router, spawn_shard_process
+
+N_SHARDS = 2
+N_HOSTS = 40
+DIMENSION = 5
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def service():
+    rng = np.random.default_rng(29)
+    ids = [f"h{i}" for i in range(N_HOSTS)]
+    return DistanceService.from_vectors(
+        ids,
+        rng.random((N_HOSTS, DIMENSION)) + 0.5,
+        rng.random((N_HOSTS, DIMENSION)) + 0.5,
+        landmark_ids=ids[:8],
+    )
+
+
+@pytest.fixture
+def telemetry_cluster(service, tmp_path):
+    """Two shard processes with tracing exported to one shared JSONL
+    file and an HTTP metrics endpoint each; the parent's tracer writes
+    to the same file, which is what makes the cross-process tree whole.
+    """
+    export = tmp_path / "spans.jsonl"
+    processes = [
+        spawn_shard_process(
+            index,
+            N_SHARDS,
+            dimension=DIMENSION,
+            telemetry=True,
+            metrics_port=0,
+            trace_export=str(export),
+        )
+        for index in range(N_SHARDS)
+    ]
+    addresses = [process.address for process in processes]
+    tracer = configure_tracing(
+        enabled=True, service="frontend", export_path=export
+    )
+
+    async def seed():
+        router = await connect_router(addresses, timeout=5.0)
+        snapshot = service.snapshot()
+        await router.put_many(
+            snapshot.ids, snapshot.outgoing, snapshot.incoming
+        )
+        await router.close()
+
+    try:
+        run(seed())
+        yield processes, addresses, export, tracer
+    finally:
+        configure_tracing(enabled=False)
+        for process in processes:
+            process.stop()
+
+
+def _span_index(spans):
+    return {span["span_id"]: span for span in spans}
+
+
+class TestTracedQueryAcrossProcesses:
+    def test_knn_query_yields_one_connected_span_tree(
+        self, service, telemetry_cluster
+    ):
+        _, addresses, export, _ = telemetry_cluster
+        ids = service.known_hosts()
+
+        async def scenario():
+            router = await connect_router(addresses, timeout=5.0)
+            try:
+                async with AsyncDistanceFrontend(router) as frontend:
+                    return await frontend.k_nearest(ids[3], 6)
+            finally:
+                await router.close()
+
+        nearest = run(scenario())
+        assert nearest == service.engine.k_nearest(ids[3], 6)
+
+        # Shard processes flush each span line on completion, but give
+        # the slower box a moment for both children to land.
+        deadline = time.monotonic() + 10.0
+        while True:
+            spans = [
+                span
+                for span in load_spans(export)
+                if span["name"]
+                in (
+                    "frontend:k_nearest",
+                    "router:k_nearest",
+                    "rpc:nearest",
+                    "server:nearest",
+                    "engine:nearest",
+                )
+            ]
+            by_name: dict = {}
+            for span in spans:
+                by_name.setdefault(span["name"], []).append(span)
+            if (
+                len(by_name.get("server:nearest", ())) >= N_SHARDS
+                and len(by_name.get("engine:nearest", ())) >= N_SHARDS
+            ) or time.monotonic() > deadline:
+                break
+            time.sleep(0.05)
+
+        # One query, one trace id across every process.
+        trace_ids = {span["trace_id"] for span in spans}
+        assert len(trace_ids) == 1, sorted(by_name)
+        assert len(by_name["frontend:k_nearest"]) == 1
+        assert len(by_name["router:k_nearest"]) == 1
+        assert len(by_name["rpc:nearest"]) == N_SHARDS
+        assert len(by_name["server:nearest"]) == N_SHARDS
+        assert len(by_name["engine:nearest"]) == N_SHARDS
+
+        # Every edge of the tree chains frontend → router → rpc →
+        # server → engine with resolvable parent ids.
+        index = _span_index(spans)
+        frontend_span = by_name["frontend:k_nearest"][0]
+        router_span = by_name["router:k_nearest"][0]
+        assert router_span["parent_id"] == frontend_span["span_id"]
+        seen_shards = set()
+        for rpc in by_name["rpc:nearest"]:
+            assert rpc["parent_id"] == router_span["span_id"]
+            seen_shards.add(rpc["attributes"].get("shard"))
+        assert len(seen_shards) == N_SHARDS
+        for server_span in by_name["server:nearest"]:
+            parent = index[server_span["parent_id"]]
+            assert parent["name"] == "rpc:nearest"
+        for engine_span in by_name["engine:nearest"]:
+            parent = index[engine_span["parent_id"]]
+            assert parent["name"] == "server:nearest"
+
+        # The reassembled tree renders as a single root.
+        trees = build_trace_trees(spans)
+        roots = trees[frontend_span["trace_id"]]
+        assert [root["name"] for root in roots] == ["frontend:k_nearest"]
+        rendered = format_trace_tree(roots)
+        assert "frontend:k_nearest" in rendered
+        assert rendered.count("server:nearest") == N_SHARDS
+
+    def test_shard_metrics_endpoints_scrape_and_parse(
+        self, service, telemetry_cluster
+    ):
+        processes, addresses, _, _ = telemetry_cluster
+        ids = service.known_hosts()
+
+        async def scenario():
+            router = await connect_router(addresses, timeout=5.0)
+            try:
+                async with AsyncDistanceFrontend(router) as frontend:
+                    await frontend.k_nearest(ids[0], 4)
+            finally:
+                await router.close()
+
+        run(scenario())
+        per_shard_hosts = []
+        for process in processes:
+            host, port = process.metrics_address
+            text = scrape(f"{host}:{port}", timeout=10.0)
+            parsed = parse_prometheus_text(text)
+            requests = parsed["ides_server_requests_total"]
+            assert sum(requests.values()) > 0
+            [(_, n_hosts)] = parsed["ides_store_hosts"].items()
+            per_shard_hosts.append(n_hosts)
+            assert "ides_server_request_seconds_count" in parsed
+            assert "ides_tracer_spans_recorded_total" in parsed
+            health = scrape(f"{host}:{port}", path="/health", timeout=10.0)
+            assert '"shard_index"' in health or "shard" in health
+        # Together the shards hold exactly the seeded membership.
+        assert sum(per_shard_hosts) == N_HOSTS

@@ -24,6 +24,18 @@ Benchmarks present in the run but missing from the baseline are
 reported and pass (new benchmarks must not fail their first run);
 baseline entries missing from the run are reported and pass too (a
 matrix job may run a subset). Exit code 1 only on a real regression.
+
+``--pair INSTRUMENTED:PLAIN:MAX_RATIO`` (repeatable) additionally
+gates the *ratio between two benchmarks of the same run* — the shape
+of the instrumentation-overhead budget, where absolute times drift
+with hardware but the instrumented/plain ratio must stay bounded::
+
+    python tools/bench_compare.py BENCH_123.json \
+        --pair test_frontend_burst_instrumented:test_frontend_burst_plain:1.05
+
+Names resolve exactly or by unique substring of the benchmark's
+fullname; an unresolvable or ambiguous side is itself a failure (a
+silently skipped gate is worse than a loud one).
 """
 
 from __future__ import annotations
@@ -33,7 +45,7 @@ import json
 import sys
 from pathlib import Path
 
-__all__ = ["collect_means", "compare", "main"]
+__all__ = ["collect_means", "compare", "compare_pairs", "main"]
 
 
 def collect_means(paths: list[Path]) -> dict[str, float]:
@@ -84,6 +96,55 @@ def compare(
     return findings
 
 
+def _resolve_name(needle: str, names: list[str]) -> str | None:
+    """Exact fullname, else unique substring match, else None."""
+    if needle in names:
+        return needle
+    matches = [name for name in names if needle in name]
+    return matches[0] if len(matches) == 1 else None
+
+
+def compare_pairs(
+    current: dict[str, float], pairs: list[str]
+) -> list[str]:
+    """Within-run ratio-gate findings for ``NUM:DEN:MAX_RATIO`` specs."""
+    findings = []
+    names = sorted(current)
+    for spec in pairs:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            findings.append(f"bad --pair spec {spec!r} (want NUM:DEN:MAX)")
+            continue
+        numerator_spec, denominator_spec, budget_text = parts
+        try:
+            budget = float(budget_text)
+        except ValueError:
+            findings.append(f"bad --pair budget in {spec!r}")
+            continue
+        numerator = _resolve_name(numerator_spec, names)
+        denominator = _resolve_name(denominator_spec, names)
+        if numerator is None or denominator is None:
+            unresolved = numerator_spec if numerator is None else denominator_spec
+            findings.append(
+                f"--pair name {unresolved!r} does not resolve to exactly "
+                "one benchmark in this run"
+            )
+            continue
+        if current[denominator] <= 0:
+            continue
+        ratio = current[numerator] / current[denominator]
+        print(
+            f"  pair {numerator} / {denominator}: {ratio:.3f}x "
+            f"(budget {budget:.2f}x)"
+        )
+        if ratio > budget:
+            findings.append(
+                f"{numerator} is {ratio:.3f}x of {denominator} "
+                f"(budget {budget:.2f}x)"
+            )
+    return findings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -100,6 +161,14 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.20,
         help="allowed fractional mean-time regression (default: 0.20)",
+    )
+    parser.add_argument(
+        "--pair",
+        action="append",
+        default=[],
+        metavar="NUM:DEN:MAX",
+        help="gate the within-run mean-time ratio of two benchmarks "
+        "(repeatable), e.g. burst_instrumented:burst_plain:1.05",
     )
     parser.add_argument(
         "--write-baseline",
@@ -148,11 +217,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {name}: not in this run (baseline only)")
 
     findings = compare(current, baseline, arguments.threshold)
+    findings += compare_pairs(current, arguments.pair)
     for finding in findings:
         print(f"REGRESSION: {finding}", file=sys.stderr)
     print(
         f"compared {len(compared)} benchmarks "
-        f"({len(new)} new, {len(missing)} absent): "
+        f"({len(new)} new, {len(missing)} absent, "
+        f"{len(arguments.pair)} pair gate(s)): "
         f"{len(findings)} regression(s)"
     )
     return 1 if findings else 0

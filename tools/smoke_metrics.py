@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Telemetry smoke check: boot a 2-shard cluster and scrape /metrics.
+
+The CI guard for the observability plane's outermost promise: real
+shard *processes* with telemetry on must expose an HTTP ``/metrics``
+endpoint whose Prometheus text parses and carries the core serving
+series, and a ``/health`` endpoint that answers. Runs in-repo with no
+external dependencies::
+
+    PYTHONPATH=src python tools/smoke_metrics.py
+
+Exit code 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+
+import numpy as np
+
+N_SHARDS = 2
+N_HOSTS = 64
+DIMENSION = 6
+
+#: Series every live shard must expose after serving one query.
+REQUIRED_SERIES = (
+    "ides_server_requests_total",
+    "ides_server_request_seconds_count",
+    "ides_store_hosts",
+    "ides_engine_queries_served_total",
+    "ides_tracer_spans_recorded_total",
+)
+
+
+def main() -> int:
+    from repro.serving import parse_prometheus_text, scrape
+    from repro.serving.transport import connect_router, spawn_shard_process
+
+    rng = np.random.default_rng(7)
+    ids = [f"smoke-{i}" for i in range(N_HOSTS)]
+    outgoing = rng.random((N_HOSTS, DIMENSION)) + 0.5
+    incoming = rng.random((N_HOSTS, DIMENSION)) + 0.5
+
+    processes = [
+        spawn_shard_process(
+            index,
+            N_SHARDS,
+            dimension=DIMENSION,
+            telemetry=True,
+            metrics_port=0,
+        )
+        for index in range(N_SHARDS)
+    ]
+    addresses = [process.address for process in processes]
+
+    async def drive() -> None:
+        router = await connect_router(addresses, timeout=10.0)
+        try:
+            await router.put_many(ids, outgoing, incoming)
+            nearest = await router.k_nearest(ids[0], 5)
+            assert len(nearest) == 5, nearest
+        finally:
+            await router.close()
+
+    failures: list[str] = []
+    try:
+        asyncio.run(drive())
+        total_hosts = 0.0
+        for process in processes:
+            host, port = process.metrics_address
+            target = f"{host}:{port}"
+            try:
+                text = scrape(target, timeout=10.0)
+                parsed = parse_prometheus_text(text)
+            except (OSError, ValueError) as error:
+                failures.append(f"shard {target}: scrape failed: {error}")
+                continue
+            for name in REQUIRED_SERIES:
+                if name not in parsed:
+                    failures.append(f"shard {target}: missing series {name}")
+            requests = sum(parsed.get("ides_server_requests_total", {}).values())
+            if requests <= 0:
+                failures.append(f"shard {target}: no requests counted")
+            total_hosts += sum(parsed.get("ides_store_hosts", {}).values())
+            try:
+                health = json.loads(scrape(target, path="/health", timeout=10.0))
+            except (OSError, ValueError) as error:
+                failures.append(f"shard {target}: health failed: {error}")
+            else:
+                print(f"shard {target}: ok "
+                      f"(requests={requests:.0f}, health={health})")
+        if not failures and total_hosts != N_HOSTS:
+            failures.append(
+                f"shards report {total_hosts:.0f} hosts, seeded {N_HOSTS}"
+            )
+    finally:
+        for process in processes:
+            process.stop()
+
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"metrics smoke ok: {N_SHARDS} shards, {N_HOSTS} hosts")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
