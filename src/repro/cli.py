@@ -342,6 +342,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the cluster health report as JSON instead of text",
     )
+
+    replica_set_parser = serve_subparsers.add_parser(
+        "replica-set",
+        help="boot a replicated cluster: N hash slices x M replica "
+        "servers with health-aware failover routing",
+    )
+    replica_set_parser.add_argument(
+        "--slices", type=int, default=2, help="hash slices (default: 2)"
+    )
+    replica_set_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="replica servers per slice (default: 2)",
+    )
+    replica_set_parser.add_argument(
+        "--snapshot",
+        default=None,
+        help="seed every replica from this snapshot (each keeps only "
+        "its slice's hosts)",
+    )
+    replica_set_parser.add_argument(
+        "--dimension",
+        type=int,
+        default=None,
+        help="model dimension for empty replicas (ignored with --snapshot)",
+    )
+    replica_set_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long, then shut the cluster down "
+        "(default: until Ctrl-C)",
+    )
+    replica_set_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="give every replica a /metrics endpoint on a free port",
+    )
+    replica_set_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-RPC timeout in seconds (default: 10)",
+    )
+    replica_set_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the cluster health report as JSON instead of text",
+    )
     return parser
 
 
@@ -677,6 +728,77 @@ def _command_serve_router(arguments) -> int:
     return asyncio.run(session())
 
 
+def _command_serve_replica_set(arguments) -> int:
+    import asyncio
+
+    from .exceptions import ValidationError
+    from .serving.transport import spawn_shard_process
+    from .serving.transport.replica import connect_replica_router
+
+    if arguments.slices < 1 or arguments.replicas < 1:
+        raise ValidationError("replica-set needs --slices >= 1, --replicas >= 1")
+    if arguments.snapshot is None and arguments.dimension is None:
+        raise ValidationError("replica-set needs --snapshot or --dimension")
+
+    processes = []
+    try:
+        groups = []
+        for slice_index in range(arguments.slices):
+            members = [
+                spawn_shard_process(
+                    slice_index,
+                    arguments.slices,
+                    dimension=arguments.dimension,
+                    snapshot_path=arguments.snapshot,
+                    metrics_port=0 if arguments.metrics else None,
+                )
+                for _ in range(arguments.replicas)
+            ]
+            processes.extend(members)
+            addresses = [f"{p.host}:{p.port}" for p in members]
+            groups.append(addresses)
+            line = f"slice {slice_index}/{arguments.slices}: " + " ".join(addresses)
+            if arguments.metrics:
+                line += "  (metrics: " + " ".join(
+                    "http://{}:{}".format(*p.metrics_address) for p in members
+                ) + ")"
+            print(line)
+
+        async def report() -> int:
+            router = await connect_replica_router(
+                groups, timeout=arguments.timeout
+            )
+            try:
+                health = await router.health()
+                if arguments.json:
+                    import json
+
+                    print(json.dumps(health.to_dict(), indent=2, sort_keys=True))
+                else:
+                    for shard in health.shards:
+                        print(f"  {shard}")
+                    print(f"health: {health}")
+                return 2 if health.unreachable_shards else 0
+            finally:
+                await router.close()
+
+        code = asyncio.run(report())
+        if code == 0:
+            try:
+                if arguments.duration is not None:
+                    time.sleep(arguments.duration)
+                else:
+                    print("serving until Ctrl-C ...")
+                    while True:
+                        time.sleep(3600.0)
+            except KeyboardInterrupt:
+                pass
+        return code
+    finally:
+        for process in processes:
+            process.stop()
+
+
 def _command_serve(arguments) -> int:
     from .exceptions import ReproError
 
@@ -690,6 +812,7 @@ def _command_serve(arguments) -> int:
         "refresh": _command_serve_refresh,
         "shard": _command_serve_shard,
         "router": _command_serve_router,
+        "replica-set": _command_serve_replica_set,
         "metrics": _command_serve_metrics,
         "trace-tail": _command_serve_trace_tail,
     }

@@ -16,6 +16,7 @@ from .._validation import as_matrix, check_fraction
 from ..linalg import singular_spectrum
 
 __all__ = [
+    "ReplicaHealth",
     "ServiceHealth",
     "ShardHealth",
     "SpectrumDiagnostics",
@@ -100,6 +101,41 @@ class SpectrumDiagnostics:
 
 
 @dataclass(frozen=True)
+class ReplicaHealth:
+    """Health of one replica inside a shard's replica group.
+
+    Attributes:
+        address: the replica server's ``host:port``.
+        state: ``"active"`` (serving reads) or ``"dark"`` (failed its
+            last contact; sidelined until a reprobe or a successful
+            write resurrects it).
+        ewma_latency_ms: smoothed RPC latency as seen by the group's
+            health scorer, or None before the first completed call.
+        in_flight: RPCs currently outstanding on the replica's client.
+        failures: calls this replica failed (each one triggered a
+            failover to a sibling or a counted write miss).
+    """
+
+    address: str
+    state: str
+    ewma_latency_ms: float | None = None
+    in_flight: int = 0
+    failures: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (the ``--json`` health surfaces)."""
+        return asdict(self)
+
+    def __str__(self) -> str:
+        latency = (
+            f" {self.ewma_latency_ms:.1f}ms"
+            if self.ewma_latency_ms is not None
+            else ""
+        )
+        return f"{self.address}:{self.state}{latency}"
+
+
+@dataclass(frozen=True)
 class ShardHealth:
     """Health of one shard of a (possibly distributed) directory.
 
@@ -117,7 +153,13 @@ class ShardHealth:
         queries_served / pairs_evaluated: the shard's own engine
             counters, or None when not individually tracked.
         address: ``host:port`` for remote shards, None in-process.
-        reachable: False when the shard could not be contacted.
+        reachable: False when the shard could not be contacted (for a
+            replica group: when *every* replica is dark).
+        replicas: per-replica :class:`ReplicaHealth` entries when the
+            shard is served by a replica group (empty for a single
+            unreplicated server).
+        failovers: reads this shard retried on a sibling replica after
+            the preferred replica failed.
     """
 
     shard_index: int
@@ -126,21 +168,39 @@ class ShardHealth:
     pairs_evaluated: int | None = None
     address: str | None = None
     reachable: bool = True
+    replicas: tuple[ReplicaHealth, ...] = ()
+    failovers: int = 0
 
     def to_dict(self) -> dict:
         """Plain-JSON form (the ``--json`` health surfaces)."""
-        return asdict(self)
+        data = asdict(self)
+        data["replicas"] = [replica.to_dict() for replica in self.replicas]
+        return data
+
+    @property
+    def dark_replicas(self) -> int:
+        """Replicas currently sidelined as dark (0 when unreplicated)."""
+        return sum(1 for replica in self.replicas if replica.state == "dark")
 
     def __str__(self) -> str:
         location = f"@{self.address}" if self.address else ""
+        replicas = ""
+        if self.replicas:
+            detail = ",".join(str(replica) for replica in self.replicas)
+            replicas = f" replicas[{detail}]"
+            if self.failovers:
+                replicas += f" failovers={self.failovers}"
         if not self.reachable:
-            return f"shard{self.shard_index}{location}:UNREACHABLE"
+            return f"shard{self.shard_index}{location}:UNREACHABLE{replicas}"
         served = (
             f" queries={self.queries_served}"
             if self.queries_served is not None
             else ""
         )
-        return f"shard{self.shard_index}{location}:{self.n_hosts}hosts{served}"
+        return (
+            f"shard{self.shard_index}{location}:{self.n_hosts}hosts"
+            f"{served}{replicas}"
+        )
 
 
 @dataclass(frozen=True)

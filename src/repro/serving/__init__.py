@@ -94,9 +94,11 @@ from .store import (
 from .transport import (
     PipelineReport,
     RemoteShardClient,
+    ReplicaGroup,
     ShardReplicator,
     ShardServer,
     ShardedQueryRouter,
+    connect_replica_router,
     connect_router,
     measure_pipelined_speedup,
     spawn_shard_process,
@@ -119,6 +121,7 @@ __all__ = [
     "RefreshStats",
     "RefreshWorker",
     "RemoteShardClient",
+    "ReplicaGroup",
     "RttObservation",
     "ServiceSnapshot",
     "ShardReplicator",
@@ -132,6 +135,7 @@ __all__ = [
     "VectorStore",
     "build_trace_trees",
     "configure_tracing",
+    "connect_replica_router",
     "connect_router",
     "format_trace_tree",
     "get_registry",

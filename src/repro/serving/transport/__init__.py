@@ -38,7 +38,15 @@ on its own machine):
   cluster. :class:`ShardReplicator` bridges the synchronous
   :meth:`~repro.serving.service.DistanceService.add_update_sink` hook
   onto the router so a :class:`~repro.serving.refresh.RefreshWorker`
-  keeps refreshing vectors across process boundaries.
+  keeps refreshing vectors across process boundaries;
+* :mod:`~repro.serving.transport.replica` — :class:`ReplicaGroup`,
+  N interchangeable servers behind one hash slice: reads route to the
+  healthiest replica (EWMA latency / pipeline depth) and fail over to
+  a sibling *inside* the scatter-gather, writes fan out to every
+  replica, and a slice only surfaces
+  :class:`~repro.exceptions.ShardUnavailableError` when all of its
+  replicas are dark. :func:`connect_replica_router` builds a
+  :class:`ShardedQueryRouter` over replica groups.
 """
 
 from .bench import PipelineReport, measure_pipelined_speedup
@@ -55,6 +63,7 @@ from .protocol import (
     set_codec_mode,
     write_message,
 )
+from .replica import ReplicaGroup, connect_replica_router
 from .router import ShardedQueryRouter, ShardReplicator, connect_router
 from .server import ShardProcess, ShardServer, run_shard_server, spawn_shard_process
 
@@ -65,10 +74,12 @@ __all__ = [
     "PROTOCOL_VERSION",
     "Message",
     "RemoteShardClient",
+    "ReplicaGroup",
     "ShardProcess",
     "ShardReplicator",
     "ShardServer",
     "ShardedQueryRouter",
+    "connect_replica_router",
     "connect_router",
     "decode_frame",
     "encode_frame",

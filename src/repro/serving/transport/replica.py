@@ -1,0 +1,476 @@
+"""Replica groups: N servers per hash slice, health-aware failover.
+
+A single :class:`~repro.serving.transport.server.ShardServer` per hash
+slice makes every slice a single point of failure: one dead process is
+a dark partition of the directory until a human restarts it.
+:class:`ReplicaGroup` removes that coupling by putting **N replica
+servers behind one slice** — every replica runs with the same
+``shard_index`` / ``n_shards`` and holds the same hosts (seeded from
+the same :mod:`~repro.serving.snapshot` file, kept convergent by the
+same refresh stream).
+
+The group duck-types the :class:`RemoteShardClient` surface the
+router's scatter-gather dispatch uses (``call`` / ``close`` /
+``address`` / ``shard_index`` / ``bind_metrics``), so
+:class:`~repro.serving.transport.router.ShardedQueryRouter` routes
+over replica groups without changing a line of its query planning —
+and failover happens *inside* the sub-query, invisible to the caller:
+
+* **Reads** route to the healthiest replica — lowest health score,
+  an EWMA of observed RPC latency (the same feedback idiom as
+  :class:`~repro.serving.frontend.AdaptiveBatchPolicy`) scaled by the
+  replica's observed pipeline depth. A replica that fails a read is
+  marked **dark** and the call retries on the next-best sibling within
+  the same scatter-gather round; only when *every* replica of the
+  slice is dark does the caller see
+  :class:`~repro.exceptions.ShardUnavailableError` (carrying the
+  slice's ``shard_index``).
+* **Writes** (``put_many`` / ``update_many`` / ``delete`` /
+  ``shutdown``) fan out to **all** replicas concurrently — including
+  dark ones, because a successful write is exactly how a restarted
+  standby rejoins: it re-seeds from the service snapshot at boot, the
+  next refresh flush converges it, and the first write it acknowledges
+  marks it active again. A write succeeds when at least one replica
+  acknowledged it; per-replica misses are counted, never raised.
+* **Dark replicas** are sidelined from reads for ``reprobe_seconds``
+  (bounding the tail latency a freshly killed server can add), then
+  become eligible again behind the active ones. :meth:`probe` —
+  the router's health path — contacts every replica and refreshes
+  active/dark states in one round.
+
+Everything is observable: replica states, failover counts, per-replica
+failure counts and per-replica latency histograms land in the metrics
+registry (``ides_replica_*``), and :meth:`replica_health` feeds the
+per-replica detail into :class:`~repro.core.diagnostics.ShardHealth`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Sequence
+
+from ...core.diagnostics import ReplicaHealth
+from ...exceptions import ShardUnavailableError, ValidationError
+from ..observability.metrics import Sample
+from .client import RemoteShardClient
+from .router import ShardedQueryRouter, _parse_address
+
+__all__ = ["ReplicaGroup", "connect_replica_router"]
+
+#: Operations that mutate shard state (plus ``shutdown``): fanned out
+#: to every replica so siblings stay convergent. Everything else is a
+#: read and routes to the healthiest replica with sibling failover.
+FANOUT_OPS = frozenset({"put_many", "update_many", "delete", "shutdown"})
+
+#: EWMA smoothing factor for the per-replica latency estimate — the
+#: same weighting AdaptiveBatchPolicy uses for its dispatch-latency
+#: feedback loop.
+LATENCY_ALPHA = 0.2
+
+
+class _Replica:
+    """One member of a group: a client plus its health bookkeeping."""
+
+    __slots__ = ("client", "ewma_latency", "state", "dark_since", "failures")
+
+    def __init__(self, client: RemoteShardClient):
+        self.client = client
+        self.ewma_latency: float | None = None
+        self.state = "active"
+        self.dark_since = 0.0
+        self.failures = 0
+
+
+class ReplicaGroup:
+    """N interchangeable shard servers behind one hash slice.
+
+    Args:
+        clients: one :class:`RemoteShardClient` per replica, all
+            pointing at servers that run the *same* shard slot.
+        shard_index: the slice this group serves (the router assigns it
+            positionally, exactly as it does for a bare client).
+        reprobe_seconds: how long a dark replica is sidelined from
+            reads before it becomes eligible again (writes and
+            :meth:`probe` always reach it).
+        latency_alpha: EWMA weight for the per-replica latency score.
+        clock: injectable monotonic time source (tests advance it
+            instead of sleeping).
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[RemoteShardClient],
+        shard_index: int | None = None,
+        reprobe_seconds: float = 1.0,
+        latency_alpha: float = LATENCY_ALPHA,
+        clock=time.monotonic,
+    ):
+        if not clients:
+            raise ValidationError("a replica group needs at least one client")
+        if not 0.0 < latency_alpha <= 1.0:
+            raise ValidationError(
+                f"latency_alpha must be in (0, 1], got {latency_alpha}"
+            )
+        self._replicas = [_Replica(client) for client in clients]
+        self._shard_index = shard_index
+        self.reprobe_seconds = float(reprobe_seconds)
+        self.latency_alpha = float(latency_alpha)
+        self._clock = clock
+        #: Reads that moved on to a sibling after a replica failed.
+        self.failovers = 0
+        #: Optional per-replica latency histogram, attached by
+        #: :meth:`bind_metrics`; ``None`` keeps the hot path untouched.
+        self._replica_seconds = None
+        self._latency_children: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # the RemoteShardClient surface the router dispatches against
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shard_index(self) -> int | None:
+        """The hash slice this group serves."""
+        return self._shard_index
+
+    @shard_index.setter
+    def shard_index(self, value: int | None) -> None:
+        self._shard_index = value
+        for replica in self._replicas:
+            replica.client.shard_index = value
+
+    @property
+    def address(self) -> str:
+        """Every replica address, ``|``-joined (health reports)."""
+        return "|".join(r.client.address for r in self._replicas)
+
+    @property
+    def n_replicas(self) -> int:
+        """Replicas in the group (dark ones included)."""
+        return len(self._replicas)
+
+    @property
+    def clients(self) -> list[RemoteShardClient]:
+        """The member clients, in construction order."""
+        return [replica.client for replica in self._replicas]
+
+    async def call(self, op, fields=None, arrays=None):
+        """One slice RPC: reads fail over, writes fan out.
+
+        The failure contract matches a bare client: live-server errors
+        (``ValidationError``, ``ProtocolError``, ``RemoteShardError``)
+        raise immediately — a replica answering *wrongly* is not a
+        replica that is down — and
+        :class:`~repro.exceptions.ShardUnavailableError` surfaces only
+        when no replica could serve the call.
+        """
+        if op in FANOUT_OPS:
+            return await self._fanout(op, fields, arrays)
+        return await self._read(op, fields, arrays)
+
+    async def close(self) -> None:
+        """Close every replica's connection pool."""
+        await asyncio.gather(*(r.client.close() for r in self._replicas))
+
+    # ------------------------------------------------------------------ #
+    # health scoring and state
+    # ------------------------------------------------------------------ #
+
+    def _score(self, replica: _Replica) -> float:
+        """Lower is healthier: EWMA latency scaled by pipeline depth.
+
+        An untried replica scores near zero, so fresh capacity is
+        probed before a replica with any observed latency.
+        """
+        latency = replica.ewma_latency or 0.0
+        client = replica.client
+        capacity = max(1, client.max_in_flight * client.pool_size)
+        depth = client.in_flight / capacity
+        return latency * (1.0 + depth) + depth * 1e-6
+
+    def _read_candidates(self) -> list[_Replica]:
+        """Replicas in try order: active by score, then eligible dark.
+
+        Dark replicas sidelined less than ``reprobe_seconds`` ago are
+        skipped (a freshly killed server must not add its connect
+        timeout to every unlucky read) — unless no replica is active,
+        in which case everything is tried: total sidelining would turn
+        a recoverable blip into a guaranteed error.
+        """
+        now = self._clock()
+        active = sorted(
+            (r for r in self._replicas if r.state == "active"), key=self._score
+        )
+        dark = [r for r in self._replicas if r.state == "dark"]
+        if active:
+            dark = [r for r in dark if now - r.dark_since >= self.reprobe_seconds]
+        # Longest-dark first: it has had the most time to come back.
+        dark.sort(key=lambda r: r.dark_since)
+        return active + dark
+
+    def _mark_dark(self, replica: _Replica) -> None:
+        replica.state = "dark"
+        replica.dark_since = self._clock()
+
+    def _mark_active(self, replica: _Replica) -> None:
+        replica.state = "active"
+
+    def replica_health(self) -> tuple[ReplicaHealth, ...]:
+        """Per-replica state for :class:`ShardHealth` (no RPCs)."""
+        return tuple(
+            ReplicaHealth(
+                address=r.client.address,
+                state=r.state,
+                ewma_latency_ms=(
+                    r.ewma_latency * 1000.0
+                    if r.ewma_latency is not None
+                    else None
+                ),
+                in_flight=r.client.in_flight,
+                failures=r.failures,
+            )
+            for r in self._replicas
+        )
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+
+    async def _timed(self, replica: _Replica, op, fields, arrays):
+        """One replica RPC, feeding the latency EWMA and histogram."""
+        started = time.perf_counter()
+        try:
+            response = await replica.client.call(op, fields, arrays)
+        except ShardUnavailableError:
+            replica.failures += 1
+            raise
+        self._note_latency(replica, time.perf_counter() - started)
+        return response
+
+    def _note_latency(self, replica: _Replica, elapsed: float) -> None:
+        alpha = self.latency_alpha
+        previous = replica.ewma_latency
+        replica.ewma_latency = (
+            elapsed
+            if previous is None
+            else (1.0 - alpha) * previous + alpha * elapsed
+        )
+        if self._replica_seconds is not None:
+            address = replica.client.address
+            child = self._latency_children.get(address)
+            if child is None:
+                child = self._latency_children[address] = (
+                    self._replica_seconds.labels(
+                        shard=self._shard_label(), replica=address
+                    )
+                )
+            child.observe(elapsed)
+
+    async def _read(self, op, fields, arrays):
+        """Healthiest-first read with in-call failover to siblings."""
+        candidates = self._read_candidates()
+        failure: ShardUnavailableError | None = None
+        for position, replica in enumerate(candidates):
+            try:
+                response = await self._timed(replica, op, fields, arrays)
+            except ShardUnavailableError as dark:
+                self._mark_dark(replica)
+                failure = dark
+                if position + 1 < len(candidates):
+                    self.failovers += 1
+                continue
+            self._mark_active(replica)
+            return response
+        detail = f" (last: {failure})" if failure is not None else ""
+        raise ShardUnavailableError(
+            f"all {len(self._replicas)} replicas of shard "
+            f"{self._shard_index} are unreachable{detail}",
+            shard_index=self._shard_index,
+        )
+
+    async def _fanout(self, op, fields, arrays):
+        """Write to every replica; succeed when at least one did.
+
+        Dark replicas are included on purpose: a restarted standby
+        re-seeds from the snapshot at boot, and the first write it
+        acknowledges here is what marks it active again.
+        """
+        replicas = list(self._replicas)
+        results = await asyncio.gather(
+            *(self._timed(r, op, fields, arrays) for r in replicas),
+            return_exceptions=True,
+        )
+        response = None
+        hard_failure: BaseException | None = None
+        for replica, result in zip(replicas, results):
+            if isinstance(result, ShardUnavailableError):
+                self._mark_dark(replica)
+            elif isinstance(result, BaseException):
+                # A live server refused the request (bad write, server
+                # bug): not an availability event — the replica stays
+                # active, the failure is counted, and it is raised only
+                # when no sibling accepted the write.
+                replica.failures += 1
+                hard_failure = hard_failure or result
+            else:
+                self._mark_active(replica)
+                if response is None:
+                    response = result
+        if response is not None:
+            return response
+        if hard_failure is not None:
+            raise hard_failure
+        raise ShardUnavailableError(
+            f"no replica of shard {self._shard_index} accepted {op!r} "
+            f"({len(replicas)} tried)",
+            shard_index=self._shard_index,
+        )
+
+    async def probe(self):
+        """Contact *every* replica with a ``health`` RPC.
+
+        Refreshes active/dark states in one concurrent round — the one
+        read path that reaches dark replicas unconditionally, so a
+        health probe is also how a recovered replica rejoins without
+        waiting for a write. Returns the healthiest live replica's
+        response; raises :class:`ShardUnavailableError` only when the
+        whole group is dark.
+        """
+        replicas = list(self._replicas)
+        results = await asyncio.gather(
+            *(self._timed(r, "health", None, None) for r in replicas),
+            return_exceptions=True,
+        )
+        answers: dict[int, object] = {}
+        for index, (replica, result) in enumerate(zip(replicas, results)):
+            if isinstance(result, ShardUnavailableError):
+                self._mark_dark(replica)
+            elif isinstance(result, BaseException):
+                raise result
+            else:
+                self._mark_active(replica)
+                answers[index] = result
+        for replica in self._read_candidates():
+            index = self._replicas.index(replica)
+            if index in answers:
+                return answers[index]
+        if not answers:
+            raise ShardUnavailableError(
+                f"all {len(self._replicas)} replicas of shard "
+                f"{self._shard_index} are unreachable",
+                shard_index=self._shard_index,
+            )
+        # Unreachable: every live replica is in answers, and the first
+        # read candidate of a group with any live replica is live.
+        return next(iter(answers.values()))  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+
+    def _shard_label(self) -> str:
+        return (
+            str(self._shard_index)
+            if self._shard_index is not None
+            else self.address
+        )
+
+    def bind_metrics(self, registry) -> None:
+        """Expose the group and every member client.
+
+        Per-replica latency lands in ``ides_replica_rpc_seconds``
+        (labeled by shard and replica address); replica states,
+        failover and per-replica failure counts become scrape-time
+        collector samples. Member clients bind their own
+        ``ides_client_*`` series as usual.
+        """
+        self._replica_seconds = registry.histogram(
+            "ides_replica_rpc_seconds",
+            "Per-replica RPC latency observed by the replica group.",
+            labels=("shard", "replica"),
+        )
+        for replica in self._replicas:
+            replica.client.bind_metrics(registry)
+
+        def collect():
+            shard = self._shard_label()
+            samples = [
+                Sample(
+                    "ides_replica_failovers_total", "counter",
+                    "Reads retried on a sibling after a replica failed.",
+                    (("shard", shard),), self.failovers,
+                ),
+            ]
+            for replica in self._replicas:
+                labels = (
+                    ("shard", shard),
+                    ("replica", replica.client.address),
+                )
+                samples.append(Sample(
+                    "ides_replica_state", "gauge",
+                    "Replica availability: 1 active, 0 dark.",
+                    labels, 1.0 if replica.state == "active" else 0.0,
+                ))
+                samples.append(Sample(
+                    "ides_replica_failures_total", "counter",
+                    "Calls this replica failed.",
+                    labels, replica.failures,
+                ))
+            return samples
+
+        registry.register_collector(collect)
+
+
+async def connect_replica_router(
+    replica_addresses: Sequence[Sequence],
+    handshake: bool = True,
+    reprobe_seconds: float = 1.0,
+    **options: object,
+) -> ShardedQueryRouter:
+    """Build a router whose per-slice client is a :class:`ReplicaGroup`.
+
+    Args:
+        replica_addresses: one sequence of addresses per hash slice, in
+            shard order — ``replica_addresses[i]`` lists the replicas
+            all serving shard ``i`` of ``len(replica_addresses)``.
+        handshake: verify the cluster topology before returning (the
+            ping reaches each slice's healthiest replica).
+        reprobe_seconds: dark-replica read sideline window, forwarded
+            to every group.
+        **options: forwarded exactly as :func:`connect_router` does —
+            client options (``pool_size``, ``timeout``, ``retries``,
+            ``retry_backoff``, ``protocol_version``, ``max_in_flight``)
+            to the member clients, the rest to the router. Member
+            clients are created with ``shard_index=None`` so their
+            telemetry is labeled per replica address; slice attribution
+            on errors comes from the group.
+    """
+    client_options = {
+        key: options.pop(key)
+        for key in (
+            "pool_size",
+            "timeout",
+            "retries",
+            "retry_backoff",
+            "protocol_version",
+            "max_in_flight",
+        )
+        if key in options
+    }
+    groups = []
+    for addresses in replica_addresses:
+        clients = [
+            RemoteShardClient(*_parse_address(address), **client_options)
+            for address in addresses
+        ]
+        groups.append(
+            ReplicaGroup(clients, reprobe_seconds=reprobe_seconds)
+        )
+    router = ShardedQueryRouter(groups, **options)
+    if handshake:
+        try:
+            await router.handshake()
+        except Exception:
+            await router.close()
+            raise
+    return router

@@ -493,25 +493,46 @@ class ShardedQueryRouter:
 
         A dark shard becomes a ``reachable=False`` entry instead of an
         exception: a health probe must never be the thing that fails.
+        A replica-group client (see
+        :mod:`~repro.serving.transport.replica`) is probed on *every*
+        replica — the probe is also how recovered replicas rejoin —
+        and contributes per-replica states and failover counts to its
+        :class:`ShardHealth` entry.
         """
 
+        def replica_detail(client) -> tuple[tuple, int]:
+            reporter = getattr(client, "replica_health", None)
+            if reporter is None:
+                return (), 0
+            return reporter(), int(getattr(client, "failovers", 0))
+
         async def probe(shard_index: int, client: RemoteShardClient):
+            prober = getattr(client, "probe", None)
             try:
-                response = await client.call("health")
+                if prober is not None:
+                    response = await prober()
+                else:
+                    response = await client.call("health")
             except TransportError:
+                replicas, failovers = replica_detail(client)
                 return ShardHealth(
                     shard_index=shard_index,
                     n_hosts=0,
                     address=client.address,
                     reachable=False,
+                    replicas=replicas,
+                    failovers=failovers,
                 )
             fields = response.fields
+            replicas, failovers = replica_detail(client)
             return ShardHealth(
                 shard_index=shard_index,
                 n_hosts=int(fields["n_hosts"]),
                 queries_served=int(fields["queries_served"]),
                 pairs_evaluated=int(fields["pairs_evaluated"]),
                 address=client.address,
+                replicas=replicas,
+                failovers=failovers,
             )
 
         shards = tuple(
@@ -608,6 +629,23 @@ async def connect_router(
     return router
 
 
+def _is_single_address(address) -> bool:
+    """Whether ``address`` names one server (vs a replica group)."""
+    if isinstance(address, str):
+        return True
+    return (
+        isinstance(address, (tuple, list))
+        and len(address) == 2
+        and isinstance(address[0], str)
+        and isinstance(address[1], int)
+    )
+
+
+def _address_text(address) -> str:
+    host, port = _parse_address(address)
+    return f"{host}:{port}"
+
+
 class ShardReplicator:
     """A synchronous update sink that replicates into a shard cluster.
 
@@ -626,6 +664,19 @@ class ShardReplicator:
     the next flush — it must not make the shard reject the whole
     sub-batch and silently starve its co-grouped hosts of updates.
 
+    Each address may itself be a sequence of addresses — a **replica
+    group** (see :mod:`~repro.serving.transport.replica`): the flush
+    then fans out to every replica of every slice, which is exactly
+    the stream that keeps warm standbys convergent between snapshot
+    re-seeds.
+
+    The replicator carries a stable :attr:`sink_name` derived from the
+    cluster topology it writes to, so
+    :meth:`DistanceService.add_update_sink`'s per-sink failure
+    attribution survives sinks being added and removed around it —
+    positional ``sink-{n}`` default names shift when an earlier sink
+    is detached mid-run, silently re-attributing later failures.
+
     Usage::
 
         replicator = ShardReplicator(["127.0.0.1:7001", "127.0.0.1:7002"])
@@ -642,6 +693,16 @@ class ShardReplicator:
         **options: object,
     ):
         self.call_timeout = float(call_timeout)
+        addresses = list(addresses)
+        #: Stable identity for per-sink failure attribution: the
+        #: cluster topology, slices ``;``-separated and replicas
+        #: ``|``-separated, independent of attachment order.
+        self.sink_name = "replicator[" + ";".join(
+            _address_text(address)
+            if _is_single_address(address)
+            else "|".join(_address_text(replica) for replica in address)
+            for address in addresses
+        ) + "]"
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever,
@@ -650,7 +711,17 @@ class ShardReplicator:
         )
         self._thread.start()
         try:
-            self._router = self._submit(connect_router(addresses, **options))
+            if all(_is_single_address(address) for address in addresses):
+                connect = connect_router(addresses, **options)
+            else:
+                from .replica import connect_replica_router
+
+                replicated = [
+                    [address] if _is_single_address(address) else address
+                    for address in addresses
+                ]
+                connect = connect_replica_router(replicated, **options)
+            self._router = self._submit(connect)
         except BaseException:
             self._shutdown_loop()
             raise

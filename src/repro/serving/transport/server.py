@@ -883,9 +883,15 @@ class ShardProcess:
         return self.metrics_host, self.metrics_port
 
     def kill(self) -> None:
-        """Terminate the child immediately (failure-injection hook)."""
+        """SIGKILL the child (failure-injection hook).
+
+        Deliberately the harshest exit — no signal handler, no flush,
+        no goodbye on the sockets — because that is the crash the
+        failover machinery must absorb; the chaos gate
+        (``tools/smoke_failover.py``) relies on it.
+        """
         if self.process.is_alive():
-            self.process.terminate()
+            self.process.kill()
         self.process.join(timeout=5.0)
 
     def stop(self, timeout: float = 5.0) -> None:

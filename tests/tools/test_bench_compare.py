@@ -58,6 +58,16 @@ class TestCompare:
     def test_improvements_and_new_benchmarks_pass(self):
         assert bench_compare.compare({"a": 0.5, "new": 9.0}, {"a": 1.0}, 0.2) == []
 
+    def test_baseline_entry_missing_from_run_is_loud(self):
+        """A benchmark that stops running is a gate that stops gating."""
+        findings = bench_compare.compare(
+            {"a": 1.0}, {"a": 1.0, "gone": 0.5}, 0.2
+        )
+        assert len(findings) == 1
+        assert "'gone'" in findings[0]
+        assert "missing" in findings[0]
+        assert "--write-baseline" in findings[0]
+
 
 class TestMain:
     def test_regression_exits_nonzero(self, files, capsys):
@@ -74,6 +84,16 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "no baseline yet" in out  # 'b' is new, reported, passing
+
+    def test_missing_baseline_entry_exits_nonzero(self, files, capsys):
+        run = files("run.json", pytest_benchmark_payload({"a": 1.0}))
+        base = files("base.json", {"benchmarks": {"a": 1.0, "gone": 1.0}})
+        code = bench_compare.main([str(run), "--baseline", str(base)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "'gone'" in captured.err
+        assert "MISSING" in captured.out
 
     def test_missing_baseline_file_fails_with_hint(self, files, capsys):
         run = files("run.json", pytest_benchmark_payload({"a": 1.0}))

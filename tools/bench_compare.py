@@ -21,9 +21,12 @@ run)::
         --write-baseline benchmarks/baseline.json
 
 Benchmarks present in the run but missing from the baseline are
-reported and pass (new benchmarks must not fail their first run);
-baseline entries missing from the run are reported and pass too (a
-matrix job may run a subset). Exit code 1 only on a real regression.
+reported and pass (new benchmarks must not fail their first run).
+Baseline entries missing from the run are a **loud failure**: a
+benchmark that silently stops running is a gate that silently stops
+gating — a renamed or deleted benchmark must be acknowledged by
+refreshing the baseline (``--write-baseline``), the same discipline
+``--pair`` applies to unresolvable names.
 
 ``--pair INSTRUMENTED:PLAIN:MAX_RATIO`` (repeatable) additionally
 gates the *ratio between two benchmarks of the same run* — the shape
@@ -78,7 +81,13 @@ def compare(
     baseline: dict[str, float],
     threshold: float,
 ) -> list[str]:
-    """Regression findings (empty when the run is within budget)."""
+    """Regression findings (empty when the run is within budget).
+
+    A baseline entry absent from the run is itself a finding: a
+    silently skipped gate is worse than a loud one (matching the
+    ``--pair`` name-resolution discipline). Deliberate removals are
+    acknowledged by refreshing the baseline with ``--write-baseline``.
+    """
     findings = []
     for name in sorted(current):
         if name not in baseline:
@@ -93,6 +102,12 @@ def compare(
                 f"{before * 1000:.3f} ms ({ratio:.2f}x, budget "
                 f"{1.0 + threshold:.2f}x)"
             )
+    for name in sorted(set(baseline) - set(current)):
+        findings.append(
+            f"baseline entry {name!r} is missing from this run — its "
+            "gate no longer runs; refresh the baseline with "
+            "--write-baseline if the benchmark was removed deliberately"
+        )
     return findings
 
 
@@ -214,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in new:
         print(f"  {name}: {current[name] * 1000:.3f} ms (no baseline yet)")
     for name in missing:
-        print(f"  {name}: not in this run (baseline only)")
+        print(f"  {name}: MISSING from this run (baseline only)")
 
     findings = compare(current, baseline, arguments.threshold)
     findings += compare_pairs(current, arguments.pair)
