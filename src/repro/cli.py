@@ -7,6 +7,8 @@ Usage::
     ides-experiment run table1 --fast
     ides-experiment run all --seed 7
     ides-experiment datasets
+    ides-experiment ablate --fast --jobs 2
+    ides-experiment ablate --config grid.json --output report.json
 
 or ``python -m repro.cli ...``.
 """
@@ -53,6 +55,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("datasets", help="summarize the synthetic data sets")
+
+    ablate_parser = subparsers.add_parser(
+        "ablate",
+        help="run a declarative scenario-matrix grid over the simulator",
+    )
+    ablate_parser.add_argument(
+        "--config", default=None, help="JSON grid config file"
+    )
+    ablate_parser.add_argument(
+        "--preset",
+        default=None,
+        help="named grid preset (see 'ides-experiment list')",
+    )
+    ablate_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shortcut for '--preset smoke' (the 2x2x2 CI grid)",
+    )
+    ablate_parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2",
+        help="override one axis's swept values (repeatable)",
+    )
+    ablate_parser.add_argument(
+        "--jobs", type=int, default=1, help="concurrent worker processes"
+    )
+    ablate_parser.add_argument(
+        "--seed", type=int, default=None, help="base seed override"
+    )
+    ablate_parser.add_argument(
+        "--hosts", type=int, default=None, help="world size override"
+    )
+    ablate_parser.add_argument(
+        "--landmarks", type=int, default=None, help="landmark count override"
+    )
+    ablate_parser.add_argument(
+        "--dimension", type=int, default=None, help="model dimension override"
+    )
+    ablate_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-cell wall-clock limit in seconds (0 disables)",
+    )
+    ablate_parser.add_argument(
+        "--output",
+        default="ablation_report.json",
+        help="JSON report path",
+    )
+    ablate_parser.add_argument(
+        "--markdown",
+        default=None,
+        help="also write the rendered markdown summary here",
+    )
+    ablate_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse finished cells from a previous run of this exact config",
+    )
+    ablate_parser.add_argument(
+        "--allow-failures",
+        action="store_true",
+        help="exit 0 even when cells fail (they stay attributed in the report)",
+    )
+    ablate_parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="run cells sequentially in this process (debugging; no timeouts)",
+    )
+    ablate_parser.add_argument(
+        "--list-axes",
+        action="store_true",
+        help="print the axis catalog and presets, then exit",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="build and query a distance service snapshot"
@@ -397,8 +475,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_list() -> int:
+    from .evaluation.ablation import PRESETS, axis_catalog, expand_grid
+
+    print("experiments (ides-experiment run <id>):")
     for experiment_id in available_experiments():
-        print(experiment_id)
+        print(f"  {experiment_id}")
+    print()
+    print("ablation axes (ides-experiment ablate --axis name=v1,v2):")
+    for spec in axis_catalog():
+        if spec.kind == "choice":
+            domain = ", ".join(spec.choices)
+        else:
+            domain = "number >= 0"
+        print(f"  {spec.name}: {spec.description} [{domain}] (default {spec.default})")
+    print()
+    print("ablation presets (ides-experiment ablate --preset <name>):")
+    for name, preset in PRESETS.items():
+        print(f"  {name}: {len(expand_grid(preset))} cells, {preset.n_hosts} hosts")
     return 0
 
 
@@ -823,6 +916,144 @@ def _command_serve(arguments) -> int:
         return 2
 
 
+def _command_ablate(arguments) -> int:
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from .evaluation.ablation import (
+        PRESETS,
+        AblationConfig,
+        axis_catalog,
+        build_report,
+        expand_grid,
+        load_config,
+        parse_axis_flag,
+        render_markdown,
+        require_valid_report,
+        run_ablation,
+    )
+    from .evaluation.ablation.runner import (
+        append_sidecar,
+        read_sidecar,
+        sidecar_path,
+    )
+    from .exceptions import ValidationError
+
+    if arguments.list_axes:
+        for spec in axis_catalog():
+            domain = (
+                ", ".join(spec.choices) if spec.kind == "choice" else "number >= 0"
+            )
+            print(f"{spec.name}: {spec.description} [{domain}] (default {spec.default})")
+        print(f"presets: {', '.join(PRESETS)}")
+        return 0
+
+    preset = arguments.preset
+    if arguments.fast:
+        if preset is not None and preset != "smoke":
+            print("--fast conflicts with --preset", file=sys.stderr)
+            return 2
+        preset = "smoke"
+    if preset is not None and arguments.config is not None:
+        print("--config conflicts with --preset/--fast", file=sys.stderr)
+        return 2
+
+    try:
+        if arguments.config is not None:
+            config = load_config(arguments.config)
+        elif preset is not None:
+            if preset not in PRESETS:
+                raise ValidationError(
+                    f"unknown preset {preset!r} (known: {', '.join(PRESETS)})"
+                )
+            config = PRESETS[preset]
+        else:
+            config = AblationConfig()
+
+        overrides = {}
+        if arguments.axis:
+            axes = dict(config.axes)
+            for flag in arguments.axis:
+                name, values = parse_axis_flag(flag)
+                axes[name] = values
+            overrides["axes"] = axes
+        for field, value in (
+            ("seed", arguments.seed),
+            ("n_hosts", arguments.hosts),
+            ("n_landmarks", arguments.landmarks),
+            ("dimension", arguments.dimension),
+        ):
+            if value is not None:
+                overrides[field] = value
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        config = config.validate()
+
+        timeout = arguments.timeout if arguments.timeout > 0 else None
+        if arguments.in_process:
+            timeout = None
+        if arguments.jobs < 1:
+            raise ValidationError(f"--jobs must be >= 1, got {arguments.jobs}")
+    except ValidationError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    output = Path(arguments.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    fingerprint = config.fingerprint()
+    sidecar = sidecar_path(output)
+
+    completed = {}
+    if arguments.resume:
+        completed = read_sidecar(sidecar, fingerprint)
+        if completed:
+            print(f"[resume] reusing {len(completed)} finished cells from {sidecar}")
+    elif sidecar.exists():
+        sidecar.unlink()
+
+    n_cells = len(expand_grid(config))
+    progress = {"done": len(completed)}
+
+    def on_cell_complete(result) -> None:
+        progress["done"] += 1
+        append_sidecar(sidecar, fingerprint, result)
+        print(
+            f"[{progress['done']}/{n_cells}] {result.status:7s} "
+            f"{result.cell_id} ({result.duration_seconds:.1f}s)"
+        )
+
+    started = time.perf_counter()
+    results = run_ablation(
+        config,
+        jobs=arguments.jobs,
+        timeout=timeout,
+        in_process=arguments.in_process,
+        completed=completed,
+        on_cell_complete=on_cell_complete,
+    )
+    elapsed = time.perf_counter() - started
+
+    report = require_valid_report(build_report(config, results))
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    markdown = render_markdown(report)
+    if arguments.markdown is not None:
+        Path(arguments.markdown).write_text(markdown, encoding="utf-8")
+    print()
+    print(markdown)
+    print(f"[report: {output}; {n_cells} cells in {elapsed:.1f}s]")
+
+    failed = [result for result in results if not result.ok]
+    if failed and not arguments.allow_failures:
+        print(
+            f"{len(failed)} cell(s) failed; see the report "
+            "(pass --allow-failures to tolerate)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _command_datasets() -> int:
     for name in list_datasets():
         dataset = load_dataset(name)
@@ -843,6 +1074,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if arguments.command == "datasets":
         return _command_datasets()
+    if arguments.command == "ablate":
+        return _command_ablate(arguments)
     if arguments.command == "serve":
         return _command_serve(arguments)
     parser.error(f"unknown command {arguments.command!r}")

@@ -1,4 +1,9 @@
-"""Evaluation harness: CDFs, timing, reports, per-figure experiments."""
+"""Evaluation harness: CDFs, timing, reports, per-figure experiments.
+
+The scenario-matrix ablation harness lives in
+:mod:`repro.evaluation.ablation` (imported lazily — it pulls in the
+simulator and serving stacks).
+"""
 
 from .cdf import EmpiricalCDF, empirical_cdf
 from .experiments import (

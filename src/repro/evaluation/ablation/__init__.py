@@ -1,0 +1,64 @@
+"""Scenario-matrix ablation harness over the simulator.
+
+The paper's evaluation is a hand-run matrix of scenarios; this package
+turns the repo's scenario ingredients (topology generators, measurement
+noise, temporal drift, landmark churn, solver tiers, cache admission,
+competing embeddings) into a *declarative grid*:
+
+1. :mod:`config` — the axis catalog and :class:`AblationConfig`
+   (JSON-loadable, preset-backed, validated);
+2. :mod:`grid` — cross-product expansion into :class:`GridCell` rows
+   with stable ids and deterministic per-cell seeds;
+3. :mod:`scenario` — one cell == one end-to-end run: build a world,
+   measure it (optionally through the event simulator), fit a system,
+   score stress/NMSE/RPE, serve queries for latency, drift for
+   staleness;
+4. :mod:`runner` — parallel worker processes with per-cell timeouts
+   and failure isolation;
+5. :mod:`report` — one machine-readable JSON report plus a rendered
+   markdown summary.
+
+CLI: ``ides-experiment ablate`` (see ``docs/experiments.md``).
+"""
+
+from .config import (
+    AXES,
+    PRESETS,
+    AblationConfig,
+    AxisSpec,
+    axis_catalog,
+    load_config,
+    parse_axis_flag,
+)
+from .grid import GridCell, cell_seed, expand_grid, make_cell_id
+from .report import (
+    REPORT_SCHEMA,
+    build_report,
+    render_markdown,
+    require_valid_report,
+    validate_report,
+)
+from .runner import CellResult, run_ablation
+from .scenario import run_cell
+
+__all__ = [
+    "AXES",
+    "PRESETS",
+    "REPORT_SCHEMA",
+    "AblationConfig",
+    "AxisSpec",
+    "CellResult",
+    "GridCell",
+    "axis_catalog",
+    "build_report",
+    "cell_seed",
+    "expand_grid",
+    "load_config",
+    "make_cell_id",
+    "parse_axis_flag",
+    "render_markdown",
+    "require_valid_report",
+    "run_ablation",
+    "run_cell",
+    "validate_report",
+]

@@ -1,0 +1,372 @@
+"""Declarative configuration for the scenario-matrix ablation harness.
+
+An :class:`AblationConfig` names, per axis, the values to sweep; the
+grid is their cross-product. The axis catalog (:data:`AXES`) is the
+single source of truth for axis names, value domains and defaults —
+config validation, CLI flag parsing, ``ides-experiment list`` and the
+docs rot checker all read it.
+
+Axes map onto the paper's evaluation dimensions (see
+``docs/experiments.md`` for the paper-mapping note):
+
+* ``topology`` — how the ground-truth RTT world is generated;
+* ``noise`` — the measurement campaign's error model;
+* ``drift`` — post-fit RTT drift rate (staleness pressure);
+* ``churn`` — fraction of landmarks failing mid-deployment;
+* ``solver`` — landmark factorization / host-solve tier;
+* ``cache`` — prediction-cache admission policy on the serving path;
+* ``embedding`` — IDES or one of the competing Euclidean systems.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ...exceptions import ValidationError
+
+__all__ = [
+    "AXES",
+    "PRESETS",
+    "AxisSpec",
+    "AblationConfig",
+    "axis_catalog",
+    "load_config",
+    "parse_axis_flag",
+]
+
+#: Axis values that exist to let tests and CI prove failure isolation.
+SELF_TEST_VALUES = ("failing", "slow")
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One sweepable scenario dimension.
+
+    Attributes:
+        name: axis name used in configs and cell ids.
+        kind: ``"choice"`` (string values from ``choices``) or
+            ``"float"`` (non-negative numeric values).
+        description: one-line human description.
+        choices: allowed values for ``kind="choice"``.
+        default: the singleton value used when a config omits the axis.
+    """
+
+    name: str
+    kind: str
+    description: str
+    choices: tuple[str, ...] = ()
+    default: object = None
+
+    def coerce(self, value: object) -> object:
+        """Validate and normalize one axis value.
+
+        Raises:
+            ValidationError: if the value is outside the axis domain.
+        """
+        if self.kind == "choice":
+            if not isinstance(value, str) or value not in self.choices:
+                raise ValidationError(
+                    f"axis {self.name!r}: unknown value {value!r} "
+                    f"(choices: {', '.join(self.choices)})"
+                )
+            return value
+        try:
+            numeric = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"axis {self.name!r}: expected a number, got {value!r}"
+            ) from None
+        if not numeric >= 0.0:
+            raise ValidationError(
+                f"axis {self.name!r}: values must be >= 0, got {numeric!r}"
+            )
+        return numeric
+
+
+AXES: dict[str, AxisSpec] = {
+    spec.name: spec
+    for spec in (
+        AxisSpec(
+            name="topology",
+            kind="choice",
+            description="ground-truth world generator",
+            # "failing" and "slow" are harness self-test values: they
+            # raise / stall so failure isolation stays provable in CI.
+            choices=("transit-stub", "waxman", "clustered") + SELF_TEST_VALUES,
+            default="transit-stub",
+        ),
+        AxisSpec(
+            name="noise",
+            kind="choice",
+            description="measurement-campaign error model",
+            choices=("none", "jitter", "spikes", "internet", "lossy", "king"),
+            default="none",
+        ),
+        AxisSpec(
+            name="drift",
+            kind="float",
+            description="post-fit RTT drift rate (0 = static world)",
+            default=0.0,
+        ),
+        AxisSpec(
+            name="churn",
+            kind="float",
+            description="fraction of landmarks failing mid-deployment",
+            default=0.0,
+        ),
+        AxisSpec(
+            name="solver",
+            kind="choice",
+            description="factorization / host-solve tier",
+            choices=("svd", "nmf", "svd-nnls"),
+            default="svd",
+        ),
+        AxisSpec(
+            name="cache",
+            kind="choice",
+            description="prediction-cache admission policy",
+            choices=("none", "doorkeeper"),
+            default="none",
+        ),
+        AxisSpec(
+            name="embedding",
+            kind="choice",
+            description="prediction system under test",
+            choices=("ides", "vivaldi", "gnp", "ics"),
+            default="ides",
+        ),
+    )
+}
+
+
+def axis_catalog() -> list[AxisSpec]:
+    """Axis specs in presentation order."""
+    return list(AXES.values())
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """A declarative experiment grid.
+
+    Attributes:
+        axes: axis name -> tuple of values to sweep. Missing axes
+            default to the catalog's singleton default; the grid is the
+            cross-product over all seven axes.
+        n_hosts: world size per cell.
+        n_landmarks: landmark count per cell.
+        dimension: model dimension ``d``.
+        seed: base seed; per-cell seeds derive from it and the cell id.
+        drift_steps: temporal steps advanced when ``drift > 0``.
+        query_samples: serving-path queries timed per cell.
+        name: label echoed into the report.
+    """
+
+    axes: Mapping[str, tuple] = field(default_factory=dict)
+    n_hosts: int = 80
+    n_landmarks: int = 12
+    dimension: int = 6
+    seed: int = 0
+    drift_steps: int = 8
+    query_samples: int = 300
+    name: str = "ablation"
+
+    def validate(self) -> "AblationConfig":
+        """Normalize axes against the catalog; raise on any problem.
+
+        Returns:
+            a new config whose ``axes`` covers every catalog axis with
+            coerced, duplicate-free value tuples.
+        """
+        unknown = set(self.axes) - set(AXES)
+        if unknown:
+            raise ValidationError(
+                f"unknown axes: {sorted(unknown)!r} "
+                f"(known: {', '.join(AXES)})"
+            )
+        normalized: dict[str, tuple] = {}
+        for name, spec in AXES.items():
+            raw = self.axes.get(name)
+            if raw is None:
+                normalized[name] = (spec.default,)
+                continue
+            if isinstance(raw, (str, bytes)) or not isinstance(raw, Sequence):
+                raise ValidationError(
+                    f"axis {name!r}: expected a list of values, got {raw!r}"
+                )
+            if len(raw) == 0:
+                raise ValidationError(f"axis {name!r}: value list is empty")
+            values = tuple(spec.coerce(value) for value in raw)
+            if len(set(values)) != len(values):
+                raise ValidationError(
+                    f"axis {name!r}: duplicate values in {list(values)!r}"
+                )
+            normalized[name] = values
+        if self.n_hosts < 8:
+            raise ValidationError(f"n_hosts must be >= 8, got {self.n_hosts}")
+        if not 2 <= self.n_landmarks < self.n_hosts:
+            raise ValidationError(
+                f"n_landmarks must be in [2, {self.n_hosts - 1}], "
+                f"got {self.n_landmarks}"
+            )
+        if not 1 <= self.dimension <= self.n_landmarks:
+            raise ValidationError(
+                f"dimension must be in [1, {self.n_landmarks}], "
+                f"got {self.dimension}"
+            )
+        if self.drift_steps < 1:
+            raise ValidationError(
+                f"drift_steps must be >= 1, got {self.drift_steps}"
+            )
+        if self.query_samples < 1:
+            raise ValidationError(
+                f"query_samples must be >= 1, got {self.query_samples}"
+            )
+        return replace(self, axes=normalized)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (axes as sorted lists)."""
+        return {
+            "name": self.name,
+            "axes": {name: list(values) for name, values in sorted(self.axes.items())},
+            "n_hosts": self.n_hosts,
+            "n_landmarks": self.n_landmarks,
+            "dimension": self.dimension,
+            "seed": self.seed,
+            "drift_steps": self.drift_steps,
+            "query_samples": self.query_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AblationConfig":
+        """Build and validate a config from a JSON-style mapping."""
+        if not isinstance(payload, Mapping):
+            raise ValidationError(f"config must be a mapping, got {payload!r}")
+        known = {
+            "name", "axes", "n_hosts", "n_landmarks", "dimension",
+            "seed", "drift_steps", "query_samples",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown config keys: {sorted(unknown)!r} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        axes = payload.get("axes", {})
+        if not isinstance(axes, Mapping):
+            raise ValidationError(f"'axes' must be a mapping, got {axes!r}")
+        fields = {
+            key: payload[key]
+            for key in known - {"axes"}
+            if key in payload
+        }
+        for key in ("n_hosts", "n_landmarks", "dimension", "seed",
+                    "drift_steps", "query_samples"):
+            if key in fields and not isinstance(fields[key], int):
+                raise ValidationError(
+                    f"config key {key!r} must be an integer, "
+                    f"got {fields[key]!r}"
+                )
+        config = cls(axes={k: tuple(v) if isinstance(v, list) else v
+                           for k, v in axes.items()}, **fields)
+        return config.validate()
+
+    def fingerprint(self) -> str:
+        """Stable content hash used to key resumable partial runs."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def load_config(path: str | Path) -> AblationConfig:
+    """Load and validate a JSON grid config from disk."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ValidationError(f"config file not found: {file_path}")
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as broken:
+        raise ValidationError(f"{file_path}: not valid JSON: {broken}") from None
+    return AblationConfig.from_dict(payload)
+
+
+def parse_axis_flag(flag: str) -> tuple[str, tuple]:
+    """Parse one ``--axis name=v1,v2`` CLI flag into catalog values.
+
+    Raises:
+        ValidationError: on malformed syntax or out-of-domain values.
+    """
+    if "=" not in flag:
+        raise ValidationError(
+            f"--axis expects name=v1,v2,... got {flag!r}"
+        )
+    name, _, raw_values = flag.partition("=")
+    name = name.strip()
+    if name not in AXES:
+        raise ValidationError(
+            f"unknown axis {name!r} (known: {', '.join(AXES)})"
+        )
+    spec = AXES[name]
+    tokens = [token.strip() for token in raw_values.split(",") if token.strip()]
+    if not tokens:
+        raise ValidationError(f"axis {name!r}: no values in {flag!r}")
+    values = tuple(spec.coerce(token) for token in tokens)
+    if len(set(values)) != len(values):
+        raise ValidationError(f"axis {name!r}: duplicate values in {flag!r}")
+    return name, values
+
+
+#: Named grid presets. ``smoke`` is the CI gate: a 2x2x2 grid sized to
+#: finish in well under two minutes on two workers.
+PRESETS: dict[str, AblationConfig] = {
+    "smoke": AblationConfig(
+        name="smoke",
+        axes={
+            "topology": ("transit-stub", "waxman"),
+            "noise": ("none", "internet"),
+            "solver": ("svd", "nmf"),
+        },
+        n_hosts=48,
+        n_landmarks=10,
+        dimension=4,
+        drift_steps=4,
+        query_samples=120,
+    ).validate(),
+    "default": AblationConfig(
+        name="default",
+        axes={
+            "topology": ("transit-stub", "waxman"),
+            "noise": ("none", "internet"),
+            "drift": (0.0, 0.05),
+            "solver": ("svd", "nmf"),
+            "cache": ("none", "doorkeeper"),
+        },
+        n_hosts=120,
+        n_landmarks=16,
+        dimension=8,
+        drift_steps=12,
+        query_samples=400,
+    ).validate(),
+    "paper": AblationConfig(
+        name="paper",
+        axes={
+            "topology": ("transit-stub", "clustered"),
+            "noise": ("none", "jitter", "internet", "king"),
+            "drift": (0.0, 0.02, 0.08),
+            "churn": (0.0, 0.2),
+            "solver": ("svd", "nmf", "svd-nnls"),
+            "embedding": ("ides", "ics"),
+        },
+        n_hosts=150,
+        n_landmarks=20,
+        dimension=10,
+        drift_steps=24,
+        query_samples=500,
+    ).validate(),
+}

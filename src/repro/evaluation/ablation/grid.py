@@ -1,0 +1,94 @@
+"""Grid expansion: config cross-product -> cells with stable identity.
+
+Two invariants the property suite pins down:
+
+* **stable cell ids** — a cell's id is built from its axis values
+  sorted *by axis name*, so reordering the axes in a config (or adding
+  an axis at its default singleton) never renames surviving cells;
+  resumable runs depend on this.
+* **deterministic seeds** — a cell's seed derives from the config's
+  base seed and the cell id through SHA-256, so the same config yields
+  bit-identical per-cell seeds on every machine and python version
+  (``hash()`` is salted per process and must never feed a seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from .config import AblationConfig
+
+__all__ = ["GridCell", "cell_seed", "expand_grid", "make_cell_id", "format_axis_value"]
+
+
+def format_axis_value(value: object) -> str:
+    """Canonical string form of one axis value.
+
+    Floats render via ``%g`` for readable ids, but fall back to full
+    ``repr`` precision when ``%g`` would be lossy — two distinct config
+    values must never share a cell id.
+    """
+    if isinstance(value, float):
+        compact = f"{value:g}"
+        if float(compact) == value:
+            return compact
+        return repr(value)
+    return str(value)
+
+
+def make_cell_id(axes: Mapping[str, object]) -> str:
+    """Stable id: ``name=value`` pairs sorted by axis name."""
+    return "|".join(
+        f"{name}={format_axis_value(axes[name])}" for name in sorted(axes)
+    )
+
+
+def cell_seed(base_seed: int, cell_id: str) -> int:
+    """Deterministic 32-bit seed for one cell."""
+    digest = hashlib.sha256(f"{base_seed}:{cell_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One point of the cross-product.
+
+    Attributes:
+        index: position in the expansion order (presentation only; the
+            durable identity is ``cell_id``).
+        cell_id: stable ``name=value|...`` identifier.
+        axes: axis name -> concrete value.
+        seed: deterministic per-cell seed.
+    """
+
+    index: int
+    cell_id: str
+    axes: dict
+    seed: int
+
+
+def expand_grid(config: AblationConfig) -> list[GridCell]:
+    """Expand a validated config into the full cell list.
+
+    The expansion iterates axes in sorted-name order so the cell order
+    itself is also independent of the config's axis ordering.
+    """
+    config = config.validate()
+    names = sorted(config.axes)
+    value_lists = [config.axes[name] for name in names]
+    cells = []
+    for index, combo in enumerate(itertools.product(*value_lists)):
+        axes = dict(zip(names, combo))
+        cell_id = make_cell_id(axes)
+        cells.append(
+            GridCell(
+                index=index,
+                cell_id=cell_id,
+                axes=axes,
+                seed=cell_seed(config.seed, cell_id),
+            )
+        )
+    return cells

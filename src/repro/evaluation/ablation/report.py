@@ -1,0 +1,324 @@
+"""The ablation campaign's machine-readable report and markdown view.
+
+One campaign produces exactly one JSON document (schema
+:data:`REPORT_SCHEMA`): the config echoed back, the grid shape, a
+summary block (status counts, failed-cell attribution, best cell,
+per-axis aggregates over the swept axes) and the full per-cell results.
+:func:`validate_report` checks the document shape so round-trip and
+golden tests — and any downstream tooling — can rely on it, and
+:func:`render_markdown` derives the human summary from the same
+document, reusing the :mod:`repro.evaluation.report` table renderer.
+
+The report content is a pure function of (config, results): no
+timestamps, hostnames or paths, so fixed-seed runs are byte-comparable
+across machines (the golden regression test depends on this).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ...exceptions import ValidationError
+from ..report import format_table
+from .config import AblationConfig
+from .grid import format_axis_value as _axis_value_key
+from .runner import CellResult
+from .scenario import METRIC_KEYS
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_report",
+    "render_markdown",
+    "require_valid_report",
+    "validate_report",
+]
+
+REPORT_SCHEMA = "ides-ablation-report/v1"
+
+#: Metrics summarized in the by-axis aggregate block and the markdown
+#: results table (the full set is in each cell's ``metrics``).
+_HEADLINE_METRICS = ("rpe_median", "stress", "nmse")
+
+_CELL_STATUSES = ("ok", "error", "timeout")
+
+
+def _swept_axes(config: AblationConfig) -> dict[str, tuple]:
+    """Axes with more than one value — the dimensions actually ablated."""
+    return {
+        name: values for name, values in config.axes.items() if len(values) > 1
+    }
+
+
+def _mean_or_none(values: Sequence[float]) -> float | None:
+    finite = [value for value in values if value is not None and np.isfinite(value)]
+    if not finite:
+        return None
+    return float(np.mean(finite))
+
+
+def build_report(config: AblationConfig, results: Sequence[CellResult]) -> dict:
+    """Assemble the campaign report document.
+
+    Args:
+        config: the grid config (validated internally).
+        results: one result per grid cell, in any order.
+
+    Returns:
+        a JSON-serializable dict conforming to :data:`REPORT_SCHEMA`.
+    """
+    config = config.validate()
+    ordered = sorted(results, key=lambda result: result.index)
+    status_counts = {status: 0 for status in _CELL_STATUSES}
+    for result in ordered:
+        if result.status not in status_counts:
+            raise ValidationError(
+                f"cell {result.cell_id!r} has unknown status {result.status!r}"
+            )
+        status_counts[result.status] += 1
+
+    failed = [
+        {"cell_id": result.cell_id, "status": result.status, "error": result.error}
+        for result in ordered
+        if not result.ok
+    ]
+    scored = [
+        result
+        for result in ordered
+        if result.ok
+        and result.metrics is not None
+        and result.metrics.get("rpe_median") is not None
+        and np.isfinite(result.metrics["rpe_median"])
+    ]
+    best = min(scored, key=lambda r: r.metrics["rpe_median"], default=None)
+
+    by_axis: dict[str, dict] = {}
+    for axis, values in _swept_axes(config).items():
+        breakdown = {}
+        for value in values:
+            matching = [
+                result
+                for result in scored
+                if result.axes.get(axis) == value
+            ]
+            breakdown[_axis_value_key(value)] = {
+                "n_ok": len(matching),
+                **{
+                    metric: _mean_or_none(
+                        [result.metrics[metric] for result in matching]
+                    )
+                    for metric in _HEADLINE_METRICS
+                },
+            }
+        by_axis[axis] = breakdown
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "name": config.name,
+        "fingerprint": config.fingerprint(),
+        "config": config.to_dict(),
+        "grid": {
+            "n_cells": len(ordered),
+            "swept_axes": {
+                name: [_axis_value_key(value) for value in values]
+                for name, values in _swept_axes(config).items()
+            },
+        },
+        "summary": {
+            "status_counts": status_counts,
+            "failed_cells": failed,
+            "best_cell": None
+            if best is None
+            else {
+                "cell_id": best.cell_id,
+                "rpe_median": best.metrics["rpe_median"],
+            },
+            "total_cell_seconds": float(
+                sum(result.duration_seconds for result in ordered)
+            ),
+        },
+        "by_axis": by_axis,
+        "cells": [result.to_dict() for result in ordered],
+    }
+
+
+# ---------------------------------------------------------------------- #
+# validation
+# ---------------------------------------------------------------------- #
+
+
+def validate_report(report: object) -> list[str]:
+    """Structural check of a report document; returns problem strings."""
+    problems: list[str] = []
+    if not isinstance(report, Mapping):
+        return [f"report must be a mapping, got {type(report).__name__}"]
+    if report.get("schema") != REPORT_SCHEMA:
+        problems.append(
+            f"schema must be {REPORT_SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    for key in ("name", "fingerprint", "config", "grid", "summary", "by_axis", "cells"):
+        if key not in report:
+            problems.append(f"missing top-level key {key!r}")
+    if problems:
+        return problems
+
+    grid = report["grid"]
+    cells = report["cells"]
+    if not isinstance(cells, list):
+        return problems + ["'cells' must be a list"]
+    if grid.get("n_cells") != len(cells):
+        problems.append(
+            f"grid.n_cells is {grid.get('n_cells')!r} but {len(cells)} cells present"
+        )
+
+    summary = report["summary"]
+    counts = summary.get("status_counts", {})
+    if set(counts) != set(_CELL_STATUSES):
+        problems.append(
+            f"status_counts keys must be {sorted(_CELL_STATUSES)}, "
+            f"got {sorted(counts)}"
+        )
+    elif sum(counts.values()) != len(cells):
+        problems.append("status_counts do not sum to the number of cells")
+
+    seen_ids = set()
+    for position, cell in enumerate(cells):
+        where = f"cells[{position}]"
+        if not isinstance(cell, Mapping):
+            problems.append(f"{where} is not a mapping")
+            continue
+        for key in ("index", "cell_id", "axes", "seed", "status",
+                    "metrics", "error", "duration_seconds"):
+            if key not in cell:
+                problems.append(f"{where} missing key {key!r}")
+        cell_id = cell.get("cell_id")
+        if cell_id in seen_ids:
+            problems.append(f"duplicate cell_id {cell_id!r}")
+        seen_ids.add(cell_id)
+        status = cell.get("status")
+        if status not in _CELL_STATUSES:
+            problems.append(f"{where} has unknown status {status!r}")
+        metrics = cell.get("metrics")
+        if status == "ok":
+            if not isinstance(metrics, Mapping):
+                problems.append(f"{where} is ok but has no metrics mapping")
+            else:
+                missing = set(METRIC_KEYS) - set(metrics)
+                if missing:
+                    problems.append(
+                        f"{where} metrics missing keys {sorted(missing)}"
+                    )
+        else:
+            if metrics is not None:
+                problems.append(f"{where} failed but carries metrics")
+            if not cell.get("error"):
+                problems.append(f"{where} failed without an error message")
+    return problems
+
+
+def require_valid_report(report: object) -> dict:
+    """Validate and return the report; raise on any problem."""
+    problems = validate_report(report)
+    if problems:
+        raise ValidationError(
+            "invalid ablation report: " + "; ".join(problems)
+        )
+    return report  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------- #
+# markdown rendering
+# ---------------------------------------------------------------------- #
+
+
+def _cell_label(cell: Mapping, swept: Sequence[str]) -> str:
+    """Compact cell label: only the axes that are actually swept."""
+    if not swept:
+        return "(defaults)"
+    return ", ".join(
+        f"{axis}={_axis_value_key(cell['axes'][axis])}" for axis in swept
+    )
+
+
+def render_markdown(report: Mapping) -> str:
+    """Render the human-readable campaign summary from the JSON report."""
+    require_valid_report(report)
+    summary = report["summary"]
+    counts = summary["status_counts"]
+    swept = sorted(report["grid"]["swept_axes"])
+
+    lines = [
+        f"# Ablation report: {report['name']}",
+        "",
+        f"- schema: `{report['schema']}`",
+        f"- config fingerprint: `{report['fingerprint']}`",
+        f"- cells: {report['grid']['n_cells']} "
+        f"(ok {counts['ok']}, error {counts['error']}, timeout {counts['timeout']})",
+        f"- total cell time: {summary['total_cell_seconds']:.1f}s",
+    ]
+    if summary["best_cell"] is not None:
+        lines.append(
+            f"- best cell (median RPE {summary['best_cell']['rpe_median']:.4f}): "
+            f"`{summary['best_cell']['cell_id']}`"
+        )
+    if swept:
+        lines += ["", "## Swept axes", ""]
+        for axis in swept:
+            values = ", ".join(report["grid"]["swept_axes"][axis])
+            lines.append(f"- **{axis}**: {values}")
+
+    lines += ["", "## Cells", ""]
+    rows = []
+    for cell in report["cells"]:
+        metrics = cell["metrics"] or {}
+        rows.append(
+            [
+                _cell_label(cell, swept),
+                cell["status"],
+                *[
+                    metrics.get(metric)
+                    if metrics.get(metric) is not None
+                    else "-"
+                    for metric in _HEADLINE_METRICS
+                ],
+                cell["duration_seconds"],
+            ]
+        )
+    table = format_table(
+        ["cell", "status", *_HEADLINE_METRICS, "seconds"], rows, precision=4
+    )
+    lines += ["```", table, "```"]
+
+    if report["by_axis"]:
+        lines += ["", "## By-axis aggregates (mean over ok cells)", ""]
+        for axis in sorted(report["by_axis"]):
+            rows = []
+            for value, aggregate in report["by_axis"][axis].items():
+                rows.append(
+                    [
+                        value,
+                        aggregate["n_ok"],
+                        *[
+                            aggregate[metric]
+                            if aggregate[metric] is not None
+                            else "-"
+                            for metric in _HEADLINE_METRICS
+                        ],
+                    ]
+                )
+            table = format_table(
+                [axis, "n_ok", *_HEADLINE_METRICS], rows, precision=4
+            )
+            lines += ["```", table, "```", ""]
+
+    failed = summary["failed_cells"]
+    if failed:
+        lines += ["", "## Failures", ""]
+        for failure in failed:
+            lines.append(
+                f"- `{failure['cell_id']}` ({failure['status']}): "
+                f"{failure['error']}"
+            )
+    lines.append("")
+    return "\n".join(lines)

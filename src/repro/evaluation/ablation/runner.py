@@ -1,0 +1,390 @@
+"""Parallel cell execution with failure isolation and timeouts.
+
+Each cell runs in its own worker **process**: a cell that raises, hangs
+or outright crashes its interpreter is recorded as a failed
+:class:`CellResult` — with the traceback attributed to its cell id —
+while every sibling cell completes normally. The runner never lets one
+bad scenario abort the campaign; deciding whether failures fail the
+*run* (exit codes, ``--allow-failures``) is the CLI's job.
+
+``in_process=True`` runs cells sequentially in the calling process —
+deterministic and debugger-friendly for tests, but without timeout
+enforcement (you cannot kill your own stack frame), so combining it
+with ``timeout`` is a validation error rather than a silent no-op.
+
+Successful cells are resumable: :func:`append_sidecar` streams each
+finished cell to a JSONL sidecar next to the report, keyed by the
+config fingerprint, and :func:`read_sidecar` recovers them so a rerun
+only executes the cells that failed or never ran.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from queue import Empty
+from typing import Callable, Mapping
+
+from ...exceptions import ValidationError
+from .config import AblationConfig
+from .grid import GridCell, expand_grid
+from .scenario import run_cell
+
+__all__ = [
+    "CellResult",
+    "append_sidecar",
+    "read_sidecar",
+    "run_ablation",
+    "sidecar_path",
+]
+
+#: Seconds between scheduler polls of the worker pool.
+_POLL_SECONDS = 0.02
+#: Grace period for a terminated worker to die before SIGKILL.
+_KILL_GRACE_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one grid cell.
+
+    Attributes:
+        index: expansion-order position (presentation only).
+        cell_id: stable cell identifier.
+        axes: axis name -> value for this cell.
+        seed: the per-cell seed that was used.
+        status: ``"ok"``, ``"error"`` or ``"timeout"``.
+        metrics: metric dict for ``ok`` cells, else None.
+        error: one-line failure summary, else None.
+        traceback: full worker traceback for ``error`` cells when one
+            was captured (a crashed interpreter leaves none).
+        duration_seconds: wall-clock cell runtime as seen by the
+            scheduler.
+    """
+
+    index: int
+    cell_id: str
+    axes: dict
+    seed: int
+    status: str
+    metrics: dict | None
+    error: str | None
+    traceback: str | None
+    duration_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell completed and produced metrics."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by report and sidecar)."""
+        return {
+            "index": self.index,
+            "cell_id": self.cell_id,
+            "axes": dict(self.axes),
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": self.metrics,
+            "error": self.error,
+            "traceback": self.traceback,
+            "duration_seconds": self.duration_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CellResult":
+        """Rebuild a result from its JSON form."""
+        try:
+            return cls(
+                index=int(payload["index"]),
+                cell_id=str(payload["cell_id"]),
+                axes=dict(payload["axes"]),
+                seed=int(payload["seed"]),
+                status=str(payload["status"]),
+                metrics=payload["metrics"],
+                error=payload["error"],
+                traceback=payload["traceback"],
+                duration_seconds=float(payload["duration_seconds"]),
+            )
+        except (KeyError, TypeError, ValueError) as broken:
+            raise ValidationError(f"malformed cell result: {broken}") from None
+
+
+def _result_from_worker(cell: GridCell, payload: tuple) -> CellResult:
+    """Convert a worker queue payload into a CellResult."""
+    status, metrics, trace, duration = payload
+    error = None
+    if trace is not None:
+        lines = [line for line in trace.strip().splitlines() if line.strip()]
+        error = lines[-1] if lines else "worker failed"
+    return CellResult(
+        index=cell.index,
+        cell_id=cell.cell_id,
+        axes=cell.axes,
+        seed=cell.seed,
+        status=status,
+        metrics=metrics,
+        error=error,
+        traceback=trace,
+        duration_seconds=duration,
+    )
+
+
+def _cell_worker(queue, config: AblationConfig, cell: GridCell) -> None:
+    """Worker-process entry point: run one cell, report via queue."""
+    started = time.perf_counter()
+    try:
+        metrics = run_cell(config, cell)
+    except BaseException:
+        queue.put(
+            (
+                cell.cell_id,
+                ("error", None, traceback.format_exc(), time.perf_counter() - started),
+            )
+        )
+    else:
+        queue.put(
+            (cell.cell_id, ("ok", metrics, None, time.perf_counter() - started))
+        )
+
+
+def _run_in_process(
+    config: AblationConfig,
+    cells: list[GridCell],
+    on_cell_complete: Callable[[CellResult], None] | None,
+) -> list[CellResult]:
+    """Sequential fallback used by tests: isolation without processes."""
+    results = []
+    for cell in cells:
+        started = time.perf_counter()
+        try:
+            metrics = run_cell(config, cell)
+            payload = ("ok", metrics, None, time.perf_counter() - started)
+        except Exception:
+            payload = (
+                "error",
+                None,
+                traceback.format_exc(),
+                time.perf_counter() - started,
+            )
+        result = _result_from_worker(cell, payload)
+        if on_cell_complete is not None:
+            on_cell_complete(result)
+        results.append(result)
+    return results
+
+
+def _reap(process) -> None:
+    """Terminate a worker, escalating to SIGKILL if it lingers."""
+    process.terminate()
+    process.join(_KILL_GRACE_SECONDS)
+    if process.is_alive():
+        process.kill()
+        process.join(_KILL_GRACE_SECONDS)
+
+
+def _run_in_workers(
+    config: AblationConfig,
+    cells: list[GridCell],
+    jobs: int,
+    timeout: float | None,
+    on_cell_complete: Callable[[CellResult], None] | None,
+) -> list[CellResult]:
+    """Process-pool scheduler with per-cell deadline enforcement."""
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    queue = context.Queue()
+    pending = list(reversed(cells))
+    running: dict[str, tuple] = {}  # cell_id -> (process, cell, start_monotonic)
+    arrived: dict[str, tuple] = {}
+    results: list[CellResult] = []
+
+    def finish(result: CellResult) -> None:
+        if on_cell_complete is not None:
+            on_cell_complete(result)
+        results.append(result)
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                cell = pending.pop()
+                process = context.Process(
+                    target=_cell_worker, args=(queue, config, cell), daemon=True
+                )
+                process.start()
+                running[cell.cell_id] = (process, cell, time.monotonic())
+
+            try:
+                while True:
+                    cell_id, payload = queue.get_nowait()
+                    arrived[cell_id] = payload
+            except Empty:
+                pass
+
+            now = time.monotonic()
+            for cell_id in list(running):
+                process, cell, started = running[cell_id]
+                if cell_id in arrived:
+                    process.join()
+                    del running[cell_id]
+                    finish(_result_from_worker(cell, arrived.pop(cell_id)))
+                elif timeout is not None and now - started > timeout:
+                    _reap(process)
+                    del running[cell_id]
+                    finish(
+                        CellResult(
+                            index=cell.index,
+                            cell_id=cell.cell_id,
+                            axes=cell.axes,
+                            seed=cell.seed,
+                            status="timeout",
+                            metrics=None,
+                            error=f"cell exceeded timeout of {timeout:g}s",
+                            traceback=None,
+                            duration_seconds=now - started,
+                        )
+                    )
+                elif not process.is_alive():
+                    # Exited without reporting: give the queue one last
+                    # drain (the payload may still be in flight), then
+                    # record a crash.
+                    process.join()
+                    time.sleep(_POLL_SECONDS)
+                    try:
+                        while True:
+                            late_id, payload = queue.get_nowait()
+                            arrived[late_id] = payload
+                    except Empty:
+                        pass
+                    del running[cell_id]
+                    if cell_id in arrived:
+                        finish(_result_from_worker(cell, arrived.pop(cell_id)))
+                    else:
+                        finish(
+                            CellResult(
+                                index=cell.index,
+                                cell_id=cell.cell_id,
+                                axes=cell.axes,
+                                seed=cell.seed,
+                                status="error",
+                                metrics=None,
+                                error=(
+                                    "worker process died with exit code "
+                                    f"{process.exitcode} before reporting"
+                                ),
+                                traceback=None,
+                                duration_seconds=time.monotonic() - started,
+                            )
+                        )
+            if running:
+                time.sleep(_POLL_SECONDS)
+    finally:
+        for process, _cell, _started in running.values():
+            _reap(process)
+    return results
+
+
+def run_ablation(
+    config: AblationConfig,
+    *,
+    jobs: int = 1,
+    timeout: float | None = None,
+    in_process: bool = False,
+    completed: Mapping[str, CellResult] | None = None,
+    on_cell_complete: Callable[[CellResult], None] | None = None,
+) -> list[CellResult]:
+    """Run every cell of a config's grid; never raises for cell failures.
+
+    Args:
+        config: the (possibly unvalidated) grid config.
+        jobs: concurrent worker processes.
+        timeout: per-cell wall-clock limit in seconds (process mode
+            only).
+        in_process: run cells sequentially in this process instead of
+            workers.
+        completed: prior results keyed by cell id (from
+            :func:`read_sidecar`); matching cells are skipped and their
+            results returned as-is.
+        on_cell_complete: callback invoked in the parent for each
+            *freshly executed* cell, in completion order (progress
+            output, sidecar streaming).
+
+    Returns:
+        one :class:`CellResult` per grid cell, sorted by cell index.
+    """
+    config = config.validate()
+    if jobs < 1:
+        raise ValidationError(f"jobs must be >= 1, got {jobs}")
+    if timeout is not None and not timeout > 0:
+        raise ValidationError(f"timeout must be > 0, got {timeout}")
+    if in_process and timeout is not None:
+        raise ValidationError(
+            "timeout requires worker processes; it cannot be enforced in-process"
+        )
+
+    cells = expand_grid(config)
+    reused: list[CellResult] = []
+    to_run: list[GridCell] = []
+    completed = completed or {}
+    for cell in cells:
+        prior = completed.get(cell.cell_id)
+        if prior is not None and prior.ok:
+            reused.append(prior)
+        else:
+            to_run.append(cell)
+
+    if in_process:
+        fresh = _run_in_process(config, to_run, on_cell_complete)
+    else:
+        fresh = _run_in_workers(config, to_run, jobs, timeout, on_cell_complete)
+    return sorted(reused + fresh, key=lambda result: result.index)
+
+
+# ---------------------------------------------------------------------- #
+# resumable-run sidecar
+# ---------------------------------------------------------------------- #
+
+
+def sidecar_path(output_path: str | Path) -> Path:
+    """The JSONL sidecar location for a given report output path."""
+    output = Path(output_path)
+    return output.with_name(output.name + ".cells.jsonl")
+
+
+def append_sidecar(path: str | Path, fingerprint: str, result: CellResult) -> None:
+    """Append one finished cell to the sidecar (streamed, crash-safe)."""
+    record = {"fingerprint": fingerprint, "result": result.to_dict()}
+    with Path(path).open("a", encoding="utf-8") as sink:
+        sink.write(json.dumps(record) + "\n")
+
+
+def read_sidecar(path: str | Path, fingerprint: str) -> dict[str, CellResult]:
+    """Successful cells recorded for this exact config fingerprint.
+
+    Lines for other fingerprints (a changed config reusing the output
+    path) and corrupt lines are ignored; failed cells are not returned,
+    so a resumed run retries them.
+    """
+    sidecar = Path(path)
+    if not sidecar.exists():
+        return {}
+    recovered: dict[str, CellResult] = {}
+    for line in sidecar.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            if record.get("fingerprint") != fingerprint:
+                continue
+            result = CellResult.from_dict(record["result"])
+        except (json.JSONDecodeError, ValidationError, KeyError, TypeError):
+            continue
+        if result.ok:
+            recovered[result.cell_id] = result
+    return recovered

@@ -1,0 +1,452 @@
+"""One grid cell == one end-to-end scenario run.
+
+:func:`run_cell` turns a cell's axis values into a complete experiment:
+
+1. **world** — build a ground-truth RTT matrix (``topology`` axis);
+2. **measurement** — probe it through the chosen error model
+   (``noise`` axis). The IDES arm measures *over the event simulator*
+   (asynchronous probes with retries, landmark churn mid-run); the
+   Euclidean competitors measure in matrix mode via the min-of-N
+   pinger or the King estimator;
+3. **fit** — factor landmarks and place hosts (``solver`` /
+   ``embedding`` axes), timing both phases;
+4. **score** — stress, NMSE and modified relative error (paper
+   Eq. 10) on held-out ordinary-to-ordinary pairs;
+5. **serve** — stand up a :class:`repro.serving.DistanceService`
+   (``cache`` axis) and time a hot-set query workload for p50/p99
+   latency;
+6. **drift** — advance a :class:`repro.datasets.TemporalWorld`
+   (``drift`` axis) and measure how stale the frozen model has become.
+
+Every metric key is always present; a metric that does not apply to a
+cell (e.g. serving latency for a coordinate system with no vectors to
+serve) is ``None`` so the report schema stays uniform.
+
+The ``topology`` axis also accepts two self-test values — ``failing``
+raises immediately and ``slow`` stalls — so the runner's failure
+isolation and timeout handling stay provable from tests and CI without
+monkeypatching across process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from ..._validation import as_rng
+from ...core.errors import relative_errors
+from ...datasets import (
+    DistanceDataset,
+    TemporalConfig,
+    TemporalWorld,
+    WorldConfig,
+    build_world,
+    split_landmarks,
+)
+from ...embedding import GNPSystem, ICSSystem, VivaldiSystem
+from ...exceptions import ValidationError
+from ...measurement import (
+    KingConfig,
+    KingEstimator,
+    Pinger,
+    noise_model_from_name,
+)
+from ...serving import DistanceService
+from ...simulation import IDESDeployment
+from ...topology import clustered_host_rtt, waxman_host_rtt
+from .config import SELF_TEST_VALUES, AblationConfig
+from .grid import GridCell
+
+__all__ = ["METRIC_KEYS", "nmse", "run_cell", "stress"]
+
+#: Every metric a cell report carries, in presentation order. Keys are
+#: always present; inapplicable metrics are None.
+METRIC_KEYS = (
+    "stress",
+    "nmse",
+    "rpe_median",
+    "rpe_p90",
+    "fit_seconds",
+    "place_seconds",
+    "placed_fraction",
+    "query_p50_ms",
+    "query_p99_ms",
+    "cache_hit_rate",
+    "staleness_error",
+    "drift_from_base",
+)
+
+#: How long the ``topology=slow`` self-test cell stalls. Overridable so
+#: tests can bound worst-case hang time if a kill were ever to fail.
+_SLOW_SECONDS_ENV = "REPRO_ABLATION_SLOW_SECONDS"
+
+
+# ---------------------------------------------------------------------- #
+# accuracy metrics
+# ---------------------------------------------------------------------- #
+
+
+def _scored_pairs(true: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Finite off-diagonal (truth, prediction) pairs with positive truth."""
+    true = np.asarray(true, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if true.shape != predicted.shape:
+        raise ValidationError(
+            f"shape mismatch: truth {true.shape} vs prediction {predicted.shape}"
+        )
+    off_diagonal = ~np.eye(true.shape[0], dtype=bool)
+    keep = off_diagonal & np.isfinite(true) & np.isfinite(predicted) & (true > 0)
+    return true[keep], predicted[keep]
+
+
+def stress(true: np.ndarray, predicted: np.ndarray) -> float:
+    """Normalized stress: ``sqrt(sum((D - D^)^2) / sum(D^2))``."""
+    truth, estimate = _scored_pairs(true, predicted)
+    if truth.size == 0:
+        return float("nan")
+    return float(np.sqrt(np.sum((truth - estimate) ** 2) / np.sum(truth**2)))
+
+
+def nmse(true: np.ndarray, predicted: np.ndarray) -> float:
+    """Normalized mean squared error against the truth's variance."""
+    truth, estimate = _scored_pairs(true, predicted)
+    if truth.size == 0:
+        return float("nan")
+    spread = np.sum((truth - truth.mean()) ** 2)
+    if spread <= 0:
+        return float("nan")
+    return float(np.sum((truth - estimate) ** 2) / spread)
+
+
+def _accuracy_metrics(true: np.ndarray, predicted: np.ndarray) -> dict:
+    """The four accuracy numbers every cell reports."""
+    errors = relative_errors(true, predicted, exclude_diagonal=True)
+    return {
+        "stress": stress(true, predicted),
+        "nmse": nmse(true, predicted),
+        "rpe_median": float(np.median(errors)) if errors.size else float("nan"),
+        "rpe_p90": float(np.percentile(errors, 90)) if errors.size else float("nan"),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# world and measurement builders
+# ---------------------------------------------------------------------- #
+
+
+def _build_truth(topology: str, config: AblationConfig, rng: np.random.Generator) -> np.ndarray:
+    """Ground-truth RTT matrix for one cell's topology axis value."""
+    if topology == "transit-stub":
+        world_config = WorldConfig(
+            n_hosts=config.n_hosts,
+            n_sites=max(4, config.n_hosts // 8),
+        )
+        return build_world(world_config, seed=rng).true_rtt
+    if topology == "waxman":
+        return waxman_host_rtt(config.n_hosts, seed=rng)
+    if topology == "clustered":
+        return clustered_host_rtt(config.n_hosts, seed=rng)
+    raise ValidationError(f"unknown topology {topology!r}")
+
+
+def _measure_matrix(
+    true_rtt: np.ndarray, noise: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Full measured matrix under one noise axis value (matrix mode).
+
+    Lossy models can leave NaN holes (every probe of a pair lost); we
+    re-probe the holes for a couple of passes and backfill any stragglers
+    with truth so matrix-mode systems always see a complete matrix —
+    missing-data robustness is the simulator arm's job.
+    """
+    if noise == "king":
+        estimator = KingEstimator(
+            KingConfig(
+                proxy_gap_ms=3.0,
+                recursion_overhead_ms=2.0,
+                relative_noise=0.12,
+                failure_probability=0.0,
+            ),
+            seed=rng,
+        )
+        return estimator.estimate_matrix(true_rtt)
+    model = noise_model_from_name(noise)
+    pinger = Pinger(true_rtt, noise=model, samples=5, seed=rng)
+    measured = pinger.measure_matrix()
+    for _ in range(2):
+        holes = ~np.isfinite(measured)
+        if not holes.any():
+            break
+        retry = pinger.measure_matrix()
+        measured = np.where(holes, retry, measured)
+    measured = np.where(np.isfinite(measured), measured, true_rtt)
+    np.fill_diagonal(measured, 0.0)
+    return measured
+
+
+# ---------------------------------------------------------------------- #
+# embedding arms
+# ---------------------------------------------------------------------- #
+
+
+def _run_ides_cell(
+    config: AblationConfig, axes: dict, true_rtt: np.ndarray, rng: np.random.Generator
+) -> dict:
+    """The simulator-backed IDES arm.
+
+    Landmarks bootstrap over asynchronous probes, ordinary hosts join
+    staggered in time, and the ``churn`` axis fails a fraction of the
+    landmarks midway through the join window.
+    """
+    n = true_rtt.shape[0]
+    landmarks = np.sort(rng.choice(n, size=config.n_landmarks, replace=False))
+    ordinary = np.setdiff1d(np.arange(n), landmarks)
+
+    noise_name = axes["noise"]
+    if noise_name == "king":
+        # King is an estimation methodology, not per-probe noise: the
+        # deployment probes the King-estimated world and is scored
+        # against the real truth.
+        probe_world = _measure_matrix(true_rtt, "king", rng)
+        noise_model = None
+    else:
+        probe_world = true_rtt
+        noise_model = (
+            None if noise_name == "none" else noise_model_from_name(noise_name)
+        )
+
+    solver = axes["solver"]
+    method = "nmf" if solver == "nmf" else "svd"
+    deployment = IDESDeployment(
+        true_rtt=probe_world,
+        landmark_nodes=[int(index) for index in landmarks],
+        dimension=config.dimension,
+        method=method,
+        nonnegative_hosts=(solver == "svd-nnls"),
+        noise=noise_model,
+        probe_retries=4,
+        seed=rng,
+    )
+
+    fit_start = time.perf_counter()
+    deployment.bootstrap_landmarks()
+    fit_seconds = time.perf_counter() - fit_start
+
+    # Hosts join staggered after the bootstrap; churn fails landmarks
+    # midway through the join window, so late joiners place themselves
+    # from the survivors only.
+    join_start = deployment.simulator.now + 10.0
+    spacing = 25.0
+    for position, host in enumerate(ordinary):
+        deployment.schedule_host_join(int(host), join_start + spacing * position)
+    churn = float(axes["churn"])
+    n_failures = min(int(round(churn * config.n_landmarks)), config.n_landmarks - 1)
+    if n_failures > 0:
+        failure_time = join_start + spacing * len(ordinary) / 2.0
+        failed = rng.choice(config.n_landmarks, size=n_failures, replace=False)
+        for landmark_index in failed:
+            deployment.schedule_landmark_failure(int(landmark_index), failure_time)
+
+    place_start = time.perf_counter()
+    deployment.run()
+    place_seconds = time.perf_counter() - place_start
+
+    placements = deployment.placements
+    if len(placements) < 2:
+        raise ValidationError(
+            f"only {len(placements)} of {len(ordinary)} hosts placed; "
+            "cell cannot be scored"
+        )
+    placed_hosts = np.array([record.host for record in placements])
+    outgoing = np.vstack([record.outgoing for record in placements])
+    incoming = np.vstack([record.incoming for record in placements])
+    predicted = outgoing @ incoming.T
+    truth = true_rtt[np.ix_(placed_hosts, placed_hosts)]
+
+    metrics = _accuracy_metrics(truth, predicted)
+    metrics["fit_seconds"] = fit_seconds
+    metrics["place_seconds"] = place_seconds
+    metrics["placed_fraction"] = len(placements) / len(ordinary)
+    metrics.update(
+        _serving_metrics(
+            [f"host-{int(host)}" for host in placed_hosts],
+            outgoing,
+            incoming,
+            axes["cache"],
+            config.query_samples,
+            rng,
+        )
+    )
+    metrics.update(_staleness_metrics(truth, predicted, axes, config, rng))
+    return metrics
+
+
+def _run_matrix_cell(
+    config: AblationConfig, axes: dict, true_rtt: np.ndarray, rng: np.random.Generator
+) -> dict:
+    """Matrix-mode arm for the Euclidean competitors.
+
+    The systems see the measured matrix only through the landmark
+    protocol (or, for Vivaldi, as pairwise samples); accuracy is scored
+    on ordinary-to-ordinary pairs no system ever measured.
+    """
+    measured = _measure_matrix(true_rtt, axes["noise"], rng)
+    dataset = DistanceDataset(name="ablation-cell", matrix=measured)
+    split = split_landmarks(dataset, config.n_landmarks, seed=rng)
+    truth = true_rtt[np.ix_(split.ordinary_indices, split.ordinary_indices)]
+
+    embedding = axes["embedding"]
+    if embedding == "vivaldi":
+        system = VivaldiSystem(
+            dimension=config.dimension, rounds=60, seed=rng
+        )
+        fit_start = time.perf_counter()
+        system.fit(measured)
+        fit_seconds = time.perf_counter() - fit_start
+        place_seconds = 0.0
+        full_prediction = system.estimate_matrix()
+        predicted = full_prediction[
+            np.ix_(split.ordinary_indices, split.ordinary_indices)
+        ]
+    else:
+        if embedding == "gnp":
+            system = GNPSystem(
+                dimension=config.dimension,
+                landmark_restarts=1,
+                host_restarts=1,
+                max_iter_scale=0.5,
+                seed=rng,
+            )
+        elif embedding == "ics":
+            system = ICSSystem(dimension=config.dimension)
+        else:
+            raise ValidationError(f"unknown embedding {embedding!r}")
+        fit_start = time.perf_counter()
+        system.fit_landmarks(split.landmark_matrix)
+        fit_seconds = time.perf_counter() - fit_start
+        place_start = time.perf_counter()
+        system.place_hosts(split.out_distances, split.in_distances)
+        place_seconds = time.perf_counter() - place_start
+        predicted = system.predict_matrix()
+
+    metrics = _accuracy_metrics(truth, predicted)
+    metrics["fit_seconds"] = fit_seconds
+    metrics["place_seconds"] = place_seconds
+    metrics["placed_fraction"] = 1.0
+    # Coordinate systems have no outgoing/incoming vectors to serve, so
+    # the serving-path metrics do not apply.
+    metrics["query_p50_ms"] = None
+    metrics["query_p99_ms"] = None
+    metrics["cache_hit_rate"] = None
+    metrics.update(_staleness_metrics(truth, predicted, axes, config, rng))
+    return metrics
+
+
+# ---------------------------------------------------------------------- #
+# serving and drift phases
+# ---------------------------------------------------------------------- #
+
+
+def _serving_metrics(
+    host_ids: list,
+    outgoing: np.ndarray,
+    incoming: np.ndarray,
+    cache: str,
+    query_samples: int,
+    rng: np.random.Generator,
+) -> dict:
+    """Time a hot-set point-query workload through DistanceService."""
+    service = DistanceService.from_vectors(
+        host_ids, outgoing, incoming, cache_admission=cache
+    )
+    n = len(host_ids)
+    # 80/20 workload: a fifth of the hosts receive most of the traffic,
+    # which is what gives cache admission something to discriminate.
+    hot = rng.choice(n, size=max(1, n // 5), replace=False)
+    latencies = np.empty(query_samples)
+    for sample in range(query_samples):
+        if rng.random() < 0.8:
+            source = int(hot[rng.integers(len(hot))])
+            destination = int(hot[rng.integers(len(hot))])
+        else:
+            source = int(rng.integers(n))
+            destination = int(rng.integers(n))
+        if source == destination:
+            destination = (destination + 1) % n
+        started = time.perf_counter()
+        service.query(host_ids[source], host_ids[destination])
+        latencies[sample] = (time.perf_counter() - started) * 1000.0
+    cache_stats = service.cache.stats()
+    return {
+        "query_p50_ms": float(np.percentile(latencies, 50)),
+        "query_p99_ms": float(np.percentile(latencies, 99)),
+        "cache_hit_rate": float(cache_stats.hit_rate),
+    }
+
+
+def _staleness_metrics(
+    truth: np.ndarray,
+    predicted: np.ndarray,
+    axes: dict,
+    config: AblationConfig,
+    rng: np.random.Generator,
+) -> dict:
+    """Drift the scored world and measure how stale the fit becomes."""
+    drift = float(axes["drift"])
+    if drift <= 0:
+        return {"staleness_error": None, "drift_from_base": None}
+    temporal = TemporalWorld(
+        truth,
+        TemporalConfig(
+            route_change_rate=min(drift, 1.0),
+            jitter_sigma=0.0,
+        ),
+        seed=rng,
+    )
+    temporal.advance(config.drift_steps)
+    drifted = temporal.current_matrix(measured=False)
+    errors = relative_errors(drifted, predicted, exclude_diagonal=True)
+    return {
+        "staleness_error": float(np.median(errors)) if errors.size else None,
+        "drift_from_base": temporal.drift_from_base(),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# entry point
+# ---------------------------------------------------------------------- #
+
+
+def run_cell(config: AblationConfig, cell: GridCell) -> dict:
+    """Run one grid cell end to end and return its metrics dict.
+
+    Raises whatever the underlying scenario raises — the runner is
+    responsible for catching, attributing and isolating failures.
+    """
+    axes = cell.axes
+    topology = axes["topology"]
+    if topology == "failing":
+        raise RuntimeError(
+            f"self-test cell {cell.cell_id!r} failed deliberately "
+            "(topology=failing exists to prove failure isolation)"
+        )
+    if topology == "slow":
+        time.sleep(float(os.environ.get(_SLOW_SECONDS_ENV, "3600")))
+        raise RuntimeError(
+            f"self-test cell {cell.cell_id!r} woke up before being killed "
+            "(topology=slow exists to prove timeout handling)"
+        )
+    assert topology not in SELF_TEST_VALUES
+
+    rng = as_rng(cell.seed)
+    true_rtt = _build_truth(topology, config, rng)
+    if axes["embedding"] == "ides":
+        metrics = _run_ides_cell(config, axes, true_rtt, rng)
+    else:
+        metrics = _run_matrix_cell(config, axes, true_rtt, rng)
+
+    missing = set(METRIC_KEYS) - set(metrics)
+    assert not missing, f"cell metrics missing keys: {sorted(missing)}"
+    return {key: metrics[key] for key in METRIC_KEYS}

@@ -15,6 +15,7 @@ from .noise import (
     PacketLoss,
     QueueingSpikes,
     default_internet_noise,
+    noise_model_from_name,
 )
 from .pinger import Pinger
 
@@ -31,4 +32,5 @@ __all__ = [
     "Pinger",
     "QueueingSpikes",
     "default_internet_noise",
+    "noise_model_from_name",
 ]

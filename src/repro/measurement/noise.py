@@ -17,6 +17,7 @@ from typing import Protocol
 import numpy as np
 
 from .._validation import as_rng, check_fraction
+from ..exceptions import ValidationError
 
 __all__ = [
     "NoiseModel",
@@ -25,6 +26,7 @@ __all__ = [
     "QueueingSpikes",
     "PacketLoss",
     "CompositeNoise",
+    "noise_model_from_name",
 ]
 
 
@@ -132,6 +134,43 @@ def default_internet_noise() -> CompositeNoise:
     return CompositeNoise(
         stages=(GaussianJitter(sigma_ms=0.4), QueueingSpikes(probability=0.15, mean_ms=15.0))
     )
+
+
+def noise_model_from_name(name: str) -> NoiseModel:
+    """Named noise profiles for declarative scenario configs.
+
+    The catalog behind the ablation harness's ``noise`` axis:
+
+    * ``none`` — ideal probes;
+    * ``jitter`` — serialization/scheduling jitter only;
+    * ``spikes`` — occasional queueing spikes only;
+    * ``internet`` — the composite default of the data-set generators;
+    * ``lossy`` — the internet profile plus 5% independent probe loss.
+
+    (The King *methodology* is not a probe noise model — the harness
+    handles ``noise=king`` at the campaign level via
+    :class:`repro.measurement.KingEstimator`.)
+    """
+    catalog: dict[str, NoiseModel] = {
+        "none": NoNoise(),
+        "jitter": GaussianJitter(sigma_ms=0.8),
+        "spikes": QueueingSpikes(probability=0.2, mean_ms=20.0),
+        "internet": default_internet_noise(),
+        "lossy": CompositeNoise(
+            stages=(
+                GaussianJitter(sigma_ms=0.4),
+                QueueingSpikes(probability=0.15, mean_ms=15.0),
+                PacketLoss(probability=0.05),
+            )
+        ),
+    }
+    try:
+        return catalog[name]
+    except KeyError:
+        known = ", ".join(sorted(catalog))
+        raise ValidationError(
+            f"unknown noise profile {name!r} (known: {known})"
+        ) from None
 
 
 def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:

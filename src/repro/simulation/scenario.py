@@ -60,6 +60,8 @@ class IDESDeployment:
         landmark_nodes: node indices acting as landmarks.
         dimension: model dimension.
         method: landmark factorization method.
+        nonnegative_hosts: solve host vectors with NNLS instead of
+            plain least squares (the paper's non-negativity option).
         noise: probe noise model.
         probe_retries: retries per lost probe before giving up on a
             landmark.
@@ -70,6 +72,7 @@ class IDESDeployment:
     landmark_nodes: list[int]
     dimension: int = 8
     method: str = "svd"
+    nonnegative_hosts: bool = False
     noise: NoiseModel | None = None
     probe_retries: int = 2
     seed: int | np.random.Generator | None = 0
@@ -89,7 +92,11 @@ class IDESDeployment:
             check_indices(self.landmark_nodes, self.network.n_nodes, name="landmark_nodes")
         )
         self.system = IDESSystem(
-            dimension=self.dimension, method=self.method, strict=True, seed=rng
+            dimension=self.dimension,
+            method=self.method,
+            nonnegative_hosts=self.nonnegative_hosts,
+            strict=True,
+            seed=rng,
         )
         self.placements = []
         self._landmarks_fitted = False

@@ -13,6 +13,7 @@ from .delays import (
     propagation_delay_ms,
 )
 from .graph import NodeKind, Topology
+from .scenarios import clustered_host_rtt, waxman_host_rtt
 from .sites import SitePlacement, assign_hosts, place_sites
 from .transit_stub import TransitStubConfig, transit_stub_topology
 from .waxman import waxman_graph
@@ -26,8 +27,10 @@ __all__ = [
     "TransitStubConfig",
     "assign_hosts",
     "assign_link_delays",
+    "clustered_host_rtt",
     "place_sites",
     "propagation_delay_ms",
     "transit_stub_topology",
     "waxman_graph",
+    "waxman_host_rtt",
 ]

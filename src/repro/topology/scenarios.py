@@ -1,0 +1,112 @@
+"""Config-friendly world builders for the ablation harness.
+
+The transit-stub pipeline already has a one-call entry point
+(:func:`repro.datasets.synthetic.build_world`); the raw Waxman
+generator does not — it stops at a delay-annotated graph. This module
+provides the missing thin adapters: one call, a handful of scalar
+parameters, a ground-truth host RTT matrix out. The scenario-matrix
+harness (:mod:`repro.evaluation.ablation`) drives every topology axis
+value through these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_rng
+from ..exceptions import ValidationError
+from .delays import assign_link_delays
+from .graph import Topology
+from .waxman import waxman_graph
+
+__all__ = ["clustered_host_rtt", "waxman_host_rtt"]
+
+
+def waxman_host_rtt(
+    n_hosts: int,
+    alpha: float = 0.6,
+    beta: float = 0.25,
+    region_km: float = 4000.0,
+    access_median_ms: float = 0.5,
+    access_sigma: float = 0.4,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Ground-truth RTT matrix of a flat Waxman router world.
+
+    One host per router: RTTs are twice the shortest-path one-way delay
+    plus both endpoints' log-normal access delays. This is the
+    unclustered counterpoint to the transit-stub worlds — no site
+    structure, so the matrix rank reflects geometry alone.
+
+    Args:
+        n_hosts: number of hosts (== routers).
+        alpha / beta / region_km: Waxman parameters.
+        access_median_ms: median last-mile delay per host.
+        access_sigma: log-sigma of the access-delay distribution.
+        seed: randomness source.
+
+    Returns:
+        ``(n_hosts, n_hosts)`` symmetric RTT matrix with zero diagonal.
+    """
+    if n_hosts < 2:
+        raise ValidationError(f"n_hosts must be >= 2, got {n_hosts}")
+    rng = as_rng(seed)
+    graph = waxman_graph(
+        n_hosts, alpha=alpha, beta=beta, region_km=region_km, seed=rng
+    )
+    assign_link_delays(graph, jitter_fraction=0.1, seed=rng)
+    topology = Topology(graph, name=f"waxman-{n_hosts}")
+
+    from ..routing import shortest_path_delays
+
+    one_way = shortest_path_delays(topology)
+    access = access_median_ms * rng.lognormal(0.0, access_sigma, size=n_hosts)
+    rtt = 2.0 * one_way + access[:, None] + access[None, :]
+    np.fill_diagonal(rtt, 0.0)
+    return rtt
+
+
+def clustered_host_rtt(
+    n_hosts: int,
+    n_clusters: int = 6,
+    inter_cluster_min_ms: float = 10.0,
+    inter_cluster_max_ms: float = 120.0,
+    intra_cluster_ms: float = 2.0,
+    access_min_ms: float = 0.5,
+    access_max_ms: float = 3.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Ground-truth RTT matrix with hard cluster structure.
+
+    Cluster-to-cluster base delays plus per-host access delays: the
+    low-rank structure the factorization model assumes, with none of
+    the routing-policy texture of the transit-stub worlds. Useful as a
+    best-case topology axis value.
+
+    Args:
+        n_hosts: number of hosts.
+        n_clusters: number of clusters hosts are assigned to uniformly.
+        inter_cluster_min_ms / inter_cluster_max_ms: range of the
+            symmetric cluster-to-cluster base delays.
+        intra_cluster_ms: base delay between co-clustered hosts.
+        access_min_ms / access_max_ms: per-host access-delay range.
+        seed: randomness source.
+
+    Returns:
+        ``(n_hosts, n_hosts)`` symmetric RTT matrix with zero diagonal.
+    """
+    if n_hosts < 2:
+        raise ValidationError(f"n_hosts must be >= 2, got {n_hosts}")
+    if n_clusters < 1:
+        raise ValidationError(f"n_clusters must be >= 1, got {n_clusters}")
+    rng = as_rng(seed)
+    base = rng.uniform(
+        inter_cluster_min_ms, inter_cluster_max_ms, size=(n_clusters, n_clusters)
+    )
+    base = 0.5 * (base + base.T)
+    np.fill_diagonal(base, intra_cluster_ms)
+    membership = rng.integers(0, n_clusters, size=n_hosts)
+    access = rng.uniform(access_min_ms, access_max_ms, size=n_hosts)
+    rtt = base[np.ix_(membership, membership)] + access[:, None] + access[None, :]
+    np.fill_diagonal(rtt, 0.0)
+    return rtt

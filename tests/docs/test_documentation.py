@@ -28,7 +28,12 @@ checker = _load_checker()
 
 class TestRealDocumentation:
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "wire-protocol.md", "paper-mapping.md"):
+        for name in (
+            "architecture.md",
+            "wire-protocol.md",
+            "paper-mapping.md",
+            "experiments.md",
+        ):
             assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
     def test_readme_points_into_docs(self):
@@ -36,6 +41,7 @@ class TestRealDocumentation:
         assert "docs/architecture.md" in readme
         assert "docs/wire-protocol.md" in readme
         assert "docs/paper-mapping.md" in readme
+        assert "docs/experiments.md" in readme
         assert "serve shard" in readme and "serve router" in readme
 
     def test_documentation_is_consistent(self):
@@ -84,3 +90,39 @@ class TestCheckerCatchesRot:
             "```text\n[fake](not/a/real/path.md)\n```\n"
         )
         assert checker.check_paths(page, text) == []
+
+    def test_flags_broken_json_block(self, tmp_path):
+        page = tmp_path / "bad.md"
+        text = "```json\n{not json}\n```\n"
+        errors = checker.check_json_blocks(page, text)
+        assert len(errors) == 1 and "does not parse" in errors[0]
+
+    def test_flags_invalid_grid_config(self, tmp_path):
+        page = tmp_path / "bad.md"
+        text = '```json\n{"axes": {"solver": ["magic"]}}\n```\n'
+        errors = checker.check_json_blocks(page, text)
+        assert len(errors) == 1 and "grid config is invalid" in errors[0]
+
+    def test_accepts_valid_grid_config(self, tmp_path):
+        page = tmp_path / "ok.md"
+        text = '```json\n{"axes": {"solver": ["svd", "nmf"]}}\n```\n'
+        assert checker.check_json_blocks(page, text) == []
+
+    def test_flags_axis_value_drift(self, tmp_path):
+        page = tmp_path / "experiments.md"
+        text = (
+            "| axis | values | meaning |\n|---|---|---|\n"
+            "| `solver` | `svd`, `cholesky` | tiers |\n"
+        )
+        errors = checker.check_axis_catalog(page, text)
+        assert any("cholesky" in e for e in errors)  # unknown value
+        assert any("missing catalog axes" in e for e in errors)
+
+    def test_flags_unknown_preset(self, tmp_path):
+        page = tmp_path / "experiments.md"
+        errors = checker.check_axis_catalog(page, "use --preset warp\n")
+        assert any("warp" in e for e in errors)
+
+    def test_axis_catalog_check_scoped_to_experiments_page(self, tmp_path):
+        page = tmp_path / "other.md"
+        assert checker.check_axis_catalog(page, "--preset warp") == []

@@ -1,0 +1,151 @@
+"""Config validation, serialization, presets and axis flag parsing."""
+
+import json
+
+import pytest
+
+from repro.evaluation.ablation import (
+    AXES,
+    PRESETS,
+    AblationConfig,
+    axis_catalog,
+    expand_grid,
+    load_config,
+    parse_axis_flag,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAxisCatalog:
+    def test_seven_axes(self):
+        assert set(AXES) == {
+            "topology", "noise", "drift", "churn", "solver", "cache", "embedding",
+        }
+
+    def test_catalog_order_matches_dict(self):
+        assert [spec.name for spec in axis_catalog()] == list(AXES)
+
+    def test_choice_defaults_in_domain(self):
+        for spec in AXES.values():
+            if spec.kind == "choice":
+                assert spec.default in spec.choices
+
+    def test_float_coercion(self):
+        assert AXES["drift"].coerce("0.25") == 0.25
+        assert AXES["drift"].coerce(1) == 1.0
+
+    def test_negative_float_rejected(self):
+        with pytest.raises(ValidationError):
+            AXES["churn"].coerce(-0.1)
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(ValidationError):
+            AXES["solver"].coerce("cholesky")
+
+
+class TestAblationConfig:
+    def test_defaults_give_single_cell(self):
+        cells = expand_grid(AblationConfig())
+        assert len(cells) == 1
+
+    def test_missing_axes_filled_with_defaults(self):
+        config = AblationConfig(axes={"solver": ("svd", "nmf")}).validate()
+        assert set(config.axes) == set(AXES)
+        assert config.axes["topology"] == ("transit-stub",)
+        assert config.axes["solver"] == ("svd", "nmf")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValidationError, match="unknown axes"):
+            AblationConfig(axes={"quux": ("a",)}).validate()
+
+    def test_bare_string_value_rejected(self):
+        with pytest.raises(ValidationError, match="list of values"):
+            AblationConfig(axes={"solver": "svd"}).validate()
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            AblationConfig(axes={"solver": ("svd", "svd")}).validate()
+
+    def test_dimension_bound_by_landmarks(self):
+        with pytest.raises(ValidationError, match="dimension"):
+            AblationConfig(n_landmarks=4, dimension=5).validate()
+
+    def test_round_trip_through_dict(self):
+        config = AblationConfig(
+            axes={"noise": ("none", "lossy"), "drift": (0.0, 0.1)},
+            n_hosts=40,
+            seed=9,
+        ).validate()
+        clone = AblationConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.fingerprint() == config.fingerprint()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValidationError, match="unknown config keys"):
+            AblationConfig.from_dict({"axes": {}, "workers": 4})
+
+    def test_from_dict_rejects_non_integer(self):
+        with pytest.raises(ValidationError, match="integer"):
+            AblationConfig.from_dict({"n_hosts": "eighty"})
+
+    def test_fingerprint_changes_with_content(self):
+        base = AblationConfig().validate()
+        other = AblationConfig(seed=1).validate()
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_load_config(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"axes": {"solver": ["svd", "nmf"]}}))
+        config = load_config(path)
+        assert config.axes["solver"] == ("svd", "nmf")
+
+    def test_load_config_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            load_config(tmp_path / "absent.json")
+
+    def test_load_config_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_config(path)
+
+
+class TestAxisFlag:
+    def test_parses_choice_values(self):
+        name, values = parse_axis_flag("solver=svd,nmf")
+        assert name == "solver"
+        assert values == ("svd", "nmf")
+
+    def test_parses_float_values(self):
+        name, values = parse_axis_flag("drift=0,0.05")
+        assert name == "drift"
+        assert values == (0.0, 0.05)
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_axis_flag("solver")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValidationError, match="unknown axis"):
+            parse_axis_flag("widget=a,b")
+
+    def test_out_of_domain_value_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_axis_flag("solver=svd,magic")
+
+
+class TestPresets:
+    def test_smoke_is_two_by_two_by_two(self):
+        assert len(expand_grid(PRESETS["smoke"])) == 8
+
+    def test_all_presets_validate(self):
+        for name, preset in PRESETS.items():
+            validated = preset.validate()
+            assert validated.name == name
+            assert len(expand_grid(validated)) >= 8
+
+    def test_presets_exclude_self_test_values(self):
+        for preset in PRESETS.values():
+            for values in preset.axes.values():
+                assert "failing" not in values
+                assert "slow" not in values

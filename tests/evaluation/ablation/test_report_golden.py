@@ -1,0 +1,168 @@
+"""Golden-report regression: a fixed-seed 2x2 grid vs the committed
+expectation, plus report validation and markdown rendering.
+
+Structure (keys, cell ids, seeds, statuses, fingerprint) must match the
+golden file exactly; metric values match within tolerance so BLAS
+build differences don't produce false alarms; wall-clock fields are
+compared by type only. Regenerate the fixture (after an intentional
+schema or scenario change) with::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.evaluation.ablation import *
+    from tests.evaluation.ablation.test_report_golden import golden_config
+    config = golden_config()
+    report = build_report(config, run_ablation(config, in_process=True))
+    json.dump(require_valid_report(report),
+              open('tests/evaluation/ablation/golden_report.json', 'w'),
+              indent=2, sort_keys=True)
+    "
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.ablation import (
+    REPORT_SCHEMA,
+    AblationConfig,
+    build_report,
+    render_markdown,
+    require_valid_report,
+    run_ablation,
+    validate_report,
+)
+from repro.exceptions import ValidationError
+
+GOLDEN_PATH = Path(__file__).parent / "golden_report.json"
+
+#: Wall-clock numbers: value comparison is meaningless across machines.
+TIMING_KEYS = {"fit_seconds", "place_seconds", "query_p50_ms",
+               "query_p99_ms", "duration_seconds", "total_cell_seconds"}
+#: Accuracy numbers: identical seeds, tolerance for BLAS differences.
+VALUE_TOLERANCE = 1e-4
+
+
+def golden_config() -> AblationConfig:
+    """The exact config the committed golden report was built from."""
+    return AblationConfig(
+        name="golden",
+        axes={"topology": ("clustered", "waxman"), "solver": ("svd", "nmf")},
+        n_hosts=24,
+        n_landmarks=8,
+        dimension=4,
+        seed=20041025,
+        query_samples=40,
+    ).validate()
+
+
+def assert_matches_golden(actual, expected, path="report"):
+    """Exact keys/structure; tolerant numeric values; timings by type."""
+    assert type(actual) is type(expected), f"{path}: {type(actual)} != {type(expected)}"
+    if isinstance(expected, dict):
+        assert sorted(actual) == sorted(expected), f"{path}: key sets differ"
+        for key in expected:
+            if key in TIMING_KEYS:
+                assert isinstance(actual[key], type(expected[key])), (
+                    f"{path}.{key}: timing field type changed"
+                )
+                continue
+            assert_matches_golden(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert len(actual) == len(expected), f"{path}: length differs"
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            assert_matches_golden(a, e, f"{path}[{index}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=VALUE_TOLERANCE, abs=1e-9), (
+            f"{path}: {actual} != {expected}"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+class TestGoldenReport:
+    @pytest.fixture(scope="class")
+    def fresh_report(self):
+        config = golden_config()
+        return require_valid_report(
+            build_report(config, run_ablation(config, in_process=True))
+        )
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+    def test_golden_file_is_schema_valid(self, golden):
+        assert validate_report(golden) == []
+        assert golden["schema"] == REPORT_SCHEMA
+
+    def test_fresh_run_matches_golden(self, fresh_report, golden):
+        assert_matches_golden(fresh_report, golden)
+
+    def test_fingerprint_pinned(self, golden):
+        # The fingerprint ties the golden file to the exact config; if
+        # this fails, config serialization changed and every sidecar
+        # resume in the wild just silently invalidated.
+        assert golden["fingerprint"] == golden_config().fingerprint()
+
+    def test_json_round_trip(self, fresh_report):
+        clone = json.loads(json.dumps(fresh_report))
+        assert validate_report(clone) == []
+        assert_matches_golden(clone, fresh_report)
+
+    def test_markdown_renders_from_golden(self, golden):
+        markdown = render_markdown(golden)
+        assert "# Ablation report: golden" in markdown
+        assert "## By-axis aggregates" in markdown
+        for axis_value in ("clustered", "waxman", "svd", "nmf"):
+            assert axis_value in markdown
+
+
+class TestReportValidation:
+    def make_report(self):
+        config = AblationConfig(
+            axes={"solver": ("svd",)}, n_hosts=20, n_landmarks=6,
+            dimension=3, query_samples=20,
+        ).validate()
+        return build_report(config, run_ablation(config, in_process=True))
+
+    def test_valid_report_passes(self):
+        assert validate_report(self.make_report()) == []
+
+    def test_wrong_schema_flagged(self):
+        report = self.make_report()
+        report["schema"] = "something/else"
+        assert any("schema" in problem for problem in validate_report(report))
+
+    def test_missing_top_level_key_flagged(self):
+        report = self.make_report()
+        del report["summary"]
+        assert any("summary" in problem for problem in validate_report(report))
+
+    def test_cell_count_mismatch_flagged(self):
+        report = self.make_report()
+        report["grid"]["n_cells"] = 99
+        assert any("n_cells" in problem for problem in validate_report(report))
+
+    def test_ok_cell_without_metrics_flagged(self):
+        report = copy.deepcopy(self.make_report())
+        report["cells"][0]["metrics"] = None
+        assert any("metrics" in problem for problem in validate_report(report))
+
+    def test_failed_cell_without_error_flagged(self):
+        report = copy.deepcopy(self.make_report())
+        cell = report["cells"][0]
+        cell["status"] = "error"
+        cell["metrics"] = None
+        cell["error"] = None
+        report["summary"]["status_counts"] = {"ok": 0, "error": 1, "timeout": 0}
+        assert any("error message" in problem for problem in validate_report(report))
+
+    def test_require_valid_report_raises(self):
+        with pytest.raises(ValidationError, match="invalid ablation report"):
+            require_valid_report({"schema": "nope"})
+
+    def test_non_mapping_rejected(self):
+        assert validate_report([1, 2]) != []

@@ -1,0 +1,240 @@
+"""Failure isolation, timeouts, resume and exit-code semantics.
+
+The ``topology=failing`` and ``topology=slow`` self-test axis values
+let these tests provoke real worker failures across process boundaries
+without monkeypatching.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.evaluation.ablation import (
+    AblationConfig,
+    run_ablation,
+)
+from repro.evaluation.ablation.runner import (
+    CellResult,
+    append_sidecar,
+    read_sidecar,
+    sidecar_path,
+)
+from repro.exceptions import ValidationError
+
+
+def tiny_config(**axes):
+    """A config sized for sub-second cells."""
+    spec = {name: tuple(values) for name, values in axes.items()}
+    return AblationConfig(
+        axes=spec, n_hosts=20, n_landmarks=6, dimension=3, query_samples=20
+    ).validate()
+
+
+class TestFailureIsolation:
+    def test_raising_cell_recorded_while_siblings_complete(self):
+        config = tiny_config(topology=["clustered", "failing"], solver=["svd", "nmf"])
+        results = run_ablation(config, jobs=2)
+        by_status = {}
+        for result in results:
+            by_status.setdefault(result.status, []).append(result)
+        assert len(by_status["ok"]) == 2
+        assert len(by_status["error"]) == 2
+        for failed in by_status["error"]:
+            assert failed.axes["topology"] == "failing"
+            assert "deliberately" in failed.error
+            assert "RuntimeError" in failed.traceback
+            assert failed.metrics is None
+        for succeeded in by_status["ok"]:
+            assert succeeded.metrics["rpe_median"] is not None
+
+    def test_in_process_mode_isolates_too(self):
+        config = tiny_config(topology=["clustered", "failing"])
+        results = run_ablation(config, in_process=True)
+        statuses = sorted(result.status for result in results)
+        assert statuses == ["error", "ok"]
+
+    def test_results_sorted_by_index(self):
+        config = tiny_config(topology=["clustered", "failing"], noise=["none", "jitter"])
+        results = run_ablation(config, jobs=4)
+        assert [result.index for result in results] == [0, 1, 2, 3]
+
+    def test_completion_callback_sees_every_fresh_cell(self):
+        config = tiny_config(topology=["clustered", "failing"])
+        seen = []
+        run_ablation(config, jobs=2, on_cell_complete=lambda r: seen.append(r.cell_id))
+        assert len(seen) == 2
+
+
+class TestTimeouts:
+    def test_slow_cell_killed_and_attributed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ABLATION_SLOW_SECONDS", "120")
+        config = tiny_config(topology=["clustered", "slow"])
+        results = run_ablation(config, jobs=2, timeout=3.0)
+        by_topology = {result.axes["topology"]: result for result in results}
+        assert by_topology["clustered"].status == "ok"
+        assert by_topology["slow"].status == "timeout"
+        assert "timeout of 3" in by_topology["slow"].error
+
+    def test_timeout_rejected_in_process(self):
+        with pytest.raises(ValidationError, match="in-process"):
+            run_ablation(tiny_config(), in_process=True, timeout=1.0)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValidationError, match="jobs"):
+            run_ablation(tiny_config(), jobs=0)
+
+
+class TestDeterminism:
+    def test_same_config_same_metrics(self):
+        config = tiny_config(solver=["svd", "nmf"])
+        first = run_ablation(config, in_process=True)
+        second = run_ablation(config, jobs=2)
+        for a, b in zip(first, second):
+            assert a.cell_id == b.cell_id
+            assert a.seed == b.seed
+            # Accuracy metrics are seed-determined; timings are not.
+            for key in ("stress", "nmse", "rpe_median", "rpe_p90"):
+                assert a.metrics[key] == pytest.approx(b.metrics[key], rel=1e-12)
+
+    def test_different_seed_different_metrics(self):
+        base = tiny_config(topology=["clustered"])
+        import dataclasses
+
+        other = dataclasses.replace(base, seed=base.seed + 1).validate()
+        first = run_ablation(base, in_process=True)[0]
+        second = run_ablation(other, in_process=True)[0]
+        assert first.seed != second.seed
+        assert first.metrics["rpe_median"] != second.metrics["rpe_median"]
+
+
+class TestSidecarResume:
+    def test_round_trip_and_resume_skips_ok_cells(self, tmp_path):
+        config = tiny_config(topology=["clustered", "failing"])
+        output = tmp_path / "report.json"
+        sidecar = sidecar_path(output)
+        fingerprint = config.fingerprint()
+
+        first = run_ablation(
+            config,
+            in_process=True,
+            on_cell_complete=lambda r: append_sidecar(sidecar, fingerprint, r),
+        )
+        recovered = read_sidecar(sidecar, fingerprint)
+        # Only the ok cell is resumable; the failed one must retry.
+        assert len(recovered) == 1
+        ok_id = next(iter(recovered))
+        assert recovered[ok_id].ok
+
+        executed = []
+        second = run_ablation(
+            config,
+            in_process=True,
+            completed=recovered,
+            on_cell_complete=lambda r: executed.append(r.cell_id),
+        )
+        assert len(second) == len(first)
+        assert executed == [r.cell_id for r in first if not r.ok]
+
+    def test_fingerprint_mismatch_ignores_sidecar(self, tmp_path):
+        sidecar = tmp_path / "x.json.cells.jsonl"
+        result = CellResult(
+            index=0, cell_id="a", axes={}, seed=1, status="ok",
+            metrics={}, error=None, traceback=None, duration_seconds=0.1,
+        )
+        append_sidecar(sidecar, "fp-old", result)
+        assert read_sidecar(sidecar, "fp-new") == {}
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        sidecar = tmp_path / "x.json.cells.jsonl"
+        sidecar.write_text('not json\n{"fingerprint": "fp", "result": 3}\n')
+        assert read_sidecar(sidecar, "fp") == {}
+
+
+class TestCLIExitCodes:
+    def run_cli(self, tmp_path, *extra):
+        output = tmp_path / "report.json"
+        argv = [
+            "ablate", "--in-process",
+            "--hosts", "20", "--landmarks", "6", "--dimension", "3",
+            "--axis", "topology=clustered,failing",
+            "--output", str(output),
+            *extra,
+        ]
+        return main(argv), output
+
+    def test_failures_exit_one(self, tmp_path, capsys):
+        code, output = self.run_cli(tmp_path)
+        capsys.readouterr()
+        assert code == 1
+        report = json.loads(output.read_text())
+        assert report["summary"]["status_counts"]["error"] == 1
+        assert report["summary"]["failed_cells"][0]["error"]
+
+    def test_allow_failures_exits_zero(self, tmp_path, capsys):
+        code, _output = self.run_cli(tmp_path, "--allow-failures")
+        capsys.readouterr()
+        assert code == 0
+
+    def test_clean_grid_exits_zero(self, tmp_path, capsys):
+        output = tmp_path / "ok.json"
+        code = main([
+            "ablate", "--in-process",
+            "--hosts", "20", "--landmarks", "6", "--dimension", "3",
+            "--axis", "topology=clustered",
+            "--output", str(output),
+            "--markdown", str(tmp_path / "ok.md"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# Ablation report" in out
+        assert (tmp_path / "ok.md").exists()
+
+    def test_config_error_exits_two(self, tmp_path, capsys):
+        code = main([
+            "ablate", "--axis", "solver=magic",
+            "--output", str(tmp_path / "r.json"),
+        ])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_preset_config_conflict_exits_two(self, tmp_path, capsys):
+        config_file = tmp_path / "grid.json"
+        config_file.write_text("{}")
+        code = main([
+            "ablate", "--fast", "--config", str(config_file),
+            "--output", str(tmp_path / "r.json"),
+        ])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_cli_resume_reuses_cells(self, tmp_path, capsys):
+        code, output = self.run_cli(tmp_path, "--allow-failures")
+        assert code == 0
+        capsys.readouterr()
+        code, _ = self.run_cli(tmp_path, "--allow-failures", "--resume")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[resume] reusing 1 finished cells" in out
+
+
+class TestMetricsSanity:
+    def test_ok_cell_metrics_well_formed(self):
+        config = tiny_config(topology=["clustered"], drift=[0.1])
+        result = run_ablation(config, in_process=True)[0]
+        metrics = result.metrics
+        assert metrics["stress"] >= 0
+        assert metrics["nmse"] >= 0
+        assert 0 <= metrics["placed_fraction"] <= 1
+        assert metrics["query_p50_ms"] <= metrics["query_p99_ms"]
+        assert metrics["staleness_error"] is not None
+        assert metrics["drift_from_base"] > 0
+        assert np.isfinite(metrics["fit_seconds"])
+
+    def test_non_ides_embedding_has_null_serving_metrics(self):
+        config = tiny_config(topology=["clustered"], embedding=["ics"])
+        result = run_ablation(config, in_process=True)[0]
+        assert result.metrics["query_p50_ms"] is None
+        assert result.metrics["cache_hit_rate"] is None
+        assert result.metrics["rpe_median"] is not None

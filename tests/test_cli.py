@@ -22,6 +22,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_ablate_command_options(self):
+        arguments = build_parser().parse_args(
+            [
+                "ablate", "--fast", "--jobs", "2",
+                "--axis", "solver=svd,nmf",
+                "--output", "report.json", "--allow-failures",
+            ]
+        )
+        assert arguments.command == "ablate"
+        assert arguments.fast is True
+        assert arguments.jobs == 2
+        assert arguments.axis == ["solver=svd,nmf"]
+        assert arguments.allow_failures is True
+
+    def test_ablate_defaults(self):
+        arguments = build_parser().parse_args(["ablate"])
+        assert arguments.jobs == 1
+        assert arguments.timeout == 300.0
+        assert arguments.resume is False
+        assert arguments.in_process is False
+
 
 class TestMain:
     def test_list_prints_experiments(self, capsys):
@@ -30,6 +51,17 @@ class TestMain:
         assert "fig2" in output
         assert "table1" in output
         assert "ablate-rank" in output
+
+    def test_list_prints_ablation_axes_and_presets(self, capsys):
+        from repro.evaluation.ablation import AXES, PRESETS
+
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "ides-experiment ablate" in output
+        for axis in AXES:
+            assert f"  {axis}:" in output
+        for preset in PRESETS:
+            assert f"  {preset}:" in output
 
     def test_run_quick_experiment(self, capsys):
         assert main(["run", "ablate-rank", "--fast"]) == 0

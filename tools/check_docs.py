@@ -15,7 +15,14 @@ Checks, over ``README.md`` and every ``docs/*.md``:
    a renamed flag or subcommand breaks the build, not a reader;
 3. every relative path reference (markdown links and backticked
    ``examples/...``-style paths) points at a file or directory that
-   exists.
+   exists;
+4. every fenced ```json block parses, and json blocks that look like
+   ablation grid configs additionally validate against
+   ``repro.evaluation.ablation.AblationConfig``;
+5. axis names, axis values and preset names mentioned in
+   ``docs/experiments.md`` match the live catalog
+   (``repro.evaluation.ablation.AXES`` / ``PRESETS``), so the axis
+   documentation cannot drift from the code.
 
 The checker is intentionally a plain script with a ``collect_errors``
 entry point: no test framework required, importable from the test
@@ -128,6 +135,101 @@ def check_paths(path: Path, text: str) -> list[str]:
     return errors
 
 
+def check_json_blocks(path: Path, text: str) -> list[str]:
+    """Every ```json block must parse; grid configs must validate."""
+    import json
+
+    from repro.evaluation.ablation import AblationConfig
+    from repro.exceptions import ValidationError
+
+    errors = []
+    for match in _FENCE.finditer(text):
+        language, source = match.group(1), match.group(2)
+        if language != "json":
+            continue
+        line = _line_of(text, match.start())
+        try:
+            payload = json.loads(source)
+        except json.JSONDecodeError as broken:
+            errors.append(
+                f"{path.name}:{line}: json block does not parse: {broken}"
+            )
+            continue
+        # A mapping with an "axes" key is documented as an ablation
+        # grid config; it must actually load as one.
+        if isinstance(payload, dict) and "axes" in payload:
+            try:
+                AblationConfig.from_dict(payload)
+            except ValidationError as broken:
+                errors.append(
+                    f"{path.name}:{line}: documented grid config is "
+                    f"invalid: {broken}"
+                )
+    return errors
+
+
+#: Table rows of docs/experiments.md's axis catalog:
+#: | `name` | values... | description |
+_AXIS_ROW = re.compile(r"^\|\s*`(\w+)`\s*\|([^|]*)\|", re.MULTILINE)
+#: Backticked tokens inside one table cell.
+_CELL_TOKENS = re.compile(r"`([^`]+)`")
+
+
+def check_axis_catalog(path: Path, text: str) -> list[str]:
+    """docs/experiments.md's axis table must match the live catalog.
+
+    Every documented axis must exist, every documented choice value
+    must be in the axis domain, every catalog axis must be documented,
+    and every documented ``--preset`` name must exist.
+    """
+    if path.name != "experiments.md":
+        return []
+    from repro.evaluation.ablation import AXES, PRESETS
+
+    errors = []
+    documented: dict[str, list[str]] = {}
+    for row in _AXIS_ROW.finditer(text):
+        name, values_cell = row.group(1), row.group(2)
+        if name not in AXES:
+            # Table rows for other tables (e.g. report fields) also
+            # match the pattern; only flag rows under known axis names
+            # when the name collides with nothing.
+            continue
+        documented[name] = _CELL_TOKENS.findall(values_cell)
+
+    missing = set(AXES) - set(documented)
+    if missing:
+        errors.append(
+            f"{path.name}: axis table is missing catalog axes: "
+            f"{', '.join(sorted(missing))}"
+        )
+    for name, tokens in documented.items():
+        spec = AXES[name]
+        if spec.kind != "choice":
+            continue
+        for token in tokens:
+            if token not in spec.choices:
+                errors.append(
+                    f"{path.name}: axis {name!r} documents value "
+                    f"{token!r} which is not in the live domain"
+                )
+        undocumented = set(spec.choices) - set(tokens)
+        if undocumented:
+            errors.append(
+                f"{path.name}: axis {name!r} does not document values: "
+                f"{', '.join(sorted(undocumented))}"
+            )
+
+    for match in re.finditer(r"--preset\s+`?(\w+)`?", text):
+        preset = match.group(1)
+        if preset not in PRESETS:
+            errors.append(
+                f"{path.name}: documents unknown preset {preset!r} "
+                f"(known: {', '.join(PRESETS)})"
+            )
+    return errors
+
+
 def collect_errors() -> list[str]:
     """All findings across all documentation files."""
     errors = []
@@ -136,6 +238,8 @@ def collect_errors() -> list[str]:
         errors.extend(check_python_blocks(path, text))
         errors.extend(check_cli_lines(path, text))
         errors.extend(check_paths(path, text))
+        errors.extend(check_json_blocks(path, text))
+        errors.extend(check_axis_catalog(path, text))
     return errors
 
 
