@@ -461,6 +461,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="give every replica a /metrics endpoint on a free port",
     )
     replica_set_parser.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="persist every replica's update journal under DIR (one "
+        "private slice{i}-r{j} subdirectory per replica); a restarted "
+        "replica replays its journal before serving",
+    )
+    replica_set_parser.add_argument(
+        "--anti-entropy",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run a background digest-exchange repair round at this "
+        "interval (default: repair only on write-time seq lag)",
+    )
+    replica_set_parser.add_argument(
         "--timeout",
         type=float,
         default=10.0,
@@ -470,6 +486,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the cluster health report as JSON instead of text",
+    )
+
+    repair_parser = serve_subparsers.add_parser(
+        "repair",
+        help="inspect one replica group's seq lag and digests, then "
+        "trigger an anti-entropy repair round",
+    )
+    repair_parser.add_argument(
+        "replica",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="the replica servers of ONE hash slice (all serving the "
+        "same shard slot)",
+    )
+    repair_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-RPC timeout in seconds (default: 10)",
+    )
+    repair_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report divergence only (exit 1 when replicas disagree); "
+        "do not repair",
+    )
+    repair_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repair report as JSON instead of text",
     )
     return parser
 
@@ -823,6 +869,7 @@ def _command_serve_router(arguments) -> int:
 
 def _command_serve_replica_set(arguments) -> int:
     import asyncio
+    from pathlib import Path
 
     from .exceptions import ValidationError
     from .serving.transport import spawn_shard_process
@@ -832,6 +879,16 @@ def _command_serve_replica_set(arguments) -> int:
         raise ValidationError("replica-set needs --slices >= 1, --replicas >= 1")
     if arguments.snapshot is None and arguments.dimension is None:
         raise ValidationError("replica-set needs --snapshot or --dimension")
+
+    def _journal_dir(slice_index: int, replica_index: int) -> str | None:
+        if arguments.journal_dir is None:
+            return None
+        # One private directory per replica: journals are per-server
+        # sequences and must never be shared.
+        return str(
+            Path(arguments.journal_dir)
+            / f"slice{slice_index}-r{replica_index}"
+        )
 
     processes = []
     try:
@@ -844,8 +901,9 @@ def _command_serve_replica_set(arguments) -> int:
                     dimension=arguments.dimension,
                     snapshot_path=arguments.snapshot,
                     metrics_port=0 if arguments.metrics else None,
+                    journal_dir=_journal_dir(slice_index, replica_index),
                 )
-                for _ in range(arguments.replicas)
+                for replica_index in range(arguments.replicas)
             ]
             processes.extend(members)
             addresses = [f"{p.host}:{p.port}" for p in members]
@@ -857,9 +915,11 @@ def _command_serve_replica_set(arguments) -> int:
                 ) + ")"
             print(line)
 
-        async def report() -> int:
+        async def session() -> int:
             router = await connect_replica_router(
-                groups, timeout=arguments.timeout
+                groups,
+                timeout=arguments.timeout,
+                anti_entropy_seconds=arguments.anti_entropy,
             )
             try:
                 health = await router.health()
@@ -871,12 +931,27 @@ def _command_serve_replica_set(arguments) -> int:
                     for shard in health.shards:
                         print(f"  {shard}")
                     print(f"health: {health}")
-                return 2 if health.unreachable_shards else 0
+                if health.unreachable_shards:
+                    return 2
+                if arguments.anti_entropy is not None:
+                    # The background repair loops live on the router's
+                    # replica groups — keep the session open for the
+                    # whole serving window.
+                    if arguments.duration is not None:
+                        await asyncio.sleep(arguments.duration)
+                    else:
+                        print("serving until Ctrl-C ...")
+                        while True:
+                            await asyncio.sleep(3600.0)
+                return 0
             finally:
                 await router.close()
 
-        code = asyncio.run(report())
-        if code == 0:
+        try:
+            code = asyncio.run(session())
+        except KeyboardInterrupt:
+            code = 0
+        if code == 0 and arguments.anti_entropy is None:
             try:
                 if arguments.duration is not None:
                     time.sleep(arguments.duration)
@@ -890,6 +965,83 @@ def _command_serve_replica_set(arguments) -> int:
     finally:
         for process in processes:
             process.stop()
+
+
+def _command_serve_repair(arguments) -> int:
+    import asyncio
+
+    from .serving.transport import RemoteShardClient
+    from .serving.transport.replica import ReplicaGroup
+    from .serving.transport.router import _parse_address
+
+    async def poll_digests(group) -> tuple[dict, bool]:
+        digests, reachable = {}, True
+        for replica in group._replicas:
+            address = replica.client.address
+            try:
+                reply = await replica.client.call("digest")
+                digests[address] = reply.fields.get("digest")
+            except Exception:  # noqa: BLE001 - a dark replica is a
+                # divergence verdict, not a crash
+                digests[address] = None
+                reachable = False
+        return digests, reachable
+
+    async def session() -> int:
+        clients = [
+            RemoteShardClient(
+                *_parse_address(address), timeout=arguments.timeout
+            )
+            for address in arguments.replica
+        ]
+        group = ReplicaGroup(clients)
+        try:
+            await group.probe()
+            report = None if arguments.check else await group.repair()
+            health = {h.address: h for h in group.replica_health()}
+            digests, reachable = await poll_digests(group)
+            distinct = {d for d in digests.values() if d is not None}
+            converged = reachable and len(distinct) <= 1
+            if arguments.json:
+                import json
+
+                payload = {
+                    "replicas": {
+                        address: state.to_dict()
+                        for address, state in health.items()
+                    },
+                    "digests": digests,
+                    "converged": converged,
+                    "repair": report,
+                }
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                for address in sorted(digests):
+                    state = health.get(address)
+                    digest = digests[address]
+                    line = (
+                        f"  {address}: state={state.state} "
+                        f"seq={state.applied_seq} lag={state.seq_lag} "
+                        f"repairs={state.repairs}"
+                        if state is not None
+                        else f"  {address}:"
+                    )
+                    line += (
+                        f" digest={digest[:12]}"
+                        if digest
+                        else " digest=unavailable"
+                    )
+                    if report and "error" in report.get(address, {}):
+                        line += f" error={report[address]['error']}"
+                    print(line)
+                verdict = "converged" if converged else "diverged"
+                action = "check" if arguments.check else "repair"
+                print(f"{action}: {verdict}")
+            return 0 if converged else 1
+        finally:
+            await group.close()
+
+    return asyncio.run(session())
 
 
 def _command_serve(arguments) -> int:
@@ -906,6 +1058,7 @@ def _command_serve(arguments) -> int:
         "shard": _command_serve_shard,
         "router": _command_serve_router,
         "replica-set": _command_serve_replica_set,
+        "repair": _command_serve_repair,
         "metrics": _command_serve_metrics,
         "trace-tail": _command_serve_trace_tail,
     }

@@ -106,14 +106,24 @@ class ReplicaHealth:
 
     Attributes:
         address: the replica server's ``host:port``.
-        state: ``"active"`` (serving reads) or ``"dark"`` (failed its
+        state: ``"active"`` (serving reads), ``"dark"`` (failed its
             last contact; sidelined until a reprobe or a successful
-            write resurrects it).
+            write resurrects it), or ``"catching_up"`` (answering
+            again but behind its siblings' journal; excluded from the
+            read rotation until an anti-entropy repair converges it).
         ewma_latency_ms: smoothed RPC latency as seen by the group's
             health scorer, or None before the first completed call.
         in_flight: RPCs currently outstanding on the replica's client.
         failures: calls this replica failed (each one triggered a
             failover to a sibling or a counted write miss).
+        applied_seq: the replica's journal high-water mark as last
+            observed by the group, or None before any seq was seen.
+        seq_lag: how many journal entries this replica trails the
+            most-applied sibling by (0 when caught up, None when
+            either side's seq is unknown).
+        repairs: anti-entropy repairs that converged this replica.
+        last_repair_seconds: wall-clock duration of the most recent
+            successful repair, or None when never repaired.
     """
 
     address: str
@@ -121,6 +131,10 @@ class ReplicaHealth:
     ewma_latency_ms: float | None = None
     in_flight: int = 0
     failures: int = 0
+    applied_seq: int | None = None
+    seq_lag: int | None = None
+    repairs: int = 0
+    last_repair_seconds: float | None = None
 
     def to_dict(self) -> dict:
         """Plain-JSON form (the ``--json`` health surfaces)."""
@@ -132,7 +146,8 @@ class ReplicaHealth:
             if self.ewma_latency_ms is not None
             else ""
         )
-        return f"{self.address}:{self.state}{latency}"
+        lag = f" lag={self.seq_lag}" if self.seq_lag else ""
+        return f"{self.address}:{self.state}{latency}{lag}"
 
 
 @dataclass(frozen=True)
@@ -243,7 +258,12 @@ class ServiceHealth:
         update_sink_failures_by_sink: the same failures attributed to
             the sink that raised, as sorted ``(sink_name, count)``
             pairs — a flapping replica is identifiable by name instead
-            of hiding inside one global counter.
+            of hiding inside one global counter. A failure is only
+            counted after the service's one bounded in-line retry also
+            failed.
+        update_sink_last_error: the most recent failure reason per
+            sink, as sorted ``(sink_name, "ErrorType: message")``
+            pairs — *why* a sink is flapping, not just how often.
     """
 
     n_hosts: int
@@ -267,6 +287,7 @@ class ServiceHealth:
     shards: tuple[ShardHealth, ...] = ()
     update_sink_failures: int = 0
     update_sink_failures_by_sink: tuple[tuple[str, int], ...] = ()
+    update_sink_last_error: tuple[tuple[str, str], ...] = ()
 
     def to_dict(self) -> dict:
         """Plain-JSON form (the ``--json`` health surfaces).
@@ -280,6 +301,7 @@ class ServiceHealth:
         data["update_sink_failures_by_sink"] = dict(
             self.update_sink_failures_by_sink
         )
+        data["update_sink_last_error"] = dict(self.update_sink_last_error)
         data["cache_hit_rate"] = self.cache_hit_rate
         data["shard_imbalance"] = self.shard_imbalance
         data["unreachable_shards"] = self.unreachable_shards

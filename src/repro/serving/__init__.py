@@ -22,6 +22,10 @@ serves the traffic:
   observations through online trackers back into the store while
   queries keep flowing;
 * :mod:`~repro.serving.snapshot` — portable ``.npz`` serialization;
+* :mod:`~repro.serving.journal` — the per-shard update journal:
+  monotone seq numbers over every mutating op, a bounded in-memory
+  ring plus optional on-disk segments, and :func:`store_digest` for
+  order-independent content comparison between replicas;
 * :mod:`~repro.serving.observability` — the telemetry plane: a
   process-wide :class:`MetricsRegistry` (Prometheus-text + JSON
   exposition), distributed :class:`Tracer` spans threaded through the
@@ -48,6 +52,7 @@ bridge from thread-world writers. Time is always an injectable
 
 from .cache import CacheStats, PredictionCache
 from .engine import QueryEngine
+from .journal import JournalEntry, ShardJournal, store_digest
 from .observability import (
     MetricsRegistry,
     TelemetryServer,
@@ -92,6 +97,8 @@ from .store import (
     shard_of,
 )
 from .transport import (
+    ChaosClient,
+    ChaosSchedule,
     PipelineReport,
     RemoteShardClient,
     ReplicaGroup,
@@ -108,11 +115,14 @@ __all__ = [
     "AdaptiveBatchPolicy",
     "AsyncDistanceFrontend",
     "CacheStats",
+    "ChaosClient",
+    "ChaosSchedule",
     "ConcurrencyReport",
     "DistanceService",
     "FixedWindowPolicy",
     "FrontendStats",
     "InMemoryVectorStore",
+    "JournalEntry",
     "MetricsRegistry",
     "PipelineReport",
     "PolicyReport",
@@ -124,6 +134,7 @@ __all__ = [
     "ReplicaGroup",
     "RttObservation",
     "ServiceSnapshot",
+    "ShardJournal",
     "ShardReplicator",
     "ShardServer",
     "SimulatedDispatchBackend",
@@ -154,5 +165,6 @@ __all__ = [
     "set_registry",
     "shard_of",
     "spawn_shard_process",
+    "store_digest",
     "synthetic_drift_stream",
 ]

@@ -55,6 +55,9 @@ class DistanceService:
             time instead of sleeping.
         ridge / nonnegative / strict: solver options forwarded to
             host registration (:func:`repro.ides.solve_host_vectors`).
+        sink_retry_backoff: pause in seconds before the single in-line
+            retry of a failed update-sink fan-out (0 retries
+            immediately).
     """
 
     def __init__(
@@ -69,6 +72,7 @@ class DistanceService:
         ridge: float = 0.0,
         nonnegative: bool = False,
         strict: bool = True,
+        sink_retry_backoff: float = 0.05,
     ):
         if store is None:
             if dimension is None:
@@ -100,7 +104,12 @@ class DistanceService:
         self._update_sinks: list = []  # [(name, sink), ...]
         self._update_sink_failures = 0
         self._sink_failures_by_name: dict[str, int] = {}
+        self._sink_last_error: dict[str, str] = {}
         self._sinks_attached = 0
+        #: Pause before the single in-line retry of a failed sink call
+        #: (a transient blip — a reconnect, a brief election — often
+        #: clears within tens of milliseconds).
+        self._sink_retry_backoff = max(0.0, float(sink_retry_backoff))
 
     # ------------------------------------------------------------------ #
     # construction from fitted models
@@ -346,19 +355,32 @@ class DistanceService:
             sinks = list(self._update_sinks)
         # Fan-out to attached replicas happens *outside* the service
         # lock: a slow or dark remote shard must not stall the local
-        # query path. Sinks are best-effort — a failure is counted (and
-        # surfaced via health) but never rolls back the local update;
-        # flushes are idempotent overwrites, so the next one converges
-        # the replica.
+        # query path. Sinks are best-effort — a failure gets one
+        # bounded in-line retry after a short backoff (transient blips
+        # should not show up as replication lag), then is counted with
+        # its reason (surfaced via health) but never rolls back the
+        # local update; flushes are idempotent overwrites, so the next
+        # one converges the replica.
         for name, sink in sinks:
-            try:
-                sink(host_ids, outgoing, incoming)
-            except Exception:  # noqa: BLE001 - replication must not
-                # break local serving
+            error: BaseException | None = None
+            for attempt in (0, 1):
+                if attempt and self._sink_retry_backoff:
+                    time.sleep(self._sink_retry_backoff)
+                try:
+                    sink(host_ids, outgoing, incoming)
+                    error = None
+                    break
+                except Exception as failed:  # noqa: BLE001 - replication
+                    # must not break local serving
+                    error = failed
+            if error is not None:
                 with self._lock:
                     self._update_sink_failures += 1
                     self._sink_failures_by_name[name] = (
                         self._sink_failures_by_name.get(name, 0) + 1
+                    )
+                    self._sink_last_error[name] = (
+                        f"{type(error).__name__}: {error}"
                     )
         return len(host_ids)
 
@@ -371,11 +393,13 @@ class DistanceService:
         :class:`~repro.serving.transport.ShardReplicator` uses to fan
         refreshed vectors out to cross-process shard servers so a
         :class:`~repro.serving.refresh.RefreshWorker` maintains a
-        whole cluster. Sink exceptions are swallowed and counted per
-        sink under ``name`` (``update_sink_failures`` /
-        ``update_sink_failures_by_sink`` in :meth:`health`); the
-        default name is ``sink-{attach_index}`` so two anonymous
-        replicas never alias each other's failures.
+        whole cluster. A sink exception gets one in-line retry after
+        ``sink_retry_backoff`` seconds; if that also raises, the
+        failure is swallowed but counted per sink under ``name`` with
+        its last reason (``update_sink_failures`` /
+        ``update_sink_failures_by_sink`` / ``update_sink_last_error``
+        in :meth:`health`); the default name is ``sink-{attach_index}``
+        so two anonymous replicas never alias each other's failures.
         """
         with self._lock:
             if name is None:
@@ -596,6 +620,7 @@ class DistanceService:
             sink_failures_by_name = tuple(
                 sorted(self._sink_failures_by_name.items())
             )
+            sink_last_error = tuple(sorted(self._sink_last_error.items()))
         if stamps:
             ages = [now - stamp for stamp in stamps]
             max_age: float | None = max(ages)
@@ -624,6 +649,7 @@ class DistanceService:
             shards=shards,
             update_sink_failures=sink_failures,
             update_sink_failures_by_sink=sink_failures_by_name,
+            update_sink_last_error=sink_last_error,
         )
 
     def bind_metrics(self, registry, component: str = "service") -> None:

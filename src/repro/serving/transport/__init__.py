@@ -46,10 +46,20 @@ on its own machine):
   replica, and a slice only surfaces
   :class:`~repro.exceptions.ShardUnavailableError` when all of its
   replicas are dark. :func:`connect_replica_router` builds a
-  :class:`ShardedQueryRouter` over replica groups.
+  :class:`ShardedQueryRouter` over replica groups. Replica
+  resurrection is gated on journal catch-up: a lagging replica stays
+  out of the read rotation (``catching_up``) until an anti-entropy
+  repair replays its missed writes (or re-seeds it) and its digest
+  matches the healthiest sibling's;
+* :mod:`~repro.serving.transport.chaos` — :class:`ChaosClient` /
+  :class:`ChaosSchedule`, seeded deterministic fault injection
+  (drop / delay / duplicate / refuse-writes) over any client surface,
+  so divergence and failover contracts are provable in fast unit
+  tests.
 """
 
 from .bench import PipelineReport, measure_pipelined_speedup
+from .chaos import ChaosClient, ChaosDecision, ChaosSchedule
 from .client import RemoteShardClient
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -72,6 +82,9 @@ __all__ = [
     "PROTOCOL_V1",
     "PipelineReport",
     "PROTOCOL_VERSION",
+    "ChaosClient",
+    "ChaosDecision",
+    "ChaosSchedule",
     "Message",
     "RemoteShardClient",
     "ReplicaGroup",

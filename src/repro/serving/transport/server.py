@@ -75,6 +75,7 @@ from ...exceptions import (
     ValidationError,
 )
 from ..engine import QueryEngine, top_k_ascending
+from ..journal import REPLAY_CHUNK, ShardJournal, store_digest
 from ..snapshot import load_snapshot
 from ..store import InMemoryVectorStore, shard_of
 from .protocol import (
@@ -134,6 +135,13 @@ class ShardServer:
             across connections) can be held by one stalled peer, so a
             client that stops reading cannot freeze the shard; None
             waits forever.
+        journal: a prebuilt :class:`~repro.serving.journal.ShardJournal`
+            to record mutations into. When the journal carries entries
+            loaded from its on-disk segments, they are replayed into
+            the store here — a restarted shard resumes at its old
+            high-water mark. Defaults to a fresh in-memory ring sized
+            ``journal_capacity``.
+        journal_capacity: ring size of the default journal.
     """
 
     def __init__(
@@ -148,6 +156,8 @@ class ShardServer:
         zero_copy: bool = True,
         max_pipeline: int = 256,
         flush_timeout: float | None = 2.0,
+        journal: ShardJournal | None = None,
+        journal_capacity: int = 4096,
     ):
         if store is None:
             if dimension is None:
@@ -172,6 +182,17 @@ class ShardServer:
             None if flush_timeout is None else float(flush_timeout)
         )
         self.store = store
+        self.journal = (
+            journal
+            if journal is not None
+            else ShardJournal(capacity=journal_capacity)
+        )
+        # A journal reloaded from disk segments carries the mutations
+        # applied after the snapshot this store was seeded from: replay
+        # them so a restarted replica resumes where it died instead of
+        # where it last snapshotted (puts are idempotent overwrites, so
+        # entries the snapshot already contains re-apply harmlessly).
+        self.journal.replay_into(store)
         self.zero_copy = bool(zero_copy)
         self.engine = QueryEngine(store, zero_copy=self.zero_copy)
         self.shard_index = int(shard_index)
@@ -305,6 +326,18 @@ class ShardServer:
                 Sample("ides_store_hosts", "gauge",
                        "Hosts resident in this shard's vector store.",
                        shard, len(self.store)),
+                Sample("ides_journal_seq", "gauge",
+                       "Journal high-water mark: last applied write seq.",
+                       shard, self.journal.high_water),
+                Sample("ides_journal_entries", "gauge",
+                       "Entries retained in the journal ring.",
+                       shard, len(self.journal)),
+                Sample("ides_journal_appended_total", "counter",
+                       "Mutations recorded in the journal.",
+                       shard, self.journal.appended),
+                Sample("ides_journal_evicted_total", "counter",
+                       "Entries evicted from the journal ring.",
+                       shard, self.journal.evicted),
             ]
 
         registry.register_collector(collect)
@@ -320,6 +353,9 @@ class ShardServer:
             "pairs_evaluated": self.engine.pairs_evaluated,
             "connections_rejected": self.connections_rejected,
             "pipelined_requests": self.pipelined_requests,
+            "journal_seq": self.journal.high_water,
+            "journal_entries": len(self.journal),
+            "journal_first_seq": self.journal.first_seq,
         }
 
     # ------------------------------------------------------------------ #
@@ -597,7 +633,8 @@ class ShardServer:
                 f"{self.shard_index}/{self.n_shards}"
             )
         self.store.put_many(ids, outgoing, incoming)
-        return {"stored": len(ids)}, {}
+        seq = self._journal_append(message, "put_many", ids, outgoing, incoming)
+        return {"stored": len(ids), "seq": seq}, {}
 
     def _op_update_many(self, message: Message) -> tuple[dict, dict]:
         ids = self._local_ids(message)
@@ -606,12 +643,38 @@ class ShardServer:
             raise ValidationError(
                 f"cannot refresh unregistered hosts: {unknown[:5]!r}"
             )
-        self.store.put_many(ids, message.array("outgoing"), message.array("incoming"))
-        return {"updated": len(ids)}, {}
+        outgoing = message.array("outgoing")
+        incoming = message.array("incoming")
+        self.store.put_many(ids, outgoing, incoming)
+        seq = self._journal_append(
+            message, "update_many", ids, outgoing, incoming
+        )
+        return {"updated": len(ids), "seq": seq}, {}
 
     def _op_delete(self, message: Message) -> tuple[dict, dict]:
         host_id = self._scalar_id(message, "id")
-        return {"deleted": self.store.delete(host_id)}, {}
+        deleted = self.store.delete(host_id)
+        # Journaled even when the host was absent: siblings receive the
+        # same fanned-out delete, so recording it unconditionally keeps
+        # their sequence numbers aligned.
+        seq = self._journal_append(message, "delete", [host_id])
+        return {"deleted": deleted, "seq": seq}, {}
+
+    def _journal_append(
+        self, message: Message, op: str, ids, outgoing=None, incoming=None
+    ) -> int:
+        """Record an applied mutation; honours the optional replay stamp.
+
+        A repairer replaying a sibling's journal passes the sibling's
+        seq in the request's ``seq`` field so both replicas land on the
+        same high-water mark (``docs/wire-protocol.md``).
+        """
+        stamp = message.fields.get("seq")
+        if stamp is not None and not isinstance(stamp, int):
+            raise ValidationError(f"seq stamp must be an int, got {stamp!r}")
+        return self.journal.append(
+            op, ids, outgoing, incoming, seq=stamp
+        )
 
     def _op_gather(self, message: Message) -> tuple[dict, dict]:
         ids = self._local_ids(message)
@@ -699,6 +762,55 @@ class ShardServer:
     def _op_health(self, message: Message) -> tuple[dict, dict]:
         return self.health_fields(), {}
 
+    def _op_journal_since(self, message: Message) -> tuple[dict, dict]:
+        """Chunked replay of the mutations after a given seq.
+
+        The response is bounded (``limit``, capped at the journal's
+        replay chunk) — a caller closes a large gap by advancing
+        ``since`` to the last seq it received and calling again.
+        Per-entry metadata rides the JSON header; put vectors ride the
+        binary array channel as ``out_{k}`` / ``in_{k}``.
+        """
+        since = message.fields.get("since", 0)
+        if not isinstance(since, int) or since < 0:
+            raise ValidationError(
+                f"journal_since needs an int field 'since' >= 0, got {since!r}"
+            )
+        limit = message.fields.get("limit", REPLAY_CHUNK)
+        if not isinstance(limit, int) or limit < 1:
+            raise ValidationError(
+                f"journal_since 'limit' must be an int >= 1, got {limit!r}"
+            )
+        entries, truncated = self.journal.entries_since(
+            since, min(limit, REPLAY_CHUNK)
+        )
+        meta = []
+        arrays: dict = {}
+        for index, entry in enumerate(entries):
+            meta.append({"seq": entry.seq, "op": entry.op, "ids": entry.ids})
+            if entry.outgoing is not None:
+                arrays[f"out_{index}"] = entry.outgoing
+                arrays[f"in_{index}"] = entry.incoming
+        return (
+            {
+                "entries": meta,
+                "seq": self.journal.high_water,
+                "truncated": truncated,
+            },
+            arrays,
+        )
+
+    def _op_digest(self, message: Message) -> tuple[dict, dict]:
+        """Content hash + high-water seq: the convergence check."""
+        return (
+            {
+                "digest": store_digest(self.store),
+                "seq": self.journal.high_water,
+                "n_hosts": len(self.store),
+            },
+            {},
+        )
+
     def _op_shutdown(self, message: Message) -> tuple[dict, dict]:
         return {"stopping": True}, {}
 
@@ -715,6 +827,8 @@ class ShardServer:
         "nearest": _op_nearest,
         "export": _op_export,
         "health": _op_health,
+        "journal_since": _op_journal_since,
+        "digest": _op_digest,
         "shutdown": _op_shutdown,
     }
 
@@ -759,6 +873,8 @@ def run_shard_server(
     metrics_port: int | None = None,
     trace_export: str | None = None,
     slow_ms: float | None = None,
+    journal_dir: str | None = None,
+    journal_capacity: int = 4096,
 ) -> None:
     """Run one shard server until a ``shutdown`` RPC (blocking).
 
@@ -789,12 +905,18 @@ def run_shard_server(
             shard processes can share one file with the frontend.
         slow_ms: spans at or above this duration land in the tracer's
             slow-query log.
+        journal_dir: directory for the on-disk segment journal. The
+            journal reloads existing segments at boot and replays them
+            over the snapshot seed, so a restarted replica resumes at
+            its pre-crash high-water mark instead of the snapshot's.
+        journal_capacity: in-memory journal ring size.
     """
     set_codec_mode(codec_mode)
     telemetry = telemetry or metrics_port is not None or trace_export is not None
     store = None
     if snapshot_path is not None:
         store = _shard_store_from_snapshot(snapshot_path, shard_index, n_shards)
+    journal = ShardJournal(capacity=journal_capacity, directory=journal_dir)
 
     async def serve() -> None:
         server = ShardServer(
@@ -805,6 +927,7 @@ def run_shard_server(
             port=port,
             store=store,
             work_delay=work_delay,
+            journal=journal,
         )
         extras: dict = {}
         telemetry_server = None
@@ -923,6 +1046,7 @@ def spawn_shard_process(
     n_shards: int,
     dimension: int | None = None,
     host: str = "127.0.0.1",
+    port: int = 0,
     snapshot_path: str | None = None,
     work_delay: float = 0.0,
     codec_mode: str = "scatter",
@@ -931,6 +1055,7 @@ def spawn_shard_process(
     metrics_port: int | None = None,
     trace_export: str | None = None,
     slow_ms: float | None = None,
+    journal_dir: str | None = None,
 ) -> ShardProcess:
     """Fork a shard server into a child process and wait for its port.
 
@@ -939,6 +1064,10 @@ def spawn_shard_process(
     its own registry and tracer (registries are per-process — the
     parent scrapes the child over HTTP, it cannot share its object),
     and the bound metrics address is reported back on the handle.
+    ``port`` defaults to 0 (OS-assigned); an explicit port is how the
+    chaos tests restart a killed replica at its old address.
+    ``journal_dir`` must be private to this replica — two processes
+    appending to one segment chain would interleave their seqs.
     """
     # Fail in the parent, not as an opaque child startup death.
     check_codec_mode(codec_mode)
@@ -950,7 +1079,7 @@ def spawn_shard_process(
             "shard_index": shard_index,
             "n_shards": n_shards,
             "host": host,
-            "port": 0,
+            "port": port,
             "snapshot_path": snapshot_path,
             "work_delay": work_delay,
             "codec_mode": codec_mode,
@@ -959,6 +1088,7 @@ def spawn_shard_process(
             "metrics_port": metrics_port,
             "trace_export": trace_export,
             "slow_ms": slow_ms,
+            "journal_dir": journal_dir,
         },
         daemon=True,
         name=f"ides-shard-{shard_index}",

@@ -1,0 +1,222 @@
+"""Unit tests for the per-shard update journal and digest helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving.journal import (
+    JournalEntry,
+    ShardJournal,
+    apply_entry,
+    store_digest,
+)
+from repro.serving.store import InMemoryVectorStore
+
+
+def vectors(rng, count, dimension=3):
+    return (
+        rng.normal(size=(count, dimension)),
+        rng.normal(size=(count, dimension)),
+    )
+
+
+class TestAppend:
+    def test_seqs_are_monotone_from_one(self):
+        journal = ShardJournal(capacity=8)
+        rng = np.random.default_rng(0)
+        out, inc = vectors(rng, 1)
+        seqs = [
+            journal.append("put_many", ["a"], out, inc),
+            journal.append("delete", ["a"]),
+            journal.append("update_many", ["b"], out, inc),
+        ]
+        assert seqs == [1, 2, 3]
+        assert journal.high_water == 3
+        assert journal.first_seq == 1
+
+    def test_unknown_op_is_rejected(self):
+        with pytest.raises(ValidationError):
+            ShardJournal().append("point", ["a"])
+
+    def test_replay_stamp_jumps_forward(self):
+        journal = ShardJournal()
+        assert journal.append("delete", ["a"], seq=7) == 7
+        assert journal.high_water == 7
+        # The next unstamped write continues past the stamp.
+        assert journal.append("delete", ["b"]) == 8
+
+    def test_stale_stamp_is_bumped_past_high_water(self):
+        journal = ShardJournal()
+        journal.append("delete", ["a"], seq=5)
+        # Monotonicity beats the stamp: seq 3 is already spoken for.
+        assert journal.append("delete", ["b"], seq=3) == 6
+
+    def test_bad_capacity_is_rejected(self):
+        with pytest.raises(ValidationError):
+            ShardJournal(capacity=0)
+
+
+class TestRingEviction:
+    def test_ring_is_bounded_and_eviction_is_counted(self):
+        journal = ShardJournal(capacity=3)
+        for index in range(10):
+            journal.append("delete", [f"h{index}"])
+        assert len(journal) == 3
+        assert journal.first_seq == 8
+        assert journal.evicted == 7
+        assert journal.appended == 10
+        assert journal.stats()["seq"] == 10
+
+    def test_entries_since_flags_truncation(self):
+        journal = ShardJournal(capacity=3)
+        for index in range(10):
+            journal.append("delete", [f"h{index}"])
+        # Seqs 1..7 are gone: replaying from 5 cannot be complete.
+        entries, truncated = journal.entries_since(5)
+        assert truncated
+        # From 7 (the last evicted seq) everything needed is retained.
+        entries, truncated = journal.entries_since(7)
+        assert not truncated
+        assert [e.seq for e in entries] == [8, 9, 10]
+
+    def test_entries_since_respects_limit(self):
+        journal = ShardJournal(capacity=16)
+        for index in range(9):
+            journal.append("delete", [f"h{index}"])
+        entries, truncated = journal.entries_since(0, limit=4)
+        assert [e.seq for e in entries] == [1, 2, 3, 4]
+        assert not truncated
+
+    def test_entries_since_validates_inputs(self):
+        journal = ShardJournal()
+        with pytest.raises(ValidationError):
+            journal.entries_since(-1)
+        with pytest.raises(ValidationError):
+            journal.entries_since(0, limit=0)
+
+
+class TestDiskSegments:
+    def test_restart_restores_high_water_and_boot_entries(self, tmp_path):
+        rng = np.random.default_rng(1)
+        directory = str(tmp_path / "journal")
+        journal = ShardJournal(capacity=16, directory=directory)
+        out, inc = vectors(rng, 2)
+        journal.append("put_many", ["a", "b"], out, inc)
+        journal.append("delete", ["b"])
+        journal.close()
+
+        reloaded = ShardJournal(capacity=16, directory=directory)
+        assert reloaded.high_water == 2
+        store = InMemoryVectorStore(3)
+        assert reloaded.replay_into(store) == 2
+        assert "a" in store and "b" not in store
+        np.testing.assert_array_equal(store.get("a").outgoing, out[0])
+        # The boot buffer is one-shot.
+        assert reloaded.replay_into(InMemoryVectorStore(3)) == 0
+
+    def test_reloaded_vectors_are_bit_equal(self, tmp_path):
+        rng = np.random.default_rng(2)
+        directory = str(tmp_path / "journal")
+        journal = ShardJournal(directory=directory)
+        out, inc = vectors(rng, 4)
+        journal.append("put_many", ["a", "b", "c", "d"], out, inc)
+        journal.close()
+        reloaded = ShardJournal(directory=directory)
+        entry = reloaded._boot_entries[0]
+        # repr round-trips IEEE doubles exactly: replay is bit-equal.
+        np.testing.assert_array_equal(entry.outgoing, out)
+        np.testing.assert_array_equal(entry.incoming, inc)
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        journal = ShardJournal(directory=directory)
+        journal.append("delete", ["a"])
+        journal.append("delete", ["b"])
+        journal.close()
+        path = tmp_path / "journal" / "journal-000000.jsonl"
+        content = path.read_text()
+        path.write_text(content + '{"seq": 3, "op": "delete", "ids"')
+        reloaded = ShardJournal(directory=directory)
+        assert reloaded.high_water == 2
+        assert len(reloaded._boot_entries) == 2
+
+    def test_segments_rotate_and_old_ones_are_pruned(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        journal = ShardJournal(
+            directory=directory, segment_max_entries=2, max_segments=2
+        )
+        for index in range(12):
+            journal.append("delete", [f"h{index}"])
+        journal.close()
+        assert journal.stats()["segments"] <= 2
+        # A reload only recovers what the retained segments hold, and
+        # knows the older seqs are unrecoverable.
+        reloaded = ShardJournal(directory=directory)
+        assert reloaded.high_water == 12
+        _, truncated = reloaded.entries_since(1)
+        assert truncated
+
+    def test_memory_only_journal_reports_zero_segments(self):
+        assert ShardJournal().stats()["segments"] == 0
+
+
+class TestApplyEntry:
+    def test_put_and_delete_round_trip(self):
+        rng = np.random.default_rng(3)
+        store = InMemoryVectorStore(3)
+        out, inc = vectors(rng, 2)
+        apply_entry(
+            store, JournalEntry(1, "put_many", ["a", "b"], out, inc)
+        )
+        assert len(store) == 2
+        apply_entry(store, JournalEntry(2, "delete", ["a"]))
+        assert "a" not in store and "b" in store
+
+    def test_update_entry_applies_as_put(self):
+        """A replayed update must land on a store that missed the put."""
+        rng = np.random.default_rng(4)
+        store = InMemoryVectorStore(3)
+        out, inc = vectors(rng, 1)
+        apply_entry(
+            store, JournalEntry(1, "update_many", ["fresh"], out, inc)
+        )
+        assert "fresh" in store
+
+    def test_delete_of_missing_host_is_a_noop(self):
+        store = InMemoryVectorStore(3)
+        apply_entry(store, JournalEntry(1, "delete", ["ghost"]))
+        assert len(store) == 0
+
+
+class TestStoreDigest:
+    def test_digest_ignores_insertion_order(self):
+        rng = np.random.default_rng(5)
+        out, inc = vectors(rng, 3)
+        first = InMemoryVectorStore(3)
+        first.put_many(["a", "b", "c"], out, inc)
+        second = InMemoryVectorStore(3)
+        for index in (2, 0, 1):
+            second.put_many(
+                [["a", "b", "c"][index]],
+                out[index : index + 1],
+                inc[index : index + 1],
+            )
+        assert store_digest(first) == store_digest(second)
+
+    def test_digest_detects_content_divergence(self):
+        rng = np.random.default_rng(6)
+        out, inc = vectors(rng, 2)
+        first = InMemoryVectorStore(3)
+        first.put_many(["a", "b"], out, inc)
+        second = InMemoryVectorStore(3)
+        second.put_many(["a", "b"], out + 1e-12, inc)
+        assert store_digest(first) != store_digest(second)
+
+    def test_digest_detects_membership_divergence(self):
+        rng = np.random.default_rng(7)
+        out, inc = vectors(rng, 2)
+        first = InMemoryVectorStore(3)
+        first.put_many(["a", "b"], out, inc)
+        second = InMemoryVectorStore(3)
+        second.put_many(["a"], out[:1], inc[:1])
+        assert store_digest(first) != store_digest(second)

@@ -15,7 +15,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.serving import MetricsRegistry, ReplicaGroup, ShardReplicator
-from repro.serving.transport.replica import FANOUT_OPS
+from repro.serving.transport.replica import FANOUT_OPS, SEQ_ALIGN_ID
 
 
 def run(coroutine):
@@ -263,6 +263,225 @@ class TestProbe:
         assert caught.value.shard_index == 4
 
 
+class RecordingClient(FakeClient):
+    """FakeClient that also records the fields of every call."""
+
+    def __init__(self, address, script=None):
+        super().__init__(address, script)
+        self.recorded = []
+
+    async def call(self, op, fields=None, arrays=None):
+        self.recorded.append((op, dict(fields or {})))
+        return await super().call(op, fields, arrays)
+
+
+class TestCatchUpGating:
+    """A resurrected replica must prove catch-up before serving reads."""
+
+    def test_lagging_ack_demotes_to_catching_up_and_excludes_reads(self):
+        async def flow():
+            ahead = FakeClient("a:1", {
+                "put_many": {"stored": 1, "seq": 5},
+                "digest": {"digest": "X", "seq": 5},
+            })
+            behind = FakeClient("b:2", {
+                "put_many": {"stored": 1, "seq": 3},
+                "digest": {"digest": "Y", "seq": 3},
+            })
+            group = group_of(ahead, behind)
+            await group.call("put_many", {})
+            health = {r.address: r for r in group.replica_health()}
+            assert health["b:2"].state == "catching_up"
+            assert health["b:2"].seq_lag == 2
+            assert health["a:1"].state == "active"
+            # Reads never touch a catching-up replica, even as the
+            # scheduled (and here unsuccessful) repair keeps retrying.
+            for _ in range(5):
+                await group.call("point", {})
+            assert "point" not in behind.calls
+            await group.close()
+
+        run(flow())
+
+    def test_replay_catch_up_readmits_the_replica(self):
+        async def flow():
+            ahead = FakeClient("a:1", {
+                "put_many": {"stored": 1, "seq": 5},
+                "digest": {"digest": "X", "seq": 5},
+                "journal_since": [
+                    {
+                        "entries": [
+                            {"seq": 4, "op": "delete", "ids": ["d1"]},
+                            {"seq": 5, "op": "delete", "ids": ["d2"]},
+                        ],
+                        "seq": 5,
+                        "truncated": False,
+                    },
+                    {"entries": [], "seq": 5, "truncated": False},
+                ],
+            })
+            behind = FakeClient("b:2", {
+                "put_many": {"stored": 1, "seq": 3},
+                "digest": [
+                    {"digest": "Y", "seq": 3},
+                    {"digest": "X", "seq": 5},
+                ],
+            })
+            group = group_of(ahead, behind)
+            await group.call("put_many", {})
+            assert group._replicas[1].state == "catching_up"
+            repaired = await group._replicas[1].repair_task
+            assert repaired
+            health = {r.address: r for r in group.replica_health()}
+            assert health["b:2"].state == "active"
+            assert health["b:2"].repairs == 1
+            assert health["b:2"].last_repair_seconds is not None
+            # The replayed entries were applied to the laggard.
+            assert behind.calls.count("delete") == 2
+            await group.close()
+
+        run(flow())
+
+    def test_digest_equal_but_seq_behind_gets_alignment_stamp(self):
+        async def flow():
+            ahead = FakeClient("a:1", {
+                "put_many": {"stored": 1, "seq": 5},
+                "digest": {"digest": "X", "seq": 5},
+            })
+            behind = RecordingClient("b:2", {
+                "put_many": {"stored": 1, "seq": 3},
+                "digest": {"digest": "X", "seq": 3},
+            })
+            group = group_of(ahead, behind)
+            await group.call("put_many", {})
+            repaired = await group._replicas[1].repair_task
+            assert repaired
+            assert group._replicas[1].state == "active"
+            # Equal content, trailing counter: the no-op stamp jumps
+            # the replica to the source's high-water mark so the next
+            # write ack does not demote it again.
+            assert (
+                "delete",
+                {"id": SEQ_ALIGN_ID, "seq": 5},
+            ) in behind.recorded
+            await group.close()
+
+        run(flow())
+
+    def test_stale_resurrected_replica_never_serves_before_catch_up(self):
+        """ISSUE 9 acceptance: ack alone no longer re-admits a replica."""
+        async def flow():
+            flaky = FakeClient("a:1", {
+                "point": [ShardUnavailableError("down")],
+                "put_many": {"stored": 1, "seq": 1},
+                "digest": {"digest": "stale", "seq": 1},
+            })
+            steady = FakeClient("b:2", {
+                "put_many": {"stored": 1, "seq": 2},
+                "digest": {"digest": "fresh", "seq": 2},
+            })
+            group = group_of(flaky, steady, reprobe_seconds=0.0)
+            await group.call("point", {})  # darkens flaky
+            await group.call("put_many", {})  # flaky acks, but behind
+            assert group._replicas[0].state == "catching_up"
+            # reprobe window is zero — under pre-journal rules the dark
+            # replica would be read-eligible again; now it must not be.
+            answer = await group.call("point", {})
+            assert answer == {"ok": "b:2"}
+            assert flaky.calls.count("point") == 1
+            await group.close()
+
+        run(flow())
+
+    def test_probe_gates_on_journal_seq(self):
+        async def flow():
+            ahead = FakeClient("a:1", {
+                "health": {"journal_seq": 7},
+                "digest": {"digest": "X", "seq": 7},
+            })
+            behind = FakeClient("b:2", {
+                "health": {"journal_seq": 4},
+                "digest": {"digest": "Y", "seq": 4},
+            })
+            group = group_of(ahead, behind)
+            await group.probe()
+            assert group._replicas[0].state == "active"
+            assert group._replicas[1].state == "catching_up"
+            await group.close()
+
+        run(flow())
+
+    def test_seqless_acks_keep_the_legacy_contract(self):
+        """Pre-journal servers ack without a seq: resurrect on ack."""
+        async def flow():
+            flaky = FakeClient(
+                "a:1", {"point": [ShardUnavailableError("down")]}
+            )
+            group = group_of(flaky, FakeClient("b:2"))
+            await group.call("point", {})
+            assert group._replicas[0].state == "dark"
+            await group.call("put_many", {})
+            assert group._replicas[0].state == "active"
+            await group.close()
+
+        run(flow())
+
+
+class TestAntiEntropyRound:
+    def test_repair_converges_a_diverged_replica(self):
+        async def flow():
+            ahead = FakeClient("a:1", {
+                "digest": {"digest": "X", "seq": 4},
+            })
+            behind = FakeClient("b:2", {
+                "digest": [
+                    {"digest": "Y", "seq": 2},
+                    {"digest": "Y", "seq": 2},
+                    {"digest": "X", "seq": 4},
+                ],
+            })
+            group = group_of(ahead, behind)
+            report = await group.repair()
+            assert report["a:1"]["role"] == "source"
+            assert report["b:2"]["repaired"] is True
+            assert group._replicas[1].state == "active"
+            await group.close()
+
+        run(flow())
+
+    def test_repair_marks_unreachable_replicas_dark(self):
+        async def flow():
+            alive = FakeClient("a:1", {"digest": {"digest": "X", "seq": 1}})
+            dead = FakeClient(
+                "b:2", {"digest": ShardUnavailableError("down")}
+            )
+            group = group_of(alive, dead)
+            report = await group.repair()
+            assert "error" in report["b:2"]
+            assert group._replicas[1].state == "dark"
+            assert group._replicas[0].state == "active"
+            await group.close()
+
+        run(flow())
+
+    def test_anti_entropy_loop_runs_and_close_cancels_it(self):
+        async def flow():
+            first = FakeClient("a:1", {"digest": {"digest": "X", "seq": 1}})
+            second = FakeClient("b:2", {"digest": {"digest": "X", "seq": 1}})
+            group = group_of(first, second)
+            with pytest.raises(ValidationError):
+                group.start_anti_entropy(0.0)
+            group.start_anti_entropy(0.005)
+            await asyncio.sleep(0.05)
+            assert "digest" in first.calls
+            assert "digest" in second.calls
+            task = group._anti_entropy_task
+            await group.close()
+            assert task.cancelled()
+
+        run(flow())
+
+
 class TestMetrics:
     def test_bind_metrics_exports_replica_series(self):
         registry = MetricsRegistry()
@@ -278,6 +497,32 @@ class TestMetrics:
         assert 'ides_replica_state{shard="3",replica="b:2"} 1' in text
         assert 'ides_replica_failures_total{shard="3",replica="a:1"} 1' in text
         assert "ides_replica_rpc_seconds" in text
+
+    def test_repair_series_track_lag_and_state(self):
+        async def flow():
+            registry = MetricsRegistry()
+            ahead = FakeClient("a:1", {
+                "put_many": {"stored": 1, "seq": 5},
+                "digest": {"digest": "X", "seq": 5},
+            })
+            behind = FakeClient("b:2", {
+                "put_many": {"stored": 1, "seq": 3},
+                "digest": {"digest": "Y", "seq": 3},
+            })
+            group = group_of(ahead, behind)
+            group.bind_metrics(registry)
+            await group.call("put_many", {})
+            text = registry.render_prometheus()
+            assert 'ides_replica_state{shard="3",replica="b:2"} 0.5' in text
+            assert 'ides_replica_seq_lag{shard="3",replica="b:2"} 2' in text
+            assert 'ides_replica_seq_lag{shard="3",replica="a:1"} 0' in text
+            assert (
+                'ides_replica_repairs_total{shard="3",replica="b:2"} 0'
+                in text
+            )
+            await group.close()
+
+        run(flow())
 
 
 class TestReplicatorSinkName:

@@ -243,6 +243,106 @@ class TestReplicaEndToEnd:
             np.testing.assert_allclose(first_out, expected_out)
             np.testing.assert_allclose(first_in, expected_in)
 
+    def test_restarted_stale_replica_catches_up_before_serving(
+        self, service, cluster, snapshot_path
+    ):
+        """ISSUE 9 acceptance: kill a replica, write past it, restart
+        it from the stale snapshot — no read ever sees the stale
+        vectors, and the restarted store converges to a bit-equal
+        digest with its survivor sibling."""
+        processes, groups = cluster
+        victim = processes[0][0]
+        victim_address = victim.address
+        survivor_address = processes[0][1].address
+        slice_ids = [
+            i for i in service.known_hosts() if shard_of(i, N_SLICES) == 0
+        ]
+        touched = slice_ids[:6]
+        rng = np.random.default_rng(11)
+        # Values far from the seed range: a stale read is unambiguous.
+        new_out = rng.random((len(touched), DIMENSION)) + 10.0
+        new_in = rng.random((len(touched), DIMENSION)) + 10.0
+        poke_out = rng.random((2, DIMENSION)) + 10.0
+        poke_in = rng.random((2, DIMENSION)) + 10.0
+        # The in-process oracle applies the same writes up front, so
+        # every correct cluster answer matches it exactly.
+        service.apply_vector_updates(touched, new_out, new_in)
+        service.apply_vector_updates(touched[:2], poke_out, poke_in)
+
+        async def digest_of(address):
+            client = RemoteShardClient(*address, timeout=5.0)
+            try:
+                response = await client.call("digest")
+                return response.fields["digest"]
+            finally:
+                await client.close()
+
+        replacements = []
+
+        async def scenario():
+            router = await connect_replica_router(
+                groups, timeout=2.0, retries=1, reprobe_seconds=30.0
+            )
+            try:
+                victim.kill()
+                # Writes the victim misses entirely.
+                await router.put_many(touched, new_out, new_in)
+                # Restart at the ORIGINAL address from the stale
+                # pre-write snapshot: the classic resurrection trap.
+                replacement = spawn_shard_process(
+                    0,
+                    N_SLICES,
+                    snapshot_path=snapshot_path,
+                    port=victim_address[1],
+                )
+                replacements.append(replacement)
+                # Another write: the restarted replica acknowledges it,
+                # which under pre-journal rules made it read-eligible
+                # while still missing the dark-window batch.
+                await router.put_many(touched[:2], poke_out, poke_in)
+                # Read burst while the repair races in the background:
+                # every answer must reflect the refreshed vectors (a
+                # stale replica serving the snapshot values would be
+                # off by an order of magnitude) and never error.
+                for _ in range(30):
+                    for host in touched[2:]:
+                        value = await router.point(touched[0], host)
+                        assert value == pytest.approx(
+                            service.engine.point(touched[0], host)
+                        )
+                # Convergence: both replicas reach a bit-equal digest.
+                deadline = asyncio.get_running_loop().time() + 20.0
+                while True:
+                    survivor = await digest_of(survivor_address)
+                    restarted = await digest_of(victim_address)
+                    if survivor == restarted:
+                        break
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise AssertionError(
+                            f"no convergence: {survivor} vs {restarted}"
+                        )
+                    await asyncio.sleep(0.1)
+                return await router.health()
+            finally:
+                await router.close()
+
+        try:
+            health = run(scenario())
+        finally:
+            # Stopped outside the event loop so the graceful shutdown
+            # RPC (asyncio.run inside stop()) can actually run.
+            for process in replacements:
+                process.stop()
+        shard0 = health.shards[0]
+        assert shard0.reachable
+        states = {r.address: r for r in shard0.replicas}
+        restarted = states[f"{victim_address[0]}:{victim_address[1]}"]
+        # Digest-equal means repair finished; the group marks the
+        # replica active the moment its own digest check agrees.
+        assert restarted.state in {"active", "catching_up"}
+        if restarted.state == "active":
+            assert restarted.repairs >= 1
+
     def test_health_to_dict_carries_replica_detail(self, cluster):
         _, groups = cluster
 

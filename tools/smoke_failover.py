@@ -5,13 +5,20 @@ The CI guard for the replication tier's outermost promise: a
 2-slice x 2-replica cluster must keep answering queries — zero
 caller-visible errors, bounded p99 — while one replica of *every*
 slice is SIGKILLed mid-load, and a standby re-seeded from the service
-snapshot must serve bit-equal answers. Runs in-repo with no external
+snapshot must serve bit-equal answers. A final convergence phase then
+proves the resurrection gate: new vectors are written while the
+victims are dark, each victim is restarted **at its original address
+from the stale pre-write snapshot**, and the cluster must (a) never
+serve the stale vectors to any read while anti-entropy repair races in
+the background and (b) drive every restarted replica to a store digest
+bit-equal with its survivor sibling. Runs in-repo with no external
 dependencies::
 
     PYTHONPATH=src python tools/smoke_failover.py
 
 ``--bench-out PATH`` additionally writes the measured failover
-promotion time and degraded-mode query latency as a slim benchmark
+promotion time, degraded-mode query latency and the restart-to-digest
+convergence time (``replica_repair_seconds``) as a slim benchmark
 JSON (the ``tools/bench_compare.py`` baseline schema), so the CI
 perf-trajectory artifact accumulates failover entries run over run.
 
@@ -105,7 +112,18 @@ def main(argv: list[str] | None = None) -> int:
         groups = [
             [process.address for process in members] for members in replicas
         ]
+        # One victim per slice, staggered across member slots so both
+        # the preferred and the standby positions get killed.
+        victims = [
+            replicas[slice_index][slice_index % REPLICAS]
+            for slice_index in range(N_SLICES)
+        ]
+        survivors = [
+            replicas[slice_index][(slice_index + 1) % REPLICAS]
+            for slice_index in range(N_SLICES)
+        ]
         replacements = []
+        bench: dict[str, float] = {}
 
         async def worker(router, worker_index: int, stop: asyncio.Event):
             step = worker_index
@@ -131,10 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         async def chaos():
             await asyncio.sleep(WARMUP_SECONDS)
             kill_at.append(time.perf_counter())
-            # One replica per slice, staggered across member slots so
-            # both the preferred and the standby positions get killed.
-            for slice_index in range(N_SLICES):
-                victim = replicas[slice_index][slice_index % REPLICAS]
+            for victim in victims:
                 victim.process.kill()  # raw SIGKILL; reaped in cleanup
             await asyncio.sleep(DEGRADED_SECONDS)
 
@@ -174,9 +189,7 @@ def main(argv: list[str] | None = None) -> int:
                     slice_index, N_SLICES, snapshot_path=snapshot_path
                 )
                 replacements.append(replacement)
-                survivor = replicas[slice_index][
-                    (slice_index + 1) % REPLICAS
-                ]
+                survivor = survivors[slice_index]
                 slice_ids = [
                     i for i in ids if shard_of(i, N_SLICES) == slice_index
                 ]
@@ -203,6 +216,112 @@ def main(argv: list[str] | None = None) -> int:
                             f"slice {slice_index}: re-seeded standby is "
                             "not bit-equal to the survivor"
                         )
+
+        async def digest_of(address) -> str:
+            client = RemoteShardClient(*address, timeout=5.0)
+            try:
+                response = await client.call("digest")
+                return response.fields["digest"]
+            finally:
+                await client.close()
+
+        async def convergence_check():
+            """The resurrection gate: write past the dark victims,
+            restart them STALE at their original addresses, and demand
+            (a) no read ever serves the stale vectors and (b) every
+            restarted replica converges to its survivor's digest."""
+            router = await connect_replica_router(
+                groups,
+                timeout=2.0,
+                retries=1,
+                reprobe_seconds=30.0,
+                anti_entropy_seconds=0.25,
+            )
+            try:
+                touched = ids[:8]
+                # Values far outside the seed range: a stale read is
+                # unambiguous, not a tolerance question.
+                fresh_out = rng.random((len(touched), DIMENSION)) + 10.0
+                fresh_in = rng.random((len(touched), DIMENSION)) + 10.0
+                # The survivors take this write; the victims (dark
+                # since the chaos phase) miss it entirely.
+                await router.put_many(touched, fresh_out, fresh_in)
+                outgoing[: len(touched)] = fresh_out
+                incoming[: len(touched)] = fresh_in
+                restarted_at = time.perf_counter()
+                restarted = []
+                for slice_index, victim in enumerate(victims):
+                    replacement = spawn_shard_process(
+                        slice_index,
+                        N_SLICES,
+                        snapshot_path=snapshot_path,
+                        port=victim.address[1],
+                    )
+                    replacements.append(replacement)
+                    restarted.append(replacement)
+                # A write the restarted replicas DO acknowledge: their
+                # journal seq lag becomes visible and the group holds
+                # them in catching_up instead of trusting the ack.
+                poke_out = rng.random((2, DIMENSION)) + 10.0
+                poke_in = rng.random((2, DIMENSION)) + 10.0
+                await router.put_many(touched[:2], poke_out, poke_in)
+                outgoing[:2] = poke_out
+                incoming[:2] = poke_in
+                # Read burst while repair races in the background: the
+                # stale snapshot vectors are off by an order of
+                # magnitude, so any stale answer fails loudly.
+                index_of = {host: i for i, host in enumerate(ids)}
+                for burst in range(20):
+                    sources = [touched[burst % len(touched)]] * PAIR_BATCH
+                    dests = [
+                        ids[(burst + j) % N_HOSTS] for j in range(PAIR_BATCH)
+                    ]
+                    values = await router.pairs(sources, dests)
+                    expected = [
+                        float(
+                            outgoing[index_of[s]] @ incoming[index_of[d]]
+                        )
+                        for s, d in zip(sources, dests)
+                    ]
+                    if not np.allclose(values, expected):
+                        failures.append(
+                            f"stale read during catch-up (burst {burst}): "
+                            "a restarted replica served pre-write vectors"
+                        )
+                        return
+                # Convergence: every restarted replica must reach a
+                # digest bit-equal with its survivor sibling.
+                pending = set(range(N_SLICES))
+                deadline = time.perf_counter() + 30.0
+                while pending:
+                    for slice_index in sorted(pending):
+                        survivor_digest = await digest_of(
+                            survivors[slice_index].address
+                        )
+                        restarted_digest = await digest_of(
+                            restarted[slice_index].address
+                        )
+                        if survivor_digest == restarted_digest:
+                            pending.discard(slice_index)
+                    if not pending:
+                        break
+                    if time.perf_counter() > deadline:
+                        failures.append(
+                            f"slices {sorted(pending)} never converged "
+                            "to a bit-equal digest after restart"
+                        )
+                        return
+                    await asyncio.sleep(0.1)
+                bench["replica_repair_seconds"] = (
+                    time.perf_counter() - restarted_at
+                )
+                print(
+                    "convergence: stale restarts caught up in "
+                    f"{bench['replica_repair_seconds'] * 1000:.1f} ms "
+                    "with zero stale reads"
+                )
+            finally:
+                await router.close()
 
         try:
             asyncio.run(drive())
@@ -244,25 +363,19 @@ def main(argv: list[str] | None = None) -> int:
                     f"queries, promotion {promotion * 1000:.1f} ms, "
                     f"mean {degraded_mean * 1000:.1f} ms"
                 )
-                if arguments.bench_out is not None and degraded.size:
-                    arguments.bench_out.write_text(
-                        json.dumps(
-                            {
-                                "benchmarks": {
-                                    "failover_promotion_seconds": promotion,
-                                    "degraded_mode_query_seconds": (
-                                        degraded_mean
-                                    ),
-                                }
-                            },
-                            indent=2,
-                        )
-                        + "\n",
-                        encoding="utf-8",
-                    )
-                    print(f"wrote failover timings to {arguments.bench_out}")
+                if degraded.size:
+                    bench["failover_promotion_seconds"] = promotion
+                    bench["degraded_mode_query_seconds"] = degraded_mean
             if not failures:
                 asyncio.run(reseed_check())
+            if not failures:
+                asyncio.run(convergence_check())
+            if arguments.bench_out is not None and bench:
+                arguments.bench_out.write_text(
+                    json.dumps({"benchmarks": bench}, indent=2) + "\n",
+                    encoding="utf-8",
+                )
+                print(f"wrote failover timings to {arguments.bench_out}")
         finally:
             for members in replicas:
                 for process in members:
@@ -275,7 +388,8 @@ def main(argv: list[str] | None = None) -> int:
     if not failures:
         print(
             f"failover smoke ok: {N_SLICES}x{REPLICAS} cluster survived "
-            "losing one replica per slice with zero query errors"
+            "losing one replica per slice with zero query errors, and "
+            "stale restarts converged digest-equal before serving reads"
         )
     return 1 if failures else 0
 
