@@ -172,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="destination host id(s); many ids run one vectorized batch",
     )
+    query_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query deadline budget in milliseconds; an expired "
+        "budget rejects the query instead of evaluating it",
+    )
 
     nearest_parser = serve_subparsers.add_parser(
         "nearest", help="k nearest registered hosts to a source"
@@ -352,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="artificial per-request service time in seconds (benchmarks)",
+    )
+    shard_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission bound: reject (don't queue) requests beyond "
+        "this many queued + in-flight (default: unbounded)",
     )
     shard_parser.add_argument(
         "--metrics-port",
@@ -599,8 +613,21 @@ def _load_service(snapshot_path: str):
 def _command_serve_query(arguments) -> int:
     service = _load_service(arguments.snapshot)
     source = arguments.source
+    deadline = None
+    if arguments.deadline_ms is not None:
+        from .serving.transport import Deadline
+
+        deadline = Deadline.after(arguments.deadline_ms / 1000.0)
     if len(arguments.dest) == 1:
-        print(f"{source} -> {arguments.dest[0]}: {service.query(source, arguments.dest[0]):.3f}")
+        value = service.query(source, arguments.dest[0], deadline=deadline)
+        print(f"{source} -> {arguments.dest[0]}: {value:.3f}")
+    elif deadline is not None:
+        # Deadline-budgeted batches check the remaining budget before
+        # every evaluation, so the command stops at the first expiry
+        # instead of finishing the batch late.
+        for destination in arguments.dest:
+            value = service.query(source, destination, deadline=deadline)
+            print(f"{source} -> {destination}: {value:.3f}")
     else:
         values = service.query_one_to_many(source, arguments.dest)
         for destination, value in zip(arguments.dest, values):
@@ -789,6 +816,7 @@ def _command_serve_shard(arguments) -> int:
         port=arguments.port,
         snapshot_path=arguments.snapshot,
         work_delay=arguments.work_delay,
+        max_inflight=arguments.max_inflight,
         metrics_port=arguments.metrics_port,
         trace_export=arguments.trace_export,
         slow_ms=arguments.slow_ms,

@@ -175,6 +175,16 @@ class ShardHealth:
             unreplicated server).
         failovers: reads this shard retried on a sibling replica after
             the preferred replica failed.
+        overload_rejections: requests the shard server refused at
+            admission because it was saturated (None when the server
+            predates admission control).
+        deadline_shed: requests the shard server dropped because their
+            propagated deadline expired while queued (None when
+            untracked).
+        group_overload_events: read passes in which *every* replica of
+            the shard's group failed together — a group-saturation
+            signal, deliberately distinct from per-replica dark
+            markings (0 for unreplicated shards).
     """
 
     shard_index: int
@@ -185,6 +195,9 @@ class ShardHealth:
     reachable: bool = True
     replicas: tuple[ReplicaHealth, ...] = ()
     failovers: int = 0
+    overload_rejections: int | None = None
+    deadline_shed: int | None = None
+    group_overload_events: int = 0
 
     def to_dict(self) -> dict:
         """Plain-JSON form (the ``--json`` health surfaces)."""
@@ -264,6 +277,11 @@ class ServiceHealth:
         update_sink_last_error: the most recent failure reason per
             sink, as sorted ``(sink_name, "ErrorType: message")``
             pairs — *why* a sink is flapping, not just how often.
+        stale_served: point queries answered from a TTL-expired cache
+            entry because the owning shard was overloaded (brownout
+            degradation; 0 when the service never browned out).
+        deadline_rejected: queries refused because their latency
+            budget had already expired when they arrived.
     """
 
     n_hosts: int
@@ -288,6 +306,8 @@ class ServiceHealth:
     update_sink_failures: int = 0
     update_sink_failures_by_sink: tuple[tuple[str, int], ...] = ()
     update_sink_last_error: tuple[tuple[str, str], ...] = ()
+    stale_served: int = 0
+    deadline_rejected: int = 0
 
     def to_dict(self) -> dict:
         """Plain-JSON form (the ``--json`` health surfaces).
@@ -347,6 +367,10 @@ class ServiceHealth:
             if self.cache_rejected
             else ""
         )
+        if self.stale_served:
+            admission += f" stale_served={self.stale_served}"
+        if self.deadline_rejected:
+            admission += f" deadline_rejected={self.deadline_rejected}"
         refresh = ""
         if self.refresh_batches:
             age = (

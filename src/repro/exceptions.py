@@ -22,6 +22,8 @@ __all__ = [
     "ProtocolError",
     "ShardUnavailableError",
     "RemoteShardError",
+    "DeadlineExceededError",
+    "OverloadedError",
 ]
 
 
@@ -90,3 +92,30 @@ class ShardUnavailableError(TransportError):
 class RemoteShardError(TransportError):
     """A shard server answered with an error frame the client cannot
     map onto a more specific local exception type."""
+
+
+class DeadlineExceededError(TransportError):
+    """A request's latency budget ran out before it could be answered.
+
+    Raised client-side when the remaining budget hits zero before a
+    dispatch (or between retry attempts), and server-side when a
+    request's propagated deadline expired while it sat in the pipeline
+    queue. Deliberately *not* a :class:`ShardUnavailableError`: a shard
+    that sheds an expired request is slow or busy, not dark, and must
+    not be failed away from or scheduled for repair.
+    """
+
+
+class OverloadedError(TransportError):
+    """A shard server refused admission because it is saturated.
+
+    Carries ``retry_after`` — the server's hint, in seconds, for when
+    capacity is expected back — so callers can back off instead of
+    hammering. Like :class:`DeadlineExceededError` this is distinct
+    from :class:`ShardUnavailableError`: an overloaded replica is
+    alive and must not be darkened.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -50,7 +50,7 @@ bridge from thread-world writers. Time is always an injectable
 ``clock`` so TTL and staleness tests advance it instead of sleeping.
 """
 
-from .cache import CacheStats, PredictionCache
+from .cache import CacheStats, PredictionCache, StalePrediction
 from .engine import QueryEngine
 from .journal import JournalEntry, ShardJournal, store_digest
 from .observability import (
@@ -127,6 +127,7 @@ __all__ = [
     "PipelineReport",
     "PolicyReport",
     "PredictionCache",
+    "StalePrediction",
     "QueryEngine",
     "RefreshStats",
     "RefreshWorker",

@@ -53,9 +53,22 @@ from typing import Iterable
 
 from ..exceptions import ValidationError
 
-__all__ = ["CacheStats", "PredictionCache"]
+__all__ = ["CacheStats", "PredictionCache", "StalePrediction"]
 
 _MISSING = object()
+
+
+class StalePrediction(float):
+    """A prediction served past its TTL during brownout.
+
+    A plain ``float`` everywhere it matters (arithmetic, numpy,
+    futures), plus a ``stale`` marker so callers can tell a degraded
+    answer from a fresh one with ``getattr(value, "stale", False)``.
+    """
+
+    __slots__ = ()
+
+    stale = True
 
 
 @dataclass(frozen=True)
@@ -65,7 +78,9 @@ class CacheStats:
     Attributes:
         hits / misses: lookup outcomes since creation (or last reset).
         evictions: entries dropped by LRU capacity pressure.
-        expirations: entries dropped because their TTL lapsed.
+        expirations: entries whose TTL lapsed (counted once per entry,
+            on its first expired read; the entry itself stays resident
+            as brownout stock for ``get_stale``).
         invalidations: entries dropped by per-host invalidation.
         size / max_entries: current and maximum occupancy.
         admitted: inserts accepted (equals every insert offer when no
@@ -89,6 +104,7 @@ class CacheStats:
     rejected: int = 0
     doorkeeper_entries: int = 0
     doorkeeper_resets: int = 0
+    stale_reads: int = 0
 
     @property
     def lookups(self) -> int:
@@ -180,7 +196,12 @@ class PredictionCache:
         )
         self._clock = clock
         self._lock = threading.RLock()
-        self._entries: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
+        # key -> (value, expires_at, expiry_counted). Expired entries
+        # stay resident (brownout stock for get_stale); the third slot
+        # keeps the expirations counter at one count per lapse.
+        self._entries: OrderedDict[tuple, tuple[float, float | None, bool]] = (
+            OrderedDict()
+        )
         self._keys_by_host: dict[object, set[tuple]] = {}
         # The admission sketch maps 64-bit key *hashes* — not the key
         # tuples themselves — to small saturating counters.
@@ -199,27 +220,60 @@ class PredictionCache:
         self._invalidations = 0
         self._admitted = 0
         self._rejected = 0
+        self._stale_reads = 0
 
     # ------------------------------------------------------------------ #
     # lookups and inserts
     # ------------------------------------------------------------------ #
 
     def get(self, source_id: object, destination_id: object) -> float | None:
-        """Cached prediction for the pair, or None on miss/expiry."""
+        """Cached prediction for the pair, or None on miss/expiry.
+
+        An expired entry is a miss but is *not* dropped: it lingers as
+        brownout stock for :meth:`get_stale` until LRU pressure, a
+        refresh (:meth:`put`), or invalidation reclaims it. The
+        ``expirations`` counter still counts each entry's lapse exactly
+        once (on the first expired read), not once per read.
+        """
         key = (source_id, destination_id)
         with self._lock:
             entry = self._entries.get(key, _MISSING)
             if entry is _MISSING:
                 self._misses += 1
                 return None
-            value, expires_at = entry
+            value, expires_at, expiry_counted = entry
             if expires_at is not None and self._clock() >= expires_at:
-                self._drop(key)
-                self._expirations += 1
+                if not expiry_counted:
+                    self._entries[key] = (value, expires_at, True)
+                    self._expirations += 1
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            return value
+
+    def get_stale(
+        self, source_id: object, destination_id: object
+    ) -> float | None:
+        """The pair's entry even past its TTL — the brownout read path.
+
+        Unlike :meth:`get` this never perturbs LRU order, the hit/miss
+        counters, or the expiry accounting — a pure peek at whatever
+        is resident. Returns a :class:`StalePrediction` when
+        the entry has expired, the plain value when it is still fresh,
+        and None only when the pair was never cached (or was evicted /
+        invalidated — invalidation means the vectors *changed*, and a
+        changed-vector answer is wrong, not stale).
+        """
+        key = (source_id, destination_id)
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return None
+            value, expires_at, _expiry_counted = entry
+            self._stale_reads += 1
+            if expires_at is not None and self._clock() >= expires_at:
+                return StalePrediction(value)
             return value
 
     def put(self, source_id: object, destination_id: object, value: float) -> None:
@@ -241,7 +295,7 @@ class PredictionCache:
                     self._evictions += 1
             self._admitted += 1
             expires_at = None if self.ttl is None else self._clock() + self.ttl
-            self._entries[key] = (float(value), expires_at)
+            self._entries[key] = (float(value), expires_at, False)
             for host_id in key:
                 self._keys_by_host.setdefault(host_id, set()).add(key)
 
@@ -392,6 +446,7 @@ class PredictionCache:
                 rejected=self._rejected,
                 doorkeeper_entries=len(self._doorkeeper),
                 doorkeeper_resets=self._doorkeeper_resets,
+                stale_reads=self._stale_reads,
             )
 
     def reset_counters(self) -> None:
@@ -404,6 +459,7 @@ class PredictionCache:
         self._admitted = 0
         self._rejected = 0
         self._doorkeeper_resets = 0
+        self._stale_reads = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -58,6 +58,7 @@ router's single-loop discipline plus :class:`ShardReplicator`).
 from __future__ import annotations
 
 import asyncio
+import inspect
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -65,7 +66,12 @@ from typing import Sequence
 
 import numpy as np
 
-from ..exceptions import ReproError, ValidationError
+from ..exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    ValidationError,
+)
 from .cache import PredictionCache
 from .observability.metrics import Sample
 from .observability.tracing import current_context, get_tracer
@@ -132,6 +138,17 @@ class _ServiceBackend:
         return self.service.engine.k_nearest(
             source_id, k, candidate_ids=candidate_ids
         )
+
+
+def _accepts_deadline(backend) -> bool:
+    """Whether the backend's read coroutines take a ``deadline`` kwarg
+    (:class:`~repro.serving.transport.ShardedQueryRouter` does; a
+    local service backend or a duck-typed fake may not)."""
+    try:
+        parameters = inspect.signature(backend.point).parameters
+    except (TypeError, ValueError):
+        return False
+    return "deadline" in parameters
 
 
 def _as_backend(service):
@@ -318,6 +335,12 @@ class FrontendStats:
         arrival_rate: the policy's EWMA arrivals/second, when tracked.
         dispatch_latency_ms: the policy's EWMA dispatch latency, when
             tracked.
+        stale_served: point queries answered from a TTL-expired cache
+            entry because the backend was overloaded (brownout).
+        deadline_rejected: point queries refused at submit time
+            because their deadline had already expired.
+        deadline_shed: point queries dropped at dispatch time because
+            their deadline expired while queued.
     """
 
     submitted: int
@@ -330,6 +353,9 @@ class FrontendStats:
     batch_wait_ms: float | None = None
     arrival_rate: float | None = None
     dispatch_latency_ms: float | None = None
+    stale_served: int = 0
+    deadline_rejected: int = 0
+    deadline_shed: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -400,6 +426,7 @@ class AsyncDistanceFrontend:
             raise ValidationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         self.service = service
         self._backend = _as_backend(service)
+        self._backend_deadline = _accepts_deadline(self._backend)
         self.max_batch = int(max_batch)
         self.min_batch = int(min_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
@@ -425,6 +452,9 @@ class AsyncDistanceFrontend:
         self._coalesced = 0
         self._max_batch_seen = 0
         self._point_fallbacks = 0
+        self._stale_served = 0
+        self._deadline_rejected = 0
+        self._deadline_shed = 0
         #: Optional dispatch instruments, attached by
         #: :meth:`bind_metrics`; ``None`` keeps the loop uninstrumented.
         self._dispatch_seconds = None
@@ -481,6 +511,16 @@ class AsyncDistanceFrontend:
                 Sample("ides_frontend_in_flight", "gauge",
                        "Requests in the executing batch.",
                        (), len(self._in_flight)),
+                Sample("ides_frontend_stale_served_total", "counter",
+                       "Point queries answered from a TTL-expired cache "
+                       "entry during backend overload (brownout).",
+                       (), stats.stale_served),
+                Sample("ides_frontend_deadline_rejected_total", "counter",
+                       "Point queries refused at submit: deadline "
+                       "already expired.", (), stats.deadline_rejected),
+                Sample("ides_frontend_deadline_shed_total", "counter",
+                       "Point queries dropped at dispatch: deadline "
+                       "expired while queued.", (), stats.deadline_shed),
             ]
             if stats.arrival_rate is not None:
                 samples.append(
@@ -569,13 +609,27 @@ class AsyncDistanceFrontend:
             )
         return loop.create_future()
 
-    def submit(self, source_id: object, destination_id: object) -> asyncio.Future:
+    def submit(
+        self,
+        source_id: object,
+        destination_id: object,
+        deadline=None,
+    ) -> asyncio.Future:
         """Enqueue a point query without awaiting it.
 
         The pipelining hook: a client that needs several distances can
         submit them all, then await the futures — every request lands
         in the same dispatch cycle. Cache hits return an
         already-resolved future without touching the queue.
+
+        ``deadline`` (a
+        :class:`~repro.serving.transport.protocol.Deadline`) is the
+        request's latency budget: a budget already expired fails the
+        future with :class:`~repro.exceptions.DeadlineExceededError`
+        without ever enqueueing it, one that expires while the request
+        waits for a dispatch cycle is shed at batch-cut time, and the
+        remaining budget propagates into a deadline-aware backend (the
+        shard router) with the dispatched batch.
         """
         cache = self._backend.cache
         if len(cache):  # a probe into an empty cache is pure overhead
@@ -587,14 +641,25 @@ class AsyncDistanceFrontend:
                 future = self._future()
                 future.set_result(cached)
                 return future
+        if deadline is not None and deadline.expired():
+            self._submitted += 1
+            self._completed += 1
+            self._deadline_rejected += 1
+            future = self._future()
+            future.set_exception(DeadlineExceededError(
+                "deadline expired before the query could be enqueued"
+            ))
+            return future
         return self._submit(
-            (_POINT, source_id, destination_id, current_context(),
-             self._future())
+            (_POINT, source_id, destination_id, deadline,
+             current_context(), self._future())
         )
 
-    async def query(self, source_id: object, destination_id: object) -> float:
+    async def query(
+        self, source_id: object, destination_id: object, deadline=None
+    ) -> float:
         """Point query; coalesced with every other in-flight request."""
-        return await self.submit(source_id, destination_id)
+        return await self.submit(source_id, destination_id, deadline=deadline)
 
     async def query_pairs(
         self, source_ids: Sequence, destination_ids: Sequence
@@ -711,20 +776,55 @@ class AsyncDistanceFrontend:
             # even unhashable host id) must only fail its own future
             await self._execute_points_individually(points)
 
+    async def _point_call(self, source_id, destination_id, deadline):
+        """One backend point call, forwarding the remaining budget when
+        the backend understands deadlines."""
+        if deadline is None or not self._backend_deadline:
+            return await self._backend.point(source_id, destination_id)
+        return await self._backend.point(
+            source_id, destination_id, deadline=deadline
+        )
+
+    def _shed_expired(self, points: list[tuple]) -> list[tuple]:
+        """Drop queued requests whose budget ran out while they waited.
+
+        Their futures fail with
+        :class:`~repro.exceptions.DeadlineExceededError` *without* a
+        backend round — dispatching work nobody is still waiting for
+        is exactly the congestion-collapse input admission control
+        exists to refuse.
+        """
+        live = []
+        for request in points:
+            future = request[-1]
+            if future.cancelled():
+                continue
+            deadline = request[3]
+            if deadline is not None and deadline.expired():
+                self._deadline_shed += 1
+                future.set_exception(DeadlineExceededError(
+                    "deadline expired while queued in the frontend"
+                ))
+                continue
+            live.append(request)
+        return live
+
     async def _execute_points(self, points: list[tuple]) -> None:
         """All point requests of the cycle as one dense pairs batch."""
         if not points:
             return
-        live = [r for r in points if not r[-1].cancelled()]
+        live = self._shed_expired(points)
         if not live:
             self._completed += len(points)
             return
         backend = self._backend
         epoch = backend.write_epoch
         if len(live) == 1:
-            _, source_id, destination_id, context, future = live[0]
+            _, source_id, destination_id, deadline, context, future = live[0]
             with get_tracer().span("frontend:point", parent=context):
-                value = await backend.point(source_id, destination_id)
+                value = await self._point_call(
+                    source_id, destination_id, deadline
+                )
             if not future.cancelled():
                 future.set_result(value)
             if self.populate_cache:
@@ -735,17 +835,29 @@ class AsyncDistanceFrontend:
             return
         sources = [r[1] for r in live]
         destinations = [r[2] for r in live]
+        # A coalesced batch propagates one wire deadline: the earliest
+        # of its members' budgets, and only when every member carries
+        # one — a mixed batch must not impose the strictest caller's
+        # budget on the unbounded ones. (A member whose own deadline
+        # passes mid-flight is caught by the per-request fallback.)
+        deadlines = [r[3] for r in live]
+        batch_deadline = None
+        if self._backend_deadline and all(d is not None for d in deadlines):
+            batch_deadline = min(deadlines, key=lambda d: d.remaining())
         # The batch span parents on the first live submitter's context:
         # one coalesced backend round genuinely serves many callers, so
         # one span (sized) represents it rather than n duplicates.
         with get_tracer().span(
-            "frontend:batch", parent=live[0][3],
+            "frontend:batch", parent=live[0][4],
             attributes={"size": len(live)},
         ):
-            values = (await backend.pairs(sources, destinations)).tolist()
-        for (_, source_id, destination_id, _context, future), value in zip(
-            live, values
-        ):
+            if batch_deadline is None:
+                values = (await backend.pairs(sources, destinations)).tolist()
+            else:
+                values = (await backend.pairs(
+                    sources, destinations, deadline=batch_deadline
+                )).tolist()
+        for (*_request, future), value in zip(live, values):
             if not future.cancelled():
                 future.set_result(value)
         if self.populate_cache:
@@ -761,14 +873,41 @@ class AsyncDistanceFrontend:
         """Fallback when a coalesced batch contains a bad request.
 
         Only the offending futures get the exception; every other
-        caller still receives its answer.
+        caller still receives its answer. This is also the brownout
+        tier: a request the backend refuses with
+        :class:`~repro.exceptions.OverloadedError` is answered from
+        the prediction cache's TTL-expired remains when possible —
+        marked :class:`~repro.serving.cache.StalePrediction` — instead
+        of failing outright.
         """
-        for _, source_id, destination_id, _context, future in points:
+        for _, source_id, destination_id, deadline, _context, future in points:
             if future.done():  # cancelled, or resolved before the raise
+                continue
+            if deadline is not None and deadline.expired():
+                self._deadline_shed += 1
+                future.set_exception(DeadlineExceededError(
+                    "deadline expired while queued in the frontend"
+                ))
                 continue
             self._point_fallbacks += 1
             try:
-                value = await self._backend.point(source_id, destination_id)
+                value = await self._point_call(
+                    source_id, destination_id, deadline
+                )
+            except OverloadedError as saturated:
+                peek = getattr(self._backend.cache, "get_stale", None)
+                stale = (
+                    peek(source_id, destination_id)
+                    if peek is not None
+                    else None
+                )
+                if stale is None:
+                    if not future.done():
+                        future.set_exception(saturated)
+                else:
+                    self._stale_served += 1
+                    if not future.done():
+                        future.set_result(stale)
             except Exception as error:  # noqa: BLE001 - per-request fate
                 if not future.done():
                     future.set_exception(error)
@@ -839,6 +978,9 @@ class AsyncDistanceFrontend:
                 if policy is None
                 else getattr(policy, "dispatch_latency_ms", None)
             ),
+            stale_served=self._stale_served,
+            deadline_rejected=self._deadline_rejected,
+            deadline_shed=self._deadline_shed,
         )
 
 

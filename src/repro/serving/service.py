@@ -23,7 +23,11 @@ import numpy as np
 
 from .._validation import check_dimension
 from ..core.diagnostics import ServiceHealth, ShardHealth
-from ..exceptions import NotFittedError, ValidationError
+from ..exceptions import (
+    DeadlineExceededError,
+    NotFittedError,
+    ValidationError,
+)
 from ..ides.host import solve_host_vectors
 from ..ides.vectors import HostVectors
 from .cache import PredictionCache
@@ -101,6 +105,7 @@ class DistanceService:
         self._refresh_batches = 0
         self._last_refresh_at: float | None = None
         self._write_epoch = 0
+        self._deadline_rejected = 0
         self._update_sinks: list = []  # [(name, sink), ...]
         self._update_sink_failures = 0
         self._sink_failures_by_name: dict[str, int] = {}
@@ -485,11 +490,27 @@ class DistanceService:
     # queries
     # ------------------------------------------------------------------ #
 
-    def query(self, source_id: object, destination_id: object) -> float:
-        """Point query through the cache."""
+    def query(
+        self, source_id: object, destination_id: object, deadline=None
+    ) -> float:
+        """Point query through the cache.
+
+        ``deadline`` (a
+        :class:`~repro.serving.transport.protocol.Deadline`) is the
+        request's latency budget: an already-expired budget raises
+        :class:`~repro.exceptions.DeadlineExceededError` *before* any
+        engine work — answering a caller that has already given up is
+        pure wasted compute. The cache probe still runs first: a free
+        answer beats a shed.
+        """
         cached = self.cache.get(source_id, destination_id)
         if cached is not None:
             return cached
+        if deadline is not None and deadline.expired():
+            self._deadline_rejected += 1
+            raise DeadlineExceededError(
+                "deadline expired before the query could be evaluated"
+            )
         epoch = self._write_epoch
         value = self.engine.point(source_id, destination_id)
         # Epoch-guarded put: if a refresh invalidated this host while
@@ -650,6 +671,8 @@ class DistanceService:
             update_sink_failures=sink_failures,
             update_sink_failures_by_sink=sink_failures_by_name,
             update_sink_last_error=sink_last_error,
+            stale_served=cache_stats.stale_reads,
+            deadline_rejected=self._deadline_rejected,
         )
 
     def bind_metrics(self, registry, component: str = "service") -> None:

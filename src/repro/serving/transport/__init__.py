@@ -60,11 +60,12 @@ on its own machine):
 
 from .bench import PipelineReport, measure_pipelined_speedup
 from .chaos import ChaosClient, ChaosDecision, ChaosSchedule
-from .client import RemoteShardClient
+from .client import RemoteShardClient, RetryBudget
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_V1,
     PROTOCOL_VERSION,
+    Deadline,
     Message,
     decode_frame,
     encode_frame,
@@ -85,9 +86,11 @@ __all__ = [
     "ChaosClient",
     "ChaosDecision",
     "ChaosSchedule",
+    "Deadline",
     "Message",
     "RemoteShardClient",
     "ReplicaGroup",
+    "RetryBudget",
     "ShardProcess",
     "ShardReplicator",
     "ShardServer",

@@ -26,6 +26,11 @@ group member, a test fake) and applies them:
   server, modeling a live server that rejects writes on schedule — the
   divergence generator: one replica applies a write its sibling
   refused.
+* **slow reads** — non-mutating ops stall for ``slow_read_seconds``
+  before being forwarded, modeling a server that is alive but
+  queue-saturated: the fault that deadline budgets, per-attempt
+  timeouts and retry budgets exist to bound. Distinct from **delay**,
+  which applies to every op class.
 
 Decisions are drawn in a fixed order per call regardless of which
 faults are enabled, so the decision *stream* depends only on the seed
@@ -60,6 +65,7 @@ class ChaosDecision:
     delay: bool = False
     duplicate: bool = False
     refuse_write: bool = False
+    slow_read: bool = False
 
 
 class ChaosSchedule:
@@ -74,6 +80,11 @@ class ChaosSchedule:
             "server" (reads never draw a refusal fault, but the PRNG
             position advances identically either way).
         delay_seconds: how long a delayed call is held.
+        slow_read: probability a *read* call stalls for
+            ``slow_read_seconds`` before being forwarded (writes never
+            draw a slow-read fault, but the PRNG position advances
+            identically either way).
+        slow_read_seconds: how long a slowed read stalls.
     """
 
     def __init__(
@@ -84,12 +95,15 @@ class ChaosSchedule:
         duplicate: float = 0.0,
         refuse_writes: float = 0.0,
         delay_seconds: float = 0.0,
+        slow_read: float = 0.0,
+        slow_read_seconds: float = 0.0,
     ):
         for name, value in (
             ("drop", drop),
             ("delay", delay),
             ("duplicate", duplicate),
             ("refuse_writes", refuse_writes),
+            ("slow_read", slow_read),
         ):
             if not 0.0 <= float(value) <= 1.0:
                 raise ValidationError(
@@ -99,12 +113,18 @@ class ChaosSchedule:
             raise ValidationError(
                 f"delay_seconds must be >= 0, got {delay_seconds}"
             )
+        if slow_read_seconds < 0:
+            raise ValidationError(
+                f"slow_read_seconds must be >= 0, got {slow_read_seconds}"
+            )
         self.seed = int(seed)
         self.drop = float(drop)
         self.delay = float(delay)
         self.duplicate = float(duplicate)
         self.refuse_writes = float(refuse_writes)
         self.delay_seconds = float(delay_seconds)
+        self.slow_read = float(slow_read)
+        self.slow_read_seconds = float(slow_read_seconds)
         self._rng = random.Random(self.seed)
         #: Every decision drawn, in draw order — the replay transcript.
         self.history: list[ChaosDecision] = []
@@ -112,12 +132,13 @@ class ChaosSchedule:
     def decide(self, op: str) -> ChaosDecision:
         """Draw the fault decision for one call.
 
-        Four PRNG draws happen unconditionally and in a fixed order,
+        Five PRNG draws happen unconditionally and in a fixed order,
         so the stream position after N calls depends only on the seed
         and N — never on which probabilities are zero or which ops
         were called.
         """
         draws = (
+            self._rng.random(),
             self._rng.random(),
             self._rng.random(),
             self._rng.random(),
@@ -128,6 +149,7 @@ class ChaosSchedule:
             delay=draws[1] < self.delay,
             duplicate=draws[2] < self.duplicate,
             refuse_write=(op in WRITE_OPS) and draws[3] < self.refuse_writes,
+            slow_read=(op not in WRITE_OPS) and draws[4] < self.slow_read,
         )
         self.history.append(decision)
         return decision
@@ -155,6 +177,7 @@ class ChaosClient:
         self.delayed = 0
         self.duplicated = 0
         self.refused_writes = 0
+        self.slowed_reads = 0
 
     @property
     def shard_index(self):
@@ -171,7 +194,7 @@ class ChaosClient:
         # bind_metrics, address, pool gauges, fake-specific helpers …
         return getattr(self._client, name)
 
-    async def call(self, op, fields=None, arrays=None):
+    async def call(self, op, fields=None, arrays=None, deadline=None):
         decision = self.schedule.decide(op)
         if decision.refuse_write:
             self.refused_writes += 1
@@ -189,10 +212,21 @@ class ChaosClient:
             self.delayed += 1
             if self.schedule.delay_seconds:
                 await asyncio.sleep(self.schedule.delay_seconds)
+        if decision.slow_read:
+            self.slowed_reads += 1
+            if self.schedule.slow_read_seconds:
+                await asyncio.sleep(self.schedule.slow_read_seconds)
         if decision.duplicate:
             self.duplicated += 1
-            await self._client.call(op, fields, arrays)
-        return await self._client.call(op, fields, arrays)
+            await self._forward(op, fields, arrays, deadline)
+        return await self._forward(op, fields, arrays, deadline)
+
+    async def _forward(self, op, fields, arrays, deadline):
+        # Deadline only rides through when one is set, so wrapped test
+        # fakes with the three-argument ``call`` keep working.
+        if deadline is None:
+            return await self._client.call(op, fields, arrays)
+        return await self._client.call(op, fields, arrays, deadline=deadline)
 
     async def close(self) -> None:
         await self._client.close()

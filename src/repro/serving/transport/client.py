@@ -45,6 +45,7 @@ path.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 
 import numpy as np
@@ -52,6 +53,8 @@ import numpy as np
 from ..observability.metrics import Sample
 from ..observability.tracing import TRACE_FIELD, get_tracer
 from ...exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
     ProtocolError,
     RemoteShardError,
     ShardUnavailableError,
@@ -59,22 +62,78 @@ from ...exceptions import (
     ValidationError,
 )
 from .protocol import (
+    DEADLINE_FIELD,
     MAX_REQUEST_ID,
     PROTOCOL_V1,
     PROTOCOL_VERSION,
+    Deadline,
     Message,
     read_message,
     write_message,
 )
 
-__all__ = ["RemoteShardClient"]
+__all__ = ["RemoteShardClient", "RetryBudget"]
 
 #: Error-frame names mapped back onto local exception types. Anything
 #: else arrives as RemoteShardError carrying the remote type name.
 _ERROR_TYPES = {
     "ValidationError": ValidationError,
     "ProtocolError": ProtocolError,
+    "DeadlineExceededError": DeadlineExceededError,
 }
+
+#: Decorrelated-jitter backoff never sleeps longer than this multiple
+#: of the base backoff, however many attempts have failed.
+_BACKOFF_CAP_FACTOR = 32.0
+
+#: The floor for a deadline-derived per-attempt timeout: a budget this
+#: small is as good as expired, but a zero timeout would make
+#: ``wait_for`` fail before the dispatch even starts.
+_MIN_ATTEMPT_TIMEOUT = 1e-3
+
+
+class RetryBudget:
+    """Token bucket bounding retries across a client (or client pool).
+
+    Every successful call deposits ``per_call`` tokens (capped at
+    ``max_tokens``); every retry attempt withdraws one. When the bucket
+    is empty, retries **fail fast** instead of amplifying: a shard that
+    times out for every caller at once would otherwise multiply the
+    offered load by ``1 + retries`` exactly when it can least afford
+    it. One budget can be shared by several clients (the replica
+    group's siblings target the same slice of capacity) by passing the
+    same instance to each.
+    """
+
+    def __init__(self, max_tokens: float = 10.0, per_call: float = 0.1):
+        if max_tokens <= 0:
+            raise ValidationError(
+                f"max_tokens must be > 0, got {max_tokens}"
+            )
+        if per_call < 0:
+            raise ValidationError(f"per_call must be >= 0, got {per_call}")
+        self.max_tokens = float(max_tokens)
+        self.per_call = float(per_call)
+        self._tokens = float(max_tokens)
+        #: Retry attempts refused because the bucket was empty.
+        self.exhausted = 0
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available."""
+        return self._tokens
+
+    def record_success(self) -> None:
+        """Deposit the per-call earn for a successful request."""
+        self._tokens = min(self.max_tokens, self._tokens + self.per_call)
+
+    def spend(self) -> bool:
+        """Withdraw one token for a retry; False means refused."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        self.exhausted += 1
+        return False
 
 
 def _replica(failure: BaseException) -> Exception:
@@ -369,14 +428,23 @@ class RemoteShardClient:
             RPCs, so total concurrency is ``pool_size * max_in_flight``;
             on v1 it is ``pool_size`` exactly, as before.
         timeout: seconds allowed per attempt (connect + write + read).
+            A per-call deadline tightens this: each attempt gets
+            ``min(timeout, deadline.remaining())``.
         retries: additional attempts after the first failure.
-        retry_backoff: sleep before retry ``n`` is ``n * retry_backoff``
-            seconds.
+        retry_backoff: the *base* of the decorrelated-jitter backoff.
+            Retry ``n`` sleeps a uniform draw from ``[base, 3 * last]``
+            (capped at 32x the base), so pooled clients retrying a
+            restarted shard spread out instead of synchronizing into
+            bursts the way the old deterministic ``n * base`` ramp did.
         protocol_version: ``None`` negotiates (v2 preferred, v1
             fallback); ``1`` or ``2`` forces a version — forcing 2
             against a v1-only server fails with ``ProtocolError``.
         max_in_flight: pipeline depth per v2 connection — a hard
             admission bound; excess concurrent callers wait for a slot.
+        retry_budget: a :class:`RetryBudget` bounding retries across
+            the pool; pass a shared instance to pool the budget across
+            several clients (e.g. a replica group's siblings). None
+            builds a private default bucket.
     """
 
     def __init__(
@@ -390,6 +458,7 @@ class RemoteShardClient:
         retry_backoff: float = 0.05,
         protocol_version: int | None = None,
         max_in_flight: int = 128,
+        retry_budget: RetryBudget | None = None,
     ):
         if int(pool_size) < 1:
             raise ValidationError(f"pool_size must be >= 1, got {pool_size}")
@@ -419,8 +488,20 @@ class RemoteShardClient:
         self._dialing: asyncio.Lock | None = None
         self._connections: list[_ShardConnection] = []
         self._closed = False
+        self.retry_budget = (
+            retry_budget if retry_budget is not None else RetryBudget()
+        )
+        self._backoff_rng = random.Random()
         self.calls = 0
+        #: Dispatch attempts (first tries plus retries) that actually
+        #: went to the wire — the retry-storm observable.
+        self.attempts = 0
         self.retries_used = 0
+        #: Retries refused because the shared retry budget ran dry.
+        self.retry_budget_exhausted = 0
+        #: Calls rejected before any dispatch because their deadline
+        #: had already expired (never cost the server anything).
+        self.deadline_preempted = 0
         #: Responses that arrived after their caller timed out and
         #: abandoned the request id (dropped, but visible telemetry).
         self.late_responses = 0
@@ -497,6 +578,15 @@ class RemoteShardClient:
                 Sample("ides_client_late_responses_total", "counter",
                        "Responses that arrived after their caller gave up.",
                        shard, self.late_responses),
+                Sample("ides_client_attempts_total", "counter",
+                       "Dispatch attempts, first tries plus retries.",
+                       shard, self.attempts),
+                Sample("ides_client_retry_budget_exhausted_total", "counter",
+                       "Retries refused because the token bucket ran dry.",
+                       shard, self.retry_budget_exhausted),
+                Sample("ides_client_deadline_preempted_total", "counter",
+                       "Calls rejected client-side on an expired deadline.",
+                       shard, self.deadline_preempted),
                 Sample("ides_client_in_flight", "gauge",
                        "RPCs awaiting responses across the pool.",
                        shard, self.in_flight),
@@ -660,6 +750,7 @@ class RemoteShardClient:
         op: str,
         fields: dict | None = None,
         arrays: dict[str, np.ndarray] | None = None,
+        deadline: Deadline | None = None,
     ) -> Message:
         """One pipelined request/response exchange, with retries.
 
@@ -667,6 +758,13 @@ class RemoteShardClient:
         stripped). Raises the mapped remote exception for error frames
         and :class:`ShardUnavailableError` when the shard cannot be
         reached within the retry budget (or the client was closed).
+
+        ``deadline`` bounds the whole call: an already-expired budget
+        raises :class:`DeadlineExceededError` without dispatching
+        anything, each attempt's timeout shrinks to the remaining
+        budget, and the budget rides the request header's optional
+        deadline field so the server can shed the request if it
+        expires while queued over there.
 
         When tracing is enabled the RPC runs inside an ``rpc:{op}``
         span whose context rides the request header's optional
@@ -679,7 +777,7 @@ class RemoteShardClient:
         request = {"op": op, **(fields or {})}
         tracer = get_tracer()
         if not tracer.enabled and self._rpc_seconds is None:
-            return await self._call_with_retries(request, arrays)
+            return await self._call_with_retries(request, arrays, deadline)
         name = self._span_names.get(op)
         if name is None:
             name = self._span_names[op] = f"rpc:{op}"
@@ -689,7 +787,7 @@ class RemoteShardClient:
                 request = {**request, TRACE_FIELD: context.header()}
             started = time.perf_counter()
             try:
-                return await self._call_with_retries(request, arrays)
+                return await self._call_with_retries(request, arrays, deadline)
             finally:
                 if self._rpc_seconds is not None:
                     child = self._rpc_children.get(op)
@@ -701,31 +799,83 @@ class RemoteShardClient:
                         )
                     child.observe(time.perf_counter() - started)
 
+    def _expired(self) -> DeadlineExceededError:
+        self.deadline_preempted += 1
+        return DeadlineExceededError(
+            f"deadline expired before shard at {self.address} could be "
+            "dispatched"
+        )
+
     async def _call_with_retries(
         self,
         request: dict,
         arrays: dict[str, np.ndarray] | None,
+        deadline: Deadline | None = None,
     ) -> Message:
         failure: Exception | None = None
+        backoff = self.retry_backoff
+        tried = 0
+        budget_refused = False
         for attempt in range(self.retries + 1):
             self._check_open()
             if attempt:
+                # Retries draw on the pool-shared token bucket: when a
+                # shard times out for everyone at once, amplifying the
+                # offered load by 1 + retries is exactly wrong, so
+                # beyond the budget the call fails fast with its last
+                # transport failure instead.
+                if not self.retry_budget.spend():
+                    self.retry_budget_exhausted += 1
+                    budget_refused = True
+                    break
                 self.retries_used += 1
-                await asyncio.sleep(attempt * self.retry_backoff)
+                # Decorrelated jitter: each sleep is a uniform draw
+                # seeded by the previous one, so pooled connections
+                # retrying a restarted shard spread out instead of
+                # marching in lockstep.
+                backoff = self._backoff_rng.uniform(
+                    self.retry_backoff,
+                    min(3.0 * backoff, _BACKOFF_CAP_FACTOR * self.retry_backoff),
+                )
+                await asyncio.sleep(backoff)
+            if deadline is None:
+                attempt_request = request
+                attempt_timeout = self.timeout
+            else:
+                if deadline.expired():
+                    raise self._expired() from failure
+                # The remaining budget rides the wire (so the server
+                # can shed a request that expires in its queue) and
+                # tightens this attempt's timeout.
+                attempt_request = {
+                    **request, DEADLINE_FIELD: deadline.header_value()
+                }
+                attempt_timeout = max(
+                    min(self.timeout, deadline.remaining()),
+                    _MIN_ATTEMPT_TIMEOUT,
+                )
+            self.attempts += 1
+            tried += 1
             try:
                 response = await asyncio.wait_for(
-                    self._call_once(request, arrays, fresh=attempt > 0),
-                    self.timeout,
+                    self._call_once(attempt_request, arrays, fresh=attempt > 0),
+                    attempt_timeout,
                 )
             except ShardUnavailableError:
                 # close() rejected the in-flight future: fail fast, the
                 # retry budget does not apply to a deliberate shutdown.
                 raise
-            except (ProtocolError, RemoteShardError):
-                # Framing violations are server bugs and error frames
-                # come from a *live* server: never retriable. Both are
-                # TransportErrors, so they must be re-raised before the
-                # retriable clause below.
+            except (
+                ProtocolError,
+                RemoteShardError,
+                DeadlineExceededError,
+                OverloadedError,
+            ):
+                # Framing violations are server bugs, error frames come
+                # from a *live* server, and deadline/overload verdicts
+                # only get more true with time: never retriable. All
+                # are TransportErrors, so they must be re-raised before
+                # the retriable clause below.
                 raise
             except (
                 ConnectionError,
@@ -742,11 +892,15 @@ class RemoteShardClient:
                 failure = broken
                 continue
             self.calls += 1
+            self.retry_budget.record_success()
             return self._unwrap(response)
+        if deadline is not None and deadline.expired():
+            raise self._expired() from failure
         reason = type(failure).__name__ if failure is not None else "failure"
+        budget = " with the retry budget exhausted" if budget_refused else ""
         raise ShardUnavailableError(
             f"shard at {self.address} unreachable after "
-            f"{self.retries + 1} attempts ({reason}: {failure})",
+            f"{tried} attempts{budget} ({reason}: {failure})",
             shard_index=self.shard_index,
         )
 
@@ -771,6 +925,18 @@ class RemoteShardClient:
             )
         error_type = str(response.fields.get("error", "RemoteShardError"))
         message = str(response.fields.get("message", "unspecified remote error"))
+        if error_type == "OverloadedError":
+            # The admission rejection carries the server's retry_after
+            # hint as a header field; keep it on the local exception so
+            # callers (and the replica group) can honor it.
+            try:
+                retry_after = float(response.fields.get("retry_after"))
+            except (TypeError, ValueError):
+                retry_after = None
+            raise OverloadedError(
+                f"{message} (from shard at {self.address})",
+                retry_after=retry_after,
+            )
         raised = _ERROR_TYPES.get(error_type)
         if raised is not None:
             raise raised(f"{message} (from shard at {self.address})")

@@ -71,6 +71,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -85,6 +86,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "PRELUDE",
     "CODEC_MODE",
+    "DEADLINE_FIELD",
+    "Deadline",
     "Message",
     "check_codec_mode",
     "encode_frame",
@@ -125,6 +128,74 @@ _WIRE_DTYPES = {"<f8", "<i8"}
 #: legacy single-buffer frame first. The benchmark CLI flips this to
 #: quantify the gap; production code never should.
 CODEC_MODE = "scatter"
+
+
+#: Optional JSON-header field carrying a request's *remaining* latency
+#: budget in milliseconds. Like the trace field it is additive and
+#: tolerant: peers that predate it ignore it (unknown header keys pass
+#: through the codec untouched), so it is v1+v2 safe and never bumps
+#: the protocol version. The wire carries the remaining budget — not an
+#: absolute timestamp — because the two hosts' clocks are unrelated;
+#: each hop re-anchors the budget against its own monotonic clock.
+DEADLINE_FIELD = "deadline_ms"
+
+
+class Deadline:
+    """A request's latency budget, anchored to a monotonic clock.
+
+    Created once at the edge (``Deadline.after(0.25)`` for a 250 ms
+    budget) and passed down the call stack; every layer asks
+    :meth:`remaining` against the *same* clock, so the budget shrinks
+    as real work happens. Crossing a process boundary, the remaining
+    budget is serialized with :meth:`header_value` and re-anchored on
+    the far side with :meth:`from_fields` — queueing and transfer time
+    on either side of the wire are charged to the budget.
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(self, expires_at: float, clock=time.monotonic):
+        self._expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds: float, clock=time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(clock() + float(seconds), clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self._clock() >= self._expires_at
+
+    def header_value(self) -> float:
+        """The remaining budget as the wire's millisecond field."""
+        return self.remaining() * 1000.0
+
+    @classmethod
+    def from_fields(cls, fields: dict, clock=time.monotonic) -> "Deadline | None":
+        """Recover a deadline from a request header, tolerantly.
+
+        Returns None when the field is absent or malformed — an old or
+        buggy peer must degrade to no-deadline behaviour, never poison
+        the connection.
+        """
+        value = fields.get(DEADLINE_FIELD)
+        if value is None:
+            return None
+        try:
+            remaining_ms = float(value)
+        except (TypeError, ValueError):
+            return None
+        if not np.isfinite(remaining_ms):
+            return None
+        return cls.after(max(0.0, remaining_ms) / 1000.0, clock=clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.4f}s)"
 
 
 def check_codec_mode(mode: str) -> str:

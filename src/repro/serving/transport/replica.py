@@ -67,7 +67,11 @@ import time
 from typing import Sequence
 
 from ...core.diagnostics import ReplicaHealth
-from ...exceptions import ShardUnavailableError, ValidationError
+from ...exceptions import (
+    OverloadedError,
+    ShardUnavailableError,
+    ValidationError,
+)
 from ..observability.metrics import Sample
 from .client import RemoteShardClient
 from .router import ShardedQueryRouter, _parse_address
@@ -190,6 +194,12 @@ class ReplicaGroup:
         self._clock = clock
         #: Reads that moved on to a sibling after a replica failed.
         self.failovers = 0
+        #: Read passes where *every* sibling failed together — a
+        #: group-saturation signal (co-timeouts under load, shared
+        #: dependency stall, or an explicit all-overloaded round), not
+        #: N independent dead replicas. No replica is darkened and no
+        #: repair is scheduled for these.
+        self.overload_events = 0
         #: Anti-entropy rounds that raised (loop keeps running).
         self.anti_entropy_failures = 0
         #: Serializes repairs within the group: two interleaved repairs
@@ -232,7 +242,7 @@ class ReplicaGroup:
         """The member clients, in construction order."""
         return [replica.client for replica in self._replicas]
 
-    async def call(self, op, fields=None, arrays=None):
+    async def call(self, op, fields=None, arrays=None, deadline=None):
         """One slice RPC: reads fail over, writes fan out.
 
         The failure contract matches a bare client: live-server errors
@@ -240,11 +250,13 @@ class ReplicaGroup:
         raise immediately — a replica answering *wrongly* is not a
         replica that is down — and
         :class:`~repro.exceptions.ShardUnavailableError` surfaces only
-        when no replica could serve the call.
+        when no replica could serve the call. ``deadline`` rides into
+        the member client RPCs (reads only — a write fan-out must
+        reach every sibling to keep them convergent).
         """
         if op in FANOUT_OPS:
             return await self._fanout(op, fields, arrays)
-        return await self._read(op, fields, arrays)
+        return await self._read(op, fields, arrays, deadline=deadline)
 
     async def close(self) -> None:
         """Close every replica's connection pool (and stop repair work)."""
@@ -380,11 +392,23 @@ class ReplicaGroup:
     # dispatch
     # ------------------------------------------------------------------ #
 
-    async def _timed(self, replica: _Replica, op, fields, arrays):
-        """One replica RPC, feeding the latency EWMA and histogram."""
+    async def _timed(self, replica: _Replica, op, fields, arrays, deadline=None):
+        """One replica RPC, feeding the latency EWMA and histogram.
+
+        ``deadline`` is forwarded only when set, so duck-typed member
+        clients with the three-argument ``call`` keep working. An
+        overload rejection or deadline shed raises before the latency
+        note on purpose: both return fast and would drag the EWMA
+        down, making the *saturated* replica look like the healthiest.
+        """
         started = time.perf_counter()
         try:
-            response = await replica.client.call(op, fields, arrays)
+            if deadline is None:
+                response = await replica.client.call(op, fields, arrays)
+            else:
+                response = await replica.client.call(
+                    op, fields, arrays, deadline=deadline
+                )
         except ShardUnavailableError:
             replica.failures += 1
             raise
@@ -410,25 +434,57 @@ class ReplicaGroup:
                 )
             child.observe(elapsed)
 
-    async def _read(self, op, fields, arrays):
-        """Healthiest-first read with in-call failover to siblings."""
+    async def _read(self, op, fields, arrays, deadline=None):
+        """Healthiest-first read with in-call failover to siblings.
+
+        Darkening is **deferred**: a replica that fails with
+        :class:`ShardUnavailableError` is a *suspect* and only becomes
+        dark once a sibling succeeds within the same pass —
+        differential evidence that this replica specifically is down.
+        When every candidate fails together the pass is
+        indistinguishable from group-wide saturation (co-timeouts under
+        load, a shared dependency stalling), so it counts one
+        :attr:`overload_events` signal and leaves replica states alone
+        rather than darkening N siblings and scheduling needless
+        repairs. An :class:`~repro.exceptions.OverloadedError` never
+        darkens either — the server is alive, just refusing admission —
+        it fails over to the next sibling and surfaces only when every
+        replica refused. A
+        :class:`~repro.exceptions.DeadlineExceededError` propagates
+        immediately without failover: an expired budget is equally
+        expired at every sibling.
+        """
         candidates = self._read_candidates()
         failure: ShardUnavailableError | None = None
+        overloaded: OverloadedError | None = None
+        suspects: list[_Replica] = []
         for position, replica in enumerate(candidates):
             try:
-                response = await self._timed(replica, op, fields, arrays)
+                response = await self._timed(
+                    replica, op, fields, arrays, deadline=deadline
+                )
             except ShardUnavailableError as dark:
-                self._mark_dark(replica)
+                suspects.append(replica)
                 failure = dark
                 if position + 1 < len(candidates):
                     self.failovers += 1
                 continue
+            except OverloadedError as saturated:
+                overloaded = saturated
+                if position + 1 < len(candidates):
+                    self.failovers += 1
+                continue
+            for suspect in suspects:
+                self._mark_dark(suspect)
             if replica.state != "catching_up":
                 # A catching-up replica only appears here as the last
                 # resort (no active sibling); serving one stale read
                 # must not re-admit it to the rotation.
                 self._mark_active(replica)
             return response
+        self.overload_events += 1
+        if overloaded is not None:
+            raise overloaded
         detail = f" (last: {failure})" if failure is not None else ""
         raise ShardUnavailableError(
             f"all {len(self._replicas)} replicas of shard "
@@ -916,6 +972,12 @@ class ReplicaGroup:
                     "Reads retried on a sibling after a replica failed.",
                     (("shard", shard),), self.failovers,
                 ),
+                Sample(
+                    "ides_replica_group_overload_total", "counter",
+                    "Read passes where every sibling failed together "
+                    "(group saturation, not independent dark replicas).",
+                    (("shard", shard),), self.overload_events,
+                ),
             ]
             known = self._known_seqs()
             top = max(known) if known else None
@@ -978,11 +1040,16 @@ async def connect_replica_router(
             repair purely write-gated and operator-triggered.
         **options: forwarded exactly as :func:`connect_router` does —
             client options (``pool_size``, ``timeout``, ``retries``,
-            ``retry_backoff``, ``protocol_version``, ``max_in_flight``)
-            to the member clients, the rest to the router. Member
-            clients are created with ``shard_index=None`` so their
-            telemetry is labeled per replica address; slice attribution
-            on errors comes from the group.
+            ``retry_backoff``, ``retry_budget``, ``protocol_version``,
+            ``max_in_flight``) to the member clients, the rest to the
+            router. Passing one
+            :class:`~repro.serving.transport.client.RetryBudget`
+            instance shares a single token bucket across every member
+            client of every group — a cluster-wide cap on retry
+            amplification. Member clients are created with
+            ``shard_index=None`` so their telemetry is labeled per
+            replica address; slice attribution on errors comes from
+            the group.
     """
     client_options = {
         key: options.pop(key)
@@ -991,6 +1058,7 @@ async def connect_replica_router(
             "timeout",
             "retries",
             "retry_backoff",
+            "retry_budget",
             "protocol_version",
             "max_in_flight",
         )

@@ -52,7 +52,7 @@ from typing import Sequence
 import numpy as np
 
 from ...core.diagnostics import ServiceHealth, ShardHealth
-from ...exceptions import TransportError, ValidationError
+from ...exceptions import OverloadedError, TransportError, ValidationError
 from ..cache import PredictionCache
 from ..observability.metrics import Sample
 from ..observability.tracing import get_tracer
@@ -60,6 +60,15 @@ from ..store import group_by_shard, shard_of
 from .client import RemoteShardClient
 
 __all__ = ["ShardedQueryRouter", "ShardReplicator", "connect_router"]
+
+
+async def _dispatch(client, op, fields=None, arrays=None, deadline=None):
+    """One client RPC, forwarding ``deadline`` only when one is set —
+    duck-typed backends (test fakes, pre-deadline clients) keep their
+    three-argument ``call`` signature."""
+    if deadline is None:
+        return await client.call(op, fields, arrays)
+    return await client.call(op, fields, arrays, deadline=deadline)
 
 
 def _parse_address(address) -> tuple[str, int]:
@@ -126,6 +135,10 @@ class ShardedQueryRouter:
         # engine counters in ShardHealth).
         self._queries_served = 0
         self._pairs_evaluated = 0
+        #: Brownout degradations: point queries answered from a
+        #: TTL-expired cache entry because the owning shard refused
+        #: admission (see :meth:`point`).
+        self._stale_served = 0
         #: Optional routed-query latency histogram, attached by
         #: :meth:`bind_metrics`; ``None`` keeps the hot path untouched.
         self._query_seconds = None
@@ -169,6 +182,10 @@ class ShardedQueryRouter:
                 Sample("ides_router_shards", "gauge",
                        "Shard clients owned by this router.",
                        (), self.n_shards),
+                Sample("ides_router_stale_served_total", "counter",
+                       "Point queries served from a TTL-expired cache "
+                       "entry during shard overload (brownout).",
+                       (), self._stale_served),
             ]
 
         registry.register_collector(collect)
@@ -321,13 +338,17 @@ class ShardedQueryRouter:
     # ------------------------------------------------------------------ #
 
     async def gather(
-        self, host_ids: Sequence, which: str = "both"
+        self, host_ids: Sequence, which: str = "both", deadline=None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Stack hosts' vectors into ``(n, d)`` matrices, request order.
 
         ``which`` limits the wire payload: ``"out"`` fills only the
         outgoing matrix (incoming rows are zero), ``"in"`` the
-        reverse. One concurrent RPC per involved shard.
+        reverse. One concurrent RPC per involved shard. ``deadline``
+        (a :class:`~repro.serving.transport.protocol.Deadline`) rides
+        into every sub-RPC: each shard client derives its attempt
+        timeout from the remaining budget and the servers shed the
+        request if it expires in their queues.
         """
         host_ids = list(host_ids)
         dimension = await self._require_dimension()
@@ -337,9 +358,11 @@ class ShardedQueryRouter:
         groups = group_by_shard(host_ids, self.n_shards)
 
         async def fetch(shard_index: int, positions: np.ndarray):
-            response = await self.clients[shard_index].call(
+            response = await _dispatch(
+                self.clients[shard_index],
                 "gather",
                 {"ids": [host_ids[p] for p in positions], "which": which},
+                deadline=deadline,
             )
             return positions, response
 
@@ -352,21 +375,45 @@ class ShardedQueryRouter:
                 incoming[positions] = response.array("incoming")
         return outgoing, incoming
 
-    async def point(self, source_id: object, destination_id: object) -> float:
-        """One predicted distance; single-RPC when co-located."""
-        source_client = self.client_for(source_id)
-        if source_client is self.client_for(destination_id):
-            with self._observe("point"):
-                response = await source_client.call(
-                    "point", {"source": source_id, "dest": destination_id}
-                )
+    async def point(
+        self, source_id: object, destination_id: object, deadline=None
+    ) -> float:
+        """One predicted distance; single-RPC when co-located.
+
+        Brownout degradation: when the owning shard refuses admission
+        (:class:`~repro.exceptions.OverloadedError`) and the router
+        still holds a cache entry for the pair — even a TTL-expired
+        one — that entry is served instead of failing. A stale answer
+        comes back as :class:`~repro.serving.cache.StalePrediction`
+        (``value.stale`` is True) so callers can tell bounded-stale
+        from fresh; a pair never cached re-raises the overload.
+        """
+        try:
+            source_client = self.client_for(source_id)
+            if source_client is self.client_for(destination_id):
+                with self._observe("point"):
+                    response = await _dispatch(
+                        source_client,
+                        "point",
+                        {"source": source_id, "dest": destination_id},
+                        deadline=deadline,
+                    )
+                self._count(1)
+                return float(response.fields["value"])
+            values = await self.pairs(
+                [source_id], [destination_id], deadline=deadline
+            )
+            return float(values[0])
+        except OverloadedError:
+            stale = self.cache.get_stale(source_id, destination_id)
+            if stale is None:
+                raise
+            self._stale_served += 1
             self._count(1)
-            return float(response.fields["value"])
-        values = await self.pairs([source_id], [destination_id])
-        return float(values[0])
+            return stale
 
     async def pairs(
-        self, source_ids: Sequence, destination_ids: Sequence
+        self, source_ids: Sequence, destination_ids: Sequence, deadline=None
     ) -> np.ndarray:
         """Aligned per-pair distances — the frontend's coalescing
         primitive, served in one concurrent scatter round."""
@@ -377,8 +424,8 @@ class ShardedQueryRouter:
             )
         with self._observe("pairs"):
             (outgoing, _), (_, incoming) = await asyncio.gather(
-                self.gather(source_ids, which="out"),
-                self.gather(destination_ids, which="in"),
+                self.gather(source_ids, which="out", deadline=deadline),
+                self.gather(destination_ids, which="in", deadline=deadline),
             )
             self._count(len(source_ids))
             return np.einsum("ij,ij->i", outgoing, incoming)
@@ -522,6 +569,9 @@ class ShardedQueryRouter:
                     reachable=False,
                     replicas=replicas,
                     failovers=failovers,
+                    group_overload_events=int(
+                        getattr(client, "overload_events", 0)
+                    ),
                 )
             fields = response.fields
             replicas, failovers = replica_detail(client)
@@ -533,6 +583,11 @@ class ShardedQueryRouter:
                 address=client.address,
                 replicas=replicas,
                 failovers=failovers,
+                overload_rejections=fields.get("overload_rejections"),
+                deadline_shed=fields.get("deadline_shed"),
+                group_overload_events=int(
+                    getattr(client, "overload_events", 0)
+                ),
             )
 
         shards = tuple(
@@ -555,6 +610,7 @@ class ShardedQueryRouter:
             cache_max_entries=cache_stats.max_entries,
             cache_admitted=cache_stats.admitted,
             cache_rejected=cache_stats.rejected,
+            stale_served=self._stale_served,
             shards=shards,
         )
 
@@ -600,8 +656,11 @@ async def connect_router(
             unverified router fail on first use instead.
         **options: forwarded to :class:`ShardedQueryRouter` and the
             underlying clients (``timeout``, ``retries``, ``pool_size``,
-            ``protocol_version``, ``max_in_flight`` go to the clients;
-            the rest to the router).
+            ``retry_budget``, ``protocol_version``, ``max_in_flight``
+            go to the clients; the rest to the router). One
+            :class:`~repro.serving.transport.client.RetryBudget`
+            instance passed as ``retry_budget`` is shared by every
+            shard client — a cluster-wide cap on retry amplification.
     """
     client_options = {
         key: options.pop(key)
@@ -610,6 +669,7 @@ async def connect_router(
             "timeout",
             "retries",
             "retry_backoff",
+            "retry_budget",
             "protocol_version",
             "max_in_flight",
         )

@@ -69,6 +69,8 @@ from ..observability.metrics import Sample, get_registry
 from ..observability.tracing import TraceContext, configure_tracing, get_tracer
 from ..._validation import check_dimension
 from ...exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
     ProtocolError,
     ReproError,
     TransportError,
@@ -81,6 +83,7 @@ from ..store import InMemoryVectorStore, shard_of
 from .protocol import (
     PROTOCOL_V1,
     PROTOCOL_VERSION,
+    Deadline,
     Message,
     check_codec_mode,
     read_message,
@@ -129,6 +132,13 @@ class ShardServer:
         max_pipeline: outstanding v2 requests allowed per connection
             before the read loop stops accepting more (backpressure
             against a peer that writes faster than it reads).
+        max_inflight: **server-wide** admission bound: requests queued
+            plus in flight across every connection. A request beyond
+            it is *rejected* — an :class:`OverloadedError` error frame
+            carrying a ``retry_after`` hint — instead of queued, so a
+            saturated shard sheds excess load explicitly rather than
+            letting every caller wait out its timeout. None (the
+            default) keeps the legacy queue-everything behaviour.
         flush_timeout: seconds a response write may wait for a
             backpressured peer to drain before the connection is
             aborted. Bounds how long the zero-copy write lock (shared
@@ -155,6 +165,7 @@ class ShardServer:
         work_delay: float = 0.0,
         zero_copy: bool = True,
         max_pipeline: int = 256,
+        max_inflight: int | None = None,
         flush_timeout: float | None = 2.0,
         journal: ShardJournal | None = None,
         journal_capacity: int = 4096,
@@ -173,11 +184,16 @@ class ShardServer:
             raise ValidationError(
                 f"max_pipeline must be >= 1, got {max_pipeline}"
             )
+        if max_inflight is not None and int(max_inflight) < 1:
+            raise ValidationError(
+                f"max_inflight must be >= 1 or None, got {max_inflight}"
+            )
         if flush_timeout is not None and not flush_timeout > 0:
             raise ValidationError(
                 f"flush_timeout must be > 0 or None, got {flush_timeout}"
             )
         self.max_pipeline = int(max_pipeline)
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
         self.flush_timeout = (
             None if flush_timeout is None else float(flush_timeout)
         )
@@ -205,6 +221,15 @@ class ShardServer:
         self._write_lock: asyncio.Lock | None = None
         self.connections_rejected = 0
         self.pipelined_requests = 0
+        #: Admitted requests currently queued or in flight, server-wide.
+        self.inflight_requests = 0
+        #: Requests rejected at admission (max_inflight exceeded).
+        self.overload_rejections = 0
+        #: Requests shed because their propagated deadline expired
+        #: while they sat in the pipeline queue.
+        self.deadline_shed = 0
+        #: Deadline-remaining histogram attached by :meth:`bind_metrics`.
+        self._deadline_remaining = None
         #: First-class instruments attached by :meth:`bind_metrics`;
         #: ``None`` keeps request handling on the uninstrumented path.
         self._request_seconds = None
@@ -307,10 +332,24 @@ class ShardServer:
             "Requests answered with an error frame, by wire operation.",
             labels=("op",),
         )
+        self._deadline_remaining = registry.histogram(
+            "ides_server_deadline_remaining_seconds",
+            "Budget left on deadline-carrying requests at dispatch time.",
+        )
         shard = (("shard", str(self.shard_index)),)
 
         def collect():
             return [
+                Sample("ides_server_shed_total", "counter",
+                       "Requests shed on an expired propagated deadline.",
+                       (*shard, ("reason", "deadline")), self.deadline_shed),
+                Sample("ides_server_shed_total", "counter",
+                       "Requests rejected at admission (max_inflight).",
+                       (*shard, ("reason", "overload")),
+                       self.overload_rejections),
+                Sample("ides_server_inflight_requests", "gauge",
+                       "Requests queued or in flight, server-wide.",
+                       shard, self.inflight_requests),
                 Sample("ides_server_pipelined_requests_total", "counter",
                        "v2 requests dispatched to pipelined handler tasks.",
                        shard, self.pipelined_requests),
@@ -353,6 +392,10 @@ class ShardServer:
             "pairs_evaluated": self.engine.pairs_evaluated,
             "connections_rejected": self.connections_rejected,
             "pipelined_requests": self.pipelined_requests,
+            "inflight_requests": self.inflight_requests,
+            "max_inflight": self.max_inflight,
+            "overload_rejections": self.overload_rejections,
+            "deadline_shed": self.deadline_shed,
             "journal_seq": self.journal.high_water,
             "journal_entries": len(self.journal),
             "journal_first_seq": self.journal.first_seq,
@@ -391,12 +434,38 @@ class ShardServer:
                     return
                 if request is None:  # clean EOF
                     return
+                # Admission: reject-don't-queue. The check runs before
+                # any slot wait, so a saturated shard answers the
+                # excess request *immediately* with an overload frame
+                # instead of letting it wait out the caller's timeout
+                # in a queue it will never clear.
+                if (
+                    self.max_inflight is not None
+                    and self.inflight_requests >= self.max_inflight
+                ):
+                    self.overload_rejections += 1
+                    await self._try_error(
+                        writer,
+                        write_lock,
+                        OverloadedError(
+                            f"shard {self.shard_index} is saturated "
+                            f"({self.inflight_requests} requests in "
+                            f"flight, max_inflight={self.max_inflight})"
+                        ),
+                        request=request,
+                        extra_fields={"retry_after": self._retry_after()},
+                    )
+                    continue
                 if request.version == PROTOCOL_V1:
                     # Legacy conversation: strictly one at a time, in
                     # order, exactly as a v1 client expects.
-                    stop_after = await self._answer(
-                        writer, write_lock, request
-                    )
+                    self.inflight_requests += 1
+                    try:
+                        stop_after = await self._answer(
+                            writer, write_lock, request
+                        )
+                    finally:
+                        self.inflight_requests -= 1
                     if stop_after:
                         return
                 else:
@@ -405,6 +474,7 @@ class ShardServer:
                     # and its response frame carries its request id.
                     await in_flight.acquire()
                     self.pipelined_requests += 1
+                    self.inflight_requests += 1
                     task = asyncio.create_task(
                         self._answer_pipelined(
                             writer, write_lock, request, in_flight
@@ -428,12 +498,23 @@ class ShardServer:
             except asyncio.TimeoutError:  # pragma: no cover - stuck peer
                 writer.transport.abort()
 
+    def _retry_after(self) -> float:
+        """The overload rejection's backoff hint, in seconds.
+
+        A saturated shard expects to clear one slot per service time,
+        so the hint scales with the simulated (or observed-at-config)
+        per-request cost; the floor keeps clients from busy-spinning
+        against a shard whose service time is effectively zero.
+        """
+        return max(0.05, self.work_delay)
+
     async def _try_error(
         self,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         error: Exception,
         request: Message | None = None,
+        extra_fields: dict | None = None,
     ) -> None:
         request_id = request.request_id if request is not None else 0
         version = request.version if request is not None else PROTOCOL_V1
@@ -445,6 +526,7 @@ class ShardServer:
                         "ok": False,
                         "error": type(error).__name__,
                         "message": str(error),
+                        **(extra_fields or {}),
                     },
                     request_id=request_id,
                     version=version,
@@ -469,6 +551,7 @@ class ShardServer:
         except (ConnectionError, OSError):
             pass
         finally:
+            self.inflight_requests -= 1
             in_flight.release()
 
     async def _answer(
@@ -533,11 +616,25 @@ class ShardServer:
         the rows they alias. Handlers are synchronous, so holding the
         lock across them costs nothing in concurrency.
         """
+        deadline = Deadline.from_fields(request.fields)
+        if deadline is not None and self._deadline_remaining is not None:
+            self._deadline_remaining.observe(deadline.remaining())
         if self.work_delay:
             await asyncio.sleep(self.work_delay)
         handler = self._HANDLERS.get(request.op)
         async with write_lock:
             try:
+                # Shed, don't serve: a request whose propagated budget
+                # ran out while it waited (pipeline queue, work_delay,
+                # the write lock) has no caller left to care — doing
+                # the work now would only delay the requests that still
+                # have one. The error frame is cheap and explicit.
+                if deadline is not None and deadline.expired():
+                    self.deadline_shed += 1
+                    raise DeadlineExceededError(
+                        f"deadline expired while queued at shard "
+                        f"{self.shard_index}"
+                    )
                 if handler is None:
                     raise ValidationError(f"unknown operation {request.op!r}")
                 name = self._engine_span_names.get(request.op)
@@ -866,6 +963,7 @@ def run_shard_server(
     port: int = 0,
     snapshot_path: str | None = None,
     work_delay: float = 0.0,
+    max_inflight: int | None = None,
     codec_mode: str = "scatter",
     ready=None,
     announce=None,
@@ -886,6 +984,9 @@ def run_shard_server(
         snapshot_path: seed the shard with its slice of a service
             snapshot (only hosts hashing to ``shard_index`` are kept).
         work_delay: per-request artificial service time (benchmarks).
+        max_inflight: server-wide admission bound (queued + in-flight
+            requests); excess requests are rejected with an overload
+            error frame instead of queued. None: queue everything.
         codec_mode: send-side codec for this server process ("scatter"
             or "join") — the knob the transport benchmark flips; the
             server encodes the payload-heavy direction, so the mode
@@ -927,6 +1028,7 @@ def run_shard_server(
             port=port,
             store=store,
             work_delay=work_delay,
+            max_inflight=max_inflight,
             journal=journal,
         )
         extras: dict = {}
@@ -1049,6 +1151,7 @@ def spawn_shard_process(
     port: int = 0,
     snapshot_path: str | None = None,
     work_delay: float = 0.0,
+    max_inflight: int | None = None,
     codec_mode: str = "scatter",
     startup_timeout: float = 30.0,
     telemetry: bool = False,
@@ -1082,6 +1185,7 @@ def spawn_shard_process(
             "port": port,
             "snapshot_path": snapshot_path,
             "work_delay": work_delay,
+            "max_inflight": max_inflight,
             "codec_mode": codec_mode,
             "ready": ready,
             "telemetry": telemetry,

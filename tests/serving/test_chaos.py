@@ -80,6 +80,30 @@ class TestChaosSchedule:
             d.duplicate for d in without.history
         ]
 
+    def test_slow_read_applies_only_to_reads(self):
+        schedule = ChaosSchedule(seed=3, slow_read=1.0)
+        assert schedule.decide("point").slow_read
+        assert schedule.decide("gather").slow_read
+        for op in sorted(WRITE_OPS):
+            assert not schedule.decide(op).slow_read
+
+    def test_slow_read_probability_does_not_shift_other_draws(self):
+        """Enabling slow reads must not reposition the PRNG stream."""
+        with_slow = ChaosSchedule(seed=9, drop=0.5, slow_read=0.7)
+        without = ChaosSchedule(seed=9, drop=0.5, slow_read=0.0)
+        for _ in range(100):
+            with_slow.decide("point")
+            without.decide("point")
+        assert [d.drop for d in with_slow.history] == [
+            d.drop for d in without.history
+        ]
+
+    def test_slow_read_parameters_are_validated(self):
+        with pytest.raises(ValidationError):
+            ChaosSchedule(slow_read=1.5)
+        with pytest.raises(ValidationError):
+            ChaosSchedule(slow_read_seconds=-0.1)
+
 
 class TestChaosClient:
     def test_clean_schedule_forwards_everything(self):
@@ -125,6 +149,28 @@ class TestChaosClient:
         assert client.address == "fake:1"
         run(client.close())
         assert inner.closed
+
+    def test_slow_read_stalls_then_forwards(self):
+        inner = Recorder()
+        client = ChaosClient(
+            inner, ChaosSchedule(seed=0, slow_read=1.0, slow_read_seconds=0.01)
+        )
+
+        async def timed():
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            response = await client.call("point", {"source": "x"})
+            return response, loop.time() - started
+
+        response, elapsed = run(timed())
+        assert response == {"ok": "fake:1"}
+        assert elapsed >= 0.01
+        assert client.slowed_reads == 1
+        assert inner.calls == [("point", {"source": "x"})]
+        # Writes never stall: the slow-read fault models queue
+        # saturation on the read path only.
+        run(client.call("put_many", {"ids": []}))
+        assert client.slowed_reads == 1
 
     def test_drop_carries_the_shard_index(self):
         inner = Recorder()

@@ -1,0 +1,253 @@
+"""End-to-end overload tests: deadlines, admission control and retry
+budgets against real shard server processes.
+
+The deterministic choreography lives in ``test_overload.py``; this
+file proves the same contracts over real sockets: an expired budget
+never costs the server anything, a queued request whose budget lapses
+is shed with :class:`DeadlineExceededError` (never mistaken for a dead
+shard), explicit admission rejections carry a backoff hint, and a
+retry storm against a saturated shard stays inside the shared token
+budget — with the logical call count pinned by a chaos decision
+stream.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
+    ShardUnavailableError,
+)
+from repro.serving import (
+    ChaosClient,
+    ChaosSchedule,
+    DistanceService,
+    RemoteShardClient,
+    ReplicaGroup,
+    connect_replica_router,
+    spawn_shard_process,
+)
+from repro.serving.transport import Deadline, RetryBudget
+
+N_HOSTS = 16
+DIMENSION = 4
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def service():
+    rng = np.random.default_rng(17)
+    ids = [f"o{i}" for i in range(N_HOSTS)]
+    return DistanceService.from_vectors(
+        ids,
+        rng.random((N_HOSTS, DIMENSION)) + 0.5,
+        rng.random((N_HOSTS, DIMENSION)) + 0.5,
+        landmark_ids=ids[:4],
+    )
+
+
+async def seed(client, service):
+    snapshot = service.snapshot()
+    await client.call(
+        "put_many",
+        {"ids": list(snapshot.ids)},
+        {"outgoing": snapshot.outgoing, "incoming": snapshot.incoming},
+    )
+
+
+class TestDeadlineEndToEnd:
+    def test_expired_budget_never_dispatches(self):
+        """Client-side preemption: a dead budget costs zero wire work."""
+        process = spawn_shard_process(0, 1, dimension=DIMENSION)
+        try:
+
+            async def scenario():
+                client = RemoteShardClient(*process.address, timeout=5.0)
+                try:
+                    with pytest.raises(DeadlineExceededError):
+                        await client.call(
+                            "health", deadline=Deadline.after(-1.0)
+                        )
+                    preempted = (client.attempts, client.deadline_preempted)
+                    # The shard never saw the request — and is still
+                    # perfectly reachable for budgeted callers.
+                    response = await client.call(
+                        "health", deadline=Deadline.after(5.0)
+                    )
+                    return preempted, response.fields
+                finally:
+                    await client.close()
+
+            (attempts, preempted), fields = run(scenario())
+        finally:
+            process.stop()
+        assert attempts == 0  # the expired call never hit the wire
+        assert preempted == 1
+        assert fields["deadline_shed"] == 0
+
+    def test_queued_expiry_is_shed_as_deadline_not_unavailable(self):
+        """A budget that lapses in the server's queue surfaces as
+        DeadlineExceededError on both sides of the wire — the server
+        counts a shed, and the caller never sees the dead-shard
+        error that would trigger failover and repair."""
+        process = spawn_shard_process(0, 1, dimension=DIMENSION, work_delay=0.2)
+        try:
+
+            async def scenario():
+                client = RemoteShardClient(
+                    *process.address, timeout=5.0, retries=0
+                )
+                try:
+                    # Warm the connection: the handshake itself costs a
+                    # work_delay, and a cold 50 ms budget would die
+                    # there without the request ever hitting the wire.
+                    await client.call("health")
+                    with pytest.raises(DeadlineExceededError):
+                        await client.call(
+                            "health", deadline=Deadline.after(0.05)
+                        )
+                    # Give the server's delayed handler time to reach
+                    # its shed check before reading the counter.
+                    await asyncio.sleep(0.4)
+                    response = await client.call("health")
+                    return response.fields
+                finally:
+                    await client.close()
+
+            fields = run(scenario())
+        finally:
+            process.stop()
+        assert fields["deadline_shed"] >= 1
+
+    def test_deadline_errors_do_not_darken_replicas(self, service):
+        """The acceptance contract: after a deadline failure, every
+        replica is still in the read rotation and the very next
+        budgetless query is answered correctly."""
+        members = [
+            spawn_shard_process(0, 1, dimension=DIMENSION, work_delay=0.15)
+            for _ in range(2)
+        ]
+        ids = service.known_hosts()
+        try:
+
+            async def scenario():
+                router = await connect_replica_router(
+                    [[m.address for m in members]], timeout=5.0, retries=0
+                )
+                try:
+                    snapshot = service.snapshot()
+                    await router.put_many(
+                        snapshot.ids, snapshot.outgoing, snapshot.incoming
+                    )
+                    with pytest.raises(DeadlineExceededError):
+                        await router.point(
+                            ids[0], ids[1], deadline=Deadline.after(0.05)
+                        )
+                    value = await router.point(ids[0], ids[1])
+                    return value, await router.health()
+                finally:
+                    await router.close()
+
+            value, health = run(scenario())
+        finally:
+            for member in members:
+                member.stop()
+        assert value == pytest.approx(service.engine.point(ids[0], ids[1]))
+        shard = health.shards[0]
+        assert shard.reachable
+        assert shard.dark_replicas == 0
+        assert shard.failovers == 0  # expired budgets never fail over
+        assert shard.group_overload_events == 0
+
+
+class TestAdmissionControlEndToEnd:
+    def test_saturated_shard_rejects_explicitly_with_backoff_hint(self):
+        process = spawn_shard_process(
+            0, 1, dimension=DIMENSION, work_delay=0.3, max_inflight=1
+        )
+        try:
+
+            async def scenario():
+                client = RemoteShardClient(
+                    *process.address, timeout=5.0, retries=0
+                )
+                try:
+                    outcomes = await asyncio.gather(
+                        *(client.call("health") for _ in range(6)),
+                        return_exceptions=True,
+                    )
+                    follow_up = await client.call("health")
+                    return outcomes, follow_up.fields
+                finally:
+                    await client.close()
+
+            outcomes, fields = run(scenario())
+        finally:
+            process.stop()
+        rejected = [o for o in outcomes if isinstance(o, OverloadedError)]
+        served = [o for o in outcomes if not isinstance(o, BaseException)]
+        assert rejected, "no request was refused admission"
+        assert served, "no request was served at all"
+        # Reject-don't-queue: the overload verdict carries the server's
+        # capacity hint so callers back off instead of hammering.
+        for error in rejected:
+            assert error.retry_after is not None
+            assert error.retry_after >= 0.05
+        assert fields["overload_rejections"] >= len(rejected)
+        assert fields["max_inflight"] == 1
+
+
+class TestRetryStormEndToEnd:
+    def test_retry_storm_stays_inside_the_shared_budget(self):
+        """Against a shard slower than every per-attempt timeout, total
+        wire attempts stay bounded by logical calls + budget tokens.
+        The chaos wrapper records the logical dispatch stream, so the
+        amplification bound is verified against an exact count."""
+        process = spawn_shard_process(
+            0, 1, dimension=DIMENSION, work_delay=0.5
+        )
+        budget = RetryBudget(max_tokens=2.0, per_call=0.0)
+        schedule = ChaosSchedule(seed=11)  # no faults: a pure recorder
+        n_calls = 4
+        try:
+
+            async def scenario():
+                client = RemoteShardClient(
+                    *process.address,
+                    timeout=0.05,
+                    retries=5,
+                    retry_backoff=0.01,
+                    retry_budget=budget,
+                )
+                group = ReplicaGroup(
+                    [ChaosClient(client, schedule)], shard_index=0
+                )
+                try:
+                    failures = 0
+                    for _ in range(n_calls):
+                        try:
+                            await group.call("health")
+                        except ShardUnavailableError:
+                            failures += 1
+                    return client, failures
+                finally:
+                    await group.close()
+
+            client, failures = run(scenario())
+        finally:
+            process.stop()
+        assert failures == n_calls
+        # The decision stream pins the logical call count exactly.
+        assert len(schedule.history) == n_calls
+        # 1 + retries = 6 would allow 24 attempts; the budget caps the
+        # storm at one first try per call plus max_tokens retries.
+        assert client.attempts <= n_calls + 2
+        assert client.retry_budget_exhausted >= 1
+        assert budget.exhausted >= 1
+        assert budget.tokens < 1.0

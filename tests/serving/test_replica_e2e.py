@@ -361,3 +361,89 @@ class TestReplicaEndToEnd:
             assert replica["state"] == "active"
             assert ":" in replica["address"]
         assert shard["failovers"] == 0
+
+
+class TestServeRepairCli:
+    """Exit-code contract of ``serve repair``: 0 only when every
+    replica answered a digest and all digests agree — anything else
+    (a dark replica, diverged stores) must fail the invocation so
+    cron jobs and CI gates can alarm on the status code alone."""
+
+    @staticmethod
+    def _addresses(members):
+        return [f"{host}:{port}" for host, port in members]
+
+    def test_converged_group_exits_zero(self, snapshot_path, capsys):
+        from repro.cli import main
+
+        members = [
+            spawn_shard_process(0, 1, snapshot_path=snapshot_path)
+            for _ in range(REPLICAS)
+        ]
+        try:
+            addresses = self._addresses([m.address for m in members])
+            code = main(["serve", "repair", *addresses, "--check"])
+        finally:
+            for member in members:
+                member.stop()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "check: converged" in out
+
+    def test_unreachable_replica_exits_nonzero(self, snapshot_path, capsys):
+        from repro.cli import main
+
+        live = spawn_shard_process(0, 1, snapshot_path=snapshot_path)
+        try:
+            address = self._addresses([live.address])[0]
+            code = main(
+                [
+                    "serve",
+                    "repair",
+                    address,
+                    "127.0.0.1:1",
+                    "--timeout",
+                    "0.5",
+                    "--check",
+                ]
+            )
+        finally:
+            live.stop()
+        out = capsys.readouterr().out
+        assert code != 0
+        assert "digest=unavailable" in out
+
+    def test_diverged_digests_exit_nonzero(self, snapshot_path, capsys):
+        from repro.cli import main
+
+        members = [
+            spawn_shard_process(0, 1, snapshot_path=snapshot_path)
+            for _ in range(REPLICAS)
+        ]
+        try:
+            # Force divergence: write extra rows to ONE replica only,
+            # behind the replication tier's back.
+            rng = np.random.default_rng(3)
+            rows = rng.random((2, DIMENSION)) + 0.5
+
+            async def skew():
+                host, port = members[0].address
+                client = RemoteShardClient(host, port, timeout=5.0)
+                try:
+                    await client.call(
+                        "put_many",
+                        {"ids": ["skew0", "skew1"]},
+                        {"outgoing": rows, "incoming": rows},
+                    )
+                finally:
+                    await client.close()
+
+            run(skew())
+            addresses = self._addresses([m.address for m in members])
+            code = main(["serve", "repair", *addresses, "--check"])
+        finally:
+            for member in members:
+                member.stop()
+        out = capsys.readouterr().out
+        assert code != 0
+        assert "check: diverged" in out

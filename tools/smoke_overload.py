@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Overload smoke check: admission control, deadline shed, brownout.
+
+The CI guard for the overload tier's outermost promise: a saturated
+shard must **fail fast, not slow** — excess requests are rejected at
+admission with a backoff hint instead of queueing out the caller's
+patience, requests whose propagated deadline lapses in the queue are
+shed server-side, and a router in front of the saturation serves
+TTL-expired cache entries (marked stale) instead of erroring. Runs
+in-repo with no external dependencies::
+
+    PYTHONPATH=src python tools/smoke_overload.py
+
+``--bench-out PATH`` additionally writes the measured p99 of
+caller-visible outcomes under saturation (``overload_p99_seconds``)
+and the stale-serve latency as a slim benchmark JSON (the
+``tools/bench_compare.py`` baseline schema), so the CI
+perf-trajectory artifact accumulates overload entries run over run.
+
+Exit code 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+N_HOSTS = 32
+DIMENSION = 5
+MAX_INFLIGHT = 4
+WORK_DELAY = 0.05
+SATURATION_CALLS = 40
+#: Under saturation every outcome must resolve fast — a served request
+#: costs about one work_delay, a rejected one only a rejection frame.
+DEFAULT_P99_BUDGET = 2.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write overload timings as slim benchmark JSON",
+    )
+    parser.add_argument(
+        "--p99-budget",
+        type=float,
+        default=DEFAULT_P99_BUDGET,
+        help=f"seconds allowed per outcome under saturation "
+        f"(default: {DEFAULT_P99_BUDGET})",
+    )
+    arguments = parser.parse_args(argv)
+
+    from repro.exceptions import DeadlineExceededError, OverloadedError
+    from repro.serving import AsyncDistanceFrontend
+    from repro.serving.transport import (
+        Deadline,
+        RemoteShardClient,
+        connect_router,
+        spawn_shard_process,
+    )
+
+    rng = np.random.default_rng(23)
+    ids = [f"load-{i}" for i in range(N_HOSTS)]
+    outgoing = rng.random((N_HOSTS, DIMENSION)) + 0.5
+    incoming = rng.random((N_HOSTS, DIMENSION)) + 0.5
+
+    failures: list[str] = []
+    bench: dict[str, float] = {}
+
+    process = spawn_shard_process(
+        0,
+        1,
+        dimension=DIMENSION,
+        work_delay=WORK_DELAY,
+        max_inflight=MAX_INFLIGHT,
+    )
+
+    async def saturation_phase():
+        """Fire far more concurrent calls than the admission bound
+        allows: some must be served, the excess must be rejected
+        *immediately* with a backoff hint, and every outcome must
+        resolve inside the p99 budget."""
+        client = RemoteShardClient(*process.address, timeout=5.0, retries=0)
+        try:
+            await client.call("health")  # warm past the handshake
+
+            async def one_call():
+                started = time.perf_counter()
+                try:
+                    await client.call("health")
+                    verdict = "served"
+                except OverloadedError as error:
+                    if error.retry_after is None:
+                        failures.append(
+                            "overload rejection carried no retry_after hint"
+                        )
+                    verdict = "rejected"
+                return verdict, time.perf_counter() - started
+
+            outcomes = await asyncio.gather(
+                *(one_call() for _ in range(SATURATION_CALLS))
+            )
+            served = sum(1 for verdict, _ in outcomes if verdict == "served")
+            rejected = sum(
+                1 for verdict, _ in outcomes if verdict == "rejected"
+            )
+            if not served:
+                failures.append("saturated shard served nothing at all")
+            if not rejected:
+                failures.append(
+                    f"{SATURATION_CALLS} concurrent calls against "
+                    f"max_inflight={MAX_INFLIGHT} produced zero rejections"
+                )
+            seconds = np.array([latency for _, latency in outcomes])
+            p99 = float(np.percentile(seconds, 99))
+            bench["overload_p99_seconds"] = p99
+            if p99 > arguments.p99_budget:
+                failures.append(
+                    f"p99 {p99:.3f}s under saturation exceeds budget "
+                    f"{arguments.p99_budget:.3f}s — rejection is queueing"
+                )
+            print(
+                f"saturation: {served} served, {rejected} rejected, "
+                f"p99 {p99 * 1000:.1f} ms"
+            )
+
+            # Deadline shed: a budget that lapses inside the server's
+            # work_delay must come back as a deadline verdict and bump
+            # the shard's shed counter.
+            try:
+                await client.call(
+                    "health", deadline=Deadline.after(WORK_DELAY / 4)
+                )
+                failures.append("an expired-in-queue deadline was served")
+            except DeadlineExceededError:
+                pass
+            except OverloadedError:
+                pass  # lost the admission race instead: also a fast no
+            await asyncio.sleep(WORK_DELAY * 4)
+            health = await client.call("health")
+            if health.fields.get("overload_rejections", 0) < rejected:
+                failures.append(
+                    "server-side overload_rejections disagrees with the "
+                    "client-observed rejection count"
+                )
+        finally:
+            await client.close()
+
+    async def brownout_phase():
+        """With the shard saturated by blocker requests, a frontend
+        whose cached answer has expired must serve it anyway, marked
+        stale, instead of surfacing the overload."""
+        router = await connect_router(
+            [process.address], timeout=5.0, retries=0, cache_ttl=0.4
+        )
+        frontend = await AsyncDistanceFrontend(
+            router, populate_cache=True
+        ).start()
+        blocker = RemoteShardClient(*process.address, timeout=5.0, retries=0)
+        try:
+            await blocker.call("health")  # warm past the handshake
+            await router.put_many(ids, outgoing, incoming)
+            fresh = await frontend.query(ids[0], ids[1])
+            await asyncio.sleep(0.5)  # let the cache entry's TTL lapse
+            # Saturate: enough concurrent slow requests to hold every
+            # admission slot for one work_delay.
+            blockers = [
+                asyncio.create_task(blocker.call("health"))
+                for _ in range(MAX_INFLIGHT * 3)
+            ]
+            await asyncio.sleep(WORK_DELAY / 4)  # let them hit the server
+            started = time.perf_counter()
+            try:
+                value = await frontend.query(ids[0], ids[1])
+            except OverloadedError:
+                failures.append(
+                    "frontend surfaced OverloadedError instead of serving "
+                    "the expired cache entry stale"
+                )
+                return
+            finally:
+                await asyncio.gather(*blockers, return_exceptions=True)
+            stale_latency = time.perf_counter() - started
+            if not getattr(value, "stale", False):
+                failures.append(
+                    f"brownout answer is not marked stale (got {value!r})"
+                )
+            if float(value) != float(fresh):
+                failures.append(
+                    f"stale answer {float(value)} != cached answer "
+                    f"{float(fresh)}"
+                )
+            bench["stale_serve_seconds"] = stale_latency
+            print(
+                f"brownout: stale answer in {stale_latency * 1000:.1f} ms "
+                "while every admission slot was occupied"
+            )
+        finally:
+            await blocker.close()
+            await frontend.stop()
+            await router.close()
+
+    try:
+        asyncio.run(saturation_phase())
+        if not failures:
+            asyncio.run(brownout_phase())
+        if arguments.bench_out is not None and bench:
+            arguments.bench_out.write_text(
+                json.dumps({"benchmarks": bench}, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote overload timings to {arguments.bench_out}")
+    finally:
+        process.stop()
+
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            "overload smoke ok: saturation rejected fast with backoff "
+            "hints, queued-expired deadlines were shed, and the router "
+            "browned out to stale answers instead of erroring"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
